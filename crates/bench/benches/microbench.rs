@@ -1,0 +1,166 @@
+//! Criterion micro-benchmarks for the hot kernels of the HYDRA pipeline:
+//! kernel evaluation, the Eq. 15 linear solve, the Eq. 16 SMO, structure
+//! matrix assembly, graph distance queries, and LDA sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_graph::{distance::bfs_distances, GraphBuilder};
+use hydra_linalg::dense::Mat;
+use hydra_linalg::kernels::{kernel_matrix, Kernel};
+use hydra_linalg::qp::{SmoOptions, SmoSolver};
+use hydra_linalg::sparse::CsrBuilder;
+use hydra_linalg::{power_iteration, Lu};
+use hydra_text::{LdaModel, LdaOptions};
+use std::hint::black_box;
+
+fn deterministic_features(n: usize, dim: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * 31 + j * 17) % 97) as f64 / 97.0)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+    let rows = deterministic_features(200, 40);
+    for kernel in [
+        ("rbf", Kernel::Rbf { gamma: 0.5 }),
+        ("chi_square", Kernel::ChiSquare),
+        ("hist_intersection", Kernel::HistIntersection),
+    ] {
+        group.bench_function(format!("gram_200x40_{}", kernel.0), |b| {
+            b.iter(|| black_box(kernel_matrix(kernel.1, black_box(&rows))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_linear_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq15_linear_solve");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = (((i * 7 + j * 13) % 19) as f64) / 19.0 * 0.1;
+            }
+            a[(i, i)] += 2.0;
+        }
+        let b_vec: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("lu_factor_solve", n), &n, |bch, _| {
+            bch.iter(|| {
+                let lu = Lu::factor(black_box(&a)).unwrap();
+                black_box(lu.solve(black_box(&b_vec)).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_smo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq16_smo");
+    group.sample_size(10);
+    for &n in &[100usize, 300] {
+        let xs = deterministic_features(n, 8);
+        let ys: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut q = kernel_matrix(Kernel::Rbf { gamma: 1.0 }, &xs);
+        for i in 0..n {
+            for j in 0..n {
+                q[(i, j)] *= ys[i] * ys[j];
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("solve", n), &n, |bch, _| {
+            bch.iter(|| {
+                let solver = SmoSolver::new(
+                    black_box(&q),
+                    &ys,
+                    SmoOptions { c: 1.0, tol: 1e-5, ..Default::default() },
+                )
+                .unwrap();
+                black_box(solver.solve().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_power_iteration(c: &mut Criterion) {
+    let n = 500;
+    let mut b = CsrBuilder::new(n, n);
+    for i in 0..n {
+        b.push(i, i, 1.0);
+        for d in 1..6usize {
+            let j = (i + d * 7) % n;
+            if i != j {
+                b.push(i, j, 0.3 / d as f64);
+                b.push(j, i, 0.3 / d as f64);
+            }
+        }
+    }
+    let m = b.build();
+    c.bench_function("structure/power_iteration_500", |bch| {
+        bch.iter(|| black_box(power_iteration(black_box(&m), 200, 1e-8).unwrap()))
+    });
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let n = 2000u32;
+    let mut gb = GraphBuilder::new(n as usize);
+    for i in 0..n {
+        for d in 1..5u32 {
+            let j = (i + d * 13) % n;
+            if i != j {
+                gb.add_edge(i, j, 1.0 + d as f64);
+            }
+        }
+    }
+    let g = gb.build();
+    c.bench_function("graph/bfs_2hop_from_500_sources", |bch| {
+        bch.iter(|| {
+            for s in (0..500u32).step_by(1) {
+                black_box(bfs_distances(&g, s, 2));
+            }
+        })
+    });
+}
+
+fn bench_lda(c: &mut Criterion) {
+    let docs: Vec<Vec<u32>> = (0..200)
+        .map(|i| (0..15).map(|j| ((i * 7 + j * 3) % 120) as u32).collect())
+        .collect();
+    let mut group = c.benchmark_group("lda");
+    group.sample_size(10);
+    group.bench_function("train_200docs_8topics_20sweeps", |bch| {
+        bch.iter(|| {
+            black_box(LdaModel::train(
+                black_box(&docs),
+                120,
+                LdaOptions { num_topics: 8, iterations: 20, ..Default::default() },
+            ))
+        })
+    });
+    let model = LdaModel::train(
+        &docs,
+        120,
+        LdaOptions { num_topics: 8, iterations: 20, ..Default::default() },
+    );
+    group.bench_function("infer_single_message", |bch| {
+        let msg: Vec<u32> = (0..12).map(|j| (j * 5 % 120) as u32).collect();
+        bch.iter(|| black_box(model.infer(black_box(&msg), 10, 7)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_linear_solve,
+    bench_smo,
+    bench_power_iteration,
+    bench_graph,
+    bench_lda
+);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! End-to-end pipeline benchmarks: signal extraction, candidate generation,
+//! pair-feature assembly, structure-matrix construction, and a full HYDRA
+//! fit at two scales. These are the macro costs behind Figure 14's curves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hydra_core::candidates::{generate_candidates, CandidateConfig};
+use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::structure::{build_structure_matrix, StructureConfig};
+use hydra_datagen::{Dataset, DatasetConfig};
+use std::hint::black_box;
+
+fn quick_signals(n: usize, seed: u64) -> (Dataset, Signals) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+    );
+    (dataset, signals)
+}
+
+fn bench_signal_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/signals");
+    group.sample_size(10);
+    let dataset = Dataset::generate(DatasetConfig::english(80, 42));
+    group.bench_function("extract_80_persons_english", |b| {
+        b.iter(|| {
+            black_box(Signals::extract(
+                black_box(&dataset),
+                &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_candidates_and_features(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/features");
+    group.sample_size(10);
+    let (dataset, signals) = quick_signals(150, 43);
+    group.bench_function("candidate_generation_150", |b| {
+        b.iter(|| {
+            black_box(generate_candidates(
+                &signals.per_platform[0],
+                &signals.per_platform[1],
+                &CandidateConfig::default(),
+            ))
+        })
+    });
+    let cands = generate_candidates(
+        &signals.per_platform[0],
+        &signals.per_platform[1],
+        &CandidateConfig::default(),
+    );
+    let extractor = FeatureExtractor::new(
+        FeatureConfig::default(),
+        AttributeImportance::default(),
+        dataset.config.window_days,
+    );
+    group.bench_function(format!("pair_features_x{}", cands.len().min(500)), |b| {
+        b.iter(|| {
+            for c in cands.iter().take(500) {
+                black_box(extractor.pair_features(
+                    &signals.per_platform[0][c.left as usize],
+                    &signals.per_platform[1][c.right as usize],
+                ));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_structure_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/structure");
+    group.sample_size(10);
+    let (dataset, signals) = quick_signals(200, 44);
+    let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i, i)).collect();
+    group.bench_function("build_M_200_candidates", |b| {
+        b.iter(|| {
+            black_box(build_structure_matrix(
+                black_box(&pairs),
+                &signals.per_platform[0],
+                &signals.per_platform[1],
+                &dataset.platforms[0].graph,
+                &dataset.platforms[1].graph,
+                &StructureConfig::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_end_to_end_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline/fit");
+    group.sample_size(10);
+    for &n in &[60usize, 120] {
+        let (dataset, signals) = quick_signals(n, 45);
+        let cands = generate_candidates(
+            &signals.per_platform[0],
+            &signals.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let mut labels: Vec<(u32, u32, bool)> =
+            (0..(n as u32) / 5).map(|i| (i, i, true)).collect();
+        let mut negs = 0;
+        for cd in &cands {
+            if cd.left != cd.right && negs < n / 5 {
+                labels.push((cd.left, cd.right, false));
+                negs += 1;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("hydra_m", n), &n, |b, _| {
+            b.iter(|| {
+                let task = PairTask {
+                    left_platform: 0,
+                    right_platform: 1,
+                    labels: labels.clone(),
+                    unlabeled_whitelist: None,
+                };
+                black_box(
+                    Hydra::new(HydraConfig::default())
+                        .fit(black_box(&dataset), &signals, vec![task])
+                        .expect("fit"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_signal_extraction,
+    bench_candidates_and_features,
+    bench_structure_matrix,
+    bench_end_to_end_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 8: performance over the (γ_M, γ_L) grid for p = 1..4.
+//!
+//! The paper sweeps both regularizers over {1e-6, 1e-2, 1e2, 1e6} (the γ_M
+//! axis is the normalized ratio γ_M/|P_l ∪ P_u|²) and plots the precision
+//! surface per p, finding that "different settings of p lead to different
+//! optimal settings of γ_M and γ_L". This binary prints one table per p:
+//! rows = γ_L, columns = γ_M.
+
+use hydra_bench::{emit, english_setting};
+use hydra_core::model::{Hydra, PairTask};
+use hydra_eval::metrics::evaluate;
+use hydra_eval::{prepare, SeriesTable};
+
+const GRID: [f64; 4] = [1e-6, 1e-2, 1e2, 1e6];
+
+fn main() {
+    let n = (200.0 * hydra_bench::scale_factor()).round() as usize;
+    let prepared = prepare(english_setting(n.max(60), 0x800));
+    let pair = &prepared.pairs[0];
+
+    for p_exp in [1.0, 2.0, 3.0, 4.0] {
+        let mut table = SeriesTable::new(
+            format!("Figure 8 — Precision over (γ_L, γ_M/|P|²), p = {p_exp}"),
+            "gamma_L",
+            GRID.iter().map(|g| format!("gM={g:.0e}")).collect(),
+        );
+        for &gl in &GRID {
+            let mut row = Vec::new();
+            for &gm in &GRID {
+                let mut config = prepared.setting.hydra.clone();
+                config.moo.gamma_l = gl;
+                config.moo.gamma_m = gm;
+                config.moo.p = p_exp;
+                let task = PairTask {
+                    left_platform: pair.left_platform,
+                    right_platform: pair.right_platform,
+                    labels: pair.labels.clone(),
+                    unlabeled_whitelist: None,
+                };
+                let prf = match Hydra::new(config).fit(
+                    &prepared.dataset,
+                    &prepared.signals,
+                    vec![task],
+                ) {
+                    Ok(trained) => {
+                        evaluate(&trained.predict(0), &pair.labels, prepared.dataset.num_persons())
+                    }
+                    Err(_) => hydra_eval::Prf::from_counts(0, 0, 0),
+                };
+                row.push(prf.precision);
+            }
+            table.push_row(gl, row);
+        }
+        emit(&format!("fig08_gamma_grid_p{}", p_exp as u32), &table);
+    }
+}

@@ -1,0 +1,43 @@
+//! Figure 9: precision / recall w.r.t. the number of labeled users, on the
+//! Chinese (5-platform) and English (2-platform) datasets, five methods.
+//!
+//! Expected shape (paper): all methods improve with more labeled users;
+//! HYDRA improves fastest and stays on top; English beats Chinese (fewer
+//! platforms, simpler structure and dynamics).
+
+use hydra_bench::{chinese_setting, emit, english_setting, user_sweep};
+use hydra_eval::{prepare, run_method, Method, SeriesTable};
+
+fn main() {
+    let methods = Method::COMPARISON;
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+    let datasets: [(&str, fn(usize, u64) -> hydra_eval::Setting); 2] =
+        [("chinese", chinese_setting), ("english", english_setting)];
+    for (dataset_name, mk) in datasets {
+        let mut precision = SeriesTable::new(
+            format!("Figure 9 — Precision ({dataset_name}), labeled sweep"),
+            "users",
+            columns.clone(),
+        );
+        let mut recall = SeriesTable::new(
+            format!("Figure 9 — Recall ({dataset_name}), labeled sweep"),
+            "users",
+            columns.clone(),
+        );
+        for (i, &n) in user_sweep().iter().enumerate() {
+            let prepared = prepare(mk(n, 0x900 + i as u64));
+            let mut p_row = Vec::new();
+            let mut r_row = Vec::new();
+            for &m in &methods {
+                let r = run_method(&prepared, m);
+                p_row.push(r.prf.precision);
+                r_row.push(r.prf.recall);
+            }
+            precision.push_row(n as f64, p_row);
+            recall.push_row(n as f64, r_row);
+        }
+        emit(&format!("fig09_precision_{dataset_name}"), &precision);
+        emit(&format!("fig09_recall_{dataset_name}"), &recall);
+    }
+}

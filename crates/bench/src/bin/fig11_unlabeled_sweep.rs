@@ -1,0 +1,54 @@
+//! Figure 11: performance w.r.t. the number of *unlabeled* users (structure
+//! information level), labeled set fixed.
+//!
+//! The population grows along the x-axis while the absolute number of
+//! labeled pairs stays fixed at the smallest population's level, so the
+//! labeled fraction shrinks from ~17% to ~3%. Paper shape: baselines
+//! degrade sharply (they can only exploit labels), HYDRA "survives the
+//! unlabeled data setup" through structure consistency and stays on top.
+
+use hydra_bench::{chinese_setting, emit, english_setting, user_sweep};
+use hydra_eval::{prepare, run_method, Method, LabelPlan, SeriesTable};
+
+fn main() {
+    let methods = Method::COMPARISON;
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+    let sweep = user_sweep();
+    // Fixed labeled volume: what the default plan would give the smallest
+    // population.
+    let base_labeled = (sweep[0] as f64 / 6.0).round();
+
+    let datasets: [(&str, fn(usize, u64) -> hydra_eval::Setting); 2] =
+        [("chinese", chinese_setting), ("english", english_setting)];
+    for (dataset_name, mk) in datasets {
+        let mut precision = SeriesTable::new(
+            format!("Figure 11 — Precision ({dataset_name}), unlabeled sweep"),
+            "users",
+            columns.clone(),
+        );
+        let mut recall = SeriesTable::new(
+            format!("Figure 11 — Recall ({dataset_name}), unlabeled sweep"),
+            "users",
+            columns.clone(),
+        );
+        for (i, &n) in sweep.iter().enumerate() {
+            let mut setting = mk(n, 0xB00 + i as u64);
+            setting.labels = LabelPlan {
+                labeled_fraction: base_labeled / n as f64,
+                ..setting.labels
+            };
+            let prepared = prepare(setting);
+            let mut p_row = Vec::new();
+            let mut r_row = Vec::new();
+            for &m in &methods {
+                let r = run_method(&prepared, m);
+                p_row.push(r.prf.precision);
+                r_row.push(r.prf.recall);
+            }
+            precision.push_row(n as f64, p_row);
+            recall.push_row(n as f64, r_row);
+        }
+        emit(&format!("fig11_precision_{dataset_name}"), &precision);
+        emit(&format!("fig11_recall_{dataset_name}"), &recall);
+    }
+}

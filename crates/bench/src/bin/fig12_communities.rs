@@ -1,0 +1,191 @@
+//! Figure 12: performance w.r.t. the number of social communities whose
+//! structure information enters training.
+//!
+//! Protocol (Section 7.2): take the top five largest overlapping
+//! communities A..E; the evaluation universe is user pairs from C_A × C_B;
+//! training pairs are incrementally incorporated from products with the
+//! other communities (A×C, A×D, ..., B×E). x = number of communities
+//! contributing training/structure information. Paper shape: every method
+//! improves somewhat, HYDRA improves the most (the propagation machinery
+//! actually consumes the added structure), with a stronger effect on the
+//! Chinese platforms.
+
+use hydra_baselines::{AliasDisamb, LinkageMethod, LinkageTask, Mobius, Smash, SvmB};
+use hydra_bench::{emit, scale_factor};
+use hydra_core::model::{Hydra, LinkagePrediction, PairTask};
+use hydra_datagen::DatasetConfig;
+use hydra_eval::experiment::fast_signal_config;
+use hydra_eval::{prepare, Method, SeriesTable, Setting};
+use std::collections::HashSet;
+
+fn main() {
+    let n = (300.0 * scale_factor()).round() as usize;
+    let methods = Method::COMPARISON;
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+    let datasets: [(&str, Vec<hydra_datagen::PlatformSpec>); 2] = [
+        ("chinese", hydra_datagen::platform::chinese_platforms()[..2].to_vec()),
+        ("english", hydra_datagen::platform::english_platforms()),
+    ];
+    for (dataset_name, platforms) in datasets {
+        let mut config = DatasetConfig::chinese(n.max(100), 0xC12);
+        config.platforms = platforms;
+        let mut setting = Setting::new(config);
+        setting.signal = fast_signal_config();
+        let prepared = prepare(setting);
+        let dataset = &prepared.dataset;
+        let pair = &prepared.pairs[0];
+
+        // Top-5 communities by size; A∪B is the evaluation universe.
+        let top = dataset.communities.top_k_by_size(5);
+        let member_sets: Vec<HashSet<u32>> = top
+            .iter()
+            .map(|&c| dataset.communities.members(c).iter().copied().collect())
+            .collect();
+        let ab: HashSet<u32> = member_sets[0].union(&member_sets[1]).copied().collect();
+
+        let mut precision = SeriesTable::new(
+            format!("Figure 12 — Precision ({dataset_name}), communities sweep"),
+            "communities",
+            columns.clone(),
+        );
+        let mut recall = SeriesTable::new(
+            format!("Figure 12 — Recall ({dataset_name}), communities sweep"),
+            "communities",
+            columns.clone(),
+        );
+
+        for k in 1..=5usize {
+            // Persons allowed to contribute training pairs: top-(k+1)
+            // communities (A and B always; each step adds one more product
+            // set, mirroring the incremental protocol).
+            let allowed: HashSet<u32> = member_sets[..(k + 1).min(5)]
+                .iter()
+                .flat_map(|s| s.iter().copied())
+                .collect();
+            let labels = build_labels(&prepared, &allowed);
+
+            let mut p_row = Vec::new();
+            let mut r_row = Vec::new();
+            for &m in &methods {
+                let preds = run(m, &prepared, &labels);
+                let (p, r) = ab_metrics(&preds, &labels, &ab);
+                p_row.push(p);
+                r_row.push(r);
+            }
+            precision.push_row(k as f64, p_row);
+            recall.push_row(k as f64, r_row);
+            let _ = pair;
+        }
+        emit(&format!("fig12_precision_{dataset_name}"), &precision);
+        emit(&format!("fig12_recall_{dataset_name}"), &recall);
+    }
+}
+
+/// Labels restricted to persons inside `allowed`: 1/3 of allowed persons as
+/// positives plus an equal count of candidate hard negatives.
+fn build_labels(
+    prepared: &hydra_eval::PreparedData,
+    allowed: &HashSet<u32>,
+) -> Vec<(u32, u32, bool)> {
+    let pair = &prepared.pairs[0];
+    let mut allowed_sorted: Vec<u32> = allowed.iter().copied().collect();
+    allowed_sorted.sort_unstable();
+    let mut labels: Vec<(u32, u32, bool)> = allowed_sorted
+        .iter()
+        .step_by(3)
+        .map(|&i| (i, i, true))
+        .collect();
+    let quota = labels.len();
+    let mut negs = 0usize;
+    for c in &pair.candidates {
+        if negs >= quota {
+            break;
+        }
+        if c.left != c.right && allowed.contains(&c.left) && allowed.contains(&c.right) {
+            labels.push((c.left, c.right, false));
+            negs += 1;
+        }
+    }
+    labels
+}
+
+fn run(
+    method: Method,
+    prepared: &hydra_eval::PreparedData,
+    labels: &[(u32, u32, bool)],
+) -> Vec<LinkagePrediction> {
+    let pair = &prepared.pairs[0];
+    match method {
+        Method::HydraM | Method::HydraZ => {
+            let config = prepared.setting.hydra.clone();
+            let task = PairTask {
+                left_platform: pair.left_platform,
+                right_platform: pair.right_platform,
+                labels: labels.to_vec(),
+                unlabeled_whitelist: None,
+            };
+            Hydra::new(config)
+                .fit(&prepared.dataset, &prepared.signals, vec![task])
+                .expect("fit")
+                .predict(0)
+        }
+        _ => {
+            let runner: Box<dyn LinkageMethod> = match method {
+                Method::Mobius => Box::new(Mobius::default()),
+                Method::AliasDisamb => Box::new(AliasDisamb::default()),
+                Method::Smash => Box::new(Smash::default()),
+                _ => Box::new(SvmB::default()),
+            };
+            runner.run(&LinkageTask {
+                left: &prepared.signals.per_platform[pair.left_platform],
+                right: &prepared.signals.per_platform[pair.right_platform],
+                labels,
+                candidates: &pair.candidates,
+                features: Some(&pair.features),
+            })
+        }
+    }
+}
+
+/// Precision/recall restricted to the C_A × C_B test universe.
+fn ab_metrics(
+    preds: &[LinkagePrediction],
+    labels: &[(u32, u32, bool)],
+    ab: &HashSet<u32>,
+) -> (f64, f64) {
+    let labeled: HashSet<(u32, u32)> = labels.iter().map(|&(a, b, _)| (a, b)).collect();
+    let labeled_pos: HashSet<u32> = labels
+        .iter()
+        .filter(|l| l.2 && ab.contains(&l.0))
+        .map(|l| l.0)
+        .collect();
+    let mut tp: HashSet<u32> = HashSet::new();
+    let mut fp = 0usize;
+    for p in preds {
+        if !p.linked
+            || labeled.contains(&(p.left, p.right))
+            || !ab.contains(&p.left)
+            || !ab.contains(&p.right)
+        {
+            continue;
+        }
+        if p.left == p.right {
+            tp.insert(p.left);
+        } else {
+            fp += 1;
+        }
+    }
+    let universe = ab.len() - labeled_pos.len();
+    let precision = if tp.len() + fp == 0 {
+        0.0
+    } else {
+        tp.len() as f64 / (tp.len() + fp) as f64
+    };
+    let recall = if universe == 0 {
+        0.0
+    } else {
+        tp.len() as f64 / universe as f64
+    };
+    (precision, recall)
+}

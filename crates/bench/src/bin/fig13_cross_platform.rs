@@ -1,0 +1,40 @@
+//! Figure 13: performance across culturally different platforms — the full
+//! seven-platform dataset (21 platform pairs including the Chinese×English
+//! products).
+//!
+//! Paper shape: "there is an obvious performance drop (affected by
+//! different writing styles in Chinese and English, and social friends),
+//! but HYDRA performs even better than the baseline methods".
+
+use hydra_bench::{all7_setting, emit, small_sweep};
+use hydra_eval::{prepare, run_method, Method, SeriesTable};
+
+fn main() {
+    let methods = Method::COMPARISON;
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+    let mut precision = SeriesTable::new(
+        "Figure 13 — Precision (all 7 platforms, cross-cultural)",
+        "users",
+        columns.clone(),
+    );
+    let mut recall = SeriesTable::new(
+        "Figure 13 — Recall (all 7 platforms, cross-cultural)",
+        "users",
+        columns.clone(),
+    );
+    for (i, &n) in small_sweep().iter().enumerate() {
+        let prepared = prepare(all7_setting(n, 0xD00 + i as u64));
+        let mut p_row = Vec::new();
+        let mut r_row = Vec::new();
+        for &m in &methods {
+            let r = run_method(&prepared, m);
+            p_row.push(r.prf.precision);
+            r_row.push(r.prf.recall);
+        }
+        precision.push_row(n as f64, p_row);
+        recall.push_row(n as f64, r_row);
+    }
+    emit("fig13_precision_all7", &precision);
+    emit("fig13_recall_all7", &recall);
+}

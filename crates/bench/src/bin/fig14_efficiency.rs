@@ -1,0 +1,35 @@
+//! Figure 14: efficiency — total execution time (seconds) w.r.t. the number
+//! of users, Chinese and English datasets, five methods.
+//!
+//! Paper shape: Alias-Disamb grows steepest (its auto-generated label set
+//! produces "an extremely large quadratic programming problem"); SVM-B and
+//! SMaSh are cheapest; HYDRA sits between and its growth flattens (sparse
+//! structure matrix + warm starts). Absolute values are not comparable to
+//! the paper's 5-server testbed — the curve shapes are the target.
+
+use hydra_bench::{chinese_setting, emit, english_setting, user_sweep};
+use hydra_eval::{prepare, run_method, Method, SeriesTable};
+
+fn main() {
+    let methods = Method::COMPARISON;
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+    let datasets: [(&str, fn(usize, u64) -> hydra_eval::Setting); 2] =
+        [("chinese", chinese_setting), ("english", english_setting)];
+    for (dataset_name, mk) in datasets {
+        let mut table = SeriesTable::new(
+            format!("Figure 14 — time cost in seconds ({dataset_name})"),
+            "users",
+            columns.clone(),
+        );
+        for (i, &n) in user_sweep().iter().enumerate() {
+            let prepared = prepare(mk(n, 0xE00 + i as u64));
+            let row: Vec<f64> = methods
+                .iter()
+                .map(|&m| run_method(&prepared, m).seconds)
+                .collect();
+            table.push_row(n as f64, row);
+        }
+        emit(&format!("fig14_time_{dataset_name}"), &table);
+    }
+}

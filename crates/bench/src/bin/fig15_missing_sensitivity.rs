@@ -1,0 +1,53 @@
+//! Figure 15: sensitivity to missing information — HYDRA-M (core-network
+//! filling, Eq. 18) vs HYDRA-Z (zero filling) on both datasets.
+//!
+//! The sweep raises the missing-information pressure beyond the defaults
+//! (heavier attribute hiding, fewer profile images, sparser sensors) so the
+//! filling strategy is actually exercised. Paper shape: both variants stay
+//! high, HYDRA-M consistently on top — "the superiority of HYDRA-M in
+//! handling missing information without compromising performance".
+
+use hydra_bench::{chinese_setting, emit, english_setting, user_sweep};
+use hydra_eval::{prepare, run_method, Method, SeriesTable};
+
+fn main() {
+    let methods = [Method::HydraM, Method::HydraZ];
+    let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
+
+    let datasets: [(&str, fn(usize, u64) -> hydra_eval::Setting); 2] =
+        [("chinese", chinese_setting), ("english", english_setting)];
+    for (dataset_name, mk) in datasets {
+        let mut precision = SeriesTable::new(
+            format!("Figure 15 — Precision under missing data ({dataset_name})"),
+            "users",
+            columns.clone(),
+        );
+        let mut recall = SeriesTable::new(
+            format!("Figure 15 — Recall under missing data ({dataset_name})"),
+            "users",
+            columns.clone(),
+        );
+        for (i, &n) in user_sweep().iter().enumerate() {
+            let mut setting = mk(n, 0xF00 + i as u64);
+            // Crank the missingness axes.
+            for p in setting.dataset.platforms.iter_mut() {
+                p.missing_multiplier *= 1.5;
+                p.image_prob *= 0.5;
+                p.checkin_rate *= 0.4;
+                p.media_rate *= 0.4;
+            }
+            let prepared = prepare(setting);
+            let mut p_row = Vec::new();
+            let mut r_row = Vec::new();
+            for &m in &methods {
+                let r = run_method(&prepared, m);
+                p_row.push(r.prf.precision);
+                r_row.push(r.prf.recall);
+            }
+            precision.push_row(n as f64, p_row);
+            recall.push_row(n as f64, r_row);
+        }
+        emit(&format!("fig15_precision_{dataset_name}"), &precision);
+        emit(&format!("fig15_recall_{dataset_name}"), &recall);
+    }
+}

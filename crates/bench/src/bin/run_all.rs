@@ -1,0 +1,47 @@
+//! Run every figure-reproduction experiment in sequence.
+//!
+//! Equivalent to invoking each `fig*` binary; results land in `results/`
+//! as CSV plus stdout tables. Respects `HYDRA_SCALE`.
+
+use std::process::Command;
+
+const FIGURES: [&str; 10] = [
+    "fig02a_missing_stats",
+    "fig08_gamma_grid",
+    "fig09_labeled_sweep",
+    "fig10_p_sweep",
+    "fig11_unlabeled_sweep",
+    "fig12_communities",
+    "fig13_cross_platform",
+    "fig14_efficiency",
+    "fig15_missing_sensitivity",
+    "ablation_features",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe path")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = Vec::new();
+    for fig in FIGURES {
+        println!("=============================================================");
+        println!("== {fig}");
+        println!("=============================================================");
+        let start = std::time::Instant::now();
+        let status = Command::new(exe_dir.join(fig))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {fig}: {e}"));
+        println!("[{fig} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+        if !status.success() {
+            failures.push(fig);
+        }
+    }
+    if failures.is_empty() {
+        println!("All experiments completed; CSV series are in results/.");
+    } else {
+        eprintln!("FAILED experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Baseline methods for the Section-7 comparison:
+//!
+//! * **MOBIUS** \[32\] (Zafarani & Liu, KDD'13) — behavioral username features
+//!   plus a supervised classifier ([`mobius`]);
+//! * **Alias-Disamb** \[16\] (Liu et al., WSDM'13) — unsupervised username
+//!   analysis: auto-generated noisy labels from n-gram rarity feeding a
+//!   (large) SVM ([`alias_disamb`]);
+//! * **SMaSh** \[11\] (Hassanzadeh et al., PVLDB'13) — record-linkage-point
+//!   discovery over attribute value sets ([`smash`]);
+//! * **SVM-B** — a plain binary SVM over HYDRA's own similarity vectors,
+//!   i.e. Step 1 without structure consistency or core-network filling
+//!   ([`svm_b`]).
+//!
+//! All methods implement [`LinkageMethod`], consuming a shared
+//! [`LinkageTask`] and producing [`LinkagePrediction`]s over the same
+//! candidate universe HYDRA is evaluated on.
+
+pub mod alias_disamb;
+pub mod mobius;
+pub mod smash;
+pub mod svm_b;
+pub mod username_features;
+
+pub use alias_disamb::AliasDisamb;
+pub use mobius::Mobius;
+pub use smash::Smash;
+pub use svm_b::SvmB;
+
+use hydra_core::candidates::CandidatePair;
+use hydra_core::features::PairFeatures;
+use hydra_core::model::LinkagePrediction;
+use hydra_core::signals::UserSignals;
+
+/// Everything a baseline may consume for one platform-pair task.
+pub struct LinkageTask<'a> {
+    /// Left-platform account signals.
+    pub left: &'a [UserSignals],
+    /// Right-platform account signals.
+    pub right: &'a [UserSignals],
+    /// Ground-truth labeled pairs `(left, right, same_person)`.
+    pub labels: &'a [(u32, u32, bool)],
+    /// The candidate/evaluation universe (shared with HYDRA).
+    pub candidates: &'a [CandidatePair],
+    /// HYDRA similarity vectors parallel to `candidates` (used by SVM-B,
+    /// which the paper defines over "the proposed similarity calculation
+    /// schemes").
+    pub features: Option<&'a [PairFeatures]>,
+}
+
+/// A linkage method under comparison.
+pub trait LinkageMethod {
+    /// Display name (matches the paper's legends).
+    fn name(&self) -> &'static str;
+    /// Train (if supervised) and score every candidate pair.
+    fn run(&self, task: &LinkageTask<'_>) -> Vec<LinkagePrediction>;
+}
+
+#[cfg(test)]
+#[allow(dead_code)] // shared fixture: not every test consumes every helper
+pub(crate) mod test_support {
+    use super::*;
+    use hydra_core::candidates::{generate_candidates, CandidateConfig};
+    use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+    use hydra_core::signals::{SignalConfig, Signals};
+    use hydra_datagen::{Dataset, DatasetConfig};
+
+    /// A reusable fixture: dataset, signals, candidate set, features, and a
+    /// labeled split with hard negatives.
+    pub struct Fixture {
+        pub dataset: Dataset,
+        pub signals: Signals,
+        pub candidates: Vec<CandidatePair>,
+        pub features: Vec<PairFeatures>,
+        pub labels: Vec<(u32, u32, bool)>,
+    }
+
+    impl Fixture {
+        pub fn new(num_persons: usize, seed: u64) -> Self {
+            let dataset = Dataset::generate(DatasetConfig::english(num_persons, seed));
+            let signals = Signals::extract(
+                &dataset,
+                &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+            );
+            let candidates = generate_candidates(
+                &signals.per_platform[0],
+                &signals.per_platform[1],
+                &CandidateConfig::default(),
+            );
+            let extractor = FeatureExtractor::new(
+                FeatureConfig::default(),
+                AttributeImportance::default(),
+                dataset.config.window_days,
+            );
+            let features: Vec<PairFeatures> = candidates
+                .iter()
+                .map(|c| {
+                    let mut f = extractor.pair_features(
+                        &signals.per_platform[0][c.left as usize],
+                        &signals.per_platform[1][c.right as usize],
+                    );
+                    // Baselines fill missing with zeros (Section 6.3 notes
+                    // this is exactly what previous approaches do).
+                    f.missing.iter_mut().for_each(|m| *m = false);
+                    f
+                })
+                .collect();
+            let mut labels = Vec::new();
+            let n_pos = num_persons / 3;
+            for i in 0..n_pos as u32 {
+                labels.push((i, i, true));
+            }
+            let mut negs = 0;
+            for c in &candidates {
+                if c.left != c.right && negs < n_pos + 6 {
+                    labels.push((c.left, c.right, false));
+                    negs += 1;
+                }
+            }
+            Fixture { dataset, signals, candidates, features, labels }
+        }
+
+        pub fn task(&self) -> LinkageTask<'_> {
+            LinkageTask {
+                left: &self.signals.per_platform[0],
+                right: &self.signals.per_platform[1],
+                labels: &self.labels,
+                candidates: &self.candidates,
+                features: Some(&self.features),
+            }
+        }
+
+        /// Precision over predicted links (ground truth: left == right).
+        pub fn precision(&self, preds: &[LinkagePrediction]) -> f64 {
+            let linked: Vec<_> = preds.iter().filter(|p| p.linked).collect();
+            if linked.is_empty() {
+                return 0.0;
+            }
+            linked.iter().filter(|p| p.left == p.right).count() as f64 / linked.len() as f64
+        }
+
+        /// Recall over all persons.
+        pub fn recall(&self, preds: &[LinkagePrediction]) -> f64 {
+            let found: std::collections::HashSet<u32> = preds
+                .iter()
+                .filter(|p| p.linked && p.left == p.right)
+                .map(|p| p.left)
+                .collect();
+            found.len() as f64 / self.dataset.num_persons() as f64
+        }
+    }
+}

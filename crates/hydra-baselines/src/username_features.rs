@@ -1,0 +1,196 @@
+//! Behavioral username features shared by MOBIUS and Alias-Disamb.
+//!
+//! Zafarani & Liu's MOBIUS derives features from "behavioral patterns" in
+//! username construction: human limitations (typing, memory), exogenous
+//! factors (cultural conventions) and endogenous factors (personal
+//! habits — abbreviations, affixes, alternating styles). We realize the
+//! measurable core of that catalogue as a 12-dimensional pair feature
+//! vector over the two usernames.
+
+use hydra_text::strsim::{
+    common_prefix_ratio, common_suffix_ratio, jaro_winkler, lcs_length, lcs_ratio,
+    ngram_jaccard, normalized_levenshtein,
+};
+
+/// Number of username pair features.
+pub const USERNAME_FEATURE_DIM: usize = 12;
+
+/// Extract the username-pair feature vector.
+pub fn username_pair_features(a: &str, b: &str) -> Vec<f64> {
+    let la = a.chars().count() as f64;
+    let lb = b.chars().count() as f64;
+    let digits = |s: &str| -> Vec<char> {
+        let mut d: Vec<char> = s.chars().filter(|c| c.is_ascii_digit()).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    let da = digits(a);
+    let db = digits(b);
+    let digit_overlap = if da.is_empty() && db.is_empty() {
+        1.0
+    } else if da.is_empty() || db.is_empty() {
+        0.0
+    } else {
+        let inter = da.iter().filter(|c| db.contains(c)).count();
+        inter as f64 / (da.len() + db.len() - inter) as f64
+    };
+    let non_ascii = |s: &str| s.chars().filter(|c| !c.is_ascii()).count() as f64;
+    let alpha_only = |s: &str| -> String {
+        s.chars()
+            .filter(|c| c.is_ascii_alphabetic())
+            .collect::<String>()
+            .to_ascii_lowercase()
+    };
+    let aa = alpha_only(a);
+    let ab = alpha_only(b);
+
+    vec![
+        // Edit-distance family (human typing limitations).
+        normalized_levenshtein(a, b),
+        jaro_winkler(a, b),
+        lcs_ratio(a, b),
+        lcs_length(a, b) as f64 / la.max(lb).max(1.0),
+        // n-gram overlap (habitual substrings).
+        ngram_jaccard(a, b, 2),
+        ngram_jaccard(a, b, 3),
+        // Affix habits.
+        common_prefix_ratio(a, b),
+        common_suffix_ratio(a, b),
+        // Length habits.
+        1.0 - (la - lb).abs() / la.max(lb).max(1.0),
+        // Digit habits (birth years, lucky numbers).
+        digit_overlap,
+        // Script/decoration habits (CJK vs Latin styling).
+        1.0 - (non_ascii(a) - non_ascii(b)).abs() / (non_ascii(a) + non_ascii(b)).max(1.0),
+        // Alphabetic-core match (strip digits/decorations).
+        normalized_levenshtein(&aa, &ab),
+    ]
+}
+
+/// L2-regularized logistic regression trained by batch gradient descent —
+/// the supervised learner driving MOBIUS (the original paper reports
+/// several classifiers; logistic regression is in their set).
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Weights (one per feature).
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LogisticRegression {
+    /// Train on `(x, y)` pairs with labels in `{0, 1}`.
+    pub fn train(xs: &[Vec<f64>], ys: &[f64], l2: f64, lr: f64, epochs: usize) -> Self {
+        assert_eq!(xs.len(), ys.len());
+        let dim = xs.first().map(|x| x.len()).unwrap_or(0);
+        let mut w = vec![0.0; dim];
+        let mut b = 0.0;
+        let n = xs.len().max(1) as f64;
+        for _ in 0..epochs {
+            let mut gw = vec![0.0; dim];
+            let mut gb = 0.0;
+            for (x, y) in xs.iter().zip(ys.iter()) {
+                let z: f64 = w.iter().zip(x.iter()).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - y;
+                for (g, xi) in gw.iter_mut().zip(x.iter()) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(gw.iter()) {
+                *wi -= lr * (g / n + l2 * *wi);
+            }
+            b -= lr * gb / n;
+        }
+        LogisticRegression { weights: w, bias: b }
+    }
+
+    /// Probability of the positive class.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z: f64 = self
+            .weights
+            .iter()
+            .zip(x.iter())
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias;
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_dim_is_stable() {
+        let f = username_pair_features("adele_wang", "adele.wang88");
+        assert_eq!(f.len(), USERNAME_FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn identical_usernames_score_high_everywhere() {
+        let f = username_pair_features("adele小暖", "adele小暖");
+        for (i, v) in f.iter().enumerate() {
+            assert!(*v > 0.99, "dim {i} = {v}");
+        }
+    }
+
+    #[test]
+    fn unrelated_usernames_score_low_on_string_dims() {
+        let f = username_pair_features("adele_wang", "kuzomevi42");
+        assert!(f[0] < 0.4); // levenshtein
+        assert!(f[4] < 0.2); // 2-gram jaccard
+    }
+
+    #[test]
+    fn decoration_robustness_via_alpha_core() {
+        // Same alphabetic core under different decorations.
+        let f = username_pair_features("xXadeleXx", "adele_小暖");
+        let core = f[USERNAME_FEATURE_DIM - 1];
+        assert!(core > 0.5, "alpha-core similarity {core}");
+    }
+
+    #[test]
+    fn digit_overlap_behaviour() {
+        let both_empty = username_pair_features("adele", "adele");
+        assert_eq!(both_empty[9], 1.0);
+        let one_sided = username_pair_features("adele88", "adele");
+        assert_eq!(one_sided[9], 0.0);
+        let same_digits = username_pair_features("adele88", "wang88");
+        assert_eq!(same_digits[9], 1.0);
+    }
+
+    #[test]
+    fn logistic_regression_learns_separable_data() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let v = i as f64 / 40.0;
+                if i % 2 == 0 {
+                    vec![v, 1.0]
+                } else {
+                    vec![v, 0.0]
+                }
+            })
+            .collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let lr = LogisticRegression::train(&xs, &ys, 1e-4, 0.5, 500);
+        let acc = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, y)| (lr.predict_proba(x) > 0.5) == (**y > 0.5))
+            .count() as f64
+            / 40.0;
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn logistic_regression_empty_input() {
+        let lr = LogisticRegression::train(&[], &[], 0.01, 0.1, 10);
+        assert!(lr.weights.is_empty());
+        assert_eq!(lr.predict_proba(&[]), 0.5);
+    }
+}

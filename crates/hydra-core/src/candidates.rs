@@ -1,0 +1,349 @@
+//! Candidate generation and rule-based pre-matching (Section 3).
+//!
+//! Examining every user pair is intractable (the paper derives the
+//! factorial search-space count in Eq. 2), so candidates are produced by
+//! blocking:
+//!
+//! * **username blocking** — an inverted character-3-gram index; pairs
+//!   sharing a gram are scored with Jaro–Winkler / LCS and kept above a
+//!   threshold ("partial username overlapping" [16, 32]);
+//! * **attribute blocking** — exact e-mail matches, and (birth, city)
+//!   agreement;
+//! * **face blocking** — high-confidence face matches among candidates.
+//!
+//! Pairs passing the *strict* rule set become "pre-matched pairs by
+//! rule-based filtering" — the paper's second kind of labeled data, which
+//! it reports is much cleaner (precision over 95%) than Alias-Disamb's
+//! auto-generated labels.
+
+use crate::signals::UserSignals;
+use hydra_datagen::attributes::AttrKind;
+use hydra_text::strsim::{jaro_winkler, lcs_ratio};
+use hydra_vision::{match_profile_images, FaceClassifier, FaceDetector, FaceMatchOutcome};
+use std::collections::{HashMap, HashSet};
+
+/// A candidate pair with its blocking provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePair {
+    /// Account index on the left platform.
+    pub left: u32,
+    /// Account index on the right platform.
+    pub right: u32,
+    /// Username similarity at blocking time (0 when blocked on attributes
+    /// only).
+    pub username_sim: f64,
+    /// Whether the strict rule set pre-matched this pair (high-precision
+    /// pseudo-label).
+    pub pre_matched: bool,
+}
+
+/// Candidate-generation thresholds.
+#[derive(Debug, Clone)]
+pub struct CandidateConfig {
+    /// Keep username-blocked pairs whose max(JW, LCS-ratio) reaches this.
+    pub username_threshold: f64,
+    /// Pre-match pairs whose username similarity reaches this…
+    pub strict_username: f64,
+    /// …or whose face confidence reaches this.
+    pub strict_face: f64,
+    /// Cap on candidates retained per left account (best-first).
+    pub max_per_user: usize,
+}
+
+impl Default for CandidateConfig {
+    fn default() -> Self {
+        CandidateConfig {
+            username_threshold: 0.55,
+            strict_username: 0.88,
+            strict_face: 0.93,
+            max_per_user: 25,
+        }
+    }
+}
+
+/// Count of matching *discriminative* attributes between two accounts:
+/// everything except gender (whose two-value pool matches by chance half
+/// the time — exactly the relative-importance argument behind Eq. 3).
+fn discriminative_agreement(
+    a: &hydra_datagen::attributes::AttrValues,
+    b: &hydra_datagen::attributes::AttrValues,
+) -> usize {
+    use hydra_datagen::attributes::ALL_ATTRS;
+    ALL_ATTRS
+        .iter()
+        .filter(|k| !matches!(k, AttrKind::Gender))
+        .filter(|k| {
+            matches!(
+                (a[k.index()], b[k.index()]),
+                (Some(x), Some(y)) if x == y
+            )
+        })
+        .count()
+}
+
+/// Lower-cased character 3-grams of a username.
+fn grams(name: &str) -> Vec<String> {
+    let cs: Vec<char> = name.to_lowercase().chars().collect();
+    if cs.is_empty() {
+        return Vec::new();
+    }
+    if cs.len() < 3 {
+        return vec![cs.iter().collect()];
+    }
+    let mut g: Vec<String> = (0..=cs.len() - 3).map(|i| cs[i..i + 3].iter().collect()).collect();
+    g.sort_unstable();
+    g.dedup();
+    g
+}
+
+/// Generate candidate pairs between two platforms' accounts.
+pub fn generate_candidates(
+    left: &[UserSignals],
+    right: &[UserSignals],
+    config: &CandidateConfig,
+) -> Vec<CandidatePair> {
+    // --- inverted 3-gram index over the right side -------------------------
+    let mut gram_index: HashMap<String, Vec<u32>> = HashMap::new();
+    for (j, sig) in right.iter().enumerate() {
+        for g in grams(&sig.username) {
+            gram_index.entry(g).or_default().push(j as u32);
+        }
+    }
+    // Drop "stop grams" that index a huge fraction of the population — they
+    // only add noise pairs (analogous to stop-word removal).
+    let cap = (right.len() / 4).max(25);
+    gram_index.retain(|_, v| v.len() <= cap);
+
+    // --- e-mail and (birth, city) indexes -----------------------------------
+    let mut email_index: HashMap<u64, Vec<u32>> = HashMap::new();
+    let mut birth_city_index: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+    for (j, sig) in right.iter().enumerate() {
+        if let Some(e) = sig.attrs[AttrKind::Email.index()] {
+            email_index.entry(e).or_default().push(j as u32);
+        }
+        if let (Some(b), Some(c)) = (
+            sig.attrs[AttrKind::Birth.index()],
+            sig.attrs[AttrKind::City.index()],
+        ) {
+            birth_city_index.entry((b, c)).or_default().push(j as u32);
+        }
+    }
+
+    let detector = FaceDetector::default();
+    let classifier = FaceClassifier::default();
+    let mut out = Vec::new();
+
+    for (i, sig) in left.iter().enumerate() {
+        let mut seen: HashSet<u32> = HashSet::new();
+        let mut scored: Vec<CandidatePair> = Vec::new();
+
+        // Username blocking. A high username similarity alone is NOT enough
+        // to pre-match — common given names collide (the Figure-1 "Adele"
+        // ambiguity) — so the strict rule additionally demands agreement on
+        // at least one discriminative attribute (Section 3 combines
+        // "partial username overlapping" with "user attribute matching").
+        for g in grams(&sig.username) {
+            if let Some(js) = gram_index.get(&g) {
+                for &j in js {
+                    if !seen.insert(j) {
+                        continue;
+                    }
+                    let other = &right[j as usize];
+                    let sim = jaro_winkler(&sig.username, &other.username)
+                        .max(lcs_ratio(&sig.username, &other.username));
+                    if sim >= config.username_threshold {
+                        let pre = sim >= config.strict_username
+                            && discriminative_agreement(&sig.attrs, &other.attrs) >= 2;
+                        scored.push(CandidatePair {
+                            left: i as u32,
+                            right: j,
+                            username_sim: sim,
+                            pre_matched: pre,
+                        });
+                    }
+                }
+            }
+        }
+
+        // E-mail blocking (exact match ⇒ pre-matched).
+        if let Some(e) = sig.attrs[AttrKind::Email.index()] {
+            if let Some(js) = email_index.get(&e) {
+                for &j in js {
+                    if seen.insert(j) {
+                        scored.push(CandidatePair {
+                            left: i as u32,
+                            right: j,
+                            username_sim: 0.0,
+                            pre_matched: true,
+                        });
+                    } else if let Some(c) = scored.iter_mut().find(|c| c.right == j) {
+                        c.pre_matched = true;
+                    }
+                }
+            }
+        }
+
+        // (birth, city) blocking — weak, no pre-match.
+        if let (Some(b), Some(c)) = (
+            sig.attrs[AttrKind::Birth.index()],
+            sig.attrs[AttrKind::City.index()],
+        ) {
+            if let Some(js) = birth_city_index.get(&(b, c)) {
+                for &j in js {
+                    if seen.insert(j) {
+                        scored.push(CandidatePair {
+                            left: i as u32,
+                            right: j,
+                            username_sim: 0.0,
+                            pre_matched: false,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Face upgrade: among current candidates, a very confident face
+        // match is a pre-match signal (Section 3 item 2).
+        for c in scored.iter_mut() {
+            if c.pre_matched {
+                continue;
+            }
+            if let FaceMatchOutcome::Score(s) = match_profile_images(
+                sig.image.as_ref(),
+                right[c.right as usize].image.as_ref(),
+                &detector,
+                &classifier,
+            ) {
+                if s >= config.strict_face && c.username_sim >= config.username_threshold {
+                    c.pre_matched = true;
+                }
+            }
+        }
+
+        // Best-first cap per user.
+        scored.sort_by(|a, b| {
+            b.username_sim
+                .partial_cmp(&a.username_sim)
+                .expect("finite sims")
+                .then(a.right.cmp(&b.right))
+        });
+        scored.truncate(config.max_per_user);
+        out.extend(scored);
+    }
+    out
+}
+
+/// Recall of the candidate set against ground truth (same person index left
+/// and right) — a generator-side diagnostic used by tests and experiments.
+pub fn candidate_recall(candidates: &[CandidatePair], num_persons: usize) -> f64 {
+    let hit: HashSet<u32> = candidates
+        .iter()
+        .filter(|c| c.left == c.right)
+        .map(|c| c.left)
+        .collect();
+    hit.len() as f64 / num_persons as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::{SignalConfig, Signals};
+    use hydra_datagen::{Dataset, DatasetConfig};
+
+    fn signals() -> (Dataset, Signals) {
+        let d = Dataset::generate(DatasetConfig::english(80, 55));
+        let s = Signals::extract(
+            &d,
+            &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+        );
+        (d, s)
+    }
+
+    #[test]
+    fn gram_extraction() {
+        assert_eq!(grams(""), Vec::<String>::new());
+        assert_eq!(grams("ab"), vec!["ab".to_string()]);
+        let g = grams("adele");
+        assert!(g.contains(&"ade".to_string()));
+        assert!(g.contains(&"ele".to_string()));
+        // Deduplicated and sorted.
+        let g2 = grams("aaaa");
+        assert_eq!(g2, vec!["aaa".to_string()]);
+    }
+
+    #[test]
+    fn candidates_cover_most_true_pairs() {
+        let (d, s) = signals();
+        let cands = generate_candidates(
+            &s.per_platform[0],
+            &s.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let recall = candidate_recall(&cands, d.num_persons());
+        assert!(
+            recall > 0.55,
+            "candidate recall {recall} too low ({} candidates)",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn candidates_are_a_small_fraction_of_all_pairs() {
+        let (d, s) = signals();
+        let cands = generate_candidates(
+            &s.per_platform[0],
+            &s.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let all = d.num_persons() * d.num_persons();
+        assert!(
+            cands.len() < all / 4,
+            "blocking should prune: {} of {all}",
+            cands.len()
+        );
+    }
+
+    #[test]
+    fn pre_matched_pairs_are_precise() {
+        let (_, s) = signals();
+        let cands = generate_candidates(
+            &s.per_platform[0],
+            &s.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let pre: Vec<_> = cands.iter().filter(|c| c.pre_matched).collect();
+        if pre.len() >= 5 {
+            let correct = pre.iter().filter(|c| c.left == c.right).count();
+            let precision = correct as f64 / pre.len() as f64;
+            // The paper reports >95% for its rule-based labels; we accept a
+            // slightly looser floor on the small synthetic population.
+            assert!(precision > 0.8, "pre-match precision {precision}");
+        }
+    }
+
+    #[test]
+    fn per_user_cap_respected() {
+        let (_, s) = signals();
+        let config = CandidateConfig { max_per_user: 5, ..Default::default() };
+        let cands = generate_candidates(&s.per_platform[0], &s.per_platform[1], &config);
+        let mut per_user: HashMap<u32, usize> = HashMap::new();
+        for c in &cands {
+            *per_user.entry(c.left).or_insert(0) += 1;
+        }
+        assert!(per_user.values().all(|&n| n <= 5));
+    }
+
+    #[test]
+    fn no_duplicate_pairs() {
+        let (_, s) = signals();
+        let cands = generate_candidates(
+            &s.per_platform[0],
+            &s.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let mut seen = HashSet::new();
+        for c in &cands {
+            assert!(seen.insert((c.left, c.right)), "dup pair {c:?}");
+        }
+    }
+}

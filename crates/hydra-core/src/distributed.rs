@@ -1,0 +1,336 @@
+//! Distributed model fitting via consensus ADMM (Sections 6.3 / 7.5).
+//!
+//! "Due to the extremely large data size, we adopt the distributed convex
+//! optimization method [Boyd et al.] to optimize the objective function
+//! distributively on several servers in parallel with a carefully designed
+//! model synchronization strategy. [...] the overall objective function can
+//! be optimized towards the optimal solution via optimizing a series of
+//! sub-problems on different parts of the data stored distributively
+//! across different servers."
+//!
+//! This module provides that scale-out path for the *primal linear* form of
+//! the decision model `f(x) = wᵀx + b` (Eq. 6): labeled pairs are sharded
+//! across worker threads (the stand-ins for the paper's five servers), each
+//! worker owns a least-squares subproblem on its shard, and
+//! [`hydra_linalg::admm::ConsensusAdmm`] coordinates the consensus rounds.
+//! The squared loss on ±1 targets is the least-squares-SVM relaxation of the
+//! hinge objective F_D — convex, shardable, and exact for the consensus
+//! framework. The kernelized MOO path ([`crate::moo`]) remains the
+//! reference solver; this trainer is the high-throughput alternative for
+//! populations where an O(|P|³) factorization is off the table.
+
+use hydra_linalg::admm::{AdmmOptions, AdmmResult, ConsensusAdmm, QuadShard};
+use hydra_linalg::dense::Mat;
+
+/// Configuration of the distributed trainer.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributedConfig {
+    /// Number of worker shards ("servers"); the paper's testbed had five.
+    pub num_workers: usize,
+    /// Global ridge regularizer (plays γ_L's role for the linear model).
+    pub ridge: f64,
+    /// ADMM penalty ρ.
+    pub rho: f64,
+    /// Maximum synchronization rounds.
+    pub max_rounds: usize,
+    /// Convergence tolerance on the ADMM residuals.
+    pub tol: f64,
+}
+
+impl Default for DistributedConfig {
+    fn default() -> Self {
+        DistributedConfig {
+            num_workers: 5,
+            ridge: 1.0,
+            rho: 1.0,
+            max_rounds: 400,
+            tol: 1e-7,
+        }
+    }
+}
+
+/// A linear decision model `f(x) = wᵀx + b` (Eq. 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearDecisionModel {
+    /// Feature weights w.
+    pub weights: Vec<f64>,
+    /// Bias b.
+    pub bias: f64,
+    /// Consensus diagnostics from the final ADMM state.
+    pub rounds: usize,
+    /// Final primal residual.
+    pub primal_residual: f64,
+}
+
+impl LinearDecisionModel {
+    /// Decision value for a feature vector.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.weights
+            .iter()
+            .zip(x.iter())
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Hard link decision.
+    pub fn linked(&self, x: &[f64]) -> bool {
+        self.decision(x) > 0.0
+    }
+}
+
+/// Errors from distributed fitting.
+#[derive(Debug)]
+pub enum DistributedError {
+    /// Fewer labeled pairs than workers, or empty input.
+    NotEnoughData,
+    /// Labels must contain both classes.
+    SingleClass,
+    /// The inner consensus solver failed.
+    Admm(hydra_linalg::LinalgError),
+}
+
+impl std::fmt::Display for DistributedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistributedError::NotEnoughData => write!(f, "not enough labeled pairs to shard"),
+            DistributedError::SingleClass => write!(f, "labels must contain both classes"),
+            DistributedError::Admm(e) => write!(f, "consensus solver failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DistributedError {}
+
+/// Fit the linear decision model on `(features, labels ∈ {±1})` sharded
+/// across `config.num_workers` parallel workers.
+pub fn fit_distributed(
+    features: &[Vec<f64>],
+    labels: &[f64],
+    config: &DistributedConfig,
+) -> Result<LinearDecisionModel, DistributedError> {
+    assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+    let n = features.len();
+    let workers = config.num_workers.max(1);
+    if n < workers || n == 0 {
+        return Err(DistributedError::NotEnoughData);
+    }
+    if !(labels.iter().any(|&y| y > 0.0) && labels.iter().any(|&y| y < 0.0)) {
+        return Err(DistributedError::SingleClass);
+    }
+    let dim = features[0].len();
+
+    // Shard round-robin; each worker builds ½‖X_k·[w;b] − y_k‖² with the
+    // bias folded in as a constant-one feature.
+    let mut shards = Vec::with_capacity(workers);
+    for k in 0..workers {
+        let rows: Vec<usize> = (k..n).step_by(workers).collect();
+        let mut x = Mat::zeros(rows.len(), dim + 1);
+        let mut y = vec![0.0; rows.len()];
+        for (r, &i) in rows.iter().enumerate() {
+            for j in 0..dim {
+                x[(r, j)] = features[i][j];
+            }
+            x[(r, dim)] = 1.0; // bias column
+            y[r] = labels[i];
+        }
+        shards.push(QuadShard::least_squares(&x, &y).map_err(DistributedError::Admm)?);
+    }
+
+    let admm = ConsensusAdmm::new(
+        shards,
+        AdmmOptions {
+            rho: config.rho,
+            ridge: config.ridge,
+            max_iter: config.max_rounds,
+            tol: config.tol,
+        },
+    )
+    .map_err(DistributedError::Admm)?;
+    let AdmmResult {
+        mut z,
+        iterations,
+        primal_residual,
+        ..
+    } = admm.solve().map_err(DistributedError::Admm)?;
+    let bias = z.pop().expect("bias slot");
+    Ok(LinearDecisionModel {
+        weights: z,
+        bias,
+        rounds: iterations,
+        primal_residual,
+    })
+}
+
+/// Reference single-machine solution of the same objective
+/// `Σ ½‖Xw − y‖² + ridge/2‖w‖²` (used by tests and ablations to verify the
+/// consensus path).
+pub fn fit_centralized(
+    features: &[Vec<f64>],
+    labels: &[f64],
+    ridge: f64,
+) -> Result<LinearDecisionModel, DistributedError> {
+    let n = features.len();
+    if n == 0 {
+        return Err(DistributedError::NotEnoughData);
+    }
+    let dim = features[0].len();
+    let mut x = Mat::zeros(n, dim + 1);
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        for j in 0..dim {
+            x[(i, j)] = features[i][j];
+        }
+        x[(i, dim)] = 1.0;
+        y[i] = labels[i];
+    }
+    let xt = x.transpose();
+    let mut a = xt.matmul(&x).map_err(DistributedError::Admm)?;
+    a.shift_diag(ridge);
+    let b = x.matvec_t(&y).map_err(DistributedError::Admm)?;
+    let mut w = hydra_linalg::Lu::factor(&a)
+        .and_then(|lu| lu.solve(&b))
+        .map_err(DistributedError::Admm)?;
+    let bias = w.pop().expect("bias slot");
+    Ok(LinearDecisionModel {
+        weights: w,
+        bias,
+        rounds: 1,
+        primal_residual: 0.0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable 2-d data with margin.
+    fn separable(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let t = i as f64 * 0.37;
+            if i % 2 == 0 {
+                xs.push(vec![1.5 + t.sin() * 0.3, 1.0 + t.cos() * 0.3]);
+                ys.push(1.0);
+            } else {
+                xs.push(vec![-1.5 + t.sin() * 0.3, -1.0 + t.cos() * 0.3]);
+                ys.push(-1.0);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn distributed_matches_centralized() {
+        let (xs, ys) = separable(60);
+        let config = DistributedConfig { num_workers: 5, ..Default::default() };
+        let dist = fit_distributed(&xs, &ys, &config).unwrap();
+        let cent = fit_centralized(&xs, &ys, config.ridge).unwrap();
+        for (a, b) in dist.weights.iter().zip(cent.weights.iter()) {
+            assert!((a - b).abs() < 1e-4, "weight drift: {a} vs {b}");
+        }
+        assert!((dist.bias - cent.bias).abs() < 1e-4);
+    }
+
+    #[test]
+    fn classifies_separable_data() {
+        let (xs, ys) = separable(40);
+        let model = fit_distributed(&xs, &ys, &DistributedConfig::default()).unwrap();
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            assert!(model.decision(x) * y > 0.0, "misclassified {x:?}");
+            assert_eq!(model.linked(x), *y > 0.0);
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_solution() {
+        let (xs, ys) = separable(48);
+        let solve = |workers| {
+            fit_distributed(
+                &xs,
+                &ys,
+                &DistributedConfig { num_workers: workers, ..Default::default() },
+            )
+            .unwrap()
+        };
+        let w2 = solve(2);
+        let w6 = solve(6);
+        for (a, b) in w2.weights.iter().zip(w6.weights.iter()) {
+            assert!((a - b).abs() < 1e-3, "worker-count sensitivity: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let (xs, ys) = separable(3);
+        assert!(matches!(
+            fit_distributed(&xs, &ys, &DistributedConfig { num_workers: 10, ..Default::default() }),
+            Err(DistributedError::NotEnoughData)
+        ));
+        let one_class = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
+        let ys_pos = vec![1.0; 5];
+        assert!(matches!(
+            fit_distributed(&one_class, &ys_pos, &DistributedConfig::default()),
+            Err(DistributedError::SingleClass)
+        ));
+    }
+
+    #[test]
+    fn works_on_real_pair_features() {
+        use crate::candidates::{generate_candidates, CandidateConfig};
+        use crate::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+        use crate::signals::{SignalConfig, Signals};
+        use hydra_datagen::{Dataset, DatasetConfig};
+
+        let dataset = Dataset::generate(DatasetConfig::english(60, 0xADB));
+        let signals = Signals::extract(
+            &dataset,
+            &SignalConfig { lda_iterations: 8, infer_iterations: 3, ..Default::default() },
+        );
+        let cands = generate_candidates(
+            &signals.per_platform[0],
+            &signals.per_platform[1],
+            &CandidateConfig::default(),
+        );
+        let extractor = FeatureExtractor::new(
+            FeatureConfig::default(),
+            AttributeImportance::default(),
+            64,
+        );
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20u32 {
+            let f = extractor.pair_features(
+                &signals.per_platform[0][i as usize],
+                &signals.per_platform[1][i as usize],
+            );
+            xs.push(f.values);
+            ys.push(1.0);
+        }
+        let mut negs = 0;
+        for c in cands.iter().filter(|c| c.left != c.right) {
+            if negs >= 20 {
+                break;
+            }
+            let f = extractor.pair_features(
+                &signals.per_platform[0][c.left as usize],
+                &signals.per_platform[1][c.right as usize],
+            );
+            xs.push(f.values);
+            ys.push(-1.0);
+            negs += 1;
+        }
+        let model = fit_distributed(&xs, &ys, &DistributedConfig::default()).unwrap();
+        let correct = xs
+            .iter()
+            .zip(ys.iter())
+            .filter(|(x, y)| model.decision(x) * **y > 0.0)
+            .count();
+        assert!(
+            correct as f64 / xs.len() as f64 > 0.8,
+            "training accuracy {correct}/{}",
+            xs.len()
+        );
+    }
+}

@@ -1,0 +1,442 @@
+//! Pairwise similarity-vector assembly (Step 1 of Figure 3).
+//!
+//! For each candidate pair (i, i′) this module computes the
+//! multi-dimensional similarity vector `x_ii'` of Section 5 with an explicit
+//! missing-feature mask — the paper is emphatic that missing values "do not
+//! exist" rather than being zero (Section 6.3), so every dimension carries a
+//! presence bit that the filling strategies of [`crate::missing`] consume.
+//!
+//! Layout (D = 40):
+//!
+//! | dims   | feature                                                  |
+//! |--------|----------------------------------------------------------|
+//! | 0–7    | importance-weighted attribute matches (Eq. 3)            |
+//! | 8      | face-match confidence (Figure 4)                         |
+//! | 9–14   | topic-distribution similarity at scales 1..32d (Fig. 5)  |
+//! | 15–20  | genre-distribution similarity at scales 1..32d           |
+//! | 21–26  | sentiment-pattern similarity at scales 1..32d            |
+//! | 27–29  | style similarity S_lea at k = 1, 3, 5 (Eq. 4)            |
+//! | 30–34  | location sensor, resolutions 1,2,4,8,16d (Eq. 5, Fig. 6) |
+//! | 35–39  | near-duplicate media sensor, same resolutions            |
+
+use crate::signals::{multi_scale_series_similarity, UserSignals};
+use hydra_datagen::attributes::{AttrValues, ALL_ATTRS, NUM_ATTRS};
+use hydra_linalg::kernels::Kernel;
+use hydra_temporal::sensors::{scan_resolution, LocationSensor, MediaSensor};
+use hydra_temporal::days;
+use hydra_text::style::{style_similarity, STYLE_KS};
+use hydra_vision::{match_profile_images, FaceClassifier, FaceDetector, FaceMatchOutcome};
+
+/// Distribution-similarity scales (days), exactly the paper's
+/// "1, 2, 4, 8, 16 and 32 days".
+pub const DIST_SCALES: [u16; 6] = [1, 2, 4, 8, 16, 32];
+/// Sensor temporal resolutions (Figure 6's "Scale 1 … Scale 5").
+pub const SENSOR_SCALES: [u32; 5] = [1, 2, 4, 8, 16];
+
+/// Total feature dimension.
+pub const FEATURE_DIM: usize =
+    NUM_ATTRS + 1 + 3 * DIST_SCALES.len() + STYLE_KS.len() + 2 * SENSOR_SCALES.len();
+
+/// Offset of the attribute block.
+pub const ATTR_OFFSET: usize = 0;
+/// Offset of the face feature.
+pub const FACE_OFFSET: usize = NUM_ATTRS;
+/// Offset of the topic-similarity block.
+pub const TOPIC_OFFSET: usize = FACE_OFFSET + 1;
+/// Offset of the genre block.
+pub const GENRE_OFFSET: usize = TOPIC_OFFSET + DIST_SCALES.len();
+/// Offset of the sentiment block.
+pub const SENTI_OFFSET: usize = GENRE_OFFSET + DIST_SCALES.len();
+/// Offset of the style block.
+pub const STYLE_OFFSET: usize = SENTI_OFFSET + DIST_SCALES.len();
+/// Offset of the location-sensor block.
+pub const LOCATION_OFFSET: usize = STYLE_OFFSET + STYLE_KS.len();
+/// Offset of the media-sensor block.
+pub const MEDIA_OFFSET: usize = LOCATION_OFFSET + SENSOR_SCALES.len();
+
+/// A pair's feature vector plus its missing mask.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairFeatures {
+    /// Feature values (missing dimensions hold 0 until filled).
+    pub values: Vec<f64>,
+    /// `true` where the feature could not be observed.
+    pub missing: Vec<bool>,
+}
+
+impl PairFeatures {
+    /// Number of observed (non-missing) dimensions.
+    pub fn observed(&self) -> usize {
+        self.missing.iter().filter(|m| !**m).count()
+    }
+
+    /// Fraction of dimensions missing.
+    pub fn missing_fraction(&self) -> f64 {
+        self.missing.iter().filter(|m| **m).count() as f64 / self.missing.len() as f64
+    }
+}
+
+/// Relative attribute importance learned from labeled pairs (Eq. 3):
+/// `m_t(k) = PD(k) / (PD(k) + ND(k))`, then ε-smoothed normalization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeImportance {
+    /// Normalized importance per attribute (sums to 1).
+    pub weights: [f64; NUM_ATTRS],
+}
+
+impl Default for AttributeImportance {
+    fn default() -> Self {
+        AttributeImportance {
+            weights: [1.0 / NUM_ATTRS as f64; NUM_ATTRS],
+        }
+    }
+}
+
+impl AttributeImportance {
+    /// Learn from labeled attribute pairs. `pairs` yields
+    /// `(left_attrs, right_attrs, is_same_person)`; `epsilon` is the
+    /// over-fitting guard of Eq. 3.
+    pub fn learn<'a>(
+        pairs: impl IntoIterator<Item = (&'a AttrValues, &'a AttrValues, bool)>,
+        epsilon: f64,
+    ) -> Self {
+        let mut pd = [0u64; NUM_ATTRS];
+        let mut nd = [0u64; NUM_ATTRS];
+        for (a, b, same) in pairs {
+            for kind in ALL_ATTRS {
+                let k = kind.index();
+                if let (Some(x), Some(y)) = (a[k], b[k]) {
+                    if x == y {
+                        if same {
+                            pd[k] += 1;
+                        } else {
+                            nd[k] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // m_t(k) = PD / (PD + ND); undefined (never matched) → 0.
+        let mut raw = [0.0f64; NUM_ATTRS];
+        for k in 0..NUM_ATTRS {
+            let denom = (pd[k] + nd[k]) as f64;
+            if denom > 0.0 {
+                raw[k] = pd[k] as f64 / denom;
+            }
+        }
+        // ε-smoothed normalization: m̄_t(k) = (m + ε) / (Σ m + M_A·ε).
+        let sum: f64 = raw.iter().sum();
+        let denom = sum + NUM_ATTRS as f64 * epsilon;
+        let mut weights = [0.0; NUM_ATTRS];
+        for k in 0..NUM_ATTRS {
+            weights[k] = (raw[k] + epsilon) / denom;
+        }
+        AttributeImportance { weights }
+    }
+}
+
+/// Configuration for pair-feature extraction.
+#[derive(Debug, Clone)]
+pub struct FeatureConfig {
+    /// Kernel for distribution similarities (chi-square or histogram
+    /// intersection per Section 5.2).
+    pub dist_kernel: Kernel,
+    /// l_q pooling exponent of Eq. 5.
+    pub q: f64,
+    /// Sigmoid slope λ of Eq. 5.
+    pub lambda: f64,
+    /// Location sensor parameters.
+    pub location_sensor: LocationSensor,
+    /// Media sensor parameters.
+    pub media_sensor: MediaSensor,
+    /// Face detector.
+    pub detector: FaceDetector,
+    /// Face classifier.
+    pub classifier: FaceClassifier,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            dist_kernel: Kernel::ChiSquare,
+            q: 4.0,
+            lambda: 8.0,
+            location_sensor: LocationSensor::default(),
+            media_sensor: MediaSensor::default(),
+            detector: FaceDetector::default(),
+            classifier: FaceClassifier::default(),
+        }
+    }
+}
+
+/// Stateful extractor: configuration + learned attribute importance.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    /// Extraction configuration.
+    pub config: FeatureConfig,
+    /// Eq. 3 weights.
+    pub importance: AttributeImportance,
+    /// Observation window length in days.
+    pub window_days: u32,
+}
+
+impl FeatureExtractor {
+    /// New extractor over a given observation window.
+    pub fn new(config: FeatureConfig, importance: AttributeImportance, window_days: u32) -> Self {
+        FeatureExtractor {
+            config,
+            importance,
+            window_days,
+        }
+    }
+
+    /// Compute the full similarity vector for one pair.
+    pub fn pair_features(&self, a: &UserSignals, b: &UserSignals) -> PairFeatures {
+        let mut values = vec![0.0; FEATURE_DIM];
+        let mut missing = vec![false; FEATURE_DIM];
+
+        // --- attributes (Eq. 3) ------------------------------------------
+        for kind in ALL_ATTRS {
+            let k = kind.index();
+            match (a.attrs[k], b.attrs[k]) {
+                (Some(x), Some(y)) => {
+                    // Importance-weighted match, rescaled so a perfect match
+                    // on the most discriminative attribute approaches 1.
+                    values[ATTR_OFFSET + k] = if x == y {
+                        self.importance.weights[k] * NUM_ATTRS as f64
+                    } else {
+                        0.0
+                    };
+                }
+                _ => missing[ATTR_OFFSET + k] = true,
+            }
+        }
+
+        // --- face (Figure 4) ----------------------------------------------
+        match match_profile_images(
+            a.image.as_ref(),
+            b.image.as_ref(),
+            &self.config.detector,
+            &self.config.classifier,
+        ) {
+            FaceMatchOutcome::Score(s) => values[FACE_OFFSET] = s,
+            FaceMatchOutcome::Aborted(_) => missing[FACE_OFFSET] = true,
+        }
+
+        // --- multi-scale distribution similarities (Figure 5) --------------
+        let blocks = [
+            (TOPIC_OFFSET, &a.topic_days, &b.topic_days),
+            (GENRE_OFFSET, &a.genre_days, &b.genre_days),
+            (SENTI_OFFSET, &a.senti_days, &b.senti_days),
+        ];
+        for (offset, da, db) in blocks {
+            let (sims, counts) =
+                multi_scale_series_similarity(da, db, &DIST_SCALES, self.config.dist_kernel);
+            for (s, (v, c)) in sims.iter().zip(counts.iter()).enumerate() {
+                if *c == 0 {
+                    missing[offset + s] = true;
+                } else {
+                    values[offset + s] = *v;
+                }
+            }
+        }
+
+        // --- style (Eq. 4) --------------------------------------------------
+        if a.style.words.is_empty() || b.style.words.is_empty() {
+            for k in 0..STYLE_KS.len() {
+                missing[STYLE_OFFSET + k] = true;
+            }
+        } else {
+            for (k, &kk) in STYLE_KS.iter().enumerate() {
+                values[STYLE_OFFSET + k] = style_similarity(&a.style, &b.style, kk);
+            }
+        }
+
+        // --- multi-resolution sensors (Eq. 5 / Figure 6) --------------------
+        let horizon = days(self.window_days as i64);
+        for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
+            let (v, active) = scan_resolution(
+                &self.config.location_sensor,
+                &a.checkins,
+                &b.checkins,
+                0,
+                horizon,
+                scale,
+                self.config.q,
+                self.config.lambda,
+            );
+            if active == 0 {
+                missing[LOCATION_OFFSET + s] = true;
+            } else {
+                values[LOCATION_OFFSET + s] = v;
+            }
+        }
+        for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
+            let (v, active) = scan_resolution(
+                &self.config.media_sensor,
+                &a.media,
+                &b.media,
+                0,
+                horizon,
+                scale,
+                self.config.q,
+                self.config.lambda,
+            );
+            if active == 0 {
+                missing[MEDIA_OFFSET + s] = true;
+            } else {
+                values[MEDIA_OFFSET + s] = v;
+            }
+        }
+
+        PairFeatures { values, missing }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signals::{SignalConfig, Signals};
+    use hydra_datagen::{Dataset, DatasetConfig};
+
+    fn setup() -> (Dataset, Signals, FeatureExtractor) {
+        let d = Dataset::generate(DatasetConfig::english(40, 33));
+        let s = Signals::extract(
+            &d,
+            &SignalConfig { lda_iterations: 15, infer_iterations: 5, ..Default::default() },
+        );
+        let fx = FeatureExtractor::new(
+            FeatureConfig::default(),
+            AttributeImportance::default(),
+            d.config.window_days,
+        );
+        (d, s, fx)
+    }
+
+    #[test]
+    fn layout_offsets_are_consistent() {
+        assert_eq!(FEATURE_DIM, 40);
+        assert_eq!(FACE_OFFSET, 8);
+        assert_eq!(TOPIC_OFFSET, 9);
+        assert_eq!(GENRE_OFFSET, 15);
+        assert_eq!(SENTI_OFFSET, 21);
+        assert_eq!(STYLE_OFFSET, 27);
+        assert_eq!(LOCATION_OFFSET, 30);
+        assert_eq!(MEDIA_OFFSET, 35);
+        assert_eq!(MEDIA_OFFSET + SENSOR_SCALES.len(), FEATURE_DIM);
+    }
+
+    #[test]
+    fn importance_learns_discriminative_attributes() {
+        use hydra_datagen::attributes::AttrKind;
+        // Synthetic labeled set: email matches only on positives; gender
+        // matches on positives AND negatives (common value).
+        let mk = |email: u64, gender: u64| -> AttrValues {
+            let mut a: AttrValues = [None; NUM_ATTRS];
+            a[AttrKind::Email.index()] = Some(email);
+            a[AttrKind::Gender.index()] = Some(gender);
+            a
+        };
+        let pos_l = mk(1, 0);
+        let pos_r = mk(1, 0);
+        let neg_l = mk(2, 0);
+        let neg_r = mk(3, 0);
+        let pairs = vec![
+            (&pos_l, &pos_r, true),
+            (&pos_l, &pos_r, true),
+            (&neg_l, &neg_r, false),
+            (&neg_l, &neg_r, false),
+        ];
+        let imp = AttributeImportance::learn(pairs, 0.01);
+        let e = imp.weights[AttrKind::Email.index()];
+        let g = imp.weights[AttrKind::Gender.index()];
+        assert!(e > g, "email {e} should outweigh gender {g}");
+        let total: f64 = imp.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importance_handles_empty_input() {
+        let imp = AttributeImportance::learn(Vec::<(&AttrValues, &AttrValues, bool)>::new(), 0.01);
+        // Uniform under no evidence.
+        for w in imp.weights {
+            assert!((w - 1.0 / NUM_ATTRS as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn feature_vectors_have_fixed_dim_and_valid_mask() {
+        let (d, s, fx) = setup();
+        for i in 0..d.num_persons().min(10) {
+            let f = fx.pair_features(s.account(0, i), s.account(1, i));
+            assert_eq!(f.values.len(), FEATURE_DIM);
+            assert_eq!(f.missing.len(), FEATURE_DIM);
+            for (v, m) in f.values.iter().zip(f.missing.iter()) {
+                assert!(v.is_finite());
+                if *m {
+                    assert_eq!(*v, 0.0, "missing dims must hold 0 before filling");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_person_scores_above_random_pairs() {
+        let (d, s, fx) = setup();
+        let n = d.num_persons();
+        let mut same_sum = 0.0;
+        let mut cross_sum = 0.0;
+        for i in 0..n {
+            let same = fx.pair_features(s.account(0, i), s.account(1, i));
+            let cross = fx.pair_features(s.account(0, i), s.account(1, (i + 13) % n));
+            same_sum += same.values.iter().sum::<f64>();
+            cross_sum += cross.values.iter().sum::<f64>();
+        }
+        assert!(
+            same_sum > cross_sum * 1.2,
+            "same {same_sum} vs cross {cross_sum}"
+        );
+    }
+
+    #[test]
+    fn missingness_is_substantial_but_not_total() {
+        let (d, s, fx) = setup();
+        let mut fractions = Vec::new();
+        for i in 0..d.num_persons() {
+            let f = fx.pair_features(s.account(0, i), s.account(1, i));
+            fractions.push(f.missing_fraction());
+        }
+        let mean: f64 = fractions.iter().sum::<f64>() / fractions.len() as f64;
+        assert!(mean > 0.05, "expected real missingness, got {mean}");
+        assert!(mean < 0.9, "missingness too extreme: {mean}");
+    }
+
+    #[test]
+    fn style_block_zero_for_disjoint_profiles() {
+        let (_d, s, fx) = setup();
+        // Two different persons — signature pools are disjoint, so style
+        // match should be (near) zero.
+        let f = fx.pair_features(s.account(0, 0), s.account(1, 20));
+        for k in 0..STYLE_KS.len() {
+            assert!(f.values[STYLE_OFFSET + k] <= 0.5);
+        }
+    }
+
+    #[test]
+    fn attr_block_respects_importance_weighting() {
+        let (_, s, _) = setup();
+        let mut weights = [0.01; NUM_ATTRS];
+        weights[0] = 1.0 - 0.07; // gender massively over-weighted
+        let fx = FeatureExtractor::new(
+            FeatureConfig::default(),
+            AttributeImportance { weights },
+            64,
+        );
+        let f = fx.pair_features(s.account(0, 1), s.account(1, 1));
+        // If gender observed and matched, its feature must dominate others.
+        if !f.missing[0] && f.values[0] > 0.0 {
+            for k in 1..NUM_ATTRS {
+                assert!(f.values[0] >= f.values[k]);
+            }
+        }
+    }
+}

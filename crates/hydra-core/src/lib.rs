@@ -1,0 +1,45 @@
+//! HYDRA: large-scale social identity linkage via heterogeneous behavior
+//! modeling — the core model of Liu, Wang, Zhu, Zhang & Krishnan
+//! (SIGMOD 2014).
+//!
+//! The crate implements the paper's three-step framework (Figure 3):
+//!
+//! 1. **Heterogeneous behavior modeling** (Section 5) — [`signals`]
+//!    preprocesses every account into long-term behavior signals (LDA topic
+//!    series, genre and sentiment series, unique-word style profiles, a
+//!    behavior embedding) and [`features`] assembles the multi-dimensional
+//!    pair-similarity vector `x_ii'`: importance-weighted attribute matches
+//!    (Eq. 3), face-match confidence (Figure 4), multi-scale distribution
+//!    similarities (Figure 5), style similarity (Eq. 4), and
+//!    multi-resolution sensor features (Eq. 5 / Figure 6).
+//! 2. **Structure consistency modeling** (Section 6.2) — [`structure`]
+//!    builds the sparse consistency matrix **M** over candidate pairs
+//!    (Eq. 9) whose principal eigenvector identifies the agreement cluster
+//!    of true links (Figure 7).
+//! 3. **Multi-objective model learning** (Section 6.3) — [`moo`] casts the
+//!    joint problem into the dual (Eqs. 12–17), solving a linear system plus
+//!    a box-constrained QP by SMO, with missing features filled from the
+//!    core social network (Eq. 18, [`missing`]).
+//!
+//! [`model`] wires everything into the user-facing [`Hydra`] estimator;
+//! [`candidates`] implements the rule-based pre-matching of Section 3.
+
+pub mod candidates;
+pub mod distributed;
+pub mod features;
+pub mod missing;
+pub mod model;
+pub mod moo;
+pub mod signals;
+pub mod structure;
+
+pub use candidates::{generate_candidates, CandidateConfig, CandidatePair};
+pub use distributed::{fit_distributed, DistributedConfig, LinearDecisionModel};
+pub use features::{AttributeImportance, FeatureConfig, PairFeatures};
+pub use missing::FillStrategy;
+pub use model::{Hydra, HydraConfig, LinkagePrediction};
+pub use signals::{SignalConfig, Signals, UserSignals};
+
+/// A (left-account, right-account) pair across one platform pair. Accounts
+/// are platform-local indices.
+pub type PairIdx = (u32, u32);

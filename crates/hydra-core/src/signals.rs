@@ -1,0 +1,536 @@
+//! Per-account signal extraction: from raw platform data to the long-term
+//! behavior representations Section 5 consumes.
+//!
+//! Everything pairwise feature extraction needs is computed **once per
+//! account** here: per-day aggregated topic/genre/sentiment distributions
+//! (the finest resolution of Figure 5 — coarser scales merge days on the
+//! fly), the unique-word style profile (Section 5.3), and the long-term
+//! behavior embedding used by the structure-consistency affinities of
+//! Eq. 9.
+
+use hydra_datagen::Dataset;
+use hydra_linalg::kernels::Kernel;
+use hydra_linalg::vec_ops::normalize_l1;
+use hydra_temporal::{GeoPoint, MediaItem, Timeline, SECONDS_PER_DAY};
+use hydra_text::sentiment::NUM_SENTIMENTS;
+use hydra_text::{LdaModel, LdaOptions, SentimentLexicon, UniqueWordProfile};
+use hydra_vision::ProfileImage;
+
+/// Sparse per-day distribution series: `days[k]` is the day index of
+/// `dists[k]` (both sorted ascending, one entry per active day).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DaySeries {
+    /// Active day indices, ascending.
+    pub days: Vec<u16>,
+    /// L1-normalized distribution per active day.
+    pub dists: Vec<Vec<f64>>,
+}
+
+impl DaySeries {
+    /// Build from (day, distribution) accumulation: entries on the same day
+    /// are summed then normalized.
+    pub fn from_events(mut events: Vec<(u16, Vec<f64>)>) -> Self {
+        events.sort_by_key(|e| e.0);
+        let mut days = Vec::new();
+        let mut dists: Vec<Vec<f64>> = Vec::new();
+        for (d, dist) in events {
+            if days.last() == Some(&d) {
+                let acc = dists.last_mut().expect("parallel arrays");
+                for (a, v) in acc.iter_mut().zip(dist.iter()) {
+                    *a += v;
+                }
+            } else {
+                days.push(d);
+                dists.push(dist);
+            }
+        }
+        for d in dists.iter_mut() {
+            normalize_l1(d);
+        }
+        DaySeries { days, dists }
+    }
+
+    /// Number of active days.
+    pub fn len(&self) -> usize {
+        self.days.len()
+    }
+
+    /// True when the series has no active day.
+    pub fn is_empty(&self) -> bool {
+        self.days.is_empty()
+    }
+
+    /// Merge active days into buckets of `scale_days`, returning
+    /// `(bucket_index, distribution)` pairs in ascending bucket order.
+    pub fn bucketed(&self, scale_days: u16) -> Vec<(u16, Vec<f64>)> {
+        assert!(scale_days >= 1);
+        let mut out: Vec<(u16, Vec<f64>)> = Vec::new();
+        for (d, dist) in self.days.iter().zip(self.dists.iter()) {
+            let b = d / scale_days;
+            match out.last_mut() {
+                Some((lb, acc)) if *lb == b => {
+                    for (a, v) in acc.iter_mut().zip(dist.iter()) {
+                        *a += v;
+                    }
+                }
+                _ => out.push((b, dist.clone())),
+            }
+        }
+        for (_, d) in out.iter_mut() {
+            normalize_l1(d);
+        }
+        out
+    }
+
+    /// Long-term mean distribution over all active days (uniform over the
+    /// empty series).
+    pub fn long_term_mean(&self, dim: usize) -> Vec<f64> {
+        let mut acc = vec![0.0; dim];
+        for d in &self.dists {
+            for (a, v) in acc.iter_mut().zip(d.iter()) {
+                *a += v;
+            }
+        }
+        normalize_l1(&mut acc);
+        acc
+    }
+}
+
+/// Figure-5 multi-scale similarity on two day series: per-scale kernel
+/// similarity averaged over buckets where both series are active. Returns
+/// `(similarities, matched_bucket_counts)` — a zero count marks the feature
+/// as missing at that scale.
+pub fn multi_scale_series_similarity(
+    a: &DaySeries,
+    b: &DaySeries,
+    scales: &[u16],
+    kernel: Kernel,
+) -> (Vec<f64>, Vec<usize>) {
+    let mut sims = Vec::with_capacity(scales.len());
+    let mut counts = Vec::with_capacity(scales.len());
+    for &s in scales {
+        let ba = a.bucketed(s);
+        let bb = b.bucketed(s);
+        let mut total = 0.0;
+        let mut matched = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < ba.len() && j < bb.len() {
+            match ba[i].0.cmp(&bb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    total += kernel.eval(&ba[i].1, &bb[j].1);
+                    matched += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        if matched == 0 {
+            sims.push(0.0);
+            counts.push(0);
+        } else {
+            sims.push(total / matched as f64);
+            counts.push(matched);
+        }
+    }
+    (sims, counts)
+}
+
+/// Everything the pair-feature pipeline needs about one account.
+#[derive(Debug, Clone)]
+pub struct UserSignals {
+    /// Ground-truth person (used only for labeling/evaluation, never as a
+    /// feature).
+    pub person: u32,
+    /// Username copy for candidate generation.
+    pub username: String,
+    /// Projected profile attributes.
+    pub attrs: hydra_datagen::attributes::AttrValues,
+    /// Profile image, if any.
+    pub image: Option<ProfileImage>,
+    /// Per-day LDA topic distributions.
+    pub topic_days: DaySeries,
+    /// Per-day genre distributions.
+    pub genre_days: DaySeries,
+    /// Per-day sentiment distributions.
+    pub senti_days: DaySeries,
+    /// Top unique words (Section 5.3).
+    pub style: UniqueWordProfile,
+    /// Long-term behavior embedding `x_i` (topic ‖ genre ‖ sentiment means)
+    /// entering Eq. 9.
+    pub embedding: Vec<f64>,
+    /// Check-in stream for the location sensor.
+    pub checkins: Timeline<GeoPoint>,
+    /// Media stream for the near-duplicate sensor.
+    pub media: Timeline<MediaItem>,
+}
+
+/// Configuration for signal extraction.
+#[derive(Debug, Clone)]
+pub struct SignalConfig {
+    /// LDA topic count (defaults to the generator's latent topic count, but
+    /// the model does not get the latent assignments — only raw tokens).
+    pub num_topics: usize,
+    /// LDA training sweeps.
+    pub lda_iterations: usize,
+    /// Maximum number of posts sampled for LDA training.
+    pub lda_sample_cap: usize,
+    /// Gibbs sweeps for per-post inference.
+    pub infer_iterations: usize,
+    /// Unique words retained per account (≥ 5 for Eq. 4's k values).
+    pub style_words: usize,
+    /// Seed for LDA.
+    pub seed: u64,
+}
+
+impl Default for SignalConfig {
+    fn default() -> Self {
+        SignalConfig {
+            num_topics: 8,
+            lda_iterations: 40,
+            lda_sample_cap: 8000,
+            infer_iterations: 12,
+            style_words: 5,
+            seed: 0xD1CE,
+        }
+    }
+}
+
+/// The extracted signals for a whole dataset.
+#[derive(Debug, Clone)]
+pub struct Signals {
+    /// `per_platform[p][a]` — signals of account `a` on platform `p`.
+    pub per_platform: Vec<Vec<UserSignals>>,
+    /// Observation window length in days.
+    pub window_days: u32,
+    /// The trained topic model (exposed for diagnostics).
+    pub lda: LdaModel,
+}
+
+impl Signals {
+    /// Run the full extraction pipeline over a dataset.
+    pub fn extract(dataset: &Dataset, config: &SignalConfig) -> Signals {
+        let vocab = &dataset.vocab;
+        let num_genres = dataset.config.num_genres;
+
+        // --- LDA over a training sample of messages (Section 5.2) ---------
+        let mut corpus: Vec<Vec<u32>> = Vec::new();
+        'outer: for p in &dataset.platforms {
+            for a in &p.accounts {
+                for (_, post) in a.posts.iter() {
+                    corpus.push(post.tokens.clone());
+                    if corpus.len() >= config.lda_sample_cap {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let lda = LdaModel::train(
+            &corpus,
+            vocab.len().max(1),
+            LdaOptions {
+                num_topics: config.num_topics,
+                iterations: config.lda_iterations,
+                seed: config.seed,
+                ..Default::default()
+            },
+        );
+
+        // --- sentiment lexicon: seeds + corpus expansion -------------------
+        let mut lexicon = SentimentLexicon::from_seeds(
+            hydra_datagen::words::sentiment_seeds()
+                .iter()
+                .map(|(w, s)| (w.as_str(), *s)),
+        );
+        // One co-occurrence pass over a sample (strings via the vocabulary).
+        let sample_msgs: Vec<Vec<String>> = corpus
+            .iter()
+            .take(2000)
+            .map(|doc| doc.iter().map(|&id| vocab.word(id).to_string()).collect())
+            .collect();
+        lexicon.learn_from_corpus(&sample_msgs, 0.3);
+        // Precompute word-id → sentiment weights for fast per-post scoring.
+        let senti_by_id: Vec<Option<[f64; NUM_SENTIMENTS]>> = (0..vocab.len() as u32)
+            .map(|id| lexicon.word_weights(vocab.word(id)).copied())
+            .collect();
+
+        // --- per-account extraction ----------------------------------------
+        let mut per_platform = Vec::with_capacity(dataset.platforms.len());
+        for p in &dataset.platforms {
+            let mut sigs = Vec::with_capacity(p.accounts.len());
+            for (ai, account) in p.accounts.iter().enumerate() {
+                sigs.push(extract_account(
+                    dataset,
+                    account,
+                    ai as u32,
+                    &lda,
+                    &senti_by_id,
+                    num_genres,
+                    config,
+                ));
+            }
+            per_platform.push(sigs);
+        }
+
+        Signals {
+            per_platform,
+            window_days: dataset.config.window_days,
+            lda,
+        }
+    }
+
+    /// Signals of account `a` on platform `p`.
+    pub fn account(&self, platform: usize, account: usize) -> &UserSignals {
+        &self.per_platform[platform][account]
+    }
+}
+
+fn extract_account(
+    dataset: &Dataset,
+    account: &hydra_datagen::Account,
+    account_idx: u32,
+    lda: &LdaModel,
+    senti_by_id: &[Option<[f64; NUM_SENTIMENTS]>],
+    num_genres: usize,
+    config: &SignalConfig,
+) -> UserSignals {
+    let vocab = &dataset.vocab;
+    let num_topics = config.num_topics;
+
+    let mut topic_events = Vec::with_capacity(account.posts.len());
+    let mut genre_events = Vec::with_capacity(account.posts.len());
+    let mut senti_events = Vec::with_capacity(account.posts.len());
+    let mut own_token_counts: std::collections::HashMap<u32, u64> =
+        std::collections::HashMap::new();
+
+    for (t, post) in account.posts.iter() {
+        let day = (*t / SECONDS_PER_DAY) as u16;
+
+        // Topic distribution via LDA fold-in (Section 5.2). The inference
+        // seed mixes the account and timestamp for determinism.
+        let theta = lda.infer(
+            &post.tokens,
+            config.infer_iterations,
+            config.seed ^ (account_idx as u64) << 20 ^ *t as u64,
+        );
+        topic_events.push((day, theta));
+
+        // Genre: platform-assigned label → one-hot.
+        let mut g = vec![0.0; num_genres];
+        g[(post.genre as usize).min(num_genres - 1)] = 1.0;
+        genre_events.push((day, g));
+
+        // Sentiment: lexicon-weighted distribution.
+        let mut s = [0.0f64; NUM_SENTIMENTS];
+        let mut hits = 0usize;
+        for &tok in &post.tokens {
+            if let Some(Some(w)) = senti_by_id.get(tok as usize) {
+                for (a, v) in s.iter_mut().zip(w.iter()) {
+                    *a += v;
+                }
+                hits += 1;
+            }
+        }
+        if hits == 0 {
+            s[3] = 1.0; // neutral point mass
+        }
+        senti_events.push((day, s.to_vec()));
+
+        for &tok in &post.tokens {
+            *own_token_counts.entry(tok).or_insert(0) += 1;
+        }
+    }
+
+    let topic_days = DaySeries::from_events(topic_events);
+    let genre_days = DaySeries::from_events(genre_events);
+    let senti_days = DaySeries::from_events(senti_events);
+
+    // Style: rank the account's tokens by global rarity (Section 5.3).
+    let mut candidates: Vec<(u32, u64, u64)> = own_token_counts
+        .iter()
+        .map(|(&id, &own)| (id, vocab.term_frequency(id), own))
+        .filter(|&(id, _, _)| {
+            let w = vocab.word(id);
+            w.len() > 1 && !hydra_text::tokenize::is_stop_word(w)
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+    let style = UniqueWordProfile {
+        words: candidates
+            .into_iter()
+            .take(config.style_words)
+            .map(|(id, _, _)| vocab.word(id).to_string())
+            .collect(),
+    };
+
+    // Behavior embedding x_i (Eq. 9): concatenated long-term means. Each
+    // block is a probability distribution, so ‖x_i − x_j‖² ≤ 6.
+    let mut embedding = topic_days.long_term_mean(num_topics);
+    embedding.extend(genre_days.long_term_mean(num_genres));
+    embedding.extend(senti_days.long_term_mean(NUM_SENTIMENTS));
+
+    UserSignals {
+        person: account.person,
+        username: account.username.clone(),
+        attrs: account.attrs,
+        image: account.image.clone(),
+        topic_days,
+        genre_days,
+        senti_days,
+        style,
+        embedding,
+        checkins: account.checkins.clone(),
+        media: account.media.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_datagen::DatasetConfig;
+
+    fn small_signals() -> (Dataset, Signals) {
+        let d = Dataset::generate(DatasetConfig::english(40, 21));
+        let s = Signals::extract(
+            &d,
+            &SignalConfig {
+                lda_iterations: 15,
+                infer_iterations: 5,
+                ..Default::default()
+            },
+        );
+        (d, s)
+    }
+
+    #[test]
+    fn day_series_merges_same_day() {
+        let s = DaySeries::from_events(vec![
+            (3, vec![1.0, 0.0]),
+            (1, vec![0.0, 1.0]),
+            (3, vec![1.0, 0.0]),
+        ]);
+        assert_eq!(s.days, vec![1, 3]);
+        assert_eq!(s.dists[1], vec![1.0, 0.0]);
+        assert_eq!(s.dists[0], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn day_series_bucketing_matches_temporal_crate() {
+        // Cross-validate the on-the-fly bucketing against the generic
+        // implementation in hydra-temporal.
+        use hydra_temporal::{bucket_distributions, BucketConfig, Timeline};
+        let events = vec![
+            (2u16, vec![0.9, 0.1]),
+            (5, vec![0.2, 0.8]),
+            (17, vec![0.5, 0.5]),
+            (40, vec![1.0, 0.0]),
+        ];
+        let series = DaySeries::from_events(events.clone());
+        let tl = Timeline::from_events(
+            events
+                .iter()
+                .map(|(d, dist)| (*d as i64 * SECONDS_PER_DAY + 100, dist.clone()))
+                .collect(),
+        );
+        let cfg = BucketConfig::new(0, 64 * SECONDS_PER_DAY);
+        for scale in [1u16, 2, 4, 8, 16, 32] {
+            let fast = series.bucketed(scale);
+            let slow = bucket_distributions(&tl, cfg, scale as u32);
+            for (b, dist) in &fast {
+                let expect = slow[*b as usize].as_ref().expect("bucket present");
+                for (x, y) in dist.iter().zip(expect.iter()) {
+                    assert!((x - y).abs() < 1e-9, "scale {scale} bucket {b}");
+                }
+            }
+            assert_eq!(fast.len(), slow.iter().filter(|b| b.is_some()).count());
+        }
+    }
+
+    #[test]
+    fn multi_scale_self_similarity_is_one() {
+        let s = DaySeries::from_events(vec![
+            (1, vec![0.5, 0.5]),
+            (9, vec![0.9, 0.1]),
+        ]);
+        let (sims, counts) =
+            multi_scale_series_similarity(&s, &s, &[1, 2, 4, 8, 16, 32], Kernel::ChiSquare);
+        for (v, c) in sims.iter().zip(counts.iter()) {
+            assert!(*c > 0);
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn asynchrony_recovered_at_coarse_scale() {
+        let a = DaySeries::from_events(vec![(2, vec![1.0, 0.0])]);
+        let b = DaySeries::from_events(vec![(6, vec![1.0, 0.0])]);
+        let (sims, counts) =
+            multi_scale_series_similarity(&a, &b, &[1, 8], Kernel::ChiSquare);
+        assert_eq!(counts[0], 0);
+        assert_eq!(counts[1], 1);
+        assert!((sims[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extraction_covers_all_accounts() {
+        let (d, s) = small_signals();
+        assert_eq!(s.per_platform.len(), 2);
+        for p in 0..2 {
+            assert_eq!(s.per_platform[p].len(), d.num_persons());
+            for sig in &s.per_platform[p] {
+                assert!(!sig.topic_days.is_empty(), "accounts always post");
+                assert_eq!(sig.embedding.len(), 8 + 10 + 4);
+                let sum: f64 = sig.embedding.iter().sum();
+                assert!((sum - 3.0).abs() < 1e-6, "3 stacked distributions");
+            }
+        }
+    }
+
+    #[test]
+    fn same_person_embeddings_closer_than_random() {
+        let (d, s) = small_signals();
+        let n = d.num_persons();
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        for i in 0..n {
+            let a = &s.account(0, i).embedding;
+            let b = &s.account(1, i).embedding;
+            let c = &s.account(1, (i + 11) % n).embedding;
+            same += hydra_linalg::vec_ops::sq_dist(a, b);
+            cross += hydra_linalg::vec_ops::sq_dist(a, c);
+        }
+        assert!(
+            same < cross * 0.8,
+            "same-person embedding distance {same} not below cross {cross}"
+        );
+    }
+
+    #[test]
+    fn style_profiles_capture_signatures() {
+        let (d, s) = small_signals();
+        // Signature words are globally rare, so they should dominate the
+        // style profiles; count how many accounts have at least one
+        // signature word in their profile.
+        let mut hits = 0usize;
+        for i in 0..d.num_persons() {
+            let sig_words = &d.persons[i].signature_words;
+            let profile = &s.account(0, i).style;
+            if profile.words.iter().any(|w| sig_words.contains(w)) {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits * 2 > d.num_persons(),
+            "only {hits}/{} profiles carry a signature",
+            d.num_persons()
+        );
+    }
+
+    #[test]
+    fn long_term_mean_of_empty_is_uniform() {
+        let s = DaySeries::default();
+        assert_eq!(s.long_term_mean(4), vec![0.25; 4]);
+        assert!(s.is_empty());
+    }
+}

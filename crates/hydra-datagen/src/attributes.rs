@@ -1,0 +1,199 @@
+//! Profile attributes, their value pools, and Figure-2a-calibrated
+//! missingness.
+//!
+//! Figure 2(a) reports, over seven platforms, the fraction of users missing
+//! k of "the six most popular" profile attributes: "At least 80% of users
+//! are missing at least two profile attributes [...], and merely 5% of
+//! users have all attributes filled up." The legend enumerates subsets of
+//! {birth, bio, tag, edu, job}; we take the six popular attributes to be
+//! those five plus gender (nearly always present), and add city and email as
+//! the extra discriminative attributes the rule-based filter of Section 3
+//! uses.
+
+/// A profile attribute kind. The first six are the "popular" attributes
+/// whose missingness Figure 2a reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrKind {
+    /// Gender (2 values — weakly discriminative).
+    Gender,
+    /// Birth year.
+    Birth,
+    /// Bio / self-description (hashed phrase id).
+    Bio,
+    /// Interest tag.
+    Tag,
+    /// Education (school id).
+    Education,
+    /// Job / profession.
+    Job,
+    /// Home city.
+    City,
+    /// E-mail account (unique per person — highly discriminative).
+    Email,
+}
+
+/// Total number of attribute kinds.
+pub const NUM_ATTRS: usize = 8;
+
+/// The six "most popular" attributes of Figure 2a, in reporting order.
+pub const PROFILE_ATTRS: [AttrKind; 6] = [
+    AttrKind::Gender,
+    AttrKind::Birth,
+    AttrKind::Bio,
+    AttrKind::Tag,
+    AttrKind::Education,
+    AttrKind::Job,
+];
+
+/// All attribute kinds in storage order.
+pub const ALL_ATTRS: [AttrKind; NUM_ATTRS] = [
+    AttrKind::Gender,
+    AttrKind::Birth,
+    AttrKind::Bio,
+    AttrKind::Tag,
+    AttrKind::Education,
+    AttrKind::Job,
+    AttrKind::City,
+    AttrKind::Email,
+];
+
+impl AttrKind {
+    /// Storage index of this attribute.
+    pub fn index(self) -> usize {
+        match self {
+            AttrKind::Gender => 0,
+            AttrKind::Birth => 1,
+            AttrKind::Bio => 2,
+            AttrKind::Tag => 3,
+            AttrKind::Education => 4,
+            AttrKind::Job => 5,
+            AttrKind::City => 6,
+            AttrKind::Email => 7,
+        }
+    }
+
+    /// Size of the value pool the generator samples from; larger pools make
+    /// a match more discriminative (Eq. 3's learned weights recover exactly
+    /// this ordering).
+    pub fn pool_size(self) -> u64 {
+        match self {
+            AttrKind::Gender => 2,
+            AttrKind::Birth => 50,
+            AttrKind::Bio => 400,
+            AttrKind::Tag => 120,
+            AttrKind::Education => 60,
+            AttrKind::Job => 40,
+            AttrKind::City => super::names::NUM_CITIES as u64,
+            AttrKind::Email => u64::MAX, // unique per person
+        }
+    }
+
+    /// Base probability that a user hides this attribute (before the
+    /// per-platform multiplier). Calibrated so the Figure-2a shape holds:
+    /// ≥80% of users missing ≥2 of the six popular attributes, ~5% missing
+    /// none.
+    pub fn base_missing_prob(self) -> f64 {
+        match self {
+            AttrKind::Gender => 0.08,
+            AttrKind::Birth => 0.55,
+            AttrKind::Bio => 0.42,
+            AttrKind::Tag => 0.50,
+            AttrKind::Education => 0.48,
+            AttrKind::Job => 0.45,
+            AttrKind::City => 0.30,
+            AttrKind::Email => 0.65,
+        }
+    }
+
+    /// Base probability that a present value is *deceptive* (information
+    /// veracity, Section 1.1): drawn fresh instead of the person's true
+    /// value. Age ("some women would not tell their true ages") and gender
+    /// ("some males even pretend to be females") carry the paper's named
+    /// examples.
+    pub fn base_deception_prob(self) -> f64 {
+        match self {
+            AttrKind::Gender => 0.03,
+            AttrKind::Birth => 0.10,
+            AttrKind::Bio => 0.05,
+            AttrKind::Tag => 0.04,
+            AttrKind::Education => 0.03,
+            AttrKind::Job => 0.04,
+            AttrKind::City => 0.05,
+            AttrKind::Email => 0.01,
+        }
+    }
+}
+
+/// Per-account attribute storage: `values[k] = None` means attribute k is
+/// hidden on this platform.
+pub type AttrValues = [Option<u64>; NUM_ATTRS];
+
+/// Count how many of the six popular attributes are missing — the Figure 2a
+/// statistic.
+pub fn missing_popular_count(attrs: &AttrValues) -> usize {
+    PROFILE_ATTRS
+        .iter()
+        .filter(|k| attrs[k.index()].is_none())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; NUM_ATTRS];
+        for a in ALL_ATTRS {
+            assert!(!seen[a.index()], "duplicate index {}", a.index());
+            seen[a.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn popular_attrs_are_prefix_of_all() {
+        for (i, a) in PROFILE_ATTRS.iter().enumerate() {
+            assert_eq!(a.index(), i);
+        }
+    }
+
+    #[test]
+    fn email_is_most_discriminative() {
+        assert!(AttrKind::Email.pool_size() > AttrKind::Bio.pool_size());
+        assert!(AttrKind::Gender.pool_size() < AttrKind::Birth.pool_size());
+    }
+
+    #[test]
+    fn missing_count_over_popular_only() {
+        let mut attrs: AttrValues = [Some(1); NUM_ATTRS];
+        assert_eq!(missing_popular_count(&attrs), 0);
+        attrs[AttrKind::Email.index()] = None; // not a popular attribute
+        assert_eq!(missing_popular_count(&attrs), 0);
+        attrs[AttrKind::Birth.index()] = None;
+        attrs[AttrKind::Job.index()] = None;
+        assert_eq!(missing_popular_count(&attrs), 2);
+    }
+
+    #[test]
+    fn expected_missingness_matches_figure_2a_shape() {
+        // Analytic check on the base rates: P(0 missing) ≤ 8%,
+        // P(≥2 missing) ≥ 70% before platform multipliers (the multipliers
+        // only push missingness up on most platforms).
+        let probs: Vec<f64> = PROFILE_ATTRS.iter().map(|a| a.base_missing_prob()).collect();
+        let p_none: f64 = probs.iter().map(|p| 1.0 - p).product();
+        assert!(p_none < 0.08, "P(none missing) = {p_none}");
+        // P(missing <= 1) by inclusion of single-missing terms.
+        let p_exactly_one: f64 = (0..probs.len())
+            .map(|i| {
+                probs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, p)| if i == j { *p } else { 1.0 - p })
+                    .product::<f64>()
+            })
+            .sum();
+        let p_ge2 = 1.0 - p_none - p_exactly_one;
+        assert!(p_ge2 > 0.70, "P(≥2 missing) = {p_ge2}");
+    }
+}

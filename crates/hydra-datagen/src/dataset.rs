@@ -1,0 +1,471 @@
+//! Dataset assembly: persons → platform projections → full corpus.
+
+use crate::attributes::{missing_popular_count, AttrKind, AttrValues};
+use crate::events::{
+    generate_account_events, plan_media, platform_drift, MediaPlan, Post,
+};
+use crate::graph_gen::{generate_world, project_graph};
+use crate::names::{make_username, sample_style};
+use crate::person::NaturalPerson;
+use crate::platform::PlatformSpec;
+use crate::PersonIdx;
+use hydra_graph::{CommunitySet, SocialGraph};
+use hydra_temporal::{days, GeoPoint, MediaItem, Timeline, Timestamp};
+use hydra_text::Vocabulary;
+use hydra_vision::{FaceEmbedding, ImageContent, ProfileImage};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator configuration.
+#[derive(Debug, Clone)]
+pub struct DatasetConfig {
+    /// Number of natural persons (each holds one account per platform).
+    pub num_persons: usize,
+    /// Number of overlapping communities in the latent social world.
+    pub num_communities: usize,
+    /// Latent topic count.
+    pub num_topics: usize,
+    /// Content genre count.
+    pub num_genres: usize,
+    /// Observation window length in days (the paper uses a year; scaled to
+    /// two 32-day cycles by default so the 1–32-day bucket scales all bind).
+    pub window_days: u32,
+    /// Target mean friendship degree in the person graph.
+    pub avg_degree: f64,
+    /// RNG seed — generation is fully deterministic given the config.
+    pub seed: u64,
+    /// The platforms to project onto.
+    pub platforms: Vec<PlatformSpec>,
+}
+
+impl DatasetConfig {
+    /// The five-platform "Chinese" dataset of Section 7.1.
+    pub fn chinese(num_persons: usize, seed: u64) -> Self {
+        DatasetConfig {
+            num_persons,
+            num_communities: 5,
+            num_topics: 8,
+            num_genres: 10,
+            window_days: 64,
+            avg_degree: 8.0,
+            seed,
+            platforms: crate::platform::chinese_platforms(),
+        }
+    }
+
+    /// The two-platform "English" dataset.
+    pub fn english(num_persons: usize, seed: u64) -> Self {
+        DatasetConfig {
+            platforms: crate::platform::english_platforms(),
+            ..Self::chinese(num_persons, seed)
+        }
+    }
+
+    /// All seven platforms (Figure 13).
+    pub fn all_seven(num_persons: usize, seed: u64) -> Self {
+        DatasetConfig {
+            platforms: crate::platform::all_platforms(),
+            ..Self::chinese(num_persons, seed)
+        }
+    }
+}
+
+/// One platform account (account index == person index: every person holds
+/// an account on every platform, as in the paper's corpus; the *model* never
+/// sees this alignment — ground truth flows only through labeled pairs).
+#[derive(Debug, Clone)]
+pub struct Account {
+    /// Ground-truth owner (national-ID stand-in).
+    pub person: PersonIdx,
+    /// Platform username (mangled per platform style).
+    pub username: String,
+    /// Projected attributes (missing/deceptive per platform).
+    pub attrs: AttrValues,
+    /// Profile image, if any.
+    pub image: Option<ProfileImage>,
+    /// Textual messages.
+    pub posts: Timeline<Post>,
+    /// Location check-ins.
+    pub checkins: Timeline<GeoPoint>,
+    /// Media shares.
+    pub media: Timeline<MediaItem>,
+    /// The account's asynchrony shift (diagnostics).
+    pub time_shift_secs: i64,
+}
+
+/// One platform's worth of data.
+#[derive(Debug, Clone)]
+pub struct PlatformData {
+    /// The generating spec.
+    pub spec: PlatformSpec,
+    /// Accounts, indexed by person index.
+    pub accounts: Vec<Account>,
+    /// The platform's social graph over account indices.
+    pub graph: SocialGraph,
+}
+
+/// The complete generated corpus.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Generating configuration.
+    pub config: DatasetConfig,
+    /// All natural persons.
+    pub persons: Vec<NaturalPerson>,
+    /// Per-platform projections.
+    pub platforms: Vec<PlatformData>,
+    /// Corpus-wide vocabulary with term statistics (style modeling needs
+    /// "the whole user data repository").
+    pub vocab: Vocabulary,
+    /// Overlapping communities over person indices.
+    pub communities: CommunitySet,
+}
+
+impl Dataset {
+    /// Generate a dataset from the configuration. Deterministic per seed.
+    pub fn generate(config: DatasetConfig) -> Self {
+        assert!(config.num_persons >= 2, "need at least two persons");
+        assert!(!config.platforms.is_empty(), "need at least one platform");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // 1. Persons and the latent social world.
+        let mut persons: Vec<NaturalPerson> = (0..config.num_persons)
+            .map(|i| {
+                NaturalPerson::sample(
+                    i as u32,
+                    config.num_topics,
+                    config.num_genres,
+                    config.window_days,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let world = generate_world(
+            &mut persons,
+            config.num_communities,
+            config.avg_degree,
+            &mut rng,
+        );
+
+        // 2. Person-level media plans (shared across platforms so the
+        // near-duplicate sensor has cross-platform signal).
+        let media_plans: Vec<Vec<MediaPlan>> = (0..config.num_persons)
+            .map(|i| plan_media(i as u32, config.window_days, 6.0, &mut rng))
+            .collect();
+
+        // 3. Platform projections.
+        let mut vocab = Vocabulary::new();
+        let mut platforms = Vec::with_capacity(config.platforms.len());
+        for spec in &config.platforms {
+            let drift = platform_drift(config.num_topics, config.num_genres, &mut rng);
+            let graph = project_graph(&world.person_graph, spec, &mut rng);
+            let mut accounts = Vec::with_capacity(config.num_persons);
+            for (i, person) in persons.iter().enumerate() {
+                let core: Vec<&NaturalPerson> =
+                    hydra_graph::top_k_friends(&world.person_graph, i as u32, 3)
+                        .into_iter()
+                        .map(|f| &persons[f as usize])
+                        .collect();
+                let (posts, checkins, media, shift) = generate_account_events(
+                    person,
+                    i as u32,
+                    spec,
+                    &drift,
+                    &core,
+                    &media_plans[i],
+                    config.window_days,
+                    &mut vocab,
+                    &mut rng,
+                );
+                accounts.push(Account {
+                    person: i as u32,
+                    username: project_username(person, spec, &mut rng),
+                    attrs: project_attrs(person, spec, &mut rng),
+                    image: project_image(person, spec, &mut rng),
+                    posts,
+                    checkins,
+                    media,
+                    time_shift_secs: shift,
+                });
+            }
+            platforms.push(PlatformData {
+                spec: spec.clone(),
+                accounts,
+                graph,
+            });
+        }
+
+        Dataset {
+            config,
+            persons,
+            platforms,
+            vocab,
+            communities: world.communities,
+        }
+    }
+
+    /// Number of persons (== accounts per platform).
+    pub fn num_persons(&self) -> usize {
+        self.persons.len()
+    }
+
+    /// Number of platforms.
+    pub fn num_platforms(&self) -> usize {
+        self.platforms.len()
+    }
+
+    /// Observation window as `(origin, horizon)` timestamps.
+    pub fn window(&self) -> (Timestamp, Timestamp) {
+        (0, days(self.config.window_days as i64))
+    }
+
+    /// The account of `person` on `platform`.
+    pub fn account(&self, platform: usize, person: usize) -> &Account {
+        &self.platforms[platform].accounts[person]
+    }
+
+    /// Figure 2a statistic: fraction of accounts (across all platforms)
+    /// missing exactly `k` of the six popular attributes, for k = 0..=6.
+    pub fn missing_histogram(&self) -> [f64; 7] {
+        let mut counts = [0usize; 7];
+        let mut total = 0usize;
+        for p in &self.platforms {
+            for a in &p.accounts {
+                counts[missing_popular_count(&a.attrs)] += 1;
+                total += 1;
+            }
+        }
+        let mut out = [0.0; 7];
+        for (o, c) in out.iter_mut().zip(counts.iter()) {
+            *o = *c as f64 / total.max(1) as f64;
+        }
+        out
+    }
+}
+
+/// Project the person's username onto a platform style.
+fn project_username<R: Rng>(
+    person: &NaturalPerson,
+    spec: &PlatformSpec,
+    rng: &mut R,
+) -> String {
+    let style = sample_style(spec.language, rng);
+    let birth = person.attrs[AttrKind::Birth.index()]
+        .map(|v| 1960 + (v % 45) as u16)
+        .unwrap_or(1990);
+    make_username(style, person.given_name, person.family_name, birth, rng)
+}
+
+/// Project attributes with per-platform missingness and deception.
+fn project_attrs<R: Rng>(
+    person: &NaturalPerson,
+    spec: &PlatformSpec,
+    rng: &mut R,
+) -> AttrValues {
+    let mut out: AttrValues = [None; crate::attributes::NUM_ATTRS];
+    for kind in crate::attributes::ALL_ATTRS {
+        let idx = kind.index();
+        if rng.gen_bool(spec.missing_prob(kind)) {
+            continue; // hidden on this platform
+        }
+        let true_val = person.attrs[idx].expect("persons are fully attributed");
+        out[idx] = if rng.gen_bool(spec.deception_prob(kind)) {
+            // Deceptive value: a fresh draw that differs from the truth.
+            let fake = match kind {
+                AttrKind::Email => 2_000_000_000 + rng.gen_range(0..1_000_000_000u64),
+                _ => {
+                    let pool = kind.pool_size();
+                    let mut v = rng.gen_range(0..pool);
+                    if v == true_val {
+                        v = (v + 1) % pool;
+                    }
+                    v
+                }
+            };
+            Some(fake)
+        } else {
+            Some(true_val)
+        };
+    }
+    out
+}
+
+/// Project the profile image (Figure 4's noisy reality).
+fn project_image<R: Rng>(
+    person: &NaturalPerson,
+    spec: &PlatformSpec,
+    rng: &mut R,
+) -> Option<ProfileImage> {
+    if !rng.gen_bool(spec.image_prob) {
+        return None;
+    }
+    let content = if rng.gen_bool(spec.no_face_prob) {
+        ImageContent::NoFace
+    } else if rng.gen_bool(spec.fake_face_prob) {
+        ImageContent::Face {
+            embedding: FaceEmbedding::random(rng),
+            quality: 0.3 + rng.gen::<f64>() * 0.7,
+        }
+    } else {
+        match &person.face {
+            Some(f) => ImageContent::Face {
+                embedding: f.perturbed(spec.face_noise, rng),
+                quality: 0.15 + rng.gen::<f64>() * 0.85,
+            },
+            None => ImageContent::NoFace,
+        }
+    };
+    Some(ProfileImage { content })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attributes::PROFILE_ATTRS;
+
+    fn small() -> Dataset {
+        Dataset::generate(DatasetConfig::english(60, 42))
+    }
+
+    #[test]
+    fn generation_shapes() {
+        let d = small();
+        assert_eq!(d.num_persons(), 60);
+        assert_eq!(d.num_platforms(), 2);
+        for p in &d.platforms {
+            assert_eq!(p.accounts.len(), 60);
+            assert_eq!(p.graph.num_nodes(), 60);
+        }
+        assert!(d.vocab.len() > 100);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Dataset::generate(DatasetConfig::english(40, 7));
+        let b = Dataset::generate(DatasetConfig::english(40, 7));
+        assert_eq!(a.account(0, 3).username, b.account(0, 3).username);
+        assert_eq!(a.account(1, 5).attrs, b.account(1, 5).attrs);
+        assert_eq!(
+            a.account(0, 9).posts.len(),
+            b.account(0, 9).posts.len()
+        );
+        let c = Dataset::generate(DatasetConfig::english(40, 8));
+        // Different seed ⇒ (almost surely) different usernames somewhere.
+        let differs = (0..40).any(|i| a.account(0, i).username != c.account(0, i).username);
+        assert!(differs);
+    }
+
+    #[test]
+    fn ground_truth_is_person_index() {
+        let d = small();
+        for p in &d.platforms {
+            for (i, a) in p.accounts.iter().enumerate() {
+                assert_eq!(a.person as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_histogram_matches_figure_2a() {
+        let d = Dataset::generate(DatasetConfig::all_seven(150, 3));
+        let h = d.missing_histogram();
+        let total: f64 = h.iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // "merely 5% of users have all attributes filled up" — allow ≤ 10%.
+        assert!(h[0] < 0.10, "P(none missing) = {}", h[0]);
+        // "at least 80% of users are missing at least two" — allow ≥ 70%.
+        let ge2: f64 = h[2..].iter().sum();
+        assert!(ge2 > 0.70, "P(≥2 missing) = {ge2}");
+    }
+
+    #[test]
+    fn emails_rarely_deceptive_and_discriminative() {
+        // Larger population so the both-present sample is big enough for a
+        // stable rate estimate (email is hidden ~50-65% of the time).
+        let d = Dataset::generate(DatasetConfig::english(400, 42));
+        let mut matches = 0;
+        let mut present_both = 0;
+        for i in 0..d.num_persons() {
+            let a = d.account(0, i).attrs[AttrKind::Email.index()];
+            let b = d.account(1, i).attrs[AttrKind::Email.index()];
+            if let (Some(x), Some(y)) = (a, b) {
+                present_both += 1;
+                if x == y {
+                    matches += 1;
+                }
+            }
+        }
+        // Email is often missing, but when present on both sides it should
+        // almost always match for the same person (deception ~1%/side).
+        assert!(present_both > 20, "too few both-present emails: {present_both}");
+        assert!(
+            matches as f64 / present_both as f64 > 0.9,
+            "email match rate {matches}/{present_both}"
+        );
+    }
+
+    #[test]
+    fn same_person_attrs_agree_more_than_random() {
+        let d = small();
+        let agree = |a: &AttrValues, b: &AttrValues| -> f64 {
+            let mut m = 0;
+            let mut n = 0;
+            for k in PROFILE_ATTRS {
+                if let (Some(x), Some(y)) = (a[k.index()], b[k.index()]) {
+                    n += 1;
+                    if x == y {
+                        m += 1;
+                    }
+                }
+            }
+            if n == 0 {
+                0.0
+            } else {
+                m as f64 / n as f64
+            }
+        };
+        let mut same = 0.0;
+        let mut diff = 0.0;
+        for i in 0..60 {
+            same += agree(&d.account(0, i).attrs, &d.account(1, i).attrs);
+            diff += agree(&d.account(0, i).attrs, &d.account(1, (i + 7) % 60).attrs);
+        }
+        assert!(
+            same > diff + 10.0,
+            "same-person agreement {same} vs cross {diff}"
+        );
+    }
+
+    #[test]
+    fn data_imbalance_across_platforms() {
+        let d = Dataset::generate(DatasetConfig::chinese(50, 5));
+        // Sina Weibo (scale 1.6) must out-post Kaixin (scale 0.45) overall.
+        let sina: usize = d.platforms[0].accounts.iter().map(|a| a.posts.len()).sum();
+        let kaixin: usize = d.platforms[4].accounts.iter().map(|a| a.posts.len()).sum();
+        assert!(sina > 2 * kaixin, "sina {sina} vs kaixin {kaixin}");
+    }
+
+    #[test]
+    fn events_inside_window() {
+        let d = small();
+        let (lo, hi) = d.window();
+        for p in &d.platforms {
+            for a in &p.accounts {
+                for (t, _) in a.posts.iter() {
+                    assert!(*t >= lo && *t < hi);
+                }
+                for (t, _) in a.checkins.iter() {
+                    assert!(*t >= lo && *t < hi);
+                }
+                for (t, _) in a.media.iter() {
+                    assert!(*t >= lo && *t < hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two persons")]
+    fn rejects_tiny_population() {
+        Dataset::generate(DatasetConfig::english(1, 1));
+    }
+}

@@ -1,0 +1,229 @@
+//! Compact binary event-log export/import.
+//!
+//! The paper's corpus is "more than 10 tera-bytes"; even our scaled-down
+//! datasets get regenerated repeatedly across benchmark sweeps. This module
+//! provides a compact binary snapshot of a platform's event streams so
+//! harness runs can cache generation work. The format is deliberately
+//! simple: little-endian, length-prefixed sections per account.
+//!
+//! Layout per account:
+//! ```text
+//! [u32 person] [u64 shift]
+//! [u32 n_checkins] n × ([i64 t] [f64 lat] [f64 lon])
+//! [u32 n_media]    n × ([i64 t] [u64 fingerprint])
+//! ```
+//! Posts are *not* snapshotted — they reference the shared vocabulary and
+//! regenerating them is cheap relative to their size on disk.
+
+use crate::dataset::Account;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hydra_temporal::{GeoPoint, MediaItem, Timeline};
+
+/// Magic header guarding against format confusion.
+const MAGIC: u32 = 0x48594452; // "HYDR"
+/// Format version.
+const VERSION: u16 = 1;
+
+/// Snapshot of one account's sensor-relevant event streams.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventLogSnapshot {
+    /// Ground-truth person index.
+    pub person: u32,
+    /// Account asynchrony shift (seconds).
+    pub time_shift_secs: i64,
+    /// Check-in stream.
+    pub checkins: Vec<(i64, GeoPoint)>,
+    /// Media stream.
+    pub media: Vec<(i64, MediaItem)>,
+}
+
+impl EventLogSnapshot {
+    /// Capture the streams of an account.
+    pub fn from_account(a: &Account) -> Self {
+        EventLogSnapshot {
+            person: a.person,
+            time_shift_secs: a.time_shift_secs,
+            checkins: a.checkins.iter().map(|(t, p)| (*t, *p)).collect(),
+            media: a.media.iter().map(|(t, m)| (*t, *m)).collect(),
+        }
+    }
+
+    /// Rebuild timelines from the snapshot.
+    pub fn to_timelines(&self) -> (Timeline<GeoPoint>, Timeline<MediaItem>) {
+        (
+            Timeline::from_events(self.checkins.clone()),
+            Timeline::from_events(self.media.clone()),
+        )
+    }
+}
+
+/// Serialize a set of account snapshots into a compact buffer.
+pub fn encode_event_logs(snapshots: &[EventLogSnapshot]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + snapshots.len() * 64);
+    buf.put_u32_le(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(snapshots.len() as u32);
+    for s in snapshots {
+        buf.put_u32_le(s.person);
+        buf.put_i64_le(s.time_shift_secs);
+        buf.put_u32_le(s.checkins.len() as u32);
+        for (t, p) in &s.checkins {
+            buf.put_i64_le(*t);
+            buf.put_f64_le(p.lat);
+            buf.put_f64_le(p.lon);
+        }
+        buf.put_u32_le(s.media.len() as u32);
+        for (t, m) in &s.media {
+            buf.put_i64_le(*t);
+            buf.put_u64_le(m.fingerprint);
+        }
+    }
+    buf.freeze()
+}
+
+/// Error from [`decode_event_logs`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with the HYDR magic.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The buffer ended before the declared contents.
+    Truncated,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "bad magic: not a HYDRA event log"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported event-log version {v}"),
+            DecodeError::Truncated => write!(f, "event log truncated"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Deserialize snapshots previously written by [`encode_event_logs`].
+pub fn decode_event_logs(mut buf: Bytes) -> Result<Vec<EventLogSnapshot>, DecodeError> {
+    if buf.remaining() < 10 {
+        return Err(DecodeError::Truncated);
+    }
+    if buf.get_u32_le() != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let person = buf.get_u32_le();
+        let time_shift_secs = buf.get_i64_le();
+        let nc = buf.get_u32_le() as usize;
+        if buf.remaining() < nc * 24 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut checkins = Vec::with_capacity(nc);
+        for _ in 0..nc {
+            let t = buf.get_i64_le();
+            let lat = buf.get_f64_le();
+            let lon = buf.get_f64_le();
+            checkins.push((t, GeoPoint { lat, lon }));
+        }
+        if buf.remaining() < 4 {
+            return Err(DecodeError::Truncated);
+        }
+        let nm = buf.get_u32_le() as usize;
+        if buf.remaining() < nm * 16 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut media = Vec::with_capacity(nm);
+        for _ in 0..nm {
+            let t = buf.get_i64_le();
+            let fingerprint = buf.get_u64_le();
+            media.push((t, MediaItem { fingerprint }));
+        }
+        out.push(EventLogSnapshot {
+            person,
+            time_shift_secs,
+            checkins,
+            media,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn roundtrip_from_generated_data() {
+        let d = Dataset::generate(DatasetConfig::english(20, 9));
+        let snaps: Vec<EventLogSnapshot> = d.platforms[0]
+            .accounts
+            .iter()
+            .map(EventLogSnapshot::from_account)
+            .collect();
+        let encoded = encode_event_logs(&snaps);
+        let decoded = decode_event_logs(encoded).expect("roundtrip");
+        assert_eq!(snaps, decoded);
+        // Timelines rebuild identically.
+        let (ck, md) = decoded[3].to_timelines();
+        assert_eq!(ck.len(), d.account(0, 3).checkins.len());
+        assert_eq!(md.len(), d.account(0, 3).media.len());
+    }
+
+    #[test]
+    fn empty_set_roundtrips() {
+        let encoded = encode_event_logs(&[]);
+        assert_eq!(decode_event_logs(encoded).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(
+            decode_event_logs(Bytes::from_static(b"nonsense....")),
+            Err(DecodeError::BadMagic)
+        );
+        assert_eq!(
+            decode_event_logs(Bytes::from_static(b"ab")),
+            Err(DecodeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let snaps = vec![EventLogSnapshot {
+            person: 1,
+            time_shift_secs: 0,
+            checkins: vec![],
+            media: vec![],
+        }];
+        let mut raw = encode_event_logs(&snaps).to_vec();
+        raw[4] = 99; // clobber version
+        assert_eq!(
+            decode_event_logs(Bytes::from(raw)),
+            Err(DecodeError::BadVersion(99))
+        );
+    }
+
+    #[test]
+    fn detects_truncation_mid_account() {
+        let d = Dataset::generate(DatasetConfig::english(5, 10));
+        let snaps: Vec<EventLogSnapshot> = d.platforms[0]
+            .accounts
+            .iter()
+            .map(EventLogSnapshot::from_account)
+            .collect();
+        let full = encode_event_logs(&snaps);
+        let cut = full.slice(0..full.len() - 5);
+        assert_eq!(decode_event_logs(cut), Err(DecodeError::Truncated));
+    }
+}

@@ -1,0 +1,241 @@
+//! Person-level friendship graph with overlapping communities, and its
+//! per-platform projections.
+//!
+//! The person graph is the latent "real life" social structure; each
+//! platform sees a noisy subgraph of it (edge dropout + interaction-weight
+//! jitter). Core friends (the few most-interacted) receive much higher
+//! weights, so the top-3 core structure of Eq. 18 survives projection with
+//! high probability — exactly the cross-platform core-structure similarity
+//! the paper's Step 2 exploits.
+
+use crate::person::NaturalPerson;
+use crate::platform::PlatformSpec;
+use hydra_graph::{CommunitySet, GraphBuilder, SocialGraph};
+use rand::Rng;
+
+/// The latent social world: person-level graph plus overlapping communities.
+#[derive(Debug, Clone)]
+pub struct SocialWorld {
+    /// Friendship/interaction graph over person indices.
+    pub person_graph: SocialGraph,
+    /// Overlapping communities over person indices.
+    pub communities: CommunitySet,
+}
+
+/// Assign communities and generate the person graph. Mutates each person's
+/// `communities` list.
+///
+/// Community sizes are skewed (community 0 largest) so "the top five largest
+/// overlapping communities" of Figure 12 is meaningful. Edges form mostly
+/// inside communities; every person designates their first few friends as
+/// core friends with ~5× interaction weight.
+pub fn generate_world<R: Rng>(
+    persons: &mut [NaturalPerson],
+    num_communities: usize,
+    avg_degree: f64,
+    rng: &mut R,
+) -> SocialWorld {
+    let n = persons.len();
+    assert!(num_communities >= 1, "need at least one community");
+
+    // --- community assignment: size-skewed primary + optional secondary ---
+    // P(community c) ∝ 1/(c+1): a classic heavy-ish skew.
+    let weights: Vec<f64> = (0..num_communities).map(|c| 1.0 / (c as f64 + 1.0)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let probs: Vec<f64> = weights.iter().map(|w| w / wsum).collect();
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_communities];
+    for (i, p) in persons.iter_mut().enumerate() {
+        let primary = crate::person::sample_categorical(&probs, rng);
+        p.communities = vec![primary as u32];
+        members[primary].push(i as u32);
+        if rng.gen_bool(0.25) {
+            let secondary = crate::person::sample_categorical(&probs, rng);
+            if secondary != primary {
+                p.communities.push(secondary as u32);
+                members[secondary].push(i as u32);
+            }
+        }
+    }
+    let mut communities = CommunitySet::new();
+    for m in &members {
+        communities.add_community(m.clone());
+    }
+
+    // --- friendships ------------------------------------------------------
+    let mut builder = GraphBuilder::new(n);
+    let stubs_per_person = (avg_degree / 2.0).max(1.0);
+    for i in 0..n {
+        // Poisson-ish stub count via rounding a jittered mean.
+        let stubs = (stubs_per_person + rng.gen::<f64>() * stubs_per_person).round() as usize;
+        let my_comms = persons[i].communities.clone();
+        let mut made = 0usize;
+        let mut guard = 0usize;
+        while made < stubs && guard < stubs * 20 {
+            guard += 1;
+            // 85% of friendships form inside a community.
+            let j = if rng.gen_bool(0.85) && !my_comms.is_empty() {
+                let c = my_comms[rng.gen_range(0..my_comms.len())] as usize;
+                let pool = communities.members(c);
+                if pool.len() < 2 {
+                    continue;
+                }
+                pool[rng.gen_range(0..pool.len())]
+            } else {
+                rng.gen_range(0..n as u32)
+            };
+            if j as usize == i {
+                continue;
+            }
+            // Core friends: the first two stubs get ~5× interaction weight.
+            let weight = if made < 2 {
+                5.0 + rng.gen::<f64>() * 10.0
+            } else {
+                0.5 + rng.gen::<f64>() * 2.0
+            };
+            builder.add_edge(i as u32, j, weight);
+            made += 1;
+        }
+    }
+
+    SocialWorld {
+        person_graph: builder.build(),
+        communities,
+    }
+}
+
+/// Project the person graph onto one platform: drop each edge with
+/// `spec.edge_dropout`, jitter surviving weights by ±30%. Account indices
+/// equal person indices (every person holds an account on every platform,
+/// as in the paper's corpus).
+pub fn project_graph<R: Rng>(
+    world: &SocialGraph,
+    spec: &PlatformSpec,
+    rng: &mut R,
+) -> SocialGraph {
+    let n = world.num_nodes();
+    let mut builder = GraphBuilder::new(n);
+    for a in 0..n as u32 {
+        for (b, w) in world.neighbors(a) {
+            if b <= a {
+                continue; // visit each undirected edge once
+            }
+            if rng.gen_bool(spec.edge_dropout) {
+                continue;
+            }
+            let jitter = 0.7 + rng.gen::<f64>() * 0.6;
+            builder.add_edge(a, b, w * jitter);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn world(n: usize, seed: u64) -> (Vec<NaturalPerson>, SocialWorld) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut persons: Vec<NaturalPerson> = (0..n)
+            .map(|i| NaturalPerson::sample(i as u32, 8, 10, 64, &mut rng))
+            .collect();
+        let w = generate_world(&mut persons, 5, 8.0, &mut rng);
+        (persons, w)
+    }
+
+    #[test]
+    fn every_person_gets_a_community() {
+        let (persons, w) = world(200, 1);
+        for p in &persons {
+            assert!(!p.communities.is_empty());
+            assert!(p.communities.len() <= 2);
+        }
+        assert_eq!(w.communities.len(), 5);
+    }
+
+    #[test]
+    fn community_sizes_are_skewed() {
+        let (_, w) = world(500, 2);
+        let ranked = w.communities.ranked_by_size();
+        // The largest community should clearly dominate the smallest.
+        assert!(w.communities.size(ranked[0]) > 2 * w.communities.size(ranked[4]));
+    }
+
+    #[test]
+    fn degrees_near_target() {
+        let (_, w) = world(400, 3);
+        let g = &w.person_graph;
+        let avg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(avg > 4.0 && avg < 20.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn core_friends_have_high_weight() {
+        let (_, w) = world(300, 4);
+        let g = &w.person_graph;
+        // For most nodes the strongest edge should be several times the
+        // median edge.
+        let mut dominant = 0usize;
+        let mut checked = 0usize;
+        for v in 0..g.num_nodes() as u32 {
+            let mut ws: Vec<f64> = g.neighbors(v).map(|(_, w)| w).collect();
+            if ws.len() < 4 {
+                continue;
+            }
+            ws.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            checked += 1;
+            if ws[0] > 2.0 * ws[ws.len() / 2] {
+                dominant += 1;
+            }
+        }
+        assert!(
+            dominant as f64 / checked as f64 > 0.7,
+            "core dominance only {dominant}/{checked}"
+        );
+    }
+
+    #[test]
+    fn projection_drops_edges_but_keeps_nodes() {
+        let (_, w) = world(300, 5);
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = crate::platform::douban(); // 45% dropout
+        let proj = project_graph(&w.person_graph, &spec, &mut rng);
+        assert_eq!(proj.num_nodes(), w.person_graph.num_nodes());
+        let ratio = proj.num_edges() as f64 / w.person_graph.num_edges() as f64;
+        assert!(ratio > 0.4 && ratio < 0.7, "survival ratio {ratio}");
+    }
+
+    #[test]
+    fn core_structure_mostly_survives_projection() {
+        use hydra_graph::top_k_friends;
+        let (_, w) = world(300, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let spec = crate::platform::facebook(); // 15% dropout
+        let proj = project_graph(&w.person_graph, &spec, &mut rng);
+        let mut overlap_sum = 0.0;
+        let mut counted = 0usize;
+        for v in 0..300u32 {
+            let true_core: std::collections::HashSet<u32> =
+                top_k_friends(&w.person_graph, v, 3).into_iter().collect();
+            if true_core.is_empty() {
+                continue;
+            }
+            let proj_core = top_k_friends(&proj, v, 3);
+            let inter = proj_core.iter().filter(|f| true_core.contains(f)).count();
+            overlap_sum += inter as f64 / true_core.len() as f64;
+            counted += 1;
+        }
+        let mean_overlap = overlap_sum / counted as f64;
+        assert!(mean_overlap > 0.5, "core survival {mean_overlap}");
+    }
+
+    #[test]
+    fn projections_differ_across_platforms() {
+        let (_, w) = world(200, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let a = project_graph(&w.person_graph, &crate::platform::sina_weibo(), &mut rng);
+        let b = project_graph(&w.person_graph, &crate::platform::douban(), &mut rng);
+        assert_ne!(a.num_edges(), b.num_edges());
+    }
+}

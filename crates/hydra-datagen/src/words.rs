@@ -1,0 +1,114 @@
+//! Deterministic synthetic word generation.
+//!
+//! The corpus needs a vocabulary whose statistical structure matches what
+//! the text pipeline expects: per-topic lexicons (so LDA has something to
+//! recover), a shared pool of common words, sentiment seed keywords, and a
+//! long tail of rare words usable as personal signatures (Section 5.3's
+//! "most unique words"). Words are pronounceable syllable compounds so
+//! debugging output stays readable.
+
+/// Syllables used to mint words. 24 syllables → 24³ ≈ 13.8k three-syllable
+/// words, plenty for any experiment scale.
+const SYLLABLES: [&str; 24] = [
+    "ka", "ri", "no", "ta", "mi", "su", "lo", "ve", "da", "pe", "zu", "ha", "ne", "go", "shi",
+    "ra", "ku", "me", "ba", "tsu", "yo", "fa", "wi", "del",
+];
+
+/// Mint the `i`-th word of a named family, e.g. `word("topic3", 7)`.
+/// Deterministic; distinct `(family, index)` pairs yield distinct words.
+pub fn word(family: &str, index: usize) -> String {
+    // Mix the family into the index so different families don't collide.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in family.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h = h.wrapping_add(index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    let n = SYLLABLES.len() as u64;
+    let mut out = String::new();
+    let mut v = h;
+    for _ in 0..3 {
+        out.push_str(SYLLABLES[(v % n) as usize]);
+        v /= n;
+    }
+    // Suffix with the family-local index to guarantee uniqueness within the
+    // family even if syllable triples collide.
+    out.push_str(&format!("{index}"));
+    out
+}
+
+/// The sentiment seed lexicon: representative emotional keywords per
+/// category, used both by the generator (posts express the author's
+/// sentiment through these words) and to seed
+/// [`hydra_text::sentiment::SentimentLexicon`].
+pub fn sentiment_seeds() -> Vec<(String, hydra_text::sentiment::Sentiment)> {
+    use hydra_text::sentiment::Sentiment;
+    let mut seeds = Vec::new();
+    for i in 0..10 {
+        seeds.push((word("senti-happy", i), Sentiment::Happy));
+        seeds.push((word("senti-fear", i), Sentiment::Fear));
+        seeds.push((word("senti-sad", i), Sentiment::Sad));
+    }
+    seeds
+}
+
+/// Per-topic lexicon word.
+pub fn topic_word(topic: usize, index: usize) -> String {
+    word(&format!("topic{topic}"), index)
+}
+
+/// Common (topic-neutral) filler word.
+pub fn common_word(index: usize) -> String {
+    word("common", index)
+}
+
+/// Rare-pool word for personal vocabulary signatures.
+pub fn signature_word(index: usize) -> String {
+    word("sig", index)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_deterministic() {
+        assert_eq!(word("topic1", 5), word("topic1", 5));
+    }
+
+    #[test]
+    fn words_unique_within_family() {
+        let mut seen = HashSet::new();
+        for i in 0..500 {
+            assert!(seen.insert(word("topic2", i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn families_do_not_collide() {
+        let a: HashSet<String> = (0..200).map(|i| topic_word(0, i)).collect();
+        let b: HashSet<String> = (0..200).map(|i| topic_word(1, i)).collect();
+        assert!(a.is_disjoint(&b));
+        let c: HashSet<String> = (0..200).map(common_word).collect();
+        assert!(a.is_disjoint(&c));
+    }
+
+    #[test]
+    fn sentiment_seeds_cover_three_emotional_categories() {
+        use hydra_text::sentiment::Sentiment;
+        let seeds = sentiment_seeds();
+        assert_eq!(seeds.len(), 30);
+        for s in [Sentiment::Happy, Sentiment::Fear, Sentiment::Sad] {
+            assert_eq!(seeds.iter().filter(|(_, k)| *k == s).count(), 10);
+        }
+    }
+
+    #[test]
+    fn words_are_lowercase_alphanumeric() {
+        for i in 0..50 {
+            let w = signature_word(i);
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w.len() > 2);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Dataset-level invariant tests: the generator must keep every statistical
+//! promise the rest of the pipeline relies on, across seeds and presets.
+
+use hydra_datagen::attributes::{missing_popular_count, AttrKind};
+use hydra_datagen::{Dataset, DatasetConfig};
+use proptest::prelude::*;
+
+fn small_config_strategy() -> impl Strategy<Value = DatasetConfig> {
+    (20usize..60, 0u64..1000, 0usize..3).prop_map(|(n, seed, preset)| match preset {
+        0 => DatasetConfig::english(n, seed),
+        1 => {
+            let mut c = DatasetConfig::chinese(n, seed);
+            c.platforms.truncate(3); // keep generation fast
+            c
+        }
+        _ => {
+            let mut c = DatasetConfig::all_seven(n, seed);
+            c.platforms.truncate(4);
+            c
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn accounts_align_with_persons(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        for p in &d.platforms {
+            prop_assert_eq!(p.accounts.len(), d.num_persons());
+            prop_assert_eq!(p.graph.num_nodes(), d.num_persons());
+            for (i, a) in p.accounts.iter().enumerate() {
+                prop_assert_eq!(a.person as usize, i);
+                prop_assert!(!a.username.is_empty());
+                prop_assert!(!a.posts.is_empty(), "every account posts");
+            }
+        }
+    }
+
+    #[test]
+    fn events_stay_inside_window(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        let (lo, hi) = d.window();
+        for p in &d.platforms {
+            for a in &p.accounts {
+                for (t, post) in a.posts.iter() {
+                    prop_assert!(*t >= lo && *t < hi);
+                    prop_assert!(!post.tokens.is_empty());
+                    prop_assert!((post.sentiment as usize) < 4);
+                }
+                for (t, _) in a.checkins.iter() {
+                    prop_assert!(*t >= lo && *t < hi);
+                }
+                for (t, _) in a.media.iter() {
+                    prop_assert!(*t >= lo && *t < hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn token_ids_are_within_vocabulary(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        let v = d.vocab.len() as u32;
+        for p in &d.platforms {
+            for a in &p.accounts {
+                for (_, post) in a.posts.iter() {
+                    prop_assert!(post.tokens.iter().all(|&t| t < v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn missing_histogram_is_a_distribution(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        let h = d.missing_histogram();
+        let total: f64 = h.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(h.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn missing_counts_match_attr_masks(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        for p in &d.platforms {
+            for a in &p.accounts {
+                let k = missing_popular_count(&a.attrs);
+                prop_assert!(k <= 6);
+                // Email never counts toward the popular-attribute statistic.
+                let mut with_email = a.attrs;
+                with_email[AttrKind::Email.index()] = Some(1);
+                prop_assert_eq!(missing_popular_count(&with_email), k);
+            }
+        }
+    }
+
+    #[test]
+    fn communities_cover_all_persons(config in small_config_strategy()) {
+        let d = Dataset::generate(config);
+        let mut covered = vec![false; d.num_persons()];
+        for c in 0..d.communities.len() {
+            for &m in d.communities.members(c) {
+                prop_assert!((m as usize) < d.num_persons());
+                covered[m as usize] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&c| c), "every person in ≥1 community");
+    }
+
+    #[test]
+    fn generation_is_deterministic(n in 20usize..40, seed in 0u64..500) {
+        let a = Dataset::generate(DatasetConfig::english(n, seed));
+        let b = Dataset::generate(DatasetConfig::english(n, seed));
+        prop_assert_eq!(a.vocab.len(), b.vocab.len());
+        for i in 0..n {
+            prop_assert_eq!(&a.account(0, i).username, &b.account(0, i).username);
+            prop_assert_eq!(a.account(1, i).attrs, b.account(1, i).attrs);
+            prop_assert_eq!(a.account(0, i).posts.len(), b.account(0, i).posts.len());
+            prop_assert_eq!(a.account(1, i).media.len(), b.account(1, i).media.len());
+        }
+        prop_assert_eq!(
+            a.platforms[0].graph.num_edges(),
+            b.platforms[0].graph.num_edges()
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Evaluation harness for the HYDRA reproduction.
+//!
+//! Section 7.1 of the paper defines the protocol this crate encodes:
+//! precision and recall as effectiveness metrics, total execution time for
+//! efficiency, a 1:5 labeled-to-unlabeled ratio by default, and method
+//! comparisons across dataset scales, platforms, and parameter settings.
+//!
+//! * [`metrics`] — precision / recall / F1 over predicted links, with
+//!   training pairs excluded from scoring;
+//! * [`labeling`] — deterministic sampling of labeled pairs (positives from
+//!   ground truth, hard negatives from the candidate universe);
+//! * [`experiment`] — the shared runner: prepare a dataset once, then run
+//!   every method (HYDRA-M, HYDRA-Z, MOBIUS, Alias-Disamb, SMaSh, SVM-B) on
+//!   identical inputs with wall-clock timing;
+//! * [`series`] — paper-style series tables (one row per x-value, one
+//!   column per method) with text and CSV rendering;
+//! * [`tuning`] — the grid-search procedure Section 7.1 uses for every
+//!   hyper-parameter ("tuned by a grid search procedure [...] on the
+//!   validation set").
+
+pub mod experiment;
+pub mod labeling;
+pub mod metrics;
+pub mod series;
+pub mod tuning;
+
+pub use experiment::{prepare, run_method, Method, MethodResult, PreparedData, Setting};
+pub use labeling::{sample_labels, LabelPlan};
+pub use metrics::{evaluate, Prf};
+pub use series::SeriesTable;
+pub use tuning::{grid_search, GridAxis, GridSearchResult};

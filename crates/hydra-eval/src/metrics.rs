@@ -1,0 +1,192 @@
+//! Precision / recall / F1 (Section 7.1's evaluation metrics).
+//!
+//! "Precision is defined as the fraction of the user pairs in the returned
+//! result that are correctly linked. Recall is defined as the fraction of
+//! the actual linked user pairs that are contained in the returned result."
+//!
+//! Labeled training pairs are excluded from both numerator and denominator
+//! so the metrics measure generalization, not memorization.
+
+use hydra_core::model::LinkagePrediction;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Precision/recall/F1 with raw counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Prf {
+    /// Fraction of returned links that are correct.
+    pub precision: f64,
+    /// Fraction of true links that were returned.
+    pub recall: f64,
+    /// Harmonic mean.
+    pub f1: f64,
+    /// Correctly returned links.
+    pub true_positives: usize,
+    /// Incorrectly returned links.
+    pub false_positives: usize,
+    /// True links not returned.
+    pub false_negatives: usize,
+}
+
+impl Prf {
+    /// Build from counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize) -> Prf {
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fn_ == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fn_) as f64
+        };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Prf {
+            precision,
+            recall,
+            f1,
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fn_,
+        }
+    }
+
+    /// Pool counts of several evaluations (micro-average).
+    pub fn pooled(parts: &[Prf]) -> Prf {
+        let tp = parts.iter().map(|p| p.true_positives).sum();
+        let fp = parts.iter().map(|p| p.false_positives).sum();
+        let fn_ = parts.iter().map(|p| p.false_negatives).sum();
+        Prf::from_counts(tp, fp, fn_)
+    }
+}
+
+/// Evaluate predictions for one platform pair.
+///
+/// * ground truth: account `i` on the left links to account `i` on the
+///   right (the generator's person alignment);
+/// * `labeled`: training pairs to exclude from scoring;
+/// * `num_persons`: size of the ground-truth link set.
+pub fn evaluate(
+    predictions: &[LinkagePrediction],
+    labeled: &[(u32, u32, bool)],
+    num_persons: usize,
+) -> Prf {
+    let labeled_set: HashSet<(u32, u32)> = labeled.iter().map(|&(a, b, _)| (a, b)).collect();
+    let labeled_positives: HashSet<u32> = labeled
+        .iter()
+        .filter(|&&(a, b, y)| y && a == b)
+        .map(|&(a, _, _)| a)
+        .collect();
+
+    let mut tp_set: HashSet<u32> = HashSet::new();
+    let mut fp = 0usize;
+    for p in predictions {
+        if !p.linked || labeled_set.contains(&(p.left, p.right)) {
+            continue;
+        }
+        if p.left == p.right {
+            tp_set.insert(p.left);
+        } else {
+            fp += 1;
+        }
+    }
+    let eval_universe = num_persons - labeled_positives.len();
+    let tp = tp_set.len();
+    let fn_ = eval_universe.saturating_sub(tp);
+    Prf::from_counts(tp, fp, fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pred(left: u32, right: u32, linked: bool) -> LinkagePrediction {
+        LinkagePrediction { left, right, score: if linked { 1.0 } else { -1.0 }, linked }
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let preds = vec![pred(0, 0, true), pred(1, 1, true), pred(0, 1, false)];
+        let prf = evaluate(&preds, &[], 2);
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 1.0);
+        assert_eq!(prf.f1, 1.0);
+    }
+
+    #[test]
+    fn false_positives_hurt_precision_only() {
+        let preds = vec![pred(0, 0, true), pred(1, 1, true), pred(0, 1, true), pred(1, 0, true)];
+        let prf = evaluate(&preds, &[], 2);
+        assert_eq!(prf.precision, 0.5);
+        assert_eq!(prf.recall, 1.0);
+    }
+
+    #[test]
+    fn missed_links_hurt_recall_only() {
+        let preds = vec![pred(0, 0, true)];
+        let prf = evaluate(&preds, &[], 4);
+        assert_eq!(prf.precision, 1.0);
+        assert_eq!(prf.recall, 0.25);
+    }
+
+    #[test]
+    fn labeled_pairs_are_excluded() {
+        // Pair (0,0) is in the training labels: predicting it earns nothing.
+        let preds = vec![pred(0, 0, true), pred(1, 1, true)];
+        let labeled = vec![(0u32, 0u32, true)];
+        let prf = evaluate(&preds, &labeled, 2);
+        // Universe shrinks to person 1 only.
+        assert_eq!(prf.true_positives, 1);
+        assert_eq!(prf.recall, 1.0);
+        assert_eq!(prf.precision, 1.0);
+    }
+
+    #[test]
+    fn labeled_negatives_also_excluded_from_precision() {
+        let preds = vec![pred(0, 1, true), pred(1, 1, true)];
+        let labeled = vec![(0u32, 1u32, false)];
+        let prf = evaluate(&preds, &labeled, 2);
+        // The (0,1) false positive was a training pair → not counted.
+        assert_eq!(prf.false_positives, 0);
+        assert_eq!(prf.precision, 1.0);
+    }
+
+    #[test]
+    fn duplicate_true_links_count_once() {
+        let preds = vec![pred(0, 0, true), pred(0, 0, true)];
+        let prf = evaluate(&preds, &[], 1);
+        assert_eq!(prf.true_positives, 1);
+    }
+
+    #[test]
+    fn empty_predictions() {
+        let prf = evaluate(&[], &[], 5);
+        assert_eq!(prf.precision, 0.0);
+        assert_eq!(prf.recall, 0.0);
+        assert_eq!(prf.false_negatives, 5);
+    }
+
+    #[test]
+    fn pooling_micro_averages() {
+        let a = Prf::from_counts(8, 2, 0);
+        let b = Prf::from_counts(0, 0, 10);
+        let pooled = Prf::pooled(&[a, b]);
+        assert_eq!(pooled.true_positives, 8);
+        assert_eq!(pooled.false_negatives, 10);
+        assert!((pooled.precision - 0.8).abs() < 1e-12);
+        assert!((pooled.recall - 8.0 / 18.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let prf = Prf::from_counts(3, 1, 2);
+        let json = serde_json::to_string(&prf).unwrap();
+        let back: Prf = serde_json::from_str(&json).unwrap();
+        assert_eq!(prf, back);
+    }
+}

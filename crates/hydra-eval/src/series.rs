@@ -1,0 +1,148 @@
+//! Paper-style series tables: one row per x-value, one column per method,
+//! rendered as aligned text (for terminals / EXPERIMENTS.md) and CSV.
+
+use serde::{Deserialize, Serialize};
+
+/// A figure series table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesTable {
+    /// Figure/experiment title, e.g. `"Figure 9(a) — Precision (Chinese)"`.
+    pub title: String,
+    /// x-axis label, e.g. `"users (thousands)"`.
+    pub x_label: String,
+    /// Column (method) names.
+    pub columns: Vec<String>,
+    /// Rows: `(x, values)` with `values.len() == columns.len()`.
+    pub rows: Vec<(f64, Vec<f64>)>,
+}
+
+impl SeriesTable {
+    /// New empty table.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        SeriesTable {
+            title: title.into(),
+            x_label: x_label.into(),
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the value count does not match the column count.
+    pub fn push_row(&mut self, x: f64, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width {} != {} columns",
+            values.len(),
+            self.columns.len()
+        );
+        self.rows.push((x, values));
+    }
+
+    /// Column values as a series (for assertions on trends).
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(_, v)| v[idx]).collect())
+    }
+
+    /// CSV rendering (header + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.x_label.replace(',', ";"));
+        for c in &self.columns {
+            out.push(',');
+            out.push_str(&c.replace(',', ";"));
+        }
+        out.push('\n');
+        for (x, vals) in &self.rows {
+            out.push_str(&format!("{x}"));
+            for v in vals {
+                out.push_str(&format!(",{v:.4}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for SeriesTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let width = 14usize;
+        write!(f, "{:<12}", self.x_label)?;
+        for c in &self.columns {
+            write!(f, "{c:>width$}")?;
+        }
+        writeln!(f)?;
+        for (x, vals) in &self.rows {
+            write!(f, "{x:<12}")?;
+            for v in vals {
+                write!(f, "{v:>width$.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SeriesTable {
+        let mut t = SeriesTable::new(
+            "Figure 9(a)",
+            "users",
+            vec!["HYDRA-M".into(), "MOBIUS".into()],
+        );
+        t.push_row(1.0, vec![0.8, 0.5]);
+        t.push_row(2.0, vec![0.85, 0.52]);
+        t
+    }
+
+    #[test]
+    fn display_contains_all_parts() {
+        let s = format!("{}", sample());
+        assert!(s.contains("Figure 9(a)"));
+        assert!(s.contains("HYDRA-M"));
+        assert!(s.contains("0.8500"));
+    }
+
+    #[test]
+    fn csv_rendering() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "users,HYDRA-M,MOBIUS");
+        assert_eq!(lines[1], "1,0.8000,0.5000");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn column_lookup() {
+        let t = sample();
+        assert_eq!(t.column("MOBIUS"), Some(vec![0.5, 0.52]));
+        assert_eq!(t.column("missing"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        sample().push_row(3.0, vec![0.9]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: SeriesTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.columns, t.columns);
+    }
+}

@@ -1,0 +1,166 @@
+//! Grid-search parameter tuning.
+//!
+//! Section 7.1: "the parameters [...] are tuned by a grid search procedure
+//! to maximize the performance [...] on the validation set" and "we
+//! construct the models on the training data and conduct parameter tuning
+//! on the validation set". This module provides the generic machinery: a
+//! cartesian grid over named parameter axes, evaluated by a caller-supplied
+//! objective, returning the argmax with the full trace for reporting.
+
+/// One axis of the grid: a parameter name and candidate values.
+#[derive(Debug, Clone)]
+pub struct GridAxis {
+    /// Parameter name (reporting only).
+    pub name: String,
+    /// Candidate values.
+    pub values: Vec<f64>,
+}
+
+impl GridAxis {
+    /// New axis.
+    pub fn new(name: impl Into<String>, values: Vec<f64>) -> Self {
+        assert!(!values.is_empty(), "grid axis needs at least one value");
+        GridAxis {
+            name: name.into(),
+            values,
+        }
+    }
+
+    /// Logarithmic axis: `count` values from `lo` to `hi` (inclusive),
+    /// geometrically spaced — the shape of the paper's 1e-6..1e6 sweeps.
+    pub fn log_space(name: impl Into<String>, lo: f64, hi: f64, count: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && count >= 2);
+        let step = (hi / lo).powf(1.0 / (count - 1) as f64);
+        let mut values = Vec::with_capacity(count);
+        let mut v = lo;
+        for _ in 0..count {
+            values.push(v);
+            v *= step;
+        }
+        GridAxis::new(name, values)
+    }
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct GridPoint {
+    /// Values in axis order.
+    pub values: Vec<f64>,
+    /// Objective at this point (higher is better).
+    pub score: f64,
+}
+
+/// Result of a grid search.
+#[derive(Debug, Clone)]
+pub struct GridSearchResult {
+    /// Axis names in order.
+    pub axes: Vec<String>,
+    /// Every evaluated point.
+    pub trace: Vec<GridPoint>,
+    /// Index of the best point in `trace`.
+    pub best: usize,
+}
+
+impl GridSearchResult {
+    /// The best point.
+    pub fn best_point(&self) -> &GridPoint {
+        &self.trace[self.best]
+    }
+
+    /// The best value of a named axis.
+    pub fn best_value(&self, axis: &str) -> Option<f64> {
+        let idx = self.axes.iter().position(|a| a == axis)?;
+        Some(self.best_point().values[idx])
+    }
+}
+
+/// Exhaustive grid search: evaluates `objective` (higher = better) at every
+/// combination of axis values, in deterministic row-major order. Ties keep
+/// the earliest point, making results reproducible.
+pub fn grid_search<F>(axes: &[GridAxis], mut objective: F) -> GridSearchResult
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    assert!(!axes.is_empty(), "grid search needs at least one axis");
+    let sizes: Vec<usize> = axes.iter().map(|a| a.values.len()).collect();
+    let total: usize = sizes.iter().product();
+    let mut trace = Vec::with_capacity(total);
+    let mut best = 0usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for flat in 0..total {
+        let mut rem = flat;
+        let mut values = Vec::with_capacity(axes.len());
+        for (axis, &size) in axes.iter().zip(sizes.iter()).rev() {
+            values.push(axis.values[rem % size]);
+            rem /= size;
+        }
+        values.reverse();
+        let score = objective(&values);
+        if score > best_score {
+            best_score = score;
+            best = trace.len();
+        }
+        trace.push(GridPoint { values, score });
+    }
+    GridSearchResult {
+        axes: axes.iter().map(|a| a.name.clone()).collect(),
+        trace,
+        best,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_known_optimum() {
+        let axes = vec![
+            GridAxis::new("x", vec![-1.0, 0.0, 1.0, 2.0]),
+            GridAxis::new("y", vec![-2.0, 0.5, 3.0]),
+        ];
+        // Maximize −(x−1)² − (y−0.5)².
+        let r = grid_search(&axes, |v| -((v[0] - 1.0).powi(2) + (v[1] - 0.5).powi(2)));
+        assert_eq!(r.best_value("x"), Some(1.0));
+        assert_eq!(r.best_value("y"), Some(0.5));
+        assert_eq!(r.trace.len(), 12);
+        assert_eq!(r.best_value("z"), None);
+    }
+
+    #[test]
+    fn log_space_endpoints() {
+        let axis = GridAxis::log_space("g", 1e-6, 1e6, 5);
+        assert_eq!(axis.values.len(), 5);
+        assert!((axis.values[0] - 1e-6).abs() < 1e-15);
+        assert!((axis.values[4] - 1e6).abs() / 1e6 < 1e-9);
+        // Geometric spacing: constant ratio.
+        let r1 = axis.values[1] / axis.values[0];
+        let r2 = axis.values[3] / axis.values[2];
+        assert!((r1 - r2).abs() / r1 < 1e-9);
+    }
+
+    #[test]
+    fn evaluation_order_is_deterministic() {
+        let axes = vec![GridAxis::new("a", vec![1.0, 2.0]), GridAxis::new("b", vec![3.0, 4.0])];
+        let mut seen = Vec::new();
+        grid_search(&axes, |v| {
+            seen.push((v[0], v[1]));
+            0.0
+        });
+        assert_eq!(seen, vec![(1.0, 3.0), (1.0, 4.0), (2.0, 3.0), (2.0, 4.0)]);
+    }
+
+    #[test]
+    fn ties_keep_first_point() {
+        let axes = vec![GridAxis::new("a", vec![1.0, 2.0, 3.0])];
+        let r = grid_search(&axes, |_| 42.0);
+        assert_eq!(r.best, 0);
+        assert_eq!(r.best_point().values, vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one value")]
+    fn empty_axis_rejected() {
+        GridAxis::new("empty", vec![]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Hop distances and bounded neighborhoods.
+//!
+//! Section 6.2 defines the structural distance entering Eq. 9: "we define
+//! `k_ij` as the number of intermediate users from user i to j, and then
+//! their distance is `d_ij = (k_ij + 1)²`". Adjacent users have zero
+//! intermediates (`d = 1`), two-hop friends one intermediate (`d = 4`), and
+//! so on. Because M(a,b) is only evaluated for candidates drawn from the two
+//! users' core neighborhoods, all searches here are bounded-depth BFS.
+
+use crate::graph::SocialGraph;
+use std::collections::VecDeque;
+
+/// Shortest-path hop count between `a` and `b`, searched up to `max_hops`.
+/// Returns `None` when `b` is unreachable within the bound. `a == b` is hop
+/// 0.
+pub fn hop_distance(g: &SocialGraph, a: u32, b: u32, max_hops: usize) -> Option<usize> {
+    if a == b {
+        return Some(0);
+    }
+    let n = g.num_nodes();
+    let mut visited = vec![false; n];
+    visited[a as usize] = true;
+    let mut frontier = VecDeque::new();
+    frontier.push_back((a, 0usize));
+    while let Some((v, d)) = frontier.pop_front() {
+        if d >= max_hops {
+            continue;
+        }
+        for (nb, _) in g.neighbors(v) {
+            if nb == b {
+                return Some(d + 1);
+            }
+            if !visited[nb as usize] {
+                visited[nb as usize] = true;
+                frontier.push_back((nb, d + 1));
+            }
+        }
+    }
+    None
+}
+
+/// The paper's squared structural distance `d_ij = (k_ij + 1)²` with
+/// `k_ij` = intermediate-user count = hops − 1. Unreachable (within
+/// `max_hops`) pairs return `None`; the caller treats that as "inconsistency
+/// too large" and zeroes the affinity. `a == b` yields 0 by convention.
+pub fn paper_distance(g: &SocialGraph, a: u32, b: u32, max_hops: usize) -> Option<f64> {
+    hop_distance(g, a, b, max_hops).map(|h| {
+        if h == 0 {
+            0.0
+        } else {
+            let k = (h - 1) as f64;
+            (k + 1.0) * (k + 1.0)
+        }
+    })
+}
+
+/// All nodes within `max_hops` of `v` (excluding `v`), paired with their hop
+/// distance, in BFS (distance-then-id) order.
+pub fn k_hop_neighborhood(g: &SocialGraph, v: u32, max_hops: usize) -> Vec<(u32, usize)> {
+    let n = g.num_nodes();
+    let mut visited = vec![false; n];
+    visited[v as usize] = true;
+    let mut out = Vec::new();
+    let mut frontier = VecDeque::new();
+    frontier.push_back((v, 0usize));
+    while let Some((u, d)) = frontier.pop_front() {
+        if d >= max_hops {
+            continue;
+        }
+        for (nb, _) in g.neighbors(u) {
+            if !visited[nb as usize] {
+                visited[nb as usize] = true;
+                out.push((nb, d + 1));
+                frontier.push_back((nb, d + 1));
+            }
+        }
+    }
+    out
+}
+
+/// All-pairs-from-source hop distances up to `max_hops`, as a dense vector
+/// (`usize::MAX` = unreachable). Used when many distances from the same
+/// source are needed (structure-matrix assembly).
+pub fn bfs_distances(g: &SocialGraph, source: u32, max_hops: usize) -> Vec<usize> {
+    let n = g.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = VecDeque::new();
+    frontier.push_back(source);
+    while let Some(v) = frontier.pop_front() {
+        let d = dist[v as usize];
+        if d >= max_hops {
+            continue;
+        }
+        for (nb, _) in g.neighbors(v) {
+            if dist[nb as usize] == usize::MAX {
+                dist[nb as usize] = d + 1;
+                frontier.push_back(nb);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// Path 0-1-2-3-4 plus shortcut 0-3.
+    fn path_with_shortcut() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(2, 3, 1.0);
+        b.add_edge(3, 4, 1.0);
+        b.add_edge(0, 3, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn hop_distance_uses_shortest_path() {
+        let g = path_with_shortcut();
+        assert_eq!(hop_distance(&g, 0, 1, 5), Some(1));
+        assert_eq!(hop_distance(&g, 0, 3, 5), Some(1)); // via shortcut
+        assert_eq!(hop_distance(&g, 0, 4, 5), Some(2)); // 0-3-4
+        assert_eq!(hop_distance(&g, 0, 0, 5), Some(0));
+        assert_eq!(hop_distance(&g, 0, 5, 5), None); // isolated node
+    }
+
+    #[test]
+    fn hop_distance_respects_bound() {
+        let g = path_with_shortcut();
+        assert_eq!(hop_distance(&g, 1, 4, 2), None); // needs 3 hops (1-0-3-4)
+        assert_eq!(hop_distance(&g, 1, 4, 3), Some(3));
+    }
+
+    #[test]
+    fn paper_distance_formula() {
+        let g = path_with_shortcut();
+        // Adjacent: k=0 intermediates → d = 1.
+        assert_eq!(paper_distance(&g, 0, 1, 4), Some(1.0));
+        // Two hops: k=1 → d = 4.
+        assert_eq!(paper_distance(&g, 0, 4, 4), Some(4.0));
+        // Three hops: k=2 → d = 9.
+        assert_eq!(paper_distance(&g, 1, 4, 4), Some(9.0));
+        // Self: 0 by convention.
+        assert_eq!(paper_distance(&g, 2, 2, 4), Some(0.0));
+        // Unreachable.
+        assert_eq!(paper_distance(&g, 0, 5, 4), None);
+    }
+
+    #[test]
+    fn neighborhood_contents_and_distances() {
+        let g = path_with_shortcut();
+        let nb = k_hop_neighborhood(&g, 0, 2);
+        let as_map: std::collections::HashMap<u32, usize> = nb.into_iter().collect();
+        assert_eq!(as_map.get(&1), Some(&1));
+        assert_eq!(as_map.get(&3), Some(&1));
+        assert_eq!(as_map.get(&2), Some(&2));
+        assert_eq!(as_map.get(&4), Some(&2));
+        assert_eq!(as_map.get(&5), None);
+        assert_eq!(as_map.get(&0), None, "center excluded");
+    }
+
+    #[test]
+    fn neighborhood_zero_hops_is_empty() {
+        let g = path_with_shortcut();
+        assert!(k_hop_neighborhood(&g, 0, 0).is_empty());
+    }
+
+    #[test]
+    fn bfs_distances_match_hop_distance() {
+        let g = path_with_shortcut();
+        let d = bfs_distances(&g, 1, 4);
+        for v in 0..6u32 {
+            let expect = hop_distance(&g, 1, v, 4);
+            match expect {
+                Some(h) => assert_eq!(d[v as usize], h),
+                None => assert_eq!(d[v as usize], usize::MAX),
+            }
+        }
+    }
+
+    #[test]
+    fn distance_symmetry() {
+        let g = path_with_shortcut();
+        for a in 0..6u32 {
+            for b in 0..6u32 {
+                assert_eq!(hop_distance(&g, a, b, 5), hop_distance(&g, b, a, 5));
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Weighted undirected interaction graph in CSR form.
+//!
+//! Edge weights model interaction frequency (comments, reposts, mentions) —
+//! the quantity the paper uses to rank "most frequently communicating
+//! friends". The graph is undirected: interaction is symmetrized at build
+//! time by summing both directions.
+
+/// Immutable CSR social graph with `f64` interaction weights.
+#[derive(Debug, Clone)]
+pub struct SocialGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+    weights: Vec<f64>,
+    edge_count: usize,
+}
+
+/// Accumulates weighted edges, then freezes into a [`SocialGraph`].
+/// Duplicate edges (either direction) have their weights summed; self-loops
+/// are ignored.
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Record an interaction between `a` and `b` with positive weight.
+    ///
+    /// # Panics
+    /// Panics when a node id is out of range or the weight is not positive.
+    pub fn add_edge(&mut self, a: u32, b: u32, weight: f64) {
+        assert!(
+            (a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
+            "edge ({a},{b}) out of range for {} nodes",
+            self.num_nodes
+        );
+        assert!(weight > 0.0, "interaction weight must be positive");
+        if a == b {
+            return; // self-interactions carry no linkage signal
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.edges.push((lo, hi, weight));
+    }
+
+    /// Number of recorded (pre-merge) edge records.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Freeze into CSR form.
+    pub fn build(mut self) -> SocialGraph {
+        self.edges.sort_unstable_by_key(|e| (e.0, e.1));
+        // Merge duplicates.
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.edges.len());
+        for (a, b, w) in self.edges {
+            match merged.last_mut() {
+                Some(last) if last.0 == a && last.1 == b => last.2 += w,
+                _ => merged.push((a, b, w)),
+            }
+        }
+        // Degree counting (both directions).
+        let n = self.num_nodes;
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, b, _) in &merged {
+            offsets[a as usize + 1] += 1;
+            offsets[b as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut neighbors = vec![0u32; offsets[n]];
+        let mut weights = vec![0f64; offsets[n]];
+        let mut cursor = offsets.clone();
+        for &(a, b, w) in &merged {
+            neighbors[cursor[a as usize]] = b;
+            weights[cursor[a as usize]] = w;
+            cursor[a as usize] += 1;
+            neighbors[cursor[b as usize]] = a;
+            weights[cursor[b as usize]] = w;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency run by neighbor id for deterministic iteration
+        // and binary-searchable lookups.
+        for v in 0..n {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            let mut pairs: Vec<(u32, f64)> = neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|p| p.0);
+            for (k, (nb, w)) in pairs.into_iter().enumerate() {
+                neighbors[lo + k] = nb;
+                weights[lo + k] = w;
+            }
+        }
+        SocialGraph {
+            offsets,
+            neighbors,
+            weights,
+            edge_count: merged.len(),
+        }
+    }
+}
+
+impl SocialGraph {
+    /// Graph with no edges on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        GraphBuilder::new(n).build()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree (number of distinct neighbors) of `v`.
+    #[inline]
+    pub fn degree(&self, v: u32) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Iterate `(neighbor, interaction_weight)` pairs of `v` in ascending
+    /// neighbor-id order.
+    #[inline]
+    pub fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        self.neighbors[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.weights[lo..hi].iter().copied())
+    }
+
+    /// Interaction weight between `a` and `b`; 0 when not adjacent.
+    pub fn edge_weight(&self, a: u32, b: u32) -> f64 {
+        let lo = self.offsets[a as usize];
+        let hi = self.offsets[a as usize + 1];
+        match self.neighbors[lo..hi].binary_search(&b) {
+            Ok(pos) => self.weights[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// True when `a` and `b` share an edge.
+    pub fn are_adjacent(&self, a: u32, b: u32) -> bool {
+        self.edge_weight(a, b) > 0.0
+    }
+
+    /// Total interaction weight incident to `v` (weighted degree).
+    pub fn strength(&self, v: u32) -> f64 {
+        self.neighbors(v).map(|(_, w)| w).sum()
+    }
+
+    /// Connected components; returns a component id per node (ids are dense,
+    /// ordered by first appearance).
+    pub fn connected_components(&self) -> Vec<u32> {
+        let n = self.num_nodes();
+        let mut comp = vec![u32::MAX; n];
+        let mut next = 0u32;
+        let mut stack = Vec::new();
+        for start in 0..n as u32 {
+            if comp[start as usize] != u32::MAX {
+                continue;
+            }
+            comp[start as usize] = next;
+            stack.push(start);
+            while let Some(v) = stack.pop() {
+                for (nb, _) in self.neighbors(v) {
+                    if comp[nb as usize] == u32::MAX {
+                        comp[nb as usize] = next;
+                        stack.push(nb);
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle 0-1-2 plus pendant 3 attached to 0, isolated 4.
+    fn sample() -> SocialGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 2.0);
+        b.add_edge(1, 2, 1.0);
+        b.add_edge(0, 2, 0.5);
+        b.add_edge(0, 3, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn basic_topology() {
+        let g = sample();
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(4), 0);
+        assert!(g.are_adjacent(0, 3));
+        assert!(!g.are_adjacent(3, 4));
+    }
+
+    #[test]
+    fn weights_symmetric() {
+        let g = sample();
+        assert_eq!(g.edge_weight(0, 1), 2.0);
+        assert_eq!(g.edge_weight(1, 0), 2.0);
+        assert_eq!(g.edge_weight(2, 4), 0.0);
+    }
+
+    #[test]
+    fn duplicate_edges_sum() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1.0);
+        b.add_edge(1, 0, 2.5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_weight(0, 1), 3.5);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 1.0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        GraphBuilder::new(2).add_edge(0, 5, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn non_positive_weight_panics() {
+        GraphBuilder::new(2).add_edge(0, 1, 0.0);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_complete() {
+        let g = sample();
+        let nbrs: Vec<u32> = g.neighbors(0).map(|(n, _)| n).collect();
+        assert_eq!(nbrs, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn strength_sums_weights() {
+        let g = sample();
+        assert!((g.strength(0) - 6.5).abs() < 1e-12);
+        assert_eq!(g.strength(4), 0.0);
+    }
+
+    #[test]
+    fn connected_components_found() {
+        let g = sample();
+        let comp = g.connected_components();
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[0], comp[3]);
+        assert_ne!(comp[0], comp[4]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = SocialGraph::empty(3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(1), 0);
+        let comp = g.connected_components();
+        assert_eq!(comp, vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Direct factorizations: LU with partial pivoting and Cholesky.
+//!
+//! Eq. 15 of the paper requires solving
+//! `(2γ_L I + 2 γ_M/|P|² (D−M) K) α = Jᵀ Y β*`.
+//! The system matrix is square, non-symmetric in general (product of a
+//! Laplacian and a kernel matrix), and of moderate order, so LU with partial
+//! pivoting is the right tool. Cholesky is provided for the symmetric
+//! positive-definite sub-cases (kernel ridge solves and tests).
+
+use crate::dense::Mat;
+use crate::{LinalgError, Result};
+
+/// LU factorization with partial pivoting: `P·A = L·U`.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Packed LU factors (unit lower triangle implicit).
+    lu: Mat,
+    /// Row permutation: `perm[i]` is the original row now at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorize a square matrix. Fails with [`LinalgError::Singular`] when a
+    /// pivot underflows the tolerance.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_factor",
+                got: (a.rows(), a.cols()),
+                expected: (n, n),
+            });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite { what: "lu input" });
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        // Scale-aware singularity tolerance.
+        let tol = f64::EPSILON * (n as f64) * lu.max_abs().max(1e-300);
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut p = k;
+            let mut pmax = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax <= tol {
+                return Err(LinalgError::Singular { at: k });
+            }
+            if p != k {
+                perm.swap(p, k);
+                sign = -sign;
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(p, j)];
+                    lu[(p, j)] = tmp;
+                }
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        let ukj = lu[(k, j)];
+                        lu[(i, j)] -= factor * ukj;
+                    }
+                }
+            }
+        }
+        Ok(Lu { lu, perm, sign })
+    }
+
+    /// Solve `A·x = b` using the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                got: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        // Apply permutation, then forward substitution (unit lower).
+        let mut x: Vec<f64> = self.perm.iter().map(|&pi| b[pi]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution (upper).
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solve for multiple right-hand sides stacked as matrix columns.
+    pub fn solve_mat(&self, b: &Mat) -> Result<Mat> {
+        let n = self.lu.rows();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_mat",
+                got: (b.rows(), b.cols()),
+                expected: (n, b.cols()),
+            });
+        }
+        let mut out = Mat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn det(&self) -> f64 {
+        let n = self.lu.rows();
+        let mut d = self.sign;
+        for i in 0..n {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Cholesky factorization `A = L·Lᵀ` of a symmetric positive-definite matrix.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Mat,
+}
+
+impl Cholesky {
+    /// Factorize. Only the lower triangle of `a` is read; fails with
+    /// [`LinalgError::NotPositiveDefinite`] when a diagonal pivot is not
+    /// strictly positive.
+    pub fn factor(a: &Mat) -> Result<Self> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky",
+                got: (a.rows(), a.cols()),
+                expected: (n, n),
+            });
+        }
+        let mut l = Mat::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { at: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Solve `A·x = b` via two triangular solves.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "cholesky_solve",
+                got: (b.len(), 1),
+                expected: (n, 1),
+            });
+        }
+        let mut x = b.to_vec();
+        // L·y = b
+        for i in 0..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.l[(i, j)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        // Lᵀ·x = y
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.l[(j, i)] * x[j];
+            }
+            x[i] = acc / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` (twice the log-determinant of `L`), useful for
+    /// model-selection diagnostics.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solves_known_system() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[3.0, 5.0]).unwrap();
+        // Solution of 2x+y=3, x+3y=5 is (4/5, 7/5).
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_handles_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lu_rejects_singular() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::Singular { .. })));
+    }
+
+    #[test]
+    fn lu_rejects_non_finite() {
+        let a = Mat::from_rows(&[vec![1.0, f64::NAN], vec![0.0, 1.0]]);
+        assert!(matches!(Lu::factor(&a), Err(LinalgError::NonFinite { .. })));
+    }
+
+    #[test]
+    fn lu_residual_small_on_random_like_system() {
+        // Deterministic pseudo-random SPD-ish matrix.
+        let n = 24;
+        let mut a = Mat::zeros(n, n);
+        let mut state = 42u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += n as f64; // diagonally dominant => nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        let err: f64 = r.iter().zip(b.iter()).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9, "residual too large: {err}");
+    }
+
+    #[test]
+    fn lu_det_of_diagonal() {
+        let a = Mat::from_diag(&[2.0, 3.0, 4.0]);
+        let lu = Lu::factor(&a).unwrap();
+        assert!((lu.det() - 24.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solves_spd() {
+        let a = Mat::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let ch = Cholesky::factor(&a).unwrap();
+        let x = ch.solve(&[2.0, 1.0]).unwrap();
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - 2.0).abs() < 1e-12);
+        assert!((r[1] - 1.0).abs() < 1e-12);
+        assert!((ch.log_det() - (4.0 * 3.0 - 2.0 * 2.0_f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Mat::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd() {
+        let a = Mat::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let b = vec![1.0, 2.0, 3.0];
+        let x1 = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let x2 = Cholesky::factor(&a).unwrap().solve(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_mat_multiple_rhs() {
+        let a = Mat::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]]);
+        let b = Mat::from_rows(&[vec![2.0, 4.0], vec![4.0, 8.0]]);
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve_mat(&b).unwrap();
+        assert_eq!(x, Mat::from_rows(&[vec![1.0, 2.0], vec![1.0, 2.0]]));
+    }
+}

@@ -1,0 +1,486 @@
+//! SMO solver for the dual quadratic program of Eq. 16:
+//!
+//! ```text
+//!   max_β  βᵀ1 − ½ βᵀQβ
+//!   s.t.   Σ_t β_t·y_t = 0,   0 ≤ β_t ≤ C          (C = 1/|P_l| in the paper)
+//! ```
+//!
+//! which we minimize as `f(β) = ½βᵀQβ − βᵀ1`. `Q` here is the full Eq. 17
+//! matrix `Y·J·K·(2γ_L I + 2γ_M/|P|²(D−M))⁻¹·Jᵀ·Y`, i.e. the label signs are
+//! already folded in (`Q_ij = y_i y_j K̂_ij`), exactly the structure of the
+//! classic SVM dual. The solver is sequential minimal optimization with
+//! maximal-violating-pair working-set selection, plus the two engineering
+//! tricks Section 7.5 describes for scale:
+//!
+//! * **gradient-threshold shrinking** — variables pinned at a bound whose
+//!   gradient says they will stay there are dropped from the working set and
+//!   re-checked only before convergence is declared;
+//! * **warm starts** — a previous β may seed the next solve (the
+//!   `β_t → β_{t+1}` warm start used across the paper's parameter sweeps).
+
+use crate::dense::Mat;
+use crate::{LinalgError, Result};
+
+/// Options controlling [`SmoSolver`].
+#[derive(Debug, Clone, Copy)]
+pub struct SmoOptions {
+    /// Upper box bound `C` for every β (the paper uses `1/|P_l|`).
+    pub c: f64,
+    /// KKT violation tolerance for convergence.
+    pub tol: f64,
+    /// Hard cap on SMO iterations.
+    pub max_iter: usize,
+    /// Run the shrinking heuristic every this many iterations (0 = off).
+    pub shrink_every: usize,
+}
+
+impl Default for SmoOptions {
+    fn default() -> Self {
+        SmoOptions {
+            c: 1.0,
+            tol: 1e-6,
+            max_iter: 100_000,
+            shrink_every: 1000,
+        }
+    }
+}
+
+/// Output of an SMO solve.
+#[derive(Debug, Clone)]
+pub struct SmoResult {
+    /// Optimal dual variables β ∈ [0, C]ⁿ.
+    pub beta: Vec<f64>,
+    /// KKT offset ρ; the decision function is
+    /// `f(x) = Σ_t y_t β_t K̂(x_t, x) − ρ`.
+    pub rho: f64,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final objective `½βᵀQβ − βᵀ1` (lower is better).
+    pub objective: f64,
+    /// Number of support vectors (β_t > 0 at convergence).
+    pub support_vectors: usize,
+}
+
+/// Sequential-minimal-optimization solver. Construct once per `Q`, then call
+/// [`SmoSolver::solve`] (optionally warm-started).
+pub struct SmoSolver<'a> {
+    q: &'a Mat,
+    y: &'a [f64],
+    opts: SmoOptions,
+}
+
+impl<'a> SmoSolver<'a> {
+    /// Create a solver for the given symmetric `Q` and labels `y ∈ {±1}ⁿ`.
+    pub fn new(q: &'a Mat, y: &'a [f64], opts: SmoOptions) -> Result<Self> {
+        let n = y.len();
+        if q.rows() != n || q.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "smo",
+                got: (q.rows(), q.cols()),
+                expected: (n, n),
+            });
+        }
+        if !y.iter().all(|v| *v == 1.0 || *v == -1.0) {
+            return Err(LinalgError::NonFinite {
+                what: "smo labels (must be ±1)",
+            });
+        }
+        if !(opts.c > 0.0) {
+            return Err(LinalgError::NonFinite { what: "smo box bound C" });
+        }
+        Ok(SmoSolver { q, y, opts })
+    }
+
+    /// Solve from the zero start.
+    pub fn solve(&self) -> Result<SmoResult> {
+        let n = self.y.len();
+        self.solve_warm(vec![0.0; n])
+    }
+
+    /// Solve warm-started from a (possibly infeasible) previous β; the start
+    /// is clipped to the box and repaired onto the equality constraint before
+    /// optimization begins.
+    pub fn solve_warm(&self, mut beta: Vec<f64>) -> Result<SmoResult> {
+        let n = self.y.len();
+        if beta.len() != n {
+            beta = vec![0.0; n];
+        }
+        self.make_feasible(&mut beta);
+
+        if n == 0 {
+            return Ok(SmoResult {
+                beta,
+                rho: 0.0,
+                iterations: 0,
+                objective: 0.0,
+                support_vectors: 0,
+            });
+        }
+        // Single-class corner: yᵀβ = 0 with one sign forces β = 0.
+        let has_pos = self.y.iter().any(|&v| v > 0.0);
+        let has_neg = self.y.iter().any(|&v| v < 0.0);
+        if !(has_pos && has_neg) {
+            return Ok(SmoResult {
+                beta: vec![0.0; n],
+                rho: 0.0,
+                iterations: 0,
+                objective: 0.0,
+                support_vectors: 0,
+            });
+        }
+
+        // Gradient of ½βᵀQβ − βᵀ1 is Qβ − 1.
+        let mut grad: Vec<f64> = {
+            let qb = self.q.matvec(&beta)?;
+            qb.iter().map(|v| v - 1.0).collect()
+        };
+
+        let mut active: Vec<bool> = vec![true; n];
+        let mut shrunk = false;
+        let c = self.opts.c;
+        let tol = self.opts.tol;
+        let mut iterations = 0;
+
+        loop {
+            if iterations >= self.opts.max_iter {
+                break;
+            }
+            // Working-set selection: maximal violating pair over active set.
+            let (m_up, i_opt) = self.max_up(&beta, &grad, &active);
+            let (m_low, j_opt) = self.min_low(&beta, &grad, &active);
+
+            let converged_on_active = match (i_opt, j_opt) {
+                (Some(_), Some(_)) => m_up - m_low <= tol,
+                _ => true,
+            };
+
+            if converged_on_active {
+                if shrunk {
+                    // Unshrink, recompute, and confirm on the full set.
+                    active.iter_mut().for_each(|a| *a = true);
+                    shrunk = false;
+                    let qb = self.q.matvec(&beta)?;
+                    for t in 0..n {
+                        grad[t] = qb[t] - 1.0;
+                    }
+                    continue;
+                }
+                break;
+            }
+            let (i, j) = (i_opt.expect("selected i"), j_opt.expect("selected j"));
+
+            // Analytic 2-variable subproblem along the feasible direction
+            // β_i += y_i·t, β_j −= y_j·t.
+            let yi = self.y[i];
+            let yj = self.y[j];
+            let a = self.q[(i, i)] + self.q[(j, j)] - 2.0 * yi * yj * self.q[(i, j)];
+            let a = if a > 1e-12 { a } else { 1e-12 };
+            let mut t = (m_up - m_low) / a; // = −(y_i g_i − y_j g_j)/a ≥ 0
+
+            // Box clipping for both coordinates.
+            let max_t_i = if yi > 0.0 { c - beta[i] } else { beta[i] };
+            let max_t_j = if yj > 0.0 { beta[j] } else { c - beta[j] };
+            t = t.min(max_t_i).min(max_t_j);
+            if t <= 0.0 {
+                // Numerically stuck pair: freeze the worse one and move on.
+                active[i] = false;
+                iterations += 1;
+                continue;
+            }
+            let dbi = yi * t;
+            let dbj = -yj * t;
+            beta[i] = (beta[i] + dbi).clamp(0.0, c);
+            beta[j] = (beta[j] + dbj).clamp(0.0, c);
+
+            // Rank-2 gradient update: G += Q[:,i]·Δβ_i + Q[:,j]·Δβ_j.
+            for (tt, g) in grad.iter_mut().enumerate() {
+                *g += self.q[(tt, i)] * dbi + self.q[(tt, j)] * dbj;
+            }
+            iterations += 1;
+
+            if self.opts.shrink_every > 0 && iterations % self.opts.shrink_every == 0 {
+                self.shrink(&beta, &grad, &mut active, m_up, m_low);
+                shrunk = true;
+            }
+        }
+
+        // ρ from the KKT bounds over the full variable set.
+        active.iter_mut().for_each(|a| *a = true);
+        let (m_up, _) = self.max_up(&beta, &grad, &active);
+        let (m_low, _) = self.min_low(&beta, &grad, &active);
+        let rho = if m_up.is_finite() && m_low.is_finite() {
+            -(m_up + m_low) / 2.0
+        } else {
+            0.0
+        };
+
+        let qb = self.q.matvec(&beta)?;
+        let objective =
+            0.5 * beta.iter().zip(qb.iter()).map(|(b, q)| b * q).sum::<f64>()
+                - beta.iter().sum::<f64>();
+        let support_vectors = beta.iter().filter(|&&b| b > 1e-12).count();
+        Ok(SmoResult {
+            beta,
+            rho,
+            iterations,
+            objective,
+            support_vectors,
+        })
+    }
+
+    /// `max_{t ∈ I_up} −y_t·g_t` and its argmax.
+    fn max_up(&self, beta: &[f64], grad: &[f64], active: &[bool]) -> (f64, Option<usize>) {
+        let c = self.opts.c;
+        let mut best = f64::NEG_INFINITY;
+        let mut arg = None;
+        for t in 0..beta.len() {
+            if !active[t] {
+                continue;
+            }
+            let in_up = (self.y[t] > 0.0 && beta[t] < c) || (self.y[t] < 0.0 && beta[t] > 0.0);
+            if in_up {
+                let v = -self.y[t] * grad[t];
+                if v > best {
+                    best = v;
+                    arg = Some(t);
+                }
+            }
+        }
+        (best, arg)
+    }
+
+    /// `min_{t ∈ I_low} −y_t·g_t` and its argmin.
+    fn min_low(&self, beta: &[f64], grad: &[f64], active: &[bool]) -> (f64, Option<usize>) {
+        let c = self.opts.c;
+        let mut best = f64::INFINITY;
+        let mut arg = None;
+        for t in 0..beta.len() {
+            if !active[t] {
+                continue;
+            }
+            let in_low = (self.y[t] > 0.0 && beta[t] > 0.0) || (self.y[t] < 0.0 && beta[t] < c);
+            if in_low {
+                let v = -self.y[t] * grad[t];
+                if v < best {
+                    best = v;
+                    arg = Some(t);
+                }
+            }
+        }
+        (best, arg)
+    }
+
+    /// Gradient-threshold shrinking (Section 7.5): deactivate variables that
+    /// sit at a bound and whose gradient keeps them there with a margin
+    /// beyond the current violation window.
+    fn shrink(&self, beta: &[f64], grad: &[f64], active: &mut [bool], m_up: f64, m_low: f64) {
+        let c = self.opts.c;
+        for t in 0..beta.len() {
+            if !active[t] {
+                continue;
+            }
+            let v = -self.y[t] * grad[t];
+            let at_lower = beta[t] <= 0.0;
+            let at_upper = beta[t] >= c;
+            // A variable pinned at a bound can be dropped when its optimal
+            // direction points outside the box by more than the violation gap.
+            let drop = if self.y[t] > 0.0 {
+                (at_lower && v < m_low) || (at_upper && v > m_up)
+            } else {
+                (at_lower && v > m_up) || (at_upper && v < m_low)
+            };
+            if drop {
+                active[t] = false;
+            }
+        }
+    }
+
+    /// Clip to the box and repair `yᵀβ = 0` by shifting mass off the larger
+    /// side (used for warm starts only).
+    fn make_feasible(&self, beta: &mut [f64]) {
+        let c = self.opts.c;
+        for b in beta.iter_mut() {
+            *b = b.clamp(0.0, c);
+        }
+        let imbalance: f64 = beta.iter().zip(self.y.iter()).map(|(b, y)| b * y).sum();
+        let mut excess = imbalance.abs();
+        if excess < 1e-15 {
+            return;
+        }
+        // Reduce β on the heavy side until balance (greedy, preserves box).
+        // Removing `take` from a variable whose label matches the sign of the
+        // imbalance reduces |yᵀβ| by exactly `take` since y_t ∈ {±1}.
+        let heavy = imbalance.signum();
+        for (b, y) in beta.iter_mut().zip(self.y.iter()) {
+            if excess <= 0.0 {
+                break;
+            }
+            if *y == heavy && *b > 0.0 {
+                let take = b.min(excess);
+                *b -= take;
+                excess -= take;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{kernel_matrix, Kernel};
+
+    /// Build the SVM-dual Q for points with labels: Q_ij = y_i y_j K(x_i,x_j).
+    fn svm_q(xs: &[Vec<f64>], ys: &[f64], kernel: Kernel) -> Mat {
+        let mut k = kernel_matrix(kernel, xs);
+        for i in 0..ys.len() {
+            for j in 0..ys.len() {
+                k[(i, j)] *= ys[i] * ys[j];
+            }
+        }
+        k
+    }
+
+    fn decision(xs: &[Vec<f64>], ys: &[f64], r: &SmoResult, kernel: Kernel, x: &[f64]) -> f64 {
+        let mut f = -r.rho;
+        for t in 0..xs.len() {
+            if r.beta[t] > 0.0 {
+                f += ys[t] * r.beta[t] * kernel.eval(&xs[t], x);
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn separable_2d_problem() {
+        // Two clusters: +1 around (2,2), −1 around (−2,−2).
+        let xs = vec![
+            vec![2.0, 2.0],
+            vec![2.5, 1.8],
+            vec![1.8, 2.4],
+            vec![-2.0, -2.0],
+            vec![-2.2, -1.7],
+            vec![-1.9, -2.5],
+        ];
+        let ys = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let q = svm_q(&xs, &ys, Kernel::Linear);
+        let solver = SmoSolver::new(&q, &ys, SmoOptions { c: 10.0, ..Default::default() })
+            .unwrap();
+        let r = solver.solve().unwrap();
+        assert!(r.support_vectors >= 2);
+        for (x, y) in xs.iter().zip(ys.iter()) {
+            let f = decision(&xs, &ys, &r, Kernel::Linear, x);
+            assert!(f * y > 0.0, "misclassified training point {x:?}: f={f}");
+        }
+    }
+
+    #[test]
+    fn kkt_conditions_hold() {
+        let xs = vec![
+            vec![1.0, 0.0],
+            vec![0.9, 0.2],
+            vec![-1.0, 0.1],
+            vec![-0.8, -0.3],
+        ];
+        let ys = vec![1.0, 1.0, -1.0, -1.0];
+        let q = svm_q(&xs, &ys, Kernel::Rbf { gamma: 0.5 });
+        let opts = SmoOptions { c: 1.0, tol: 1e-8, ..Default::default() };
+        let r = SmoSolver::new(&q, &ys, opts).unwrap().solve().unwrap();
+        // Feasibility.
+        let balance: f64 = r.beta.iter().zip(ys.iter()).map(|(b, y)| b * y).sum();
+        assert!(balance.abs() < 1e-9, "equality constraint violated: {balance}");
+        assert!(r.beta.iter().all(|&b| (-1e-12..=1.0 + 1e-12).contains(&b)));
+        // Stationarity via the violating-pair gap.
+        let qb = q.matvec(&r.beta).unwrap();
+        let grad: Vec<f64> = qb.iter().map(|v| v - 1.0).collect();
+        let mut m_up = f64::NEG_INFINITY;
+        let mut m_low = f64::INFINITY;
+        for t in 0..ys.len() {
+            let v = -ys[t] * grad[t];
+            if (ys[t] > 0.0 && r.beta[t] < 1.0) || (ys[t] < 0.0 && r.beta[t] > 0.0) {
+                m_up = m_up.max(v);
+            }
+            if (ys[t] > 0.0 && r.beta[t] > 0.0) || (ys[t] < 0.0 && r.beta[t] < 1.0) {
+                m_low = m_low.min(v);
+            }
+        }
+        assert!(m_up - m_low <= 1e-6, "KKT gap {}", m_up - m_low);
+    }
+
+    #[test]
+    fn single_class_returns_zero() {
+        let q = Mat::identity(3);
+        let ys = vec![1.0, 1.0, 1.0];
+        let r = SmoSolver::new(&q, &ys, SmoOptions::default())
+            .unwrap()
+            .solve()
+            .unwrap();
+        assert_eq!(r.beta, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        let q = Mat::identity(2);
+        let ys = vec![1.0, 0.5];
+        assert!(SmoSolver::new(&q, &ys, SmoOptions::default()).is_err());
+    }
+
+    #[test]
+    fn warm_start_converges_faster_or_equal() {
+        let xs: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let s = if i % 2 == 0 { 1.0 } else { -1.0 };
+                vec![s * 2.0 + (i as f64 * 0.13).sin(), s + (i as f64 * 0.7).cos() * 0.3]
+            })
+            .collect();
+        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let q = svm_q(&xs, &ys, Kernel::Linear);
+        let opts = SmoOptions { c: 1.0, tol: 1e-7, ..Default::default() };
+        let solver = SmoSolver::new(&q, &ys, opts).unwrap();
+        let cold = solver.solve().unwrap();
+        let warm = solver.solve_warm(cold.beta.clone()).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert!((warm.objective - cold.objective).abs() < 1e-5);
+    }
+
+    #[test]
+    fn objective_decreases_with_larger_box() {
+        // Non-separable data: larger C must not give a worse (higher) optimum.
+        let xs = vec![vec![1.0], vec![-0.5], vec![-1.0], vec![0.5]];
+        let ys = vec![1.0, 1.0, -1.0, -1.0];
+        let q = svm_q(&xs, &ys, Kernel::Linear);
+        let f = |c: f64| {
+            SmoSolver::new(&q, &ys, SmoOptions { c, tol: 1e-9, ..Default::default() })
+                .unwrap()
+                .solve()
+                .unwrap()
+                .objective
+        };
+        assert!(f(10.0) <= f(0.1) + 1e-9);
+    }
+
+    #[test]
+    fn shrinking_agrees_with_no_shrinking() {
+        let xs: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i as f64 * 0.37).sin() + if i % 2 == 0 { 1.5 } else { -1.5 }])
+            .collect();
+        let ys: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let q = svm_q(&xs, &ys, Kernel::Rbf { gamma: 1.0 });
+        let with = SmoSolver::new(
+            &q,
+            &ys,
+            SmoOptions { c: 1.0, tol: 1e-8, shrink_every: 10, ..Default::default() },
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        let without = SmoSolver::new(
+            &q,
+            &ys,
+            SmoOptions { c: 1.0, tol: 1e-8, shrink_every: 0, ..Default::default() },
+        )
+        .unwrap()
+        .solve()
+        .unwrap();
+        assert!((with.objective - without.objective).abs() < 1e-6);
+    }
+}

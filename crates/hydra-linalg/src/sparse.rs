@@ -1,0 +1,344 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! The structure-consistency matrix **M** of Section 6.2 is extremely sparse
+//! ("typically contains less than 1% non-zero elements" — Section 7.5): each
+//! candidate pair only interacts with candidate pairs drawn from the two
+//! users' core social neighborhoods. CSR gives O(nnz) storage, O(nnz)
+//! matvec, and cheap row iteration for the degree matrix
+//! `D(a,a) = Σ_b M(a,b)` of Eq. 8.
+
+use crate::{LinalgError, Result};
+
+/// Immutable CSR matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Incremental builder accumulating (row, col, value) triplets; duplicate
+/// coordinates are summed, matching the usual sparse-assembly convention.
+#[derive(Debug, Clone, Default)]
+pub struct CsrBuilder {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl CsrBuilder {
+    /// New builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        CsrBuilder {
+            rows,
+            cols,
+            triplets: Vec::new(),
+        }
+    }
+
+    /// Record `a[(r, c)] += v`. Zero values are skipped.
+    ///
+    /// # Panics
+    /// Panics if the coordinate is out of bounds.
+    pub fn push(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "CsrBuilder::push out of bounds");
+        if v != 0.0 {
+            self.triplets.push((r as u32, c as u32, v));
+        }
+    }
+
+    /// Number of recorded (possibly duplicate) triplets.
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// True when no triplet has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Finalize into a CSR matrix (sorts, merges duplicates).
+    pub fn build(mut self) -> CsrMatrix {
+        self.triplets.sort_unstable_by_key(|t| (t.0, t.1));
+        // Per-row counts in row_ptr[r+1], then prefix-sum into offsets.
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx: Vec<u32> = Vec::with_capacity(self.triplets.len());
+        let mut values: Vec<f64> = Vec::with_capacity(self.triplets.len());
+        let mut last: Option<(u32, u32)> = None;
+        for &(r, c, v) in &self.triplets {
+            if last == Some((r, c)) {
+                *values.last_mut().expect("merge target exists") += v;
+            } else {
+                col_idx.push(c);
+                values.push(v);
+                row_ptr[r as usize + 1] += 1;
+                last = Some((r, c));
+            }
+        }
+        for i in 1..=self.rows {
+            row_ptr[i] += row_ptr[i - 1];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+impl CsrMatrix {
+    /// Empty (all-zero) matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Sparse identity of order `n`.
+    pub fn identity(n: usize) -> Self {
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr: (0..=n).collect(),
+            col_idx: (0..n as u32).collect(),
+            values: vec![1.0; n],
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Fill fraction `nnz / (rows·cols)`; `0` for an empty shape.
+    pub fn density(&self) -> f64 {
+        let cells = self.rows * self.cols;
+        if cells == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / cells as f64
+        }
+    }
+
+    /// Iterate over the `(col, value)` entries of row `r`.
+    #[inline]
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(self.values[lo..hi].iter())
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Value at `(r, c)`; zero when not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let lo = self.row_ptr[r];
+        let hi = self.row_ptr[r + 1];
+        match self.col_idx[lo..hi].binary_search(&(c as u32)) {
+            Ok(pos) => self.values[lo + pos],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix · dense vector.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "csr_matvec",
+                got: (x.len(), 1),
+                expected: (self.cols, 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, o) in out.iter_mut().enumerate() {
+            let lo = self.row_ptr[r];
+            let hi = self.row_ptr[r + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            *o = acc;
+        }
+        Ok(out)
+    }
+
+    /// Row sums — the degree vector `D(a,a) = Σ_b M(a,b)` of Eq. 8.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows)
+            .map(|r| self.row_iter(r).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// `y = (D − M)·x` where `D = diag(row_sums)` — the graph-Laplacian
+    /// operator applied without materializing `D − M`.
+    pub fn laplacian_matvec(&self, degrees: &[f64], x: &[f64]) -> Result<Vec<f64>> {
+        if degrees.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "laplacian_matvec(degrees)",
+                got: (degrees.len(), 1),
+                expected: (self.rows, 1),
+            });
+        }
+        let mut mx = self.matvec(x)?;
+        for i in 0..self.rows {
+            mx[i] = degrees[i] * x[i] - mx[i];
+        }
+        Ok(mx)
+    }
+
+    /// Convert to a dense matrix (tests and small problems only).
+    pub fn to_dense(&self) -> crate::dense::Mat {
+        let mut m = crate::dense::Mat::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+
+    /// True when the matrix equals its transpose (exact comparison).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                if (self.get(c, r) - v).abs() > 0.0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(2, 0, 3.0);
+        b.push(2, 1, 4.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_and_get() {
+        let m = sample();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(2, 1), 4.0);
+        assert_eq!(m.get(1, 1), 0.0);
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.5);
+        b.push(0, 1, 2.5);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 4.0);
+    }
+
+    #[test]
+    fn zero_values_skipped() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 0, 0.0);
+        assert!(b.is_empty());
+        assert_eq!(b.build().nnz(), 0);
+    }
+
+    #[test]
+    fn matvec_with_empty_row() {
+        let m = sample();
+        let y = m.matvec(&[1.0, 1.0, 1.0]).unwrap();
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn row_sums_and_laplacian() {
+        let m = sample();
+        let d = m.row_sums();
+        assert_eq!(d, vec![3.0, 0.0, 7.0]);
+        // (D - M)·1 = 0 row-wise by construction.
+        let y = m.laplacian_matvec(&d, &[1.0, 1.0, 1.0]).unwrap();
+        assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn identity_behaves() {
+        let i = CsrMatrix::identity(4);
+        assert_eq!(i.nnz(), 4);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x).unwrap(), x);
+        assert!(i.is_symmetric());
+    }
+
+    #[test]
+    fn density_and_shape() {
+        let m = sample();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+        assert!((m.density() - 4.0 / 9.0).abs() < 1e-12);
+        assert_eq!(CsrMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 2.0);
+        b.push(1, 0, 2.0);
+        assert!(b.build().is_symmetric());
+        let mut b2 = CsrBuilder::new(2, 2);
+        b2.push(0, 1, 2.0);
+        assert!(!b2.build().is_symmetric());
+    }
+
+    #[test]
+    fn to_dense_roundtrip() {
+        let m = sample();
+        let d = m.to_dense();
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(d[(r, c)], m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn dimension_error_on_bad_matvec() {
+        let m = sample();
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Property-based tests for the numeric substrate.
+
+use hydra_linalg::dense::Mat;
+use hydra_linalg::kernels::Kernel;
+use hydra_linalg::sparse::CsrBuilder;
+use hydra_linalg::stats::{lq_pooling, max_pooling, sigmoid};
+use hydra_linalg::vec_ops;
+use hydra_linalg::{Lu, SmoOptions, SmoSolver};
+use proptest::prelude::*;
+
+/// Bounded finite floats that keep the numerics honest without overflow.
+fn small_f64() -> impl Strategy<Value = f64> {
+    (-100.0..100.0f64).prop_map(|v| f64::round(v * 1000.0) / 1000.0)
+}
+
+fn histogram(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.0..1.0f64, len).prop_map(|mut v| {
+        vec_ops::normalize_l1(&mut v);
+        v
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_is_commutative(x in proptest::collection::vec(small_f64(), 1..20)) {
+        let y: Vec<f64> = x.iter().rev().cloned().collect();
+        prop_assert!((vec_ops::dot(&x, &y) - vec_ops::dot(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm2_triangle_inequality(
+        x in proptest::collection::vec(small_f64(), 5),
+        y in proptest::collection::vec(small_f64(), 5),
+    ) {
+        let sum = vec_ops::add(&x, &y);
+        prop_assert!(vec_ops::norm2(&sum) <= vec_ops::norm2(&x) + vec_ops::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn sq_dist_zero_iff_equal(x in proptest::collection::vec(small_f64(), 1..10)) {
+        prop_assert_eq!(vec_ops::sq_dist(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn normalize_l1_is_simplex(mut v in proptest::collection::vec(0.0..10.0f64, 1..12)) {
+        vec_ops::normalize_l1(&mut v);
+        let s: f64 = v.iter().sum();
+        prop_assert!((s - 1.0).abs() < 1e-9);
+        prop_assert!(v.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rbf_kernel_bounded_and_symmetric(
+        x in proptest::collection::vec(small_f64(), 4),
+        y in proptest::collection::vec(small_f64(), 4),
+        gamma in 0.01..5.0f64,
+    ) {
+        let k = Kernel::Rbf { gamma };
+        let v = k.eval(&x, &y);
+        prop_assert!((0.0..=1.0).contains(&v));
+        prop_assert!((v - k.eval(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_in_unit_interval_on_histograms(
+        x in histogram(6),
+        y in histogram(6),
+    ) {
+        let v = Kernel::ChiSquare.eval(&x, &y);
+        prop_assert!((-1e-12..=1.0 + 1e-9).contains(&v), "chi² out of range: {v}");
+        prop_assert!((v - Kernel::ChiSquare.eval(&y, &x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hist_intersection_bounds_and_self_identity(
+        x in histogram(5),
+        y in histogram(5),
+    ) {
+        let k = Kernel::HistIntersection;
+        let v = k.eval(&x, &y);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        prop_assert!((k.eval(&x, &x) - 1.0).abs() < 1e-9);
+        // Intersection never exceeds either self-similarity.
+        prop_assert!(v <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(
+        diag in proptest::collection::vec(1.0..10.0f64, 3..8),
+        off in proptest::collection::vec(-0.4..0.4f64, 64),
+        b_seed in proptest::collection::vec(small_f64(), 8),
+    ) {
+        let n = diag.len();
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    a[(i, j)] = diag[i] + n as f64; // dominance ⇒ nonsingular
+                } else {
+                    a[(i, j)] = off[(i * n + j) % off.len()];
+                }
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let lu = Lu::factor(&a).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for (u, v) in r.iter().zip(b.iter()) {
+            prop_assert!((u - v).abs() < 1e-7, "residual {} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense(
+        entries in proptest::collection::vec((0usize..6, 0usize..6, small_f64()), 0..24),
+        x in proptest::collection::vec(small_f64(), 6),
+    ) {
+        let mut b = CsrBuilder::new(6, 6);
+        for &(r, c, v) in &entries {
+            b.push(r, c, v);
+        }
+        let m = b.build();
+        let dense = m.to_dense();
+        let y1 = m.matvec(&x).unwrap();
+        let y2 = dense.matvec(&x).unwrap();
+        for (u, v) in y1.iter().zip(y2.iter()) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csr_laplacian_annihilates_constants(
+        entries in proptest::collection::vec((0usize..5, 0usize..5, 0.0..2.0f64), 1..20),
+    ) {
+        let mut b = CsrBuilder::new(5, 5);
+        for &(r, c, v) in &entries {
+            b.push(r, c, v);
+        }
+        let m = b.build();
+        let d = m.row_sums();
+        let y = m.laplacian_matvec(&d, &[1.0; 5]).unwrap();
+        for v in y {
+            prop_assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sigmoid_monotone_and_bounded(
+        a in -50.0..50.0f64,
+        b in -50.0..50.0f64,
+        lambda in 0.01..10.0f64,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let sl = sigmoid(lo, lambda);
+        let sh = sigmoid(hi, lambda);
+        prop_assert!(sl <= sh + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&sl) && (0.0..=1.0).contains(&sh));
+    }
+
+    #[test]
+    fn lq_pooling_bounded_by_mean_and_max(
+        signals in proptest::collection::vec(0.0..1.0f64, 1..16),
+        q in 1.0..32.0f64,
+    ) {
+        let v = lq_pooling(&signals, q);
+        let mean = signals.iter().sum::<f64>() / signals.len() as f64;
+        let mx = max_pooling(&signals);
+        prop_assert!(v <= mean + 1e-9, "pooled {v} above mean {mean}");
+        prop_assert!(v >= mx - 1e-9, "pooled {v} below max-pool {mx}");
+    }
+
+    #[test]
+    fn smo_respects_constraints(
+        seeds in proptest::collection::vec(small_f64(), 8..16),
+    ) {
+        // Build a tiny labeled problem from arbitrary 1-d points.
+        let n = seeds.len();
+        let xs: Vec<Vec<f64>> = seeds.iter().map(|&s| vec![s]).collect();
+        let ys: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let mut q = hydra_linalg::kernels::kernel_matrix(Kernel::Rbf { gamma: 0.3 }, &xs);
+        for i in 0..n {
+            for j in 0..n {
+                q[(i, j)] *= ys[i] * ys[j];
+            }
+        }
+        let r = SmoSolver::new(&q, &ys, SmoOptions { c: 1.0, tol: 1e-6, ..Default::default() })
+            .unwrap()
+            .solve()
+            .unwrap();
+        let balance: f64 = r.beta.iter().zip(ys.iter()).map(|(b, y)| b * y).sum();
+        prop_assert!(balance.abs() < 1e-8);
+        prop_assert!(r.beta.iter().all(|&b| (-1e-12..=1.0 + 1e-12).contains(&b)));
+    }
+}

@@ -1,0 +1,34 @@
+//! Temporal substrate for the HYDRA reproduction.
+//!
+//! Two constructions from Section 5 live here:
+//!
+//! * the **multi-scale temporal division** of Figure 5 — "the time axis is
+//!   divided into multiple time buckets with different scales (we use 1, 2,
+//!   4, 8, 16 and 32 days [...]), then all the topic distribution vectors
+//!   within each bucket are aggregated into a single distribution" —
+//!   see [`buckets`];
+//! * the **multi-resolution behavior model** of Figure 6 — pattern-matching
+//!   sensors scanning windows at several temporal resolutions, whose stimuli
+//!   are pooled with the l_q norm of Eq. 5 and squashed through a sigmoid —
+//!   see [`sensors`].
+//!
+//! Timestamps are `i64` seconds; [`SECONDS_PER_DAY`] converts the paper's
+//! day-denominated scales.
+
+pub mod buckets;
+pub mod sensors;
+pub mod timeline;
+
+pub use buckets::{bucket_distributions, multi_scale_similarity, BucketConfig, PAPER_SCALES_DAYS};
+pub use sensors::{
+    haversine_km, GeoPoint, LocationSensor, MediaItem, MediaSensor, PatternSensor, SensorBank,
+};
+pub use timeline::{Timeline, Timestamp};
+
+/// Seconds in one day.
+pub const SECONDS_PER_DAY: i64 = 86_400;
+
+/// Convert whole days to seconds.
+pub const fn days(d: i64) -> i64 {
+    d * SECONDS_PER_DAY
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the temporal substrate.
+
+use hydra_linalg::kernels::Kernel;
+use hydra_temporal::{
+    bucket_distributions, days, haversine_km, multi_scale_similarity, BucketConfig, GeoPoint,
+    LocationSensor, MediaItem, MediaSensor, PatternSensor, Timeline, PAPER_SCALES_DAYS,
+};
+use proptest::prelude::*;
+
+fn dist_strategy(dim: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, dim).prop_map(|mut v| {
+        let s: f64 = v.iter().sum();
+        v.iter_mut().for_each(|x| *x /= s);
+        v
+    })
+}
+
+fn timeline_strategy() -> impl Strategy<Value = Timeline<Vec<f64>>> {
+    proptest::collection::vec((0i64..days(64), dist_strategy(4)), 0..20)
+        .prop_map(Timeline::from_events)
+}
+
+proptest! {
+    #[test]
+    fn timeline_is_sorted(tl in timeline_strategy()) {
+        let times: Vec<i64> = tl.iter().map(|e| e.0).collect();
+        prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn range_queries_partition(tl in timeline_strategy(), split in 0i64..days(64)) {
+        let before = tl.range(i64::MIN, split).len();
+        let after = tl.range(split, i64::MAX).len();
+        prop_assert_eq!(before + after, tl.len());
+    }
+
+    #[test]
+    fn bucketed_distributions_are_normalized(tl in timeline_strategy(), scale in 1u32..40) {
+        let cfg = BucketConfig::new(0, days(64));
+        for bucket in bucket_distributions(&tl, cfg, scale).into_iter().flatten() {
+            let s: f64 = bucket.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+            prop_assert!(bucket.iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn bucket_count_matches_config(scale in 1u32..64) {
+        let cfg = BucketConfig::new(0, days(64));
+        let expect = (64 + scale as i64 - 1) / scale as i64;
+        prop_assert_eq!(cfg.num_buckets(scale), expect as usize);
+    }
+
+    #[test]
+    fn self_similarity_is_one_when_active(tl in timeline_strategy()) {
+        prop_assume!(!tl.is_empty());
+        let cfg = BucketConfig::new(0, days(64));
+        let (sims, counts) =
+            multi_scale_similarity(&tl, &tl, cfg, &PAPER_SCALES_DAYS, Kernel::ChiSquare);
+        for (s, c) in sims.iter().zip(counts.iter()) {
+            prop_assert!(*c > 0);
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn similarity_symmetric_and_bounded(a in timeline_strategy(), b in timeline_strategy()) {
+        let cfg = BucketConfig::new(0, days(64));
+        let (sab, _) = multi_scale_similarity(&a, &b, cfg, &PAPER_SCALES_DAYS, Kernel::ChiSquare);
+        let (sba, _) = multi_scale_similarity(&b, &a, cfg, &PAPER_SCALES_DAYS, Kernel::ChiSquare);
+        for (x, y) in sab.iter().zip(sba.iter()) {
+            prop_assert!((x - y).abs() < 1e-9);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(x));
+        }
+    }
+
+    #[test]
+    fn coarser_scales_never_lose_matches(a in timeline_strategy(), b in timeline_strategy()) {
+        // If two users share any active bucket at scale s, they must share
+        // at least one at every coarser scale that divides evenly into the
+        // window (buckets merge, never split).
+        let cfg = BucketConfig::new(0, days(64));
+        let (_, counts) =
+            multi_scale_similarity(&a, &b, cfg, &[1, 2, 4, 8, 16, 32], Kernel::ChiSquare);
+        for w in counts.windows(2) {
+            if w[0] > 0 {
+                prop_assert!(w[1] > 0, "match lost when coarsening: {counts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn haversine_is_a_semimetric(
+        lat1 in -80.0f64..80.0, lon1 in -179.0f64..179.0,
+        lat2 in -80.0f64..80.0, lon2 in -179.0f64..179.0,
+    ) {
+        let a = GeoPoint { lat: lat1, lon: lon1 };
+        let b = GeoPoint { lat: lat2, lon: lon2 };
+        let d = haversine_km(a, b);
+        prop_assert!(d >= 0.0);
+        prop_assert!((haversine_km(b, a) - d).abs() < 1e-9);
+        prop_assert!(haversine_km(a, a) < 1e-9);
+        // Bounded by half the circumference.
+        prop_assert!(d <= 20_038.0);
+    }
+
+    #[test]
+    fn location_sensor_stimulus_in_unit_interval(
+        lat in -60.0f64..60.0, lon in -170.0f64..170.0, dlat in -1.0f64..1.0,
+    ) {
+        let s = LocationSensor::default();
+        let a = [(0i64, GeoPoint { lat, lon })];
+        let b = [(0i64, GeoPoint { lat: lat + dlat, lon })];
+        let v = s.window_stimulus(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&v));
+    }
+
+    #[test]
+    fn media_sensor_monotone_in_hamming(fp in any::<u64>(), bits in 0u32..10) {
+        let s = MediaSensor { max_hamming: 6 };
+        let a = [(0i64, MediaItem { fingerprint: fp })];
+        let mut flipped = fp;
+        for k in 0..bits {
+            flipped ^= 1u64 << (k * 5 % 64);
+        }
+        let exact = s.window_stimulus(&a, &[(0, MediaItem { fingerprint: fp })]);
+        let noisy = s.window_stimulus(&a, &[(0, MediaItem { fingerprint: flipped })]);
+        prop_assert_eq!(exact, 1.0);
+        prop_assert!(noisy <= exact);
+    }
+}

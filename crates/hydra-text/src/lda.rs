@@ -1,0 +1,339 @@
+//! Latent Dirichlet Allocation via collapsed Gibbs sampling.
+//!
+//! Section 5.2: "We first construct a latent topic model using Latent
+//! Dirichlet Allocation on every textual message, the output of which is a
+//! probability distribution over the topic space." This module provides
+//! that machinery: training on a token-id corpus and folding-in inference
+//! for new messages, both by collapsed Gibbs sampling with symmetric
+//! Dirichlet priors.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Hyper-parameters for [`LdaModel::train`].
+#[derive(Debug, Clone, Copy)]
+pub struct LdaOptions {
+    /// Number of latent topics `K`.
+    pub num_topics: usize,
+    /// Symmetric document–topic prior α.
+    pub alpha: f64,
+    /// Symmetric topic–word prior β.
+    pub beta: f64,
+    /// Gibbs sweeps over the corpus.
+    pub iterations: usize,
+    /// RNG seed (training is fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for LdaOptions {
+    fn default() -> Self {
+        LdaOptions {
+            num_topics: 10,
+            alpha: 0.5,
+            beta: 0.1,
+            iterations: 100,
+            seed: 0x9E3779B97F4A7C15,
+        }
+    }
+}
+
+/// A trained LDA model: topic–word counts plus the hyper-parameters needed
+/// for inference on unseen messages.
+#[derive(Debug, Clone)]
+pub struct LdaModel {
+    num_topics: usize,
+    vocab_size: usize,
+    alpha: f64,
+    beta: f64,
+    /// `topic_word[k * vocab_size + w]` — count of word `w` in topic `k`.
+    topic_word: Vec<u32>,
+    /// Total tokens per topic.
+    topic_totals: Vec<u32>,
+    /// Per-training-document topic distributions θ_d.
+    doc_topics: Vec<Vec<f64>>,
+}
+
+impl LdaModel {
+    /// Train on a corpus of token-id documents over a vocabulary of
+    /// `vocab_size` words.
+    ///
+    /// # Panics
+    /// Panics if `num_topics == 0`, `vocab_size == 0`, or a token id is out
+    /// of range.
+    pub fn train(docs: &[Vec<u32>], vocab_size: usize, opts: LdaOptions) -> Self {
+        assert!(opts.num_topics > 0, "LDA needs at least one topic");
+        assert!(vocab_size > 0, "LDA needs a non-empty vocabulary");
+        let k = opts.num_topics;
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+
+        let mut topic_word = vec![0u32; k * vocab_size];
+        let mut topic_totals = vec![0u32; k];
+        let mut doc_topic: Vec<Vec<u32>> = docs.iter().map(|_| vec![0u32; k]).collect();
+        // Current topic assignment per token.
+        let mut assignments: Vec<Vec<usize>> = Vec::with_capacity(docs.len());
+
+        // Random initialization.
+        for (d, doc) in docs.iter().enumerate() {
+            let mut z = Vec::with_capacity(doc.len());
+            for &w in doc {
+                assert!((w as usize) < vocab_size, "token id {w} out of range");
+                let t = rng.gen_range(0..k);
+                z.push(t);
+                topic_word[t * vocab_size + w as usize] += 1;
+                topic_totals[t] += 1;
+                doc_topic[d][t] += 1;
+            }
+            assignments.push(z);
+        }
+
+        let mut probs = vec![0.0f64; k];
+        let vb = vocab_size as f64 * opts.beta;
+        for _sweep in 0..opts.iterations {
+            for (d, doc) in docs.iter().enumerate() {
+                for (pos, &w) in doc.iter().enumerate() {
+                    let old = assignments[d][pos];
+                    // Remove the token from the counts.
+                    topic_word[old * vocab_size + w as usize] -= 1;
+                    topic_totals[old] -= 1;
+                    doc_topic[d][old] -= 1;
+
+                    // Collapsed conditional p(z = t | rest).
+                    let mut total = 0.0;
+                    for (t, p) in probs.iter_mut().enumerate() {
+                        let phi = (topic_word[t * vocab_size + w as usize] as f64 + opts.beta)
+                            / (topic_totals[t] as f64 + vb);
+                        let theta = doc_topic[d][t] as f64 + opts.alpha;
+                        *p = phi * theta;
+                        total += *p;
+                    }
+                    // Sample the new assignment.
+                    let mut u = rng.gen::<f64>() * total;
+                    let mut new = k - 1;
+                    for (t, &p) in probs.iter().enumerate() {
+                        if u < p {
+                            new = t;
+                            break;
+                        }
+                        u -= p;
+                    }
+
+                    assignments[d][pos] = new;
+                    topic_word[new * vocab_size + w as usize] += 1;
+                    topic_totals[new] += 1;
+                    doc_topic[d][new] += 1;
+                }
+            }
+        }
+
+        // Posterior-mean document-topic distributions.
+        let doc_topics = doc_topic
+            .iter()
+            .zip(docs.iter())
+            .map(|(counts, doc)| {
+                let denom = doc.len() as f64 + k as f64 * opts.alpha;
+                counts
+                    .iter()
+                    .map(|&c| (c as f64 + opts.alpha) / denom)
+                    .collect()
+            })
+            .collect();
+
+        LdaModel {
+            num_topics: k,
+            vocab_size,
+            alpha: opts.alpha,
+            beta: opts.beta,
+            topic_word,
+            topic_totals,
+            doc_topics,
+        }
+    }
+
+    /// Number of topics `K`.
+    pub fn num_topics(&self) -> usize {
+        self.num_topics
+    }
+
+    /// Vocabulary size the model was trained with.
+    pub fn vocab_size(&self) -> usize {
+        self.vocab_size
+    }
+
+    /// θ_d for training document `d`.
+    pub fn doc_topic_distribution(&self, d: usize) -> &[f64] {
+        &self.doc_topics[d]
+    }
+
+    /// Topic–word distribution φ_k (normalized with the β prior).
+    pub fn topic_word_distribution(&self, t: usize) -> Vec<f64> {
+        let vb = self.vocab_size as f64 * self.beta;
+        let denom = self.topic_totals[t] as f64 + vb;
+        (0..self.vocab_size)
+            .map(|w| (self.topic_word[t * self.vocab_size + w] as f64 + self.beta) / denom)
+            .collect()
+    }
+
+    /// Fold-in inference: topic distribution for an unseen message by Gibbs
+    /// sampling against the frozen topic–word counts. Out-of-vocabulary
+    /// tokens are ignored; an effectively-empty message returns the uniform
+    /// distribution.
+    pub fn infer(&self, tokens: &[u32], iterations: usize, seed: u64) -> Vec<f64> {
+        let k = self.num_topics;
+        let in_vocab: Vec<u32> = tokens
+            .iter()
+            .copied()
+            .filter(|&w| (w as usize) < self.vocab_size)
+            .collect();
+        if in_vocab.is_empty() {
+            return vec![1.0 / k as f64; k];
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut local_counts = vec![0u32; k];
+        let mut z: Vec<usize> = in_vocab
+            .iter()
+            .map(|_| rng.gen_range(0..k))
+            .collect();
+        for &t in &z {
+            local_counts[t] += 1;
+        }
+        let vb = self.vocab_size as f64 * self.beta;
+        let mut probs = vec![0.0f64; k];
+        for _ in 0..iterations.max(1) {
+            for (pos, &w) in in_vocab.iter().enumerate() {
+                let old = z[pos];
+                local_counts[old] -= 1;
+                let mut total = 0.0;
+                for (t, p) in probs.iter_mut().enumerate() {
+                    let phi = (self.topic_word[t * self.vocab_size + w as usize] as f64
+                        + self.beta)
+                        / (self.topic_totals[t] as f64 + vb);
+                    let theta = local_counts[t] as f64 + self.alpha;
+                    *p = phi * theta;
+                    total += *p;
+                }
+                let mut u = rng.gen::<f64>() * total;
+                let mut new = k - 1;
+                for (t, &p) in probs.iter().enumerate() {
+                    if u < p {
+                        new = t;
+                        break;
+                    }
+                    u -= p;
+                }
+                z[pos] = new;
+                local_counts[new] += 1;
+            }
+        }
+        let denom = in_vocab.len() as f64 + k as f64 * self.alpha;
+        local_counts
+            .iter()
+            .map(|&c| (c as f64 + self.alpha) / denom)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two disjoint "themes": words 0..5 and words 5..10. Documents draw
+    /// exclusively from one theme, so a 2-topic LDA must separate them.
+    fn themed_corpus() -> (Vec<Vec<u32>>, usize) {
+        let mut docs = Vec::new();
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0u32 } else { 5u32 };
+            let doc: Vec<u32> = (0..20).map(|j| base + (j % 5) as u32).collect();
+            docs.push(doc);
+        }
+        (docs, 10)
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let (docs, v) = themed_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaOptions { num_topics: 2, iterations: 50, ..Default::default() },
+        );
+        for d in 0..docs.len() {
+            let theta = model.doc_topic_distribution(d);
+            let s: f64 = theta.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "theta not normalized: {s}");
+            assert!(theta.iter().all(|&p| p > 0.0));
+        }
+        for t in 0..2 {
+            let phi = model.topic_word_distribution(t);
+            let s: f64 = phi.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "phi not normalized: {s}");
+        }
+    }
+
+    #[test]
+    fn separates_disjoint_themes() {
+        let (docs, v) = themed_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaOptions { num_topics: 2, iterations: 80, seed: 7, ..Default::default() },
+        );
+        // Documents of the same theme must land on the same dominant topic,
+        // documents of different themes on different ones.
+        let dom = |d: usize| {
+            let th = model.doc_topic_distribution(d);
+            if th[0] > th[1] {
+                0
+            } else {
+                1
+            }
+        };
+        assert_eq!(dom(0), dom(2));
+        assert_eq!(dom(1), dom(3));
+        assert_ne!(dom(0), dom(1));
+        // And the assignment should be confident.
+        let th = model.doc_topic_distribution(0);
+        assert!(th[dom(0)] > 0.8, "weak separation: {th:?}");
+    }
+
+    #[test]
+    fn inference_matches_theme() {
+        let (docs, v) = themed_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaOptions { num_topics: 2, iterations: 80, seed: 7, ..Default::default() },
+        );
+        let theme0 = model.infer(&[0, 1, 2, 3, 4, 0, 1], 30, 99);
+        let theme1 = model.infer(&[5, 6, 7, 8, 9, 5, 6], 30, 99);
+        let d0 = if theme0[0] > theme0[1] { 0 } else { 1 };
+        let d1 = if theme1[0] > theme1[1] { 0 } else { 1 };
+        assert_ne!(d0, d1, "inferred themes should differ: {theme0:?} vs {theme1:?}");
+    }
+
+    #[test]
+    fn inference_handles_oov_and_empty() {
+        let (docs, v) = themed_corpus();
+        let model = LdaModel::train(&docs, v, LdaOptions { num_topics: 3, iterations: 10, ..Default::default() });
+        let uniform = model.infer(&[], 10, 1);
+        assert_eq!(uniform, vec![1.0 / 3.0; 3]);
+        // All-OOV behaves like empty.
+        let oov = model.infer(&[1000, 2000], 10, 1);
+        assert_eq!(oov, vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn training_is_deterministic_for_fixed_seed() {
+        let (docs, v) = themed_corpus();
+        let opts = LdaOptions { num_topics: 2, iterations: 20, seed: 5, ..Default::default() };
+        let m1 = LdaModel::train(&docs, v, opts);
+        let m2 = LdaModel::train(&docs, v, opts);
+        assert_eq!(m1.doc_topic_distribution(0), m2.doc_topic_distribution(0));
+        assert_eq!(m1.topic_word_distribution(1), m2.topic_word_distribution(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn zero_topics_rejected() {
+        LdaModel::train(&[vec![0]], 1, LdaOptions { num_topics: 0, ..Default::default() });
+    }
+}

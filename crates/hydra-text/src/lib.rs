@@ -1,0 +1,33 @@
+//! Text-analysis substrate for the HYDRA reproduction.
+//!
+//! Section 5 of the paper consumes several text-derived signals:
+//!
+//! * per-message **topic distributions** from "a latent topic model using
+//!   Latent Dirichlet Allocation on every textual message" (Section 5.2) —
+//!   [`lda`] implements collapsed-Gibbs LDA from scratch;
+//! * **sentiment pattern distributions** built "by extracting representative
+//!   emotional key words in the textual content and learning a sentiment
+//!   vocabulary" (Section 5.2) — [`sentiment`];
+//! * **user style**: "the most unique words of each user by a simple term
+//!   frequency analysis on the whole database", matched via Eq. 4 —
+//!   [`style`];
+//! * **username analysis** for the rule-based pre-matching of Section 3 and
+//!   for the MOBIUS / Alias-Disamb baselines — [`strsim`] (edit distances,
+//!   n-gram overlap, LCS) and [`ngram_lm`] (character-level language model
+//!   estimating username rarity, the core of Liu et al.'s WSDM'13 method).
+
+pub mod lda;
+pub mod ngram_lm;
+pub mod sentiment;
+pub mod strsim;
+pub mod style;
+pub mod tokenize;
+pub mod vocab;
+
+pub use lda::{LdaModel, LdaOptions};
+pub use ngram_lm::CharNgramLm;
+pub use sentiment::{Sentiment, SentimentLexicon};
+pub use strsim::{jaro_winkler, levenshtein, lcs_length, ngram_jaccard, normalized_levenshtein};
+pub use style::{style_similarity, UniqueWordProfile};
+pub use tokenize::{normalize_token, tokenize};
+pub use vocab::Vocabulary;

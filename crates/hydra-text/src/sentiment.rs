@@ -1,0 +1,236 @@
+//! Sentiment-pattern modeling.
+//!
+//! Section 5.2: "we can [...] roughly group all emotions into several
+//! categories, e.g., happy/ fear/ sad/ neutral. It can be done by extracting
+//! representative emotional key words in the textual content and learning a
+//! sentiment vocabulary. After that, each textual message can be represented
+//! by a probabilistic distribution on the sentiment vocabulary."
+//!
+//! [`SentimentLexicon`] starts from seed keywords per category and expands
+//! them over a corpus by co-occurrence: a word acquires the sentiment
+//! weights of the seeds it shares messages with. Messages are then scored
+//! into a distribution over the four categories.
+
+use std::collections::HashMap;
+
+/// The four coarse emotion categories used throughout the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sentiment {
+    /// Positive affect.
+    Happy,
+    /// Anxiety / fear.
+    Fear,
+    /// Negative affect / sadness.
+    Sad,
+    /// No emotional signal.
+    Neutral,
+}
+
+impl Sentiment {
+    /// All categories in index order; the index doubles as the dimension in
+    /// sentiment distributions.
+    pub const ALL: [Sentiment; 4] = [
+        Sentiment::Happy,
+        Sentiment::Fear,
+        Sentiment::Sad,
+        Sentiment::Neutral,
+    ];
+
+    /// Dimension index of this category inside a distribution vector.
+    pub fn index(self) -> usize {
+        match self {
+            Sentiment::Happy => 0,
+            Sentiment::Fear => 1,
+            Sentiment::Sad => 2,
+            Sentiment::Neutral => 3,
+        }
+    }
+}
+
+/// Number of sentiment categories.
+pub const NUM_SENTIMENTS: usize = 4;
+
+/// A learned sentiment vocabulary: word → weight per category.
+#[derive(Debug, Clone, Default)]
+pub struct SentimentLexicon {
+    weights: HashMap<String, [f64; NUM_SENTIMENTS]>,
+}
+
+impl SentimentLexicon {
+    /// Build a lexicon directly from `(word, category)` seed entries, each
+    /// with weight 1 for its category.
+    pub fn from_seeds<'a>(seeds: impl IntoIterator<Item = (&'a str, Sentiment)>) -> Self {
+        let mut weights: HashMap<String, [f64; NUM_SENTIMENTS]> = HashMap::new();
+        for (word, s) in seeds {
+            let e = weights.entry(word.to_string()).or_insert([0.0; NUM_SENTIMENTS]);
+            e[s.index()] += 1.0;
+        }
+        SentimentLexicon { weights }
+    }
+
+    /// Expand the lexicon by co-occurrence over tokenized messages: every
+    /// non-seed word in a message containing seed words receives a fraction
+    /// (`rate`) of the seeds' category mass. This is the "learning a
+    /// sentiment vocabulary" step; one pass over the corpus suffices for the
+    /// synthetic data.
+    pub fn learn_from_corpus(&mut self, messages: &[Vec<String>], rate: f64) {
+        let mut acquired: HashMap<String, [f64; NUM_SENTIMENTS]> = HashMap::new();
+        for msg in messages {
+            // Aggregate seed mass present in this message.
+            let mut mass = [0.0; NUM_SENTIMENTS];
+            let mut any = false;
+            for tok in msg {
+                if let Some(w) = self.weights.get(tok.as_str()) {
+                    for (m, v) in mass.iter_mut().zip(w.iter()) {
+                        *m += v;
+                    }
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            for tok in msg {
+                if self.weights.contains_key(tok.as_str()) {
+                    continue;
+                }
+                let e = acquired.entry(tok.clone()).or_insert([0.0; NUM_SENTIMENTS]);
+                for (a, m) in e.iter_mut().zip(mass.iter()) {
+                    *a += rate * m;
+                }
+            }
+        }
+        for (word, w) in acquired {
+            let e = self.weights.entry(word).or_insert([0.0; NUM_SENTIMENTS]);
+            for (ei, wi) in e.iter_mut().zip(w.iter()) {
+                *ei += wi;
+            }
+        }
+    }
+
+    /// Number of words with any sentiment weight.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// True when the lexicon is empty.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Weight vector for a word, if known.
+    pub fn word_weights(&self, word: &str) -> Option<&[f64; NUM_SENTIMENTS]> {
+        self.weights.get(word)
+    }
+
+    /// Score a tokenized message into a probability distribution over the
+    /// four categories. Messages with no sentiment-bearing words map to a
+    /// point mass on `Neutral`.
+    pub fn message_distribution(&self, tokens: &[String]) -> [f64; NUM_SENTIMENTS] {
+        let mut acc = [0.0; NUM_SENTIMENTS];
+        let mut hits = 0usize;
+        for tok in tokens {
+            if let Some(w) = self.weights.get(tok.as_str()) {
+                for (a, v) in acc.iter_mut().zip(w.iter()) {
+                    *a += v;
+                }
+                hits += 1;
+            }
+        }
+        if hits == 0 {
+            acc[Sentiment::Neutral.index()] = 1.0;
+            return acc;
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in acc.iter_mut() {
+                *a /= total;
+            }
+        } else {
+            acc[Sentiment::Neutral.index()] = 1.0;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds() -> SentimentLexicon {
+        SentimentLexicon::from_seeds([
+            ("joy", Sentiment::Happy),
+            ("wonderful", Sentiment::Happy),
+            ("terror", Sentiment::Fear),
+            ("afraid", Sentiment::Fear),
+            ("grief", Sentiment::Sad),
+            ("tears", Sentiment::Sad),
+        ])
+    }
+
+    fn msg(words: &[&str]) -> Vec<String> {
+        words.iter().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn seeded_lexicon_scores_messages() {
+        let lex = seeds();
+        let d = lex.message_distribution(&msg(&["such", "joy", "and", "wonderful", "light"]));
+        assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(d[Sentiment::Happy.index()], 1.0);
+        assert_eq!(d[Sentiment::Sad.index()], 0.0);
+    }
+
+    #[test]
+    fn unknown_words_are_neutral() {
+        let lex = seeds();
+        let d = lex.message_distribution(&msg(&["completely", "unrelated", "words"]));
+        assert_eq!(d[Sentiment::Neutral.index()], 1.0);
+    }
+
+    #[test]
+    fn mixed_sentiment_splits_mass() {
+        let lex = seeds();
+        let d = lex.message_distribution(&msg(&["joy", "tears"]));
+        assert!((d[Sentiment::Happy.index()] - 0.5).abs() < 1e-12);
+        assert!((d[Sentiment::Sad.index()] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corpus_learning_expands_vocabulary() {
+        let mut lex = seeds();
+        let before = lex.len();
+        let corpus = vec![
+            msg(&["sunshine", "joy", "beach"]),
+            msg(&["sunshine", "wonderful", "holiday"]),
+            msg(&["darkness", "terror", "night"]),
+        ];
+        lex.learn_from_corpus(&corpus, 0.5);
+        assert!(lex.len() > before);
+        // "sunshine" co-occurred with happy seeds twice → happy-dominant.
+        let w = lex.word_weights("sunshine").expect("sunshine acquired");
+        assert!(w[Sentiment::Happy.index()] > w[Sentiment::Fear.index()]);
+        // "darkness" co-occurred with a fear seed.
+        let d = lex.word_weights("darkness").expect("darkness acquired");
+        assert!(d[Sentiment::Fear.index()] > 0.0);
+        // Scoring now works through acquired words alone.
+        let dist = lex.message_distribution(&msg(&["sunshine"]));
+        assert!(dist[Sentiment::Happy.index()] > 0.9);
+    }
+
+    #[test]
+    fn learning_without_seed_overlap_changes_nothing() {
+        let mut lex = seeds();
+        let before = lex.len();
+        lex.learn_from_corpus(&[msg(&["neutral", "stuff"])], 0.5);
+        assert_eq!(lex.len(), before);
+    }
+
+    #[test]
+    fn sentiment_indices_cover_all() {
+        for (i, s) in Sentiment::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        assert_eq!(Sentiment::ALL.len(), NUM_SENTIMENTS);
+    }
+}

@@ -1,0 +1,108 @@
+//! Tokenization and token normalization.
+//!
+//! Eq. 4 requires that "the words should be converted into a uniform format,
+//! such as lower-case and singular form"; [`normalize_token`] implements
+//! exactly that normalization (ASCII lower-casing plus a light rule-based
+//! de-pluralizer adequate for the synthetic corpus).
+
+/// A minimal English stop-word list; Section 5.3 removes stop words before
+/// selecting each user's most unique terms.
+pub const STOP_WORDS: &[&str] = &[
+    "a", "about", "after", "all", "also", "an", "and", "any", "are", "as", "at", "be", "because",
+    "been", "but", "by", "can", "could", "did", "do", "does", "for", "from", "had", "has", "have",
+    "he", "her", "here", "him", "his", "how", "i", "if", "in", "into", "is", "it", "its", "just",
+    "like", "me", "more", "most", "my", "no", "not", "now", "of", "on", "one", "only", "or",
+    "other", "our", "out", "over", "she", "so", "some", "such", "than", "that", "the", "their",
+    "them", "then", "there", "these", "they", "this", "to", "up", "us", "very", "was", "we",
+    "were", "what", "when", "which", "who", "will", "with", "would", "you", "your",
+];
+
+/// True when `token` is in [`STOP_WORDS`] (tokens are expected to be already
+/// lower-cased).
+pub fn is_stop_word(token: &str) -> bool {
+    STOP_WORDS.binary_search(&token).is_ok()
+}
+
+/// Split a message into lower-cased alphanumeric tokens. Everything that is
+/// not ASCII-alphanumeric acts as a separator; empty tokens are dropped.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_ascii_lowercase())
+        .collect()
+}
+
+/// Normalize a token to "a uniform format, such as lower-case and singular
+/// form" (Section 5.3): ASCII lower-case plus rule-based singularization
+/// (`-ies → -y`, `-sses → -ss`, strip trailing `-s` except `-ss`/`-us`).
+pub fn normalize_token(token: &str) -> String {
+    let t = token.to_ascii_lowercase();
+    if let Some(stem) = t.strip_suffix("ies") {
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+    }
+    if let Some(stem) = t.strip_suffix("sses") {
+        return format!("{stem}ss");
+    }
+    if t.len() > 3 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") {
+        return t[..t.len() - 1].to_string();
+    }
+    t
+}
+
+/// Tokenize, normalize, and drop stop words in one pass — the preprocessing
+/// used by both the style extractor and the sentiment lexicon.
+pub fn content_tokens(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .map(|t| normalize_token(&t))
+        .filter(|t| !is_stop_word(t) && t.len() > 1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_words_are_sorted_for_binary_search() {
+        let mut sorted = STOP_WORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOP_WORDS, "STOP_WORDS must stay sorted");
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(
+            tokenize("Hello, World! 42 times"),
+            vec!["hello", "world", "42", "times"]
+        );
+        assert_eq!(tokenize(""), Vec::<String>::new());
+        assert_eq!(tokenize("  ,,;; "), Vec::<String>::new());
+    }
+
+    #[test]
+    fn normalize_singularizes() {
+        assert_eq!(normalize_token("Cats"), "cat");
+        assert_eq!(normalize_token("stories"), "story");
+        assert_eq!(normalize_token("classes"), "class");
+        assert_eq!(normalize_token("glasses"), "glass");
+        assert_eq!(normalize_token("boss"), "boss");
+        assert_eq!(normalize_token("virus"), "virus");
+        assert_eq!(normalize_token("as"), "as"); // too short to strip
+    }
+
+    #[test]
+    fn content_tokens_drop_stopwords_and_short() {
+        let toks = content_tokens("The cats and a dog in harmony");
+        assert_eq!(toks, vec!["cat", "dog", "harmony"]);
+    }
+
+    #[test]
+    fn is_stop_word_hits_and_misses() {
+        assert!(is_stop_word("the"));
+        assert!(is_stop_word("would"));
+        assert!(!is_stop_word("hydra"));
+    }
+}

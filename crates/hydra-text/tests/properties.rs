@@ -1,0 +1,131 @@
+//! Property-based tests for the text substrate.
+
+use hydra_text::sentiment::{Sentiment, SentimentLexicon};
+use hydra_text::strsim::*;
+use hydra_text::style::{style_similarity, UniqueWordProfile};
+use hydra_text::tokenize::{content_tokens, normalize_token, tokenize};
+use hydra_text::{CharNgramLm, Vocabulary};
+use proptest::prelude::*;
+
+/// ASCII-ish identifier strings (usernames).
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9_.]{0,16}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn levenshtein_is_a_metric(a in name_strategy(), b in name_strategy(), c in name_strategy()) {
+        // Identity and symmetry.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        // Triangle inequality.
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn normalized_metrics_in_unit_interval(a in name_strategy(), b in name_strategy()) {
+        for v in [
+            normalized_levenshtein(&a, &b),
+            jaro_winkler(&a, &b),
+            ngram_jaccard(&a, &b, 2),
+            ngram_jaccard(&a, &b, 3),
+            lcs_ratio(&a, &b),
+            common_prefix_ratio(&a, &b),
+            common_suffix_ratio(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v), "metric out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_maximal(a in name_strategy()) {
+        prop_assume!(!a.is_empty());
+        prop_assert_eq!(normalized_levenshtein(&a, &a), 1.0);
+        prop_assert_eq!(jaro_winkler(&a, &a), 1.0);
+        prop_assert_eq!(ngram_jaccard(&a, &a, 2), 1.0);
+    }
+
+    #[test]
+    fn lcs_bounded_by_shorter(a in name_strategy(), b in name_strategy()) {
+        let lcs = lcs_length(&a, &b);
+        prop_assert!(lcs <= a.chars().count().min(b.chars().count()));
+    }
+
+    #[test]
+    fn tokenize_produces_lowercase_alnum(text in "[a-zA-Z0-9 ,.!-]{0,60}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(tok.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn normalize_token_is_idempotent(word in "[a-z]{1,12}") {
+        let once = normalize_token(&word);
+        let twice = normalize_token(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn content_tokens_subset_of_tokens(text in "[a-zA-Z ]{0,60}") {
+        let all: std::collections::HashSet<String> =
+            tokenize(&text).iter().map(|t| normalize_token(t)).collect();
+        for tok in content_tokens(&text) {
+            prop_assert!(all.contains(&tok));
+        }
+    }
+
+    #[test]
+    fn vocabulary_counts_are_consistent(docs in proptest::collection::vec(
+        proptest::collection::vec("[a-f]{1,3}", 1..8), 1..10)
+    ) {
+        let mut v = Vocabulary::new();
+        for d in &docs {
+            v.add_document(d);
+        }
+        let total: u64 = (0..v.len() as u32).map(|id| v.term_frequency(id)).sum();
+        prop_assert_eq!(total, v.total_tokens());
+        prop_assert_eq!(v.total_docs(), docs.len() as u64);
+        for id in 0..v.len() as u32 {
+            prop_assert!(v.doc_frequency(id) <= v.total_docs());
+            prop_assert!(v.doc_frequency(id) >= 1);
+        }
+    }
+
+    #[test]
+    fn ngram_lm_logprobs_nonpositive(names in proptest::collection::vec("[a-z]{1,10}", 1..12)) {
+        let mut lm = CharNgramLm::new(2, 0.3);
+        lm.train(names.iter().map(|s| s.as_str()));
+        for n in &names {
+            prop_assert!(lm.log_prob(n) <= 0.0);
+            prop_assert!(lm.rarity(n).is_finite());
+        }
+    }
+
+    #[test]
+    fn style_similarity_bounds(
+        a in proptest::collection::vec("[a-z]{2,8}", 0..6),
+        b in proptest::collection::vec("[a-z]{2,8}", 0..6),
+        k in 1usize..6,
+    ) {
+        let pa = UniqueWordProfile { words: a };
+        let pb = UniqueWordProfile { words: b };
+        let s = style_similarity(&pa, &pb, k);
+        prop_assert!((0.0..=1.0).contains(&s));
+        // Symmetry holds for top-k sets of the same k.
+        let s2 = style_similarity(&pb, &pa, k);
+        prop_assert!((s - s2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sentiment_distributions_normalized(words in proptest::collection::vec("[a-z]{1,6}", 0..10)) {
+        let lex = SentimentLexicon::from_seeds([
+            ("aa", Sentiment::Happy),
+            ("bb", Sentiment::Sad),
+        ]);
+        let d = lex.message_distribution(&words);
+        let sum: f64 = d.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&p| p >= 0.0));
+    }
+}

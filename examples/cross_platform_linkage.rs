@@ -1,0 +1,56 @@
+//! Cross-platform linkage across the five Chinese platforms: the business
+//! intelligence scenario from the paper's introduction — build a complete
+//! user profile by linking the same person's Sina Weibo, Tencent Weibo,
+//! Renren, Douban, and Kaixin accounts, and compare HYDRA against all four
+//! baselines on identical inputs.
+//!
+//! ```text
+//! cargo run --release --example cross_platform_linkage
+//! ```
+
+use hydra::datagen::DatasetConfig;
+use hydra::eval::{prepare, run_method, Method, Setting};
+
+fn main() {
+    let mut setting = Setting::new(DatasetConfig::chinese(120, 2014));
+    setting.signal = hydra::eval::experiment::fast_signal_config();
+    setting.hydra.max_labeled_per_task = 100;
+    setting.hydra.max_unlabeled_expansion = 60;
+
+    println!("preparing the five-platform Chinese dataset (120 persons)...");
+    let prepared = prepare(setting);
+    println!(
+        "  {} platform pairs, {} candidate pairs total\n",
+        prepared.pairs.len(),
+        prepared.pairs.iter().map(|p| p.candidates.len()).sum::<usize>()
+    );
+
+    println!(
+        "{:<14} {:>10} {:>8} {:>8} {:>9}",
+        "method", "precision", "recall", "F1", "seconds"
+    );
+    for method in [
+        Method::HydraM,
+        Method::HydraZ,
+        Method::SvmB,
+        Method::Mobius,
+        Method::AliasDisamb,
+        Method::Smash,
+    ] {
+        let r = run_method(&prepared, method);
+        println!(
+            "{:<14} {:>10.3} {:>8.3} {:>8.3} {:>9.2}",
+            method.name(),
+            r.prf.precision,
+            r.prf.recall,
+            r.prf.f1,
+            r.seconds
+        );
+    }
+
+    println!(
+        "\nHYDRA links identities even when usernames disagree entirely — the\n\
+         username-driven baselines (MOBIUS, Alias-Disamb) cannot, which is\n\
+         exactly the failure mode Section 1.1 of the paper motivates."
+    );
+}

@@ -1,0 +1,50 @@
+//! Missing-data robustness: HYDRA-M (Eq. 18 core-network filling) versus
+//! HYDRA-Z (zero filling) as profile information evaporates.
+//!
+//! The paper's Figure 2(a) shows ≥80% of real users hide at least two of
+//! six profile attributes; Section 6.3 argues a missing value "does not
+//! exist" and must be reconstructed from the user's top-3 interacting
+//! friends rather than zero-filled. This example sweeps the missingness
+//! pressure and reports both variants side by side (the Figure-15
+//! sensitivity analysis in miniature).
+//!
+//! ```text
+//! cargo run --release --example missing_data_robustness
+//! ```
+
+use hydra::datagen::DatasetConfig;
+use hydra::eval::{prepare, run_method, Method, Setting};
+
+fn main() {
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "missingness", "HYDRA-M P", "HYDRA-M R", "HYDRA-Z P", "HYDRA-Z R"
+    );
+    for (tag, multiplier, image_scale) in [
+        ("baseline", 1.0f64, 1.0f64),
+        ("heavy (1.4x)", 1.4, 0.6),
+        ("extreme (1.8x)", 1.8, 0.35),
+    ] {
+        let mut config = DatasetConfig::english(150, 555);
+        for p in config.platforms.iter_mut() {
+            p.missing_multiplier *= multiplier;
+            p.image_prob *= image_scale;
+            p.checkin_rate *= image_scale;
+            p.media_rate *= image_scale;
+        }
+        let mut setting = Setting::new(config);
+        setting.signal = hydra::eval::experiment::fast_signal_config();
+        let prepared = prepare(setting);
+
+        let m = run_method(&prepared, Method::HydraM);
+        let z = run_method(&prepared, Method::HydraZ);
+        println!(
+            "{:<22} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+            tag, m.prf.precision, m.prf.recall, z.prf.precision, z.prf.recall
+        );
+    }
+    println!(
+        "\nCore-network filling (Eq. 18) reconstructs evidence the platforms\n\
+         hide; zero filling treats absence as disagreement and degrades faster."
+    );
+}

@@ -1,0 +1,65 @@
+//! # HYDRA — Large-scale Social Identity Linkage via Heterogeneous Behavior Modeling
+//!
+//! A from-scratch Rust reproduction of Liu, Wang, Zhu, Zhang & Krishnan,
+//! *HYDRA: Large-scale social identity linkage via heterogeneous behavior
+//! modeling*, SIGMOD 2014 (DOI 10.1145/2588555.2588559).
+//!
+//! This umbrella crate re-exports the full stack:
+//!
+//! * [`core`] — the HYDRA model itself: heterogeneous behavior features
+//!   (Section 5), structure-consistency graphs (Section 6.2), and the
+//!   multi-objective kernel learner (Section 6.3);
+//! * [`datagen`] — the synthetic multi-platform corpus standing in for the
+//!   paper's proprietary 10M-user dataset;
+//! * [`baselines`] — MOBIUS, Alias-Disamb, SMaSh, and SVM-B;
+//! * [`eval`] — metrics, labeling, and the experiment runner;
+//! * substrates: [`linalg`], [`text`], [`graph`], [`temporal`], [`vision`].
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hydra::datagen::{Dataset, DatasetConfig};
+//! use hydra::core::signals::{SignalConfig, Signals};
+//! use hydra::core::model::{Hydra, HydraConfig, PairTask};
+//!
+//! // A small two-platform world (Twitter + Facebook personas of the same
+//! // 40 natural persons).
+//! let dataset = Dataset::generate(DatasetConfig::english(40, 7));
+//! let signals = Signals::extract(&dataset, &SignalConfig {
+//!     lda_iterations: 8,
+//!     infer_iterations: 3,
+//!     ..Default::default()
+//! });
+//!
+//! // Ground-truth labels for a handful of pairs (positives + negatives).
+//! let mut labels = vec![];
+//! for i in 0..10u32 {
+//!     labels.push((i, i, true));
+//!     labels.push((i, (i + 17) % 40, false));
+//! }
+//! let task = PairTask {
+//!     left_platform: 0,
+//!     right_platform: 1,
+//!     labels,
+//!     unlabeled_whitelist: None,
+//! };
+//!
+//! let trained = Hydra::new(HydraConfig::default())
+//!     .fit(&dataset, &signals, vec![task])
+//!     .expect("training succeeds");
+//! let predictions = trained.predict(0);
+//! assert!(!predictions.is_empty());
+//! ```
+
+pub use hydra_baselines as baselines;
+pub use hydra_core as core;
+pub use hydra_datagen as datagen;
+pub use hydra_eval as eval;
+pub use hydra_graph as graph;
+pub use hydra_linalg as linalg;
+pub use hydra_temporal as temporal;
+pub use hydra_text as text;
+pub use hydra_vision as vision;
+
+/// Crate version (mirrors the workspace version).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

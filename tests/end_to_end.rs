@@ -1,0 +1,121 @@
+//! Workspace integration test: the full generate → extract → train →
+//! predict pipeline across crates, with quality floors and determinism.
+
+use hydra::core::model::{Hydra, HydraConfig, PairTask};
+use hydra::core::signals::{SignalConfig, Signals};
+use hydra::datagen::{Dataset, DatasetConfig};
+use hydra::eval::evaluate;
+
+fn fast_signals(dataset: &Dataset) -> Signals {
+    Signals::extract(
+        dataset,
+        &SignalConfig {
+            lda_iterations: 10,
+            infer_iterations: 4,
+            ..Default::default()
+        },
+    )
+}
+
+fn standard_labels(n: u32) -> Vec<(u32, u32, bool)> {
+    let mut labels = Vec::new();
+    for i in 0..n / 5 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+        labels.push((i, (i + n / 3) % n, false));
+    }
+    labels
+}
+
+#[test]
+fn pipeline_exceeds_quality_floors() {
+    let dataset = Dataset::generate(DatasetConfig::english(60, 0xE2E));
+    let signals = fast_signals(&dataset);
+    let labels = standard_labels(60);
+    let task = PairTask {
+        left_platform: 0,
+        right_platform: 1,
+        labels: labels.clone(),
+        unlabeled_whitelist: None,
+    };
+    let trained = Hydra::new(HydraConfig::default())
+        .fit(&dataset, &signals, vec![task])
+        .expect("fit succeeds");
+    let prf = evaluate(&trained.predict(0), &labels, dataset.num_persons());
+    assert!(prf.precision > 0.6, "precision floor: {:?}", prf);
+    assert!(prf.recall > 0.3, "recall floor: {:?}", prf);
+}
+
+#[test]
+fn training_is_deterministic() {
+    let run = || {
+        let dataset = Dataset::generate(DatasetConfig::english(40, 123));
+        let signals = fast_signals(&dataset);
+        let labels = standard_labels(40);
+        let task = PairTask {
+            left_platform: 0,
+            right_platform: 1,
+            labels,
+            unlabeled_whitelist: None,
+        };
+        let trained = Hydra::new(HydraConfig::default())
+            .fit(&dataset, &signals, vec![task])
+            .expect("fit");
+        trained
+            .predict(0)
+            .iter()
+            .map(|p| (p.left, p.right, p.score))
+            .collect::<Vec<_>>()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.0, y.0);
+        assert_eq!(x.1, y.1);
+        assert!((x.2 - y.2).abs() < 1e-12, "score drift: {} vs {}", x.2, y.2);
+    }
+}
+
+#[test]
+fn multi_platform_joint_model_trains() {
+    // Three Chinese platforms → three pair tasks sharing one model.
+    let mut config = DatasetConfig::chinese(40, 9);
+    config.platforms.truncate(3);
+    let dataset = Dataset::generate(config);
+    let signals = fast_signals(&dataset);
+    let mk_task = |l: usize, r: usize| PairTask {
+        left_platform: l,
+        right_platform: r,
+        labels: standard_labels(40),
+        unlabeled_whitelist: None,
+    };
+    let trained = Hydra::new(HydraConfig {
+        max_unlabeled_expansion: 60,
+        ..Default::default()
+    })
+    .fit(&dataset, &signals, vec![mk_task(0, 1), mk_task(0, 2), mk_task(1, 2)])
+    .expect("multi-task fit");
+    assert_eq!(trained.num_tasks(), 3);
+    for t in 0..3 {
+        let preds = trained.predict(t);
+        assert!(!preds.is_empty());
+        // The shared model must find at least some true links on each pair.
+        let hits = preds.iter().filter(|p| p.linked && p.left == p.right).count();
+        assert!(hits > 5, "task {t}: only {hits} true links");
+    }
+}
+
+#[test]
+fn umbrella_reexports_are_wired() {
+    // Touch one item from every re-exported crate.
+    assert!(hydra::VERSION.starts_with("0."));
+    let _ = hydra::linalg::Kernel::ChiSquare;
+    let _ = hydra::text::strsim::jaro_winkler("a", "b");
+    let _ = hydra::graph::GraphBuilder::new(2);
+    let _ = hydra::temporal::days(1);
+    let _ = hydra::vision::FaceDetector::default();
+    let _ = hydra::datagen::DatasetConfig::english(10, 1);
+    let _ = hydra::baselines::Mobius::default();
+    let _ = hydra::eval::LabelPlan::default();
+}

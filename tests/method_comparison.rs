@@ -1,0 +1,83 @@
+//! Workspace integration test: the Section-7 method comparison holds its
+//! qualitative shape on a small prepared setting — HYDRA tops the username
+//! baselines decisively, and every method produces valid, reproducible
+//! output through the shared evaluation harness.
+
+use hydra::datagen::DatasetConfig;
+use hydra::eval::experiment::fast_signal_config;
+use hydra::eval::{prepare, run_method, Method, Setting};
+
+fn prepared() -> hydra::eval::PreparedData {
+    let mut setting = Setting::new(DatasetConfig::english(80, 0xC0417));
+    setting.signal = fast_signal_config();
+    prepare(setting)
+}
+
+#[test]
+fn hydra_beats_username_baselines_decisively() {
+    let p = prepared();
+    let hydra = run_method(&p, Method::HydraM);
+    let mobius = run_method(&p, Method::Mobius);
+    let alias = run_method(&p, Method::AliasDisamb);
+    // "outperforms existing state-of-the-art algorithms by at least 20%
+    // under different settings" — we assert a conservative version against
+    // the username-only methods.
+    assert!(
+        hydra.prf.f1 > mobius.prf.f1 * 1.2,
+        "HYDRA {:?} vs MOBIUS {:?}",
+        hydra.prf,
+        mobius.prf
+    );
+    assert!(
+        hydra.prf.f1 > alias.prf.f1 * 1.2,
+        "HYDRA {:?} vs Alias-Disamb {:?}",
+        hydra.prf,
+        alias.prf
+    );
+}
+
+#[test]
+fn hydra_at_least_matches_svm_b() {
+    let p = prepared();
+    let hydra = run_method(&p, Method::HydraM);
+    let svm = run_method(&p, Method::SvmB);
+    assert!(
+        hydra.prf.f1 >= svm.prf.f1 * 0.95,
+        "HYDRA {:?} vs SVM-B {:?}",
+        hydra.prf,
+        svm.prf
+    );
+}
+
+#[test]
+fn all_methods_produce_valid_pooled_metrics() {
+    let p = prepared();
+    for m in [
+        Method::HydraM,
+        Method::HydraZ,
+        Method::Mobius,
+        Method::AliasDisamb,
+        Method::Smash,
+        Method::SvmB,
+    ] {
+        let r = run_method(&p, m);
+        assert!((0.0..=1.0).contains(&r.prf.precision), "{m:?}");
+        assert!((0.0..=1.0).contains(&r.prf.recall), "{m:?}");
+        assert!((0.0..=1.0).contains(&r.prf.f1), "{m:?}");
+        assert!(r.seconds >= 0.0 && r.seconds < 600.0);
+        // Results serialize for the harness CSV/JSON outputs.
+        let json = serde_json::to_string(&r).expect("serializable");
+        assert!(json.contains("precision"));
+    }
+}
+
+#[test]
+fn smash_is_high_precision_low_recall() {
+    // SMaSh links only on discovered linkage points (email, exact
+    // usernames) — precise but blind to behavior (the paper shows it with
+    // the lowest curves).
+    let p = prepared();
+    let r = run_method(&p, Method::Smash);
+    assert!(r.prf.precision > 0.5, "{:?}", r.prf);
+    assert!(r.prf.recall < 0.6, "{:?}", r.prf);
+}

@@ -65,7 +65,9 @@ fn bench_smo(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[100usize, 300] {
         let xs = deterministic_features(n, 8);
-        let ys: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let mut q = kernel_matrix(Kernel::Rbf { gamma: 1.0 }, &xs);
         for i in 0..n {
             for j in 0..n {
@@ -77,7 +79,11 @@ fn bench_smo(c: &mut Criterion) {
                 let solver = SmoSolver::new(
                     black_box(&q),
                     &ys,
-                    SmoOptions { c: 1.0, tol: 1e-5, ..Default::default() },
+                    SmoOptions {
+                        c: 1.0,
+                        tol: 1e-5,
+                        ..Default::default()
+                    },
                 )
                 .unwrap();
                 black_box(solver.solve().unwrap())
@@ -138,14 +144,22 @@ fn bench_lda(c: &mut Criterion) {
             black_box(LdaModel::train(
                 black_box(&docs),
                 120,
-                LdaOptions { num_topics: 8, iterations: 20, ..Default::default() },
+                LdaOptions {
+                    num_topics: 8,
+                    iterations: 20,
+                    ..Default::default()
+                },
             ))
         })
     });
     let model = LdaModel::train(
         &docs,
         120,
-        LdaOptions { num_topics: 8, iterations: 20, ..Default::default() },
+        LdaOptions {
+            num_topics: 8,
+            iterations: 20,
+            ..Default::default()
+        },
     );
     group.bench_function("infer_single_message", |bch| {
         let msg: Vec<u32> = (0..12).map(|j| (j * 5 % 120) as u32).collect();

@@ -1,71 +1,169 @@
 //! End-to-end pipeline benchmarks: signal extraction, candidate generation,
 //! pair-feature assembly, structure-matrix construction, and a full HYDRA
 //! fit at two scales. These are the macro costs behind Figure 14's curves.
+//!
+//! The `hotpath/*` group times the linkage hot path (candidate blocking →
+//! pair-feature assembly → Gram-matrix construction) **before and after**
+//! the allocation-lean rebuild: `*_baseline` entries run the seed
+//! implementation (string-interned grams, per-pair `Vec` features, on-the-fly
+//! re-bucketing, `Vec<Vec<f64>>` kernel), `*_optimized` run the interned /
+//! contiguous / parallel pipeline. Parity of outputs is asserted by
+//! `crates/hydra-core/tests/parallel_parity.rs`; this file only measures.
+//!
+//! Populations scale with `HYDRA_SCALE`; run via `scripts/bench_baseline.sh`
+//! to capture the results as `BENCH_pipeline.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use hydra_core::candidates::{generate_candidates, CandidateConfig};
+use hydra_bench::scale_factor;
+use hydra_core::candidates::{
+    generate_candidates, legacy::generate_candidates_legacy, CandidateConfig,
+};
 use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
 use hydra_core::model::{Hydra, HydraConfig, PairTask};
 use hydra_core::signals::{SignalConfig, Signals};
 use hydra_core::structure::{build_structure_matrix, StructureConfig};
 use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_linalg::kernels::{kernel_matrix, kernel_matrix_mat, Kernel};
 use std::hint::black_box;
 
 fn quick_signals(n: usize, seed: u64) -> (Dataset, Signals) {
     let dataset = Dataset::generate(DatasetConfig::english(n, seed));
     let signals = Signals::extract(
         &dataset,
-        &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+        &SignalConfig {
+            lda_iterations: 10,
+            infer_iterations: 4,
+            ..Default::default()
+        },
     );
     (dataset, signals)
+}
+
+fn scaled(base: usize) -> usize {
+    ((base as f64 * scale_factor()).round() as usize).max(20)
 }
 
 fn bench_signal_extraction(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/signals");
     group.sample_size(10);
-    let dataset = Dataset::generate(DatasetConfig::english(80, 42));
-    group.bench_function("extract_80_persons_english", |b| {
+    let n = scaled(80);
+    let dataset = Dataset::generate(DatasetConfig::english(n, 42));
+    group.bench_function(format!("extract_{n}_persons_english"), |b| {
         b.iter(|| {
             black_box(Signals::extract(
                 black_box(&dataset),
-                &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+                &SignalConfig {
+                    lda_iterations: 10,
+                    infer_iterations: 4,
+                    ..Default::default()
+                },
             ))
         })
     });
     group.finish();
 }
 
-fn bench_candidates_and_features(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pipeline/features");
+/// Baseline vs optimized timings for each rebuilt hot-path stage plus the
+/// chained end-to-end run.
+fn bench_hot_path_before_after(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
     group.sample_size(10);
-    let (dataset, signals) = quick_signals(150, 43);
-    group.bench_function("candidate_generation_150", |b| {
-        b.iter(|| {
-            black_box(generate_candidates(
-                &signals.per_platform[0],
-                &signals.per_platform[1],
-                &CandidateConfig::default(),
-            ))
-        })
-    });
-    let cands = generate_candidates(
-        &signals.per_platform[0],
-        &signals.per_platform[1],
-        &CandidateConfig::default(),
-    );
+    let n = scaled(150);
+    let (dataset, signals) = quick_signals(n, 43);
+    let left = &signals.per_platform[0];
+    let right = &signals.per_platform[1];
+    let config = CandidateConfig::default();
     let extractor = FeatureExtractor::new(
         FeatureConfig::default(),
         AttributeImportance::default(),
         dataset.config.window_days,
     );
-    group.bench_function(format!("pair_features_x{}", cands.len().min(500)), |b| {
+
+    // --- stage 1: candidate blocking -----------------------------------
+    group.bench_function(format!("candidates_baseline/{n}"), |b| {
+        b.iter(|| black_box(generate_candidates_legacy(left, right, &config)))
+    });
+    group.bench_function(format!("candidates_optimized/{n}"), |b| {
+        b.iter(|| black_box(generate_candidates(left, right, &config)))
+    });
+
+    // --- stage 2: pair-feature assembly over the candidate set ----------
+    let cands = generate_candidates(left, right, &config);
+    let pairs: Vec<(u32, u32)> = cands.iter().map(|cd| (cd.left, cd.right)).collect();
+    group.bench_function(format!("features_baseline/{}", pairs.len()), |b| {
         b.iter(|| {
-            for c in cands.iter().take(500) {
-                black_box(extractor.pair_features(
-                    &signals.per_platform[0][c.left as usize],
-                    &signals.per_platform[1][c.right as usize],
-                ));
+            // Seed path: allocating per-pair vectors, re-bucketing per pair.
+            let feats: Vec<_> = pairs
+                .iter()
+                .map(|&(i, j)| extractor.pair_features(&left[i as usize], &right[j as usize]))
+                .collect();
+            black_box(feats)
+        })
+    });
+    group.bench_function(format!("features_optimized/{}", pairs.len()), |b| {
+        b.iter(|| {
+            // Cache construction is charged to the optimized path.
+            let lc = extractor.profile_cache(left);
+            let rc = extractor.profile_cache(right);
+            black_box(extractor.features_for_pairs(&pairs, left, right, Some((&lc, &rc))))
+        })
+    });
+
+    // --- stage 3: Gram matrix over the expansion -------------------------
+    let expansion = scaled(300).min(pairs.len());
+    let fm = {
+        let lc = extractor.profile_cache(left);
+        let rc = extractor.profile_cache(right);
+        extractor.features_for_pairs(&pairs[..expansion], left, right, Some((&lc, &rc)))
+    };
+    let rows_vec: Vec<Vec<f64>> = (0..fm.len()).map(|i| fm.row(i).to_vec()).collect();
+    let rows_mat = fm.to_mat();
+    let kernel = Kernel::Rbf { gamma: 0.5 };
+    group.bench_function(format!("kernel_baseline/{expansion}"), |b| {
+        b.iter(|| black_box(kernel_matrix(kernel, black_box(&rows_vec))))
+    });
+    group.bench_function(format!("kernel_optimized/{expansion}"), |b| {
+        b.iter(|| black_box(kernel_matrix_mat(kernel, black_box(&rows_mat))))
+    });
+
+    // --- chained end-to-end hot path ------------------------------------
+    // Mirrors what `Hydra::fit` does per task: blocking, then features for
+    // EVERY candidate pair (they are all scored at predict time), then the
+    // Gram matrix over the expansion prefix.
+    group.bench_function(format!("end_to_end_baseline/{n}"), |b| {
+        b.iter(|| {
+            let cands = generate_candidates_legacy(left, right, &config);
+            let feats: Vec<_> = cands
+                .iter()
+                .map(|cd| {
+                    extractor.pair_features(&left[cd.left as usize], &right[cd.right as usize])
+                })
+                .collect();
+            let rows: Vec<Vec<f64>> = feats
+                .iter()
+                .take(expansion)
+                .map(|f| f.values.clone())
+                .collect();
+            black_box(kernel_matrix(kernel, &rows));
+            black_box(feats)
+        })
+    });
+    group.bench_function(format!("end_to_end_optimized/{n}"), |b| {
+        b.iter(|| {
+            let cands = generate_candidates(left, right, &config);
+            let lc = extractor.profile_cache(left);
+            let rc = extractor.profile_cache(right);
+            let idx: Vec<(u32, u32)> = cands.iter().map(|cd| (cd.left, cd.right)).collect();
+            let fm = extractor.features_for_pairs(&idx, left, right, Some((&lc, &rc)));
+            let mut expansion_rows = hydra_linalg::dense::Mat::zeros(
+                expansion.min(fm.len()),
+                hydra_core::features::FEATURE_DIM,
+            );
+            for r in 0..expansion_rows.rows() {
+                expansion_rows.row_mut(r).copy_from_slice(fm.row(r));
             }
+            black_box(kernel_matrix_mat(kernel, &expansion_rows));
+            black_box(fm)
         })
     });
     group.finish();
@@ -74,9 +172,10 @@ fn bench_candidates_and_features(c: &mut Criterion) {
 fn bench_structure_matrix(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/structure");
     group.sample_size(10);
-    let (dataset, signals) = quick_signals(200, 44);
-    let pairs: Vec<(u32, u32)> = (0..200u32).map(|i| (i, i)).collect();
-    group.bench_function("build_M_200_candidates", |b| {
+    let n = scaled(200);
+    let (dataset, signals) = quick_signals(n, 44);
+    let pairs: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, i)).collect();
+    group.bench_function(format!("build_M_{n}_candidates"), |b| {
         b.iter(|| {
             black_box(build_structure_matrix(
                 black_box(&pairs),
@@ -94,15 +193,15 @@ fn bench_structure_matrix(c: &mut Criterion) {
 fn bench_end_to_end_fit(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline/fit");
     group.sample_size(10);
-    for &n in &[60usize, 120] {
+    for base in [60usize, 120] {
+        let n = scaled(base);
         let (dataset, signals) = quick_signals(n, 45);
         let cands = generate_candidates(
             &signals.per_platform[0],
             &signals.per_platform[1],
             &CandidateConfig::default(),
         );
-        let mut labels: Vec<(u32, u32, bool)> =
-            (0..(n as u32) / 5).map(|i| (i, i, true)).collect();
+        let mut labels: Vec<(u32, u32, bool)> = (0..(n as u32) / 5).map(|i| (i, i, true)).collect();
         let mut negs = 0;
         for cd in &cands {
             if cd.left != cd.right && negs < n / 5 {
@@ -132,7 +231,7 @@ fn bench_end_to_end_fit(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_signal_extraction,
-    bench_candidates_and_features,
+    bench_hot_path_before_after,
     bench_structure_matrix,
     bench_end_to_end_fit
 );

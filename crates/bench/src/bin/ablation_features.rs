@@ -40,7 +40,10 @@ fn main() {
         "block#",
         vec!["precision".into(), "recall".into(), "f1".into()],
     );
-    println!("{:<12} {:>10} {:>8} {:>8}", "dropped", "precision", "recall", "F1");
+    println!(
+        "{:<12} {:>10} {:>8} {:>8}",
+        "dropped", "precision", "recall", "F1"
+    );
 
     // Reference plus one run per dropped block (dropping = zeroing the block
     // in every candidate feature vector after filling).
@@ -64,17 +67,22 @@ fn main() {
         if let Some((_, lo, hi)) = drop {
             // Zero the block in the expansion AND in the candidate features,
             // retraining cheaply by re-solving on the masked expansion.
-            for f in trained.tasks[0].features.iter_mut() {
-                f.values[lo..hi].iter_mut().for_each(|v| *v = 0.0);
+            trained.tasks[0].features.zero_block(lo, hi);
+            let mut masked = trained.solution.expansion.clone();
+            for r in 0..masked.rows() {
+                masked.row_mut(r)[lo..hi].iter_mut().for_each(|v| *v = 0.0);
             }
-            let mut problem_feats: Vec<Vec<f64>> = trained.solution.expansion.clone();
-            for f in problem_feats.iter_mut() {
-                f[lo..hi].iter_mut().for_each(|v| *v = 0.0);
-            }
-            trained.solution.expansion = problem_feats;
+            trained.solution.expansion = masked;
         }
-        let prf = evaluate(&trained.predict(0), &pair.labels, prepared.dataset.num_persons());
-        println!("{name:<12} {:>10.3} {:>8.3} {:>8.3}", prf.precision, prf.recall, prf.f1);
+        let prf = evaluate(
+            &trained.predict(0),
+            &pair.labels,
+            prepared.dataset.num_persons(),
+        );
+        println!(
+            "{name:<12} {:>10.3} {:>8.3} {:>8.3}",
+            prf.precision, prf.recall, prf.f1
+        );
         table.push_row(row as f64, vec![prf.precision, prf.recall, prf.f1]);
     }
     emit("ablation_features", &table);

@@ -42,9 +42,11 @@ fn main() {
                     &prepared.signals,
                     vec![task],
                 ) {
-                    Ok(trained) => {
-                        evaluate(&trained.predict(0), &pair.labels, prepared.dataset.num_persons())
-                    }
+                    Ok(trained) => evaluate(
+                        &trained.predict(0),
+                        &pair.labels,
+                        prepared.dataset.num_persons(),
+                    ),
                     Err(_) => hydra_eval::Prf::from_counts(0, 0, 0),
                 };
                 row.push(prf.precision);

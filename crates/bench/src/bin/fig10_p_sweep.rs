@@ -33,7 +33,11 @@ fn main() {
         let trained = Hydra::new(config)
             .fit(&prepared.dataset, &prepared.signals, vec![task])
             .expect("fit");
-        let prf = evaluate(&trained.predict(0), &pair.labels, prepared.dataset.num_persons());
+        let prf = evaluate(
+            &trained.predict(0),
+            &pair.labels,
+            prepared.dataset.num_persons(),
+        );
         table.push_row(p_exp as f64, vec![prf.precision, prf.recall]);
     }
     emit("fig10_p_sweep", &table);

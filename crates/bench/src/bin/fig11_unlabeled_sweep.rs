@@ -8,7 +8,7 @@
 //! unlabeled data setup" through structure consistency and stays on top.
 
 use hydra_bench::{chinese_setting, emit, english_setting, user_sweep};
-use hydra_eval::{prepare, run_method, Method, LabelPlan, SeriesTable};
+use hydra_eval::{prepare, run_method, LabelPlan, Method, SeriesTable};
 
 fn main() {
     let methods = Method::COMPARISON;

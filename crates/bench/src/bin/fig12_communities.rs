@@ -24,7 +24,10 @@ fn main() {
     let columns: Vec<String> = methods.iter().map(|m| m.name().to_string()).collect();
 
     let datasets: [(&str, Vec<hydra_datagen::PlatformSpec>); 2] = [
-        ("chinese", hydra_datagen::platform::chinese_platforms()[..2].to_vec()),
+        (
+            "chinese",
+            hydra_datagen::platform::chinese_platforms()[..2].to_vec(),
+        ),
         ("english", hydra_datagen::platform::english_platforms()),
     ];
     for (dataset_name, platforms) in datasets {

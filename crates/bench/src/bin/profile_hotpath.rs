@@ -1,0 +1,138 @@
+use hydra_core::candidates::{generate_candidates, CandidateConfig};
+use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor, FEATURE_DIM};
+use hydra_core::signals::{multi_scale_similarity_cached, SignalConfig, Signals};
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_temporal::days;
+use hydra_temporal::sensors::scan_resolution;
+use hydra_text::strsim::{jaro_winkler, lcs_ratio};
+use hydra_text::style::{style_similarity, STYLE_KS};
+use hydra_vision::match_profile_images;
+use std::time::Instant;
+
+fn main() {
+    let n = 300;
+    let dataset = Dataset::generate(DatasetConfig::english(n, 43));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 10,
+            infer_iterations: 4,
+            ..Default::default()
+        },
+    );
+    let left = &signals.per_platform[0];
+    let right = &signals.per_platform[1];
+    let fx = FeatureExtractor::new(
+        FeatureConfig::default(),
+        AttributeImportance::default(),
+        dataset.config.window_days,
+    );
+    let cands = generate_candidates(left, right, &CandidateConfig::default());
+    let pairs: Vec<(u32, u32)> = cands.iter().map(|c| (c.left, c.right)).collect();
+    println!("{} pairs", pairs.len());
+
+    let lc = fx.profile_cache(left);
+    let rc = fx.profile_cache(right);
+
+    // total batch
+    let t = Instant::now();
+    let fm = fx.features_for_pairs(&pairs, left, right, Some((&lc, &rc)));
+    println!(
+        "features batch: {:?} ({:.1} us/pair)",
+        t.elapsed(),
+        t.elapsed().as_secs_f64() * 1e6 / pairs.len() as f64
+    );
+    std::hint::black_box(&fm);
+
+    // component: dist blocks only
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for &(i, j) in &pairs {
+        let (ba, bb) = (&lc.accounts[i as usize], &rc.accounts[j as usize]);
+        for (sa, sb) in [
+            (&ba.topic, &bb.topic),
+            (&ba.genre, &bb.genre),
+            (&ba.senti, &bb.senti),
+        ] {
+            let (s, _) = multi_scale_similarity_cached(sa, sb, fx.config.dist_kernel);
+            acc += s.iter().sum::<f64>();
+        }
+    }
+    println!("dist blocks: {:?}  (acc {acc:.1})", t.elapsed());
+
+    // component: face
+    let t = Instant::now();
+    let mut cnt = 0;
+    for &(i, j) in &pairs {
+        if let hydra_vision::FaceMatchOutcome::Score(_) = match_profile_images(
+            left[i as usize].image.as_ref(),
+            right[j as usize].image.as_ref(),
+            &fx.config.detector,
+            &fx.config.classifier,
+        ) {
+            cnt += 1;
+        }
+    }
+    println!("face: {:?} ({cnt} scored)", t.elapsed());
+
+    // component: style
+    let t = Instant::now();
+    let mut acc = 0.0;
+    for &(i, j) in &pairs {
+        let (a, b) = (&left[i as usize], &right[j as usize]);
+        if !a.style.words.is_empty() && !b.style.words.is_empty() {
+            for &k in &STYLE_KS {
+                acc += style_similarity(&a.style, &b.style, k);
+            }
+        }
+    }
+    println!("style: {:?} (acc {acc:.1})", t.elapsed());
+
+    // component: sensors
+    let t = Instant::now();
+    let horizon = days(dataset.config.window_days as i64);
+    let mut acc = 0.0;
+    for &(i, j) in &pairs {
+        let (a, b) = (&left[i as usize], &right[j as usize]);
+        for &scale in &hydra_core::features::SENSOR_SCALES {
+            let (v, _) = scan_resolution(
+                &fx.config.location_sensor,
+                &a.checkins,
+                &b.checkins,
+                0,
+                horizon,
+                scale,
+                fx.config.q,
+                fx.config.lambda,
+            );
+            acc += v;
+            let (v, _) = scan_resolution(
+                &fx.config.media_sensor,
+                &a.media,
+                &b.media,
+                0,
+                horizon,
+                scale,
+                fx.config.q,
+                fx.config.lambda,
+            );
+            acc += v;
+        }
+    }
+    println!("sensors: {:?} (acc {acc:.1})", t.elapsed());
+
+    // candidates: strsim cost
+    let t = Instant::now();
+    let mut acc = 0.0;
+    let mut evals = 0u64;
+    for i in 0..n.min(300) {
+        for j in 0..30 {
+            let a = &left[i].username;
+            let b = &right[(i * 7 + j) % n].username;
+            acc += jaro_winkler(a, b).max(lcs_ratio(a, b));
+            evals += 1;
+        }
+    }
+    println!("strsim {} evals: {:?} (acc {acc:.1})", evals, t.elapsed());
+    let _ = FEATURE_DIM;
+}

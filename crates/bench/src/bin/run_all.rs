@@ -33,7 +33,10 @@ fn main() {
         let status = Command::new(exe_dir.join(fig))
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn {fig}: {e}"));
-        println!("[{fig} finished in {:.1}s]\n", start.elapsed().as_secs_f64());
+        println!(
+            "[{fig} finished in {:.1}s]\n",
+            start.elapsed().as_secs_f64()
+        );
         if !status.success() {
             failures.push(fig);
         }

@@ -54,7 +54,10 @@ pub fn chinese_setting(num_persons: usize, seed: u64) -> Setting {
     s.signal = fast_signal_config();
     s.hydra.max_labeled_per_task = 100;
     s.hydra.max_unlabeled_expansion = 60;
-    s.labels = LabelPlan { neg_per_pos: 1.0, ..LabelPlan::default() };
+    s.labels = LabelPlan {
+        neg_per_pos: 1.0,
+        ..LabelPlan::default()
+    };
     s
 }
 
@@ -65,7 +68,10 @@ pub fn all7_setting(num_persons: usize, seed: u64) -> Setting {
     s.signal = fast_signal_config();
     s.hydra.max_labeled_per_task = 60;
     s.hydra.max_unlabeled_expansion = 30;
-    s.labels = LabelPlan { neg_per_pos: 1.0, ..LabelPlan::default() };
+    s.labels = LabelPlan {
+        neg_per_pos: 1.0,
+        ..LabelPlan::default()
+    };
     s
 }
 

@@ -124,7 +124,12 @@ impl LinkageMethod for AliasDisamb {
         let result = SmoSolver::new(
             &q,
             &ys,
-            SmoOptions { c: self.c, tol: 1e-4, max_iter: 200_000, shrink_every: 2000 },
+            SmoOptions {
+                c: self.c,
+                tol: 1e-4,
+                max_iter: 200_000,
+                shrink_every: 2000,
+            },
         )
         .expect("valid labels")
         .solve()

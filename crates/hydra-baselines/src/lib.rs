@@ -27,7 +27,7 @@ pub use smash::Smash;
 pub use svm_b::SvmB;
 
 use hydra_core::candidates::CandidatePair;
-use hydra_core::features::PairFeatures;
+use hydra_core::features::FeatureMatrix;
 use hydra_core::model::LinkagePrediction;
 use hydra_core::signals::UserSignals;
 
@@ -41,10 +41,10 @@ pub struct LinkageTask<'a> {
     pub labels: &'a [(u32, u32, bool)],
     /// The candidate/evaluation universe (shared with HYDRA).
     pub candidates: &'a [CandidatePair],
-    /// HYDRA similarity vectors parallel to `candidates` (used by SVM-B,
-    /// which the paper defines over "the proposed similarity calculation
-    /// schemes").
-    pub features: Option<&'a [PairFeatures]>,
+    /// HYDRA similarity rows index-aligned with `candidates` (used by
+    /// SVM-B, which the paper defines over "the proposed similarity
+    /// calculation schemes").
+    pub features: Option<&'a FeatureMatrix>,
 }
 
 /// A linkage method under comparison.
@@ -70,7 +70,7 @@ pub(crate) mod test_support {
         pub dataset: Dataset,
         pub signals: Signals,
         pub candidates: Vec<CandidatePair>,
-        pub features: Vec<PairFeatures>,
+        pub features: FeatureMatrix,
         pub labels: Vec<(u32, u32, bool)>,
     }
 
@@ -79,7 +79,11 @@ pub(crate) mod test_support {
             let dataset = Dataset::generate(DatasetConfig::english(num_persons, seed));
             let signals = Signals::extract(
                 &dataset,
-                &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+                &SignalConfig {
+                    lda_iterations: 10,
+                    infer_iterations: 4,
+                    ..Default::default()
+                },
             );
             let candidates = generate_candidates(
                 &signals.per_platform[0],
@@ -91,19 +95,16 @@ pub(crate) mod test_support {
                 AttributeImportance::default(),
                 dataset.config.window_days,
             );
-            let features: Vec<PairFeatures> = candidates
-                .iter()
-                .map(|c| {
-                    let mut f = extractor.pair_features(
-                        &signals.per_platform[0][c.left as usize],
-                        &signals.per_platform[1][c.right as usize],
-                    );
-                    // Baselines fill missing with zeros (Section 6.3 notes
-                    // this is exactly what previous approaches do).
-                    f.missing.iter_mut().for_each(|m| *m = false);
-                    f
-                })
-                .collect();
+            let pairs: Vec<(u32, u32)> = candidates.iter().map(|c| (c.left, c.right)).collect();
+            let mut features = extractor.features_for_pairs(
+                &pairs,
+                &signals.per_platform[0],
+                &signals.per_platform[1],
+                None,
+            );
+            // Baselines fill missing with zeros (Section 6.3 notes this is
+            // exactly what previous approaches do).
+            features.clear_masks();
             let mut labels = Vec::new();
             let n_pos = num_persons / 3;
             for i in 0..n_pos as u32 {
@@ -116,7 +117,13 @@ pub(crate) mod test_support {
                     negs += 1;
                 }
             }
-            Fixture { dataset, signals, candidates, features, labels }
+            Fixture {
+                dataset,
+                signals,
+                candidates,
+                features,
+                labels,
+            }
         }
 
         pub fn task(&self) -> LinkageTask<'_> {

@@ -112,8 +112,7 @@ impl Smash {
             if shared.is_empty() {
                 continue;
             }
-            let coverage =
-                shared.len() as f64 / left_buckets.len().min(right_buckets.len()) as f64;
+            let coverage = shared.len() as f64 / left_buckets.len().min(right_buckets.len()) as f64;
             // Strength: average pairs produced per shared value; a perfect
             // key yields exactly 1 left × 1 right record per value.
             let avg_bucket: f64 = shared
@@ -123,7 +122,11 @@ impl Smash {
                 / shared.len() as f64;
             let strength = 1.0 / avg_bucket;
             if coverage >= self.min_coverage && strength >= self.min_strength {
-                points.push(LinkagePoint { attr, coverage, strength });
+                points.push(LinkagePoint {
+                    attr,
+                    coverage,
+                    strength,
+                });
             }
         }
         points
@@ -172,10 +175,8 @@ mod tests {
     #[test]
     fn discovers_email_as_strong_linkage_point() {
         let fx = Fixture::new(80, 600);
-        let points = Smash::default().discover(
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-        );
+        let points =
+            Smash::default().discover(&fx.signals.per_platform[0], &fx.signals.per_platform[1]);
         assert!(!points.is_empty(), "no linkage points discovered");
         let email = points.iter().find(|p| p.attr == AttrKind::Email.index());
         assert!(email.is_some(), "email must be a linkage point: {points:?}");
@@ -213,10 +214,7 @@ mod tests {
             min_coverage: 1.01, // impossible
             ..Default::default()
         };
-        let points = strict.discover(
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-        );
+        let points = strict.discover(&fx.signals.per_platform[0], &fx.signals.per_platform[1]);
         assert!(points.is_empty());
         // With no linkage points nothing gets linked.
         let preds = strict.run(&fx.task());

@@ -53,7 +53,7 @@ impl LinkageMethod for SvmB {
         let mut ys: Vec<f64> = Vec::new();
         for &(a, b, y) in task.labels {
             if let Some(&ci) = index.get(&(a, b)) {
-                xs.push(features[ci].values.clone());
+                xs.push(features.row(ci).to_vec());
                 ys.push(if y { 1.0 } else { -1.0 });
             }
         }
@@ -86,7 +86,12 @@ impl LinkageMethod for SvmB {
         let result = SmoSolver::new(
             &q,
             &ys,
-            SmoOptions { c: c_box, tol: 1e-5, max_iter: 100_000, shrink_every: 1000 },
+            SmoOptions {
+                c: c_box,
+                tol: 1e-5,
+                max_iter: 100_000,
+                shrink_every: 1000,
+            },
         )
         .expect("valid labels")
         .solve()
@@ -99,7 +104,7 @@ impl LinkageMethod for SvmB {
                 let mut score = -result.rho;
                 for t in 0..xs.len() {
                     if result.beta[t] > 1e-12 {
-                        score += ys[t] * result.beta[t] * kernel.eval(&xs[t], &features[ci].values);
+                        score += ys[t] * result.beta[t] * kernel.eval(&xs[t], features.row(ci));
                     }
                 }
                 LinkagePrediction {

@@ -8,8 +8,8 @@
 //! vector over the two usernames.
 
 use hydra_text::strsim::{
-    common_prefix_ratio, common_suffix_ratio, jaro_winkler, lcs_length, lcs_ratio,
-    ngram_jaccard, normalized_levenshtein,
+    common_prefix_ratio, common_suffix_ratio, jaro_winkler, lcs_length, lcs_ratio, ngram_jaccard,
+    normalized_levenshtein,
 };
 
 /// Number of username pair features.
@@ -104,7 +104,10 @@ impl LogisticRegression {
             }
             b -= lr * gb / n;
         }
-        LogisticRegression { weights: w, bias: b }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Probability of the positive class.
@@ -176,7 +179,9 @@ mod tests {
                 }
             })
             .collect();
-        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let ys: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let lr = LogisticRegression::train(&xs, &ys, 1e-4, 0.5, 500);
         let acc = xs
             .iter()

@@ -15,12 +15,32 @@
 //! rule-based filtering" — the paper's second kind of labeled data, which
 //! it reports is much cleaner (precision over 95%) than Alias-Disamb's
 //! auto-generated labels.
+//!
+//! ## Hot-path engineering
+//!
+//! This is the first stage of the linkage hot path, so the implementation
+//! is allocation-lean and parallel:
+//!
+//! * grams are **interned**: a 3-gram of lowercase `char`s packs into a
+//!   single `u64` key (21 bits per scalar), so the inverted index is
+//!   `HashMap<u64, Vec<u32>>` with zero per-gram `String` allocation;
+//! * every username's gram set is computed **once** and reused between
+//!   index construction and probing;
+//! * the e-mail upgrade path uses a per-user **position map** instead of a
+//!   linear rescan of the scored list;
+//! * the per-left-user loop fans out across threads
+//!   ([`hydra_par::par_flat_map`]) with an order-preserving merge, so the
+//!   parallel result is byte-identical to the sequential one (asserted by
+//!   `tests/parallel_parity.rs`).
+//!
+//! The seed implementation is preserved in [`legacy`] as the reference for
+//! parity tests and the before/after benchmark baseline.
 
 use crate::signals::UserSignals;
 use hydra_datagen::attributes::AttrKind;
-use hydra_text::strsim::{jaro_winkler, lcs_ratio};
+use hydra_text::strsim::{jaro_winkler_chars, lcs_ratio_chars};
 use hydra_vision::{match_profile_images, FaceClassifier, FaceDetector, FaceMatchOutcome};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A candidate pair with its blocking provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,31 +101,108 @@ fn discriminative_agreement(
         .count()
 }
 
-/// Lower-cased character 3-grams of a username.
-fn grams(name: &str) -> Vec<String> {
-    let cs: Vec<char> = name.to_lowercase().chars().collect();
-    if cs.is_empty() {
-        return Vec::new();
+/// Bits per packed Unicode scalar (`char` is at most 21 bits).
+const GRAM_CHAR_BITS: u32 = 21;
+
+/// Gram length tag occupying the bits above the three packed scalars, so a
+/// short gram (`k < 3` scalars, high scalar slots zero) can never collide
+/// with a 3-gram whose trailing scalars are `U+0000` — keeping the packing
+/// injective against legacy `String` grams even for NUL-bearing usernames.
+const GRAM_LEN_SHIFT: u32 = 3 * GRAM_CHAR_BITS;
+
+/// Interned, deduplicated, sorted lowercase character 3-grams of a
+/// username. A gram of `k ≤ 3` scalars packs into one `u64`
+/// (`c0 | c1 << 21 | c2 << 42 | k << 63…62`); packing is injective, so set
+/// semantics match the legacy `String` grams exactly.
+pub(crate) fn gram_keys(name: &str, out: &mut Vec<u64>) {
+    out.clear();
+    let lower = name.to_lowercase();
+    let mut window = [0u64; 3];
+    let mut filled = 0usize;
+    for c in lower.chars() {
+        window[0] = window[1];
+        window[1] = window[2];
+        window[2] = c as u64;
+        filled += 1;
+        if filled >= 3 {
+            out.push(
+                window[0]
+                    | (window[1] << GRAM_CHAR_BITS)
+                    | (window[2] << (2 * GRAM_CHAR_BITS))
+                    | (3u64 << GRAM_LEN_SHIFT),
+            );
+        }
     }
-    if cs.len() < 3 {
-        return vec![cs.iter().collect()];
+    if filled == 0 {
+        return;
     }
-    let mut g: Vec<String> = (0..=cs.len() - 3).map(|i| cs[i..i + 3].iter().collect()).collect();
-    g.sort_unstable();
-    g.dedup();
-    g
+    if filled < 3 {
+        // Short usernames become a single gram of themselves.
+        let mut key = (filled as u64) << GRAM_LEN_SHIFT;
+        for (k, &c) in window[3 - filled..].iter().enumerate() {
+            key |= c << (k as u32 * GRAM_CHAR_BITS);
+        }
+        out.push(key);
+        return;
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Per-side gram sets computed once and reused across index build and
+/// probing (flat storage: `offsets[i]..offsets[i+1]` indexes user `i`'s
+/// grams in `keys`).
+struct GramTable {
+    keys: Vec<u64>,
+    offsets: Vec<u32>,
+}
+
+impl GramTable {
+    fn build(side: &[UserSignals]) -> GramTable {
+        let mut keys = Vec::with_capacity(side.len() * 8);
+        let mut offsets = Vec::with_capacity(side.len() + 1);
+        offsets.push(0);
+        let mut buf = Vec::with_capacity(32);
+        for sig in side {
+            gram_keys(&sig.username, &mut buf);
+            keys.extend_from_slice(&buf);
+            offsets.push(keys.len() as u32);
+        }
+        GramTable { keys, offsets }
+    }
+
+    #[inline]
+    fn grams(&self, user: usize) -> &[u64] {
+        &self.keys[self.offsets[user] as usize..self.offsets[user + 1] as usize]
+    }
 }
 
 /// Generate candidate pairs between two platforms' accounts.
+///
+/// Parallel over left users with a deterministic order-preserving merge;
+/// the output is identical to [`generate_candidates_threads`] at any
+/// thread count and to [`legacy::generate_candidates_legacy`].
 pub fn generate_candidates(
     left: &[UserSignals],
     right: &[UserSignals],
     config: &CandidateConfig,
 ) -> Vec<CandidatePair> {
-    // --- inverted 3-gram index over the right side -------------------------
-    let mut gram_index: HashMap<String, Vec<u32>> = HashMap::new();
-    for (j, sig) in right.iter().enumerate() {
-        for g in grams(&sig.username) {
+    generate_candidates_threads(left, right, config, hydra_par::num_threads())
+}
+
+/// [`generate_candidates`] with an explicit worker-thread count (`1` forces
+/// the sequential path; used by parity tests and benchmarks).
+pub fn generate_candidates_threads(
+    left: &[UserSignals],
+    right: &[UserSignals],
+    config: &CandidateConfig,
+    threads: usize,
+) -> Vec<CandidatePair> {
+    // --- interned inverted 3-gram index over the right side ---------------
+    let right_grams = GramTable::build(right);
+    let mut gram_index: HashMap<u64, Vec<u32>> = HashMap::new();
+    for j in 0..right.len() {
+        for &g in right_grams.grams(j) {
             gram_index.entry(g).or_default().push(j as u32);
         }
     }
@@ -129,12 +226,20 @@ pub fn generate_candidates(
         }
     }
 
+    let left_grams = GramTable::build(left);
+    // Usernames decoded to scalar slices once per side: every similarity
+    // evaluation below reuses them instead of re-collecting `Vec<char>`s.
+    let left_chars: Vec<Vec<char>> = left.iter().map(|s| s.username.chars().collect()).collect();
+    let right_chars: Vec<Vec<char>> = right.iter().map(|s| s.username.chars().collect()).collect();
     let detector = FaceDetector::default();
     let classifier = FaceClassifier::default();
-    let mut out = Vec::new();
 
-    for (i, sig) in left.iter().enumerate() {
-        let mut seen: HashSet<u32> = HashSet::new();
+    // --- per-left-user scoring: embarrassingly parallel -------------------
+    hydra_par::par_flat_map_threads(threads, left, |i, sig| {
+        // Position of each right index in `scored` — replaces the legacy
+        // O(n) `iter_mut().find(...)` e-mail upgrade scan and doubles as
+        // the dedup set.
+        let mut slot_of: HashMap<u32, u32> = HashMap::new();
         let mut scored: Vec<CandidatePair> = Vec::new();
 
         // Username blocking. A high username similarity alone is NOT enough
@@ -142,18 +247,20 @@ pub fn generate_candidates(
         // ambiguity) — so the strict rule additionally demands agreement on
         // at least one discriminative attribute (Section 3 combines
         // "partial username overlapping" with "user attribute matching").
-        for g in grams(&sig.username) {
+        for &g in left_grams.grams(i) {
             if let Some(js) = gram_index.get(&g) {
                 for &j in js {
-                    if !seen.insert(j) {
+                    if slot_of.contains_key(&j) {
                         continue;
                     }
+                    slot_of.insert(j, u32::MAX); // seen, not necessarily kept
                     let other = &right[j as usize];
-                    let sim = jaro_winkler(&sig.username, &other.username)
-                        .max(lcs_ratio(&sig.username, &other.username));
+                    let sim = jaro_winkler_chars(&left_chars[i], &right_chars[j as usize])
+                        .max(lcs_ratio_chars(&left_chars[i], &right_chars[j as usize]));
                     if sim >= config.username_threshold {
                         let pre = sim >= config.strict_username
                             && discriminative_agreement(&sig.attrs, &other.attrs) >= 2;
+                        slot_of.insert(j, scored.len() as u32);
                         scored.push(CandidatePair {
                             left: i as u32,
                             right: j,
@@ -169,15 +276,20 @@ pub fn generate_candidates(
         if let Some(e) = sig.attrs[AttrKind::Email.index()] {
             if let Some(js) = email_index.get(&e) {
                 for &j in js {
-                    if seen.insert(j) {
-                        scored.push(CandidatePair {
-                            left: i as u32,
-                            right: j,
-                            username_sim: 0.0,
-                            pre_matched: true,
-                        });
-                    } else if let Some(c) = scored.iter_mut().find(|c| c.right == j) {
-                        c.pre_matched = true;
+                    match slot_of.get(&j) {
+                        None => {
+                            slot_of.insert(j, scored.len() as u32);
+                            scored.push(CandidatePair {
+                                left: i as u32,
+                                right: j,
+                                username_sim: 0.0,
+                                pre_matched: true,
+                            });
+                        }
+                        Some(&slot) if slot != u32::MAX => {
+                            scored[slot as usize].pre_matched = true;
+                        }
+                        Some(_) => {} // seen but below threshold: legacy drops it too
                     }
                 }
             }
@@ -190,7 +302,8 @@ pub fn generate_candidates(
         ) {
             if let Some(js) = birth_city_index.get(&(b, c)) {
                 for &j in js {
-                    if seen.insert(j) {
+                    if let std::collections::hash_map::Entry::Vacant(e) = slot_of.entry(j) {
+                        e.insert(scored.len() as u32);
                         scored.push(CandidatePair {
                             left: i as u32,
                             right: j,
@@ -220,23 +333,23 @@ pub fn generate_candidates(
             }
         }
 
-        // Best-first cap per user.
+        // Best-first cap per user. `total_cmp` instead of the panic-prone
+        // `partial_cmp(..).expect(..)`; similarities are finite here, so the
+        // order is unchanged.
         scored.sort_by(|a, b| {
             b.username_sim
-                .partial_cmp(&a.username_sim)
-                .expect("finite sims")
+                .total_cmp(&a.username_sim)
                 .then(a.right.cmp(&b.right))
         });
         scored.truncate(config.max_per_user);
-        out.extend(scored);
-    }
-    out
+        scored
+    })
 }
 
 /// Recall of the candidate set against ground truth (same person index left
 /// and right) — a generator-side diagnostic used by tests and experiments.
 pub fn candidate_recall(candidates: &[CandidatePair], num_persons: usize) -> f64 {
-    let hit: HashSet<u32> = candidates
+    let hit: std::collections::HashSet<u32> = candidates
         .iter()
         .filter(|c| c.left == c.right)
         .map(|c| c.left)
@@ -244,31 +357,220 @@ pub fn candidate_recall(candidates: &[CandidatePair], num_persons: usize) -> f64
     hit.len() as f64 / num_persons as f64
 }
 
+pub mod legacy {
+    //! The seed (pre-optimization) candidate generator, kept verbatim as
+    //! the reference implementation: parity tests assert the optimized
+    //! parallel path reproduces it exactly, and the `pipeline` benchmark
+    //! reports before/after timings against it.
+
+    use super::*;
+    use hydra_text::strsim::{jaro_winkler, lcs_ratio};
+    use std::collections::HashSet;
+
+    /// Lower-cased character 3-grams of a username (allocating `String`
+    /// keys — the legacy representation).
+    pub fn grams(name: &str) -> Vec<String> {
+        let cs: Vec<char> = name.to_lowercase().chars().collect();
+        if cs.is_empty() {
+            return Vec::new();
+        }
+        if cs.len() < 3 {
+            return vec![cs.iter().collect()];
+        }
+        let mut g: Vec<String> = (0..=cs.len() - 3)
+            .map(|i| cs[i..i + 3].iter().collect())
+            .collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    }
+
+    /// The seed single-threaded candidate generator.
+    pub fn generate_candidates_legacy(
+        left: &[UserSignals],
+        right: &[UserSignals],
+        config: &CandidateConfig,
+    ) -> Vec<CandidatePair> {
+        let mut gram_index: HashMap<String, Vec<u32>> = HashMap::new();
+        for (j, sig) in right.iter().enumerate() {
+            for g in grams(&sig.username) {
+                gram_index.entry(g).or_default().push(j as u32);
+            }
+        }
+        let cap = (right.len() / 4).max(25);
+        gram_index.retain(|_, v| v.len() <= cap);
+
+        let mut email_index: HashMap<u64, Vec<u32>> = HashMap::new();
+        let mut birth_city_index: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
+        for (j, sig) in right.iter().enumerate() {
+            if let Some(e) = sig.attrs[AttrKind::Email.index()] {
+                email_index.entry(e).or_default().push(j as u32);
+            }
+            if let (Some(b), Some(c)) = (
+                sig.attrs[AttrKind::Birth.index()],
+                sig.attrs[AttrKind::City.index()],
+            ) {
+                birth_city_index.entry((b, c)).or_default().push(j as u32);
+            }
+        }
+
+        let detector = FaceDetector::default();
+        let classifier = FaceClassifier::default();
+        let mut out = Vec::new();
+
+        for (i, sig) in left.iter().enumerate() {
+            let mut seen: HashSet<u32> = HashSet::new();
+            let mut scored: Vec<CandidatePair> = Vec::new();
+
+            for g in grams(&sig.username) {
+                if let Some(js) = gram_index.get(&g) {
+                    for &j in js {
+                        if !seen.insert(j) {
+                            continue;
+                        }
+                        let other = &right[j as usize];
+                        let sim = jaro_winkler(&sig.username, &other.username)
+                            .max(lcs_ratio(&sig.username, &other.username));
+                        if sim >= config.username_threshold {
+                            let pre = sim >= config.strict_username
+                                && discriminative_agreement(&sig.attrs, &other.attrs) >= 2;
+                            scored.push(CandidatePair {
+                                left: i as u32,
+                                right: j,
+                                username_sim: sim,
+                                pre_matched: pre,
+                            });
+                        }
+                    }
+                }
+            }
+
+            if let Some(e) = sig.attrs[AttrKind::Email.index()] {
+                if let Some(js) = email_index.get(&e) {
+                    for &j in js {
+                        if seen.insert(j) {
+                            scored.push(CandidatePair {
+                                left: i as u32,
+                                right: j,
+                                username_sim: 0.0,
+                                pre_matched: true,
+                            });
+                        } else if let Some(c) = scored.iter_mut().find(|c| c.right == j) {
+                            c.pre_matched = true;
+                        }
+                    }
+                }
+            }
+
+            if let (Some(b), Some(c)) = (
+                sig.attrs[AttrKind::Birth.index()],
+                sig.attrs[AttrKind::City.index()],
+            ) {
+                if let Some(js) = birth_city_index.get(&(b, c)) {
+                    for &j in js {
+                        if seen.insert(j) {
+                            scored.push(CandidatePair {
+                                left: i as u32,
+                                right: j,
+                                username_sim: 0.0,
+                                pre_matched: false,
+                            });
+                        }
+                    }
+                }
+            }
+
+            for c in scored.iter_mut() {
+                if c.pre_matched {
+                    continue;
+                }
+                if let FaceMatchOutcome::Score(s) = match_profile_images(
+                    sig.image.as_ref(),
+                    right[c.right as usize].image.as_ref(),
+                    &detector,
+                    &classifier,
+                ) {
+                    if s >= config.strict_face && c.username_sim >= config.username_threshold {
+                        c.pre_matched = true;
+                    }
+                }
+            }
+
+            scored.sort_by(|a, b| {
+                b.username_sim
+                    .total_cmp(&a.username_sim)
+                    .then(a.right.cmp(&b.right))
+            });
+            scored.truncate(config.max_per_user);
+            out.extend(scored);
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::signals::{SignalConfig, Signals};
     use hydra_datagen::{Dataset, DatasetConfig};
+    use std::collections::HashSet;
 
     fn signals() -> (Dataset, Signals) {
         let d = Dataset::generate(DatasetConfig::english(80, 55));
         let s = Signals::extract(
             &d,
-            &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 10,
+                infer_iterations: 4,
+                ..Default::default()
+            },
         );
         (d, s)
     }
 
+    fn packed(name: &str) -> Vec<u64> {
+        let mut out = Vec::new();
+        gram_keys(name, &mut out);
+        out
+    }
+
+    fn pack_str(g: &str) -> u64 {
+        let mut key = (g.chars().count() as u64) << GRAM_LEN_SHIFT;
+        for (k, c) in g.chars().enumerate() {
+            key |= (c as u64) << (k as u32 * GRAM_CHAR_BITS);
+        }
+        key
+    }
+
     #[test]
     fn gram_extraction() {
-        assert_eq!(grams(""), Vec::<String>::new());
-        assert_eq!(grams("ab"), vec!["ab".to_string()]);
-        let g = grams("adele");
-        assert!(g.contains(&"ade".to_string()));
-        assert!(g.contains(&"ele".to_string()));
-        // Deduplicated and sorted.
-        let g2 = grams("aaaa");
-        assert_eq!(g2, vec!["aaa".to_string()]);
+        assert_eq!(packed(""), Vec::<u64>::new());
+        assert_eq!(packed("ab"), vec![pack_str("ab")]);
+        let g = packed("adele");
+        assert!(g.contains(&pack_str("ade")));
+        assert!(g.contains(&pack_str("ele")));
+        // Deduplicated.
+        assert_eq!(packed("aaaa"), vec![pack_str("aaa")]);
+    }
+
+    #[test]
+    fn interned_grams_match_legacy_string_grams_as_sets() {
+        for name in [
+            "adele",
+            "Adele_小暖",
+            "a",
+            "",
+            "__x__",
+            "ADELE2024",
+            "日本語テスト",
+            "mixed💬emoji",
+            "ab",
+            "ab\u{0}x", // NUL-bearing: its 3-gram must NOT collide with gram "ab"
+        ] {
+            let legacy: HashSet<u64> = legacy::grams(name).iter().map(|g| pack_str(g)).collect();
+            let interned: HashSet<u64> = packed(name).into_iter().collect();
+            assert_eq!(legacy, interned, "gram set mismatch for {name:?}");
+        }
     }
 
     #[test]
@@ -324,7 +626,10 @@ mod tests {
     #[test]
     fn per_user_cap_respected() {
         let (_, s) = signals();
-        let config = CandidateConfig { max_per_user: 5, ..Default::default() };
+        let config = CandidateConfig {
+            max_per_user: 5,
+            ..Default::default()
+        };
         let cands = generate_candidates(&s.per_platform[0], &s.per_platform[1], &config);
         let mut per_user: HashMap<u32, usize> = HashMap::new();
         for c in &cands {
@@ -345,5 +650,15 @@ mod tests {
         for c in &cands {
             assert!(seen.insert((c.left, c.right)), "dup pair {c:?}");
         }
+    }
+
+    #[test]
+    fn optimized_path_matches_legacy_exactly() {
+        let (_, s) = signals();
+        let config = CandidateConfig::default();
+        let new = generate_candidates(&s.per_platform[0], &s.per_platform[1], &config);
+        let old =
+            legacy::generate_candidates_legacy(&s.per_platform[0], &s.per_platform[1], &config);
+        assert_eq!(new, old);
     }
 }

@@ -109,7 +109,11 @@ pub fn fit_distributed(
     labels: &[f64],
     config: &DistributedConfig,
 ) -> Result<LinearDecisionModel, DistributedError> {
-    assert_eq!(features.len(), labels.len(), "features/labels length mismatch");
+    assert_eq!(
+        features.len(),
+        labels.len(),
+        "features/labels length mismatch"
+    );
     let n = features.len();
     let workers = config.num_workers.max(1);
     if n < workers || n == 0 {
@@ -224,7 +228,10 @@ mod tests {
     #[test]
     fn distributed_matches_centralized() {
         let (xs, ys) = separable(60);
-        let config = DistributedConfig { num_workers: 5, ..Default::default() };
+        let config = DistributedConfig {
+            num_workers: 5,
+            ..Default::default()
+        };
         let dist = fit_distributed(&xs, &ys, &config).unwrap();
         let cent = fit_centralized(&xs, &ys, config.ridge).unwrap();
         for (a, b) in dist.weights.iter().zip(cent.weights.iter()) {
@@ -250,7 +257,10 @@ mod tests {
             fit_distributed(
                 &xs,
                 &ys,
-                &DistributedConfig { num_workers: workers, ..Default::default() },
+                &DistributedConfig {
+                    num_workers: workers,
+                    ..Default::default()
+                },
             )
             .unwrap()
         };
@@ -265,7 +275,14 @@ mod tests {
     fn rejects_degenerate_inputs() {
         let (xs, ys) = separable(3);
         assert!(matches!(
-            fit_distributed(&xs, &ys, &DistributedConfig { num_workers: 10, ..Default::default() }),
+            fit_distributed(
+                &xs,
+                &ys,
+                &DistributedConfig {
+                    num_workers: 10,
+                    ..Default::default()
+                }
+            ),
             Err(DistributedError::NotEnoughData)
         ));
         let one_class = vec![vec![1.0], vec![2.0], vec![3.0], vec![4.0], vec![5.0]];
@@ -286,18 +303,19 @@ mod tests {
         let dataset = Dataset::generate(DatasetConfig::english(60, 0xADB));
         let signals = Signals::extract(
             &dataset,
-            &SignalConfig { lda_iterations: 8, infer_iterations: 3, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 8,
+                infer_iterations: 3,
+                ..Default::default()
+            },
         );
         let cands = generate_candidates(
             &signals.per_platform[0],
             &signals.per_platform[1],
             &CandidateConfig::default(),
         );
-        let extractor = FeatureExtractor::new(
-            FeatureConfig::default(),
-            AttributeImportance::default(),
-            64,
-        );
+        let extractor =
+            FeatureExtractor::new(FeatureConfig::default(), AttributeImportance::default(), 64);
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for i in 0..20u32 {

@@ -19,11 +19,16 @@
 //! | 30–34  | location sensor, resolutions 1,2,4,8,16d (Eq. 5, Fig. 6) |
 //! | 35–39  | near-duplicate media sensor, same resolutions            |
 
-use crate::signals::{multi_scale_series_similarity, UserSignals};
+use crate::signals::{
+    multi_scale_series_similarity, multi_scale_similarity_cached, AccountBuckets, ProfileCache,
+    UserSignals,
+};
 use hydra_datagen::attributes::{AttrValues, ALL_ATTRS, NUM_ATTRS};
 use hydra_linalg::kernels::Kernel;
-use hydra_temporal::sensors::{scan_resolution, LocationSensor, MediaSensor};
 use hydra_temporal::days;
+use hydra_temporal::sensors::{
+    scan_resolution, scan_resolution_indexed, LocationSensor, MediaSensor,
+};
 use hydra_text::style::{style_similarity, STYLE_KS};
 use hydra_vision::{match_profile_images, FaceClassifier, FaceDetector, FaceMatchOutcome};
 
@@ -54,7 +59,9 @@ pub const LOCATION_OFFSET: usize = STYLE_OFFSET + STYLE_KS.len();
 /// Offset of the media-sensor block.
 pub const MEDIA_OFFSET: usize = LOCATION_OFFSET + SENSOR_SCALES.len();
 
-/// A pair's feature vector plus its missing mask.
+/// A single pair's feature vector plus its missing mask — the allocating
+/// per-pair **view**. Batch pipelines store pairs contiguously in a
+/// [`FeatureMatrix`] and only materialize this view at API boundaries.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PairFeatures {
     /// Feature values (missing dimensions hold 0 until filled).
@@ -72,6 +79,131 @@ impl PairFeatures {
     /// Fraction of dimensions missing.
     pub fn missing_fraction(&self) -> f64 {
         self.missing.iter().filter(|m| **m).count() as f64 / self.missing.len() as f64
+    }
+
+    /// Missing mask as a bitmask (bit `k` set ⇔ dimension `k` missing).
+    pub fn missing_mask(&self) -> u64 {
+        self.missing
+            .iter()
+            .enumerate()
+            .fold(0u64, |m, (k, &miss)| if miss { m | (1u64 << k) } else { m })
+    }
+}
+
+// One `u64` bitmask must cover every feature dimension.
+const _: () = assert!(FEATURE_DIM <= 64, "missing bitmask is a u64");
+
+/// Contiguous struct-of-arrays storage for pair features: a flat
+/// `rows × FEATURE_DIM` value buffer plus one missing-bitmask `u64` per
+/// row. This is the hot-path representation — one allocation for the whole
+/// candidate set instead of two `Vec`s per pair, with rows laid out
+/// contiguously for kernel evaluation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FeatureMatrix {
+    data: Vec<f64>,
+    masks: Vec<u64>,
+}
+
+impl FeatureMatrix {
+    /// Empty matrix with row capacity reserved.
+    pub fn with_capacity(rows: usize) -> Self {
+        FeatureMatrix {
+            data: Vec::with_capacity(rows * FEATURE_DIM),
+            masks: Vec::with_capacity(rows),
+        }
+    }
+
+    /// Number of rows (pairs).
+    pub fn len(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Whether the matrix holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.masks.is_empty()
+    }
+
+    /// Row `i` as a `FEATURE_DIM`-length slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * FEATURE_DIM..(i + 1) * FEATURE_DIM]
+    }
+
+    /// Mutable row access.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * FEATURE_DIM..(i + 1) * FEATURE_DIM]
+    }
+
+    /// Missing bitmask of row `i` (bit `k` set ⇔ dimension `k` missing).
+    #[inline]
+    pub fn mask(&self, i: usize) -> u64 {
+        self.masks[i]
+    }
+
+    /// Overwrite the missing bitmask of row `i`.
+    pub fn set_mask(&mut self, i: usize, mask: u64) {
+        self.masks[i] = mask;
+    }
+
+    /// Whether dimension `k` of row `i` is missing.
+    #[inline]
+    pub fn is_missing(&self, i: usize, k: usize) -> bool {
+        self.masks[i] >> k & 1 == 1
+    }
+
+    /// Observed (non-missing) dimension count of row `i`.
+    pub fn observed(&self, i: usize) -> usize {
+        FEATURE_DIM - self.masks[i].count_ones() as usize
+    }
+
+    /// Fraction of row `i`'s dimensions that are missing.
+    pub fn missing_fraction(&self, i: usize) -> f64 {
+        self.masks[i].count_ones() as f64 / FEATURE_DIM as f64
+    }
+
+    /// Append a row.
+    pub fn push_row(&mut self, values: &[f64], mask: u64) {
+        assert_eq!(values.len(), FEATURE_DIM, "row width");
+        self.data.extend_from_slice(values);
+        self.masks.push(mask);
+    }
+
+    /// Append a [`PairFeatures`] view as a row.
+    pub fn push_pair(&mut self, pf: &PairFeatures) {
+        self.push_row(&pf.values, pf.missing_mask());
+    }
+
+    /// Materialize row `i` as an allocating per-pair view (round-trips
+    /// exactly with [`FeatureMatrix::push_pair`]).
+    pub fn pair_view(&self, i: usize) -> PairFeatures {
+        PairFeatures {
+            values: self.row(i).to_vec(),
+            missing: (0..FEATURE_DIM).map(|k| self.is_missing(i, k)).collect(),
+        }
+    }
+
+    /// Clear every row's missing mask (the HYDRA-Z zero-fill: missing dims
+    /// already hold 0, they just become "observed zeros").
+    pub fn clear_masks(&mut self) {
+        self.masks.iter_mut().for_each(|m| *m = 0);
+    }
+
+    /// Zero one dimension block across all rows (feature-ablation support).
+    pub fn zero_block(&mut self, lo: usize, hi: usize) {
+        for r in 0..self.len() {
+            self.row_mut(r)[lo..hi].iter_mut().for_each(|v| *v = 0.0);
+        }
+    }
+
+    /// The flat row-major value buffer.
+    pub fn values_flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Copy all rows into a dense matrix (`len × FEATURE_DIM`).
+    pub fn to_mat(&self) -> hydra_linalg::dense::Mat {
+        hydra_linalg::dense::Mat::from_vec(self.len(), FEATURE_DIM, self.data.clone())
     }
 }
 
@@ -189,10 +321,34 @@ impl FeatureExtractor {
         }
     }
 
-    /// Compute the full similarity vector for one pair.
+    /// Compute the full similarity vector for one pair as an allocating
+    /// per-pair view (buckets the distribution series on the fly). Batch
+    /// callers should use [`FeatureExtractor::features_for_pairs`].
     pub fn pair_features(&self, a: &UserSignals, b: &UserSignals) -> PairFeatures {
         let mut values = vec![0.0; FEATURE_DIM];
-        let mut missing = vec![false; FEATURE_DIM];
+        let mask = self.pair_features_into(a, b, None, &mut values);
+        PairFeatures {
+            values,
+            missing: (0..FEATURE_DIM).map(|k| mask >> k & 1 == 1).collect(),
+        }
+    }
+
+    /// Allocation-lean core: write the similarity vector into `values`
+    /// (which must be `FEATURE_DIM` long; it is fully overwritten) and
+    /// return the missing bitmask. When `buckets` carries the two accounts'
+    /// pre-bucketed series, the distribution blocks reuse them — otherwise
+    /// both sides are bucketed on the fly; the resulting floats are
+    /// bit-identical either way.
+    pub fn pair_features_into(
+        &self,
+        a: &UserSignals,
+        b: &UserSignals,
+        buckets: Option<(&AccountBuckets, &AccountBuckets)>,
+        values: &mut [f64],
+    ) -> u64 {
+        assert_eq!(values.len(), FEATURE_DIM, "row width");
+        values.iter_mut().for_each(|v| *v = 0.0);
+        let mut mask = 0u64;
 
         // --- attributes (Eq. 3) ------------------------------------------
         for kind in ALL_ATTRS {
@@ -207,7 +363,7 @@ impl FeatureExtractor {
                         0.0
                     };
                 }
-                _ => missing[ATTR_OFFSET + k] = true,
+                _ => mask |= 1 << (ATTR_OFFSET + k),
             }
         }
 
@@ -219,23 +375,44 @@ impl FeatureExtractor {
             &self.config.classifier,
         ) {
             FaceMatchOutcome::Score(s) => values[FACE_OFFSET] = s,
-            FaceMatchOutcome::Aborted(_) => missing[FACE_OFFSET] = true,
+            FaceMatchOutcome::Aborted(_) => mask |= 1 << FACE_OFFSET,
         }
 
         // --- multi-scale distribution similarities (Figure 5) --------------
-        let blocks = [
-            (TOPIC_OFFSET, &a.topic_days, &b.topic_days),
-            (GENRE_OFFSET, &a.genre_days, &b.genre_days),
-            (SENTI_OFFSET, &a.senti_days, &b.senti_days),
-        ];
-        for (offset, da, db) in blocks {
-            let (sims, counts) =
-                multi_scale_series_similarity(da, db, &DIST_SCALES, self.config.dist_kernel);
+        let mut dist_block = |offset: usize, sims: &[f64], counts: &[usize], mask: &mut u64| {
             for (s, (v, c)) in sims.iter().zip(counts.iter()).enumerate() {
                 if *c == 0 {
-                    missing[offset + s] = true;
+                    *mask |= 1 << (offset + s);
                 } else {
                     values[offset + s] = *v;
+                }
+            }
+        };
+        match buckets {
+            Some((ba, bb)) => {
+                for (offset, sa, sb) in [
+                    (TOPIC_OFFSET, &ba.topic, &bb.topic),
+                    (GENRE_OFFSET, &ba.genre, &bb.genre),
+                    (SENTI_OFFSET, &ba.senti, &bb.senti),
+                ] {
+                    let (sims, counts) =
+                        multi_scale_similarity_cached(sa, sb, self.config.dist_kernel);
+                    dist_block(offset, &sims, &counts, &mut mask);
+                }
+            }
+            None => {
+                for (offset, da, db) in [
+                    (TOPIC_OFFSET, &a.topic_days, &b.topic_days),
+                    (GENRE_OFFSET, &a.genre_days, &b.genre_days),
+                    (SENTI_OFFSET, &a.senti_days, &b.senti_days),
+                ] {
+                    let (sims, counts) = multi_scale_series_similarity(
+                        da,
+                        db,
+                        &DIST_SCALES,
+                        self.config.dist_kernel,
+                    );
+                    dist_block(offset, &sims, &counts, &mut mask);
                 }
             }
         }
@@ -243,7 +420,7 @@ impl FeatureExtractor {
         // --- style (Eq. 4) --------------------------------------------------
         if a.style.words.is_empty() || b.style.words.is_empty() {
             for k in 0..STYLE_KS.len() {
-                missing[STYLE_OFFSET + k] = true;
+                mask |= 1 << (STYLE_OFFSET + k);
             }
         } else {
             for (k, &kk) in STYLE_KS.iter().enumerate() {
@@ -252,43 +429,140 @@ impl FeatureExtractor {
         }
 
         // --- multi-resolution sensors (Eq. 5 / Figure 6) --------------------
-        let horizon = days(self.window_days as i64);
-        for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
-            let (v, active) = scan_resolution(
-                &self.config.location_sensor,
-                &a.checkins,
-                &b.checkins,
-                0,
-                horizon,
-                scale,
-                self.config.q,
-                self.config.lambda,
-            );
-            if active == 0 {
-                missing[LOCATION_OFFSET + s] = true;
-            } else {
-                values[LOCATION_OFFSET + s] = v;
+        match buckets {
+            Some((ba, bb)) => {
+                // Pre-indexed windows: per-pair cost is proportional to the
+                // two sides' active windows, not the full scan range.
+                for (s, _) in SENSOR_SCALES.iter().enumerate() {
+                    let (v, active) = scan_resolution_indexed(
+                        &self.config.location_sensor,
+                        &a.checkins,
+                        &b.checkins,
+                        &ba.checkins.per_scale[s],
+                        &bb.checkins.per_scale[s],
+                        ba.checkins.total_windows[s],
+                        self.config.q,
+                        self.config.lambda,
+                    );
+                    if active == 0 {
+                        mask |= 1 << (LOCATION_OFFSET + s);
+                    } else {
+                        values[LOCATION_OFFSET + s] = v;
+                    }
+                    let (v, active) = scan_resolution_indexed(
+                        &self.config.media_sensor,
+                        &a.media,
+                        &b.media,
+                        &ba.media.per_scale[s],
+                        &bb.media.per_scale[s],
+                        ba.media.total_windows[s],
+                        self.config.q,
+                        self.config.lambda,
+                    );
+                    if active == 0 {
+                        mask |= 1 << (MEDIA_OFFSET + s);
+                    } else {
+                        values[MEDIA_OFFSET + s] = v;
+                    }
+                }
             }
-        }
-        for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
-            let (v, active) = scan_resolution(
-                &self.config.media_sensor,
-                &a.media,
-                &b.media,
-                0,
-                horizon,
-                scale,
-                self.config.q,
-                self.config.lambda,
-            );
-            if active == 0 {
-                missing[MEDIA_OFFSET + s] = true;
-            } else {
-                values[MEDIA_OFFSET + s] = v;
+            None => {
+                let horizon = days(self.window_days as i64);
+                for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
+                    let (v, active) = scan_resolution(
+                        &self.config.location_sensor,
+                        &a.checkins,
+                        &b.checkins,
+                        0,
+                        horizon,
+                        scale,
+                        self.config.q,
+                        self.config.lambda,
+                    );
+                    if active == 0 {
+                        mask |= 1 << (LOCATION_OFFSET + s);
+                    } else {
+                        values[LOCATION_OFFSET + s] = v;
+                    }
+                }
+                for (s, &scale) in SENSOR_SCALES.iter().enumerate() {
+                    let (v, active) = scan_resolution(
+                        &self.config.media_sensor,
+                        &a.media,
+                        &b.media,
+                        0,
+                        horizon,
+                        scale,
+                        self.config.q,
+                        self.config.lambda,
+                    );
+                    if active == 0 {
+                        mask |= 1 << (MEDIA_OFFSET + s);
+                    } else {
+                        values[MEDIA_OFFSET + s] = v;
+                    }
+                }
             }
         }
 
-        PairFeatures { values, missing }
+        mask
+    }
+
+    /// Build one side's [`ProfileCache`] matching this extractor's scales
+    /// and observation window.
+    pub fn profile_cache(&self, side: &[UserSignals]) -> ProfileCache {
+        ProfileCache::build(side, &DIST_SCALES, &SENSOR_SCALES, self.window_days)
+    }
+
+    /// Assemble the feature matrix for a batch of candidate pairs, fanned
+    /// out across threads with an order-preserving merge. `caches` are the
+    /// two sides' pre-bucketed series ([`ProfileCache::build`]); without
+    /// them every pair re-buckets on the fly (identical values, slower).
+    pub fn features_for_pairs(
+        &self,
+        pairs: &[(u32, u32)],
+        left: &[UserSignals],
+        right: &[UserSignals],
+        caches: Option<(&ProfileCache, &ProfileCache)>,
+    ) -> FeatureMatrix {
+        self.features_for_pairs_threads(pairs, left, right, caches, hydra_par::num_threads())
+    }
+
+    /// [`FeatureExtractor::features_for_pairs`] with an explicit worker
+    /// count (`1` forces the sequential path; parity tests compare counts).
+    pub fn features_for_pairs_threads(
+        &self,
+        pairs: &[(u32, u32)],
+        left: &[UserSignals],
+        right: &[UserSignals],
+        caches: Option<(&ProfileCache, &ProfileCache)>,
+        threads: usize,
+    ) -> FeatureMatrix {
+        if let Some((cl, cr)) = caches {
+            assert_eq!(
+                cl.window_days, self.window_days,
+                "left cache window mismatch"
+            );
+            assert_eq!(
+                cr.window_days, self.window_days,
+                "right cache window mismatch"
+            );
+        }
+        let rows: Vec<([f64; FEATURE_DIM], u64)> =
+            hydra_par::par_map_threads(threads, pairs, |_, &(i, j)| {
+                let a = &left[i as usize];
+                let b = &right[j as usize];
+                let buckets =
+                    caches.map(|(cl, cr)| (&cl.accounts[i as usize], &cr.accounts[j as usize]));
+                let mut values = [0.0f64; FEATURE_DIM];
+                let mask = self.pair_features_into(a, b, buckets, &mut values);
+                (values, mask)
+            });
+        let mut fm = FeatureMatrix::with_capacity(pairs.len());
+        for (values, mask) in &rows {
+            fm.push_row(values, *mask);
+        }
+        fm
     }
 }
 
@@ -302,7 +576,11 @@ mod tests {
         let d = Dataset::generate(DatasetConfig::english(40, 33));
         let s = Signals::extract(
             &d,
-            &SignalConfig { lda_iterations: 15, infer_iterations: 5, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 15,
+                infer_iterations: 5,
+                ..Default::default()
+            },
         );
         let fx = FeatureExtractor::new(
             FeatureConfig::default(),
@@ -418,6 +696,68 @@ mod tests {
         let f = fx.pair_features(s.account(0, 0), s.account(1, 20));
         for k in 0..STYLE_KS.len() {
             assert!(f.values[STYLE_OFFSET + k] <= 0.5);
+        }
+    }
+
+    #[test]
+    fn feature_matrix_round_trips_pair_views() {
+        let (d, s, fx) = setup();
+        let mut fm = FeatureMatrix::with_capacity(8);
+        let mut views = Vec::new();
+        for i in 0..d.num_persons().min(8) {
+            let pf = fx.pair_features(s.account(0, i), s.account(1, i));
+            fm.push_pair(&pf);
+            views.push(pf);
+        }
+        assert_eq!(fm.len(), views.len());
+        for (i, pf) in views.iter().enumerate() {
+            assert_eq!(&fm.pair_view(i), pf, "row {i} round trip");
+            assert_eq!(fm.mask(i), pf.missing_mask());
+            assert_eq!(fm.observed(i), pf.observed());
+            assert!((fm.missing_fraction(i) - pf.missing_fraction()).abs() < 1e-15);
+        }
+        // Flat buffer is row-major and contiguous.
+        assert_eq!(fm.values_flat().len(), fm.len() * FEATURE_DIM);
+        assert_eq!(&fm.values_flat()[FEATURE_DIM..2 * FEATURE_DIM], fm.row(1));
+    }
+
+    #[test]
+    fn feature_matrix_mask_invariants() {
+        let (d, s, fx) = setup();
+        let pairs: Vec<(u32, u32)> = (0..d.num_persons() as u32)
+            .map(|i| (i, (i + 7) % d.num_persons() as u32))
+            .collect();
+        let fm = fx.features_for_pairs(&pairs, &s.per_platform[0], &s.per_platform[1], None);
+        for i in 0..fm.len() {
+            // No mask bits beyond FEATURE_DIM.
+            assert_eq!(fm.mask(i) >> FEATURE_DIM, 0, "row {i} stray mask bits");
+            // Missing dims hold zero until filled.
+            for k in 0..FEATURE_DIM {
+                if fm.is_missing(i, k) {
+                    assert_eq!(fm.row(i)[k], 0.0, "row {i} dim {k}");
+                }
+                assert!(fm.row(i)[k].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_assembly_matches_per_pair_path_bit_exactly() {
+        let (d, s, fx) = setup();
+        let n = d.num_persons() as u32;
+        let pairs: Vec<(u32, u32)> = (0..n).flat_map(|i| [(i, i), (i, (i + 3) % n)]).collect();
+        let left_cache = fx.profile_cache(&s.per_platform[0]);
+        let right_cache = fx.profile_cache(&s.per_platform[1]);
+        let cached = fx.features_for_pairs(
+            &pairs,
+            &s.per_platform[0],
+            &s.per_platform[1],
+            Some((&left_cache, &right_cache)),
+        );
+        for (r, &(i, j)) in pairs.iter().enumerate() {
+            let direct = fx.pair_features(s.account(0, i as usize), s.account(1, j as usize));
+            assert_eq!(cached.row(r), direct.values.as_slice(), "row {r} values");
+            assert_eq!(cached.mask(r), direct.missing_mask(), "row {r} mask");
         }
     }
 

@@ -12,9 +12,16 @@
 //!
 //! [`FillStrategy::Zero`] is the HYDRA-Z ablation; [`FillStrategy::CoreNetwork`]
 //! is HYDRA-M (the full model).
+//!
+//! The filler operates on [`FeatureMatrix`] rows in place — friend-pair
+//! similarity vectors are computed through the same allocation-lean
+//! [`FeatureExtractor::pair_features_into`] core (reusing the sides'
+//! [`ProfileCache`]s when provided) and memoized as fixed-size rows, so
+//! Eq. 18 costs one 320-byte cache entry per distinct friend pair instead
+//! of two heap `Vec`s.
 
-use crate::features::{FeatureExtractor, PairFeatures};
-use crate::signals::UserSignals;
+use crate::features::{FeatureExtractor, FeatureMatrix, FEATURE_DIM};
+use crate::signals::{ProfileCache, UserSignals};
 use hydra_graph::{top_k_friends, SocialGraph};
 use std::collections::HashMap;
 
@@ -28,16 +35,17 @@ pub enum FillStrategy {
     CoreNetwork,
 }
 
-/// Fills missing dimensions of pair feature vectors.
+/// Fills missing dimensions of pair feature rows.
 pub struct MissingFiller<'a> {
     extractor: &'a FeatureExtractor,
     left: &'a [UserSignals],
     right: &'a [UserSignals],
     left_graph: &'a SocialGraph,
     right_graph: &'a SocialGraph,
-    /// Cache of friend-pair feature vectors (Eq. 18 reuses them heavily
+    caches: Option<(&'a ProfileCache, &'a ProfileCache)>,
+    /// Memoized friend-pair feature rows (Eq. 18 reuses them heavily
     /// across pairs from the same neighborhood).
-    cache: HashMap<(u32, u32), PairFeatures>,
+    cache: HashMap<(u32, u32), ([f64; FEATURE_DIM], u64)>,
 }
 
 impl<'a> MissingFiller<'a> {
@@ -55,69 +63,123 @@ impl<'a> MissingFiller<'a> {
             right,
             left_graph,
             right_graph,
+            caches: None,
             cache: HashMap::new(),
         }
     }
 
-    /// Apply a fill strategy to a pair's features in place.
+    /// Provide pre-bucketed series caches so friend-pair features skip
+    /// re-bucketing (values are identical either way).
+    pub fn with_profile_caches(
+        mut self,
+        left_cache: &'a ProfileCache,
+        right_cache: &'a ProfileCache,
+    ) -> Self {
+        self.caches = Some((left_cache, right_cache));
+        self
+    }
+
+    /// Apply a fill strategy to every row of a feature matrix in place;
+    /// `pairs` is index-aligned with the matrix rows.
     ///
     /// For [`FillStrategy::CoreNetwork`], each missing dimension receives
     /// the average of that dimension over the 3×3 top-friend pairs where the
     /// dimension is observed; dimensions unobserved among friends fall back
     /// to 0, exactly as the paper specifies.
-    pub fn fill(
+    pub fn fill_matrix(
         &mut self,
-        pair: (u32, u32),
-        features: &mut PairFeatures,
+        pairs: &[(u32, u32)],
+        features: &mut FeatureMatrix,
         strategy: FillStrategy,
     ) {
+        assert_eq!(pairs.len(), features.len(), "pairs/rows misaligned");
         match strategy {
             FillStrategy::Zero => {
-                // Missing dims already hold 0 — just clear the mask so the
+                // Missing dims already hold 0 — just clear the masks so the
                 // learner treats them as observed zeros.
-                features.missing.iter_mut().for_each(|m| *m = false);
+                features.clear_masks();
             }
             FillStrategy::CoreNetwork => {
-                if features.missing.iter().all(|m| !m) {
-                    return;
-                }
-                let friends_l = top_k_friends(self.left_graph, pair.0, 3);
-                let friends_r = top_k_friends(self.right_graph, pair.1, 3);
-                let dim = features.values.len();
-                let mut sums = vec![0.0f64; dim];
-                let mut counts = vec![0u32; dim];
-                for &fl in &friends_l {
-                    for &fr in &friends_r {
-                        let pf = self.friend_features(fl, fr);
-                        for k in 0..dim {
-                            if !pf.missing[k] {
-                                sums[k] += pf.values[k];
-                                counts[k] += 1;
-                            }
-                        }
+                for (r, &pair) in pairs.iter().enumerate() {
+                    if features.mask(r) == 0 {
+                        continue;
                     }
-                }
-                for k in 0..dim {
-                    if features.missing[k] {
-                        features.values[k] = if counts[k] > 0 {
-                            sums[k] / counts[k] as f64
-                        } else {
-                            0.0 // friends missing too → 0 (paper's fallback)
-                        };
-                        features.missing[k] = false;
-                    }
+                    let (filled, mask) = {
+                        let mut row = [0.0f64; FEATURE_DIM];
+                        row.copy_from_slice(features.row(r));
+                        let mut mask = features.mask(r);
+                        self.fill_row_core(pair, &mut row, &mut mask);
+                        (row, mask)
+                    };
+                    features.row_mut(r).copy_from_slice(&filled);
+                    features.set_mask(r, mask);
                 }
             }
         }
     }
 
-    fn friend_features(&mut self, l: u32, r: u32) -> &PairFeatures {
-        let extractor = self.extractor;
-        let left = self.left;
-        let right = self.right;
-        self.cache.entry((l, r)).or_insert_with(|| {
-            extractor.pair_features(&left[l as usize], &right[r as usize])
-        })
+    /// Apply a fill strategy to a single row (`values` + missing bitmask).
+    pub fn fill_row(
+        &mut self,
+        pair: (u32, u32),
+        values: &mut [f64],
+        mask: &mut u64,
+        strategy: FillStrategy,
+    ) {
+        match strategy {
+            FillStrategy::Zero => *mask = 0,
+            FillStrategy::CoreNetwork => {
+                if *mask != 0 {
+                    self.fill_row_core(pair, values, mask);
+                }
+            }
+        }
+    }
+
+    fn fill_row_core(&mut self, pair: (u32, u32), values: &mut [f64], mask: &mut u64) {
+        let friends_l = top_k_friends(self.left_graph, pair.0, 3);
+        let friends_r = top_k_friends(self.right_graph, pair.1, 3);
+        let mut sums = [0.0f64; FEATURE_DIM];
+        let mut counts = [0u32; FEATURE_DIM];
+        for &fl in &friends_l {
+            for &fr in &friends_r {
+                let (frow, fmask) = self.friend_features(fl, fr);
+                for k in 0..FEATURE_DIM {
+                    if fmask >> k & 1 == 0 {
+                        sums[k] += frow[k];
+                        counts[k] += 1;
+                    }
+                }
+            }
+        }
+        for k in 0..FEATURE_DIM {
+            if *mask >> k & 1 == 1 {
+                values[k] = if counts[k] > 0 {
+                    sums[k] / counts[k] as f64
+                } else {
+                    0.0 // friends missing too → 0 (paper's fallback)
+                };
+            }
+        }
+        *mask = 0;
+    }
+
+    fn friend_features(&mut self, l: u32, r: u32) -> ([f64; FEATURE_DIM], u64) {
+        if let Some(&entry) = self.cache.get(&(l, r)) {
+            return entry;
+        }
+        let buckets = self
+            .caches
+            .map(|(cl, cr)| (&cl.accounts[l as usize], &cr.accounts[r as usize]));
+        let mut row = [0.0f64; FEATURE_DIM];
+        let mask = self.extractor.pair_features_into(
+            &self.left[l as usize],
+            &self.right[r as usize],
+            buckets,
+            &mut row,
+        );
+        self.cache.insert((l, r), (row, mask));
+        (row, mask)
     }
 
     /// Number of cached friend-pair evaluations (diagnostics).
@@ -129,7 +191,7 @@ impl<'a> MissingFiller<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::{AttributeImportance, FeatureConfig, FEATURE_DIM};
+    use crate::features::{AttributeImportance, FeatureConfig};
     use crate::signals::{SignalConfig, Signals};
     use hydra_datagen::{Dataset, DatasetConfig};
 
@@ -143,116 +205,140 @@ mod tests {
         let dataset = Dataset::generate(DatasetConfig::english(50, 77));
         let signals = Signals::extract(
             &dataset,
-            &SignalConfig { lda_iterations: 10, infer_iterations: 4, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 10,
+                infer_iterations: 4,
+                ..Default::default()
+            },
         );
         let extractor = FeatureExtractor::new(
             FeatureConfig::default(),
             AttributeImportance::default(),
             dataset.config.window_days,
         );
-        Fixture { dataset, signals, extractor }
+        Fixture {
+            dataset,
+            signals,
+            extractor,
+        }
+    }
+
+    impl Fixture {
+        fn filler(&self) -> MissingFiller<'_> {
+            MissingFiller::new(
+                &self.extractor,
+                &self.signals.per_platform[0],
+                &self.signals.per_platform[1],
+                &self.dataset.platforms[0].graph,
+                &self.dataset.platforms[1].graph,
+            )
+        }
+
+        fn true_pairs_matrix(&self) -> (Vec<(u32, u32)>, FeatureMatrix) {
+            let pairs: Vec<(u32, u32)> = (0..self.dataset.num_persons() as u32)
+                .map(|i| (i, i))
+                .collect();
+            let fm = self.extractor.features_for_pairs(
+                &pairs,
+                &self.signals.per_platform[0],
+                &self.signals.per_platform[1],
+                None,
+            );
+            (pairs, fm)
+        }
     }
 
     #[test]
     fn zero_fill_clears_mask_keeps_zeros() {
         let fx = fixture();
-        let mut filler = MissingFiller::new(
-            &fx.extractor,
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-            &fx.dataset.platforms[0].graph,
-            &fx.dataset.platforms[1].graph,
-        );
-        let mut f = fx
-            .extractor
-            .pair_features(fx.signals.account(0, 0), fx.signals.account(1, 0));
-        let missing_dims: Vec<usize> =
-            (0..FEATURE_DIM).filter(|&k| f.missing[k]).collect();
-        filler.fill((0, 0), &mut f, FillStrategy::Zero);
-        assert!(f.missing.iter().all(|m| !m));
-        for k in missing_dims {
-            assert_eq!(f.values[k], 0.0);
+        let mut filler = fx.filler();
+        let (pairs, mut fm) = fx.true_pairs_matrix();
+        let missing_dims: Vec<(usize, usize)> = (0..fm.len())
+            .flat_map(|r| (0..FEATURE_DIM).map(move |k| (r, k)))
+            .filter(|&(r, k)| fm.is_missing(r, k))
+            .collect();
+        filler.fill_matrix(&pairs, &mut fm, FillStrategy::Zero);
+        assert!((0..fm.len()).all(|r| fm.mask(r) == 0));
+        for (r, k) in missing_dims {
+            assert_eq!(fm.row(r)[k], 0.0);
         }
     }
 
     #[test]
     fn core_fill_replaces_missing_with_friend_average() {
         let fx = fixture();
-        let mut filler = MissingFiller::new(
-            &fx.extractor,
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-            &fx.dataset.platforms[0].graph,
-            &fx.dataset.platforms[1].graph,
-        );
-        // Find a pair with at least one missing dim and friends on both
-        // sides.
-        let mut filled_any = false;
-        for i in 0..fx.dataset.num_persons() as u32 {
-            let mut f = fx
-                .extractor
-                .pair_features(fx.signals.account(0, i as usize), fx.signals.account(1, i as usize));
-            if !f.missing.iter().any(|&m| m) {
-                continue;
-            }
-            filler.fill((i, i), &mut f, FillStrategy::CoreNetwork);
-            assert!(f.missing.iter().all(|m| !m));
-            assert!(f.values.iter().all(|v| v.is_finite()));
-            filled_any = true;
+        let mut filler = fx.filler();
+        let (pairs, mut fm) = fx.true_pairs_matrix();
+        let had_missing = (0..fm.len()).any(|r| fm.mask(r) != 0);
+        filler.fill_matrix(&pairs, &mut fm, FillStrategy::CoreNetwork);
+        assert!(had_missing, "no row had missing dims to exercise filling");
+        for r in 0..fm.len() {
+            assert_eq!(fm.mask(r), 0, "row {r} still masked");
+            assert!(fm.row(r).iter().all(|v| v.is_finite()));
         }
-        assert!(filled_any, "no pair had missing dims to exercise filling");
         assert!(filler.cache_size() > 0, "friend features should be cached");
     }
 
     #[test]
     fn core_fill_produces_nonzero_for_observable_friend_dims() {
         let fx = fixture();
-        let mut filler = MissingFiller::new(
-            &fx.extractor,
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-            &fx.dataset.platforms[0].graph,
-            &fx.dataset.platforms[1].graph,
-        );
+        let mut filler = fx.filler();
+        let (pairs, mut fm) = fx.true_pairs_matrix();
         // Aggregate over all true pairs: core filling should inject some
         // non-zero values into previously-missing dims (friends do have
         // observable behavior similarities).
-        let mut injected = 0usize;
-        for i in 0..fx.dataset.num_persons() {
-            let mut f = fx
-                .extractor
-                .pair_features(fx.signals.account(0, i), fx.signals.account(1, i));
-            let missing_dims: Vec<usize> =
-                (0..FEATURE_DIM).filter(|&k| f.missing[k]).collect();
-            filler.fill((i as u32, i as u32), &mut f, FillStrategy::CoreNetwork);
-            injected += missing_dims.iter().filter(|&&k| f.values[k] != 0.0).count();
-        }
+        let missing_dims: Vec<(usize, usize)> = (0..fm.len())
+            .flat_map(|r| (0..FEATURE_DIM).map(move |k| (r, k)))
+            .filter(|&(r, k)| fm.is_missing(r, k))
+            .collect();
+        filler.fill_matrix(&pairs, &mut fm, FillStrategy::CoreNetwork);
+        let injected = missing_dims
+            .iter()
+            .filter(|&&(r, k)| fm.row(r)[k] != 0.0)
+            .count();
         assert!(injected > 0, "Eq. 18 never injected information");
     }
 
     #[test]
     fn cache_is_reused_across_pairs() {
         let fx = fixture();
-        let mut filler = MissingFiller::new(
-            &fx.extractor,
-            &fx.signals.per_platform[0],
-            &fx.signals.per_platform[1],
-            &fx.dataset.platforms[0].graph,
-            &fx.dataset.platforms[1].graph,
-        );
-        for i in 0..10u32 {
-            let mut f = fx
-                .extractor
-                .pair_features(fx.signals.account(0, i as usize), fx.signals.account(1, i as usize));
-            filler.fill((i, i), &mut f, FillStrategy::CoreNetwork);
-        }
+        let mut filler = fx.filler();
+        let pairs: Vec<(u32, u32)> = (0..10u32).map(|i| (i, i)).collect();
+        let build = || {
+            fx.extractor.features_for_pairs(
+                &pairs,
+                &fx.signals.per_platform[0],
+                &fx.signals.per_platform[1],
+                None,
+            )
+        };
+        let mut fm = build();
+        filler.fill_matrix(&pairs, &mut fm, FillStrategy::CoreNetwork);
         let after_first_pass = filler.cache_size();
-        for i in 0..10u32 {
-            let mut f = fx
-                .extractor
-                .pair_features(fx.signals.account(0, i as usize), fx.signals.account(1, i as usize));
-            filler.fill((i, i), &mut f, FillStrategy::CoreNetwork);
-        }
-        assert_eq!(filler.cache_size(), after_first_pass, "second pass must hit cache");
+        let mut fm2 = build();
+        filler.fill_matrix(&pairs, &mut fm2, FillStrategy::CoreNetwork);
+        assert_eq!(
+            filler.cache_size(),
+            after_first_pass,
+            "second pass must hit cache"
+        );
+        assert_eq!(fm, fm2, "filling is deterministic");
+    }
+
+    #[test]
+    fn cached_profiles_fill_identically() {
+        let fx = fixture();
+        let (pairs, base) = fx.true_pairs_matrix();
+        let mut plain = base.clone();
+        fx.filler()
+            .fill_matrix(&pairs, &mut plain, FillStrategy::CoreNetwork);
+
+        let left_cache = fx.extractor.profile_cache(&fx.signals.per_platform[0]);
+        let right_cache = fx.extractor.profile_cache(&fx.signals.per_platform[1]);
+        let mut cached = base.clone();
+        fx.filler()
+            .with_profile_caches(&left_cache, &right_cache)
+            .fill_matrix(&pairs, &mut cached, FillStrategy::CoreNetwork);
+        assert_eq!(plain, cached, "Eq. 18 must not depend on the bucket cache");
     }
 }

@@ -10,12 +10,15 @@
 //! candidate pair of a task through the learned kernel expansion (Eq. 12).
 
 use crate::candidates::{generate_candidates, CandidateConfig, CandidatePair};
-use crate::features::{AttributeImportance, FeatureConfig, FeatureExtractor, PairFeatures};
+use crate::features::{
+    AttributeImportance, FeatureConfig, FeatureExtractor, FeatureMatrix, FEATURE_DIM,
+};
 use crate::missing::{FillStrategy, MissingFiller};
 use crate::moo::{solve, MooConfig, MooError, MooProblem, MooSolution};
-use crate::signals::Signals;
+use crate::signals::{ProfileCache, Signals};
 use crate::structure::{build_structure_matrix, StructureConfig};
 use hydra_datagen::Dataset;
+use hydra_linalg::dense::Mat;
 use hydra_linalg::sparse::CsrBuilder;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -108,8 +111,8 @@ pub struct TaskState {
     pub task: PairTask,
     /// All candidate pairs for the task.
     pub candidates: Vec<CandidatePair>,
-    /// Filled feature vector per candidate.
-    pub features: Vec<PairFeatures>,
+    /// Filled feature rows, index-aligned with `candidates`.
+    pub features: FeatureMatrix,
 }
 
 /// A fitted model.
@@ -141,7 +144,10 @@ impl Hydra {
         signals: &Signals,
         tasks: Vec<PairTask>,
     ) -> Result<TrainedHydra, MooError> {
-        assert!(!tasks.is_empty(), "at least one platform-pair task required");
+        assert!(
+            !tasks.is_empty(),
+            "at least one platform-pair task required"
+        );
         let cfg = &self.config;
 
         // ---- Eq. 3: attribute importance from the labeled pairs ----------
@@ -158,10 +164,21 @@ impl Hydra {
             FeatureExtractor::new(cfg.feature.clone(), importance.clone(), signals.window_days);
 
         // ---- per-task candidate generation & features ----------------------
+        // Pre-bucketed series caches, built once per distinct platform and
+        // shared across tasks (and with the Eq.-18 friend-pair filler).
+        let mut platform_caches: Vec<Option<ProfileCache>> =
+            (0..signals.per_platform.len()).map(|_| None).collect();
+        for task in &tasks {
+            for p in [task.left_platform, task.right_platform] {
+                if platform_caches[p].is_none() {
+                    platform_caches[p] = Some(extractor.profile_cache(&signals.per_platform[p]));
+                }
+            }
+        }
+
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut task_states: Vec<TaskState> = Vec::with_capacity(tasks.len());
         // Expansion bookkeeping: (task, candidate index) per expansion slot.
-        let mut labeled_feats: Vec<Vec<f64>> = Vec::new();
         let mut labeled_ys: Vec<f64> = Vec::new();
         let mut labeled_slots: Vec<(usize, usize)> = Vec::new();
         let mut unlabeled_slots: Vec<(usize, usize)> = Vec::new();
@@ -169,6 +186,12 @@ impl Hydra {
         for (t_idx, task) in tasks.into_iter().enumerate() {
             let left = &signals.per_platform[task.left_platform];
             let right = &signals.per_platform[task.right_platform];
+            let left_cache = platform_caches[task.left_platform]
+                .as_ref()
+                .expect("cache built above");
+            let right_cache = platform_caches[task.right_platform]
+                .as_ref()
+                .expect("cache built above");
             let mut cands = generate_candidates(left, right, &cfg.candidates);
 
             // Labeled pairs must be present in the candidate list.
@@ -189,20 +212,20 @@ impl Hydra {
                 }
             }
 
-            // Features + missing-info filling.
+            // Batch feature assembly (parallel, contiguous rows) followed by
+            // missing-info filling over the matrix in place.
+            let pairs: Vec<crate::PairIdx> = cands.iter().map(|c| (c.left, c.right)).collect();
+            let mut feats =
+                extractor.features_for_pairs(&pairs, left, right, Some((left_cache, right_cache)));
             let mut filler = MissingFiller::new(
                 &extractor,
                 left,
                 right,
                 &dataset.platforms[task.left_platform].graph,
                 &dataset.platforms[task.right_platform].graph,
-            );
-            let mut feats: Vec<PairFeatures> = Vec::with_capacity(cands.len());
-            for c in &cands {
-                let mut f = extractor.pair_features(&left[c.left as usize], &right[c.right as usize]);
-                filler.fill((c.left, c.right), &mut f, cfg.fill);
-                feats.push(f);
-            }
+            )
+            .with_profile_caches(left_cache, right_cache);
+            filler.fill_matrix(&pairs, &mut feats, cfg.fill);
 
             // Labeled set: ground truth + optional pre-matched pseudo-labels.
             let mut label_map: HashMap<usize, f64> = HashMap::new();
@@ -236,7 +259,6 @@ impl Hydra {
                 neg.truncate(cfg.max_labeled_per_task - pos.len().min(cfg.max_labeled_per_task));
             }
             for ci in pos.into_iter().chain(neg) {
-                labeled_feats.push(feats[ci].values.clone());
                 labeled_ys.push(label_map[&ci]);
                 labeled_slots.push((t_idx, ci));
             }
@@ -264,12 +286,18 @@ impl Hydra {
         }
 
         // ---- assemble the global expansion (labeled prefix first) ---------
-        let nl = labeled_feats.len();
-        let mut features: Vec<Vec<f64>> = labeled_feats;
-        for &(t, ci) in &unlabeled_slots {
-            features.push(task_states[t].features[ci].values.clone());
+        let nl = labeled_slots.len();
+        let n = nl + unlabeled_slots.len();
+        let mut features = Mat::zeros(n, FEATURE_DIM);
+        for (g, &(t, ci)) in labeled_slots
+            .iter()
+            .chain(unlabeled_slots.iter())
+            .enumerate()
+        {
+            features
+                .row_mut(g)
+                .copy_from_slice(task_states[t].features.row(ci));
         }
-        let n = features.len();
 
         // Global slot of every (task, candidate) in the expansion.
         let mut slot_of: HashMap<(usize, usize), usize> = HashMap::new();
@@ -333,23 +361,19 @@ impl Hydra {
 }
 
 impl TrainedHydra {
-    /// Score every candidate pair of task `t`.
+    /// Score every candidate pair of task `t` (parallel over candidates,
+    /// deterministic order).
     pub fn predict(&self, t: usize) -> Vec<LinkagePrediction> {
         let state = &self.tasks[t];
-        state
-            .candidates
-            .iter()
-            .zip(state.features.iter())
-            .map(|(c, f)| {
-                let score = self.solution.decision(&f.values);
-                LinkagePrediction {
-                    left: c.left,
-                    right: c.right,
-                    score,
-                    linked: score > 0.0,
-                }
-            })
-            .collect()
+        hydra_par::par_map(state.candidates.as_slice(), |ci, c| {
+            let score = self.solution.decision(state.features.row(ci));
+            LinkagePrediction {
+                left: c.left,
+                right: c.right,
+                score,
+                linked: score > 0.0,
+            }
+        })
     }
 
     /// Number of platform-pair tasks.
@@ -371,7 +395,11 @@ mod tests {
         let dataset = Dataset::generate(DatasetConfig::english(60, 2024));
         let signals = Signals::extract(
             &dataset,
-            &SignalConfig { lda_iterations: 12, infer_iterations: 4, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 12,
+                infer_iterations: 4,
+                ..Default::default()
+            },
         );
         let cands = generate_candidates(
             &signals.per_platform[0],
@@ -436,8 +464,10 @@ mod tests {
     fn training_pairs_recovered() {
         let (_, _, trained) = fixture(FillStrategy::CoreNetwork);
         let preds = trained.predict(0);
-        let by_pair: HashMap<(u32, u32), bool> =
-            preds.iter().map(|p| ((p.left, p.right), p.linked)).collect();
+        let by_pair: HashMap<(u32, u32), bool> = preds
+            .iter()
+            .map(|p| ((p.left, p.right), p.linked))
+            .collect();
         // Most labeled positives should be predicted linked.
         let mut hit = 0;
         for i in 0..18u32 {
@@ -469,7 +499,11 @@ mod tests {
         let dataset = Dataset::generate(DatasetConfig::english(40, 7));
         let signals = Signals::extract(
             &dataset,
-            &SignalConfig { lda_iterations: 8, infer_iterations: 3, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 8,
+                infer_iterations: 3,
+                ..Default::default()
+            },
         );
         let mut labels = Vec::new();
         for i in 0..10u32 {

@@ -30,7 +30,7 @@
 //! mechanism of Section 6.4.
 
 use hydra_linalg::dense::Mat;
-use hydra_linalg::kernels::{kernel_matrix, Kernel};
+use hydra_linalg::kernels::{kernel_matrix_mat, Kernel};
 use hydra_linalg::qp::{SmoOptions, SmoSolver};
 use hydra_linalg::sparse::CsrMatrix;
 use hydra_linalg::Lu;
@@ -75,8 +75,9 @@ impl Default for MooConfig {
 /// matrix over the full set.
 #[derive(Debug, Clone)]
 pub struct MooProblem {
-    /// Filled feature vectors, labeled pairs occupying indices `0..labels.len()`.
-    pub features: Vec<Vec<f64>>,
+    /// Filled feature rows (contiguous `n × FEATURE_DIM` storage), labeled
+    /// pairs occupying rows `0..labels.len()`.
+    pub features: Mat,
     /// ±1 labels for the labeled prefix.
     pub labels: Vec<f64>,
     /// Structure matrix **M** over all features (may be all-zero when the
@@ -95,8 +96,8 @@ pub struct MooSolution {
     pub bias: f64,
     /// Kernel used.
     pub kernel: Kernel,
-    /// Expansion features (needed at prediction time).
-    pub expansion: Vec<Vec<f64>>,
+    /// Expansion feature rows (needed at prediction time).
+    pub expansion: Mat,
     /// Final supervised objective F_D.
     pub objective_d: f64,
     /// Final structure objective F_S.
@@ -111,9 +112,9 @@ impl MooSolution {
     /// Decision value `f(x) = Σ_a α_a K(x_a, x) + b` (Eq. 12).
     pub fn decision(&self, x: &[f64]) -> f64 {
         let mut f = self.bias;
-        for (a, xa) in self.alpha.iter().zip(self.expansion.iter()) {
+        for (i, a) in self.alpha.iter().enumerate() {
             if *a != 0.0 {
-                f += a * self.kernel.eval(xa, x);
+                f += a * self.kernel.eval(self.expansion.row(i), x);
             }
         }
         f
@@ -156,7 +157,7 @@ impl From<hydra_linalg::LinalgError> for MooError {
 
 /// Solve the multi-objective problem.
 pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, MooError> {
-    let n = problem.features.len();
+    let n = problem.features.rows();
     let nl = problem.labels.len();
     if nl == 0 {
         return Err(MooError::NoLabels);
@@ -169,7 +170,9 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
     assert!(nl <= n, "labeled prefix longer than feature set");
     assert_eq!(problem.m.rows(), n, "structure matrix must cover all pairs");
 
-    let k = kernel_matrix(config.kernel, &problem.features);
+    // Contiguous rows + parallel Gram construction (deterministic at any
+    // thread count).
+    let k = kernel_matrix_mat(config.kernel, &problem.features);
 
     let mut gamma_m_eff = config.gamma_m;
     let mut warm_beta: Option<Vec<f64>> = None;
@@ -270,11 +273,7 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
 
         // ---- objective values (for reweighting and diagnostics) ----------
         // F_D = γ_L/2 ‖w‖² + Σ ξ with ‖w‖² = αᵀKα.
-        let w_norm_sq: f64 = alpha
-            .iter()
-            .zip(f_no_bias.iter())
-            .map(|(a, f)| a * f)
-            .sum();
+        let w_norm_sq: f64 = alpha.iter().zip(f_no_bias.iter()).map(|(a, f)| a * f).sum();
         let hinge: f64 = (0..nl)
             .map(|t| (1.0 - problem.labels[t] * (f_no_bias[t] + bias)).max(0.0))
             .sum();
@@ -353,7 +352,7 @@ mod tests {
     /// unlabeled points sit on the cluster manifolds. The structure matrix
     /// links points of the same cluster.
     fn toy_problem(with_structure: bool) -> MooProblem {
-        let features = vec![
+        let feature_rows = vec![
             // labeled (first 4)
             vec![1.0, 0.9],   // +
             vec![0.9, 1.1],   // +
@@ -366,7 +365,8 @@ mod tests {
             vec![-1.05, -0.95],
         ];
         let labels = vec![1.0, 1.0, -1.0, -1.0];
-        let n = features.len();
+        let n = feature_rows.len();
+        let features = Mat::from_rows(&feature_rows);
         let mut b = CsrBuilder::new(n, n);
         if with_structure {
             // Same-cluster affinities.
@@ -385,7 +385,12 @@ mod tests {
         }
         let m = b.build();
         let degrees = m.row_sums();
-        MooProblem { features, labels, m, degrees }
+        MooProblem {
+            features,
+            labels,
+            m,
+            degrees,
+        }
     }
 
     #[test]
@@ -393,7 +398,7 @@ mod tests {
         let p = toy_problem(true);
         let sol = solve(&p, &MooConfig::default()).unwrap();
         for t in 0..4 {
-            let f = sol.decision(&p.features[t]);
+            let f = sol.decision(p.features.row(t));
             assert!(
                 f * p.labels[t] > 0.0,
                 "pair {t} misclassified: f={f}, y={}",
@@ -409,10 +414,10 @@ mod tests {
     fn unlabeled_points_follow_their_cluster() {
         let p = toy_problem(true);
         let sol = solve(&p, &MooConfig::default()).unwrap();
-        assert!(sol.decision(&p.features[4]) > 0.0);
-        assert!(sol.decision(&p.features[6]) > 0.0);
-        assert!(sol.decision(&p.features[5]) < 0.0);
-        assert!(sol.decision(&p.features[7]) < 0.0);
+        assert!(sol.decision(p.features.row(4)) > 0.0);
+        assert!(sol.decision(p.features.row(6)) > 0.0);
+        assert!(sol.decision(p.features.row(5)) < 0.0);
+        assert!(sol.decision(p.features.row(7)) < 0.0);
     }
 
     #[test]
@@ -422,7 +427,7 @@ mod tests {
         assert!(sol.objective_s.abs() < 1e-9);
         // Still classifies (pure supervised path).
         for t in 0..4 {
-            assert!(sol.decision(&p.features[t]) * p.labels[t] > 0.0);
+            assert!(sol.decision(p.features.row(t)) * p.labels[t] > 0.0);
         }
     }
 
@@ -446,10 +451,14 @@ mod tests {
     #[test]
     fn p_greater_one_still_classifies() {
         let p = toy_problem(true);
-        let cfg = MooConfig { p: 3.0, reweight_iters: 3, ..Default::default() };
+        let cfg = MooConfig {
+            p: 3.0,
+            reweight_iters: 3,
+            ..Default::default()
+        };
         let sol = solve(&p, &cfg).unwrap();
         for t in 0..4 {
-            assert!(sol.decision(&p.features[t]) * p.labels[t] > 0.0);
+            assert!(sol.decision(p.features.row(t)) * p.labels[t] > 0.0);
         }
     }
 
@@ -458,9 +467,24 @@ mod tests {
         // With γ_M → 0 the solution approaches a plain SVM; decision values
         // of the two paths should agree in sign everywhere.
         let p = toy_problem(true);
-        let with = solve(&p, &MooConfig { gamma_m: 1.0, ..Default::default() }).unwrap();
-        let without = solve(&p, &MooConfig { gamma_m: 1e-12, ..Default::default() }).unwrap();
-        for x in &p.features {
+        let with = solve(
+            &p,
+            &MooConfig {
+                gamma_m: 1.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let without = solve(
+            &p,
+            &MooConfig {
+                gamma_m: 1e-12,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for t in 0..p.features.rows() {
+            let x = p.features.row(t);
             assert_eq!(
                 with.decision(x) > 0.0,
                 without.decision(x) > 0.0,
@@ -505,8 +529,11 @@ mod tests {
         let p = toy_problem(true);
         let s1 = solve(&p, &MooConfig::default()).unwrap();
         let s2 = solve(&p, &MooConfig::default()).unwrap();
-        for x in &p.features {
-            assert_eq!(s1.decision(x), s2.decision(x));
+        for t in 0..p.features.rows() {
+            assert_eq!(
+                s1.decision(p.features.row(t)),
+                s2.decision(p.features.row(t))
+            );
         }
     }
 }

@@ -96,10 +96,46 @@ impl DaySeries {
     }
 }
 
+/// Merge-join two bucketed series: average kernel similarity over buckets
+/// active on both sides, plus the matched-bucket count (0 ⇒ the feature is
+/// missing at that scale). Shared by the on-the-fly and cached paths so
+/// they produce bit-identical values.
+#[inline]
+pub(crate) fn merged_bucket_similarity(
+    ba: &[(u16, Vec<f64>)],
+    bb: &[(u16, Vec<f64>)],
+    kernel: Kernel,
+) -> (f64, usize) {
+    let mut total = 0.0;
+    let mut matched = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ba.len() && j < bb.len() {
+        match ba[i].0.cmp(&bb[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                total += kernel.eval(&ba[i].1, &bb[j].1);
+                matched += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    if matched == 0 {
+        (0.0, 0)
+    } else {
+        (total / matched as f64, matched)
+    }
+}
+
 /// Figure-5 multi-scale similarity on two day series: per-scale kernel
 /// similarity averaged over buckets where both series are active. Returns
 /// `(similarities, matched_bucket_counts)` — a zero count marks the feature
 /// as missing at that scale.
+///
+/// Buckets both series on the fly; batch callers should pre-bucket once per
+/// account via [`BucketedSeries`] / [`ProfileCache`] instead (the results
+/// are identical, this path re-buckets per call).
 pub fn multi_scale_series_similarity(
     a: &DaySeries,
     b: &DaySeries,
@@ -111,15 +147,127 @@ pub fn multi_scale_series_similarity(
     for &s in scales {
         let ba = a.bucketed(s);
         let bb = b.bucketed(s);
+        let (v, matched) = merged_bucket_similarity(&ba, &bb, kernel);
+        sims.push(v);
+        counts.push(matched);
+    }
+    (sims, counts)
+}
+
+/// One scale's buckets in flat storage: bucket ids plus an id-aligned
+/// row-major value buffer (`flat[i*dim..(i+1)*dim]` is bucket `ids[i]`'s
+/// L1-normalized distribution).
+#[derive(Debug, Clone)]
+pub struct ScaleBuckets {
+    /// Active bucket indices, ascending.
+    pub ids: Vec<u16>,
+    /// Distributions, one `dim`-wide chunk per id.
+    pub flat: Vec<f64>,
+}
+
+/// One day series pre-bucketed at every similarity scale, in contiguous
+/// storage.
+///
+/// The legacy pair-feature path re-bucketed both sides of every pair at all
+/// six scales (36 `bucketed` calls — and a fresh `Vec` per bucket — per
+/// pair); bucketing is a per-*account* computation, so the batch pipeline
+/// does it exactly once per account, flat, and shares the result across all
+/// of that account's candidate pairs.
+#[derive(Debug, Clone)]
+pub struct BucketedSeries {
+    /// Distribution width (0 for an empty series).
+    pub dim: usize,
+    /// One entry per scale.
+    pub per_scale: Vec<ScaleBuckets>,
+}
+
+impl BucketedSeries {
+    /// Bucket a series at each scale — same accumulate-then-normalize
+    /// arithmetic as [`DaySeries::bucketed`], so values are bit-identical.
+    pub fn build(series: &DaySeries, scales: &[u16]) -> Self {
+        let dim = series.dists.first().map_or(0, Vec::len);
+        let per_scale = scales
+            .iter()
+            .map(|&scale| {
+                assert!(scale >= 1);
+                let mut ids: Vec<u16> = Vec::new();
+                let mut flat: Vec<f64> = Vec::new();
+                for (d, dist) in series.days.iter().zip(series.dists.iter()) {
+                    let b = d / scale;
+                    if ids.last() == Some(&b) {
+                        let off = flat.len() - dim;
+                        for (acc, v) in flat[off..].iter_mut().zip(dist.iter()) {
+                            *acc += v;
+                        }
+                    } else {
+                        ids.push(b);
+                        flat.extend_from_slice(dist);
+                    }
+                }
+                for chunk in flat.chunks_mut(dim.max(1)) {
+                    normalize_l1(chunk);
+                }
+                ScaleBuckets { ids, flat }
+            })
+            .collect();
+        BucketedSeries { dim, per_scale }
+    }
+}
+
+/// Multi-scale similarity over pre-bucketed series — bit-identical to
+/// [`multi_scale_series_similarity`] on the originating [`DaySeries`].
+///
+/// The kernel dispatch is hoisted out of the merge loop (monomorphized per
+/// kernel variant), so each matched bucket costs one inlined evaluation.
+pub fn multi_scale_similarity_cached(
+    a: &BucketedSeries,
+    b: &BucketedSeries,
+    kernel: Kernel,
+) -> (Vec<f64>, Vec<usize>) {
+    // Per-bucket arithmetic identical to `Kernel::eval`'s arms.
+    #[inline]
+    fn chi2(x: &[f64], y: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (&p, &q) in x.iter().zip(y.iter()) {
+            let s = p + q;
+            if s > 0.0 {
+                acc += 2.0 * p * q / s;
+            }
+        }
+        acc
+    }
+    #[inline]
+    fn hist(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y.iter()).map(|(&p, &q)| p.min(q)).sum()
+    }
+    match kernel {
+        Kernel::ChiSquare => merge_cached_scales(a, b, chi2),
+        Kernel::HistIntersection => merge_cached_scales(a, b, hist),
+        other => merge_cached_scales(a, b, move |x, y| other.eval(x, y)),
+    }
+}
+
+fn merge_cached_scales<F: Fn(&[f64], &[f64]) -> f64>(
+    a: &BucketedSeries,
+    b: &BucketedSeries,
+    eval: F,
+) -> (Vec<f64>, Vec<usize>) {
+    debug_assert_eq!(a.per_scale.len(), b.per_scale.len());
+    let mut sims = Vec::with_capacity(a.per_scale.len());
+    let mut counts = Vec::with_capacity(a.per_scale.len());
+    for (sa, sb) in a.per_scale.iter().zip(b.per_scale.iter()) {
         let mut total = 0.0;
         let mut matched = 0usize;
         let (mut i, mut j) = (0usize, 0usize);
-        while i < ba.len() && j < bb.len() {
-            match ba[i].0.cmp(&bb[j].0) {
+        while i < sa.ids.len() && j < sb.ids.len() {
+            match sa.ids[i].cmp(&sb.ids[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    total += kernel.eval(&ba[i].1, &bb[j].1);
+                    total += eval(
+                        &sa.flat[i * a.dim..(i + 1) * a.dim],
+                        &sb.flat[j * b.dim..(j + 1) * b.dim],
+                    );
                     matched += 1;
                     i += 1;
                     j += 1;
@@ -135,6 +283,73 @@ pub fn multi_scale_series_similarity(
         }
     }
     (sims, counts)
+}
+
+/// Pre-bucketed series and sensor window indexes for one account.
+#[derive(Debug, Clone)]
+pub struct AccountBuckets {
+    /// Topic series at every scale.
+    pub topic: BucketedSeries,
+    /// Genre series at every scale.
+    pub genre: BucketedSeries,
+    /// Sentiment series at every scale.
+    pub senti: BucketedSeries,
+    /// Check-in timeline windows per sensor scale.
+    pub checkins: hydra_temporal::sensors::WindowIndex,
+    /// Media timeline windows per sensor scale.
+    pub media: hydra_temporal::sensors::WindowIndex,
+}
+
+/// Per-platform cache of [`AccountBuckets`], built once per side and reused
+/// by candidate-pair feature assembly and Eq.-18 friend-pair filling.
+#[derive(Debug, Clone)]
+pub struct ProfileCache {
+    /// One entry per account, index-aligned with the signals slice.
+    pub accounts: Vec<AccountBuckets>,
+    /// Observation window the sensor indexes were built over.
+    pub window_days: u32,
+}
+
+impl ProfileCache {
+    /// Build the cache (parallel over accounts). `scales` are the
+    /// distribution-similarity scales, `sensor_scales` the sensor temporal
+    /// resolutions, `window_days` the observation window.
+    pub fn build(
+        side: &[UserSignals],
+        scales: &[u16],
+        sensor_scales: &[u32],
+        window_days: u32,
+    ) -> Self {
+        Self::build_threads(
+            side,
+            scales,
+            sensor_scales,
+            window_days,
+            hydra_par::num_threads(),
+        )
+    }
+
+    /// [`ProfileCache::build`] with an explicit worker count.
+    pub fn build_threads(
+        side: &[UserSignals],
+        scales: &[u16],
+        sensor_scales: &[u32],
+        window_days: u32,
+        threads: usize,
+    ) -> Self {
+        use hydra_temporal::sensors::WindowIndex;
+        let horizon = hydra_temporal::days(window_days as i64);
+        ProfileCache {
+            accounts: hydra_par::par_map_threads(threads, side, |_, sig| AccountBuckets {
+                topic: BucketedSeries::build(&sig.topic_days, scales),
+                genre: BucketedSeries::build(&sig.genre_days, scales),
+                senti: BucketedSeries::build(&sig.senti_days, scales),
+                checkins: WindowIndex::build(&sig.checkins, 0, horizon, sensor_scales),
+                media: WindowIndex::build(&sig.media, 0, horizon, sensor_scales),
+            }),
+            window_days,
+        }
+    }
 }
 
 /// Everything the pair-feature pipeline needs about one account.
@@ -449,10 +664,7 @@ mod tests {
 
     #[test]
     fn multi_scale_self_similarity_is_one() {
-        let s = DaySeries::from_events(vec![
-            (1, vec![0.5, 0.5]),
-            (9, vec![0.9, 0.1]),
-        ]);
+        let s = DaySeries::from_events(vec![(1, vec![0.5, 0.5]), (9, vec![0.9, 0.1])]);
         let (sims, counts) =
             multi_scale_series_similarity(&s, &s, &[1, 2, 4, 8, 16, 32], Kernel::ChiSquare);
         for (v, c) in sims.iter().zip(counts.iter()) {
@@ -465,8 +677,7 @@ mod tests {
     fn asynchrony_recovered_at_coarse_scale() {
         let a = DaySeries::from_events(vec![(2, vec![1.0, 0.0])]);
         let b = DaySeries::from_events(vec![(6, vec![1.0, 0.0])]);
-        let (sims, counts) =
-            multi_scale_series_similarity(&a, &b, &[1, 8], Kernel::ChiSquare);
+        let (sims, counts) = multi_scale_series_similarity(&a, &b, &[1, 8], Kernel::ChiSquare);
         assert_eq!(counts[0], 0);
         assert_eq!(counts[1], 1);
         assert!((sims[1] - 1.0).abs() < 1e-9);

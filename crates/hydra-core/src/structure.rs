@@ -142,8 +142,8 @@ mod tests {
     use super::*;
     use crate::signals::DaySeries;
     use hydra_graph::GraphBuilder;
-    use hydra_text::UniqueWordProfile;
     use hydra_temporal::Timeline;
+    use hydra_text::UniqueWordProfile;
 
     /// Minimal signals with a chosen embedding.
     fn sig(embedding: Vec<f64>) -> UserSignals {
@@ -165,7 +165,13 @@ mod tests {
     /// The Figure-7 scenario: Alice(0), Bob(1), Henry(2) are mutual friends
     /// on both platforms; a stranger (3) sits apart. Candidates include the
     /// three true pairs plus one false pair (Alice ↔ stranger).
-    fn figure7() -> (Vec<UserSignals>, Vec<UserSignals>, SocialGraph, SocialGraph, Vec<PairIdx>) {
+    fn figure7() -> (
+        Vec<UserSignals>,
+        Vec<UserSignals>,
+        SocialGraph,
+        SocialGraph,
+        Vec<PairIdx>,
+    ) {
         let mut gl = GraphBuilder::new(4);
         gl.add_edge(0, 1, 5.0);
         gl.add_edge(1, 2, 5.0);
@@ -248,11 +254,19 @@ mod tests {
         let right = vec![sig(mk(0.3)), sig(mk(0.7)), sig(mk(0.1)), sig(mk(0.9))];
         let cands = vec![(0u32, 0u32), (1u32, 1u32)];
         // σ₂ small: d_ij = 1 vs d_i'j' = 9 ⇒ (1−9)²/σ₂² ≫ 1 ⇒ clamp to 0.
-        let config = StructureConfig { sigma2: 4.0, max_hops: 3, ..Default::default() };
+        let config = StructureConfig {
+            sigma2: 4.0,
+            max_hops: 3,
+            ..Default::default()
+        };
         let sm = build_structure_matrix(&cands, &left, &right, &left_graph, &right_graph, &config);
         assert_eq!(sm.m.get(0, 1), 0.0);
         // With a forgiving σ₂ the affinity reappears.
-        let config2 = StructureConfig { sigma2: 100.0, max_hops: 3, ..Default::default() };
+        let config2 = StructureConfig {
+            sigma2: 100.0,
+            max_hops: 3,
+            ..Default::default()
+        };
         let sm2 =
             build_structure_matrix(&cands, &left, &right, &left_graph, &right_graph, &config2);
         assert!(sm2.m.get(0, 1) > 0.0);
@@ -265,7 +279,11 @@ mod tests {
         let d = Dataset::generate(DatasetConfig::english(80, 91));
         let s = Signals::extract(
             &d,
-            &SignalConfig { lda_iterations: 8, infer_iterations: 3, ..Default::default() },
+            &SignalConfig {
+                lda_iterations: 8,
+                infer_iterations: 3,
+                ..Default::default()
+            },
         );
         let cands: Vec<PairIdx> = (0..80u32).map(|i| (i, i)).collect();
         let sm = build_structure_matrix(

@@ -1,0 +1,142 @@
+//! Determinism / parity tests for the parallel linkage hot path: at every
+//! worker count, each parallel stage must produce output **identical** to
+//! the sequential path — and the optimized candidate generator must
+//! reproduce the seed (legacy) implementation exactly.
+
+use hydra_core::candidates::{
+    generate_candidates_threads, legacy::generate_candidates_legacy, CandidateConfig,
+};
+use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_linalg::kernels::{kernel_matrix_mat_threads, Kernel};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    (dataset, signals)
+}
+
+#[test]
+fn candidate_generation_is_thread_count_invariant_and_matches_legacy() {
+    for seed in [11u64, 907] {
+        let (_, s) = world(70, seed);
+        let config = CandidateConfig::default();
+        let legacy = generate_candidates_legacy(&s.per_platform[0], &s.per_platform[1], &config);
+        for threads in THREAD_COUNTS {
+            let got = generate_candidates_threads(
+                &s.per_platform[0],
+                &s.per_platform[1],
+                &config,
+                threads,
+            );
+            assert_eq!(got, legacy, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn feature_assembly_is_thread_count_invariant_and_cache_invariant() {
+    let (_, s) = world(60, 31);
+    let fx = FeatureExtractor::new(FeatureConfig::default(), AttributeImportance::default(), 64);
+    let n = s.per_platform[0].len() as u32;
+    let pairs: Vec<(u32, u32)> = (0..n)
+        .flat_map(|i| [(i, i), (i, (i + 5) % n), (i, (i + 11) % n)])
+        .collect();
+    let left_cache = fx.profile_cache(&s.per_platform[0]);
+    let right_cache = fx.profile_cache(&s.per_platform[1]);
+
+    let reference =
+        fx.features_for_pairs_threads(&pairs, &s.per_platform[0], &s.per_platform[1], None, 1);
+    for threads in THREAD_COUNTS {
+        for caches in [None, Some((&left_cache, &right_cache))] {
+            let got = fx.features_for_pairs_threads(
+                &pairs,
+                &s.per_platform[0],
+                &s.per_platform[1],
+                caches,
+                threads,
+            );
+            assert_eq!(
+                got,
+                reference,
+                "{threads} threads, cached={}",
+                caches.is_some()
+            );
+        }
+    }
+}
+
+#[test]
+fn kernel_matrix_is_thread_count_invariant() {
+    let rows: Vec<Vec<f64>> = (0..64)
+        .map(|i| {
+            (0..40)
+                .map(|j| ((i * 29 + j * 31) % 41) as f64 / 41.0)
+                .collect()
+        })
+        .collect();
+    let m = hydra_linalg::dense::Mat::from_rows(&rows);
+    for kernel in [Kernel::Rbf { gamma: 0.5 }, Kernel::ChiSquare] {
+        let reference = kernel_matrix_mat_threads(kernel, &m, 1);
+        for threads in THREAD_COUNTS {
+            let got = kernel_matrix_mat_threads(kernel, &m, threads);
+            assert_eq!(
+                got.as_slice(),
+                reference.as_slice(),
+                "{kernel:?} x{threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn end_to_end_fit_is_deterministic_under_forced_parallelism() {
+    // The whole fit (candidates → features → fill → structure → solve) run
+    // twice with different forced worker counts must score every candidate
+    // identically. The hydra_par override is read by every call site, so
+    // this exercises the real parallel merge paths even on a 1-core host.
+    // (An atomic override, not env mutation: the test harness runs sibling
+    // tests concurrently, and a leaked worker count is harmless precisely
+    // because every stage is thread-count invariant.)
+    let (dataset, signals) = world(50, 404);
+    let fit = |threads: usize| {
+        hydra_par::set_thread_override(Some(threads));
+        let mut labels = Vec::new();
+        for i in 0..12u32 {
+            labels.push((i, i, true));
+            labels.push((i, (i + 19) % 50, false));
+        }
+        let task = PairTask {
+            left_platform: 0,
+            right_platform: 1,
+            labels,
+            unlabeled_whitelist: None,
+        };
+        let trained = Hydra::new(HydraConfig::default())
+            .fit(&dataset, &signals, vec![task])
+            .expect("fit");
+        let out = trained.predict(0);
+        hydra_par::set_thread_override(None);
+        out
+    };
+    let seq = fit(1);
+    let par = fit(6);
+    assert_eq!(seq.len(), par.len());
+    for (a, b) in seq.iter().zip(par.iter()) {
+        assert_eq!(a.left, b.left);
+        assert_eq!(a.right, b.right);
+        assert_eq!(a.score, b.score, "score drift on ({}, {})", a.left, a.right);
+        assert_eq!(a.linked, b.linked);
+    }
+}

@@ -3,9 +3,7 @@
 //! tests' fixtures.
 
 use hydra_core::candidates::{generate_candidates, CandidateConfig};
-use hydra_core::features::{
-    AttributeImportance, FeatureConfig, FeatureExtractor, FEATURE_DIM,
-};
+use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor, FEATURE_DIM};
 use hydra_core::signals::{DaySeries, SignalConfig, Signals};
 use hydra_core::structure::{build_structure_matrix, StructureConfig};
 use hydra_datagen::{Dataset, DatasetConfig};
@@ -17,7 +15,11 @@ fn world(seed: u64) -> (Dataset, Signals) {
     let dataset = Dataset::generate(DatasetConfig::english(40, seed));
     let signals = Signals::extract(
         &dataset,
-        &SignalConfig { lda_iterations: 6, infer_iterations: 3, ..Default::default() },
+        &SignalConfig {
+            lda_iterations: 6,
+            infer_iterations: 3,
+            ..Default::default()
+        },
     );
     (dataset, signals)
 }

@@ -180,7 +180,10 @@ mod tests {
         // Analytic check on the base rates: P(0 missing) ≤ 8%,
         // P(≥2 missing) ≥ 70% before platform multipliers (the multipliers
         // only push missingness up on most platforms).
-        let probs: Vec<f64> = PROFILE_ATTRS.iter().map(|a| a.base_missing_prob()).collect();
+        let probs: Vec<f64> = PROFILE_ATTRS
+            .iter()
+            .map(|a| a.base_missing_prob())
+            .collect();
         let p_none: f64 = probs.iter().map(|p| 1.0 - p).product();
         assert!(p_none < 0.08, "P(none missing) = {p_none}");
         // P(missing <= 1) by inclusion of single-missing terms.

@@ -1,9 +1,7 @@
 //! Dataset assembly: persons → platform projections → full corpus.
 
 use crate::attributes::{missing_popular_count, AttrKind, AttrValues};
-use crate::events::{
-    generate_account_events, plan_media, platform_drift, MediaPlan, Post,
-};
+use crate::events::{generate_account_events, plan_media, platform_drift, MediaPlan, Post};
 use crate::graph_gen::{generate_world, project_graph};
 use crate::names::{make_username, sample_style};
 use crate::person::NaturalPerson;
@@ -243,11 +241,7 @@ impl Dataset {
 }
 
 /// Project the person's username onto a platform style.
-fn project_username<R: Rng>(
-    person: &NaturalPerson,
-    spec: &PlatformSpec,
-    rng: &mut R,
-) -> String {
+fn project_username<R: Rng>(person: &NaturalPerson, spec: &PlatformSpec, rng: &mut R) -> String {
     let style = sample_style(spec.language, rng);
     let birth = person.attrs[AttrKind::Birth.index()]
         .map(|v| 1960 + (v % 45) as u16)
@@ -256,11 +250,7 @@ fn project_username<R: Rng>(
 }
 
 /// Project attributes with per-platform missingness and deception.
-fn project_attrs<R: Rng>(
-    person: &NaturalPerson,
-    spec: &PlatformSpec,
-    rng: &mut R,
-) -> AttrValues {
+fn project_attrs<R: Rng>(person: &NaturalPerson, spec: &PlatformSpec, rng: &mut R) -> AttrValues {
     let mut out: AttrValues = [None; crate::attributes::NUM_ATTRS];
     for kind in crate::attributes::ALL_ATTRS {
         let idx = kind.index();
@@ -344,10 +334,7 @@ mod tests {
         let b = Dataset::generate(DatasetConfig::english(40, 7));
         assert_eq!(a.account(0, 3).username, b.account(0, 3).username);
         assert_eq!(a.account(1, 5).attrs, b.account(1, 5).attrs);
-        assert_eq!(
-            a.account(0, 9).posts.len(),
-            b.account(0, 9).posts.len()
-        );
+        assert_eq!(a.account(0, 9).posts.len(), b.account(0, 9).posts.len());
         let c = Dataset::generate(DatasetConfig::english(40, 8));
         // Different seed ⇒ (almost surely) different usernames somewhere.
         let differs = (0..40).any(|i| a.account(0, i).username != c.account(0, i).username);
@@ -396,7 +383,10 @@ mod tests {
         }
         // Email is often missing, but when present on both sides it should
         // almost always match for the same person (deception ~1%/side).
-        assert!(present_both > 20, "too few both-present emails: {present_both}");
+        assert!(
+            present_both > 20,
+            "too few both-present emails: {present_both}"
+        );
         assert!(
             matches as f64 / present_both as f64 > 0.9,
             "email match rate {matches}/{present_both}"

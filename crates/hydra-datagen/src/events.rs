@@ -184,7 +184,9 @@ pub fn generate_account_events<R: Rng>(
 
     // --- posts -------------------------------------------------------------
     let expected = person.activity_rate * spec.activity_scale * window_days as f64;
-    let num_posts = (expected * (0.75 + rng.gen::<f64>() * 0.5)).round().max(1.0) as usize;
+    let num_posts = (expected * (0.75 + rng.gen::<f64>() * 0.5))
+        .round()
+        .max(1.0) as usize;
     let mut posts = Vec::with_capacity(num_posts);
     for _ in 0..num_posts {
         let d = rng.gen_range(0..window_days);
@@ -278,7 +280,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (NaturalPerson, PlatformSpec, PlatformDrift, Vocabulary, StdRng) {
+    fn setup() -> (
+        NaturalPerson,
+        PlatformSpec,
+        PlatformDrift,
+        Vocabulary,
+        StdRng,
+    ) {
         let mut rng = StdRng::seed_from_u64(11);
         let person = NaturalPerson::sample(3, 8, 10, 64, &mut rng);
         let spec = crate::platform::twitter();
@@ -291,7 +299,15 @@ mod tests {
         let (person, spec, drift, mut vocab, mut rng) = setup();
         let plan = plan_media(3, 64, 6.0, &mut rng);
         let (posts, _, _, _) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &plan, 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &plan,
+            64,
+            &mut vocab,
+            &mut rng,
         );
         assert!(!posts.is_empty());
         for (t, p) in posts.iter() {
@@ -310,11 +326,27 @@ mod tests {
         let plan = vec![];
         spec.activity_scale = 0.3;
         let (low, ..) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &plan, 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &plan,
+            64,
+            &mut vocab,
+            &mut rng,
         );
         spec.activity_scale = 2.0;
         let (high, ..) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &plan, 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &plan,
+            64,
+            &mut vocab,
+            &mut rng,
         );
         assert!(
             high.len() > 2 * low.len(),
@@ -330,7 +362,15 @@ mod tests {
         spec.content_divergence = 0.0;
         spec.reshare_rate = 0.0;
         let (posts, ..) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &[], 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &[],
+            64,
+            &mut vocab,
+            &mut rng,
         );
         // Empirical topic distribution should track the preference vector
         // (exact argmax agreement is noisy at small post counts, so check
@@ -362,7 +402,15 @@ mod tests {
         let (person, mut spec, drift, mut vocab, mut rng) = setup();
         spec.checkin_rate = 0.8;
         let (_, checkins, _, _) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &[], 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &[],
+            64,
+            &mut vocab,
+            &mut rng,
         );
         assert!(!checkins.is_empty());
         for (_, loc) in checkins.iter() {
@@ -372,7 +420,10 @@ mod tests {
                 .iter()
                 .map(|c| hydra_temporal::haversine_km(*c, *loc))
                 .fold(f64::INFINITY, f64::min);
-            assert!(min_km < 120.0, "checkin {min_km}km from any latent location");
+            assert!(
+                min_km < 120.0,
+                "checkin {min_km}km from any latent location"
+            );
         }
     }
 
@@ -382,7 +433,15 @@ mod tests {
         spec.media_rate = 0.25; // high surfacing probability
         let plan = plan_media(3, 64, 8.0, &mut rng);
         let (_, _, media, _) = generate_account_events(
-            &person, 3, &spec, &drift, &[], &plan, 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[],
+            &plan,
+            64,
+            &mut vocab,
+            &mut rng,
         );
         for (_, item) in media.iter() {
             let best = plan
@@ -407,7 +466,15 @@ mod tests {
         spec.reshare_rate = 1.0;
         let friend = NaturalPerson::sample(9, 8, 10, 64, &mut rng);
         let (posts, ..) = generate_account_events(
-            &person, 3, &spec, &drift, &[&friend], &[], 64, &mut vocab, &mut rng,
+            &person,
+            3,
+            &spec,
+            &drift,
+            &[&friend],
+            &[],
+            64,
+            &mut vocab,
+            &mut rng,
         );
         assert!(posts.iter().all(|(_, p)| p.reshared));
     }

@@ -40,7 +40,9 @@ pub fn generate_world<R: Rng>(
 
     // --- community assignment: size-skewed primary + optional secondary ---
     // P(community c) ∝ 1/(c+1): a classic heavy-ish skew.
-    let weights: Vec<f64> = (0..num_communities).map(|c| 1.0 / (c as f64 + 1.0)).collect();
+    let weights: Vec<f64> = (0..num_communities)
+        .map(|c| 1.0 / (c as f64 + 1.0))
+        .collect();
     let wsum: f64 = weights.iter().sum();
     let probs: Vec<f64> = weights.iter().map(|w| w / wsum).collect();
     let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_communities];
@@ -107,11 +109,7 @@ pub fn generate_world<R: Rng>(
 /// `spec.edge_dropout`, jitter surviving weights by ±30%. Account indices
 /// equal person indices (every person holds an account on every platform,
 /// as in the paper's corpus).
-pub fn project_graph<R: Rng>(
-    world: &SocialGraph,
-    spec: &PlatformSpec,
-    rng: &mut R,
-) -> SocialGraph {
+pub fn project_graph<R: Rng>(world: &SocialGraph, spec: &PlatformSpec, rng: &mut R) -> SocialGraph {
     let n = world.num_nodes();
     let mut builder = GraphBuilder::new(n);
     for a in 0..n as u32 {

@@ -13,20 +13,21 @@ use rand::Rng;
 
 /// Latin given names (shared across cultures for the bilingual scenario).
 pub const GIVEN_NAMES: [&str; 24] = [
-    "adele", "wei", "ming", "lena", "marco", "yuki", "omar", "nina", "jun", "sara", "leo",
-    "mei", "ivan", "tara", "ken", "lily", "hugo", "xin", "emma", "ravi", "ana", "bo", "zoe",
-    "li",
+    "adele", "wei", "ming", "lena", "marco", "yuki", "omar", "nina", "jun", "sara", "leo", "mei",
+    "ivan", "tara", "ken", "lily", "hugo", "xin", "emma", "ravi", "ana", "bo", "zoe", "li",
 ];
 
 /// Family names.
 pub const FAMILY_NAMES: [&str; 20] = [
-    "wang", "smith", "zhang", "garcia", "chen", "mueller", "liu", "rossi", "zhao", "kim",
-    "tanaka", "brown", "lin", "silva", "sun", "dubois", "gao", "novak", "wu", "lee",
+    "wang", "smith", "zhang", "garcia", "chen", "mueller", "liu", "rossi", "zhao", "kim", "tanaka",
+    "brown", "lin", "silva", "sun", "dubois", "gao", "novak", "wu", "lee",
 ];
 
 /// CJK decoration fragments for Chinese-platform usernames (the "Adele_小暖"
 /// pattern of Figure 1).
-pub const CJK_DECOR: [&str; 8] = ["小暖", "素文", "晓明", "雨桐", "子涵", "思远", "梦琪", "浩然"];
+pub const CJK_DECOR: [&str; 8] = [
+    "小暖", "素文", "晓明", "雨桐", "子涵", "思远", "梦琪", "浩然",
+];
 
 /// "Bizarre characters for eccentricity".
 pub const ECCENTRIC: [&str; 6] = ["xX", "~*", "__", "!!", "·", "ღ"];

@@ -59,7 +59,12 @@ pub struct NaturalPerson {
 /// Peaked random distribution: Dirichlet-like with `concentration` mass on
 /// `peaks` randomly-chosen components — people have a handful of dominant
 /// interests, not uniform ones.
-pub fn peaked_distribution<R: Rng>(len: usize, peaks: usize, concentration: f64, rng: &mut R) -> Vec<f64> {
+pub fn peaked_distribution<R: Rng>(
+    len: usize,
+    peaks: usize,
+    concentration: f64,
+    rng: &mut R,
+) -> Vec<f64> {
     assert!(len > 0);
     let mut v: Vec<f64> = (0..len).map(|_| rng.gen::<f64>() * 0.2 + 0.01).collect();
     for _ in 0..peaks.min(len) {
@@ -116,10 +121,10 @@ impl NaturalPerson {
 
         // Sentiment prefs: mostly neutral-positive with personal flavor.
         let mut senti = [
-            0.3 + rng.gen::<f64>() * 0.4, // happy
-            0.05 + rng.gen::<f64>() * 0.2, // fear
+            0.3 + rng.gen::<f64>() * 0.4,   // happy
+            0.05 + rng.gen::<f64>() * 0.2,  // fear
             0.05 + rng.gen::<f64>() * 0.25, // sad
-            0.3 + rng.gen::<f64>() * 0.3, // neutral
+            0.3 + rng.gen::<f64>() * 0.3,   // neutral
         ];
         let s: f64 = senti.iter().sum();
         senti.iter_mut().for_each(|x| *x /= s);
@@ -214,7 +219,11 @@ mod tests {
     #[test]
     fn location_respects_trips() {
         let mut p = sample_one(4);
-        p.trips = vec![Trip { start_day: 10, end_day: 12, city: (p.home_city + 1) % 16 }];
+        p.trips = vec![Trip {
+            start_day: 10,
+            end_day: 12,
+            city: (p.home_city + 1) % 16,
+        }];
         let home = p.location_on_day(0);
         let away = p.location_on_day(11);
         assert_ne!(home.lat, away.lat);

@@ -284,13 +284,27 @@ mod tests {
 
     #[test]
     fn chinese_platforms_have_richer_dynamics_on_average() {
-        let cn: f64 = chinese_platforms().iter().map(|p| p.reshare_rate).sum::<f64>() / 5.0;
-        let en: f64 = english_platforms().iter().map(|p| p.reshare_rate).sum::<f64>() / 2.0;
+        let cn: f64 = chinese_platforms()
+            .iter()
+            .map(|p| p.reshare_rate)
+            .sum::<f64>()
+            / 5.0;
+        let en: f64 = english_platforms()
+            .iter()
+            .map(|p| p.reshare_rate)
+            .sum::<f64>()
+            / 2.0;
         assert!(cn > en, "cn reshare {cn} should exceed en {en}");
-        let cn_shift: f64 =
-            chinese_platforms().iter().map(|p| p.time_shift_days).sum::<f64>() / 5.0;
-        let en_shift: f64 =
-            english_platforms().iter().map(|p| p.time_shift_days).sum::<f64>() / 2.0;
+        let cn_shift: f64 = chinese_platforms()
+            .iter()
+            .map(|p| p.time_shift_days)
+            .sum::<f64>()
+            / 5.0;
+        let en_shift: f64 = english_platforms()
+            .iter()
+            .map(|p| p.time_shift_days)
+            .sum::<f64>()
+            / 2.0;
         assert!(cn_shift > en_shift);
     }
 

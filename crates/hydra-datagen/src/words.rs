@@ -22,7 +22,9 @@ pub fn word(family: &str, index: usize) -> String {
     for b in family.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100000001b3);
     }
-    h = h.wrapping_add(index as u64).wrapping_mul(0x9E3779B97F4A7C15);
+    h = h
+        .wrapping_add(index as u64)
+        .wrapping_mul(0x9E3779B97F4A7C15);
     let n = SYLLABLES.len() as u64;
     let mut out = String::new();
     let mut v = h;
@@ -107,7 +109,9 @@ mod tests {
     fn words_are_lowercase_alphanumeric() {
         for i in 0..50 {
             let w = signature_word(i);
-            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+            assert!(w
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
             assert!(w.len() > 2);
         }
     }

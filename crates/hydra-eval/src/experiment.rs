@@ -13,9 +13,10 @@ use crate::labeling::{sample_labels, LabelPlan};
 use crate::metrics::{evaluate, Prf};
 use hydra_baselines::{AliasDisamb, LinkageMethod, LinkageTask, Mobius, Smash, SvmB};
 use hydra_core::candidates::{generate_candidates, CandidateConfig, CandidatePair};
-use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor, PairFeatures};
-use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor, FeatureMatrix};
 use hydra_core::missing::FillStrategy;
+use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::signals::ProfileCache;
 use hydra_core::signals::{SignalConfig, Signals};
 use hydra_datagen::{Dataset, DatasetConfig};
 use serde::{Deserialize, Serialize};
@@ -94,8 +95,9 @@ pub struct PreparedPair {
     pub right_platform: usize,
     /// Candidate/evaluation universe.
     pub candidates: Vec<CandidatePair>,
-    /// Zero-filled similarity vectors for the baselines.
-    pub features: Vec<PairFeatures>,
+    /// Zero-filled similarity rows for the baselines (index-aligned with
+    /// `candidates`).
+    pub features: FeatureMatrix,
     /// Sampled labels.
     pub labels: Vec<(u32, u32, bool)>,
 }
@@ -136,6 +138,13 @@ pub fn prepare(setting: Setting) -> PreparedData {
         dataset.config.window_days,
     );
 
+    // Pre-bucketed series caches, one per platform, shared by every pair.
+    let caches: Vec<ProfileCache> = signals
+        .per_platform
+        .iter()
+        .map(|side| extractor.profile_cache(side))
+        .collect();
+
     let mut pairs = Vec::new();
     let mut pair_seed = setting.labels.seed;
     for lp in 0..num_platforms {
@@ -145,22 +154,22 @@ pub fn prepare(setting: Setting) -> PreparedData {
                 &signals.per_platform[rp],
                 &setting.hydra.candidates,
             );
-            let features: Vec<PairFeatures> = candidates
-                .iter()
-                .map(|c| {
-                    let mut f = extractor.pair_features(
-                        &signals.per_platform[lp][c.left as usize],
-                        &signals.per_platform[rp][c.right as usize],
-                    );
-                    f.missing.iter_mut().for_each(|m| *m = false);
-                    f
-                })
-                .collect();
+            let idx_pairs: Vec<(u32, u32)> = candidates.iter().map(|c| (c.left, c.right)).collect();
+            let mut features = extractor.features_for_pairs(
+                &idx_pairs,
+                &signals.per_platform[lp],
+                &signals.per_platform[rp],
+                Some((&caches[lp], &caches[rp])),
+            );
+            features.clear_masks();
             pair_seed = pair_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
             let labels = sample_labels(
                 &candidates,
                 dataset.num_persons(),
-                &LabelPlan { seed: pair_seed, ..setting.labels },
+                &LabelPlan {
+                    seed: pair_seed,
+                    ..setting.labels
+                },
             );
             pairs.push(PreparedPair {
                 left_platform: lp,
@@ -207,7 +216,11 @@ pub fn run_method(prepared: &PreparedData, method: Method) -> MethodResult {
                 .expect("HYDRA fit");
             for (t, pair) in prepared.pairs.iter().enumerate() {
                 let preds = trained.predict(t);
-                parts.push(evaluate(&preds, &pair.labels, prepared.dataset.num_persons()));
+                parts.push(evaluate(
+                    &preds,
+                    &pair.labels,
+                    prepared.dataset.num_persons(),
+                ));
             }
         }
         Method::Mobius | Method::AliasDisamb | Method::Smash | Method::SvmB => {
@@ -227,7 +240,11 @@ pub fn run_method(prepared: &PreparedData, method: Method) -> MethodResult {
                     features: Some(&pair.features),
                 };
                 let preds = runner.run(&task);
-                parts.push(evaluate(&preds, &pair.labels, prepared.dataset.num_persons()));
+                parts.push(evaluate(
+                    &preds,
+                    &pair.labels,
+                    prepared.dataset.num_persons(),
+                ));
             }
         }
     }

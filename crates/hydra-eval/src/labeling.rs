@@ -42,14 +42,13 @@ pub fn sample_labels(
     plan: &LabelPlan,
 ) -> Vec<(u32, u32, bool)> {
     let mut rng = StdRng::seed_from_u64(plan.seed);
-    let num_pos = ((num_persons as f64 * plan.labeled_fraction).round() as usize)
-        .clamp(2, num_persons);
+    let num_pos =
+        ((num_persons as f64 * plan.labeled_fraction).round() as usize).clamp(2, num_persons);
     let mut persons: Vec<u32> = (0..num_persons as u32).collect();
     persons.shuffle(&mut rng);
     persons.truncate(num_pos);
 
-    let mut labels: Vec<(u32, u32, bool)> =
-        persons.iter().map(|&i| (i, i, true)).collect();
+    let mut labels: Vec<(u32, u32, bool)> = persons.iter().map(|&i| (i, i, true)).collect();
 
     let mut negatives: Vec<(u32, u32)> = candidates
         .iter()
@@ -77,7 +76,12 @@ mod tests {
     fn cands(n: u32) -> Vec<CandidatePair> {
         let mut v = Vec::new();
         for i in 0..n {
-            v.push(CandidatePair { left: i, right: i, username_sim: 0.9, pre_matched: false });
+            v.push(CandidatePair {
+                left: i,
+                right: i,
+                username_sim: 0.9,
+                pre_matched: false,
+            });
             v.push(CandidatePair {
                 left: i,
                 right: (i + 1) % n,
@@ -93,7 +97,11 @@ mod tests {
         let labels = sample_labels(
             &cands(60),
             60,
-            &LabelPlan { labeled_fraction: 0.25, neg_per_pos: 2.0, seed: 1 },
+            &LabelPlan {
+                labeled_fraction: 0.25,
+                neg_per_pos: 2.0,
+                seed: 1,
+            },
         );
         let pos = labels.iter().filter(|l| l.2).count();
         let neg = labels.iter().filter(|l| !l.2).count();
@@ -110,8 +118,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let plan = LabelPlan { labeled_fraction: 0.3, neg_per_pos: 1.0, seed: 9 };
-        assert_eq!(sample_labels(&cands(30), 30, &plan), sample_labels(&cands(30), 30, &plan));
+        let plan = LabelPlan {
+            labeled_fraction: 0.3,
+            neg_per_pos: 1.0,
+            seed: 9,
+        };
+        assert_eq!(
+            sample_labels(&cands(30), 30, &plan),
+            sample_labels(&cands(30), 30, &plan)
+        );
         let other = LabelPlan { seed: 10, ..plan };
         assert_ne!(
             sample_labels(&cands(30), 30, &plan),
@@ -124,7 +139,11 @@ mod tests {
         let labels = sample_labels(
             &cands(50),
             50,
-            &LabelPlan { labeled_fraction: 0.0, neg_per_pos: 1.0, seed: 2 },
+            &LabelPlan {
+                labeled_fraction: 0.0,
+                neg_per_pos: 1.0,
+                seed: 2,
+            },
         );
         assert!(labels.iter().filter(|l| l.2).count() >= 2);
     }
@@ -134,7 +153,11 @@ mod tests {
         let labels = sample_labels(
             &[],
             10,
-            &LabelPlan { labeled_fraction: 0.5, neg_per_pos: 1.0, seed: 3 },
+            &LabelPlan {
+                labeled_fraction: 0.5,
+                neg_per_pos: 1.0,
+                seed: 3,
+            },
         );
         assert!(labels.iter().any(|l| !l.2));
     }

@@ -106,7 +106,12 @@ mod tests {
     use super::*;
 
     fn pred(left: u32, right: u32, linked: bool) -> LinkagePrediction {
-        LinkagePrediction { left, right, score: if linked { 1.0 } else { -1.0 }, linked }
+        LinkagePrediction {
+            left,
+            right,
+            score: if linked { 1.0 } else { -1.0 },
+            linked,
+        }
     }
 
     #[test]
@@ -120,7 +125,12 @@ mod tests {
 
     #[test]
     fn false_positives_hurt_precision_only() {
-        let preds = vec![pred(0, 0, true), pred(1, 1, true), pred(0, 1, true), pred(1, 0, true)];
+        let preds = vec![
+            pred(0, 0, true),
+            pred(1, 1, true),
+            pred(0, 1, true),
+            pred(1, 0, true),
+        ];
         let prf = evaluate(&preds, &[], 2);
         assert_eq!(prf.precision, 0.5);
         assert_eq!(prf.recall, 1.0);

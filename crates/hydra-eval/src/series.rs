@@ -18,11 +18,7 @@ pub struct SeriesTable {
 
 impl SeriesTable {
     /// New empty table.
-    pub fn new(
-        title: impl Into<String>,
-        x_label: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, x_label: impl Into<String>, columns: Vec<String>) -> Self {
         SeriesTable {
             title: title.into(),
             x_label: x_label.into(),

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn evaluation_order_is_deterministic() {
-        let axes = vec![GridAxis::new("a", vec![1.0, 2.0]), GridAxis::new("b", vec![3.0, 4.0])];
+        let axes = vec![
+            GridAxis::new("a", vec![1.0, 2.0]),
+            GridAxis::new("b", vec![3.0, 4.0]),
+        ];
         let mut seen = Vec::new();
         grid_search(&axes, |v| {
             seen.push((v[0], v[1]));

@@ -8,10 +8,8 @@ use proptest::prelude::*;
 fn graph_strategy() -> impl Strategy<Value = SocialGraph> {
     (2usize..20)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                (0..n as u32, 0..n as u32, 0.1f64..10.0),
-                0..n * 3,
-            );
+            let edges =
+                proptest::collection::vec((0..n as u32, 0..n as u32, 0.1f64..10.0), 0..n * 3);
             (Just(n), edges)
         })
         .prop_map(|(n, edges)| {

@@ -26,7 +26,7 @@ use crate::decomp::Cholesky;
 use crate::dense::Mat;
 use crate::vec_ops::{norm2, sub};
 use crate::{LinalgError, Result};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// One quadratic shard `½ wᵀA w − bᵀ w` hosted by one worker ("server").
 #[derive(Debug, Clone)]
@@ -104,7 +104,9 @@ impl ConsensusAdmm {
         let dim = shards
             .first()
             .map(|s| s.a.rows())
-            .ok_or(LinalgError::NonFinite { what: "admm: no shards" })?;
+            .ok_or(LinalgError::NonFinite {
+                what: "admm: no shards",
+            })?;
         for s in &shards {
             if s.a.rows() != dim || s.a.cols() != dim || s.b.len() != dim {
                 return Err(LinalgError::DimensionMismatch {
@@ -115,7 +117,9 @@ impl ConsensusAdmm {
             }
         }
         if !(opts.rho > 0.0) || opts.ridge < 0.0 {
-            return Err(LinalgError::NonFinite { what: "admm rho/ridge" });
+            return Err(LinalgError::NonFinite {
+                what: "admm rho/ridge",
+            });
         }
         Ok(ConsensusAdmm { shards, dim, opts })
     }
@@ -149,25 +153,24 @@ impl ConsensusAdmm {
         for round in 1..=self.opts.max_iter {
             iterations = round;
             // --- parallel local solves (one scoped thread per server) -----
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 for (k, (shard, factor)) in self.shards.iter().zip(factors.iter()).enumerate() {
                     let z_ref = &z;
                     let u_k = &u[k];
                     let w_ref = &w;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut rhs = shard.b.clone();
                         for i in 0..dim {
                             rhs[i] += rho * (z_ref[i] - u_k[i]);
                         }
                         let wk = factor.solve(&rhs).expect("factored system solves");
-                        w_ref.lock()[k] = wk;
+                        w_ref.lock().expect("admm worker poisoned lock")[k] = wk;
                     });
                 }
-            })
-            .expect("admm worker panicked");
+            });
 
             // --- synchronization: consensus + dual updates ----------------
-            let w_now = w.lock();
+            let w_now = w.lock().expect("admm worker poisoned lock");
             let mut z_new = vec![0.0; dim];
             for k in 0..n_shards {
                 for i in 0..dim {
@@ -263,7 +266,12 @@ mod tests {
         let expect = direct(&shards, 0.1);
         let admm = ConsensusAdmm::new(
             shards,
-            AdmmOptions { rho: 2.0, ridge: 0.1, max_iter: 2000, tol: 1e-10 },
+            AdmmOptions {
+                rho: 2.0,
+                ridge: 0.1,
+                max_iter: 2000,
+                tol: 1e-10,
+            },
         )
         .unwrap();
         let r = admm.solve().unwrap();
@@ -298,7 +306,12 @@ mod tests {
         let expect = direct(&shards, 0.5);
         let admm = ConsensusAdmm::new(
             shards,
-            AdmmOptions { rho: 1.0, ridge: 0.5, max_iter: 3000, tol: 1e-9 },
+            AdmmOptions {
+                rho: 1.0,
+                ridge: 0.5,
+                max_iter: 3000,
+                tol: 1e-9,
+            },
         )
         .unwrap();
         let r = admm.solve().unwrap();
@@ -327,7 +340,12 @@ mod tests {
         let expect = direct(&shards, 1.0); // (4+1)w = 2 → 0.4
         let admm = ConsensusAdmm::new(
             shards,
-            AdmmOptions { rho: 1.0, ridge: 1.0, max_iter: 2000, tol: 1e-12 },
+            AdmmOptions {
+                rho: 1.0,
+                ridge: 1.0,
+                max_iter: 2000,
+                tol: 1e-12,
+            },
         )
         .unwrap();
         let r = admm.solve().unwrap();

@@ -267,7 +267,9 @@ mod tests {
         let mut a = Mat::zeros(n, n);
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for i in 0..n {
@@ -280,7 +282,11 @@ mod tests {
         let lu = Lu::factor(&a).unwrap();
         let x = lu.solve(&b).unwrap();
         let r = a.matvec(&x).unwrap();
-        let err: f64 = r.iter().zip(b.iter()).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let err: f64 = r
+            .iter()
+            .zip(b.iter())
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(err < 1e-9, "residual too large: {err}");
     }
 

@@ -113,6 +113,12 @@ impl Mat {
         &self.data
     }
 
+    /// Mutable raw row-major data (row `i` spans `i*cols..(i+1)*cols`).
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Matrix-vector product `A·x`.
     pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.cols {

@@ -190,8 +190,7 @@ mod tests {
             }
         }
         let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
-        let x_cg =
-            conjugate_gradient(|v| a.matvec(v).unwrap(), &b, CgOptions::default()).unwrap();
+        let x_cg = conjugate_gradient(|v| a.matvec(v).unwrap(), &b, CgOptions::default()).unwrap();
         let x_lu = crate::decomp::Lu::factor(&a).unwrap().solve(&b).unwrap();
         for (u, v) in x_cg.iter().zip(x_lu.iter()) {
             assert!((u - v).abs() < 1e-7, "cg/lu mismatch: {u} vs {v}");

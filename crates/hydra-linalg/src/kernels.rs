@@ -48,9 +48,7 @@ impl Kernel {
                 }
                 acc
             }
-            Kernel::HistIntersection => {
-                x.iter().zip(y.iter()).map(|(&a, &b)| a.min(b)).sum()
-            }
+            Kernel::HistIntersection => x.iter().zip(y.iter()).map(|(&a, &b)| a.min(b)).sum(),
         }
     }
 
@@ -79,7 +77,9 @@ impl Kernel {
         }
         dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let med = dists[dists.len() / 2];
-        Kernel::Rbf { gamma: 1.0 / (2.0 * med) }
+        Kernel::Rbf {
+            gamma: 1.0 / (2.0 * med),
+        }
     }
 }
 
@@ -95,6 +95,48 @@ pub fn kernel_matrix(kernel: Kernel, rows: &[Vec<f64>]) -> Mat {
             let v = kernel.eval(&rows[i], &rows[j]);
             k[(i, j)] = v;
             k[(j, i)] = v;
+        }
+    }
+    k
+}
+
+/// Gram matrix over the rows of a dense matrix — the contiguous-storage
+/// hot path (feature rows come straight from a flat `FeatureMatrix`
+/// buffer). Parallel across output rows with a deterministic layout: every
+/// entry is evaluated by exactly one worker, so the result is identical at
+/// any thread count (and to [`kernel_matrix`] on the same rows).
+pub fn kernel_matrix_mat(kernel: Kernel, rows: &Mat) -> Mat {
+    kernel_matrix_mat_threads(kernel, rows, hydra_par::num_threads())
+}
+
+/// [`kernel_matrix_mat`] with an explicit worker count.
+pub fn kernel_matrix_mat_threads(kernel: Kernel, rows: &Mat, threads: usize) -> Mat {
+    let n = rows.rows();
+    let mut k = Mat::zeros(n, n);
+    if threads <= 1 {
+        // Sequential fast path: mirror each entry as it is computed.
+        for i in 0..n {
+            for j in i..n {
+                let v = kernel.eval(rows.row(i), rows.row(j));
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+        }
+        return k;
+    }
+    // Each worker owns whole output rows (chunk = one row), computing the
+    // upper triangle; the cheap mirror pass below fills the lower half.
+    // Entries are evaluated identically to the sequential path, so the
+    // result is the same at any worker count.
+    hydra_par::par_chunks_mut_threads(threads, k.as_mut_slice(), n.max(1), |i, out_row| {
+        let xi = rows.row(i);
+        for j in i..n {
+            out_row[j] = kernel.eval(xi, rows.row(j));
+        }
+    });
+    for i in 1..n {
+        for j in 0..i {
+            k[(i, j)] = k[(j, i)];
         }
     }
     k
@@ -187,6 +229,39 @@ mod tests {
             Kernel::rbf_median_heuristic(&same),
             Kernel::Rbf { gamma: 1.0 }
         );
+    }
+
+    #[test]
+    fn mat_kernel_matches_vec_kernel_at_any_thread_count() {
+        let rows: Vec<Vec<f64>> = (0..37)
+            .map(|i| {
+                (0..8)
+                    .map(|j| ((i * 13 + j * 7) % 23) as f64 / 23.0)
+                    .collect()
+            })
+            .collect();
+        let m = Mat::from_rows(&rows);
+        for kernel in [
+            Kernel::Linear,
+            Kernel::Rbf { gamma: 0.7 },
+            Kernel::ChiSquare,
+            Kernel::HistIntersection,
+        ] {
+            let reference = kernel_matrix(kernel, &rows);
+            for threads in [1, 2, 5] {
+                let got = kernel_matrix_mat_threads(kernel, &m, threads);
+                assert_eq!(got.rows(), reference.rows());
+                for i in 0..rows.len() {
+                    for j in 0..rows.len() {
+                        assert_eq!(
+                            got[(i, j)],
+                            reference[(i, j)],
+                            "{kernel:?} t={threads} ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

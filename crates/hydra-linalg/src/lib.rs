@@ -21,8 +21,8 @@
 //! algebra crates are used.
 
 pub mod admm;
-pub mod dense;
 pub mod decomp;
+pub mod dense;
 pub mod iterative;
 pub mod kernels;
 pub mod qp;
@@ -30,10 +30,10 @@ pub mod sparse;
 pub mod stats;
 pub mod vec_ops;
 
-pub use dense::Mat;
 pub use decomp::{Cholesky, Lu};
+pub use dense::Mat;
 pub use iterative::{conjugate_gradient, power_iteration, CgOptions, PowerIterResult};
-pub use kernels::{kernel_matrix, Kernel};
+pub use kernels::{kernel_matrix, kernel_matrix_mat, Kernel};
 pub use qp::{SmoOptions, SmoResult, SmoSolver};
 pub use sparse::CsrMatrix;
 

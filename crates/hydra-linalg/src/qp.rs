@@ -86,7 +86,9 @@ impl<'a> SmoSolver<'a> {
             });
         }
         if !(opts.c > 0.0) {
-            return Err(LinalgError::NonFinite { what: "smo box bound C" });
+            return Err(LinalgError::NonFinite {
+                what: "smo box bound C",
+            });
         }
         Ok(SmoSolver { q, y, opts })
     }
@@ -215,9 +217,8 @@ impl<'a> SmoSolver<'a> {
         };
 
         let qb = self.q.matvec(&beta)?;
-        let objective =
-            0.5 * beta.iter().zip(qb.iter()).map(|(b, q)| b * q).sum::<f64>()
-                - beta.iter().sum::<f64>();
+        let objective = 0.5 * beta.iter().zip(qb.iter()).map(|(b, q)| b * q).sum::<f64>()
+            - beta.iter().sum::<f64>();
         let support_vectors = beta.iter().filter(|&&b| b > 1e-12).count();
         Ok(SmoResult {
             beta,
@@ -363,8 +364,15 @@ mod tests {
         ];
         let ys = vec![1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
         let q = svm_q(&xs, &ys, Kernel::Linear);
-        let solver = SmoSolver::new(&q, &ys, SmoOptions { c: 10.0, ..Default::default() })
-            .unwrap();
+        let solver = SmoSolver::new(
+            &q,
+            &ys,
+            SmoOptions {
+                c: 10.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let r = solver.solve().unwrap();
         assert!(r.support_vectors >= 2);
         for (x, y) in xs.iter().zip(ys.iter()) {
@@ -383,11 +391,18 @@ mod tests {
         ];
         let ys = vec![1.0, 1.0, -1.0, -1.0];
         let q = svm_q(&xs, &ys, Kernel::Rbf { gamma: 0.5 });
-        let opts = SmoOptions { c: 1.0, tol: 1e-8, ..Default::default() };
+        let opts = SmoOptions {
+            c: 1.0,
+            tol: 1e-8,
+            ..Default::default()
+        };
         let r = SmoSolver::new(&q, &ys, opts).unwrap().solve().unwrap();
         // Feasibility.
         let balance: f64 = r.beta.iter().zip(ys.iter()).map(|(b, y)| b * y).sum();
-        assert!(balance.abs() < 1e-9, "equality constraint violated: {balance}");
+        assert!(
+            balance.abs() < 1e-9,
+            "equality constraint violated: {balance}"
+        );
         assert!(r.beta.iter().all(|&b| (-1e-12..=1.0 + 1e-12).contains(&b)));
         // Stationarity via the violating-pair gap.
         let qb = q.matvec(&r.beta).unwrap();
@@ -429,12 +444,21 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..40)
             .map(|i| {
                 let s = if i % 2 == 0 { 1.0 } else { -1.0 };
-                vec![s * 2.0 + (i as f64 * 0.13).sin(), s + (i as f64 * 0.7).cos() * 0.3]
+                vec![
+                    s * 2.0 + (i as f64 * 0.13).sin(),
+                    s + (i as f64 * 0.7).cos() * 0.3,
+                ]
             })
             .collect();
-        let ys: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let q = svm_q(&xs, &ys, Kernel::Linear);
-        let opts = SmoOptions { c: 1.0, tol: 1e-7, ..Default::default() };
+        let opts = SmoOptions {
+            c: 1.0,
+            tol: 1e-7,
+            ..Default::default()
+        };
         let solver = SmoSolver::new(&q, &ys, opts).unwrap();
         let cold = solver.solve().unwrap();
         let warm = solver.solve_warm(cold.beta.clone()).unwrap();
@@ -449,11 +473,19 @@ mod tests {
         let ys = vec![1.0, 1.0, -1.0, -1.0];
         let q = svm_q(&xs, &ys, Kernel::Linear);
         let f = |c: f64| {
-            SmoSolver::new(&q, &ys, SmoOptions { c, tol: 1e-9, ..Default::default() })
-                .unwrap()
-                .solve()
-                .unwrap()
-                .objective
+            SmoSolver::new(
+                &q,
+                &ys,
+                SmoOptions {
+                    c,
+                    tol: 1e-9,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .solve()
+            .unwrap()
+            .objective
         };
         assert!(f(10.0) <= f(0.1) + 1e-9);
     }
@@ -463,12 +495,19 @@ mod tests {
         let xs: Vec<Vec<f64>> = (0..30)
             .map(|i| vec![(i as f64 * 0.37).sin() + if i % 2 == 0 { 1.5 } else { -1.5 }])
             .collect();
-        let ys: Vec<f64> = (0..30).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let ys: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         let q = svm_q(&xs, &ys, Kernel::Rbf { gamma: 1.0 });
         let with = SmoSolver::new(
             &q,
             &ys,
-            SmoOptions { c: 1.0, tol: 1e-8, shrink_every: 10, ..Default::default() },
+            SmoOptions {
+                c: 1.0,
+                tol: 1e-8,
+                shrink_every: 10,
+                ..Default::default()
+            },
         )
         .unwrap()
         .solve()
@@ -476,7 +515,12 @@ mod tests {
         let without = SmoSolver::new(
             &q,
             &ys,
-            SmoOptions { c: 1.0, tol: 1e-8, shrink_every: 0, ..Default::default() },
+            SmoOptions {
+                c: 1.0,
+                tol: 1e-8,
+                shrink_every: 0,
+                ..Default::default()
+            },
         )
         .unwrap()
         .solve()

@@ -43,7 +43,10 @@ impl CsrBuilder {
     /// # Panics
     /// Panics if the coordinate is out of bounds.
     pub fn push(&mut self, r: usize, c: usize, v: f64) {
-        assert!(r < self.rows && c < self.cols, "CsrBuilder::push out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "CsrBuilder::push out of bounds"
+        );
         if v != 0.0 {
             self.triplets.push((r as u32, c as u32, v));
         }

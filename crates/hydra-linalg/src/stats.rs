@@ -41,6 +41,28 @@ pub fn lq_pooling(signals: &[f64], q: f64) -> f64 {
     m * sum.powf(1.0 / q) / n
 }
 
+/// [`lq_pooling`] over a sparse signal: `nonzero` holds the non-zero
+/// stimuli in their original order, `total` the full signal length
+/// (zeros included). Bit-identical to `lq_pooling` on the dense vector —
+/// zeros contribute exactly `0.0` to the scaled power sum and don't move
+/// the max, so skipping them changes nothing but the work done.
+pub fn lq_pooling_sparse(nonzero: &[f64], total: usize, q: f64) -> f64 {
+    assert!(q >= 1.0, "lq_pooling requires q >= 1, got {q}");
+    if total == 0 {
+        return 0.0;
+    }
+    assert!(
+        nonzero.iter().all(|&s| s >= 0.0),
+        "lq_pooling: stimuli must be non-negative"
+    );
+    let m = nonzero.iter().cloned().fold(0.0_f64, f64::max);
+    if m == 0.0 {
+        return 0.0;
+    }
+    let sum: f64 = nonzero.iter().map(|&s| (s / m).powf(q)).sum();
+    m * sum.powf(1.0 / q) / total as f64
+}
+
 /// The `q → ∞` limit of [`lq_pooling`]: `max(signals) / N`.
 pub fn max_pooling(signals: &[f64]) -> f64 {
     if signals.is_empty() {

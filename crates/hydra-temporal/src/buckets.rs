@@ -233,13 +233,7 @@ mod tests {
     fn disjoint_interests_score_zero() {
         let a = Timeline::from_events(vec![(days(1), vec![1.0, 0.0])]);
         let b = Timeline::from_events(vec![(days(1), vec![0.0, 1.0])]);
-        let (sims, counts) = multi_scale_similarity(
-            &a,
-            &b,
-            frame(),
-            &[1],
-            Kernel::ChiSquare,
-        );
+        let (sims, counts) = multi_scale_similarity(&a, &b, frame(), &[1], Kernel::ChiSquare);
         assert_eq!(counts[0], 1);
         assert_eq!(sims[0], 0.0);
     }
@@ -255,8 +249,7 @@ mod tests {
     fn hist_intersection_also_supported() {
         let a = Timeline::from_events(vec![(days(1), vec![0.5, 0.5])]);
         let b = Timeline::from_events(vec![(days(2), vec![1.0, 0.0])]);
-        let (sims, _) =
-            multi_scale_similarity(&a, &b, frame(), &[4], Kernel::HistIntersection);
+        let (sims, _) = multi_scale_similarity(&a, &b, frame(), &[4], Kernel::HistIntersection);
         assert!((sims[0] - 0.5).abs() < 1e-12);
     }
 }

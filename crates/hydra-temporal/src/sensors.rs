@@ -22,7 +22,7 @@
 
 use crate::timeline::{Timeline, Timestamp};
 use crate::SECONDS_PER_DAY;
-use hydra_linalg::stats::{lq_pooling, sigmoid};
+use hydra_linalg::stats::{lq_pooling, lq_pooling_sparse, sigmoid};
 
 /// A geographic coordinate (degrees).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,6 +170,111 @@ pub fn scan_resolution<T: Clone, S: PatternSensor<T>>(
     (sigmoid(pooled, lambda), active_windows)
 }
 
+/// Per-scale index of a timeline's event-bearing windows: for scale `s`,
+/// `per_scale[s]` lists `(window_idx, lo, hi)` such that
+/// `timeline.as_slice()[lo..hi]` are the events falling in that window.
+///
+/// Scanning a pair at one resolution is then a merge-join over two sorted
+/// window lists instead of a walk over every window with two binary
+/// searches each — and the index is a per-*account* computation shared by
+/// all of the account's candidate pairs.
+#[derive(Debug, Clone)]
+pub struct WindowIndex {
+    /// Event-bearing windows per scale (sorted by window index).
+    pub per_scale: Vec<Vec<(u32, u32, u32)>>,
+    /// Total window count per scale over `[origin, horizon)`.
+    pub total_windows: Vec<u32>,
+}
+
+impl WindowIndex {
+    /// Index a timeline over `[origin, horizon)` at each scale.
+    pub fn build<T>(
+        timeline: &Timeline<T>,
+        origin: Timestamp,
+        horizon: Timestamp,
+        scales_days: &[u32],
+    ) -> Self {
+        assert!(horizon > origin, "scan window must be non-empty");
+        let events = timeline.as_slice();
+        let first = events.partition_point(|e| e.0 < origin);
+        let last = events.partition_point(|e| e.0 < horizon);
+        let mut per_scale = Vec::with_capacity(scales_days.len());
+        let mut total_windows = Vec::with_capacity(scales_days.len());
+        for &scale in scales_days {
+            let width = scale as i64 * SECONDS_PER_DAY;
+            let span = horizon - origin;
+            total_windows.push(((span + width - 1) / width) as u32);
+            let mut windows: Vec<(u32, u32, u32)> = Vec::new();
+            for k in first..last {
+                let w = ((events[k].0 - origin) / width) as u32;
+                match windows.last_mut() {
+                    Some((lw, _, hi)) if *lw == w => *hi = k as u32 + 1,
+                    _ => windows.push((w, k as u32, k as u32 + 1)),
+                }
+            }
+            per_scale.push(windows);
+        }
+        WindowIndex {
+            per_scale,
+            total_windows,
+        }
+    }
+}
+
+/// [`scan_resolution`] driven by two pre-built [`WindowIndex`] scale rows —
+/// bit-identical output (the l_q pool skips only exact zeros and the window
+/// partition is the same), but the cost is proportional to the two sides'
+/// *active* windows rather than the full scan range.
+#[allow(clippy::too_many_arguments)]
+pub fn scan_resolution_indexed<T: Clone, S: PatternSensor<T>>(
+    sensor: &S,
+    a: &Timeline<T>,
+    b: &Timeline<T>,
+    wa: &[(u32, u32, u32)],
+    wb: &[(u32, u32, u32)],
+    total_windows: u32,
+    q: f64,
+    lambda: f64,
+) -> (f64, usize) {
+    let ev_a = a.as_slice();
+    let ev_b = b.as_slice();
+    let mut active_windows = 0usize;
+    let mut nonzero: Vec<f64> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < wa.len() && j < wb.len() {
+        match wa[i].0.cmp(&wb[j].0) {
+            std::cmp::Ordering::Less => {
+                active_windows += 1;
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                active_windows += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                active_windows += 1;
+                let (_, alo, ahi) = wa[i];
+                let (_, blo, bhi) = wb[j];
+                let s = sensor.window_stimulus(
+                    &ev_a[alo as usize..ahi as usize],
+                    &ev_b[blo as usize..bhi as usize],
+                );
+                if s != 0.0 {
+                    nonzero.push(s);
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    active_windows += (wa.len() - i) + (wb.len() - j);
+    if active_windows == 0 {
+        return (0.0, 0);
+    }
+    let pooled = lq_pooling_sparse(&nonzero, total_windows as usize, q);
+    (sigmoid(pooled, lambda), active_windows)
+}
+
 /// A bank of sensors of one payload type scanned across several temporal
 /// resolutions; produces one feature per `(sensor, scale)` combination —
 /// "a multi-dimensional pattern-matching feature is formed between user i
@@ -189,7 +294,10 @@ pub struct SensorBank<T, S: PatternSensor<T>> {
 impl<T: Clone, S: PatternSensor<T>> SensorBank<T, S> {
     /// Bank over the given sensors and temporal scales.
     pub fn new(sensors: Vec<S>, scales_days: Vec<u32>, q: f64, lambda: f64) -> Self {
-        assert!(!scales_days.is_empty(), "sensor bank needs at least one scale");
+        assert!(
+            !scales_days.is_empty(),
+            "sensor bank needs at least one scale"
+        );
         SensorBank {
             sensors,
             scales_days,
@@ -232,18 +340,30 @@ mod tests {
     use super::*;
     use crate::days;
 
-    const BEIJING: GeoPoint = GeoPoint { lat: 39.9042, lon: 116.4074 };
-    const SHANGHAI: GeoPoint = GeoPoint { lat: 31.2304, lon: 121.4737 };
+    const BEIJING: GeoPoint = GeoPoint {
+        lat: 39.9042,
+        lon: 116.4074,
+    };
+    const SHANGHAI: GeoPoint = GeoPoint {
+        lat: 31.2304,
+        lon: 121.4737,
+    };
 
     fn near(p: GeoPoint, dlat: f64) -> GeoPoint {
-        GeoPoint { lat: p.lat + dlat, lon: p.lon }
+        GeoPoint {
+            lat: p.lat + dlat,
+            lon: p.lon,
+        }
     }
 
     #[test]
     fn haversine_known_distances() {
         assert!(haversine_km(BEIJING, BEIJING) < 1e-9);
         let d = haversine_km(BEIJING, SHANGHAI);
-        assert!((d - 1067.0).abs() < 30.0, "Beijing-Shanghai ≈ 1067km, got {d}");
+        assert!(
+            (d - 1067.0).abs() < 30.0,
+            "Beijing-Shanghai ≈ 1067km, got {d}"
+        );
         // Symmetry.
         assert!((d - haversine_km(SHANGHAI, BEIJING)).abs() < 1e-9);
     }
@@ -262,10 +382,30 @@ mod tests {
     #[test]
     fn media_sensor_hamming_decay() {
         let s = MediaSensor { max_hamming: 4 };
-        let a = [(0i64, MediaItem { fingerprint: 0xABCD })];
-        let exact = [(0i64, MediaItem { fingerprint: 0xABCD })];
-        let close = [(0i64, MediaItem { fingerprint: 0xABCD ^ 0b11 })]; // d=2
-        let far = [(0i64, MediaItem { fingerprint: !0xABCD })];
+        let a = [(
+            0i64,
+            MediaItem {
+                fingerprint: 0xABCD,
+            },
+        )];
+        let exact = [(
+            0i64,
+            MediaItem {
+                fingerprint: 0xABCD,
+            },
+        )];
+        let close = [(
+            0i64,
+            MediaItem {
+                fingerprint: 0xABCD ^ 0b11,
+            },
+        )]; // d=2
+        let far = [(
+            0i64,
+            MediaItem {
+                fingerprint: !0xABCD,
+            },
+        )];
         assert_eq!(s.window_stimulus(&a, &exact), 1.0);
         let c = s.window_stimulus(&a, &close);
         assert!(c > 0.0 && c < 1.0);
@@ -279,16 +419,8 @@ mod tests {
             (days(1) + 3600, near(BEIJING, 0.002)),
             (days(10) + 7200, near(SHANGHAI, 0.002)),
         ]);
-        let (v, active) = scan_resolution(
-            &LocationSensor::default(),
-            &a,
-            &b,
-            0,
-            days(32),
-            2,
-            4.0,
-            8.0,
-        );
+        let (v, active) =
+            scan_resolution(&LocationSensor::default(), &a, &b, 0, days(32), 2, 4.0, 8.0);
         assert!(active >= 2);
         assert!(v > 0.5, "co-locations should excite the sensor: {v}");
     }
@@ -297,18 +429,13 @@ mod tests {
     fn scan_on_disjoint_activity_is_low() {
         let a = Timeline::from_events(vec![(days(1), BEIJING)]);
         let b = Timeline::from_events(vec![(days(20), SHANGHAI)]);
-        let (v, active) = scan_resolution(
-            &LocationSensor::default(),
-            &a,
-            &b,
-            0,
-            days(32),
-            2,
-            4.0,
-            8.0,
-        );
+        let (v, active) =
+            scan_resolution(&LocationSensor::default(), &a, &b, 0, days(32), 2, 4.0, 8.0);
         assert!(active >= 2);
-        assert!(v <= 0.5 + 1e-9, "no co-location must stay at sigmoid(0): {v}");
+        assert!(
+            v <= 0.5 + 1e-9,
+            "no co-location must stay at sigmoid(0): {v}"
+        );
     }
 
     #[test]
@@ -328,20 +455,76 @@ mod tests {
         let a = Timeline::from_events(vec![(days(2), BEIJING)]);
         let b = Timeline::from_events(vec![(days(5), near(BEIJING, 0.001))]);
         let fine = scan_resolution(&LocationSensor::default(), &a, &b, 0, days(32), 1, 4.0, 8.0);
-        let coarse =
-            scan_resolution(&LocationSensor::default(), &a, &b, 0, days(32), 8, 4.0, 8.0);
+        let coarse = scan_resolution(&LocationSensor::default(), &a, &b, 0, days(32), 8, 4.0, 8.0);
         assert!(fine.0 <= 0.5 + 1e-9);
-        assert!(coarse.0 > fine.0, "coarse {} should beat fine {}", coarse.0, fine.0);
+        assert!(
+            coarse.0 > fine.0,
+            "coarse {} should beat fine {}",
+            coarse.0,
+            fine.0
+        );
+    }
+
+    #[test]
+    fn indexed_scan_matches_direct_scan_exactly() {
+        // Pseudo-random timelines (deterministic LCG) across several scales
+        // and densities, including empty sides and out-of-horizon events.
+        let mut state = 0x1234_5678u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let horizon = days(64);
+        let scales = [1u32, 2, 4, 8, 16];
+        for case in 0..20 {
+            let na = (next() % 40) as usize;
+            let nb = (next() % 40) as usize;
+            let mk = |n: usize, next: &mut dyn FnMut() -> u64| {
+                Timeline::from_events(
+                    (0..n)
+                        .map(|_| {
+                            let t = (next() % (70 * SECONDS_PER_DAY as u64)) as i64;
+                            let p = GeoPoint {
+                                lat: 30.0 + (next() % 1000) as f64 / 100.0,
+                                lon: 110.0 + (next() % 1000) as f64 / 100.0,
+                            };
+                            (t, p)
+                        })
+                        .collect(),
+                )
+            };
+            let a = mk(na, &mut next);
+            let b = mk(nb, &mut next);
+            let ia = WindowIndex::build(&a, 0, horizon, &scales);
+            let ib = WindowIndex::build(&b, 0, horizon, &scales);
+            let sensor = LocationSensor::default();
+            for (s, &scale) in scales.iter().enumerate() {
+                let direct = scan_resolution(&sensor, &a, &b, 0, horizon, scale, 4.0, 8.0);
+                let indexed = scan_resolution_indexed(
+                    &sensor,
+                    &a,
+                    &b,
+                    &ia.per_scale[s],
+                    &ib.per_scale[s],
+                    ia.total_windows[s],
+                    4.0,
+                    8.0,
+                );
+                assert_eq!(
+                    direct.0.to_bits(),
+                    indexed.0.to_bits(),
+                    "case {case} scale {scale}"
+                );
+                assert_eq!(direct.1, indexed.1, "case {case} scale {scale} count");
+            }
+        }
     }
 
     #[test]
     fn sensor_bank_dimensions_and_counts() {
-        let bank = SensorBank::new(
-            vec![LocationSensor::default()],
-            vec![1, 4, 16],
-            4.0,
-            8.0,
-        );
+        let bank = SensorBank::new(vec![LocationSensor::default()], vec![1, 4, 16], 4.0, 8.0);
         assert_eq!(bank.num_features(), 3);
         let a = Timeline::from_events(vec![(days(1), BEIJING)]);
         let b = Timeline::from_events(vec![(days(1), near(BEIJING, 0.001))]);

@@ -55,6 +55,12 @@ impl<T> Timeline<T> {
         self.events.iter()
     }
 
+    /// All events as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[(Timestamp, T)] {
+        &self.events
+    }
+
     /// Events with `start ≤ t < end`.
     pub fn range(&self, start: Timestamp, end: Timestamp) -> &[(Timestamp, T)] {
         let lo = self.events.partition_point(|e| e.0 < start);

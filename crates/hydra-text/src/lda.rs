@@ -189,10 +189,7 @@ impl LdaModel {
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut local_counts = vec![0u32; k];
-        let mut z: Vec<usize> = in_vocab
-            .iter()
-            .map(|_| rng.gen_range(0..k))
-            .collect();
+        let mut z: Vec<usize> = in_vocab.iter().map(|_| rng.gen_range(0..k)).collect();
         for &t in &z {
             local_counts[t] += 1;
         }
@@ -254,7 +251,11 @@ mod tests {
         let model = LdaModel::train(
             &docs,
             v,
-            LdaOptions { num_topics: 2, iterations: 50, ..Default::default() },
+            LdaOptions {
+                num_topics: 2,
+                iterations: 50,
+                ..Default::default()
+            },
         );
         for d in 0..docs.len() {
             let theta = model.doc_topic_distribution(d);
@@ -275,7 +276,12 @@ mod tests {
         let model = LdaModel::train(
             &docs,
             v,
-            LdaOptions { num_topics: 2, iterations: 80, seed: 7, ..Default::default() },
+            LdaOptions {
+                num_topics: 2,
+                iterations: 80,
+                seed: 7,
+                ..Default::default()
+            },
         );
         // Documents of the same theme must land on the same dominant topic,
         // documents of different themes on different ones.
@@ -301,19 +307,35 @@ mod tests {
         let model = LdaModel::train(
             &docs,
             v,
-            LdaOptions { num_topics: 2, iterations: 80, seed: 7, ..Default::default() },
+            LdaOptions {
+                num_topics: 2,
+                iterations: 80,
+                seed: 7,
+                ..Default::default()
+            },
         );
         let theme0 = model.infer(&[0, 1, 2, 3, 4, 0, 1], 30, 99);
         let theme1 = model.infer(&[5, 6, 7, 8, 9, 5, 6], 30, 99);
         let d0 = if theme0[0] > theme0[1] { 0 } else { 1 };
         let d1 = if theme1[0] > theme1[1] { 0 } else { 1 };
-        assert_ne!(d0, d1, "inferred themes should differ: {theme0:?} vs {theme1:?}");
+        assert_ne!(
+            d0, d1,
+            "inferred themes should differ: {theme0:?} vs {theme1:?}"
+        );
     }
 
     #[test]
     fn inference_handles_oov_and_empty() {
         let (docs, v) = themed_corpus();
-        let model = LdaModel::train(&docs, v, LdaOptions { num_topics: 3, iterations: 10, ..Default::default() });
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaOptions {
+                num_topics: 3,
+                iterations: 10,
+                ..Default::default()
+            },
+        );
         let uniform = model.infer(&[], 10, 1);
         assert_eq!(uniform, vec![1.0 / 3.0; 3]);
         // All-OOV behaves like empty.
@@ -324,7 +346,12 @@ mod tests {
     #[test]
     fn training_is_deterministic_for_fixed_seed() {
         let (docs, v) = themed_corpus();
-        let opts = LdaOptions { num_topics: 2, iterations: 20, seed: 5, ..Default::default() };
+        let opts = LdaOptions {
+            num_topics: 2,
+            iterations: 20,
+            seed: 5,
+            ..Default::default()
+        };
         let m1 = LdaModel::train(&docs, v, opts);
         let m2 = LdaModel::train(&docs, v, opts);
         assert_eq!(m1.doc_topic_distribution(0), m2.doc_topic_distribution(0));
@@ -334,6 +361,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one topic")]
     fn zero_topics_rejected() {
-        LdaModel::train(&[vec![0]], 1, LdaOptions { num_topics: 0, ..Default::default() });
+        LdaModel::train(
+            &[vec![0]],
+            1,
+            LdaOptions {
+                num_topics: 0,
+                ..Default::default()
+            },
+        );
     }
 }

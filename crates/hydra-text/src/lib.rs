@@ -27,7 +27,7 @@ pub mod vocab;
 pub use lda::{LdaModel, LdaOptions};
 pub use ngram_lm::CharNgramLm;
 pub use sentiment::{Sentiment, SentimentLexicon};
-pub use strsim::{jaro_winkler, levenshtein, lcs_length, ngram_jaccard, normalized_levenshtein};
+pub use strsim::{jaro_winkler, lcs_length, levenshtein, ngram_jaccard, normalized_levenshtein};
 pub use style::{style_similarity, UniqueWordProfile};
 pub use tokenize::{normalize_token, tokenize};
 pub use vocab::Vocabulary;

@@ -109,8 +109,20 @@ mod tests {
 
     fn corpus() -> Vec<&'static str> {
         vec![
-            "john", "johnny", "john2024", "johnsmith", "jon", "johan", "anna", "annabel",
-            "anna88", "hannah", "banana", "adele", "adela", "adeline",
+            "john",
+            "johnny",
+            "john2024",
+            "johnsmith",
+            "jon",
+            "johan",
+            "anna",
+            "annabel",
+            "anna88",
+            "hannah",
+            "banana",
+            "adele",
+            "adela",
+            "adeline",
         ]
     }
 

@@ -62,7 +62,9 @@ impl SentimentLexicon {
     pub fn from_seeds<'a>(seeds: impl IntoIterator<Item = (&'a str, Sentiment)>) -> Self {
         let mut weights: HashMap<String, [f64; NUM_SENTIMENTS]> = HashMap::new();
         for (word, s) in seeds {
-            let e = weights.entry(word.to_string()).or_insert([0.0; NUM_SENTIMENTS]);
+            let e = weights
+                .entry(word.to_string())
+                .or_insert([0.0; NUM_SENTIMENTS]);
             e[s.index()] += 1.0;
         }
         SentimentLexicon { weights }

@@ -46,6 +46,13 @@ pub fn normalized_levenshtein(a: &str, b: &str) -> f64 {
 pub fn jaro(a: &str, b: &str) -> f64 {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    jaro_chars(&a, &b)
+}
+
+/// [`jaro`] over pre-decoded scalar slices — the candidate-blocking hot
+/// path caches each username's `Vec<char>` once and reuses it across every
+/// comparison, instead of re-decoding (and re-allocating) per call.
+pub fn jaro_chars(a: &[char], b: &[char]) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -92,10 +99,17 @@ pub fn jaro(a: &str, b: &str) -> f64 {
 /// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and a
 /// prefix cap of 4 characters.
 pub fn jaro_winkler(a: &str, b: &str) -> f64 {
-    let j = jaro(a, b);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_winkler_chars(&a, &b)
+}
+
+/// [`jaro_winkler`] over pre-decoded scalar slices.
+pub fn jaro_winkler_chars(a: &[char], b: &[char]) -> f64 {
+    let j = jaro_chars(a, b);
     let prefix = a
-        .chars()
-        .zip(b.chars())
+        .iter()
+        .zip(b.iter())
         .take(4)
         .take_while(|(x, y)| x == y)
         .count() as f64;
@@ -106,6 +120,11 @@ pub fn jaro_winkler(a: &str, b: &str) -> f64 {
 pub fn lcs_length(a: &str, b: &str) -> usize {
     let a: Vec<char> = a.chars().collect();
     let b: Vec<char> = b.chars().collect();
+    lcs_length_chars(&a, &b)
+}
+
+/// [`lcs_length`] over pre-decoded scalar slices.
+pub fn lcs_length_chars(a: &[char], b: &[char]) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
@@ -126,13 +145,18 @@ pub fn lcs_length(a: &str, b: &str) -> usize {
 /// username overlapping" measure used by the rule-based filter; 0 when
 /// either string is empty.
 pub fn lcs_ratio(a: &str, b: &str) -> f64 {
-    let la = a.chars().count();
-    let lb = b.chars().count();
-    let m = la.min(lb);
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    lcs_ratio_chars(&a, &b)
+}
+
+/// [`lcs_ratio`] over pre-decoded scalar slices.
+pub fn lcs_ratio_chars(a: &[char], b: &[char]) -> f64 {
+    let m = a.len().min(b.len());
     if m == 0 {
         return 0.0;
     }
-    lcs_length(a, b) as f64 / m as f64
+    lcs_length_chars(a, b) as f64 / m as f64
 }
 
 /// Jaccard overlap of character n-gram sets in `[0, 1]`. Strings shorter
@@ -279,7 +303,11 @@ mod tests {
 
     #[test]
     fn metrics_are_symmetric() {
-        let pairs = [("adele", "adela"), ("foo_bar", "bar_foo"), ("小暖", "adele小暖")];
+        let pairs = [
+            ("adele", "adela"),
+            ("foo_bar", "bar_foo"),
+            ("小暖", "adele小暖"),
+        ];
         for (a, b) in pairs {
             assert_eq!(levenshtein(a, b), levenshtein(b, a));
             assert!((jaro(a, b) - jaro(b, a)).abs() < 1e-12);

@@ -48,7 +48,10 @@ impl UniqueWordProfile {
         let mut candidates: Vec<(&str, u64, u64)> = own_counts
             .iter()
             .map(|(&w, &own)| {
-                let gf = global.get(w).map(|id| global.term_frequency(id)).unwrap_or(0);
+                let gf = global
+                    .get(w)
+                    .map(|id| global.term_frequency(id))
+                    .unwrap_or(0);
                 (w, gf, own)
             })
             .collect();
@@ -75,13 +78,20 @@ impl UniqueWordProfile {
 pub fn style_similarity(a: &UniqueWordProfile, b: &UniqueWordProfile, k: usize) -> f64 {
     assert!(k >= 1, "style similarity needs k >= 1");
     let sa: HashSet<&str> = a.top_k(k).iter().map(|s| s.as_str()).collect();
-    let matched = b.top_k(k).iter().filter(|w| sa.contains(w.as_str())).count();
+    let matched = b
+        .top_k(k)
+        .iter()
+        .filter(|w| sa.contains(w.as_str()))
+        .count();
     matched as f64 / k as f64
 }
 
 /// Convenience: the similarity vector over all paper k values (1, 3, 5).
 pub fn style_similarity_vector(a: &UniqueWordProfile, b: &UniqueWordProfile) -> Vec<f64> {
-    STYLE_KS.iter().map(|&k| style_similarity(a, b, k)).collect()
+    STYLE_KS
+        .iter()
+        .map(|&k| style_similarity(a, b, k))
+        .collect()
 }
 
 #[cfg(test)]
@@ -131,8 +141,12 @@ mod tests {
 
     #[test]
     fn eq4_similarity() {
-        let a = UniqueWordProfile { words: toks(&["x", "y", "z", "u", "v"]) };
-        let b = UniqueWordProfile { words: toks(&["x", "q", "z", "r", "s"]) };
+        let a = UniqueWordProfile {
+            words: toks(&["x", "y", "z", "u", "v"]),
+        };
+        let b = UniqueWordProfile {
+            words: toks(&["x", "q", "z", "r", "s"]),
+        };
         assert_eq!(style_similarity(&a, &b, 1), 1.0); // both rank "x" first
         assert!((style_similarity(&a, &b, 3) - 2.0 / 3.0).abs() < 1e-12);
         assert!((style_similarity(&a, &b, 5) - 2.0 / 5.0).abs() < 1e-12);
@@ -140,14 +154,20 @@ mod tests {
 
     #[test]
     fn short_profiles_penalized_by_fixed_denominator() {
-        let a = UniqueWordProfile { words: toks(&["x"]) };
-        let b = UniqueWordProfile { words: toks(&["x"]) };
+        let a = UniqueWordProfile {
+            words: toks(&["x"]),
+        };
+        let b = UniqueWordProfile {
+            words: toks(&["x"]),
+        };
         assert!((style_similarity(&a, &b, 5) - 0.2).abs() < 1e-12);
     }
 
     #[test]
     fn similarity_vector_uses_paper_ks() {
-        let a = UniqueWordProfile { words: toks(&["x", "y", "z", "u", "v"]) };
+        let a = UniqueWordProfile {
+            words: toks(&["x", "y", "z", "u", "v"]),
+        };
         let v = style_similarity_vector(&a, &a);
         assert_eq!(v, vec![1.0, 1.0, 1.0]);
     }
@@ -155,7 +175,9 @@ mod tests {
     #[test]
     fn empty_profiles_score_zero() {
         let a = UniqueWordProfile::default();
-        let b = UniqueWordProfile { words: toks(&["x"]) };
+        let b = UniqueWordProfile {
+            words: toks(&["x"]),
+        };
         assert_eq!(style_similarity(&a, &b, 3), 0.0);
     }
 

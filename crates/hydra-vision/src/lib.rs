@@ -34,7 +34,9 @@ impl FaceEmbedding {
     /// Sample a random unit-norm embedding.
     pub fn random<R: Rng>(rng: &mut R) -> Self {
         loop {
-            let v: Vec<f64> = (0..EMBEDDING_DIM).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect();
+            let v: Vec<f64> = (0..EMBEDDING_DIM)
+                .map(|_| rng.gen::<f64>() * 2.0 - 1.0)
+                .collect();
             let n = v.iter().map(|x| x * x).sum::<f64>().sqrt();
             if n > 1e-6 {
                 return FaceEmbedding(v.into_iter().map(|x| x / n).collect());
@@ -218,7 +220,10 @@ mod tests {
 
     fn face(e: &FaceEmbedding, q: f64) -> ProfileImage {
         ProfileImage {
-            content: ImageContent::Face { embedding: e.clone(), quality: q },
+            content: ImageContent::Face {
+                embedding: e.clone(),
+                quality: q,
+            },
         }
     }
 
@@ -250,7 +255,9 @@ mod tests {
         assert!(det.detect(&face(&e, 0.9)).is_some());
         assert!(det.detect(&face(&e, 0.3)).is_none());
         assert!(det
-            .detect(&ProfileImage { content: ImageContent::NoFace })
+            .detect(&ProfileImage {
+                content: ImageContent::NoFace
+            })
             .is_none());
     }
 
@@ -270,7 +277,10 @@ mod tests {
         let same_min = same_scores.iter().cloned().fold(1.0, f64::min);
         let diff_max = diff_scores.iter().cloned().fold(0.0, f64::max);
         assert!(same_min > 0.8, "same-person scores too low: {same_min}");
-        assert!(diff_max < 0.2, "different-person scores too high: {diff_max}");
+        assert!(
+            diff_max < 0.2,
+            "different-person scores too high: {diff_max}"
+        );
     }
 
     #[test]
@@ -298,7 +308,9 @@ mod tests {
         let e = FaceEmbedding::random(&mut r);
         let good = face(&e, 0.9);
         let occluded = face(&e, 0.05);
-        let noface = ProfileImage { content: ImageContent::NoFace };
+        let noface = ProfileImage {
+            content: ImageContent::NoFace,
+        };
         assert_eq!(
             match_profile_images(Some(&good), Some(&occluded), &det, &cls),
             FaceMatchOutcome::Aborted(AbortReason::NoFaceDetected)
@@ -351,7 +363,11 @@ mod tests {
         }
         let cls = FaceClassifier::calibrate(&pairs, 500, 0.5);
         // The calibrated threshold must separate the two clusters.
-        assert!(cls.threshold > 0.3 && cls.threshold < 1.3, "threshold {}", cls.threshold);
+        assert!(
+            cls.threshold > 0.3 && cls.threshold < 1.3,
+            "threshold {}",
+            cls.threshold
+        );
         let correct = pairs
             .iter()
             .filter(|&&(d, same)| {

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `bytes` crate: `BytesMut` (growable writer),
+//! `Bytes` (immutable cursor-backed reader), and the little-endian subsets
+//! of `Buf`/`BufMut` the workspace's binary export format uses.
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Read raw bytes, advancing the cursor.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take_bytes(2).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+}
+
+/// Append-only byte writer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+/// Growable byte buffer, frozen into [`Bytes`] when writing is done.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// New buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freeze into an immutable reader.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Immutable byte buffer with an internal read cursor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wrap a static byte string.
+    pub fn from_static(data: &'static [u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Total (unread + read) length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy out the full contents.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.clone()
+    }
+
+    /// Sub-range copy as a fresh `Bytes`.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: self.data[range].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "bytes shim: read past end");
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut w = BytesMut::with_capacity(8);
+        w.put_u16_le(0xBEEF);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(u64::MAX - 3);
+        w.put_i64_le(-42);
+        w.put_f64_le(0.125);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 2 + 4 + 8 + 8 + 8);
+        assert_eq!(r.get_u16_le(), 0xBEEF);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), u64::MAX - 3);
+        assert_eq!(r.get_i64_le(), -42);
+        assert_eq!(r.get_f64_le(), 0.125);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_and_from_vec() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        assert_eq!(b.len(), 5);
+        let s = b.slice(1..4);
+        assert_eq!(s.to_vec(), vec![2, 3, 4]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion`: the `Criterion` / group / `Bencher`
+//! API with a simple warmup-then-sample timing loop, human-readable output,
+//! and machine-readable JSON export.
+//!
+//! Bench targets still declare `harness = false` and use
+//! `criterion_group!` / `criterion_main!` unchanged. Set
+//! `CRITERION_JSON_OUT=<path>` to write every recorded benchmark as a JSON
+//! array (used by `scripts/bench_baseline.sh` to assemble
+//! `BENCH_pipeline.json`).
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// One recorded benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Fully qualified id (`group/name`).
+    pub id: String,
+    /// Samples actually taken.
+    pub samples: usize,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median wall-clock nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample.
+    pub min_ns: f64,
+}
+
+static RECORDS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+/// Benchmark id with an optional parameter (`BenchmarkId::new("f", 10)`).
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Timing driver handed to bench closures.
+pub struct Bencher {
+    sample_size: usize,
+    collected: Option<(usize, f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Run `f` through warmup plus `sample_size` timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup + result sink
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            samples.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+        samples.sort_by(f64::total_cmp);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let median = samples[samples.len() / 2];
+        self.collected = Some((samples.len(), mean, median, samples[0]));
+    }
+}
+
+fn run_one(full_id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        sample_size,
+        collected: None,
+    };
+    f(&mut b);
+    let (samples, mean_ns, median_ns, min_ns) =
+        b.collected.expect("bench closure must call Bencher::iter");
+    println!(
+        "bench {full_id:<52} median {:>12}  mean {:>12}  ({samples} samples)",
+        fmt_ns(median_ns),
+        fmt_ns(mean_ns)
+    );
+    RECORDS.lock().unwrap().push(Record {
+        id: full_id.to_string(),
+        samples,
+        mean_ns,
+        median_ns,
+        min_ns,
+    });
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        run_one(&id.into(), 10, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, &mut f);
+    }
+
+    /// Run one parameterized benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.sample_size, &mut |b| f(b, input));
+    }
+
+    /// End the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Write collected records as JSON to `CRITERION_JSON_OUT`, when set.
+pub fn finalize() {
+    let records = RECORDS.lock().unwrap();
+    let Ok(path) = std::env::var("CRITERION_JSON_OUT") else {
+        return;
+    };
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"samples\": {}, \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
+            r.id.replace('"', "'"),
+            r.samples,
+            r.mean_ns,
+            r.median_ns,
+            r.min_ns,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    std::fs::write(&path, out).expect("write CRITERION_JSON_OUT");
+    println!(
+        "[criterion shim: wrote {} records to {path}]",
+        records.len()
+    );
+}
+
+/// Group benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point running every group then finalizing JSON export.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::finalize();
+        }
+    };
+}

@@ -1,0 +1,189 @@
+//! Offline stand-in for `serde`: a value-tree data model plus `Serialize` /
+//! `Deserialize` traits, with derive macros re-exported from the companion
+//! `serde_derive` shim. `serde_json` (shim) renders [`Value`] trees to JSON
+//! text and back.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate data model all (de)serialization goes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Any number (integers round-trip losslessly up to 2⁵³).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types convertible to the [`Value`] model.
+pub trait Serialize {
+    /// Build the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a value tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_num {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    other => Err(DeError(format!(
+                        "expected number, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_num!(f64, f32, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::Str((*self).to_string())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Arr(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Arr(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:ident . $i:tt),+; $len:expr))*) => {$(
+        impl<$($n: Serialize),+> Serialize for ($($n,)+) {
+            fn to_value(&self) -> Value {
+                Value::Arr(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($n: Deserialize),+> Deserialize for ($($n,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Arr(items) if items.len() == $len => {
+                        Ok(($($n::from_value(&items[$i])?,)+))
+                    }
+                    other => Err(DeError(format!(
+                        "expected {}-tuple array, got {other:?}", $len
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0; 1)
+    (A.0, B.1; 2)
+    (A.0, B.1, C.2; 3)
+    (A.0, B.1, C.2, D.3; 4)
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

@@ -1,0 +1,224 @@
+//! Derive macros for the offline serde shim. Written against `proc_macro`
+//! alone (no `syn`/`quote` in the container), so parsing is a hand-rolled
+//! walk over the token stream. Supported shapes — exactly what this
+//! workspace derives on:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * enums with unit variants → JSON strings of the variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + field names.
+    Struct(String, Vec<String>),
+    /// Enum name + variant names.
+    Enum(String, Vec<String>),
+}
+
+/// Skip one attribute (`#` followed by a bracket group) if present.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match (tokens.get(i), tokens.get(i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&tokens, 0);
+    // Skip visibility (`pub`, optionally `pub(...)`).
+    while let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        } else {
+            break;
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    // Find the brace-delimited body (skipping generics is unsupported — no
+    // generic types are derived in this workspace).
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("serde shim derive: no braced body on `{name}`"),
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                // Optional `pub` / `pub(...)`.
+                if let Some(TokenTree::Ident(id)) = body.get(j) {
+                    if id.to_string() == "pub" {
+                        j += 1;
+                        if let Some(TokenTree::Group(g)) = body.get(j) {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+                let Some(TokenTree::Ident(field)) = body.get(j) else {
+                    break;
+                };
+                fields.push(field.to_string());
+                // Skip to past the next top-level comma (type tokens may
+                // contain commas only inside groups or angle brackets).
+                let mut depth = 0i32;
+                j += 1;
+                while j < body.len() {
+                    match &body[j] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+            }
+            Shape::Struct(name, fields)
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0usize;
+            while j < body.len() {
+                j = skip_attrs(&body, j);
+                let Some(TokenTree::Ident(v)) = body.get(j) else {
+                    break;
+                };
+                variants.push(v.to_string());
+                j += 1;
+                // Unit variants only: next token must be a comma (or end).
+                if let Some(t) = body.get(j) {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+                        other => panic!(
+                            "serde shim derive: only unit enum variants supported, got {other:?}"
+                        ),
+                    }
+                }
+            }
+            Shape::Enum(name, variants)
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derive `serde::Serialize` (shim).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                    fn to_value(&self) -> serde::Value {{
+                        let mut __fields: Vec<(String, serde::Value)> = Vec::new();
+                        {pushes}
+                        serde::Value::Obj(__fields)
+                    }}
+                }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!(
+                "impl serde::Serialize for {name} {{
+                    fn to_value(&self) -> serde::Value {{
+                        match self {{ {arms} }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl parses")
+}
+
+/// Derive `serde::Deserialize` (shim).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct(name, fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(v.get(\"{f}\").ok_or_else(|| \
+                         serde::DeError(format!(\"missing field `{f}`\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                        Ok({name} {{ {inits} }})
+                    }}
+                }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl serde::Deserialize for {name} {{
+                    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {{
+                        match v {{
+                            serde::Value::Str(s) => match s.as_str() {{
+                                {arms}
+                                other => Err(serde::DeError(format!(
+                                    \"unknown {name} variant `{{other}}`\"
+                                ))),
+                            }},
+                            other => Err(serde::DeError(format!(
+                                \"expected string for {name}, got {{other:?}}\"
+                            ))),
+                        }}
+                    }}
+                }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde shim derive: generated impl parses")
+}

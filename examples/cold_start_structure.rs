@@ -29,7 +29,10 @@ fn main() {
     }
     // Direct core friendships only: at this miniature scale two-hop
     // neighborhoods cover most of the graph and wash out the contrast.
-    let config = StructureConfig { max_hops: 1, ..Default::default() };
+    let config = StructureConfig {
+        max_hops: 1,
+        ..Default::default()
+    };
     let sm = build_structure_matrix(
         &pairs,
         &signals.per_platform[0],

@@ -22,7 +22,11 @@ fn main() {
     println!(
         "  {} platform pairs, {} candidate pairs total\n",
         prepared.pairs.len(),
-        prepared.pairs.iter().map(|p| p.candidates.len()).sum::<usize>()
+        prepared
+            .pairs
+            .iter()
+            .map(|p| p.candidates.len())
+            .sum::<usize>()
     );
 
     println!(

@@ -67,7 +67,11 @@ fn main() {
         }
         let lu = &dataset.account(0, p.left as usize).username;
         let ru = &dataset.account(1, p.right as usize).username;
-        let verdict = if p.left == p.right { "correct" } else { "WRONG" };
+        let verdict = if p.left == p.right {
+            "correct"
+        } else {
+            "WRONG"
+        };
         println!("  {lu:<24} ↔ {ru:<24} score {:+.2}  [{verdict}]", p.score);
         shown += 1;
     }

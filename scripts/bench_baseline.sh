@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Capture the linkage hot-path benchmark baseline.
+#
+# Runs the `pipeline` bench (crates/bench/benches/pipeline.rs) at
+# HYDRA_SCALE (default 2), collects every stage's wall-clock numbers via the
+# criterion shim's JSON export, and writes BENCH_pipeline.json (or $1) with
+# per-stage timings plus computed baseline→optimized speedups.
+#
+# Usage:
+#   scripts/bench_baseline.sh [output.json]
+#   HYDRA_SCALE=4 HYDRA_THREADS=8 scripts/bench_baseline.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_pipeline.json}"
+SCALE="${HYDRA_SCALE:-2}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "== pipeline bench at HYDRA_SCALE=$SCALE (threads: ${HYDRA_THREADS:-auto}) =="
+HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" cargo bench -p hydra-bench --bench pipeline
+
+RAW="$RAW" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
+import json, os, platform, subprocess
+
+raw = json.load(open(os.environ["RAW"]))
+records = {r["id"]: r for r in raw}
+
+speedups = {}
+for rid in records:
+    if "_baseline/" in rid:
+        opt = rid.replace("_baseline/", "_optimized/")
+        if opt in records:
+            stage = rid.split("/")[1].replace("_baseline", "")
+            speedups[stage] = round(
+                records[rid]["median_ns"] / records[opt]["median_ns"], 2
+            )
+
+threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
+doc = {
+    "bench": "pipeline",
+    "scale": float(os.environ["SCALE"]),
+    "threads": threads,
+    "host_cpus": os.cpu_count(),
+    "note": (
+        "single-core host: every parallel stage ran its sequential path, so "
+        "recorded speedups are algorithmic/allocation wins only"
+        if threads <= 1
+        else "multi-core run: speedups include thread-level scaling"
+    ),
+    "platform": platform.platform(),
+    "rustc": subprocess.run(
+        ["rustc", "--version"], capture_output=True, text=True
+    ).stdout.strip(),
+    "speedup_baseline_over_optimized": speedups,
+    "stages": raw,
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+for stage, s in sorted(speedups.items()):
+    print(f"  {stage:<14} {s}x")
+PY

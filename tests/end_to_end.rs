@@ -94,14 +94,21 @@ fn multi_platform_joint_model_trains() {
         max_unlabeled_expansion: 60,
         ..Default::default()
     })
-    .fit(&dataset, &signals, vec![mk_task(0, 1), mk_task(0, 2), mk_task(1, 2)])
+    .fit(
+        &dataset,
+        &signals,
+        vec![mk_task(0, 1), mk_task(0, 2), mk_task(1, 2)],
+    )
     .expect("multi-task fit");
     assert_eq!(trained.num_tasks(), 3);
     for t in 0..3 {
         let preds = trained.predict(t);
         assert!(!preds.is_empty());
         // The shared model must find at least some true links on each pair.
-        let hits = preds.iter().filter(|p| p.linked && p.left == p.right).count();
+        let hits = preds
+            .iter()
+            .filter(|p| p.linked && p.left == p.right)
+            .count();
         assert!(hits > 5, "task {t}: only {hits} true links");
     }
 }

@@ -20,6 +20,7 @@ use hydra_core::candidates::{
 };
 use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
 use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::moo::{self, MooConfig, MooProblem, MooSolverKind};
 use hydra_core::signals::{SignalConfig, Signals};
 use hydra_core::structure::{build_structure_matrix, StructureConfig};
 use hydra_datagen::{Dataset, DatasetConfig};
@@ -228,11 +229,97 @@ fn bench_end_to_end_fit(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Eq. 15 dual solve (the post-PR-1 `pipeline/fit` bottleneck) measured
+/// head-to-head: dense LU factorization vs the matrix-free block-BiCGStab
+/// path, on a datagen expansion large enough (≥1k rows at the default
+/// HYDRA_SCALE=2) that the O(n³) factorization actually bites. The Gram
+/// matrix is built once outside the timed region — both solvers share it —
+/// so the stages isolate exactly the solver cost `scripts/bench_baseline.sh`
+/// records as the `fit_dual_solve` speedup.
+fn bench_fit_dual_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fit");
+    group.sample_size(10);
+    let persons = scaled(250);
+    let (_dataset, signals) = quick_signals(persons, 46);
+    let left = &signals.per_platform[0];
+    let right = &signals.per_platform[1];
+    let extractor =
+        FeatureExtractor::new(FeatureConfig::default(), AttributeImportance::default(), 64);
+    let cands = generate_candidates(left, right, &CandidateConfig::default());
+
+    // Labeled prefix: alternating true pairs and offset negatives, then the
+    // unlabeled expansion tail from the candidate pool (2560 rows at the
+    // default scale — the regime the ROADMAP flags as LU-dominated).
+    let n_exp = scaled(1280);
+    let nl = 24usize;
+    let np = persons as u32;
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n_exp);
+    let mut labels: Vec<f64> = Vec::with_capacity(nl);
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..(nl as u32 / 2) {
+        pairs.push((i, i));
+        labels.push(1.0);
+        pairs.push((i, (i + np / 2) % np));
+        labels.push(-1.0);
+        seen.insert((i, i));
+        seen.insert((i, (i + np / 2) % np));
+    }
+    for cd in &cands {
+        if pairs.len() >= n_exp {
+            break;
+        }
+        if seen.insert((cd.left, cd.right)) {
+            pairs.push((cd.left, cd.right));
+        }
+    }
+    let n_exp = pairs.len();
+
+    let lc = extractor.profile_cache(left);
+    let rc = extractor.profile_cache(right);
+    let features = extractor
+        .features_for_pairs(&pairs, left, right, Some((&lc, &rc)))
+        .to_mat();
+    let sm = build_structure_matrix(
+        &pairs,
+        left,
+        right,
+        &_dataset.platforms[0].graph,
+        &_dataset.platforms[1].graph,
+        &StructureConfig::default(),
+    );
+    let problem = MooProblem {
+        features,
+        labels,
+        m: sm.m,
+        degrees: sm.degrees,
+    };
+    let kernel = kernel_matrix_mat(MooConfig::default().kernel, &problem.features);
+
+    for (name, solver) in [
+        ("dense_lu", MooSolverKind::DenseLu),
+        ("matrix_free", MooSolverKind::MatrixFree),
+    ] {
+        let cfg = MooConfig {
+            solver,
+            ..Default::default()
+        };
+        group.bench_function(format!("{name}/{n_exp}"), |b| {
+            b.iter(|| {
+                black_box(
+                    moo::solve_with_kernel(black_box(&problem), &cfg, &kernel).expect("solve"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_signal_extraction,
     bench_hot_path_before_after,
     bench_structure_matrix,
-    bench_end_to_end_fit
+    bench_end_to_end_fit,
+    bench_fit_dual_solve
 );
 criterion_main!(benches);

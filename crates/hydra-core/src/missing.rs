@@ -127,7 +127,17 @@ impl<'a> MissingFiller<'a> {
         strategy: FillStrategy,
     ) {
         match strategy {
-            FillStrategy::Zero => *mask = 0,
+            FillStrategy::Zero => {
+                // Unlike [`FeatureMatrix`] rows (which hold zeros at missing
+                // dims by construction), an arbitrary caller slice can carry
+                // stale values in masked positions — write the zeros.
+                for (k, v) in values.iter_mut().enumerate().take(64) {
+                    if *mask >> k & 1 == 1 {
+                        *v = 0.0;
+                    }
+                }
+                *mask = 0;
+            }
             FillStrategy::CoreNetwork => {
                 if *mask != 0 {
                     self.fill_row_core(pair, values, mask);
@@ -261,6 +271,27 @@ mod tests {
         assert!((0..fm.len()).all(|r| fm.mask(r) == 0));
         for (r, k) in missing_dims {
             assert_eq!(fm.row(r)[k], 0.0);
+        }
+    }
+
+    #[test]
+    fn zero_fill_row_zeroes_previously_masked_entries() {
+        // Regression: `fill_row` used to clear the mask without writing the
+        // zeros, which is only correct for rows holding the FeatureMatrix
+        // zeros-at-missing invariant. A caller slice with stale sentinels in
+        // the masked dims must come out zeroed.
+        let fx = fixture();
+        let mut filler = fx.filler();
+        let mut values = [7.75f64; FEATURE_DIM];
+        let mut mask: u64 = (1 << 0) | (1 << 5) | (1 << (FEATURE_DIM - 1));
+        filler.fill_row((0, 0), &mut values, &mut mask, FillStrategy::Zero);
+        assert_eq!(mask, 0);
+        for (k, v) in values.iter().enumerate() {
+            if k == 0 || k == 5 || k == FEATURE_DIM - 1 {
+                assert_eq!(*v, 0.0, "masked dim {k} still holds a sentinel");
+            } else {
+                assert_eq!(*v, 7.75, "observed dim {k} must be untouched");
+            }
         }
     }
 

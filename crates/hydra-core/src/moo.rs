@@ -33,7 +33,51 @@ use hydra_linalg::dense::Mat;
 use hydra_linalg::kernels::{kernel_matrix_mat, Kernel};
 use hydra_linalg::qp::{SmoOptions, SmoSolver};
 use hydra_linalg::sparse::CsrMatrix;
-use hydra_linalg::Lu;
+use hydra_linalg::{bicgstab_multi, BiCgStabOptions, Lu};
+
+/// Expansion size at or above which [`MooSolverKind::Auto`] switches from the
+/// dense LU factorization (O(n³) time, two dense n×n temporaries) to the
+/// matrix-free BiCGStab path (O(iters·(nnz(M)+n²)) per labeled column, a
+/// handful of length-n vectors).
+pub const MATRIX_FREE_MIN_ROWS: usize = 512;
+
+/// Relative residual the matrix-free Eq. 15 solves converge to. Tight enough
+/// that decision values agree with the LU reference to ~1e-7 on normalized
+/// pair features; the parity tests pin this.
+const MATRIX_FREE_TOL: f64 = 1e-10;
+
+/// How the Eq. 15 linear systems `A·z = e_t` are solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MooSolverKind {
+    /// Pick per problem: matrix-free at or above [`MATRIX_FREE_MIN_ROWS`]
+    /// expansion rows (falling back to dense LU if the iteration stalls),
+    /// dense LU below.
+    #[default]
+    Auto,
+    /// Always materialize `A = 2γ_L·I + c·(D−M)·K` and factorize (LU with
+    /// partial pivoting). Exact up to factorization round-off; O(n³).
+    DenseLu,
+    /// Never materialize `A`: BiCGStab with `A·x` applied as
+    /// `2γ_L·x + c·L·(K·x)` through the sparse Laplacian and a parallel
+    /// kernel matvec. Errors if the iteration does not converge.
+    MatrixFree,
+}
+
+impl MooSolverKind {
+    /// Collapse `Auto` to a concrete kind for an `n`-row expansion.
+    fn resolve(self, n: usize) -> MooSolverKind {
+        match self {
+            MooSolverKind::Auto => {
+                if n >= MATRIX_FREE_MIN_ROWS {
+                    MooSolverKind::MatrixFree
+                } else {
+                    MooSolverKind::DenseLu
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
 
 /// Learner options.
 #[derive(Debug, Clone, Copy)]
@@ -54,6 +98,8 @@ pub struct MooConfig {
     pub smo_tol: f64,
     /// SMO iteration cap.
     pub smo_max_iter: usize,
+    /// Eq. 15 solve strategy (see [`MooSolverKind`]).
+    pub solver: MooSolverKind,
 }
 
 impl Default for MooConfig {
@@ -66,6 +112,7 @@ impl Default for MooConfig {
             reweight_iters: 2,
             smo_tol: 1e-5,
             smo_max_iter: 50_000,
+            solver: MooSolverKind::Auto,
         }
     }
 }
@@ -106,6 +153,12 @@ pub struct MooSolution {
     pub smo_iterations: usize,
     /// Number of support vectors in the final β.
     pub support_vectors: usize,
+    /// Concrete Eq. 15 solver that produced the final round ([`MooSolverKind::Auto`]
+    /// resolves before solving, so this is never `Auto`).
+    pub solver: MooSolverKind,
+    /// Total BiCGStab iterations across all columns and rounds (0 on the
+    /// dense path).
+    pub iterative_iterations: usize,
 }
 
 impl MooSolution {
@@ -157,6 +210,22 @@ impl From<hydra_linalg::LinalgError> for MooError {
 
 /// Solve the multi-objective problem.
 pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, MooError> {
+    // Contiguous rows + parallel Gram construction (deterministic at any
+    // thread count).
+    let k = kernel_matrix_mat(config.kernel, &problem.features);
+    solve_with_kernel(problem, config, &k)
+}
+
+/// [`solve`] with a caller-supplied Gram matrix over `problem.features`
+/// (`k[(i,j)] = K(x_i, x_j)`, as produced by
+/// [`kernel_matrix_mat`]). Lets sweeps and benchmarks that re-solve the same
+/// expansion under different learner settings skip rebuilding the kernel —
+/// and isolates the Eq. 15 dual solve for measurement.
+pub fn solve_with_kernel(
+    problem: &MooProblem,
+    config: &MooConfig,
+    k: &Mat,
+) -> Result<MooSolution, MooError> {
     let n = problem.features.rows();
     let nl = problem.labels.len();
     if nl == 0 {
@@ -169,15 +238,21 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
     }
     assert!(nl <= n, "labeled prefix longer than feature set");
     assert_eq!(problem.m.rows(), n, "structure matrix must cover all pairs");
+    assert_eq!(
+        (k.rows(), k.cols()),
+        (n, n),
+        "Gram matrix must cover the expansion"
+    );
 
-    // Contiguous rows + parallel Gram construction (deterministic at any
-    // thread count).
-    let k = kernel_matrix_mat(config.kernel, &problem.features);
-
+    let mut solver = config.solver.resolve(n);
     let mut gamma_m_eff = config.gamma_m;
     let mut warm_beta: Option<Vec<f64>> = None;
-    let mut best: Option<MooSolution> = None;
+    let mut prev_z: Option<Mat> = None;
+    // Last round's fit, promoted to a full `MooSolution` (with its single
+    // expansion clone) only after the loop.
+    let mut last: Option<RoundFit> = None;
     let mut total_smo_iters = 0usize;
+    let mut total_iterative_iters = 0usize;
 
     let rounds = if config.p > 1.0 {
         config.reweight_iters.max(2)
@@ -194,24 +269,49 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
         };
         // ---- Eq. 15 operator: A = 2γ_L I + 2(γ_M/|P|²)(D−M)K -------------
         // `gamma_m` is already the normalized ratio (Figure 8's axis).
+        // Z = A⁻¹ Jᵀ — only the Nl labeled unit columns are ever needed
+        // (Eq. 17 reads rows 0..Nl of K·Z and Eq. 15 combines Z's columns).
         let scale = 2.0 * gamma_round;
-        let mut a = laplacian_times(&problem.m, &problem.degrees, &k);
-        a.scale(scale);
-        a.shift_diag(2.0 * config.gamma_l);
-
-        let lu = Lu::factor(&a)?;
-        // Z = A⁻¹ Jᵀ : solve for the Nl unit columns.
-        let mut jt = Mat::zeros(n, nl);
-        for t in 0..nl {
-            jt[(t, t)] = 1.0;
+        let z = match solver {
+            MooSolverKind::MatrixFree => {
+                match solve_z_matrix_free(problem, k, config.gamma_l, scale, nl, prev_z.as_ref()) {
+                    Ok((z, iters)) => {
+                        total_iterative_iters += iters;
+                        z
+                    }
+                    Err(hydra_linalg::LinalgError::DidNotConverge { .. })
+                        if config.solver == MooSolverKind::Auto =>
+                    {
+                        // Auto promised a result: fall back to the exact
+                        // factorization for this and later rounds.
+                        solver = MooSolverKind::DenseLu;
+                        solve_z_dense(problem, k, config.gamma_l, scale, nl)?
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            _ => solve_z_dense(problem, k, config.gamma_l, scale, nl)?,
+        };
+        // Warm-start the next reweighting round's iterative solves: the
+        // operator only shifts by a small γ_M change between rounds.
+        if rounds > 1 && solver == MooSolverKind::MatrixFree {
+            prev_z = Some(z.clone());
         }
-        let z = lu.solve_mat(&jt)?;
-        // Q = Y · (K Z)[0..Nl, :] · Y  (Eq. 17).
-        let kz = k.matmul(&z)?;
+        // Q = Y · (K Z)[0..Nl, :] · Y (Eq. 17) — only the labeled rows of
+        // K·Z exist anywhere: kz_top[s,:] = Σ_i K[s,i]·Z[i,:].
+        let mut kz_top = Mat::zeros(nl, nl);
+        for s in 0..nl {
+            let krow = k.row(s);
+            for (i, &kv) in krow.iter().enumerate() {
+                if kv != 0.0 {
+                    hydra_linalg::vec_ops::axpy(kv, z.row(i), kz_top.row_mut(s));
+                }
+            }
+        }
         let mut q = Mat::zeros(nl, nl);
         for s in 0..nl {
             for t in 0..nl {
-                q[(s, t)] = problem.labels[s] * kz[(s, t)] * problem.labels[t];
+                q[(s, t)] = problem.labels[s] * kz_top[(s, t)] * problem.labels[t];
             }
         }
         q.symmetrize(); // guard tiny asymmetries from the solve
@@ -241,7 +341,7 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
         let alpha = z.matvec(&yb)?;
 
         // Bias from free support vectors: y_t(f(x_t)) = 1.
-        let f_no_bias = k.matvec(&alpha)?;
+        let f_no_bias = k.matvec_par(&alpha)?;
         let mut bias_sum = 0.0;
         let mut bias_cnt = 0usize;
         let c_box = 1.0 / nl as f64;
@@ -290,14 +390,11 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
             .sum::<f64>()
             / (n as f64 * n as f64);
 
-        best = Some(MooSolution {
+        last = Some(RoundFit {
             alpha,
             bias,
-            kernel: config.kernel,
-            expansion: problem.features.clone(),
             objective_d,
             objective_s,
-            smo_iterations: total_smo_iters,
             support_vectors: result.support_vectors,
         });
 
@@ -315,32 +412,269 @@ pub fn solve(problem: &MooProblem, config: &MooConfig) -> Result<MooSolution, Mo
         }
     }
 
-    Ok(best.expect("at least one round ran"))
+    let fit = last.expect("at least one round ran");
+    Ok(MooSolution {
+        alpha: fit.alpha,
+        bias: fit.bias,
+        kernel: config.kernel,
+        // One clone for the whole solve — reweighting rounds used to pay an
+        // extra n×FEATURE_DIM copy each.
+        expansion: problem.features.clone(),
+        objective_d: fit.objective_d,
+        objective_s: fit.objective_s,
+        smo_iterations: total_smo_iters,
+        support_vectors: fit.support_vectors,
+        solver,
+        iterative_iterations: total_iterative_iters,
+    })
 }
 
-/// Dense `(D − M)·K` without materializing `D − M`:
-/// `row_a = d_a·K[a,:] − Σ_b M(a,b)·K[b,:]`.
-fn laplacian_times(m: &CsrMatrix, degrees: &[f64], k: &Mat) -> Mat {
+/// Per-round learner output; promoted to a [`MooSolution`] after the
+/// reweighting loop so the expansion matrix is cloned exactly once.
+struct RoundFit {
+    alpha: Vec<f64>,
+    bias: f64,
+    objective_d: f64,
+    objective_s: f64,
+    support_vectors: usize,
+}
+
+/// Dense path: materialize `A = 2γ_L·I + scale·(D−M)·K`, factorize, and
+/// solve the `nl` labeled unit columns in one blocked multi-RHS pass.
+fn solve_z_dense(
+    problem: &MooProblem,
+    k: &Mat,
+    gamma_l: f64,
+    scale: f64,
+    nl: usize,
+) -> Result<Mat, MooError> {
     let n = k.rows();
-    let mut out = Mat::zeros(n, n);
-    for a in 0..n {
-        let da = degrees[a];
-        {
-            let krow = k.row(a).to_vec();
-            let orow = out.row_mut(a);
-            for (o, kv) in orow.iter_mut().zip(krow.iter()) {
-                *o = da * kv;
-            }
-        }
-        for (b, w) in m.row_iter(a) {
-            let krow = k.row(b).to_vec();
-            let orow = out.row_mut(a);
-            for (o, kv) in orow.iter_mut().zip(krow.iter()) {
-                *o -= w * kv;
+    let mut a = problem.m.laplacian_matmul(&problem.degrees, k)?;
+    a.scale(scale);
+    a.shift_diag(2.0 * gamma_l);
+    let lu = Lu::factor(&a)?;
+    let mut jt = Mat::zeros(n, nl);
+    for t in 0..nl {
+        jt[(t, t)] = 1.0;
+    }
+    Ok(lu.solve_mat(&jt)?)
+}
+
+/// Deflation rank of the matrix-free preconditioner: how many dominant
+/// kernel modes are projected out. HYDRA's 40-dim pair-similarity vectors
+/// are highly redundant, so the Gram matrix is numerically low-rank and a
+/// small `r` removes most of `c·L·K`'s spectrum.
+const DEFLATION_RANK: usize = 24;
+
+/// Block power-iteration passes when estimating the dominant kernel modes.
+const DEFLATION_POWER_PASSES: usize = 2;
+
+/// Right preconditioner for the matrix-free Eq. 15 solve.
+///
+/// `A = s·I + E` with `E = c·L·K` is ill-conditioned exactly when
+/// `‖E‖ ≫ s`, which happens because HYDRA's Gram matrix has a handful of
+/// huge eigenvalues (near-duplicate pair-feature rows) that the Laplacian
+/// amplifies unevenly. We deflate `E`'s dominant modes: with `U` (n×r,
+/// orthonormal) spanning the top *right-singular* subspace of `E`
+/// (estimated by block power iteration on `EᵀE = c²·K·L·L·K`, which is
+/// symmetric), the rank-r surrogate `M = s·I + (E·U)·Uᵀ` admits a Woodbury
+/// inverse `M⁻¹ = s⁻¹·I − s⁻²·W·G⁻¹·Uᵀ` with `W = E·U` (n×r) and
+/// `G = I_r + s⁻¹·Uᵀ·W` (r×r, factorized once), so each application costs
+/// O(n·r·cols). Solving `A·M⁻¹·y = b`, `z = M⁻¹·y` leaves the solution and
+/// the true-residual stopping test exactly as in the unpreconditioned solve
+/// — only the iteration count changes. Everything here is deterministic
+/// (seeded start block, thread-invariant matmuls).
+struct DeflationPrecond {
+    u: Mat,
+    w: Mat,
+    g: Lu,
+    inv_s: f64,
+}
+
+/// `aᵀ·b` for tall blocks `a` (n×r) and `b` (n×m): the small r×m product,
+/// accumulated row-by-row so the result is thread-invariant.
+fn mat_t_mul(a: &Mat, b: &Mat) -> Mat {
+    let (r, m) = (a.cols(), b.cols());
+    let mut out = Mat::zeros(r, m);
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (j, &av) in arow.iter().enumerate() {
+            if av != 0.0 {
+                hydra_linalg::vec_ops::axpy(av, brow, out.row_mut(j));
             }
         }
     }
     out
+}
+
+/// Modified Gram-Schmidt over the columns of `u` in place. Returns `false`
+/// if the block degenerates (a column with no mass left).
+fn orthonormalize_columns(u: &mut Mat) -> bool {
+    let (n, r) = (u.rows(), u.cols());
+    for j in 0..r {
+        for prev in 0..j {
+            let mut proj = 0.0;
+            for i in 0..n {
+                proj += u[(i, prev)] * u[(i, j)];
+            }
+            for i in 0..n {
+                let upd = proj * u[(i, prev)];
+                u[(i, j)] -= upd;
+            }
+        }
+        let mut norm_sq = 0.0;
+        for i in 0..n {
+            norm_sq += u[(i, j)] * u[(i, j)];
+        }
+        let norm = norm_sq.sqrt();
+        if norm <= 1e-12 || !norm.is_finite() {
+            return false;
+        }
+        for i in 0..n {
+            u[(i, j)] /= norm;
+        }
+    }
+    true
+}
+
+impl DeflationPrecond {
+    /// Estimate K's top modes by block power iteration and assemble the
+    /// Woodbury pieces. Returns `None` (solve proceeds unpreconditioned)
+    /// when the problem is too small, the structure term is off, or the
+    /// deflation block degenerates.
+    fn build(problem: &MooProblem, k: &Mat, shift: f64, scale: f64) -> Option<DeflationPrecond> {
+        let n = k.rows();
+        let r = DEFLATION_RANK.min(n / 8);
+        if r == 0 || scale == 0.0 {
+            return None;
+        }
+        // Deterministic pseudo-random start block (splitmix64 stream).
+        let mut u = Mat::zeros(n, r);
+        let mut state = 0x9E37_79B9_7F4A_7C15u64 ^ (n as u64);
+        for v in u.as_mut_slice() {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            *v = (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        }
+        if !orthonormalize_columns(&mut u) {
+            return None;
+        }
+        // Block power iteration on EᵀE = (L·K)ᵀ(L·K): E·x = L·(K·x) and
+        // Eᵀ·x = K·(L·x) since both L and K are symmetric. The `c` scaling
+        // is irrelevant to the subspace.
+        for _ in 0..DEFLATION_POWER_PASSES {
+            let eu = problem
+                .m
+                .laplacian_matmul(&problem.degrees, &k.matmul_par(&u).ok()?)
+                .ok()?;
+            u = k
+                .matmul_par(&problem.m.laplacian_matmul(&problem.degrees, &eu).ok()?)
+                .ok()?;
+            if !orthonormalize_columns(&mut u) {
+                return None;
+            }
+        }
+        // W = E·U = scale·L·(K·U).
+        let mut w = problem
+            .m
+            .laplacian_matmul(&problem.degrees, &k.matmul_par(&u).ok()?)
+            .ok()?;
+        w.scale(scale);
+        let mut g = mat_t_mul(&u, &w);
+        g.scale(1.0 / shift);
+        g.shift_diag(1.0);
+        let g = Lu::factor(&g).ok()?;
+        Some(DeflationPrecond {
+            u,
+            w,
+            g,
+            inv_s: 1.0 / shift,
+        })
+    }
+
+    /// `M⁻¹·X`.
+    fn apply_inv(&self, x: &Mat) -> Mat {
+        let p = mat_t_mul(&self.u, x);
+        let c = self.g.solve_mat(&p).expect("G factorized nonsingular");
+        let mut out = self.w.matmul(&c).expect("deflation dims");
+        out.scale(-self.inv_s * self.inv_s);
+        for (o, xv) in out.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
+            *o += self.inv_s * xv;
+        }
+        out
+    }
+
+    /// `M·X` (maps a warm-start guess `z₀` into the preconditioned variable
+    /// `y₀ = M·z₀`).
+    fn apply_fwd(&self, x: &Mat) -> Mat {
+        let p = mat_t_mul(&self.u, x);
+        let mut out = self.w.matmul(&p).expect("deflation dims");
+        let s = 1.0 / self.inv_s;
+        for (o, xv) in out.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
+            *o += s * xv;
+        }
+        out
+    }
+}
+
+/// Matrix-free path: solve `A·Z = Jᵀ` for all `nl` labeled unit columns by
+/// lockstep block BiCGStab ([`bicgstab_multi`]), applying
+/// `A·X = 2γ_L·X + scale·L·(K·X)` through the sparse block Laplacian and the
+/// [`Mat::matmul_par`] parallel batched kernel matvec — neither `A` nor
+/// `(D−M)·K` is ever materialized, and the dense Gram matrix streams through
+/// memory once per block iteration instead of once per column. The iteration
+/// is right-preconditioned by [`DeflationPrecond`] when the structure term is
+/// active; `warm` (the previous reweighting round's `Z`) seeds the iteration.
+///
+/// Returns the solved columns and the total BiCGStab iterations (summed over
+/// columns).
+fn solve_z_matrix_free(
+    problem: &MooProblem,
+    k: &Mat,
+    gamma_l: f64,
+    scale: f64,
+    nl: usize,
+    warm: Option<&Mat>,
+) -> hydra_linalg::Result<(Mat, usize)> {
+    let n = k.rows();
+    let shift = 2.0 * gamma_l;
+    let apply_a = |x: &Mat| -> Mat {
+        let kx = k.matmul_par(x).expect("expansion dims validated");
+        let mut out = problem
+            .m
+            .laplacian_matmul(&problem.degrees, &kx)
+            .expect("structure dims validated");
+        for (o, xi) in out.as_mut_slice().iter_mut().zip(x.as_slice().iter()) {
+            *o = shift * xi + scale * *o;
+        }
+        out
+    };
+    let mut jt = Mat::zeros(n, nl);
+    for t in 0..nl {
+        jt[(t, t)] = 1.0;
+    }
+    let opts = BiCgStabOptions {
+        max_iter: 0, // auto budget
+        tol: MATRIX_FREE_TOL,
+    };
+    match DeflationPrecond::build(problem, k, shift, scale) {
+        Some(pre) => {
+            // Right-preconditioned: A·M⁻¹·y = b, z = M⁻¹·y. The recurrence
+            // residual is the *true* residual of A·z = b, so the stopping
+            // criterion (and the solution quality) is unchanged.
+            let y0 = warm.map(|z0| pre.apply_fwd(z0));
+            let sol = bicgstab_multi(|x| apply_a(&pre.apply_inv(x)), &jt, y0.as_ref(), opts)?;
+            Ok((pre.apply_inv(&sol.x), sol.iterations))
+        }
+        None => {
+            let sol = bicgstab_multi(apply_a, &jt, warm, opts)?;
+            Ok((sol.x, sol.iterations))
+        }
+    }
 }
 
 #[cfg(test)]
@@ -454,6 +788,7 @@ mod tests {
         let cfg = MooConfig {
             p: 3.0,
             reweight_iters: 3,
+            smo_tol: 1e-8,
             ..Default::default()
         };
         let sol = solve(&p, &cfg).unwrap();
@@ -494,7 +829,105 @@ mod tests {
     }
 
     #[test]
-    fn laplacian_times_matches_dense() {
+    fn matrix_free_matches_dense_lu_on_toy_problem() {
+        let p = toy_problem(true);
+        // Tight SMO tolerance: with the default 1e-5 the QP itself is only
+        // solved to ~1e-5, which would mask the solver-path comparison.
+        let base = MooConfig {
+            smo_tol: 1e-8,
+            ..Default::default()
+        };
+        let dense = solve(
+            &p,
+            &MooConfig {
+                solver: MooSolverKind::DenseLu,
+                ..base
+            },
+        )
+        .unwrap();
+        let free = solve(
+            &p,
+            &MooConfig {
+                solver: MooSolverKind::MatrixFree,
+                ..base
+            },
+        )
+        .unwrap();
+        assert_eq!(dense.solver, MooSolverKind::DenseLu);
+        assert_eq!(dense.iterative_iterations, 0);
+        assert_eq!(free.solver, MooSolverKind::MatrixFree);
+        assert!(free.iterative_iterations > 0);
+        for t in 0..p.features.rows() {
+            let x = p.features.row(t);
+            let (fd, ff) = (dense.decision(x), free.decision(x));
+            assert!(
+                (fd - ff).abs() < 1e-7,
+                "solver kinds disagree at row {t}: {fd} vs {ff}"
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_free_matches_dense_lu_with_reweighting() {
+        let p = toy_problem(true);
+        let cfg = MooConfig {
+            p: 3.0,
+            reweight_iters: 3,
+            smo_tol: 1e-8,
+            ..Default::default()
+        };
+        let dense = solve(
+            &p,
+            &MooConfig {
+                solver: MooSolverKind::DenseLu,
+                ..cfg
+            },
+        )
+        .unwrap();
+        let free = solve(
+            &p,
+            &MooConfig {
+                solver: MooSolverKind::MatrixFree,
+                ..cfg
+            },
+        )
+        .unwrap();
+        for t in 0..p.features.rows() {
+            let x = p.features.row(t);
+            assert!(
+                (dense.decision(x) - free.decision(x)).abs() < 1e-6,
+                "p>1 warm-started parity broken at row {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_resolves_by_expansion_size() {
+        assert_eq!(
+            MooSolverKind::Auto.resolve(MATRIX_FREE_MIN_ROWS - 1),
+            MooSolverKind::DenseLu
+        );
+        assert_eq!(
+            MooSolverKind::Auto.resolve(MATRIX_FREE_MIN_ROWS),
+            MooSolverKind::MatrixFree
+        );
+        assert_eq!(
+            MooSolverKind::DenseLu.resolve(10_000),
+            MooSolverKind::DenseLu
+        );
+        assert_eq!(
+            MooSolverKind::MatrixFree.resolve(8),
+            MooSolverKind::MatrixFree
+        );
+        // The toy problem is far below the threshold: Auto must report the
+        // dense path it actually took.
+        let p = toy_problem(true);
+        let sol = solve(&p, &MooConfig::default()).unwrap();
+        assert_eq!(sol.solver, MooSolverKind::DenseLu);
+    }
+
+    #[test]
+    fn laplacian_matmul_matches_dense_reference() {
         let mut b = CsrBuilder::new(3, 3);
         b.push(0, 1, 2.0);
         b.push(1, 0, 2.0);
@@ -507,7 +940,7 @@ mod tests {
             vec![0.2, 1.0, 0.3],
             vec![0.1, 0.3, 1.0],
         ]);
-        let fast = laplacian_times(&m, &d, &k);
+        let fast = m.laplacian_matmul(&d, &k).unwrap();
         // Dense reference: (D − M) K.
         let mut dm = Mat::zeros(3, 3);
         for i in 0..3 {

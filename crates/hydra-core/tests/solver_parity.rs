@@ -1,0 +1,182 @@
+//! Parity tests for the Eq. 15 solver kinds: the matrix-free BiCGStab path
+//! must reproduce the dense LU reference (decision values within tolerance)
+//! on a realistic `hydra-datagen` expansion, at any worker count — and each
+//! kind must itself be byte-identical across thread counts.
+
+use hydra_core::model::{Hydra, HydraConfig, PairTask};
+use hydra_core::moo::{self, MooConfig, MooProblem, MooSolverKind};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::structure::{build_structure_matrix, StructureConfig};
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_linalg::dense::Mat;
+
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// A MooProblem assembled exactly the way `Hydra::fit` does it, from a
+/// generated dataset: candidate pairs, filled features, block structure
+/// matrix — scaled to a few hundred expansion rows.
+fn datagen_problem(persons: usize, labeled: usize, seed: u64) -> MooProblem {
+    use hydra_core::candidates::{generate_candidates, CandidateConfig};
+    use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor, FEATURE_DIM};
+    use hydra_core::missing::{FillStrategy, MissingFiller};
+
+    let dataset = Dataset::generate(DatasetConfig::english(persons, seed));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    let left = &signals.per_platform[0];
+    let right = &signals.per_platform[1];
+    let extractor = FeatureExtractor::new(
+        FeatureConfig::default(),
+        AttributeImportance::default(),
+        dataset.config.window_days,
+    );
+    let cands = generate_candidates(left, right, &CandidateConfig::default());
+
+    // Labeled prefix: alternating true pairs (positive) and offset pairs
+    // (negative), then the unlabeled tail from the candidate pool.
+    let np = persons as u32;
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    let mut labels: Vec<f64> = Vec::new();
+    for i in 0..(labeled as u32 / 2) {
+        pairs.push((i, i));
+        labels.push(1.0);
+        pairs.push((i, (i + np / 2) % np));
+        labels.push(-1.0);
+    }
+    for c in &cands {
+        if pairs.len() >= labeled + 260 {
+            break;
+        }
+        if !pairs.contains(&(c.left, c.right)) {
+            pairs.push((c.left, c.right));
+        }
+    }
+
+    let mut features = extractor.features_for_pairs(&pairs, left, right, None);
+    let mut filler = MissingFiller::new(
+        &extractor,
+        left,
+        right,
+        &dataset.platforms[0].graph,
+        &dataset.platforms[1].graph,
+    );
+    filler.fill_matrix(&pairs, &mut features, FillStrategy::CoreNetwork);
+
+    let sm = build_structure_matrix(
+        &pairs,
+        left,
+        right,
+        &dataset.platforms[0].graph,
+        &dataset.platforms[1].graph,
+        &StructureConfig::default(),
+    );
+    let mut mat = Mat::zeros(features.len(), FEATURE_DIM);
+    for r in 0..features.len() {
+        mat.row_mut(r).copy_from_slice(features.row(r));
+    }
+    MooProblem {
+        features: mat,
+        labels,
+        m: sm.m,
+        degrees: sm.degrees,
+    }
+}
+
+#[test]
+fn solver_kinds_agree_on_datagen_expansion_at_any_thread_count() {
+    let problem = datagen_problem(60, 24, 2027);
+    assert!(problem.features.rows() > 200, "fixture too small to matter");
+    let base = MooConfig {
+        smo_tol: 1e-8,
+        ..Default::default()
+    };
+
+    let mut reference: Option<Vec<f64>> = None;
+    for kind in [MooSolverKind::DenseLu, MooSolverKind::MatrixFree] {
+        let mut per_thread: Vec<Vec<f64>> = Vec::new();
+        for threads in THREAD_COUNTS {
+            hydra_par::set_thread_override(Some(threads));
+            let sol = moo::solve(
+                &problem,
+                &MooConfig {
+                    solver: kind,
+                    ..base
+                },
+            )
+            .expect("solve");
+            hydra_par::set_thread_override(None);
+            assert_eq!(sol.solver, kind);
+            let decisions: Vec<f64> = (0..problem.features.rows())
+                .map(|r| sol.decision(problem.features.row(r)))
+                .collect();
+            per_thread.push(decisions);
+        }
+        // Byte-identical across worker counts for the same kind.
+        assert_eq!(
+            per_thread[0], per_thread[1],
+            "{kind:?} is not thread-count invariant"
+        );
+        // Within tolerance across kinds.
+        match &reference {
+            None => reference = Some(per_thread.remove(0)),
+            Some(lu) => {
+                for (r, (a, b)) in lu.iter().zip(per_thread[0].iter()).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "LU vs matrix-free decision drift at row {r}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_kind_is_consistent_through_full_fit() {
+    // End-to-end: a full fit under Auto must report the concrete solver it
+    // used and classify identically to an explicitly-pinned fit.
+    let dataset = Dataset::generate(DatasetConfig::english(40, 99));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    let mut labels = Vec::new();
+    for i in 0..10u32 {
+        labels.push((i, i, true));
+        labels.push((i, (i + 13) % 40, false));
+    }
+    let fit_with = |kind: MooSolverKind| {
+        let mut cfg = HydraConfig::default();
+        cfg.moo.solver = kind;
+        Hydra::new(cfg)
+            .fit(
+                &dataset,
+                &signals,
+                vec![PairTask {
+                    left_platform: 0,
+                    right_platform: 1,
+                    labels: labels.clone(),
+                    unlabeled_whitelist: None,
+                }],
+            )
+            .expect("fit")
+    };
+    let auto = fit_with(MooSolverKind::Auto);
+    assert_ne!(auto.solution.solver, MooSolverKind::Auto);
+    let pinned = fit_with(auto.solution.solver);
+    let (pa, pb) = (auto.predict(0), pinned.predict(0));
+    assert_eq!(pa.len(), pb.len());
+    for (a, b) in pa.iter().zip(pb.iter()) {
+        assert_eq!(a.score, b.score, "Auto must equal its resolved kind");
+    }
+}

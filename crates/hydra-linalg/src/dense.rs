@@ -135,6 +135,38 @@ impl Mat {
         Ok(out)
     }
 
+    /// Matrix-vector product `A·x`, parallel over output rows.
+    ///
+    /// Each output entry is one sequential row·x dot product evaluated by
+    /// exactly one worker, so the result is byte-identical to [`Mat::matvec`]
+    /// at any thread count. This is the kernel matvec of the matrix-free
+    /// Eq. 15 apply — the dominant per-iteration cost of the iterative dual
+    /// solve.
+    pub fn matvec_par(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matvec_par",
+                got: (x.len(), 1),
+                expected: (self.cols, 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        if self.rows == 0 {
+            return Ok(out);
+        }
+        // One chunk = a run of output rows; rows per chunk keeps spawn
+        // overhead amortized on multi-core hosts and degrades to the
+        // sequential loop at one thread.
+        let chunk = self.rows.div_ceil(4 * hydra_par::num_threads()).max(16);
+        hydra_par::par_chunks_mut(&mut out, chunk, |c, slots| {
+            let base = c * chunk;
+            for (k, o) in slots.iter_mut().enumerate() {
+                *o = vec_ops::dot(self.row(base + k), x);
+            }
+        });
+        Ok(out)
+    }
+
     /// Transposed matrix-vector product `Aᵀ·x`.
     pub fn matvec_t(&self, x: &[f64]) -> Result<Vec<f64>> {
         if x.len() != self.rows {
@@ -172,6 +204,43 @@ impl Mat {
                 vec_ops::axpy(aik, brow, orow);
             }
         }
+        Ok(out)
+    }
+
+    /// Matrix product `A·B`, parallel over output rows.
+    ///
+    /// Row `i` of the result depends only on row `i` of `A` (and all of `B`),
+    /// so rows partition cleanly across workers; per-row accumulation order
+    /// matches [`Mat::matmul`], making the result byte-identical to the
+    /// sequential product at any thread count. This is the batched kernel
+    /// matvec of the block matrix-free Eq. 15 solve: `K·X` for a block of
+    /// iterate columns streams `K` through memory once per application
+    /// instead of once per column.
+    pub fn matmul_par(&self, other: &Mat) -> Result<Mat> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul_par",
+                got: (other.rows, other.cols),
+                expected: (self.cols, other.cols),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, other.cols);
+        if self.rows == 0 || other.cols == 0 {
+            return Ok(out);
+        }
+        let width = other.cols;
+        let rows_per_chunk = self.rows.div_ceil(4 * hydra_par::num_threads()).max(8);
+        hydra_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * width, |c, chunk| {
+            let base = c * rows_per_chunk;
+            for (local, orow) in chunk.chunks_mut(width).enumerate() {
+                let i = base + local;
+                for (k, &aik) in self.row(i).iter().enumerate() {
+                    if aik != 0.0 {
+                        vec_ops::axpy(aik, other.row(k), orow);
+                    }
+                }
+            }
+        });
         Ok(out)
     }
 
@@ -301,11 +370,56 @@ mod tests {
     }
 
     #[test]
+    fn matvec_par_is_byte_identical_to_matvec() {
+        let n = 137;
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = ((i * 31 + j * 17) % 97) as f64 / 97.0 - 0.3;
+            }
+        }
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.11).sin()).collect();
+        let seq = m.matvec(&x).unwrap();
+        for threads in [1, 3, 8] {
+            hydra_par::set_thread_override(Some(threads));
+            let par = m.matvec_par(&x).unwrap();
+            assert_eq!(seq, par, "matvec_par differs at {threads} threads");
+        }
+        hydra_par::set_thread_override(None);
+    }
+
+    #[test]
     fn matmul_known_product() {
         let a = Mat::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
         let b = Mat::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
         let c = a.matmul(&b).unwrap();
         assert_eq!(c, Mat::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+    }
+
+    #[test]
+    fn matmul_par_is_byte_identical_to_matmul() {
+        let (n, m) = (61, 23);
+        let mut a = Mat::zeros(n, n);
+        let mut b = Mat::zeros(n, m);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 7 + j * 13) % 31) as f64 / 31.0 - 0.4;
+            }
+            for j in 0..m {
+                b[(i, j)] = ((i * 11 + j * 3) % 29) as f64 / 29.0;
+            }
+        }
+        let seq = a.matmul(&b).unwrap();
+        for threads in [1, 2, 6] {
+            hydra_par::set_thread_override(Some(threads));
+            let par = a.matmul_par(&b).unwrap();
+            assert_eq!(
+                seq.as_slice(),
+                par.as_slice(),
+                "matmul_par differs at {threads} threads"
+            );
+        }
+        hydra_par::set_thread_override(None);
     }
 
     #[test]

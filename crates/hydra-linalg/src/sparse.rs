@@ -211,6 +211,59 @@ impl CsrMatrix {
         Ok(mx)
     }
 
+    /// `Y = (D − M)·X` for a dense block of column vectors — the multi-RHS
+    /// analog of [`CsrMatrix::laplacian_matvec`], applied without
+    /// materializing `D − M`:
+    /// `Y[a,:] = d_a·X[a,:] − Σ_b M(a,b)·X[b,:]`.
+    ///
+    /// Parallel over output rows (`hydra-par`); each row's accumulation is
+    /// sequential and touches only `M`'s row `a` plus rows of `X`, so the
+    /// result is byte-identical at any worker count. This one kernel serves
+    /// both the dense Eq. 15 assembly (`X = K`) and the matrix-free block
+    /// apply (`X` = a block of BiCGStab iterates).
+    pub fn laplacian_matmul(
+        &self,
+        degrees: &[f64],
+        x: &crate::dense::Mat,
+    ) -> Result<crate::dense::Mat> {
+        if degrees.len() != self.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "laplacian_matmul(degrees)",
+                got: (degrees.len(), 1),
+                expected: (self.rows, 1),
+            });
+        }
+        if x.rows() != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "laplacian_matmul",
+                got: (x.rows(), x.cols()),
+                expected: (self.cols, x.cols()),
+            });
+        }
+        let width = x.cols();
+        let mut out = crate::dense::Mat::zeros(self.rows, width);
+        if self.rows == 0 || width == 0 {
+            return Ok(out);
+        }
+        let rows_per_chunk = self.rows.div_ceil(4 * hydra_par::num_threads()).max(8);
+        hydra_par::par_chunks_mut(out.as_mut_slice(), rows_per_chunk * width, |c, chunk| {
+            let base = c * rows_per_chunk;
+            for (local, orow) in chunk.chunks_mut(width).enumerate() {
+                let a = base + local;
+                let da = degrees[a];
+                for (o, xv) in orow.iter_mut().zip(x.row(a).iter()) {
+                    *o = da * xv;
+                }
+                for (b, w) in self.row_iter(a) {
+                    for (o, xv) in orow.iter_mut().zip(x.row(b).iter()) {
+                        *o -= w * xv;
+                    }
+                }
+            }
+        });
+        Ok(out)
+    }
+
     /// Convert to a dense matrix (tests and small problems only).
     pub fn to_dense(&self) -> crate::dense::Mat {
         let mut m = crate::dense::Mat::zeros(self.rows, self.cols);
@@ -297,6 +350,34 @@ mod tests {
         // (D - M)·1 = 0 row-wise by construction.
         let y = m.laplacian_matvec(&d, &[1.0, 1.0, 1.0]).unwrap();
         assert!(y.iter().all(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn laplacian_matmul_matches_column_matvecs() {
+        let m = sample();
+        let d = m.row_sums();
+        let x = crate::dense::Mat::from_rows(&[vec![1.0, -2.0], vec![0.5, 3.0], vec![-1.5, 0.25]]);
+        let block = m.laplacian_matmul(&d, &x).unwrap();
+        for c in 0..2 {
+            let col: Vec<f64> = (0..3).map(|i| x[(i, c)]).collect();
+            let y = m.laplacian_matvec(&d, &col).unwrap();
+            for i in 0..3 {
+                assert!(
+                    (block[(i, c)] - y[i]).abs() < 1e-12,
+                    "block/column mismatch at ({i},{c})"
+                );
+            }
+        }
+        for threads in [2, 5] {
+            hydra_par::set_thread_override(Some(threads));
+            let par = m.laplacian_matmul(&d, &x).unwrap();
+            hydra_par::set_thread_override(None);
+            assert_eq!(par, block, "laplacian_matmul differs at {threads} threads");
+        }
+        assert!(m.laplacian_matmul(&d[..2], &x).is_err());
+        assert!(m
+            .laplacian_matmul(&d, &crate::dense::Mat::zeros(2, 2))
+            .is_err());
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Property-based tests for the numeric substrate.
 
 use hydra_linalg::dense::Mat;
-use hydra_linalg::kernels::Kernel;
+use hydra_linalg::kernels::{kernel_matrix, Kernel};
 use hydra_linalg::sparse::CsrBuilder;
 use hydra_linalg::stats::{lq_pooling, max_pooling, sigmoid};
 use hydra_linalg::vec_ops;
-use hydra_linalg::{Lu, SmoOptions, SmoSolver};
+use hydra_linalg::{bicgstab, BiCgStabOptions, Lu, SmoOptions, SmoSolver};
 use proptest::prelude::*;
 
 /// Bounded finite floats that keep the numerics honest without overflow.
@@ -107,6 +107,98 @@ proptest! {
         let r = a.matvec(&x).unwrap();
         for (u, v) in r.iter().zip(b.iter()) {
             prop_assert!((u - v).abs() < 1e-7, "residual {} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn bicgstab_matches_lu_on_diagonally_dominant_systems(
+        diag in proptest::collection::vec(1.0..10.0f64, 3..24),
+        off in proptest::collection::vec(-1.0..1.0f64, 96),
+        b_seed in proptest::collection::vec(small_f64(), 8),
+        dominance in 1.5..20.0f64,
+    ) {
+        // Non-symmetric, diagonally dominant ⇒ nonsingular; `dominance`
+        // sweeps the conditioning from comfortable to tight.
+        let n = diag.len();
+        let mut a = Mat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    a[(i, j)] = diag[i] + dominance * n as f64;
+                } else {
+                    a[(i, j)] = off[(i * 13 + j * 7) % off.len()];
+                }
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let x_lu = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let sol = bicgstab(
+            |v| a.matvec(v).unwrap(),
+            &b,
+            None,
+            BiCgStabOptions { max_iter: 0, tol: 1e-12 },
+        )
+        .unwrap();
+        let scale = 1.0 + vec_ops::norm2(&x_lu);
+        for (u, v) in sol.x.iter().zip(x_lu.iter()) {
+            prop_assert!((u - v).abs() / scale < 1e-7, "bicgstab/lu mismatch: {} vs {}", u, v);
+        }
+    }
+
+    #[test]
+    fn bicgstab_matches_lu_on_laplacian_times_kernel_systems(
+        rows in proptest::collection::vec(proptest::collection::vec(0.0..1.0f64, 4), 4..32),
+        edges in proptest::collection::vec((0usize..32, 0usize..32, 0.05..1.0f64), 1..40),
+        rbf_gamma in 0.1..2.0f64,
+        gamma_l in 0.005..0.1f64,
+        gamma_m in 1e-6..1e-3f64,
+        b_seed in proptest::collection::vec(small_f64(), 6),
+    ) {
+        // The exact operator shape of Eq. 15: A = 2γ_L·I + 2γ_M·(D−M)·K with
+        // a symmetric sparse affinity matrix M and an RBF Gram matrix K.
+        // γ_L/γ_M sweep the conditioning regime the MOO solver sees.
+        let n = rows.len();
+        let mut builder = CsrBuilder::new(n, n);
+        for &(r, c, w) in &edges {
+            let (r, c) = (r % n, c % n);
+            if r != c {
+                builder.push(r, c, w);
+                builder.push(c, r, w);
+            }
+        }
+        let m = builder.build();
+        let degrees = m.row_sums();
+        let k = kernel_matrix(Kernel::Rbf { gamma: rbf_gamma }, &rows);
+        let scale = 2.0 * gamma_m;
+
+        // Dense reference: materialize A and factorize.
+        let mut a = m.to_dense();
+        a.scale(-1.0);
+        for i in 0..n {
+            a[(i, i)] += degrees[i];
+        }
+        let mut a = a.matmul(&k).unwrap();
+        a.scale(scale);
+        a.shift_diag(2.0 * gamma_l);
+        let b: Vec<f64> = (0..n).map(|i| b_seed[i % b_seed.len()]).collect();
+        let x_lu = Lu::factor(&a).unwrap().solve(&b).unwrap();
+
+        // Matrix-free: A·x = 2γ_L·x + scale·L·(K·x), never materialized.
+        let apply = |x: &[f64]| {
+            let kx = k.matvec(x).unwrap();
+            let mut out = m.laplacian_matvec(&degrees, &kx).unwrap();
+            for (o, xi) in out.iter_mut().zip(x.iter()) {
+                *o = 2.0 * gamma_l * xi + scale * *o;
+            }
+            out
+        };
+        let sol = bicgstab(apply, &b, None, BiCgStabOptions { max_iter: 0, tol: 1e-12 }).unwrap();
+        let scale_x = 1.0 + vec_ops::norm2(&x_lu);
+        for (u, v) in sol.x.iter().zip(x_lu.iter()) {
+            prop_assert!(
+                (u - v).abs() / scale_x < 1e-6,
+                "matrix-free Eq. 15 solve drifted: {} vs {}", u, v
+            );
         }
     }
 

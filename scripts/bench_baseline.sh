@@ -36,6 +36,14 @@ for rid in records:
             speedups[stage] = round(
                 records[rid]["median_ns"] / records[opt]["median_ns"], 2
             )
+    # Solver head-to-heads: fit/dense_lu/N vs fit/matrix_free/N.
+    if "/dense_lu/" in rid:
+        opt = rid.replace("/dense_lu/", "/matrix_free/")
+        if opt in records:
+            stage = rid.split("/")[0] + "_dual_solve"
+            speedups[stage] = round(
+                records[rid]["median_ns"] / records[opt]["median_ns"], 2
+            )
 
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 doc = {

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_pipeline.json produced by scripts/bench_baseline.sh.
+
+Checks that the document is schema-valid — stages present with sane timings,
+speedups computed for every baseline/optimized and dense_lu/matrix_free pair —
+so CI catches a bench refresh that silently dropped a stage or the speedup
+computation. Optionally enforces a floor on the fit-stage dual-solve speedup
+(used against the committed artifact, which is measured at HYDRA_SCALE=2).
+
+Usage:
+  scripts/check_bench_schema.py BENCH_pipeline.json [--min-fit-speedup X]
+"""
+
+import argparse
+import json
+import sys
+
+REQUIRED_TOP_LEVEL = [
+    "bench",
+    "scale",
+    "threads",
+    "speedup_baseline_over_optimized",
+    "stages",
+]
+
+# Stage-id prefixes every bench run must record (the /N size suffix varies
+# with HYDRA_SCALE).
+REQUIRED_STAGE_PREFIXES = [
+    "pipeline/signals/",
+    "hotpath/candidates_baseline/",
+    "hotpath/candidates_optimized/",
+    "hotpath/features_baseline/",
+    "hotpath/features_optimized/",
+    "hotpath/kernel_baseline/",
+    "hotpath/kernel_optimized/",
+    "hotpath/end_to_end_baseline/",
+    "hotpath/end_to_end_optimized/",
+    "pipeline/structure/",
+    "pipeline/fit/hydra_m/",
+    "fit/dense_lu/",
+    "fit/matrix_free/",
+]
+
+REQUIRED_SPEEDUP_STAGES = [
+    "candidates",
+    "features",
+    "kernel",
+    "end_to_end",
+    "fit_dual_solve",
+]
+
+
+def fail(msg: str) -> None:
+    print(f"SCHEMA ERROR: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path")
+    ap.add_argument(
+        "--min-fit-speedup",
+        type=float,
+        default=None,
+        help="require speedups['fit_dual_solve'] >= this value",
+    )
+    args = ap.parse_args()
+
+    with open(args.path) as f:
+        doc = json.load(f)
+
+    for key in REQUIRED_TOP_LEVEL:
+        if key not in doc:
+            fail(f"missing top-level key {key!r}")
+
+    stages = doc["stages"]
+    if not isinstance(stages, list) or not stages:
+        fail("stages must be a non-empty list")
+    ids = []
+    for rec in stages:
+        for key in ("id", "samples", "mean_ns", "median_ns", "min_ns"):
+            if key not in rec:
+                fail(f"stage record {rec.get('id', '?')!r} missing {key!r}")
+        if rec["samples"] <= 0 or rec["median_ns"] <= 0 or rec["min_ns"] <= 0:
+            fail(f"stage {rec['id']!r} has non-positive timings")
+        ids.append(rec["id"])
+    for prefix in REQUIRED_STAGE_PREFIXES:
+        if not any(i.startswith(prefix) for i in ids):
+            fail(f"no stage with prefix {prefix!r} recorded")
+
+    speedups = doc["speedup_baseline_over_optimized"]
+    if not isinstance(speedups, dict) or not speedups:
+        fail("speedup_baseline_over_optimized must be a non-empty dict")
+    for stage in REQUIRED_SPEEDUP_STAGES:
+        if stage not in speedups:
+            fail(f"speedup for stage {stage!r} not computed")
+        if not isinstance(speedups[stage], (int, float)) or speedups[stage] <= 0:
+            fail(f"speedup for stage {stage!r} is not a positive number")
+
+    if args.min_fit_speedup is not None:
+        got = speedups["fit_dual_solve"]
+        if got < args.min_fit_speedup:
+            fail(
+                f"fit_dual_solve speedup {got} below the required "
+                f"{args.min_fit_speedup} floor"
+            )
+
+    print(
+        f"{args.path}: schema OK "
+        f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ use hydra_bench::scale_factor;
 use hydra_core::candidates::{
     generate_candidates, legacy::generate_candidates_legacy, CandidateConfig,
 };
+use hydra_core::engine::LinkageEngine;
 use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
 use hydra_core::model::{Hydra, HydraConfig, PairTask};
 use hydra_core::moo::{self, MooConfig, MooProblem, MooSolverKind};
@@ -314,12 +315,50 @@ fn bench_fit_dual_solve(c: &mut Criterion) {
     group.finish();
 }
 
+/// Serving-layer throughput: `LinkageEngine::query_batch` resolving every
+/// left account of a trained world per iteration — the per-query pipeline
+/// (candidate generation → feature assembly → Eq. 18 filling → kernel
+/// decision) with no refit. The stage id carries the query count, so
+/// `scripts/bench_baseline.sh` derives the per-query latency recorded in
+/// `BENCH_pipeline.json` (`serve.per_query_ns`).
+fn bench_serve_query_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    let n = scaled(100);
+    let (dataset, signals) = quick_signals(n, 47);
+    let mut labels: Vec<(u32, u32, bool)> = (0..(n as u32) / 5).map(|i| (i, i, true)).collect();
+    for i in 0..(n as u32) / 5 {
+        labels.push((i, (i + n as u32 / 2) % n as u32, false));
+    }
+    let task = PairTask {
+        left_platform: 0,
+        right_platform: 1,
+        labels,
+        unlabeled_whitelist: None,
+    };
+    let trained = Hydra::new(HydraConfig::default())
+        .fit(&dataset, &signals, vec![task])
+        .expect("fit");
+    let engine = LinkageEngine::new(
+        trained.model.clone(),
+        &signals,
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect(),
+    )
+    .expect("engine");
+    let lefts: Vec<u32> = (0..n as u32).collect();
+    group.bench_function(format!("query_batch/{n}"), |b| {
+        b.iter(|| black_box(engine.query_batch(0, black_box(&lefts)).expect("query")))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_signal_extraction,
     bench_hot_path_before_after,
     bench_structure_matrix,
     bench_end_to_end_fit,
-    bench_fit_dual_solve
+    bench_fit_dual_solve,
+    bench_serve_query_batch
 );
 criterion_main!(benches);

@@ -68,11 +68,11 @@ fn main() {
             // Zero the block in the expansion AND in the candidate features,
             // retraining cheaply by re-solving on the masked expansion.
             trained.tasks[0].features.zero_block(lo, hi);
-            let mut masked = trained.solution.expansion.clone();
+            let mut masked = trained.model.solution.expansion.clone();
             for r in 0..masked.rows() {
                 masked.row_mut(r)[lo..hi].iter_mut().for_each(|v| *v = 0.0);
             }
-            trained.solution.expansion = masked;
+            trained.model.solution.expansion = masked;
         }
         let prf = evaluate(
             &trained.predict(0),

@@ -1,0 +1,616 @@
+//! The persistable learned artifact: [`LinkageModel`].
+//!
+//! Training ([`crate::Hydra::fit`]) distills everything prediction needs
+//! into a self-contained value — the Eq. 12 kernel expansion (coefficients,
+//! bias, support rows), the Eq. 3 attribute importances, the candidate /
+//! feature / filling configuration, and the platform-pair task layout — so
+//! a model can be **saved once and served anywhere**: written to disk with
+//! [`LinkageModel::save`], loaded with [`LinkageModel::load`], and handed
+//! to a [`crate::engine::LinkageEngine`] for per-account queries without
+//! refitting.
+//!
+//! ## Wire format
+//!
+//! A little-endian binary format over the workspace `bytes` shim:
+//!
+//! ```text
+//! magic "HYLM" | version u16 | fingerprint u64 | config_len u32 | config | body
+//! ```
+//!
+//! Every float is stored as its IEEE-754 bit pattern, so save → load is
+//! **bit-exact**: a loaded model produces byte-identical decision values to
+//! the in-memory one (asserted by `tests/serve_parity.rs`). `fingerprint`
+//! is FNV-1a over the config section — a cheap compatibility check that a
+//! serving process is pairing the model with the configuration it was
+//! trained under. Unknown versions and truncated or corrupt buffers load
+//! as [`ModelIoError`]s, never panics.
+
+use crate::candidates::CandidateConfig;
+use crate::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+use crate::missing::FillStrategy;
+use crate::moo::{MooSolution, MooSolverKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use hydra_datagen::attributes::NUM_ATTRS;
+use hydra_linalg::dense::Mat;
+use hydra_linalg::kernels::Kernel;
+use hydra_temporal::sensors::{LocationSensor, MediaSensor};
+use hydra_vision::{FaceClassifier, FaceDetector};
+
+/// Wire-format magic.
+const MAGIC: [u8; 4] = *b"HYLM";
+/// Current wire-format version.
+const VERSION: u16 = 1;
+
+/// One platform-pair SIL sub-problem's identity (which platforms it links).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Left platform index.
+    pub left_platform: u32,
+    /// Right platform index.
+    pub right_platform: u32,
+}
+
+/// The self-contained learned artifact.
+///
+/// Holds no training-time state (no candidate lists, no feature matrices,
+/// no dataset references) — only what scoring a new pair requires.
+#[derive(Debug, Clone)]
+pub struct LinkageModel {
+    /// The shared kernel expansion (Eq. 12): α, bias, kernel, support rows.
+    pub solution: MooSolution,
+    /// Learned attribute importance (Eq. 3).
+    pub importance: AttributeImportance,
+    /// Platform-pair layout, one entry per fitted task (task index =
+    /// position).
+    pub tasks: Vec<TaskSpec>,
+    /// Candidate-generation thresholds used at train time (queries reuse
+    /// them so serve-time blocking matches batch blocking).
+    pub candidates: CandidateConfig,
+    /// Pair-feature configuration.
+    pub feature: FeatureConfig,
+    /// Missing-feature strategy (the Eq. 18 filler's persistent state).
+    pub fill: FillStrategy,
+    /// Observation window length in days.
+    pub window_days: u32,
+    /// Size of the kernel expansion set (diagnostics).
+    pub expansion_size: usize,
+    /// Number of labeled pairs used (diagnostics).
+    pub num_labeled: usize,
+}
+
+/// Errors from model (de)serialization.
+#[derive(Debug)]
+pub enum ModelIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The buffer does not start with the `HYLM` magic.
+    BadMagic,
+    /// The buffer's version is newer than this build understands.
+    UnsupportedVersion(u16),
+    /// The buffer ended mid-field.
+    Truncated,
+    /// A field held an invalid value (bad enum tag, fingerprint mismatch…).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for ModelIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelIoError::Io(e) => write!(f, "model io failure: {e}"),
+            ModelIoError::BadMagic => write!(f, "not a HYDRA linkage model (bad magic)"),
+            ModelIoError::UnsupportedVersion(v) => {
+                write!(f, "unsupported model format version {v} (max {VERSION})")
+            }
+            ModelIoError::Truncated => write!(f, "model buffer truncated"),
+            ModelIoError::Corrupt(what) => write!(f, "model buffer corrupt: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelIoError {}
+
+impl From<std::io::Error> for ModelIoError {
+    fn from(e: std::io::Error) -> Self {
+        ModelIoError::Io(e)
+    }
+}
+
+/// Checked little-endian reader over the bytes shim (the shim's raw reads
+/// panic past the end; loading must error instead).
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<(), ModelIoError> {
+        if self.buf.remaining() < n {
+            Err(ModelIoError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ModelIoError> {
+        self.need(n)?;
+        Ok(self.buf.take_bytes(n).to_vec())
+    }
+
+    fn u8(&mut self) -> Result<u8, ModelIoError> {
+        self.need(1)?;
+        Ok(self.buf.take_bytes(1)[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ModelIoError> {
+        self.need(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    fn u32(&mut self) -> Result<u32, ModelIoError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, ModelIoError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn usize(&mut self) -> Result<usize, ModelIoError> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| ModelIoError::Corrupt(format!("length {v} overflows")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ModelIoError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Bounded length prefix: a count that implies at least
+    /// `elem_bytes`-per-element more data than remains is corrupt, not an
+    /// allocation request.
+    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
+        let n = self.usize()?;
+        if n.saturating_mul(elem_bytes.max(1)) > self.buf.remaining() {
+            return Err(ModelIoError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>, ModelIoError> {
+        let n = self.len_prefix(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+fn put_f64_vec(w: &mut BytesMut, v: &[f64]) {
+    w.put_u64_le(v.len() as u64);
+    for &x in v {
+        w.put_f64_le(x);
+    }
+}
+
+fn put_kernel(w: &mut BytesMut, k: Kernel) {
+    match k {
+        Kernel::Linear => {
+            w.put_slice(&[0]);
+            w.put_f64_le(0.0);
+        }
+        Kernel::Rbf { gamma } => {
+            w.put_slice(&[1]);
+            w.put_f64_le(gamma);
+        }
+        Kernel::ChiSquare => {
+            w.put_slice(&[2]);
+            w.put_f64_le(0.0);
+        }
+        Kernel::HistIntersection => {
+            w.put_slice(&[3]);
+            w.put_f64_le(0.0);
+        }
+    }
+}
+
+fn read_kernel(r: &mut Reader) -> Result<Kernel, ModelIoError> {
+    let tag = r.u8()?;
+    let param = r.f64()?;
+    match tag {
+        0 => Ok(Kernel::Linear),
+        1 => Ok(Kernel::Rbf { gamma: param }),
+        2 => Ok(Kernel::ChiSquare),
+        3 => Ok(Kernel::HistIntersection),
+        t => Err(ModelIoError::Corrupt(format!("kernel tag {t}"))),
+    }
+}
+
+fn put_mat(w: &mut BytesMut, m: &Mat) {
+    w.put_u64_le(m.rows() as u64);
+    w.put_u64_le(m.cols() as u64);
+    for &x in m.as_slice() {
+        w.put_f64_le(x);
+    }
+}
+
+fn read_mat(r: &mut Reader) -> Result<Mat, ModelIoError> {
+    let rows = r.len_prefix(0)?;
+    let cols = r.usize()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| ModelIoError::Corrupt("matrix shape overflow".into()))?;
+    if n.saturating_mul(8) > r.buf.remaining() {
+        return Err(ModelIoError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(r.f64()?);
+    }
+    Ok(Mat::from_vec(rows, cols, data))
+}
+
+/// FNV-1a over a byte slice — the config fingerprint hash.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl LinkageModel {
+    /// Serialize the config section (the fingerprinted part of the wire
+    /// format).
+    fn encode_config(&self) -> Vec<u8> {
+        let mut w = BytesMut::with_capacity(256);
+        w.put_u32_le(self.window_days);
+        w.put_slice(&[match self.fill {
+            FillStrategy::Zero => 0,
+            FillStrategy::CoreNetwork => 1,
+        }]);
+        w.put_f64_le(self.candidates.username_threshold);
+        w.put_f64_le(self.candidates.strict_username);
+        w.put_f64_le(self.candidates.strict_face);
+        w.put_u64_le(self.candidates.max_per_user as u64);
+        put_kernel(&mut w, self.feature.dist_kernel);
+        w.put_f64_le(self.feature.q);
+        w.put_f64_le(self.feature.lambda);
+        w.put_f64_le(self.feature.location_sensor.bandwidth_km);
+        w.put_f64_le(self.feature.location_sensor.max_range_km);
+        w.put_u32_le(self.feature.media_sensor.max_hamming);
+        w.put_f64_le(self.feature.detector.min_quality);
+        w.put_f64_le(self.feature.classifier.threshold);
+        w.put_f64_le(self.feature.classifier.slope);
+        w.put_u32_le(self.tasks.len() as u32);
+        for t in &self.tasks {
+            w.put_u32_le(t.left_platform);
+            w.put_u32_le(t.right_platform);
+        }
+        w.freeze().to_vec()
+    }
+
+    fn decode_config(
+        bytes: Vec<u8>,
+    ) -> Result<
+        (
+            u32,
+            FillStrategy,
+            CandidateConfig,
+            FeatureConfig,
+            Vec<TaskSpec>,
+        ),
+        ModelIoError,
+    > {
+        let mut r = Reader {
+            buf: Bytes::from(bytes),
+        };
+        let window_days = r.u32()?;
+        let fill = match r.u8()? {
+            0 => FillStrategy::Zero,
+            1 => FillStrategy::CoreNetwork,
+            t => return Err(ModelIoError::Corrupt(format!("fill tag {t}"))),
+        };
+        let candidates = CandidateConfig {
+            username_threshold: r.f64()?,
+            strict_username: r.f64()?,
+            strict_face: r.f64()?,
+            max_per_user: r.usize()?,
+        };
+        let feature = FeatureConfig {
+            dist_kernel: read_kernel(&mut r)?,
+            q: r.f64()?,
+            lambda: r.f64()?,
+            location_sensor: LocationSensor {
+                bandwidth_km: r.f64()?,
+                max_range_km: r.f64()?,
+            },
+            media_sensor: MediaSensor {
+                max_hamming: r.u32()?,
+            },
+            detector: FaceDetector {
+                min_quality: r.f64()?,
+            },
+            classifier: FaceClassifier {
+                threshold: r.f64()?,
+                slope: r.f64()?,
+            },
+        };
+        let num_tasks = r.u32()? as usize;
+        let mut tasks = Vec::with_capacity(num_tasks.min(1024));
+        for _ in 0..num_tasks {
+            tasks.push(TaskSpec {
+                left_platform: r.u32()?,
+                right_platform: r.u32()?,
+            });
+        }
+        Ok((window_days, fill, candidates, feature, tasks))
+    }
+
+    /// The model's config fingerprint (FNV-1a over the encoded config
+    /// section — stable across save/load).
+    pub fn fingerprint(&self) -> u64 {
+        fnv1a(&self.encode_config())
+    }
+
+    /// Serialize to the versioned binary wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let config = self.encode_config();
+        let mut w = BytesMut::with_capacity(config.len() + self.solution.alpha.len() * 8 + 128);
+        w.put_slice(&MAGIC);
+        w.put_u16_le(VERSION);
+        w.put_u64_le(fnv1a(&config));
+        w.put_u32_le(config.len() as u32);
+        w.put_slice(&config);
+
+        // --- body: importance, solution, diagnostics ----------------------
+        for &x in &self.importance.weights {
+            w.put_f64_le(x);
+        }
+        put_kernel(&mut w, self.solution.kernel);
+        put_f64_vec(&mut w, &self.solution.alpha);
+        w.put_f64_le(self.solution.bias);
+        put_mat(&mut w, &self.solution.expansion);
+        w.put_f64_le(self.solution.objective_d);
+        w.put_f64_le(self.solution.objective_s);
+        w.put_u64_le(self.solution.smo_iterations as u64);
+        w.put_u64_le(self.solution.support_vectors as u64);
+        w.put_slice(&[match self.solution.solver {
+            MooSolverKind::Auto => 0,
+            MooSolverKind::DenseLu => 1,
+            MooSolverKind::MatrixFree => 2,
+        }]);
+        w.put_u64_le(self.solution.iterative_iterations as u64);
+        w.put_u64_le(self.expansion_size as u64);
+        w.put_u64_le(self.num_labeled as u64);
+        w.freeze().to_vec()
+    }
+
+    /// Deserialize from the wire format. Rejects bad magic, newer versions,
+    /// truncation, invalid tags, and config/fingerprint mismatches.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let mut r = Reader {
+            buf: Bytes::from(bytes.to_vec()),
+        };
+        if r.bytes(4)? != MAGIC {
+            return Err(ModelIoError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version == 0 || version > VERSION {
+            return Err(ModelIoError::UnsupportedVersion(version));
+        }
+        let fingerprint = r.u64()?;
+        let config_len = r.u32()? as usize;
+        let config_bytes = r.bytes(config_len)?;
+        if fnv1a(&config_bytes) != fingerprint {
+            return Err(ModelIoError::Corrupt("config fingerprint mismatch".into()));
+        }
+        let (window_days, fill, candidates, feature, tasks) = Self::decode_config(config_bytes)?;
+
+        let mut weights = [0.0f64; NUM_ATTRS];
+        for w in weights.iter_mut() {
+            *w = r.f64()?;
+        }
+        let kernel = read_kernel(&mut r)?;
+        let alpha = r.f64_vec()?;
+        let bias = r.f64()?;
+        let expansion = read_mat(&mut r)?;
+        if expansion.rows() != alpha.len() {
+            return Err(ModelIoError::Corrupt(format!(
+                "expansion rows {} != alpha length {}",
+                expansion.rows(),
+                alpha.len()
+            )));
+        }
+        let objective_d = r.f64()?;
+        let objective_s = r.f64()?;
+        let smo_iterations = r.usize()?;
+        let support_vectors = r.usize()?;
+        let solver = match r.u8()? {
+            0 => MooSolverKind::Auto,
+            1 => MooSolverKind::DenseLu,
+            2 => MooSolverKind::MatrixFree,
+            t => return Err(ModelIoError::Corrupt(format!("solver tag {t}"))),
+        };
+        let iterative_iterations = r.usize()?;
+        let expansion_size = r.usize()?;
+        let num_labeled = r.usize()?;
+        if r.buf.remaining() != 0 {
+            return Err(ModelIoError::Corrupt(format!(
+                "{} trailing bytes",
+                r.buf.remaining()
+            )));
+        }
+
+        Ok(LinkageModel {
+            solution: MooSolution {
+                alpha,
+                bias,
+                kernel,
+                expansion,
+                objective_d,
+                objective_s,
+                smo_iterations,
+                support_vectors,
+                solver,
+                iterative_iterations,
+            },
+            importance: AttributeImportance { weights },
+            tasks,
+            candidates,
+            feature,
+            fill,
+            window_days,
+            expansion_size,
+            num_labeled,
+        })
+    }
+
+    /// Write the model to a file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ModelIoError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Load a model from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ModelIoError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// Number of platform-pair tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Rebuild the feature extractor this model was trained with.
+    pub fn extractor(&self) -> FeatureExtractor {
+        FeatureExtractor::new(
+            self.feature.clone(),
+            self.importance.clone(),
+            self.window_days,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_model() -> LinkageModel {
+        LinkageModel {
+            solution: MooSolution {
+                alpha: vec![0.25, -1.5, 3.0e-17],
+                bias: -0.125,
+                kernel: Kernel::Rbf { gamma: 0.5 },
+                expansion: Mat::from_vec(3, 2, vec![1.0, 2.0, 0.1 + 0.2, -0.0, f64::MIN, 5.5]),
+                objective_d: 1.25,
+                objective_s: 0.0625,
+                smo_iterations: 421,
+                support_vectors: 2,
+                solver: MooSolverKind::DenseLu,
+                iterative_iterations: 0,
+            },
+            importance: AttributeImportance::default(),
+            tasks: vec![
+                TaskSpec {
+                    left_platform: 0,
+                    right_platform: 1,
+                },
+                TaskSpec {
+                    left_platform: 1,
+                    right_platform: 2,
+                },
+            ],
+            candidates: CandidateConfig::default(),
+            feature: FeatureConfig::default(),
+            fill: FillStrategy::CoreNetwork,
+            window_days: 64,
+            expansion_size: 3,
+            num_labeled: 2,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let m = toy_model();
+        let bytes = m.to_bytes();
+        let loaded = LinkageModel::from_bytes(&bytes).expect("load");
+        // Floats compared through their bit patterns (NaN-safe, -0.0-safe).
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&loaded.solution.alpha), bits(&m.solution.alpha));
+        assert_eq!(loaded.solution.bias.to_bits(), m.solution.bias.to_bits());
+        assert_eq!(
+            bits(loaded.solution.expansion.as_slice()),
+            bits(m.solution.expansion.as_slice())
+        );
+        assert_eq!(loaded.solution.kernel, m.solution.kernel);
+        assert_eq!(loaded.solution.solver, m.solution.solver);
+        assert_eq!(loaded.tasks, m.tasks);
+        assert_eq!(loaded.fill, m.fill);
+        assert_eq!(loaded.window_days, m.window_days);
+        assert_eq!(loaded.expansion_size, m.expansion_size);
+        assert_eq!(loaded.num_labeled, m.num_labeled);
+        assert_eq!(
+            bits(&loaded.importance.weights),
+            bits(&m.importance.weights)
+        );
+        // Re-serializing the loaded model reproduces the exact buffer.
+        assert_eq!(loaded.to_bytes(), bytes);
+        assert_eq!(loaded.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_truncation_and_corruption() {
+        let m = toy_model();
+        let bytes = m.to_bytes();
+
+        assert!(matches!(
+            LinkageModel::from_bytes(b"nope"),
+            Err(ModelIoError::BadMagic | ModelIoError::Truncated)
+        ));
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            LinkageModel::from_bytes(&wrong_magic),
+            Err(ModelIoError::BadMagic)
+        ));
+
+        let mut future = bytes.clone();
+        future[4] = 0xFF; // version low byte
+        assert!(matches!(
+            LinkageModel::from_bytes(&future),
+            Err(ModelIoError::UnsupportedVersion(_))
+        ));
+
+        for cut in [3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                matches!(
+                    LinkageModel::from_bytes(&bytes[..cut]),
+                    Err(ModelIoError::Truncated | ModelIoError::Corrupt(_))
+                ),
+                "cut at {cut} must not load"
+            );
+        }
+
+        // Flip a config byte: the fingerprint check must catch it.
+        let mut corrupt = bytes.clone();
+        corrupt[20] ^= 0x5A;
+        assert!(LinkageModel::from_bytes(&corrupt).is_err());
+
+        // Trailing garbage is rejected too.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(matches!(
+            LinkageModel::from_bytes(&trailing),
+            Err(ModelIoError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn save_load_file_round_trip() {
+        let m = toy_model();
+        let path = std::env::temp_dir().join("hydra_artifact_test.hylm");
+        m.save(&path).expect("save");
+        let loaded = LinkageModel::load(&path).expect("load");
+        assert_eq!(loaded.to_bytes(), m.to_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -35,6 +35,26 @@
 //!
 //! The seed implementation is preserved in [`legacy`] as the reference for
 //! parity tests and the before/after benchmark baseline.
+//!
+//! ## Batch and serving paths share one scoring core
+//!
+//! The right-side indexes live in [`BlockingIndex`] — an **incremental**
+//! structure the serving layer ([`crate::engine`]) keeps warm with
+//! [`BlockingIndex::insert_account`] / [`BlockingIndex::remove_account`]
+//! while the batch path builds it once per fit. Both paths score a left
+//! account through the same [`score_left_account`] routine, so a serve-time
+//! `query` produces candidates byte-identical to batch generation.
+//!
+//! ## Candidate-scoring prefilter
+//!
+//! Jaro–Winkler and LCS are the bulk of blocking time (ROADMAP hot spot).
+//! Before paying O(|a|·|b|) per surviving pair, a cheap upper bound on
+//! `max(JW, LCS-ratio)` is computed from the two usernames' lengths and
+//! shared-character count (a sorted-scalar merge, O(|a|+|b|)); pairs whose
+//! bound is already below `username_threshold` skip the quadratic scoring
+//! entirely. The bound is sound — never below the true similarity — so the
+//! filtered path stays byte-identical to the unfiltered one (asserted
+//! against [`legacy`] in `tests/parallel_parity.rs`).
 
 use crate::signals::UserSignals;
 use hydra_datagen::attributes::AttrKind;
@@ -177,6 +197,366 @@ impl GramTable {
     }
 }
 
+/// Multiset intersection size of two **sorted** scalar slices (merge join).
+#[inline]
+fn shared_char_count(a: &[char], b: &[char]) -> usize {
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Cheap, **sound** upper bound on `max(jaro_winkler, lcs_ratio)` from the
+/// usernames' lengths and shared-character count.
+///
+/// With `m` = multiset character intersection (an upper bound on both the
+/// Jaro match count and the longest common substring length):
+///
+/// * `jaro ≤ (m/|a| + m/|b| + 1)/3` — each Jaro term bounded independently
+///   (the length-ratio bound `min/max` is the degenerate `m = min(|a|,|b|)`
+///   case of the first two terms);
+/// * `jaro_winkler = j + p·0.1·(1−j)` is increasing in `j` for the actual
+///   common-prefix length `p ≤ 4` (computed exactly — it is O(4));
+/// * `lcs_ratio = lcs/min(|a|,|b|) ≤ m/min(|a|,|b|)` — the min-normalized
+///   denominator means the length ratio alone can never bound it, which is
+///   why the prefilter is driven by the shared-character count.
+///
+/// Returns `f64::INFINITY` when either side is empty (the quadratic scorers
+/// special-case empties, so the prefilter abstains rather than model them).
+#[inline]
+fn username_sim_upper_bound(a: &[char], a_sorted: &[char], b: &[char], b_sorted: &[char]) -> f64 {
+    let min_len = a.len().min(b.len());
+    if min_len == 0 {
+        return f64::INFINITY;
+    }
+    let m = shared_char_count(a_sorted, b_sorted) as f64;
+    let jaro_ub = if m > 0.0 {
+        (m / a.len() as f64 + m / b.len() as f64 + 1.0) / 3.0
+    } else {
+        0.0
+    };
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    let jw_ub = jaro_ub + prefix * 0.1 * (1.0 - jaro_ub);
+    jw_ub.max(m / min_len as f64)
+}
+
+/// Incremental right-side blocking index: the interned 3-gram inverted
+/// index plus the e-mail and (birth, city) attribute indexes, with the
+/// per-account decoded/sorted username scalars the scorer needs.
+///
+/// The batch path ([`generate_candidates`]) builds one per fit; the serving
+/// layer ([`crate::engine::LinkageEngine`]) keeps one alive and mutates it
+/// with [`BlockingIndex::insert_account`] / [`BlockingIndex::remove_account`]
+/// as right-platform accounts arrive and depart after training.
+///
+/// Stop-gram suppression (grams indexing more than a quarter of the
+/// population carry no signal) is applied at **probe time** against the
+/// current active-account count, so a grown or shrunk index behaves exactly
+/// like one rebuilt from scratch over the same active population.
+pub struct BlockingIndex {
+    gram_postings: HashMap<u64, Vec<u32>>,
+    email_index: HashMap<u64, Vec<u32>>,
+    birth_city_index: HashMap<(u64, u64), Vec<u32>>,
+    /// Decoded username scalars per account (original case — similarity
+    /// scoring is case-sensitive; only grams are lowercased).
+    chars: Vec<Vec<char>>,
+    /// Sorted copy of `chars` per account, for the prefilter merge.
+    sorted_chars: Vec<Vec<char>>,
+    /// Each account's attribute-index keys, retained so removal can purge
+    /// exactly the postings lists it appears in (O(1) lookups instead of a
+    /// scan over every key).
+    attr_keys: Vec<(Option<u64>, Option<(u64, u64)>)>,
+    active: Vec<bool>,
+    active_count: usize,
+}
+
+impl BlockingIndex {
+    /// Build the index over a platform's accounts.
+    pub fn build(right: &[UserSignals]) -> Self {
+        let mut index = BlockingIndex {
+            gram_postings: HashMap::new(),
+            email_index: HashMap::new(),
+            birth_city_index: HashMap::new(),
+            chars: Vec::with_capacity(right.len()),
+            sorted_chars: Vec::with_capacity(right.len()),
+            attr_keys: Vec::with_capacity(right.len()),
+            active: Vec::with_capacity(right.len()),
+            active_count: 0,
+        };
+        for sig in right {
+            index.insert_account(sig);
+        }
+        index
+    }
+
+    /// Register a new account under the next free platform-local index
+    /// (returned). Postings stay in ascending account order, so candidate
+    /// output is identical to an index built over the grown population.
+    pub fn insert_account(&mut self, sig: &UserSignals) -> u32 {
+        let j = self.chars.len() as u32;
+        let mut grams = Vec::with_capacity(16);
+        gram_keys(&sig.username, &mut grams);
+        for &g in &grams {
+            self.gram_postings.entry(g).or_default().push(j);
+        }
+        let email = sig.attrs[AttrKind::Email.index()];
+        if let Some(e) = email {
+            self.email_index.entry(e).or_default().push(j);
+        }
+        let birth_city = match (
+            sig.attrs[AttrKind::Birth.index()],
+            sig.attrs[AttrKind::City.index()],
+        ) {
+            (Some(b), Some(c)) => {
+                self.birth_city_index.entry((b, c)).or_default().push(j);
+                Some((b, c))
+            }
+            _ => None,
+        };
+        let cs: Vec<char> = sig.username.chars().collect();
+        let mut sorted = cs.clone();
+        sorted.sort_unstable();
+        self.chars.push(cs);
+        self.sorted_chars.push(sorted);
+        self.attr_keys.push((email, birth_city));
+        self.active.push(true);
+        self.active_count += 1;
+        j
+    }
+
+    /// Deactivate an account: it vanishes from every postings list (other
+    /// accounts keep their indices). Returns `false` when the index was out
+    /// of range or already removed.
+    pub fn remove_account(&mut self, account: u32) -> bool {
+        let Some(slot) = self.active.get_mut(account as usize) else {
+            return false;
+        };
+        if !*slot {
+            return false;
+        }
+        *slot = false;
+        self.active_count -= 1;
+        let mut grams = Vec::with_capacity(16);
+        let name: String = self.chars[account as usize].iter().collect();
+        gram_keys(&name, &mut grams);
+        for &g in &grams {
+            if let Some(v) = self.gram_postings.get_mut(&g) {
+                v.retain(|&j| j != account);
+            }
+        }
+        // Exactly the postings lists this account was inserted into.
+        let (email, birth_city) = self.attr_keys[account as usize];
+        if let Some(v) = email.and_then(|e| self.email_index.get_mut(&e)) {
+            v.retain(|&j| j != account);
+        }
+        if let Some(v) = birth_city.and_then(|bc| self.birth_city_index.get_mut(&bc)) {
+            v.retain(|&j| j != account);
+        }
+        true
+    }
+
+    /// The decoded and sorted username scalars of an account — the serving
+    /// layer probes with a *left* account already held by a store's index,
+    /// so the per-query path reuses these instead of re-decoding.
+    pub(crate) fn probe_chars(&self, account: u32) -> (&[char], &[char]) {
+        (
+            &self.chars[account as usize],
+            &self.sorted_chars[account as usize],
+        )
+    }
+
+    /// Total slots ever allocated (including removed accounts).
+    pub fn len(&self) -> usize {
+        self.chars.len()
+    }
+
+    /// Whether no account was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.chars.is_empty()
+    }
+
+    /// Number of active (non-removed) accounts.
+    pub fn active_accounts(&self) -> usize {
+        self.active_count
+    }
+
+    /// Whether `account` is present and not removed.
+    pub fn is_active(&self, account: u32) -> bool {
+        self.active.get(account as usize).copied().unwrap_or(false)
+    }
+
+    /// Stop-gram cap against the current active population.
+    fn stop_gram_cap(&self) -> usize {
+        (self.active_count / 4).max(25)
+    }
+
+    /// Gram postings, suppressed for stop grams.
+    #[inline]
+    fn gram_candidates(&self, gram: u64) -> Option<&[u32]> {
+        self.gram_postings
+            .get(&gram)
+            .filter(|v| v.len() <= self.stop_gram_cap())
+            .map(Vec::as_slice)
+    }
+}
+
+/// One left account's probe state: interned grams plus decoded / sorted
+/// username scalars.
+pub(crate) struct LeftProbe<'a> {
+    pub grams: &'a [u64],
+    pub chars: &'a [char],
+    pub sorted_chars: &'a [char],
+}
+
+/// Score one left account against an indexed right side — the shared core
+/// of batch candidate generation and serve-time queries. Returns the
+/// account's candidates best-first (username similarity, then right index),
+/// capped at `config.max_per_user`.
+pub(crate) fn score_left_account(
+    i: u32,
+    sig: &UserSignals,
+    probe: &LeftProbe<'_>,
+    index: &BlockingIndex,
+    right: &[UserSignals],
+    config: &CandidateConfig,
+    detector: &FaceDetector,
+    classifier: &FaceClassifier,
+) -> Vec<CandidatePair> {
+    // Position of each right index in `scored` — replaces the legacy
+    // O(n) `iter_mut().find(...)` e-mail upgrade scan and doubles as
+    // the dedup set.
+    let mut slot_of: HashMap<u32, u32> = HashMap::new();
+    let mut scored: Vec<CandidatePair> = Vec::new();
+
+    // Username blocking. A high username similarity alone is NOT enough
+    // to pre-match — common given names collide (the Figure-1 "Adele"
+    // ambiguity) — so the strict rule additionally demands agreement on
+    // at least one discriminative attribute (Section 3 combines
+    // "partial username overlapping" with "user attribute matching").
+    for &g in probe.grams {
+        if let Some(js) = index.gram_candidates(g) {
+            for &j in js {
+                if slot_of.contains_key(&j) {
+                    continue;
+                }
+                slot_of.insert(j, u32::MAX); // seen, not necessarily kept
+                let rchars = &index.chars[j as usize];
+                // Prefilter: skip the quadratic scorers when the cheap
+                // bound already rules the pair out.
+                if username_sim_upper_bound(
+                    probe.chars,
+                    probe.sorted_chars,
+                    rchars,
+                    &index.sorted_chars[j as usize],
+                ) < config.username_threshold
+                {
+                    continue;
+                }
+                let other = &right[j as usize];
+                let sim = jaro_winkler_chars(probe.chars, rchars)
+                    .max(lcs_ratio_chars(probe.chars, rchars));
+                if sim >= config.username_threshold {
+                    let pre = sim >= config.strict_username
+                        && discriminative_agreement(&sig.attrs, &other.attrs) >= 2;
+                    slot_of.insert(j, scored.len() as u32);
+                    scored.push(CandidatePair {
+                        left: i,
+                        right: j,
+                        username_sim: sim,
+                        pre_matched: pre,
+                    });
+                }
+            }
+        }
+    }
+
+    // E-mail blocking (exact match ⇒ pre-matched).
+    if let Some(e) = sig.attrs[AttrKind::Email.index()] {
+        if let Some(js) = index.email_index.get(&e) {
+            for &j in js {
+                match slot_of.get(&j) {
+                    None => {
+                        slot_of.insert(j, scored.len() as u32);
+                        scored.push(CandidatePair {
+                            left: i,
+                            right: j,
+                            username_sim: 0.0,
+                            pre_matched: true,
+                        });
+                    }
+                    Some(&slot) if slot != u32::MAX => {
+                        scored[slot as usize].pre_matched = true;
+                    }
+                    Some(_) => {} // seen but below threshold: legacy drops it too
+                }
+            }
+        }
+    }
+
+    // (birth, city) blocking — weak, no pre-match.
+    if let (Some(b), Some(c)) = (
+        sig.attrs[AttrKind::Birth.index()],
+        sig.attrs[AttrKind::City.index()],
+    ) {
+        if let Some(js) = index.birth_city_index.get(&(b, c)) {
+            for &j in js {
+                if let std::collections::hash_map::Entry::Vacant(e) = slot_of.entry(j) {
+                    e.insert(scored.len() as u32);
+                    scored.push(CandidatePair {
+                        left: i,
+                        right: j,
+                        username_sim: 0.0,
+                        pre_matched: false,
+                    });
+                }
+            }
+        }
+    }
+
+    // Face upgrade: among current candidates, a very confident face
+    // match is a pre-match signal (Section 3 item 2).
+    for c in scored.iter_mut() {
+        if c.pre_matched {
+            continue;
+        }
+        if let FaceMatchOutcome::Score(s) = match_profile_images(
+            sig.image.as_ref(),
+            right[c.right as usize].image.as_ref(),
+            detector,
+            classifier,
+        ) {
+            if s >= config.strict_face && c.username_sim >= config.username_threshold {
+                c.pre_matched = true;
+            }
+        }
+    }
+
+    // Best-first cap per user. `total_cmp` instead of the panic-prone
+    // `partial_cmp(..).expect(..)`; similarities are finite here, so the
+    // order is unchanged.
+    scored.sort_by(|a, b| {
+        b.username_sim
+            .total_cmp(&a.username_sim)
+            .then(a.right.cmp(&b.right))
+    });
+    scored.truncate(config.max_per_user);
+    scored
+}
+
 /// Generate candidate pairs between two platforms' accounts.
 ///
 /// Parallel over left users with a deterministic order-preserving merge;
@@ -198,151 +578,39 @@ pub fn generate_candidates_threads(
     config: &CandidateConfig,
     threads: usize,
 ) -> Vec<CandidatePair> {
-    // --- interned inverted 3-gram index over the right side ---------------
-    let right_grams = GramTable::build(right);
-    let mut gram_index: HashMap<u64, Vec<u32>> = HashMap::new();
-    for j in 0..right.len() {
-        for &g in right_grams.grams(j) {
-            gram_index.entry(g).or_default().push(j as u32);
-        }
-    }
-    // Drop "stop grams" that index a huge fraction of the population — they
-    // only add noise pairs (analogous to stop-word removal).
-    let cap = (right.len() / 4).max(25);
-    gram_index.retain(|_, v| v.len() <= cap);
-
-    // --- e-mail and (birth, city) indexes -----------------------------------
-    let mut email_index: HashMap<u64, Vec<u32>> = HashMap::new();
-    let mut birth_city_index: HashMap<(u64, u64), Vec<u32>> = HashMap::new();
-    for (j, sig) in right.iter().enumerate() {
-        if let Some(e) = sig.attrs[AttrKind::Email.index()] {
-            email_index.entry(e).or_default().push(j as u32);
-        }
-        if let (Some(b), Some(c)) = (
-            sig.attrs[AttrKind::Birth.index()],
-            sig.attrs[AttrKind::City.index()],
-        ) {
-            birth_city_index.entry((b, c)).or_default().push(j as u32);
-        }
-    }
-
+    let index = BlockingIndex::build(right);
     let left_grams = GramTable::build(left);
     // Usernames decoded to scalar slices once per side: every similarity
     // evaluation below reuses them instead of re-collecting `Vec<char>`s.
     let left_chars: Vec<Vec<char>> = left.iter().map(|s| s.username.chars().collect()).collect();
-    let right_chars: Vec<Vec<char>> = right.iter().map(|s| s.username.chars().collect()).collect();
+    let left_sorted: Vec<Vec<char>> = left_chars
+        .iter()
+        .map(|cs| {
+            let mut s = cs.clone();
+            s.sort_unstable();
+            s
+        })
+        .collect();
     let detector = FaceDetector::default();
     let classifier = FaceClassifier::default();
 
     // --- per-left-user scoring: embarrassingly parallel -------------------
     hydra_par::par_flat_map_threads(threads, left, |i, sig| {
-        // Position of each right index in `scored` — replaces the legacy
-        // O(n) `iter_mut().find(...)` e-mail upgrade scan and doubles as
-        // the dedup set.
-        let mut slot_of: HashMap<u32, u32> = HashMap::new();
-        let mut scored: Vec<CandidatePair> = Vec::new();
-
-        // Username blocking. A high username similarity alone is NOT enough
-        // to pre-match — common given names collide (the Figure-1 "Adele"
-        // ambiguity) — so the strict rule additionally demands agreement on
-        // at least one discriminative attribute (Section 3 combines
-        // "partial username overlapping" with "user attribute matching").
-        for &g in left_grams.grams(i) {
-            if let Some(js) = gram_index.get(&g) {
-                for &j in js {
-                    if slot_of.contains_key(&j) {
-                        continue;
-                    }
-                    slot_of.insert(j, u32::MAX); // seen, not necessarily kept
-                    let other = &right[j as usize];
-                    let sim = jaro_winkler_chars(&left_chars[i], &right_chars[j as usize])
-                        .max(lcs_ratio_chars(&left_chars[i], &right_chars[j as usize]));
-                    if sim >= config.username_threshold {
-                        let pre = sim >= config.strict_username
-                            && discriminative_agreement(&sig.attrs, &other.attrs) >= 2;
-                        slot_of.insert(j, scored.len() as u32);
-                        scored.push(CandidatePair {
-                            left: i as u32,
-                            right: j,
-                            username_sim: sim,
-                            pre_matched: pre,
-                        });
-                    }
-                }
-            }
-        }
-
-        // E-mail blocking (exact match ⇒ pre-matched).
-        if let Some(e) = sig.attrs[AttrKind::Email.index()] {
-            if let Some(js) = email_index.get(&e) {
-                for &j in js {
-                    match slot_of.get(&j) {
-                        None => {
-                            slot_of.insert(j, scored.len() as u32);
-                            scored.push(CandidatePair {
-                                left: i as u32,
-                                right: j,
-                                username_sim: 0.0,
-                                pre_matched: true,
-                            });
-                        }
-                        Some(&slot) if slot != u32::MAX => {
-                            scored[slot as usize].pre_matched = true;
-                        }
-                        Some(_) => {} // seen but below threshold: legacy drops it too
-                    }
-                }
-            }
-        }
-
-        // (birth, city) blocking — weak, no pre-match.
-        if let (Some(b), Some(c)) = (
-            sig.attrs[AttrKind::Birth.index()],
-            sig.attrs[AttrKind::City.index()],
-        ) {
-            if let Some(js) = birth_city_index.get(&(b, c)) {
-                for &j in js {
-                    if let std::collections::hash_map::Entry::Vacant(e) = slot_of.entry(j) {
-                        e.insert(scored.len() as u32);
-                        scored.push(CandidatePair {
-                            left: i as u32,
-                            right: j,
-                            username_sim: 0.0,
-                            pre_matched: false,
-                        });
-                    }
-                }
-            }
-        }
-
-        // Face upgrade: among current candidates, a very confident face
-        // match is a pre-match signal (Section 3 item 2).
-        for c in scored.iter_mut() {
-            if c.pre_matched {
-                continue;
-            }
-            if let FaceMatchOutcome::Score(s) = match_profile_images(
-                sig.image.as_ref(),
-                right[c.right as usize].image.as_ref(),
-                &detector,
-                &classifier,
-            ) {
-                if s >= config.strict_face && c.username_sim >= config.username_threshold {
-                    c.pre_matched = true;
-                }
-            }
-        }
-
-        // Best-first cap per user. `total_cmp` instead of the panic-prone
-        // `partial_cmp(..).expect(..)`; similarities are finite here, so the
-        // order is unchanged.
-        scored.sort_by(|a, b| {
-            b.username_sim
-                .total_cmp(&a.username_sim)
-                .then(a.right.cmp(&b.right))
-        });
-        scored.truncate(config.max_per_user);
-        scored
+        let probe = LeftProbe {
+            grams: left_grams.grams(i),
+            chars: &left_chars[i],
+            sorted_chars: &left_sorted[i],
+        };
+        score_left_account(
+            i as u32,
+            sig,
+            &probe,
+            &index,
+            right,
+            config,
+            &detector,
+            &classifier,
+        )
     })
 }
 

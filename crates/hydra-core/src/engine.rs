@@ -1,0 +1,395 @@
+//! The serving layer: [`LinkageEngine`] answers per-account linkage
+//! queries against a trained [`LinkageModel`] — the online
+//! search-and-resolve deployment of Section 3 / Figure 3 ("which account
+//! on platform B is this platform-A user?") without refitting.
+//!
+//! The engine wraps three things per platform:
+//!
+//! * the extracted [`UserSignals`] (the behavior representations of
+//!   Section 5),
+//! * an incremental [`BlockingIndex`] (interned-gram + attribute blocking
+//!   of Section 3) and [`ProfileCache`] (pre-bucketed series / sensor
+//!   windows), both of which grow with [`LinkageEngine::insert_account`];
+//!   [`LinkageEngine::remove_account`] de-lists departed accounts from
+//!   candidacy and querying,
+//! * the platform social graph snapshot Eq. 18 filling consults.
+//!
+//! [`LinkageEngine::query`] runs the full per-pair pipeline — candidate
+//! generation, feature assembly, missing-info filling, kernel decision —
+//! for one left account; [`LinkageEngine::query_batch`] fans a batch out
+//! across worker threads (`hydra-par`, order-preserving). Both produce
+//! decision values **byte-identical** to batch
+//! [`TrainedHydra::predict`](crate::model::TrainedHydra::predict) for the
+//! same candidate pairs at any thread count (`tests/serve_parity.rs` pins
+//! this), because every stage reuses the exact batch-path code.
+
+use crate::artifact::{LinkageModel, TaskSpec};
+use crate::candidates::{gram_keys, score_left_account, BlockingIndex, LeftProbe};
+use crate::features::FeatureExtractor;
+use crate::missing::MissingFiller;
+use crate::model::LinkagePrediction;
+use crate::signals::{ProfileCache, Signals, UserSignals};
+use hydra_graph::SocialGraph;
+use hydra_vision::{FaceClassifier, FaceDetector};
+
+/// Errors from serving-layer queries and index mutations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Task index outside the model's fitted tasks.
+    TaskOutOfRange {
+        /// The offending index.
+        task: usize,
+        /// Number of fitted tasks.
+        num_tasks: usize,
+    },
+    /// Platform index outside the engine's stores.
+    PlatformOutOfRange {
+        /// The offending index.
+        platform: usize,
+        /// Number of platforms.
+        num_platforms: usize,
+    },
+    /// Account index outside a platform's population.
+    AccountOutOfRange {
+        /// Platform the lookup targeted.
+        platform: usize,
+        /// The offending account index.
+        account: u32,
+    },
+    /// The account was removed from the engine.
+    AccountRemoved {
+        /// Platform the lookup targeted.
+        platform: usize,
+        /// The removed account index.
+        account: u32,
+    },
+    /// The signals' observation window disagrees with the model's.
+    WindowMismatch {
+        /// Window the model was trained over.
+        model: u32,
+        /// Window of the supplied signals.
+        signals: u32,
+    },
+    /// The engine was built with fewer platforms than a task references.
+    MissingPlatform {
+        /// Platform a task spec references.
+        platform: u32,
+        /// Number of platforms supplied.
+        num_platforms: usize,
+    },
+    /// Signals and graphs disagree on the number of platforms.
+    PlatformCountMismatch {
+        /// Platforms in the supplied signals.
+        signals: usize,
+        /// Graphs supplied.
+        graphs: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::TaskOutOfRange { task, num_tasks } => {
+                write!(f, "task index {task} out of range ({num_tasks} tasks)")
+            }
+            EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            } => write!(
+                f,
+                "platform {platform} out of range ({num_platforms} platforms)"
+            ),
+            EngineError::AccountOutOfRange { platform, account } => {
+                write!(f, "account {account} out of range on platform {platform}")
+            }
+            EngineError::AccountRemoved { platform, account } => {
+                write!(f, "account {account} on platform {platform} was removed")
+            }
+            EngineError::WindowMismatch { model, signals } => write!(
+                f,
+                "signals window ({signals} days) disagrees with the model's ({model} days)"
+            ),
+            EngineError::MissingPlatform {
+                platform,
+                num_platforms,
+            } => write!(
+                f,
+                "model task references platform {platform} but only {num_platforms} supplied"
+            ),
+            EngineError::PlatformCountMismatch { signals, graphs } => write!(
+                f,
+                "signals cover {signals} platforms but {graphs} graphs were supplied"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// One platform's serving-side state.
+struct PlatformStore {
+    signals: Vec<UserSignals>,
+    cache: ProfileCache,
+    index: BlockingIndex,
+    graph: SocialGraph,
+}
+
+/// Serves per-account linkage queries against a trained model.
+pub struct LinkageEngine {
+    model: LinkageModel,
+    extractor: FeatureExtractor,
+    detector: FaceDetector,
+    classifier: FaceClassifier,
+    stores: Vec<PlatformStore>,
+}
+
+impl LinkageEngine {
+    /// Build an engine from a model, the platforms' extracted signals, and
+    /// their social-graph snapshots (`graphs[p]` covers
+    /// `signals.per_platform[p]`; accounts inserted later fall outside the
+    /// snapshot and simply have no core network for Eq. 18).
+    pub fn new(
+        model: LinkageModel,
+        signals: &Signals,
+        graphs: Vec<SocialGraph>,
+    ) -> Result<Self, EngineError> {
+        if signals.window_days != model.window_days {
+            return Err(EngineError::WindowMismatch {
+                model: model.window_days,
+                signals: signals.window_days,
+            });
+        }
+        if signals.per_platform.len() != graphs.len() {
+            return Err(EngineError::PlatformCountMismatch {
+                signals: signals.per_platform.len(),
+                graphs: graphs.len(),
+            });
+        }
+        let num_platforms = signals.per_platform.len();
+        for spec in &model.tasks {
+            for p in [spec.left_platform, spec.right_platform] {
+                if p as usize >= num_platforms {
+                    return Err(EngineError::MissingPlatform {
+                        platform: p,
+                        num_platforms,
+                    });
+                }
+            }
+        }
+        let extractor = model.extractor();
+        let stores = signals
+            .per_platform
+            .iter()
+            .zip(graphs)
+            .map(|(side, graph)| PlatformStore {
+                cache: extractor.profile_cache(side),
+                index: BlockingIndex::build(side),
+                signals: side.clone(),
+                graph,
+            })
+            .collect();
+        Ok(LinkageEngine {
+            extractor,
+            detector: FaceDetector::default(),
+            classifier: FaceClassifier::default(),
+            model,
+            stores,
+        })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &LinkageModel {
+        &self.model
+    }
+
+    /// Number of platform-pair tasks the engine serves.
+    pub fn num_tasks(&self) -> usize {
+        self.model.tasks.len()
+    }
+
+    /// Number of account slots on a platform (including removed accounts).
+    pub fn num_accounts(&self, platform: usize) -> usize {
+        self.stores.get(platform).map_or(0, |s| s.signals.len())
+    }
+
+    /// Register a new account on `platform` under the next free index
+    /// (returned). The blocking index and profile cache are extended
+    /// incrementally — subsequent queries see the account exactly as if it
+    /// had been present at engine construction. The social-graph snapshot
+    /// is not extended: until a graph refresh the account has no core
+    /// network, so Eq. 18 falls back to zero filling for it.
+    pub fn insert_account(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+    ) -> Result<u32, EngineError> {
+        let num_platforms = self.stores.len();
+        let store = self
+            .stores
+            .get_mut(platform)
+            .ok_or(EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            })?;
+        let idx = store.index.insert_account(&sig);
+        let cache_idx = store.cache.insert_account(&sig);
+        debug_assert_eq!(idx, cache_idx, "index/cache slot drift");
+        store.signals.push(sig);
+        Ok(idx)
+    }
+
+    /// De-list an account: it stops appearing as a candidate (right side)
+    /// and can no longer be queried (left side). Other accounts keep their
+    /// indices.
+    ///
+    /// Like the social graph, the account's historical profile stays part
+    /// of the Eq. 18 core-network **snapshot** — a removed friend keeps
+    /// contributing its training-time behavior to missing-feature filling
+    /// until the engine is rebuilt, so every still-listed pair's decision
+    /// values are unchanged by the removal (blanking the profile instead
+    /// would silently shift neighbors' filled features).
+    pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), EngineError> {
+        let num_platforms = self.stores.len();
+        let store = self
+            .stores
+            .get_mut(platform)
+            .ok_or(EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            })?;
+        if (account as usize) >= store.signals.len() {
+            return Err(EngineError::AccountOutOfRange { platform, account });
+        }
+        if !store.index.remove_account(account) {
+            return Err(EngineError::AccountRemoved { platform, account });
+        }
+        Ok(())
+    }
+
+    fn task_spec(&self, task: usize) -> Result<TaskSpec, EngineError> {
+        self.model
+            .tasks
+            .get(task)
+            .copied()
+            .ok_or(EngineError::TaskOutOfRange {
+                task,
+                num_tasks: self.model.tasks.len(),
+            })
+    }
+
+    fn check_left(&self, spec: TaskSpec, left_account: u32) -> Result<(), EngineError> {
+        let platform = spec.left_platform as usize;
+        let store = &self.stores[platform];
+        if (left_account as usize) >= store.signals.len() {
+            return Err(EngineError::AccountOutOfRange {
+                platform,
+                account: left_account,
+            });
+        }
+        if !store.index.is_active(left_account) {
+            return Err(EngineError::AccountRemoved {
+                platform,
+                account: left_account,
+            });
+        }
+        Ok(())
+    }
+
+    /// Resolve one left account: candidate generation, feature assembly,
+    /// Eq. 18 filling, and kernel decision, returning predictions ranked by
+    /// decision score (descending; ties by right account index). Scores are
+    /// byte-identical to batch `TrainedHydra::predict` for the same pairs.
+    pub fn query(
+        &self,
+        task: usize,
+        left_account: u32,
+    ) -> Result<Vec<LinkagePrediction>, EngineError> {
+        let spec = self.task_spec(task)?;
+        self.check_left(spec, left_account)?;
+        Ok(self.resolve(spec, left_account))
+    }
+
+    /// [`LinkageEngine::query`] for a batch of left accounts, fanned out
+    /// over worker threads with an order-preserving merge — results are
+    /// identical at any `HYDRA_THREADS`. The whole batch is validated
+    /// before any work starts.
+    pub fn query_batch(
+        &self,
+        task: usize,
+        left_accounts: &[u32],
+    ) -> Result<Vec<Vec<LinkagePrediction>>, EngineError> {
+        let spec = self.task_spec(task)?;
+        for &a in left_accounts {
+            self.check_left(spec, a)?;
+        }
+        Ok(hydra_par::par_map(left_accounts, |_, &a| {
+            self.resolve(spec, a)
+        }))
+    }
+
+    /// The per-query pipeline (inputs already validated).
+    fn resolve(&self, spec: TaskSpec, left_account: u32) -> Vec<LinkagePrediction> {
+        let left_store = &self.stores[spec.left_platform as usize];
+        let right_store = &self.stores[spec.right_platform as usize];
+        let sig = &left_store.signals[left_account as usize];
+
+        // --- candidate generation (shared batch-path core) -----------------
+        // The left store's index already holds the account's decoded/sorted
+        // username scalars; only the gram set is recomputed per query.
+        let mut grams = Vec::with_capacity(16);
+        gram_keys(&sig.username, &mut grams);
+        let (chars, sorted_chars) = left_store.index.probe_chars(left_account);
+        let probe = LeftProbe {
+            grams: &grams,
+            chars,
+            sorted_chars,
+        };
+        let cands = score_left_account(
+            left_account,
+            sig,
+            &probe,
+            &right_store.index,
+            &right_store.signals,
+            &self.model.candidates,
+            &self.detector,
+            &self.classifier,
+        );
+        if cands.is_empty() {
+            return Vec::new();
+        }
+
+        // --- feature assembly + Eq. 18 filling -----------------------------
+        let pairs: Vec<crate::PairIdx> = cands.iter().map(|c| (c.left, c.right)).collect();
+        let mut feats = self.extractor.features_for_pairs_threads(
+            &pairs,
+            &left_store.signals,
+            &right_store.signals,
+            Some((&left_store.cache, &right_store.cache)),
+            1, // the batch fan-out happens across queries, not within one
+        );
+        let mut filler = MissingFiller::new(
+            &self.extractor,
+            &left_store.signals,
+            &right_store.signals,
+            &left_store.graph,
+            &right_store.graph,
+        )
+        .with_profile_caches(&left_store.cache, &right_store.cache);
+        filler.fill_matrix(&pairs, &mut feats, self.model.fill);
+
+        // --- kernel decision + ranking -------------------------------------
+        let mut preds: Vec<LinkagePrediction> = (0..feats.len())
+            .map(|r| {
+                let score = self.model.solution.decision(feats.row(r));
+                LinkagePrediction {
+                    left: cands[r].left,
+                    right: cands[r].right,
+                    score,
+                    linked: score > 0.0,
+                }
+            })
+            .collect();
+        preds.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.right.cmp(&b.right)));
+        preds
+    }
+}

@@ -18,6 +18,13 @@
 //! | 27–29  | style similarity S_lea at k = 1, 3, 5 (Eq. 4)            |
 //! | 30–34  | location sensor, resolutions 1,2,4,8,16d (Eq. 5, Fig. 6) |
 //! | 35–39  | near-duplicate media sensor, same resolutions            |
+//!
+//! Extraction is source-agnostic: it consumes extracted
+//! [`UserSignals`] slices, never a concrete dataset type (see
+//! [`crate::source::AccountSource`]). At serve time the
+//! [`FeatureExtractor`] is reconstructed from a persisted model via
+//! [`crate::artifact::LinkageModel::extractor`], so query-time feature
+//! vectors are bit-identical to the training-time ones.
 
 use crate::signals::{
     multi_scale_series_similarity, multi_scale_similarity_cached, AccountBuckets, ProfileCache,

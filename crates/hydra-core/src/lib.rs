@@ -23,22 +23,45 @@
 //!
 //! [`model`] wires everything into the user-facing [`Hydra`] estimator;
 //! [`candidates`] implements the rule-based pre-matching of Section 3.
+//!
+//! ## Train / serve split
+//!
+//! The crate's public API separates **training** from **serving**:
+//!
+//! * [`source`] — the [`AccountSource`] abstraction extraction and fitting
+//!   consume (the synthetic `Dataset` is one impl; real ingest layers plug
+//!   in by implementing it);
+//! * [`Hydra::fit`] produces a [`TrainedHydra`](model::TrainedHydra) whose
+//!   learned state is a self-contained, **persistable** [`artifact`]
+//!   ([`LinkageModel`]: `save`/`load`, versioned binary format, bit-exact
+//!   round trip);
+//! * [`engine`] — [`LinkageEngine`] wraps a `LinkageModel` plus incremental
+//!   per-platform blocking indexes and profile caches, and answers
+//!   per-account `query` / `query_batch` calls (candidate generation →
+//!   features → Eq. 18 filling → kernel decision) with scores byte-identical
+//!   to batch prediction, including for accounts inserted after training.
 
+pub mod artifact;
 pub mod candidates;
 pub mod distributed;
+pub mod engine;
 pub mod features;
 pub mod missing;
 pub mod model;
 pub mod moo;
 pub mod signals;
+pub mod source;
 pub mod structure;
 
-pub use candidates::{generate_candidates, CandidateConfig, CandidatePair};
+pub use artifact::{LinkageModel, ModelIoError, TaskSpec};
+pub use candidates::{generate_candidates, BlockingIndex, CandidateConfig, CandidatePair};
 pub use distributed::{fit_distributed, DistributedConfig, LinearDecisionModel};
+pub use engine::{EngineError, LinkageEngine};
 pub use features::{AttributeImportance, FeatureConfig, PairFeatures};
 pub use missing::FillStrategy;
-pub use model::{Hydra, HydraConfig, LinkagePrediction};
-pub use signals::{SignalConfig, Signals, UserSignals};
+pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
+pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
+pub use source::{AccountSource, AccountView};
 
 /// A (left-account, right-account) pair across one platform pair. Accounts
 /// are platform-local indices.

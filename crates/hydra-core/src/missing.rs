@@ -146,9 +146,21 @@ impl<'a> MissingFiller<'a> {
         }
     }
 
+    /// Top-3 interacting friends, tolerating accounts outside the graph:
+    /// serve-time inserts arrive after the training graph snapshot, so an
+    /// out-of-range index simply has no core network (fill falls back to 0,
+    /// the paper's "friends missing too" case) instead of panicking.
+    fn known_friends(graph: &SocialGraph, v: u32) -> Vec<u32> {
+        if (v as usize) < graph.num_nodes() {
+            top_k_friends(graph, v, 3)
+        } else {
+            Vec::new()
+        }
+    }
+
     fn fill_row_core(&mut self, pair: (u32, u32), values: &mut [f64], mask: &mut u64) {
-        let friends_l = top_k_friends(self.left_graph, pair.0, 3);
-        let friends_r = top_k_friends(self.right_graph, pair.1, 3);
+        let friends_l = Self::known_friends(self.left_graph, pair.0);
+        let friends_r = Self::known_friends(self.right_graph, pair.1);
         let mut sums = [0.0f64; FEATURE_DIM];
         let mut counts = [0u32; FEATURE_DIM];
         for &fl in &friends_l {

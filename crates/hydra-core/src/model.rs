@@ -1,23 +1,36 @@
 //! The user-facing HYDRA estimator (Figure 3 end-to-end).
 //!
-//! [`Hydra::fit`] takes a generated dataset, extracted signals, and one
-//! [`PairTask`] per platform pair (the multi-platform decomposition of
-//! Section 6.2: C platforms → (C−1)C/2 one-to-one SIL problems sharing a
+//! [`Hydra::fit`] takes an [`AccountSource`] (any data source — the
+//! synthetic [`hydra_datagen::Dataset`] is one impl), extracted signals,
+//! and one [`PairTask`] per platform pair (the multi-platform decomposition
+//! of Section 6.2: C platforms → (C−1)C/2 one-to-one SIL problems sharing a
 //! single decision model). It learns the Eq. 3 attribute weights, generates
 //! candidates with the Section-3 rule-based filter, fills missing features
 //! (Eq. 18), builds the block-diagonal structure matrix (Eq. 14), and
 //! solves the multi-objective dual. [`TrainedHydra::predict`] scores every
 //! candidate pair of a task through the learned kernel expansion (Eq. 12).
+//!
+//! ## Train / serve split
+//!
+//! `fit` is now a thin wrapper over the serving-layer artifacts: the
+//! learned state lives in a [`LinkageModel`]
+//! ([`TrainedHydra::model`]) that can be saved, loaded, and handed to a
+//! [`crate::engine::LinkageEngine`] for per-account queries — see the
+//! migration notes on [`TrainedHydra`]. `TrainedHydra` itself additionally
+//! retains the fit-time candidate lists and filled feature rows so batch
+//! evaluation over the training corpus stays a single [`TrainedHydra::predict`]
+//! call.
 
+use crate::artifact::{LinkageModel, TaskSpec};
 use crate::candidates::{generate_candidates, CandidateConfig, CandidatePair};
 use crate::features::{
     AttributeImportance, FeatureConfig, FeatureExtractor, FeatureMatrix, FEATURE_DIM,
 };
 use crate::missing::{FillStrategy, MissingFiller};
-use crate::moo::{solve, MooConfig, MooError, MooProblem, MooSolution};
+use crate::moo::{solve, MooConfig, MooError, MooProblem};
 use crate::signals::{ProfileCache, Signals};
+use crate::source::AccountSource;
 use crate::structure::{build_structure_matrix, StructureConfig};
-use hydra_datagen::Dataset;
 use hydra_linalg::dense::Mat;
 use hydra_linalg::sparse::CsrBuilder;
 use rand::rngs::StdRng;
@@ -115,18 +128,22 @@ pub struct TaskState {
     pub features: FeatureMatrix,
 }
 
-/// A fitted model.
+/// A fitted model: the persistable [`LinkageModel`] plus the fit-time
+/// per-task candidate/feature state batch prediction scores.
+///
+/// ## Migration (pre-serving API → train/serve split)
+///
+/// Code that read `trained.solution` / `trained.importance` now goes
+/// through the artifact: `trained.model.solution`,
+/// `trained.model.importance`. To persist a model:
+/// `trained.model.save(path)`; to serve per-account queries against it:
+/// [`crate::engine::LinkageEngine::new`]. Batch prediction over the
+/// training corpus is unchanged ([`TrainedHydra::predict`]).
 pub struct TrainedHydra {
-    /// The shared kernel expansion.
-    pub solution: MooSolution,
-    /// Learned attribute importance (Eq. 3).
-    pub importance: AttributeImportance,
+    /// The self-contained learned artifact (save/load/serve).
+    pub model: LinkageModel,
     /// Per-task candidate/feature state.
     pub tasks: Vec<TaskState>,
-    /// Size of the kernel expansion set (|P_l ∪ P_u|).
-    pub expansion_size: usize,
-    /// Number of labeled pairs used (including pseudo-labels).
-    pub num_labeled: usize,
 }
 
 impl Hydra {
@@ -135,12 +152,13 @@ impl Hydra {
         Hydra { config }
     }
 
-    /// Fit on a dataset. `signals` must come from [`Signals::extract`] on
-    /// the same dataset (kept separate so experiment sweeps can reuse the
-    /// expensive extraction across settings and methods).
-    pub fn fit(
+    /// Fit on an account source. `signals` must come from
+    /// [`Signals::extract_from`] on the same source (kept separate so
+    /// experiment sweeps can reuse the expensive extraction across settings
+    /// and methods).
+    pub fn fit<S: AccountSource + ?Sized>(
         &self,
-        dataset: &Dataset,
+        dataset: &S,
         signals: &Signals,
         tasks: Vec<PairTask>,
     ) -> Result<TrainedHydra, MooError> {
@@ -221,8 +239,8 @@ impl Hydra {
                 &extractor,
                 left,
                 right,
-                &dataset.platforms[task.left_platform].graph,
-                &dataset.platforms[task.right_platform].graph,
+                dataset.graph(task.left_platform),
+                dataset.graph(task.right_platform),
             )
             .with_profile_caches(left_cache, right_cache);
             filler.fill_matrix(&pairs, &mut feats, cfg.fill);
@@ -327,8 +345,8 @@ impl Hydra {
                 &pairs,
                 &signals.per_platform[state.task.left_platform],
                 &signals.per_platform[state.task.right_platform],
-                &dataset.platforms[state.task.left_platform].graph,
-                &dataset.platforms[state.task.right_platform].graph,
+                dataset.graph(state.task.left_platform),
+                dataset.graph(state.task.right_platform),
                 &cfg.structure,
             );
             for (li, &ci) in local.iter().enumerate() {
@@ -350,35 +368,91 @@ impl Hydra {
         };
         let solution = solve(&problem, &cfg.moo)?;
 
-        Ok(TrainedHydra {
+        let model = LinkageModel {
             solution,
             importance,
-            tasks: task_states,
+            tasks: task_states
+                .iter()
+                .map(|s| TaskSpec {
+                    left_platform: s.task.left_platform as u32,
+                    right_platform: s.task.right_platform as u32,
+                })
+                .collect(),
+            candidates: cfg.candidates.clone(),
+            feature: cfg.feature.clone(),
+            fill: cfg.fill,
+            window_days: signals.window_days,
             expansion_size: n,
             num_labeled: nl,
+        };
+        Ok(TrainedHydra {
+            model,
+            tasks: task_states,
         })
     }
 }
 
+/// A task index outside the fitted task range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskIndexError {
+    /// The offending index.
+    pub task: usize,
+    /// Number of fitted tasks.
+    pub num_tasks: usize,
+}
+
+impl std::fmt::Display for TaskIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "task index {} out of range ({} fitted tasks)",
+            self.task, self.num_tasks
+        )
+    }
+}
+
+impl std::error::Error for TaskIndexError {}
+
 impl TrainedHydra {
     /// Score every candidate pair of task `t` (parallel over candidates,
-    /// deterministic order).
+    /// deterministic order). An out-of-range task index yields an empty
+    /// prediction list; use [`TrainedHydra::try_predict`] to distinguish
+    /// "no candidates" from "no such task".
     pub fn predict(&self, t: usize) -> Vec<LinkagePrediction> {
-        let state = &self.tasks[t];
-        hydra_par::par_map(state.candidates.as_slice(), |ci, c| {
-            let score = self.solution.decision(state.features.row(ci));
+        self.try_predict(t).unwrap_or_default()
+    }
+
+    /// [`TrainedHydra::predict`], erroring on an out-of-range task index
+    /// instead of panicking.
+    pub fn try_predict(&self, t: usize) -> Result<Vec<LinkagePrediction>, TaskIndexError> {
+        let state = self.tasks.get(t).ok_or(TaskIndexError {
+            task: t,
+            num_tasks: self.tasks.len(),
+        })?;
+        Ok(hydra_par::par_map(state.candidates.as_slice(), |ci, c| {
+            let score = self.model.solution.decision(state.features.row(ci));
             LinkagePrediction {
                 left: c.left,
                 right: c.right,
                 score,
                 linked: score > 0.0,
             }
-        })
+        }))
     }
 
     /// Number of platform-pair tasks.
     pub fn num_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    /// Size of the kernel expansion set (|P_l ∪ P_u|).
+    pub fn expansion_size(&self) -> usize {
+        self.model.expansion_size
+    }
+
+    /// Number of labeled pairs used (including pseudo-labels).
+    pub fn num_labeled(&self) -> usize {
+        self.model.num_labeled
     }
 }
 
@@ -386,7 +460,7 @@ impl TrainedHydra {
 mod tests {
     use super::*;
     use crate::signals::SignalConfig;
-    use hydra_datagen::DatasetConfig;
+    use hydra_datagen::{Dataset, DatasetConfig};
 
     /// Standard small fixture: 60 persons on the English pair, 30% of true
     /// pairs labeled plus hard negatives drawn from the candidate pool
@@ -489,9 +563,27 @@ mod tests {
     #[test]
     fn expansion_respects_caps_and_prefix() {
         let (_, _, trained) = fixture(FillStrategy::CoreNetwork);
-        assert!(trained.num_labeled <= trained.expansion_size);
-        assert!(trained.expansion_size <= trained.num_labeled + 600);
+        assert!(trained.num_labeled() <= trained.expansion_size());
+        assert!(trained.expansion_size() <= trained.num_labeled() + 600);
         assert_eq!(trained.num_tasks(), 1);
+    }
+
+    #[test]
+    fn out_of_range_task_index_errors_instead_of_panicking() {
+        let (_, _, trained) = fixture(FillStrategy::CoreNetwork);
+        assert_eq!(trained.num_tasks(), 1);
+        // Regression: `predict` used to index `self.tasks[t]` and panic.
+        assert!(trained.predict(1).is_empty());
+        assert!(trained.predict(usize::MAX).is_empty());
+        let err = trained.try_predict(7).expect_err("out of range");
+        assert_eq!(err.task, 7);
+        assert_eq!(err.num_tasks, 1);
+        assert!(err.to_string().contains("out of range"));
+        // In-range predictions are unaffected.
+        assert_eq!(
+            trained.try_predict(0).expect("in range").len(),
+            trained.predict(0).len()
+        );
     }
 
     #[test]
@@ -520,6 +612,6 @@ mod tests {
             .fit(&dataset, &signals, vec![task])
             .expect("fit");
         // Expansion = labeled only (pseudo-labels may add a few more).
-        assert_eq!(trained.expansion_size, trained.num_labeled);
+        assert_eq!(trained.expansion_size(), trained.num_labeled());
     }
 }

@@ -8,6 +8,7 @@
 //! behavior embedding used by the structure-consistency affinities of
 //! Eq. 9.
 
+use crate::source::{AccountSource, AccountView};
 use hydra_datagen::Dataset;
 use hydra_linalg::kernels::Kernel;
 use hydra_linalg::vec_ops::normalize_l1;
@@ -302,12 +303,21 @@ pub struct AccountBuckets {
 
 /// Per-platform cache of [`AccountBuckets`], built once per side and reused
 /// by candidate-pair feature assembly and Eq.-18 friend-pair filling.
+///
+/// The cache is **incremental**: the serving layer keeps one alive per
+/// platform and extends it with [`ProfileCache::insert_account`] as new
+/// accounts arrive after training (the build parameters are retained so
+/// inserts bucket exactly like the original build).
 #[derive(Debug, Clone)]
 pub struct ProfileCache {
     /// One entry per account, index-aligned with the signals slice.
     pub accounts: Vec<AccountBuckets>,
     /// Observation window the sensor indexes were built over.
     pub window_days: u32,
+    /// Distribution-similarity scales the series were bucketed at.
+    pub scales: Vec<u16>,
+    /// Sensor temporal resolutions the window indexes were built at.
+    pub sensor_scales: Vec<u32>,
 }
 
 impl ProfileCache {
@@ -337,18 +347,72 @@ impl ProfileCache {
         window_days: u32,
         threads: usize,
     ) -> Self {
-        use hydra_temporal::sensors::WindowIndex;
         let horizon = hydra_temporal::days(window_days as i64);
         ProfileCache {
-            accounts: hydra_par::par_map_threads(threads, side, |_, sig| AccountBuckets {
-                topic: BucketedSeries::build(&sig.topic_days, scales),
-                genre: BucketedSeries::build(&sig.genre_days, scales),
-                senti: BucketedSeries::build(&sig.senti_days, scales),
-                checkins: WindowIndex::build(&sig.checkins, 0, horizon, sensor_scales),
-                media: WindowIndex::build(&sig.media, 0, horizon, sensor_scales),
+            accounts: hydra_par::par_map_threads(threads, side, |_, sig| {
+                Self::bucket_account(sig, scales, sensor_scales, horizon)
             }),
             window_days,
+            scales: scales.to_vec(),
+            sensor_scales: sensor_scales.to_vec(),
         }
+    }
+
+    fn bucket_account(
+        sig: &UserSignals,
+        scales: &[u16],
+        sensor_scales: &[u32],
+        horizon: hydra_temporal::Timestamp,
+    ) -> AccountBuckets {
+        use hydra_temporal::sensors::WindowIndex;
+        AccountBuckets {
+            topic: BucketedSeries::build(&sig.topic_days, scales),
+            genre: BucketedSeries::build(&sig.genre_days, scales),
+            senti: BucketedSeries::build(&sig.senti_days, scales),
+            checkins: WindowIndex::build(&sig.checkins, 0, horizon, sensor_scales),
+            media: WindowIndex::build(&sig.media, 0, horizon, sensor_scales),
+        }
+    }
+
+    /// Append one account's buckets (index = previous [`Self::len`]),
+    /// using the scales and window this cache was built with — the entry is
+    /// bit-identical to what a full rebuild over the grown side would hold.
+    pub fn insert_account(&mut self, sig: &UserSignals) -> u32 {
+        let horizon = hydra_temporal::days(self.window_days as i64);
+        self.accounts.push(Self::bucket_account(
+            sig,
+            &self.scales,
+            &self.sensor_scales,
+            horizon,
+        ));
+        (self.accounts.len() - 1) as u32
+    }
+
+    /// Release a removed account's bucket storage. The slot stays (indices
+    /// of later accounts are stable) but holds empty buckets; callers must
+    /// not feature-extract against a removed account.
+    ///
+    /// Note the serving engine deliberately does **not** call this on
+    /// [`remove_account`](crate::engine::LinkageEngine::remove_account):
+    /// a de-listed account's profile stays part of the Eq. 18 core-network
+    /// snapshot, so blanking its buckets would shift neighbors' filled
+    /// features. Reclaim memory only alongside a full snapshot rebuild.
+    pub fn remove_account(&mut self, account: u32) {
+        if let Some(slot) = self.accounts.get_mut(account as usize) {
+            let horizon = hydra_temporal::days(self.window_days as i64);
+            let empty = UserSignals::empty();
+            *slot = Self::bucket_account(&empty, &self.scales, &self.sensor_scales, horizon);
+        }
+    }
+
+    /// Number of cached accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether the cache holds no account.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
     }
 }
 
@@ -379,6 +443,26 @@ pub struct UserSignals {
     pub checkins: Timeline<GeoPoint>,
     /// Media stream for the near-duplicate sensor.
     pub media: Timeline<MediaItem>,
+}
+
+impl UserSignals {
+    /// A blank account (no behavior at all) — placeholder for removed
+    /// serving-side accounts and a base for hand-built test fixtures.
+    pub fn empty() -> Self {
+        UserSignals {
+            person: u32::MAX,
+            username: String::new(),
+            attrs: [None; hydra_datagen::attributes::NUM_ATTRS],
+            image: None,
+            topic_days: DaySeries::default(),
+            genre_days: DaySeries::default(),
+            senti_days: DaySeries::default(),
+            style: UniqueWordProfile { words: Vec::new() },
+            embedding: Vec::new(),
+            checkins: Timeline::from_events(Vec::new()),
+            media: Timeline::from_events(Vec::new()),
+        }
+    }
 }
 
 /// Configuration for signal extraction.
@@ -424,16 +508,23 @@ pub struct Signals {
 }
 
 impl Signals {
-    /// Run the full extraction pipeline over a dataset.
+    /// Run the full extraction pipeline over a dataset (the
+    /// [`AccountSource`] impl of [`Dataset`]; kept as the concrete-type
+    /// entry point for existing callers).
     pub fn extract(dataset: &Dataset, config: &SignalConfig) -> Signals {
-        let vocab = &dataset.vocab;
-        let num_genres = dataset.config.num_genres;
+        Self::extract_from(dataset, config)
+    }
+
+    /// Run the full extraction pipeline over any [`AccountSource`].
+    pub fn extract_from<S: AccountSource + ?Sized>(source: &S, config: &SignalConfig) -> Signals {
+        let vocab = source.vocab();
+        let num_genres = source.num_genres();
 
         // --- LDA over a training sample of messages (Section 5.2) ---------
         let mut corpus: Vec<Vec<u32>> = Vec::new();
-        'outer: for p in &dataset.platforms {
-            for a in &p.accounts {
-                for (_, post) in a.posts.iter() {
+        'outer: for p in 0..source.num_platforms() {
+            for a in 0..source.num_accounts(p) as u32 {
+                for (_, post) in source.account(p, a).posts.iter() {
                     corpus.push(post.tokens.clone());
                     if corpus.len() >= config.lda_sample_cap {
                         break 'outer;
@@ -471,14 +562,15 @@ impl Signals {
             .collect();
 
         // --- per-account extraction ----------------------------------------
-        let mut per_platform = Vec::with_capacity(dataset.platforms.len());
-        for p in &dataset.platforms {
-            let mut sigs = Vec::with_capacity(p.accounts.len());
-            for (ai, account) in p.accounts.iter().enumerate() {
+        let mut per_platform = Vec::with_capacity(source.num_platforms());
+        for p in 0..source.num_platforms() {
+            let n = source.num_accounts(p);
+            let mut sigs = Vec::with_capacity(n);
+            for ai in 0..n as u32 {
                 sigs.push(extract_account(
-                    dataset,
-                    account,
-                    ai as u32,
+                    source.account(p, ai),
+                    ai,
+                    vocab,
                     &lda,
                     &senti_by_id,
                     num_genres,
@@ -490,7 +582,7 @@ impl Signals {
 
         Signals {
             per_platform,
-            window_days: dataset.config.window_days,
+            window_days: source.window_days(),
             lda,
         }
     }
@@ -501,16 +593,16 @@ impl Signals {
     }
 }
 
+/// Extract one account's signals, given a raw [`AccountView`].
 fn extract_account(
-    dataset: &Dataset,
-    account: &hydra_datagen::Account,
+    account: AccountView<'_>,
     account_idx: u32,
+    vocab: &hydra_text::Vocabulary,
     lda: &LdaModel,
     senti_by_id: &[Option<[f64; NUM_SENTIMENTS]>],
     num_genres: usize,
     config: &SignalConfig,
 ) -> UserSignals {
-    let vocab = &dataset.vocab;
     let num_topics = config.num_topics;
 
     let mut topic_events = Vec::with_capacity(account.posts.len());
@@ -587,9 +679,9 @@ fn extract_account(
 
     UserSignals {
         person: account.person,
-        username: account.username.clone(),
-        attrs: account.attrs,
-        image: account.image.clone(),
+        username: account.username.to_string(),
+        attrs: *account.attrs,
+        image: account.image.cloned(),
         topic_days,
         genre_days,
         senti_days,

@@ -46,6 +46,33 @@ fn candidate_generation_is_thread_count_invariant_and_matches_legacy() {
 }
 
 #[test]
+fn prefiltered_scoring_matches_unfiltered_legacy_across_thresholds() {
+    // The candidate-scoring prefilter (skip Jaro-Winkler/LCS when the
+    // length/shared-character bound is already below threshold) must be
+    // invisible: at every threshold — permissive (filter almost never
+    // fires) through strict (filter kills most pairs) — the filtered
+    // parallel path reproduces the unfiltered legacy implementation
+    // byte-for-byte.
+    let (_, s) = world(80, 91);
+    for threshold in [0.30, 0.55, 0.70, 0.90] {
+        let config = CandidateConfig {
+            username_threshold: threshold,
+            ..Default::default()
+        };
+        let legacy = generate_candidates_legacy(&s.per_platform[0], &s.per_platform[1], &config);
+        for threads in THREAD_COUNTS {
+            let got = generate_candidates_threads(
+                &s.per_platform[0],
+                &s.per_platform[1],
+                &config,
+                threads,
+            );
+            assert_eq!(got, legacy, "threshold {threshold}, {threads} threads");
+        }
+    }
+}
+
+#[test]
 fn feature_assembly_is_thread_count_invariant_and_cache_invariant() {
     let (_, s) = world(60, 31);
     let fx = FeatureExtractor::new(FeatureConfig::default(), AttributeImportance::default(), 64);

@@ -1,0 +1,336 @@
+//! Serve-path parity: the serving layer must be a *view* over the batch
+//! pipeline, never a reimplementation with drift.
+//!
+//! * [`LinkageEngine::query`] / [`query_batch`] decision values are
+//!   **byte-identical** to batch [`TrainedHydra::predict`] for the same
+//!   candidate pairs, at every worker count (`HYDRA_THREADS` ∈ {1, 4} via
+//!   the in-process override);
+//! * a [`LinkageModel`] surviving `to_bytes` → `from_bytes` (and a file
+//!   round trip) answers queries byte-identically to the in-memory model;
+//! * an engine grown account-by-account with `insert_account` answers
+//!   byte-identically to one built over the full population;
+//! * `remove_account` drops an account from both sides of serving;
+//! * out-of-range task/account indexes error instead of panicking.
+
+use hydra_core::candidates::{generate_candidates, CandidateConfig};
+use hydra_core::engine::{EngineError, LinkageEngine};
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::LinkageModel;
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_graph::SocialGraph;
+use std::collections::HashMap;
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    (dataset, signals)
+}
+
+fn train(dataset: &Dataset, signals: &Signals) -> TrainedHydra {
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    let task = PairTask {
+        left_platform: 0,
+        right_platform: 1,
+        labels,
+        unlabeled_whitelist: None,
+    };
+    Hydra::new(HydraConfig::default())
+        .fit(dataset, signals, vec![task])
+        .expect("fit")
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+/// Batch predictions for the blocking candidates of one left account,
+/// ranked by the engine's rule (score descending, ties by right index).
+fn expected_for_left(
+    left: u32,
+    blocking: &[hydra_core::CandidatePair],
+    batch: &HashMap<(u32, u32), LinkagePrediction>,
+) -> Vec<LinkagePrediction> {
+    let mut exp: Vec<LinkagePrediction> = blocking
+        .iter()
+        .filter(|c| c.left == left)
+        .map(|c| batch[&(c.left, c.right)])
+        .collect();
+    exp.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.right.cmp(&b.right)));
+    exp
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{ctx}: score drift on ({}, {})",
+            g.left,
+            g.right
+        );
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+#[test]
+fn engine_queries_match_batch_predict_bitwise_across_thread_counts() {
+    let (dataset, signals) = world(60, 0x5E17E);
+    let trained = train(&dataset, &signals);
+    let engine =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("engine");
+
+    let blocking = generate_candidates(
+        &signals.per_platform[0],
+        &signals.per_platform[1],
+        &CandidateConfig::default(),
+    );
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    for threads in [1usize, 4] {
+        hydra_par::set_thread_override(Some(threads));
+        let batch: HashMap<(u32, u32), LinkagePrediction> = trained
+            .predict(0)
+            .into_iter()
+            .map(|p| ((p.left, p.right), p))
+            .collect();
+
+        let batched = engine.query_batch(0, &lefts).expect("query_batch");
+        for (&left, q) in lefts.iter().zip(batched.iter()) {
+            let single = engine.query(0, left).expect("query");
+            assert_preds_bitwise(q, &single, &format!("query vs query_batch x{threads}"));
+            let want = expected_for_left(left, &blocking, &batch);
+            assert_preds_bitwise(q, &want, &format!("left {left} x{threads}"));
+        }
+        hydra_par::set_thread_override(None);
+    }
+}
+
+#[test]
+fn saved_model_round_trips_and_serves_identically() {
+    let (dataset, signals) = world(50, 0xA57);
+    let trained = train(&dataset, &signals);
+
+    let bytes = trained.model.to_bytes();
+    let loaded = LinkageModel::from_bytes(&bytes).expect("load");
+    assert_eq!(loaded.to_bytes(), bytes, "re-serialization is exact");
+    assert_eq!(loaded.fingerprint(), trained.model.fingerprint());
+
+    // File round trip too.
+    let path = std::env::temp_dir().join("hydra_serve_parity.hylm");
+    trained.model.save(&path).expect("save");
+    let from_file = LinkageModel::load(&path).expect("file load");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(from_file.to_bytes(), bytes);
+
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let mem = LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset))
+        .expect("in-memory engine");
+    let disk = LinkageEngine::new(from_file, &signals, graphs(&dataset)).expect("loaded engine");
+    let a = mem.query_batch(0, &lefts).expect("mem");
+    let b = disk.query_batch(0, &lefts).expect("disk");
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_preds_bitwise(y, x, "loaded model");
+    }
+}
+
+#[test]
+fn incrementally_grown_engine_matches_full_build() {
+    let (dataset, signals) = world(44, 0x16C);
+    let trained = train(&dataset, &signals);
+
+    let full = LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("full");
+
+    // Start with a truncated right platform, then stream the rest in.
+    let keep = 30usize;
+    let mut truncated = signals.clone();
+    truncated.per_platform[1].truncate(keep);
+    let mut grown =
+        LinkageEngine::new(trained.model.clone(), &truncated, graphs(&dataset)).expect("grown");
+    for (j, sig) in signals.per_platform[1].iter().enumerate().skip(keep) {
+        let idx = grown.insert_account(1, sig.clone()).expect("insert");
+        assert_eq!(idx as usize, j, "insert slot");
+    }
+    assert_eq!(grown.num_accounts(1), full.num_accounts(1));
+
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let a = full.query_batch(0, &lefts).expect("full");
+    let b = grown.query_batch(0, &lefts).expect("grown");
+    for (&left, (x, y)) in lefts.iter().zip(a.iter().zip(b.iter())) {
+        assert_preds_bitwise(y, x, &format!("grown engine, left {left}"));
+    }
+}
+
+#[test]
+fn removed_accounts_leave_serving() {
+    let (dataset, signals) = world(40, 0xDE1);
+    let trained = train(&dataset, &signals);
+    let mut engine =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("engine");
+
+    // Find a left account that surfaces its true counterpart.
+    let (left, victim) = (0..dataset.num_persons() as u32)
+        .find_map(|i| {
+            let preds = engine.query(0, i).expect("query");
+            preds.first().map(|p| (i, p.right))
+        })
+        .expect("some account has candidates");
+
+    // Snapshot another left account's answers whose candidate list does
+    // not involve the victim: removal must not perturb them at all (the
+    // victim's profile stays in the Eq. 18 snapshot, so even neighbors'
+    // filled features are unchanged).
+    let bystander = (0..dataset.num_persons() as u32)
+        .find(|&i| {
+            i != left
+                && engine
+                    .query(0, i)
+                    .expect("query")
+                    .iter()
+                    .all(|p| p.right != victim)
+        })
+        .expect("some account untouched by the victim");
+    let before = engine.query(0, bystander).expect("before removal");
+
+    engine.remove_account(1, victim).expect("remove");
+    // Gone as a candidate…
+    assert!(
+        engine
+            .query(0, left)
+            .expect("query after removal")
+            .iter()
+            .all(|p| p.right != victim),
+        "removed right account still served"
+    );
+    // …while unrelated answers are byte-identical.
+    let after = engine.query(0, bystander).expect("after removal");
+    assert_preds_bitwise(&after, &before, "bystander unaffected by removal");
+    // …and double-removal / left-side queries of removed accounts error.
+    assert_eq!(
+        engine.remove_account(1, victim),
+        Err(EngineError::AccountRemoved {
+            platform: 1,
+            account: victim
+        })
+    );
+    engine.remove_account(0, left).expect("remove left");
+    assert_eq!(
+        engine.query(0, left),
+        Err(EngineError::AccountRemoved {
+            platform: 0,
+            account: left
+        })
+    );
+    // Other accounts keep serving.
+    let other = (left + 1) % dataset.num_persons() as u32;
+    engine.query(0, other).expect("unaffected account");
+}
+
+#[test]
+fn multi_task_engine_serves_every_platform_pair() {
+    // Three platforms → three pair tasks sharing one decision model; the
+    // engine must route each task index to the right platform stores and
+    // stay byte-identical to batch predict on every one.
+    let mut config = DatasetConfig::chinese(36, 0x3AB);
+    config.platforms.truncate(3);
+    let dataset = Dataset::generate(config);
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 6,
+            infer_iterations: 2,
+            ..Default::default()
+        },
+    );
+    let mk_task = |l: usize, r: usize| {
+        let mut labels = Vec::new();
+        for i in 0..9u32 {
+            labels.push((i, i, true));
+            labels.push((i, (i + 17) % 36, false));
+        }
+        PairTask {
+            left_platform: l,
+            right_platform: r,
+            labels,
+            unlabeled_whitelist: None,
+        }
+    };
+    let trained = Hydra::new(HydraConfig {
+        max_unlabeled_expansion: 50,
+        ..Default::default()
+    })
+    .fit(
+        &dataset,
+        &signals,
+        vec![mk_task(0, 1), mk_task(0, 2), mk_task(1, 2)],
+    )
+    .expect("multi-task fit");
+    let engine =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("engine");
+    assert_eq!(engine.num_tasks(), 3);
+
+    for t in 0..3 {
+        let spec = trained.model.tasks[t];
+        let batch: HashMap<(u32, u32), LinkagePrediction> = trained
+            .predict(t)
+            .into_iter()
+            .map(|p| ((p.left, p.right), p))
+            .collect();
+        let blocking = generate_candidates(
+            &signals.per_platform[spec.left_platform as usize],
+            &signals.per_platform[spec.right_platform as usize],
+            &CandidateConfig::default(),
+        );
+        for left in 0..dataset.num_persons() as u32 {
+            let got = engine.query(t, left).expect("query");
+            let want = expected_for_left(left, &blocking, &batch);
+            assert_preds_bitwise(&got, &want, &format!("task {t}, left {left}"));
+        }
+    }
+}
+
+#[test]
+fn out_of_range_queries_error_instead_of_panicking() {
+    let (dataset, signals) = world(30, 0x0B0);
+    let trained = train(&dataset, &signals);
+    let engine =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("engine");
+
+    assert_eq!(
+        engine.query(3, 0),
+        Err(EngineError::TaskOutOfRange {
+            task: 3,
+            num_tasks: 1
+        })
+    );
+    assert_eq!(
+        engine.query(0, 10_000),
+        Err(EngineError::AccountOutOfRange {
+            platform: 0,
+            account: 10_000
+        })
+    );
+    // Batch validation rejects the whole batch before doing any work.
+    assert!(engine.query_batch(0, &[0, 1, 10_000]).is_err());
+    // Mismatched windows are rejected at construction.
+    let mut wrong = signals.clone();
+    wrong.window_days += 1;
+    assert!(matches!(
+        LinkageEngine::new(trained.model.clone(), &wrong, graphs(&dataset)),
+        Err(EngineError::WindowMismatch { .. })
+    ));
+}

@@ -172,8 +172,8 @@ fn auto_kind_is_consistent_through_full_fit() {
             .expect("fit")
     };
     let auto = fit_with(MooSolverKind::Auto);
-    assert_ne!(auto.solution.solver, MooSolverKind::Auto);
-    let pinned = fit_with(auto.solution.solver);
+    assert_ne!(auto.model.solution.solver, MooSolverKind::Auto);
+    let pinned = fit_with(auto.model.solution.solver);
     let (pa, pb) = (auto.predict(0), pinned.predict(0));
     assert_eq!(pa.len(), pb.len());
     for (a, b) in pa.iter().zip(pb.iter()) {

@@ -215,7 +215,9 @@ pub fn run_method(prepared: &PreparedData, method: Method) -> MethodResult {
                 .fit(&prepared.dataset, &prepared.signals, tasks)
                 .expect("HYDRA fit");
             for (t, pair) in prepared.pairs.iter().enumerate() {
-                let preds = trained.predict(t);
+                // `try_predict` so a task/pair drift fails loudly instead of
+                // silently scoring an empty prediction list.
+                let preds = trained.try_predict(t).expect("task aligned with pairs");
                 parts.push(evaluate(
                     &preds,
                     &pair.labels,

@@ -1,11 +1,15 @@
-//! Quickstart: generate a two-platform world, train HYDRA, link identities.
+//! Quickstart: the full train/serve lifecycle — generate a two-platform
+//! world, train HYDRA, **save** the learned model, **load** it back, and
+//! answer per-account linkage queries through the serving engine.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use hydra::core::engine::LinkageEngine;
 use hydra::core::model::{Hydra, HydraConfig, PairTask};
 use hydra::core::signals::{SignalConfig, Signals};
+use hydra::core::LinkageModel;
 use hydra::datagen::{Dataset, DatasetConfig};
 
 fn main() {
@@ -34,7 +38,7 @@ fn main() {
         labels.push((i, (i + 31) % 100, false));
     }
 
-    // 4. Fit the multi-objective model and score all candidate pairs.
+    // 4. TRAIN: fit the multi-objective model once.
     println!("training HYDRA...");
     let task = PairTask {
         left_platform: 0,
@@ -47,32 +51,61 @@ fn main() {
         .expect("training succeeds");
     println!(
         "  expansion set: {} pairs ({} labeled), {} support vectors",
-        trained.expansion_size, trained.num_labeled, trained.solution.support_vectors
+        trained.expansion_size(),
+        trained.num_labeled(),
+        trained.model.solution.support_vectors
     );
 
-    // 5. Evaluate against ground truth (account i ↔ account i).
-    let predictions = trained.predict(0);
-    let prf = hydra::eval::evaluate(&predictions, &labels, dataset.num_persons());
-    println!("\nresults on {} candidate pairs:", predictions.len());
+    // 5. SAVE / LOAD: the learned state is a self-contained LinkageModel
+    //    with a versioned, bit-exact binary format.
+    let path = std::env::temp_dir().join("hydra_quickstart.hylm");
+    trained.model.save(&path).expect("save model");
+    let loaded = LinkageModel::load(&path).expect("load model");
+    println!(
+        "saved + reloaded model: {} bytes, fingerprint {:016x}",
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+        loaded.fingerprint()
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // 6. SERVE: wrap the loaded model in an engine and resolve accounts
+    //    one query at a time — no refit, byte-identical to batch predict.
+    let engine = LinkageEngine::new(
+        loaded,
+        &signals,
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect(),
+    )
+    .expect("engine");
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let answers = engine.query_batch(0, &lefts).expect("query batch");
+
+    // 7. Evaluate the served answers against ground truth (account i on
+    //    the left is the same person as account i on the right).
+    let flat: Vec<_> = answers.iter().flatten().copied().collect();
+    let prf = hydra::eval::evaluate(&flat, &labels, dataset.num_persons());
+    println!("\nserved results over {} candidate pairs:", flat.len());
     println!("  precision = {:.3}", prf.precision);
     println!("  recall    = {:.3}", prf.recall);
     println!("  F1        = {:.3}", prf.f1);
 
-    // Show a few linked identities.
-    println!("\nsample links (left username ↔ right username):");
+    // Show a few resolved identities (top-ranked answer per query).
+    println!("\nsample queries (left username → top answer):");
     let mut shown = 0;
-    for p in predictions.iter().filter(|p| p.linked) {
+    for (left, ranked) in lefts.iter().zip(answers.iter()) {
+        let Some(top) = ranked.first().filter(|p| p.linked) else {
+            continue;
+        };
         if shown >= 5 {
             break;
         }
-        let lu = &dataset.account(0, p.left as usize).username;
-        let ru = &dataset.account(1, p.right as usize).username;
-        let verdict = if p.left == p.right {
+        let lu = &dataset.account(0, *left as usize).username;
+        let ru = &dataset.account(1, top.right as usize).username;
+        let verdict = if top.left == top.right {
             "correct"
         } else {
             "WRONG"
         };
-        println!("  {lu:<24} ↔ {ru:<24} score {:+.2}  [{verdict}]", p.score);
+        println!("  {lu:<24} → {ru:<24} score {:+.2}  [{verdict}]", top.score);
         shown += 1;
     }
 }

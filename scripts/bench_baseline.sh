@@ -45,6 +45,18 @@ for rid in records:
                 records[rid]["median_ns"] / records[opt]["median_ns"], 2
             )
 
+# Serving-layer stage: the id suffix is the query count, so the batch
+# wall-clock reduces to a per-query latency.
+serve = None
+for rid, rec in records.items():
+    if rid.startswith("serve/query_batch/"):
+        queries = int(rid.rsplit("/", 1)[1])
+        serve = {
+            "stage": rid,
+            "queries": queries,
+            "per_query_ns": round(rec["median_ns"] / queries, 1),
+        }
+
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 doc = {
     "bench": "pipeline",
@@ -62,6 +74,7 @@ doc = {
         ["rustc", "--version"], capture_output=True, text=True
     ).stdout.strip(),
     "speedup_baseline_over_optimized": speedups,
+    "serve": serve,
     "stages": raw,
 }
 with open(os.environ["OUT"], "w") as f:
@@ -70,4 +83,9 @@ with open(os.environ["OUT"], "w") as f:
 print(f"wrote {os.environ['OUT']}")
 for stage, s in sorted(speedups.items()):
     print(f"  {stage:<14} {s}x")
+if serve:
+    print(
+        f"  serve          {serve['per_query_ns'] / 1e6:.2f} ms/query "
+        f"({serve['queries']} queries)"
+    )
 PY

@@ -39,6 +39,7 @@ REQUIRED_STAGE_PREFIXES = [
     "pipeline/fit/hydra_m/",
     "fit/dense_lu/",
     "fit/matrix_free/",
+    "serve/query_batch/",
 ]
 
 REQUIRED_SPEEDUP_STAGES = [
@@ -97,6 +98,17 @@ def main() -> None:
         if not isinstance(speedups[stage], (int, float)) or speedups[stage] <= 0:
             fail(f"speedup for stage {stage!r} is not a positive number")
 
+    serve = doc.get("serve")
+    if not isinstance(serve, dict):
+        fail("missing serve block (per-query serving latency)")
+    for key in ("stage", "queries", "per_query_ns"):
+        if key not in serve:
+            fail(f"serve block missing {key!r}")
+    if serve["queries"] <= 0 or serve["per_query_ns"] <= 0:
+        fail("serve block has non-positive queries/per_query_ns")
+    if not str(serve["stage"]).startswith("serve/query_batch/"):
+        fail(f"serve block records unexpected stage {serve['stage']!r}")
+
     if args.min_fit_speedup is not None:
         got = speedups["fit_dual_solve"]
         if got < args.min_fit_speedup:
@@ -107,7 +119,8 @@ def main() -> None:
 
     print(
         f"{args.path}: schema OK "
-        f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x)"
+        f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
+        f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query)"
     )
 
 

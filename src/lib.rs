@@ -15,12 +15,41 @@
 //! * [`eval`] — metrics, labeling, and the experiment runner;
 //! * substrates: [`linalg`], [`text`], [`graph`], [`temporal`], [`vision`].
 //!
-//! ## Quickstart
+//! ## Train / serve split
+//!
+//! Since the serving-layer redesign the public API separates **training**
+//! from **serving**:
+//!
+//! * [`core::source::AccountSource`] abstracts the data source — the
+//!   synthetic [`datagen::Dataset`] is one impl; real ingest layers plug in
+//!   by implementing the same accessors. [`core::signals::Signals::extract_from`]
+//!   and [`core::model::Hydra::fit`] are generic over it.
+//! * Training distills into a persistable [`core::LinkageModel`]
+//!   (`trained.model`): `save`/`load` with a versioned binary format whose
+//!   floats round-trip bit-exactly.
+//! * [`core::engine::LinkageEngine`] serves per-account `query` /
+//!   `query_batch` calls against a loaded model — candidate generation,
+//!   feature assembly, Eq. 18 filling, and kernel decision per query, with
+//!   scores byte-identical to batch `predict`, and incremental
+//!   `insert_account` / `remove_account` for populations that change after
+//!   training.
+//!
+//! **Migrating from the pre-serving API:** `Hydra::fit(&dataset, …)` still
+//! compiles (a `Dataset` is an `AccountSource`), but the learned state
+//! moved into the artifact — `trained.solution` → `trained.model.solution`,
+//! `trained.importance` → `trained.model.importance`, and
+//! `trained.expansion_size` / `num_labeled` became methods. Batch
+//! `trained.predict(t)` is unchanged (and now returns an empty list instead
+//! of panicking on an out-of-range task; `try_predict` reports the error).
+//!
+//! ## Quickstart (train → save → load → query)
 //!
 //! ```
 //! use hydra::datagen::{Dataset, DatasetConfig};
 //! use hydra::core::signals::{SignalConfig, Signals};
 //! use hydra::core::model::{Hydra, HydraConfig, PairTask};
+//! use hydra::core::engine::LinkageEngine;
+//! use hydra::core::LinkageModel;
 //!
 //! // A small two-platform world (Twitter + Facebook personas of the same
 //! // 40 natural persons).
@@ -44,11 +73,29 @@
 //!     unlabeled_whitelist: None,
 //! };
 //!
+//! // Train once; the learned state is a self-contained artifact.
 //! let trained = Hydra::new(HydraConfig::default())
 //!     .fit(&dataset, &signals, vec![task])
 //!     .expect("training succeeds");
-//! let predictions = trained.predict(0);
-//! assert!(!predictions.is_empty());
+//!
+//! // Persist and reload it (bit-exact round trip)…
+//! let model = LinkageModel::from_bytes(&trained.model.to_bytes()).unwrap();
+//!
+//! // …then serve per-account queries without refitting.
+//! let engine = LinkageEngine::new(
+//!     model,
+//!     &signals,
+//!     dataset.platforms.iter().map(|p| p.graph.clone()).collect(),
+//! )
+//! .expect("engine");
+//! let ranked = engine.query(0, 3).expect("query");
+//! let batch = trained.predict(0);
+//! assert!(!batch.is_empty());
+//! // Serve-time scores are byte-identical to batch prediction.
+//! for p in &ranked {
+//!     assert!(batch.iter().any(|b| (b.left, b.right, b.score.to_bits())
+//!         == (p.left, p.right, p.score.to_bits())));
+//! }
 //! ```
 
 pub use hydra_baselines as baselines;

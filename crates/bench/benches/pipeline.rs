@@ -20,9 +20,12 @@ use hydra_core::candidates::{
 };
 use hydra_core::engine::LinkageEngine;
 use hydra_core::features::{AttributeImportance, FeatureConfig, FeatureExtractor};
+use hydra_core::ingest::RawAccount;
 use hydra_core::model::{Hydra, HydraConfig, PairTask};
 use hydra_core::moo::{self, MooConfig, MooProblem, MooSolverKind};
+use hydra_core::shard::ShardedEngine;
 use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::source::AccountSource;
 use hydra_core::structure::{build_structure_matrix, StructureConfig};
 use hydra_datagen::{Dataset, DatasetConfig};
 use hydra_linalg::kernels::{kernel_matrix, kernel_matrix_mat, Kernel};
@@ -318,9 +321,12 @@ fn bench_fit_dual_solve(c: &mut Criterion) {
 /// Serving-layer throughput: `LinkageEngine::query_batch` resolving every
 /// left account of a trained world per iteration — the per-query pipeline
 /// (candidate generation → feature assembly → Eq. 18 filling → kernel
-/// decision) with no refit. The stage id carries the query count, so
-/// `scripts/bench_baseline.sh` derives the per-query latency recorded in
-/// `BENCH_pipeline.json` (`serve.per_query_ns`).
+/// decision) with no refit — plus the same batch through a `ShardedEngine`
+/// at each benchmarked shard count (`serve/sharded_query_batch/{shards}`,
+/// byte-identical results by construction). The `query_batch` id carries
+/// the query count, so `scripts/bench_baseline.sh` derives per-query
+/// latencies for both paths in `BENCH_pipeline.json` (`serve.per_query_ns`,
+/// `serve_sharded[*].per_query_ns`).
 fn bench_serve_query_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
     group.sample_size(10);
@@ -339,15 +345,46 @@ fn bench_serve_query_batch(c: &mut Criterion) {
     let trained = Hydra::new(HydraConfig::default())
         .fit(&dataset, &signals, vec![task])
         .expect("fit");
-    let engine = LinkageEngine::new(
-        trained.model.clone(),
-        &signals,
-        dataset.platforms.iter().map(|p| p.graph.clone()).collect(),
-    )
-    .expect("engine");
+    let graphs = || -> Vec<hydra_graph::SocialGraph> {
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+    };
+    let engine = LinkageEngine::new(trained.model.clone(), &signals, graphs()).expect("engine");
     let lefts: Vec<u32> = (0..n as u32).collect();
     group.bench_function(format!("query_batch/{n}"), |b| {
         b.iter(|| black_box(engine.query_batch(0, black_box(&lefts)).expect("query")))
+    });
+    for shards in [2usize, 4] {
+        let sharded = ShardedEngine::new(trained.model.clone(), &signals, graphs(), shards)
+            .expect("sharded engine");
+        group.bench_function(format!("sharded_query_batch/{shards}"), |b| {
+            b.iter(|| black_box(sharded.query_batch(0, black_box(&lefts)).expect("query")))
+        });
+    }
+    group.finish();
+}
+
+/// Online-ingest cost: folding ONE raw account into the trained signal
+/// space through a frozen `SignalExtractor` — per-post LDA fold-in against
+/// the frozen counts, sentiment scoring, style ranking, embedding assembly.
+/// One account per iteration, so the stage median IS the per-account
+/// latency `scripts/bench_baseline.sh` records as `ingest.per_account_ns`.
+fn bench_ingest_extract_one(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest");
+    group.sample_size(10);
+    let n = scaled(80);
+    let dataset = Dataset::generate(DatasetConfig::english(n, 48));
+    let (_, extractor) = Signals::extract_with_extractor(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 10,
+            infer_iterations: 4,
+            ..Default::default()
+        },
+    );
+    let idx = (n - 1) as u32;
+    let raw = RawAccount::from_view(AccountSource::account(&dataset, 1, idx));
+    group.bench_function(format!("extract_one/{n}"), |b| {
+        b.iter(|| black_box(extractor.extract_raw(black_box(&raw), idx)))
     });
     group.finish();
 }
@@ -359,6 +396,7 @@ criterion_group!(
     bench_structure_matrix,
     bench_end_to_end_fit,
     bench_fit_dual_solve,
-    bench_serve_query_batch
+    bench_serve_query_batch,
+    bench_ingest_extract_one
 );
 criterion_main!(benches);

@@ -117,12 +117,23 @@ impl From<std::io::Error> for ModelIoError {
 
 /// Checked little-endian reader over the bytes shim (the shim's raw reads
 /// panic past the end; loading must error instead).
-struct Reader {
+pub(crate) struct Reader {
     buf: Bytes,
 }
 
 impl Reader {
-    fn need(&self, n: usize) -> Result<(), ModelIoError> {
+    pub(crate) fn new(bytes: &[u8]) -> Self {
+        Reader {
+            buf: Bytes::from(bytes.to_vec()),
+        }
+    }
+
+    /// Bytes left unread.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    pub(crate) fn need(&self, n: usize) -> Result<(), ModelIoError> {
         if self.buf.remaining() < n {
             Err(ModelIoError::Truncated)
         } else {
@@ -130,37 +141,37 @@ impl Reader {
         }
     }
 
-    fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ModelIoError> {
+    pub(crate) fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ModelIoError> {
         self.need(n)?;
         Ok(self.buf.take_bytes(n).to_vec())
     }
 
-    fn u8(&mut self) -> Result<u8, ModelIoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ModelIoError> {
         self.need(1)?;
         Ok(self.buf.take_bytes(1)[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ModelIoError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ModelIoError> {
         self.need(2)?;
         Ok(self.buf.get_u16_le())
     }
 
-    fn u32(&mut self) -> Result<u32, ModelIoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ModelIoError> {
         self.need(4)?;
         Ok(self.buf.get_u32_le())
     }
 
-    fn u64(&mut self) -> Result<u64, ModelIoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ModelIoError> {
         self.need(8)?;
         Ok(self.buf.get_u64_le())
     }
 
-    fn usize(&mut self) -> Result<usize, ModelIoError> {
+    pub(crate) fn usize(&mut self) -> Result<usize, ModelIoError> {
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| ModelIoError::Corrupt(format!("length {v} overflows")))
     }
 
-    fn f64(&mut self) -> Result<f64, ModelIoError> {
+    pub(crate) fn f64(&mut self) -> Result<f64, ModelIoError> {
         self.need(8)?;
         Ok(self.buf.get_f64_le())
     }
@@ -168,7 +179,7 @@ impl Reader {
     /// Bounded length prefix: a count that implies at least
     /// `elem_bytes`-per-element more data than remains is corrupt, not an
     /// allocation request.
-    fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
+    pub(crate) fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
         let n = self.usize()?;
         if n.saturating_mul(elem_bytes.max(1)) > self.buf.remaining() {
             return Err(ModelIoError::Truncated);
@@ -176,13 +187,13 @@ impl Reader {
         Ok(n)
     }
 
-    fn f64_vec(&mut self) -> Result<Vec<f64>, ModelIoError> {
+    pub(crate) fn f64_vec(&mut self) -> Result<Vec<f64>, ModelIoError> {
         let n = self.len_prefix(8)?;
         (0..n).map(|_| self.f64()).collect()
     }
 }
 
-fn put_f64_vec(w: &mut BytesMut, v: &[f64]) {
+pub(crate) fn put_f64_vec(w: &mut BytesMut, v: &[f64]) {
     w.put_u64_le(v.len() as u64);
     for &x in v {
         w.put_f64_le(x);
@@ -247,7 +258,7 @@ fn read_mat(r: &mut Reader) -> Result<Mat, ModelIoError> {
 }
 
 /// FNV-1a over a byte slice — the config fingerprint hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

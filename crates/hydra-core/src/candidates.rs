@@ -338,6 +338,25 @@ impl BlockingIndex {
         j
     }
 
+    /// Register an account slot that starts *de-listed*: the decoded and
+    /// sorted username scalars are retained (left-side probes and removal
+    /// bookkeeping need them) but no posting is written and the slot is
+    /// born inactive — observationally identical to [`Self::insert_account`]
+    /// followed by [`Self::remove_account`], without building postings only
+    /// to `retain` them back out. The sharded engine uses this for the
+    /// (N−1)/N accounts each shard does not own.
+    pub(crate) fn insert_account_inactive(&mut self, sig: &UserSignals) -> u32 {
+        let j = self.chars.len() as u32;
+        let cs: Vec<char> = sig.username.chars().collect();
+        let mut sorted = cs.clone();
+        sorted.sort_unstable();
+        self.chars.push(cs);
+        self.sorted_chars.push(sorted);
+        self.attr_keys.push((None, None));
+        self.active.push(false);
+        j
+    }
+
     /// Deactivate an account: it vanishes from every postings list (other
     /// accounts keep their indices). Returns `false` when the index was out
     /// of range or already removed.
@@ -401,16 +420,51 @@ impl BlockingIndex {
 
     /// Stop-gram cap against the current active population.
     fn stop_gram_cap(&self) -> usize {
-        (self.active_count / 4).max(25)
+        Self::stop_gram_cap_for(self.active_count)
     }
 
-    /// Gram postings, suppressed for stop grams.
+    /// The stop-gram cap for a given active population size — grams
+    /// indexing more than a quarter of the population carry no signal.
     #[inline]
-    fn gram_candidates(&self, gram: u64) -> Option<&[u32]> {
-        self.gram_postings
-            .get(&gram)
-            .filter(|v| v.len() <= self.stop_gram_cap())
-            .map(Vec::as_slice)
+    pub(crate) fn stop_gram_cap_for(active_count: usize) -> usize {
+        (active_count / 4).max(25)
+    }
+
+    /// Gram postings, suppressed for stop grams. With `limits` supplied,
+    /// suppression is decided against those **global** statistics instead of
+    /// this index's local postings — a shard holding `1/N` of the population
+    /// must suppress exactly the grams a single full index would, or the
+    /// union of shard candidates drifts from the single-engine candidate
+    /// set.
+    #[inline]
+    fn gram_candidates(&self, gram: u64, limits: Option<&GramLimits<'_>>) -> Option<&[u32]> {
+        let postings = self.gram_postings.get(&gram)?;
+        let allowed = match limits {
+            None => postings.len() <= self.stop_gram_cap(),
+            Some(l) => l.allows(gram),
+        };
+        allowed.then_some(postings.as_slice())
+    }
+}
+
+/// Population-wide gram statistics a [`crate::shard::ShardedEngine`] probes
+/// its per-shard [`BlockingIndex`]es with: stop-gram suppression must see
+/// the *global* posting count and active population, not the shard-local
+/// ones, for sharded candidate generation to be byte-identical to the
+/// single-engine path.
+pub(crate) struct GramLimits<'a> {
+    /// Active posting count per gram across every shard.
+    pub counts: &'a HashMap<u64, u32>,
+    /// Active accounts across every shard.
+    pub active_count: usize,
+}
+
+impl GramLimits<'_> {
+    /// Whether a gram survives global stop-gram suppression.
+    #[inline]
+    fn allows(&self, gram: u64) -> bool {
+        let count = self.counts.get(&gram).copied().unwrap_or(0) as usize;
+        count <= BlockingIndex::stop_gram_cap_for(self.active_count)
     }
 }
 
@@ -423,9 +477,11 @@ pub(crate) struct LeftProbe<'a> {
 }
 
 /// Score one left account against an indexed right side — the shared core
-/// of batch candidate generation and serve-time queries. Returns the
-/// account's candidates best-first (username similarity, then right index),
-/// capped at `config.max_per_user`.
+/// of batch candidate generation and serve-time queries (sharded or not;
+/// `limits` carries the global stop-gram statistics when the index is one
+/// shard of a partitioned population). Returns the account's candidates
+/// best-first (username similarity, then right index), capped at
+/// `config.max_per_user`.
 pub(crate) fn score_left_account(
     i: u32,
     sig: &UserSignals,
@@ -435,6 +491,7 @@ pub(crate) fn score_left_account(
     config: &CandidateConfig,
     detector: &FaceDetector,
     classifier: &FaceClassifier,
+    limits: Option<&GramLimits<'_>>,
 ) -> Vec<CandidatePair> {
     // Position of each right index in `scored` — replaces the legacy
     // O(n) `iter_mut().find(...)` e-mail upgrade scan and doubles as
@@ -448,7 +505,7 @@ pub(crate) fn score_left_account(
     // at least one discriminative attribute (Section 3 combines
     // "partial username overlapping" with "user attribute matching").
     for &g in probe.grams {
-        if let Some(js) = index.gram_candidates(g) {
+        if let Some(js) = index.gram_candidates(g, limits) {
             for &j in js {
                 if slot_of.contains_key(&j) {
                     continue;
@@ -610,6 +667,7 @@ pub fn generate_candidates_threads(
             config,
             &detector,
             &classifier,
+            None,
         )
     })
 }

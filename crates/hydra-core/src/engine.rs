@@ -24,7 +24,9 @@
 //! this), because every stage reuses the exact batch-path code.
 
 use crate::artifact::{LinkageModel, TaskSpec};
-use crate::candidates::{gram_keys, score_left_account, BlockingIndex, LeftProbe};
+use crate::candidates::{
+    gram_keys, score_left_account, BlockingIndex, CandidatePair, GramLimits, LeftProbe,
+};
 use crate::features::FeatureExtractor;
 use crate::missing::MissingFiller;
 use crate::model::LinkagePrediction;
@@ -84,6 +86,22 @@ pub enum EngineError {
         /// Graphs supplied.
         graphs: usize,
     },
+    /// An ingest edge delta referenced a node outside the platform graph.
+    EdgeNeighborOutOfRange {
+        /// Platform the insert targeted.
+        platform: usize,
+        /// The offending neighbor id.
+        neighbor: u32,
+    },
+    /// An ingest edge delta carried a non-positive interaction weight.
+    EdgeWeightNotPositive {
+        /// Platform the insert targeted.
+        platform: usize,
+        /// The offending neighbor id.
+        neighbor: u32,
+    },
+    /// A sharded engine needs at least one shard.
+    InvalidShardCount,
 }
 
 impl std::fmt::Display for EngineError {
@@ -120,6 +138,17 @@ impl std::fmt::Display for EngineError {
                 f,
                 "signals cover {signals} platforms but {graphs} graphs were supplied"
             ),
+            EngineError::EdgeNeighborOutOfRange { platform, neighbor } => write!(
+                f,
+                "edge neighbor {neighbor} outside platform {platform}'s graph"
+            ),
+            EngineError::EdgeWeightNotPositive { platform, neighbor } => write!(
+                f,
+                "edge to neighbor {neighbor} on platform {platform} has non-positive weight"
+            ),
+            EngineError::InvalidShardCount => {
+                write!(f, "a sharded engine needs at least one shard")
+            }
         }
     }
 }
@@ -153,6 +182,22 @@ impl LinkageEngine {
         signals: &Signals,
         graphs: Vec<SocialGraph>,
     ) -> Result<Self, EngineError> {
+        Self::new_with_ownership(model, signals, graphs, |_, _| true)
+    }
+
+    /// [`LinkageEngine::new`] with a candidacy predicate: accounts for which
+    /// `owned(platform, account)` is false are registered *de-listed* — full
+    /// profile store membership (signals, cache, graph: Eq. 18 still sees
+    /// them) but no blocking-index postings, exactly the state
+    /// [`LinkageEngine::remove_account`] would leave them in. This is how a
+    /// [`crate::shard::ShardedEngine`] builds its partition without paying
+    /// for postings it would immediately purge.
+    pub(crate) fn new_with_ownership(
+        model: LinkageModel,
+        signals: &Signals,
+        graphs: Vec<SocialGraph>,
+        owned: impl Fn(usize, u32) -> bool,
+    ) -> Result<Self, EngineError> {
         if signals.window_days != model.window_days {
             return Err(EngineError::WindowMismatch {
                 model: model.window_days,
@@ -180,12 +225,23 @@ impl LinkageEngine {
         let stores = signals
             .per_platform
             .iter()
+            .enumerate()
             .zip(graphs)
-            .map(|(side, graph)| PlatformStore {
-                cache: extractor.profile_cache(side),
-                index: BlockingIndex::build(side),
-                signals: side.clone(),
-                graph,
+            .map(|((p, side), graph)| {
+                let mut index = BlockingIndex::build(&[]);
+                for (a, sig) in side.iter().enumerate() {
+                    if owned(p, a as u32) {
+                        index.insert_account(sig);
+                    } else {
+                        index.insert_account_inactive(sig);
+                    }
+                }
+                PlatformStore {
+                    cache: extractor.profile_cache(side),
+                    index,
+                    signals: side.clone(),
+                    graph,
+                }
             })
             .collect();
         Ok(LinkageEngine {
@@ -213,15 +269,38 @@ impl LinkageEngine {
     }
 
     /// Register a new account on `platform` under the next free index
-    /// (returned). The blocking index and profile cache are extended
-    /// incrementally — subsequent queries see the account exactly as if it
-    /// had been present at engine construction. The social-graph snapshot
-    /// is not extended: until a graph refresh the account has no core
-    /// network, so Eq. 18 falls back to zero filling for it.
+    /// (returned), with no social interactions —
+    /// [`LinkageEngine::insert_account_with_edges`] with an empty delta.
     pub fn insert_account(
         &mut self,
         platform: usize,
         sig: UserSignals,
+    ) -> Result<u32, EngineError> {
+        self.insert_account_with_edges(platform, sig, &[])
+    }
+
+    /// Register a new account on `platform` under the next free index
+    /// (returned), refreshing the platform's Eq. 18 graph snapshot with the
+    /// account's interactions: `edges` are `(existing_account, weight)`
+    /// records merged incrementally into the social graph
+    /// ([`SocialGraph::add_node`] / [`SocialGraph::add_edges`]).
+    ///
+    /// The blocking index, profile cache, and graph are all extended
+    /// incrementally — subsequent queries (including Eq. 18 core-network
+    /// filling, on both sides of any pair the account or its friends appear
+    /// in) see the account exactly as if it had been present at engine
+    /// construction with those edges. An empty delta inserts an isolated
+    /// node: the account participates in blocking and scoring but has no
+    /// core network, so Eq. 18 falls back to zero filling for it.
+    ///
+    /// The whole delta is validated before any state changes: an
+    /// out-of-range neighbor or non-positive weight errors without
+    /// registering the account.
+    pub fn insert_account_with_edges(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+        edges: &[(u32, f64)],
     ) -> Result<u32, EngineError> {
         let num_platforms = self.stores.len();
         let store = self
@@ -231,10 +310,39 @@ impl LinkageEngine {
                 platform,
                 num_platforms,
             })?;
+        let new_idx = store.signals.len() as u32;
+        for &(nbr, w) in edges {
+            // A neighbor must be an existing account (the new node's slot is
+            // not a valid interaction partner either — self-loops carry no
+            // linkage signal and GraphBuilder drops them, but here one would
+            // silently vanish, so reject it as out of range).
+            if nbr >= new_idx {
+                return Err(EngineError::EdgeNeighborOutOfRange {
+                    platform,
+                    neighbor: nbr,
+                });
+            }
+            if !(w > 0.0) {
+                return Err(EngineError::EdgeWeightNotPositive {
+                    platform,
+                    neighbor: nbr,
+                });
+            }
+        }
         let idx = store.index.insert_account(&sig);
         let cache_idx = store.cache.insert_account(&sig);
         debug_assert_eq!(idx, cache_idx, "index/cache slot drift");
         store.signals.push(sig);
+        // Graph refresh: pad the snapshot out to the new account's slot (a
+        // snapshot built before earlier edge-less inserts may be behind),
+        // then merge the interaction delta.
+        while store.graph.num_nodes() <= idx as usize {
+            store.graph.add_node();
+        }
+        if !edges.is_empty() {
+            let delta: Vec<(u32, u32, f64)> = edges.iter().map(|&(nbr, w)| (idx, nbr, w)).collect();
+            store.graph.add_edges(&delta);
+        }
         Ok(idx)
     }
 
@@ -266,7 +374,7 @@ impl LinkageEngine {
         Ok(())
     }
 
-    fn task_spec(&self, task: usize) -> Result<TaskSpec, EngineError> {
+    pub(crate) fn task_spec(&self, task: usize) -> Result<TaskSpec, EngineError> {
         self.model
             .tasks
             .get(task)
@@ -275,6 +383,13 @@ impl LinkageEngine {
                 task,
                 num_tasks: self.model.tasks.len(),
             })
+    }
+
+    /// Whether `account` exists on `platform` and has not been removed.
+    pub(crate) fn is_account_active(&self, platform: usize, account: u32) -> bool {
+        self.stores
+            .get(platform)
+            .is_some_and(|s| s.index.is_active(account))
     }
 
     fn check_left(&self, spec: TaskSpec, left_account: u32) -> Result<(), EngineError> {
@@ -329,11 +444,25 @@ impl LinkageEngine {
 
     /// The per-query pipeline (inputs already validated).
     fn resolve(&self, spec: TaskSpec, left_account: u32) -> Vec<LinkagePrediction> {
+        let cands = self.candidates_for(spec, left_account, None);
+        self.score_candidates(spec, &cands)
+    }
+
+    /// Candidate generation for one left account against this engine's
+    /// right-side index (the shared batch-path core). `limits` carries the
+    /// population-wide gram statistics when this engine is one shard of a
+    /// [`crate::shard::ShardedEngine`]; `None` means the index *is* the
+    /// whole population.
+    pub(crate) fn candidates_for(
+        &self,
+        spec: TaskSpec,
+        left_account: u32,
+        limits: Option<&GramLimits<'_>>,
+    ) -> Vec<CandidatePair> {
         let left_store = &self.stores[spec.left_platform as usize];
         let right_store = &self.stores[spec.right_platform as usize];
         let sig = &left_store.signals[left_account as usize];
 
-        // --- candidate generation (shared batch-path core) -----------------
         // The left store's index already holds the account's decoded/sorted
         // username scalars; only the gram set is recomputed per query.
         let mut grams = Vec::with_capacity(16);
@@ -344,7 +473,7 @@ impl LinkageEngine {
             chars,
             sorted_chars,
         };
-        let cands = score_left_account(
+        score_left_account(
             left_account,
             sig,
             &probe,
@@ -353,7 +482,24 @@ impl LinkageEngine {
             &self.model.candidates,
             &self.detector,
             &self.classifier,
-        );
+            limits,
+        )
+    }
+
+    /// Feature assembly, Eq. 18 filling, and kernel decision for an
+    /// already-generated candidate list, ranked by decision score
+    /// (descending; ties by right account index). Per-pair scores depend
+    /// only on the pair and the platform stores — never on which other
+    /// candidates ride along — which is what lets a sharded engine score a
+    /// globally-merged candidate list and stay byte-identical to the
+    /// single-engine path.
+    pub(crate) fn score_candidates(
+        &self,
+        spec: TaskSpec,
+        cands: &[CandidatePair],
+    ) -> Vec<LinkagePrediction> {
+        let left_store = &self.stores[spec.left_platform as usize];
+        let right_store = &self.stores[spec.right_platform as usize];
         if cands.is_empty() {
             return Vec::new();
         }

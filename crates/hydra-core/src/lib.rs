@@ -40,15 +40,35 @@
 //!   per-account `query` / `query_batch` calls (candidate generation →
 //!   features → Eq. 18 filling → kernel decision) with scores byte-identical
 //!   to batch prediction, including for accounts inserted after training.
+//!
+//! ## Online ingest
+//!
+//! The [`ingest`] and [`shard`] modules turn the serving layer into a
+//! system that ingests and serves a *growing* population:
+//!
+//! * [`ingest::SignalExtractor`] — the frozen extraction artifact (trained
+//!   LDA, sentiment lexicon, vocabulary, username LM, config) folding one
+//!   raw payload into the trained signal space, bit-identical to corpus
+//!   extraction; persists standalone (`HYSX`) or bundled with the model as
+//!   an [`ingest::ServingArtifact`];
+//! * `LinkageEngine::insert_account_with_edges` — incremental Eq. 18 graph
+//!   refresh, so ingested accounts join core-network missing-value filling;
+//! * [`shard::ShardedEngine`] — the population partitioned over N
+//!   per-shard stores with hash-by-account routing, global stop-gram
+//!   statistics, and deterministic merges; byte-identical to the
+//!   single-engine path at every shard × thread count
+//!   (`tests/ingest_parity.rs`).
 
 pub mod artifact;
 pub mod candidates;
 pub mod distributed;
 pub mod engine;
 pub mod features;
+pub mod ingest;
 pub mod missing;
 pub mod model;
 pub mod moo;
+pub mod shard;
 pub mod signals;
 pub mod source;
 pub mod structure;
@@ -58,8 +78,10 @@ pub use candidates::{generate_candidates, BlockingIndex, CandidateConfig, Candid
 pub use distributed::{fit_distributed, DistributedConfig, LinearDecisionModel};
 pub use engine::{EngineError, LinkageEngine};
 pub use features::{AttributeImportance, FeatureConfig, PairFeatures};
+pub use ingest::{RawAccount, ServingArtifact, SignalExtractor};
 pub use missing::FillStrategy;
 pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
+pub use shard::ShardedEngine;
 pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
 pub use source::{AccountSource, AccountView};
 

@@ -1,0 +1,450 @@
+//! Sharded serving: [`ShardedEngine`] partitions the candidate population
+//! over N per-shard [`LinkageEngine`] stores and fans queries out over
+//! `hydra-par` workers.
+//!
+//! The paper's deployment regime (10M-user testbed, Sections 6.3 / 7.5) and
+//! the "search-and-resolve" pattern both assume a query fans out over a
+//! partitioned population. The sharded engine keeps that contract honest
+//! with one invariant: **byte identity with the single-engine path** at
+//! every shard count × `HYDRA_THREADS` combination
+//! (`tests/ingest_parity.rs` pins shards {1, 2, 4} × threads {1, 4}).
+//!
+//! ## How the partition works
+//!
+//! * **Routing** — account `a` is owned by shard `hash(a) = a mod N`
+//!   (dense platform-local ids make the modulus a perfect hash);
+//!   [`ShardedEngine::insert_account`] / [`ShardedEngine::remove_account`]
+//!   route to the owning shard's blocking index.
+//! * **Partitioned candidacy, replicated profiles** — each shard's
+//!   [`LinkageEngine`] keeps only its partition *active for candidacy*; the
+//!   per-platform profile stores (signals, bucket caches, social-graph
+//!   snapshot) are full replicas, because Eq. 18 core-network filling
+//!   reaches into arbitrary friends' profiles on both sides of a pair. This
+//!   mirrors the production shape — a partitioned index over a replicated
+//!   profile snapshot — and makes a de-listed partition exactly the
+//!   engine's `remove_account` semantics (profiles keep contributing to
+//!   Eq. 18, candidacy ends). Cross-box sharding of the profile snapshot
+//!   itself is the ROADMAP follow-up.
+//! * **Global stop-gram statistics** — suppression of uninformative grams
+//!   depends on the population-wide posting count; each probe hands the
+//!   shard index the global [`GramLimits`], so a shard suppresses exactly
+//!   the grams one full index would.
+//! * **Deterministic merge** — per-shard candidates are merged, re-ranked
+//!   by the engine's exact ordering (username similarity descending, right
+//!   index ascending — a total order), and truncated to the global
+//!   `max_per_user` cap; the merged list is then scored once (per-pair
+//!   scores never depend on which other candidates ride along), and
+//!   predictions come back ranked by (score descending, right ascending).
+//!   Every step is order-preserving, so results are identical at any worker
+//!   count.
+
+use crate::artifact::{LinkageModel, TaskSpec};
+use crate::candidates::{gram_keys, CandidatePair, GramLimits};
+use crate::engine::{EngineError, LinkageEngine};
+use crate::model::LinkagePrediction;
+use crate::signals::{Signals, UserSignals};
+use hydra_graph::SocialGraph;
+use std::collections::HashMap;
+
+/// Population-wide bookkeeping for one platform: the global gram statistics
+/// shard probes use for stop-gram suppression, plus the slot-aligned
+/// usernames needed to retire a removed account's gram counts.
+struct PlatformStats {
+    /// Active posting count per gram across all shards.
+    gram_counts: HashMap<u64, u32>,
+    /// Active (non-removed) accounts across all shards.
+    active_count: usize,
+    /// Slots ever allocated (including removed accounts).
+    total: usize,
+    /// Username per slot (removal must decrement exactly the grams the
+    /// account was counted under).
+    usernames: Vec<String>,
+}
+
+impl PlatformStats {
+    fn count_grams(&mut self, username: &str, delta: i32) {
+        let mut grams = Vec::with_capacity(16);
+        gram_keys(username, &mut grams);
+        for g in grams {
+            if delta > 0 {
+                *self.gram_counts.entry(g).or_insert(0) += delta as u32;
+            } else if let Some(c) = self.gram_counts.get_mut(&g) {
+                *c = c.saturating_sub((-delta) as u32);
+                if *c == 0 {
+                    self.gram_counts.remove(&g);
+                }
+            }
+        }
+    }
+}
+
+/// Serves per-account linkage queries against a population partitioned over
+/// N per-shard [`LinkageEngine`] stores (see the module docs).
+pub struct ShardedEngine {
+    shards: Vec<LinkageEngine>,
+    num_shards: usize,
+    platforms: Vec<PlatformStats>,
+}
+
+impl ShardedEngine {
+    /// The owning shard of an account: `hash(account) = account mod N`.
+    #[inline]
+    fn owner(&self, account: u32) -> usize {
+        account as usize % self.num_shards
+    }
+
+    /// Build a sharded engine over `num_shards` partitions — same inputs as
+    /// [`LinkageEngine::new`] plus the shard count. A one-shard engine is
+    /// exactly the single-engine path.
+    pub fn new(
+        model: LinkageModel,
+        signals: &Signals,
+        graphs: Vec<SocialGraph>,
+        num_shards: usize,
+    ) -> Result<Self, EngineError> {
+        if num_shards == 0 {
+            return Err(EngineError::InvalidShardCount);
+        }
+        let mut shards = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            // Accounts owned by other shards are registered de-listed: full
+            // profile-store membership (Eq. 18 still sees them), no
+            // candidacy postings.
+            shards.push(LinkageEngine::new_with_ownership(
+                model.clone(),
+                signals,
+                graphs.clone(),
+                |_, a| a as usize % num_shards == s,
+            )?);
+        }
+        let platforms = signals
+            .per_platform
+            .iter()
+            .map(|side| {
+                let mut stats = PlatformStats {
+                    gram_counts: HashMap::new(),
+                    active_count: side.len(),
+                    total: side.len(),
+                    usernames: side.iter().map(|sig| sig.username.clone()).collect(),
+                };
+                for sig in side {
+                    stats.count_grams(&sig.username, 1);
+                }
+                stats
+            })
+            .collect();
+        Ok(ShardedEngine {
+            shards,
+            num_shards,
+            platforms,
+        })
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &LinkageModel {
+        self.shards[0].model()
+    }
+
+    /// Number of shards the population is partitioned over.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of platform-pair tasks the engine serves.
+    pub fn num_tasks(&self) -> usize {
+        self.shards[0].num_tasks()
+    }
+
+    /// Number of account slots on a platform (including removed accounts).
+    pub fn num_accounts(&self, platform: usize) -> usize {
+        self.platforms.get(platform).map_or(0, |p| p.total)
+    }
+
+    /// Number of active (non-removed) accounts on a platform.
+    pub fn active_accounts(&self, platform: usize) -> usize {
+        self.platforms.get(platform).map_or(0, |p| p.active_count)
+    }
+
+    /// Register a new account with no social interactions —
+    /// [`ShardedEngine::insert_account_with_edges`] with an empty delta.
+    pub fn insert_account(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+    ) -> Result<u32, EngineError> {
+        self.insert_account_with_edges(platform, sig, &[])
+    }
+
+    /// Register a new account under the next free platform-local index
+    /// (returned), refreshing every shard's Eq. 18 graph snapshot with the
+    /// account's interaction delta and activating it for candidacy on its
+    /// owning shard only. Subsequent queries are byte-identical to a
+    /// single engine (or a freshly built sharded engine) holding the grown
+    /// population.
+    pub fn insert_account_with_edges(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+        edges: &[(u32, f64)],
+    ) -> Result<u32, EngineError> {
+        let num_platforms = self.platforms.len();
+        let Some(stats) = self.platforms.get_mut(platform) else {
+            return Err(EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            });
+        };
+        let global = stats.total as u32;
+        // Validate the delta once up front so no shard mutates on error.
+        for &(nbr, w) in edges {
+            if nbr >= global {
+                return Err(EngineError::EdgeNeighborOutOfRange {
+                    platform,
+                    neighbor: nbr,
+                });
+            }
+            if !(w > 0.0) {
+                return Err(EngineError::EdgeWeightNotPositive {
+                    platform,
+                    neighbor: nbr,
+                });
+            }
+        }
+        stats.count_grams(&sig.username, 1);
+        stats.usernames.push(sig.username.clone());
+        stats.active_count += 1;
+        stats.total += 1;
+        let owner = self.owner(global);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let idx = shard.insert_account_with_edges(platform, sig.clone(), edges)?;
+            debug_assert_eq!(idx, global, "shard slot drift");
+            if s != owner {
+                shard.remove_account(platform, idx)?;
+            }
+        }
+        Ok(global)
+    }
+
+    /// De-list an account from serving (routing to its owning shard). Its
+    /// profile stays in every shard's Eq. 18 snapshot, exactly like
+    /// [`LinkageEngine::remove_account`].
+    pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), EngineError> {
+        let owner = self.owner(account);
+        self.shards[owner].remove_account(platform, account)?;
+        let stats = &mut self.platforms[platform];
+        let username = stats.usernames[account as usize].clone();
+        stats.count_grams(&username, -1);
+        stats.active_count -= 1;
+        Ok(())
+    }
+
+    fn check_left(&self, spec: TaskSpec, left_account: u32) -> Result<(), EngineError> {
+        let platform = spec.left_platform as usize;
+        if (left_account as usize) >= self.platforms[platform].total {
+            return Err(EngineError::AccountOutOfRange {
+                platform,
+                account: left_account,
+            });
+        }
+        if !self.shards[self.owner(left_account)].is_account_active(platform, left_account) {
+            return Err(EngineError::AccountRemoved {
+                platform,
+                account: left_account,
+            });
+        }
+        Ok(())
+    }
+
+    /// Fan one left account's candidate generation out over the shards and
+    /// merge deterministically: the engine's exact ranking (username
+    /// similarity descending, ties by right index — a total order over the
+    /// disjoint per-shard account sets), then the global per-user cap.
+    fn sharded_candidates(
+        &self,
+        spec: TaskSpec,
+        left_account: u32,
+        parallel: bool,
+    ) -> Vec<CandidatePair> {
+        let stats = &self.platforms[spec.right_platform as usize];
+        let limits = GramLimits {
+            counts: &stats.gram_counts,
+            active_count: stats.active_count,
+        };
+        let per_shard: Vec<Vec<CandidatePair>> = if parallel {
+            hydra_par::par_map(&self.shards, |_, shard| {
+                shard.candidates_for(spec, left_account, Some(&limits))
+            })
+        } else {
+            self.shards
+                .iter()
+                .map(|shard| shard.candidates_for(spec, left_account, Some(&limits)))
+                .collect()
+        };
+        let mut merged: Vec<CandidatePair> = per_shard.into_iter().flatten().collect();
+        merged.sort_by(|a, b| {
+            b.username_sim
+                .total_cmp(&a.username_sim)
+                .then(a.right.cmp(&b.right))
+        });
+        merged.truncate(self.model().candidates.max_per_user);
+        merged
+    }
+
+    /// Resolve one left account across the partition: sharded candidate
+    /// generation, deterministic merge, then one pass of feature assembly →
+    /// Eq. 18 filling → kernel decision over the merged list. Results are
+    /// byte-identical to [`LinkageEngine::query`] on an unpartitioned
+    /// engine over the same population.
+    pub fn query(
+        &self,
+        task: usize,
+        left_account: u32,
+    ) -> Result<Vec<LinkagePrediction>, EngineError> {
+        let spec = self.shards[0].task_spec(task)?;
+        self.check_left(spec, left_account)?;
+        let cands = self.sharded_candidates(spec, left_account, true);
+        Ok(self.shards[0].score_candidates(spec, &cands))
+    }
+
+    /// [`ShardedEngine::query`] for a batch of left accounts, fanned out
+    /// over `hydra-par` workers (each worker walks the shards for its
+    /// queries) with an order-preserving merge — identical results at any
+    /// `HYDRA_THREADS`. The whole batch is validated before any work
+    /// starts.
+    pub fn query_batch(
+        &self,
+        task: usize,
+        left_accounts: &[u32],
+    ) -> Result<Vec<Vec<LinkagePrediction>>, EngineError> {
+        let spec = self.shards[0].task_spec(task)?;
+        for &a in left_accounts {
+            self.check_left(spec, a)?;
+        }
+        Ok(hydra_par::par_map(left_accounts, |_, &a| {
+            let cands = self.sharded_candidates(spec, a, false);
+            self.shards[0].score_candidates(spec, &cands)
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Hydra, HydraConfig, PairTask};
+    use crate::signals::SignalConfig;
+    use hydra_datagen::{Dataset, DatasetConfig};
+
+    fn world() -> (Dataset, Signals, LinkageModel) {
+        let dataset = Dataset::generate(DatasetConfig::english(36, 0x5A4D));
+        let signals = Signals::extract(
+            &dataset,
+            &SignalConfig {
+                lda_iterations: 6,
+                infer_iterations: 2,
+                ..Default::default()
+            },
+        );
+        let mut labels = Vec::new();
+        for i in 0..9u32 {
+            labels.push((i, i, true));
+            labels.push((i, (i + 18) % 36, false));
+        }
+        let trained = Hydra::new(HydraConfig::default())
+            .fit(
+                &dataset,
+                &signals,
+                vec![PairTask {
+                    left_platform: 0,
+                    right_platform: 1,
+                    labels,
+                    unlabeled_whitelist: None,
+                }],
+            )
+            .expect("fit");
+        (dataset, signals, trained.model)
+    }
+
+    fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+    }
+
+    #[test]
+    fn zero_shards_rejected() {
+        let (dataset, signals, model) = world();
+        assert!(matches!(
+            ShardedEngine::new(model, &signals, graphs(&dataset), 0),
+            Err(EngineError::InvalidShardCount)
+        ));
+    }
+
+    #[test]
+    fn one_shard_matches_single_engine_bitwise() {
+        let (dataset, signals, model) = world();
+        let single = LinkageEngine::new(model.clone(), &signals, graphs(&dataset)).expect("single");
+        let sharded = ShardedEngine::new(model, &signals, graphs(&dataset), 1).expect("sharded");
+        for left in 0..dataset.num_persons() as u32 {
+            let a = single.query(0, left).expect("single query");
+            let b = sharded.query(0, left).expect("sharded query");
+            assert_eq!(a.len(), b.len(), "left {left}: count");
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!((x.left, x.right), (y.left, y.right), "left {left}");
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "left {left}");
+            }
+        }
+    }
+
+    #[test]
+    fn routing_and_errors() {
+        let (dataset, signals, model) = world();
+        let mut sharded =
+            ShardedEngine::new(model, &signals, graphs(&dataset), 3).expect("sharded");
+        assert_eq!(sharded.num_shards(), 3);
+        assert_eq!(sharded.num_accounts(1), 36);
+        assert_eq!(sharded.active_accounts(1), 36);
+
+        // Removal routes to the owning shard and de-lists globally.
+        sharded.remove_account(1, 5).expect("remove");
+        assert_eq!(sharded.active_accounts(1), 35);
+        assert!(matches!(
+            sharded.remove_account(1, 5),
+            Err(EngineError::AccountRemoved { .. })
+        ));
+        assert!(sharded
+            .query(0, 5)
+            .expect("left 5 still active on platform 0")
+            .iter()
+            .all(|p| p.right != 5));
+
+        // Left-side validation mirrors the single engine.
+        assert!(matches!(
+            sharded.query(0, 10_000),
+            Err(EngineError::AccountOutOfRange { .. })
+        ));
+        sharded.remove_account(0, 7).expect("remove left");
+        assert!(matches!(
+            sharded.query(0, 7),
+            Err(EngineError::AccountRemoved { .. })
+        ));
+        assert!(matches!(
+            sharded.query(9, 0),
+            Err(EngineError::TaskOutOfRange { .. })
+        ));
+
+        // Edge-delta validation happens before any shard mutates.
+        let sig = signals.per_platform[1][0].clone();
+        assert!(matches!(
+            sharded.insert_account_with_edges(1, sig.clone(), &[(999, 1.0)]),
+            Err(EngineError::EdgeNeighborOutOfRange { .. })
+        ));
+        assert!(matches!(
+            sharded.insert_account_with_edges(1, sig.clone(), &[(0, 0.0)]),
+            Err(EngineError::EdgeWeightNotPositive { .. })
+        ));
+        assert_eq!(sharded.num_accounts(1), 36, "failed insert left state");
+        let idx = sharded
+            .insert_account_with_edges(1, sig, &[(0, 2.0)])
+            .expect("insert");
+        assert_eq!(idx, 36);
+        assert_eq!(sharded.num_accounts(1), 37);
+    }
+}

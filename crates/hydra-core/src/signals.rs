@@ -14,7 +14,7 @@ use hydra_linalg::kernels::Kernel;
 use hydra_linalg::vec_ops::normalize_l1;
 use hydra_temporal::{GeoPoint, MediaItem, Timeline, SECONDS_PER_DAY};
 use hydra_text::sentiment::NUM_SENTIMENTS;
-use hydra_text::{LdaModel, LdaOptions, SentimentLexicon, UniqueWordProfile};
+use hydra_text::{LdaModel, UniqueWordProfile};
 use hydra_vision::ProfileImage;
 
 /// Sparse per-day distribution series: `days[k]` is the day index of
@@ -516,52 +516,21 @@ impl Signals {
     }
 
     /// Run the full extraction pipeline over any [`AccountSource`].
+    ///
+    /// This is the batch-only path: it trains the same LDA model and
+    /// sentiment lexicon as [`Signals::extract_with_extractor`] (signals
+    /// are bit-identical between the two) but skips the extractor-specific
+    /// extras — the vocabulary snapshot clone and the username language
+    /// model — that only online ingest needs.
     pub fn extract_from<S: AccountSource + ?Sized>(source: &S, config: &SignalConfig) -> Signals {
+        let (lda, lexicon) = crate::ingest::train_extraction_core(source, config);
         let vocab = source.vocab();
-        let num_genres = source.num_genres();
-
-        // --- LDA over a training sample of messages (Section 5.2) ---------
-        let mut corpus: Vec<Vec<u32>> = Vec::new();
-        'outer: for p in 0..source.num_platforms() {
-            for a in 0..source.num_accounts(p) as u32 {
-                for (_, post) in source.account(p, a).posts.iter() {
-                    corpus.push(post.tokens.clone());
-                    if corpus.len() >= config.lda_sample_cap {
-                        break 'outer;
-                    }
-                }
-            }
-        }
-        let lda = LdaModel::train(
-            &corpus,
-            vocab.len().max(1),
-            LdaOptions {
-                num_topics: config.num_topics,
-                iterations: config.lda_iterations,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
-
-        // --- sentiment lexicon: seeds + corpus expansion -------------------
-        let mut lexicon = SentimentLexicon::from_seeds(
-            hydra_datagen::words::sentiment_seeds()
-                .iter()
-                .map(|(w, s)| (w.as_str(), *s)),
-        );
-        // One co-occurrence pass over a sample (strings via the vocabulary).
-        let sample_msgs: Vec<Vec<String>> = corpus
-            .iter()
-            .take(2000)
-            .map(|doc| doc.iter().map(|&id| vocab.word(id).to_string()).collect())
-            .collect();
-        lexicon.learn_from_corpus(&sample_msgs, 0.3);
         // Precompute word-id → sentiment weights for fast per-post scoring.
         let senti_by_id: Vec<Option<[f64; NUM_SENTIMENTS]>> = (0..vocab.len() as u32)
             .map(|id| lexicon.word_weights(vocab.word(id)).copied())
             .collect();
+        let num_genres = source.num_genres();
 
-        // --- per-account extraction ----------------------------------------
         let mut per_platform = Vec::with_capacity(source.num_platforms());
         for p in 0..source.num_platforms() {
             let n = source.num_accounts(p);
@@ -587,14 +556,50 @@ impl Signals {
         }
     }
 
+    /// [`Signals::extract_from`], additionally returning the frozen
+    /// [`SignalExtractor`](crate::ingest::SignalExtractor) the corpus was
+    /// extracted with — the trained LDA model, sentiment lexicon, vocabulary
+    /// snapshot, and username language model packaged as a persistable
+    /// artifact, so accounts that arrive *after* training fold into the
+    /// same signal space ([`SignalExtractor::extract_account`](crate::ingest::SignalExtractor::extract_account))
+    /// without re-touching the corpus.
+    pub fn extract_with_extractor<S: AccountSource + ?Sized>(
+        source: &S,
+        config: &SignalConfig,
+    ) -> (Signals, crate::ingest::SignalExtractor) {
+        let extractor = crate::ingest::SignalExtractor::fit(source, config);
+
+        // --- per-account extraction ----------------------------------------
+        let mut per_platform = Vec::with_capacity(source.num_platforms());
+        for p in 0..source.num_platforms() {
+            let n = source.num_accounts(p);
+            let mut sigs = Vec::with_capacity(n);
+            for ai in 0..n as u32 {
+                sigs.push(extractor.extract_account(source.account(p, ai), ai));
+            }
+            per_platform.push(sigs);
+        }
+
+        let signals = Signals {
+            per_platform,
+            window_days: source.window_days(),
+            lda: extractor.lda().clone(),
+        };
+        (signals, extractor)
+    }
+
     /// Signals of account `a` on platform `p`.
     pub fn account(&self, platform: usize, account: usize) -> &UserSignals {
         &self.per_platform[platform][account]
     }
 }
 
-/// Extract one account's signals, given a raw [`AccountView`].
-fn extract_account(
+/// Extract one account's signals, given a raw [`AccountView`] — the shared
+/// core of corpus extraction and the serving layer's per-account
+/// [`SignalExtractor::extract_account`](crate::ingest::SignalExtractor::extract_account):
+/// identical inputs (including the account index, which seeds per-post LDA
+/// inference) produce bit-identical signals on both paths.
+pub(crate) fn extract_account(
     account: AccountView<'_>,
     account_idx: u32,
     vocab: &hydra_text::Vocabulary,

@@ -1,0 +1,361 @@
+//! Ingest-subsystem parity: the online path (frozen extractor → sharded
+//! engine → graph-refreshed Eq. 18) must be a *view* over the batch
+//! pipeline, never a reimplementation with drift.
+//!
+//! Pinned properties (the ISSUE's acceptance criteria):
+//!
+//! * **(a)** frozen-[`SignalExtractor`] signals are bit-identical to corpus
+//!   extraction for the same account — including under `HYDRA_THREADS`
+//!   variation (LDA fold-in is seed-deterministic, never thread-dependent);
+//! * **(b)** [`ShardedEngine`] queries are byte-identical to the
+//!   single-engine path across shard counts {1, 2, 4} × `HYDRA_THREADS`
+//!   {1, 4}, through inserts and removals;
+//! * **(c)** an account inserted with its interaction delta participates in
+//!   Eq. 18 core-network filling exactly as if it had been present at
+//!   construction (graph refresh), and the refresh actually changes
+//!   behavior vs. an edge-less insert;
+//! * **(d)** save → load → extract → query is an identity: a
+//!   [`ServingArtifact`] round-tripped through its `HYSX` bundle serves a
+//!   never-seen account byte-identically to the in-memory artifact.
+
+use hydra_core::engine::LinkageEngine;
+use hydra_core::ingest::{RawAccount, ServingArtifact, SignalExtractor};
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::shard::ShardedEngine;
+use hydra_core::signals::{SignalConfig, Signals, UserSignals};
+use hydra_core::source::AccountSource;
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_graph::{GraphBuilder, SocialGraph};
+
+fn config() -> SignalConfig {
+    SignalConfig {
+        lda_iterations: 8,
+        infer_iterations: 3,
+        ..Default::default()
+    }
+}
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals, SignalExtractor) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let (signals, extractor) = Signals::extract_with_extractor(&dataset, &config());
+    (dataset, signals, extractor)
+}
+
+fn train(dataset: &Dataset, signals: &Signals) -> TrainedHydra {
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    Hydra::new(HydraConfig::default())
+        .fit(
+            dataset,
+            signals,
+            vec![PairTask {
+                left_platform: 0,
+                right_platform: 1,
+                labels,
+                unlabeled_whitelist: None,
+            }],
+        )
+        .expect("fit")
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+fn assert_signals_bitwise(a: &UserSignals, b: &UserSignals, ctx: &str) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(a.username, b.username, "{ctx}: username");
+    assert_eq!(a.person, b.person, "{ctx}: person");
+    assert_eq!(a.attrs, b.attrs, "{ctx}: attrs");
+    assert_eq!(bits(&a.embedding), bits(&b.embedding), "{ctx}: embedding");
+    for (name, sa, sb) in [
+        ("topic", &a.topic_days, &b.topic_days),
+        ("genre", &a.genre_days, &b.genre_days),
+        ("senti", &a.senti_days, &b.senti_days),
+    ] {
+        assert_eq!(sa.days, sb.days, "{ctx}: {name} days");
+        for (x, y) in sa.dists.iter().zip(sb.dists.iter()) {
+            assert_eq!(bits(x), bits(y), "{ctx}: {name} dists");
+        }
+    }
+    assert_eq!(a.style.words, b.style.words, "{ctx}: style");
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(
+            g.score.to_bits(),
+            w.score.to_bits(),
+            "{ctx}: score drift on ({}, {})",
+            g.left,
+            g.right
+        );
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+/// (a) Frozen-extractor extraction == corpus extraction, bitwise, for every
+/// account — and the extraction is `HYDRA_THREADS`-invariant.
+#[test]
+fn frozen_extractor_matches_corpus_extraction_bitwise() {
+    let (dataset, signals, extractor) = world(40, 0x16E571);
+    for p in 0..dataset.num_platforms() {
+        for a in 0..dataset.num_accounts(p) as u32 {
+            let sig = extractor.extract_account(AccountSource::account(&dataset, p, a), a);
+            assert_signals_bitwise(
+                &sig,
+                &signals.per_platform[p][a as usize],
+                &format!("platform {p} account {a}"),
+            );
+        }
+    }
+    // Extraction (LDA fold-in included) never depends on the worker count.
+    for threads in [1usize, 4] {
+        hydra_par::set_thread_override(Some(threads));
+        let again = Signals::extract(&dataset, &config());
+        for p in 0..dataset.num_platforms() {
+            for a in 0..dataset.num_accounts(p) {
+                assert_signals_bitwise(
+                    &again.per_platform[p][a],
+                    &signals.per_platform[p][a],
+                    &format!("threads {threads}, platform {p} account {a}"),
+                );
+            }
+        }
+        hydra_par::set_thread_override(None);
+    }
+}
+
+/// (b) Sharded queries == single-engine queries, bitwise, across shard
+/// counts × thread counts, through an insert and a removal.
+#[test]
+fn sharded_engine_matches_single_engine_bitwise() {
+    let (dataset, signals, extractor) = world(48, 0x5AA2D);
+    let trained = train(&dataset, &signals);
+
+    // Hold out the last right-platform account so inserts have work to do.
+    let keep = dataset.num_accounts(1) - 1;
+    let held_out = extractor.extract_account(
+        AccountSource::account(&dataset, 1, keep as u32),
+        keep as u32,
+    );
+    let mut truncated = signals.clone();
+    truncated.per_platform[1].truncate(keep);
+
+    let mut single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    for shards in [1usize, 2, 4] {
+        let mut sharded =
+            ShardedEngine::new(trained.model.clone(), &truncated, graphs(&dataset), shards)
+                .expect("sharded");
+        // Stream the held-out account in (its graph node already exists in
+        // the snapshot, so no edge delta is needed for parity here).
+        let idx = sharded
+            .insert_account(1, held_out.clone())
+            .expect("insert held-out");
+        assert_eq!(idx as usize, keep, "insert slot");
+
+        for threads in [1usize, 4] {
+            hydra_par::set_thread_override(Some(threads));
+            let want_batch = single.query_batch(0, &lefts).expect("single batch");
+            let got_batch = sharded.query_batch(0, &lefts).expect("sharded batch");
+            for (&left, (want, got)) in lefts.iter().zip(want_batch.iter().zip(got_batch.iter())) {
+                let ctx = format!("shards {shards} × threads {threads}, left {left}");
+                assert_preds_bitwise(got, want, &ctx);
+                let one = sharded.query(0, left).expect("sharded query");
+                assert_preds_bitwise(&one, want, &format!("{ctx} (single query)"));
+            }
+            hydra_par::set_thread_override(None);
+        }
+    }
+
+    // Removal parity: de-list the same account everywhere and re-compare.
+    let victim = lefts
+        .iter()
+        .find_map(|&l| single.query(0, l).expect("query").first().map(|p| p.right))
+        .expect("some candidate to remove");
+    single.remove_account(1, victim).expect("single remove");
+    let mut sharded = ShardedEngine::new(trained.model.clone(), &truncated, graphs(&dataset), 3)
+        .expect("sharded");
+    sharded.insert_account(1, held_out).expect("insert");
+    sharded.remove_account(1, victim).expect("sharded remove");
+    for &left in &lefts {
+        let want = single.query(0, left).expect("single");
+        let got = sharded.query(0, left).expect("sharded");
+        assert_preds_bitwise(&got, &want, &format!("post-removal, left {left}"));
+    }
+}
+
+/// (c) Graph refresh: an account inserted with its interaction delta is
+/// indistinguishable from one present at construction — including its
+/// participation in Eq. 18 core-network filling — and the refreshed edges
+/// actually matter (an edge-less insert of a low-signal account changes
+/// fills).
+#[test]
+fn graph_refreshed_insert_participates_in_eq18() {
+    let (dataset, signals, _) = world(44, 0x9E18);
+    let trained = train(&dataset, &signals);
+    let full_graphs = graphs(&dataset);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    // Reference: everything present at construction.
+    let reference =
+        LinkageEngine::new(trained.model.clone(), &signals, full_graphs.clone()).expect("full");
+
+    // Hold out the last right account (inserts always take the next free
+    // slot). The fixture seed is chosen so this account sits in someone's
+    // top-3 interacting friends — the edge-less counterfactual below fails
+    // the test otherwise, so observability is checked, not assumed.
+    let right_graph = &full_graphs[1];
+    let held = (dataset.num_accounts(1) - 1) as u32;
+    let keep = held as usize;
+    let mut truncated = signals.clone();
+    truncated.per_platform[1].truncate(keep);
+    // Rebuild the right graph without the held-out node.
+    let mut builder = GraphBuilder::new(keep);
+    for (a, b, w) in right_graph.edges() {
+        if (a as usize) < keep && (b as usize) < keep {
+            builder.add_edge(a, b, w);
+        }
+    }
+    let truncated_graphs = vec![full_graphs[0].clone(), builder.build()];
+    let held_edges: Vec<(u32, f64)> = right_graph.neighbors(held).collect();
+    assert!(!held_edges.is_empty(), "held-out account must have friends");
+
+    // Insert WITH the interaction delta: byte-identical to the reference.
+    let mut refreshed = LinkageEngine::new(trained.model.clone(), &truncated, truncated_graphs)
+        .expect("truncated engine");
+    let idx = refreshed
+        .insert_account_with_edges(1, signals.per_platform[1][keep].clone(), &held_edges)
+        .expect("insert with edges");
+    assert_eq!(idx, held);
+    let mut any_difference_from_edgeless = false;
+    for &left in &lefts {
+        let want = reference.query(0, left).expect("reference");
+        let got = refreshed.query(0, left).expect("refreshed");
+        assert_preds_bitwise(&got, &want, &format!("graph-refreshed, left {left}"));
+    }
+
+    // Counterfactual: the same insert WITHOUT edges leaves the account out
+    // of every core network, so some Eq. 18 fill must differ.
+    let mut truncated2 = signals.clone();
+    truncated2.per_platform[1].truncate(keep);
+    let mut builder2 = GraphBuilder::new(keep);
+    for (a, b, w) in right_graph.edges() {
+        if (a as usize) < keep && (b as usize) < keep {
+            builder2.add_edge(a, b, w);
+        }
+    }
+    let mut edgeless = LinkageEngine::new(
+        trained.model.clone(),
+        &truncated2,
+        vec![full_graphs[0].clone(), builder2.build()],
+    )
+    .expect("edgeless engine");
+    edgeless
+        .insert_account(1, signals.per_platform[1][keep].clone())
+        .expect("insert without edges");
+    for &left in &lefts {
+        let want = reference.query(0, left).expect("reference");
+        let got = edgeless.query(0, left).expect("edgeless");
+        if got.len() != want.len()
+            || got
+                .iter()
+                .zip(want.iter())
+                .any(|(g, w)| g.score.to_bits() != w.score.to_bits())
+        {
+            any_difference_from_edgeless = true;
+            break;
+        }
+    }
+    assert!(
+        any_difference_from_edgeless,
+        "removing a top-degree account's edges changed no Eq. 18 fill — \
+         the graph refresh is not observable"
+    );
+}
+
+/// (d) Save → load → extract → query identity: a `ServingArtifact` bundle
+/// round-trips bit-exactly and cold-starts a sharded engine that answers
+/// byte-identically to the in-memory path for a never-seen-at-fit account.
+#[test]
+fn save_load_extract_query_identity() {
+    // Build a fit-time world that genuinely never saw the last right
+    // account: drop it from the corpus (extractor training, signal
+    // extraction, model fitting) and from the platform graph.
+    let full = Dataset::generate(DatasetConfig::english(40, 0xC01D));
+    let mut dataset = full.clone();
+    let keep = dataset.platforms[1].accounts.len() - 1;
+    dataset.platforms[1].accounts.truncate(keep);
+    let mut builder = GraphBuilder::new(keep);
+    for (a, b, w) in full.platforms[1].graph.edges() {
+        if (a as usize) < keep && (b as usize) < keep {
+            builder.add_edge(a, b, w);
+        }
+    }
+    dataset.platforms[1].graph = builder.build();
+    let (fit_signals, extractor) = Signals::extract_with_extractor(&dataset, &config());
+    let trained = train(&dataset, &fit_signals);
+    // The held-out account's interactions, for the serve-time graph refresh.
+    let held_edges: Vec<(u32, f64)> = full.platforms[1]
+        .graph
+        .neighbors(keep as u32)
+        .filter(|&(n, _)| (n as usize) < keep)
+        .collect();
+
+    let artifact = ServingArtifact {
+        model: trained.model.clone(),
+        extractor,
+    };
+    let bytes = artifact.to_bytes();
+    let loaded = ServingArtifact::from_bytes(&bytes).expect("bundle load");
+    assert_eq!(loaded.to_bytes(), bytes, "bundle re-serialization exact");
+    assert_eq!(
+        loaded.model.to_bytes(),
+        artifact.model.to_bytes(),
+        "model section exact"
+    );
+
+    // File round trip too.
+    let path = std::env::temp_dir().join("hydra_ingest_parity.hysx");
+    artifact.save(&path).expect("save bundle");
+    let from_file = ServingArtifact::load(&path).expect("load bundle");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(from_file.to_bytes(), bytes);
+
+    // Cold start: extract the never-seen account with the LOADED extractor
+    // from a raw owned payload, insert it (with its interaction delta) into
+    // engines built from the LOADED model, and compare against the
+    // in-memory artifact end to end.
+    let raw = RawAccount::from_view(AccountSource::account(&full, 1, keep as u32));
+    let serve = |art: &ServingArtifact| -> Vec<Vec<LinkagePrediction>> {
+        let sig = art.extractor.extract_raw(&raw, keep as u32);
+        let mut engine = ShardedEngine::new(art.model.clone(), &fit_signals, graphs(&dataset), 2)
+            .expect("engine");
+        let idx = engine
+            .insert_account_with_edges(1, sig, &held_edges)
+            .expect("insert");
+        assert_eq!(idx as usize, keep);
+        let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+        engine.query_batch(0, &lefts).expect("query batch")
+    };
+    let mem = serve(&artifact);
+    let disk = serve(&from_file);
+    for (left, (want, got)) in mem.iter().zip(disk.iter()).enumerate() {
+        assert_preds_bitwise(got, want, &format!("loaded bundle, left {left}"));
+    }
+    // The inserted account is reachable through queries at all.
+    assert!(
+        mem.iter()
+            .any(|preds| preds.iter().any(|p| p.right as usize == keep)),
+        "cold-started account never surfaced as a candidate"
+    );
+}

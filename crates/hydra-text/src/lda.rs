@@ -149,6 +149,41 @@ impl LdaModel {
         }
     }
 
+    /// Reassemble a trained model from its frozen inference state — the
+    /// counterpart of [`LdaModel::topic_word_counts`] /
+    /// [`LdaModel::topic_totals`] used by persistence layers. The rebuilt
+    /// model's [`LdaModel::infer`] is bit-identical to the original's
+    /// (inference reads only the counts and priors); per-training-document
+    /// distributions are not part of the frozen state, so
+    /// [`LdaModel::doc_topic_distribution`] holds no documents.
+    ///
+    /// # Panics
+    /// Panics when the shapes are inconsistent (`topic_word` must hold
+    /// `num_topics * vocab_size` counts, `topic_totals` one per topic) or a
+    /// dimension is zero.
+    pub fn from_parts(
+        num_topics: usize,
+        vocab_size: usize,
+        alpha: f64,
+        beta: f64,
+        topic_word: Vec<u32>,
+        topic_totals: Vec<u32>,
+    ) -> Self {
+        assert!(num_topics > 0, "LDA needs at least one topic");
+        assert!(vocab_size > 0, "LDA needs a non-empty vocabulary");
+        assert_eq!(topic_word.len(), num_topics * vocab_size, "count shape");
+        assert_eq!(topic_totals.len(), num_topics, "totals shape");
+        LdaModel {
+            num_topics,
+            vocab_size,
+            alpha,
+            beta,
+            topic_word,
+            topic_totals,
+            doc_topics: Vec::new(),
+        }
+    }
+
     /// Number of topics `K`.
     pub fn num_topics(&self) -> usize {
         self.num_topics
@@ -157,6 +192,40 @@ impl LdaModel {
     /// Vocabulary size the model was trained with.
     pub fn vocab_size(&self) -> usize {
         self.vocab_size
+    }
+
+    /// Document–topic prior α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Topic–word prior β.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Frozen topic–word counts (`topic * vocab_size + word` layout) — the
+    /// inference state persistence layers serialize.
+    pub fn topic_word_counts(&self) -> &[u32] {
+        &self.topic_word
+    }
+
+    /// Total token count per topic.
+    pub fn topic_totals(&self) -> &[u32] {
+        &self.topic_totals
+    }
+
+    /// The trained prior over topics: the corpus-wide topic mixture
+    /// `(n_t + α) / (Σ n + K·α)`. This is what an observer knows about a
+    /// message *before* seeing any token — an untrained model (all counts
+    /// zero) reduces to the uniform distribution.
+    pub fn prior_distribution(&self) -> Vec<f64> {
+        let total: u64 = self.topic_totals.iter().map(|&c| c as u64).sum();
+        let denom = total as f64 + self.num_topics as f64 * self.alpha;
+        self.topic_totals
+            .iter()
+            .map(|&c| (c as f64 + self.alpha) / denom)
+            .collect()
     }
 
     /// θ_d for training document `d`.
@@ -174,9 +243,21 @@ impl LdaModel {
     }
 
     /// Fold-in inference: topic distribution for an unseen message by Gibbs
-    /// sampling against the frozen topic–word counts. Out-of-vocabulary
-    /// tokens are ignored; an effectively-empty message returns the uniform
-    /// distribution.
+    /// sampling against the frozen topic–word counts.
+    ///
+    /// **Determinism:** the sample chain is driven entirely by a private
+    /// `StdRng` seeded from `seed` and by the frozen counts — no global
+    /// state, no thread-dependent iteration order — so identical
+    /// `(tokens, iterations, seed)` produce bit-identical distributions on
+    /// every call, from any thread, at any `HYDRA_THREADS` worker count
+    /// (pinned by `infer_is_deterministic_across_threads` below and by the
+    /// extraction-level parity in `hydra-core/tests/ingest_parity.rs`).
+    ///
+    /// Out-of-vocabulary tokens are ignored; an effectively-empty message
+    /// carries no evidence, so it returns the **trained prior**
+    /// ([`LdaModel::prior_distribution`], the corpus topic mixture) rather
+    /// than a fixed uniform distribution that would misstate what the model
+    /// believes about an average message.
     pub fn infer(&self, tokens: &[u32], iterations: usize, seed: u64) -> Vec<f64> {
         let k = self.num_topics;
         let in_vocab: Vec<u32> = tokens
@@ -185,7 +266,7 @@ impl LdaModel {
             .filter(|&w| (w as usize) < self.vocab_size)
             .collect();
         if in_vocab.is_empty() {
-            return vec![1.0 / k as f64; k];
+            return self.prior_distribution();
         }
         let mut rng = StdRng::seed_from_u64(seed);
         let mut local_counts = vec![0u32; k];
@@ -336,11 +417,90 @@ mod tests {
                 ..Default::default()
             },
         );
-        let uniform = model.infer(&[], 10, 1);
-        assert_eq!(uniform, vec![1.0 / 3.0; 3]);
+        // No evidence → the trained prior (corpus topic mixture), which is
+        // a proper distribution but NOT the degenerate uniform one.
+        let prior = model.prior_distribution();
+        assert!((prior.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(model.infer(&[], 10, 1), prior);
         // All-OOV behaves like empty.
-        let oov = model.infer(&[1000, 2000], 10, 1);
-        assert_eq!(oov, vec![1.0 / 3.0; 3]);
+        assert_eq!(model.infer(&[1000, 2000], 10, 1), prior);
+        // The trained corpus is not balanced across 3 topics, so the prior
+        // reflects it (the old behavior returned uniform here).
+        assert!(prior.iter().any(|&p| (p - 1.0 / 3.0).abs() > 1e-9));
+    }
+
+    #[test]
+    fn untrained_prior_is_uniform() {
+        let model = LdaModel::from_parts(4, 7, 0.5, 0.1, vec![0; 28], vec![0; 4]);
+        assert_eq!(model.prior_distribution(), vec![0.25; 4]);
+        assert_eq!(model.infer(&[], 5, 9), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_inference() {
+        let (docs, v) = themed_corpus();
+        let model = LdaModel::train(
+            &docs,
+            v,
+            LdaOptions {
+                num_topics: 2,
+                iterations: 30,
+                seed: 11,
+                ..Default::default()
+            },
+        );
+        let rebuilt = LdaModel::from_parts(
+            model.num_topics(),
+            model.vocab_size(),
+            model.alpha(),
+            model.beta(),
+            model.topic_word_counts().to_vec(),
+            model.topic_totals().to_vec(),
+        );
+        for (toks, iters, seed) in [
+            (vec![0u32, 1, 2, 0], 25usize, 7u64),
+            (vec![5, 9, 9], 12, 0xFEED),
+            (vec![], 3, 1),
+        ] {
+            let a = model.infer(&toks, iters, seed);
+            let b = rebuilt.infer(&toks, iters, seed);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "rebuilt inference drift on {toks:?}");
+        }
+    }
+
+    #[test]
+    fn infer_is_deterministic_across_threads() {
+        // Identical (tokens, iterations, seed) must give bit-identical
+        // distributions no matter which thread runs the fold-in — the
+        // serving layer infers concurrently under hydra-par.
+        let (docs, v) = themed_corpus();
+        let model = std::sync::Arc::new(LdaModel::train(
+            &docs,
+            v,
+            LdaOptions {
+                num_topics: 2,
+                iterations: 40,
+                seed: 3,
+                ..Default::default()
+            },
+        ));
+        let tokens = vec![0u32, 5, 1, 6, 2];
+        let reference = model.infer(&tokens, 20, 0xABCD);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&model);
+                let toks = tokens.clone();
+                std::thread::spawn(move || m.infer(&toks, 20, 0xABCD))
+            })
+            .collect();
+        for h in handles {
+            let got = h.join().expect("thread");
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&got), bits(&reference), "thread-dependent inference");
+        }
+        // And repeated sequential calls agree too.
+        assert_eq!(model.infer(&tokens, 20, 0xABCD), reference);
     }
 
     #[test]

@@ -69,6 +69,61 @@ impl CharNgramLm {
         padded
     }
 
+    /// Rebuild a model from persisted context counts — the counterpart of
+    /// [`CharNgramLm::contexts_sorted`]. The alphabet is recovered from the
+    /// observed next-characters, so log-probabilities are bit-identical to
+    /// the original model's.
+    pub fn from_parts(
+        n: usize,
+        delta: f64,
+        trained_on: usize,
+        contexts: impl IntoIterator<Item = (Vec<char>, Vec<(char, u64)>)>,
+    ) -> Self {
+        let mut lm = CharNgramLm::new(n, delta);
+        lm.trained_on = trained_on;
+        for (ctx, nexts) in contexts {
+            assert_eq!(ctx.len(), n - 1, "context length must be n-1");
+            let entry = lm
+                .contexts
+                .entry(ctx)
+                .or_insert_with(|| (HashMap::new(), 0));
+            for (next, count) in nexts {
+                lm.alphabet.insert(next);
+                *entry.0.entry(next).or_insert(0) += count;
+                entry.1 += count;
+            }
+        }
+        lm
+    }
+
+    /// Every `(context, next-char counts)` entry, contexts and next
+    /// characters both in ascending order — a deterministic view for
+    /// serialization (hash iteration order must never leak into a wire
+    /// format or a fingerprint).
+    pub fn contexts_sorted(&self) -> Vec<(&[char], Vec<(char, u64)>)> {
+        let mut out: Vec<(&[char], Vec<(char, u64)>)> = self
+            .contexts
+            .iter()
+            .map(|(ctx, (counts, _))| {
+                let mut nexts: Vec<(char, u64)> = counts.iter().map(|(&c, &n)| (c, n)).collect();
+                nexts.sort_unstable_by_key(|e| e.0);
+                (ctx.as_slice(), nexts)
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// N-gram order `n`.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Add-δ smoothing constant.
+    pub fn smoothing_delta(&self) -> f64 {
+        self.delta
+    }
+
     /// Number of usernames the model has seen.
     pub fn trained_on(&self) -> usize {
         self.trained_on

@@ -110,6 +110,32 @@ impl SentimentLexicon {
         }
     }
 
+    /// Rebuild a lexicon from `(word, weights)` entries — the counterpart of
+    /// [`SentimentLexicon::entries_sorted`] used by persistence layers.
+    /// Duplicate words have their weights summed.
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (String, [f64; NUM_SENTIMENTS])>,
+    ) -> Self {
+        let mut weights: HashMap<String, [f64; NUM_SENTIMENTS]> = HashMap::new();
+        for (word, w) in entries {
+            let e = weights.entry(word).or_insert([0.0; NUM_SENTIMENTS]);
+            for (ei, wi) in e.iter_mut().zip(w.iter()) {
+                *ei += wi;
+            }
+        }
+        SentimentLexicon { weights }
+    }
+
+    /// Every `(word, weights)` entry in ascending word order — a
+    /// deterministic view for serialization (hash-map iteration order must
+    /// never leak into a wire format or a fingerprint).
+    pub fn entries_sorted(&self) -> Vec<(&str, &[f64; NUM_SENTIMENTS])> {
+        let mut entries: Vec<(&str, &[f64; NUM_SENTIMENTS])> =
+            self.weights.iter().map(|(w, v)| (w.as_str(), v)).collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        entries
+    }
+
     /// Number of words with any sentiment weight.
     pub fn len(&self) -> usize {
         self.weights.len()

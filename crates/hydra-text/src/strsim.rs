@@ -124,7 +124,23 @@ pub fn lcs_length(a: &str, b: &str) -> usize {
 }
 
 /// [`lcs_length`] over pre-decoded scalar slices.
+///
+/// Dispatches to the Hyyrö/Myers-style bit-parallel kernel whenever one
+/// side fits a machine word (every realistic username does), falling back
+/// to the classic dynamic program otherwise. Both paths return identical
+/// values (`tests/properties.rs` pins exact parity).
 pub fn lcs_length_chars(a: &[char], b: &[char]) -> usize {
+    if a.len().min(b.len()) <= 64 {
+        lcs_length_chars_bitparallel(a, b)
+    } else {
+        lcs_length_chars_dp(a, b)
+    }
+}
+
+/// The reference O(|a|·|b|) dynamic program for the longest common
+/// substring — kept as the exact-parity oracle for the bit-parallel kernel
+/// and as the fallback when neither string fits a machine word.
+pub fn lcs_length_chars_dp(a: &[char], b: &[char]) -> usize {
     if a.is_empty() || b.is_empty() {
         return 0;
     }
@@ -135,6 +151,61 @@ pub fn lcs_length_chars(a: &[char], b: &[char]) -> usize {
         for (j, cb) in b.iter().enumerate() {
             curr[j + 1] = if ca == cb { prev[j] + 1 } else { 0 };
             best = best.max(curr[j + 1]);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    best
+}
+
+/// Bit-parallel longest common substring in the Hyyrö/Myers style: one
+/// precomputed match mask `B[c]` per distinct character of the shorter
+/// string, then one shift-AND ladder per character of the longer string.
+///
+/// Bit `j` of level `k` is set iff the diagonal run of matches ending at
+/// `(i, j)` has length ≥ `k` — the update
+/// `level_k(i) = B[a_i] & (level_{k-1}(i-1) << 1)` advances every diagonal
+/// of the DP's match matrix in a single word operation, so a whole row of
+/// the shorter string costs O(best) word ops instead of O(|b|) cell
+/// updates. The answer is the deepest non-empty level ever reached, which
+/// is exactly the DP's `best`.
+///
+/// # Panics
+/// Panics when **both** sides exceed 64 scalars (the dispatching
+/// [`lcs_length_chars`] routes those to the DP instead).
+pub fn lcs_length_chars_bitparallel(a: &[char], b: &[char]) -> usize {
+    // The mask dimension is the shorter side; runs are symmetric.
+    let (a, b) = if b.len() <= a.len() { (a, b) } else { (b, a) };
+    assert!(
+        b.len() <= 64,
+        "bit-parallel LCS needs one side within 64 scalars"
+    );
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut table: std::collections::HashMap<char, u64> =
+        std::collections::HashMap::with_capacity(b.len());
+    for (j, &c) in b.iter().enumerate() {
+        *table.entry(c).or_insert(0) |= 1u64 << j;
+    }
+    let mut best = 0usize;
+    // `prev[k-1]` holds the mask of diagonals whose run length is ≥ k at
+    // the previous row; levels are nested (`prev[k] ⊆ prev[k-1]`), so the
+    // ladder stops at the first empty level.
+    let mut prev: Vec<u64> = Vec::new();
+    let mut curr: Vec<u64> = Vec::new();
+    for ca in a {
+        curr.clear();
+        let m = table.get(ca).copied().unwrap_or(0);
+        if m != 0 {
+            curr.push(m);
+            for k in 1..=prev.len() {
+                let level = m & (prev[k - 1] << 1);
+                if level == 0 {
+                    break;
+                }
+                curr.push(level);
+            }
+            best = best.max(curr.len());
         }
         std::mem::swap(&mut prev, &mut curr);
     }
@@ -299,6 +370,46 @@ mod tests {
         assert_eq!(common_prefix_ratio("adele88", "adele_w"), 5.0 / 7.0);
         assert_eq!(common_suffix_ratio("xx_wang", "yy_wang"), 5.0 / 7.0);
         assert_eq!(common_prefix_ratio("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn bitparallel_lcs_matches_dp_exactly() {
+        let words = [
+            "",
+            "a",
+            "adele",
+            "adele_beijing",
+            "Adele_小暖",
+            "aaaaaa",
+            "abcabcabc",
+            "xyxyxyxy",
+            "mixed💬emoji💬tail",
+            "abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz01", // 64
+            "abcdefghijklmnopqrstuvwxyz0123456789abcdefghijklmnopqrstuvwxyz012345", // >64
+        ];
+        for wa in words {
+            for wb in words {
+                let a: Vec<char> = wa.chars().collect();
+                let b: Vec<char> = wb.chars().collect();
+                if a.len().min(b.len()) <= 64 {
+                    assert_eq!(
+                        lcs_length_chars_bitparallel(&a, &b),
+                        lcs_length_chars_dp(&a, &b),
+                        "bit-parallel LCS drift on {wa:?} vs {wb:?}"
+                    );
+                }
+                assert_eq!(lcs_length_chars(&a, &b), lcs_length_chars_dp(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn long_strings_fall_back_to_dp() {
+        // Both sides beyond a word: the dispatcher must still be exact.
+        let a: Vec<char> = "xy".repeat(70).chars().collect();
+        let b: Vec<char> = format!("zz{}ww", "xy".repeat(40)).chars().collect();
+        assert_eq!(lcs_length_chars(&a, &b), 80);
+        assert_eq!(lcs_length_chars_dp(&a, &b), 80);
     }
 
     #[test]

@@ -27,6 +27,38 @@ impl Vocabulary {
         Self::default()
     }
 
+    /// Rebuild a vocabulary from its persisted state: words in id order plus
+    /// id-aligned term/document frequencies and the corpus totals — the
+    /// counterpart of iterating ids `0..len()` with [`Vocabulary::word`] /
+    /// [`Vocabulary::term_frequency`] / [`Vocabulary::doc_frequency`].
+    ///
+    /// # Panics
+    /// Panics when the frequency slices are not id-aligned with `words` or a
+    /// word is duplicated.
+    pub fn from_parts(
+        words: Vec<String>,
+        term_freq: Vec<u64>,
+        doc_freq: Vec<u64>,
+        total_tokens: u64,
+        total_docs: u64,
+    ) -> Self {
+        assert_eq!(words.len(), term_freq.len(), "term_freq not id-aligned");
+        assert_eq!(words.len(), doc_freq.len(), "doc_freq not id-aligned");
+        let mut word_to_id = HashMap::with_capacity(words.len());
+        for (id, w) in words.iter().enumerate() {
+            let prev = word_to_id.insert(w.clone(), id as u32);
+            assert!(prev.is_none(), "duplicate word {w:?}");
+        }
+        Vocabulary {
+            word_to_id,
+            id_to_word: words,
+            term_freq,
+            doc_freq,
+            total_tokens,
+            total_docs,
+        }
+    }
+
     /// Intern `word`, returning its id (existing or fresh).
     pub fn intern(&mut self, word: &str) -> u32 {
         if let Some(&id) = self.word_to_id.get(word) {

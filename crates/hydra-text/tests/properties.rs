@@ -52,6 +52,22 @@ proptest! {
     }
 
     #[test]
+    fn bitparallel_lcs_matches_dp(
+        a in proptest::string::string_regex("[a-c0-1_小暖]{0,80}").expect("valid regex"),
+        b in proptest::string::string_regex("[a-c0-1_小暖]{0,80}").expect("valid regex"),
+    ) {
+        // Tiny alphabet forces long shared runs; lengths straddle the
+        // 64-scalar word boundary so both kernels and the dispatcher are hit.
+        let ca: Vec<char> = a.chars().collect();
+        let cb: Vec<char> = b.chars().collect();
+        let dp = lcs_length_chars_dp(&ca, &cb);
+        prop_assert_eq!(lcs_length_chars(&ca, &cb), dp);
+        if ca.len().min(cb.len()) <= 64 {
+            prop_assert_eq!(lcs_length_chars_bitparallel(&ca, &cb), dp);
+        }
+    }
+
+    #[test]
     fn tokenize_produces_lowercase_alnum(text in "[a-zA-Z0-9 ,.!-]{0,60}") {
         for tok in tokenize(&text) {
             prop_assert!(!tok.is_empty());

@@ -1,41 +1,62 @@
-//! Quickstart: the full train/serve lifecycle — generate a two-platform
-//! world, train HYDRA, **save** the learned model, **load** it back, and
-//! answer per-account linkage queries through the serving engine.
+//! Quickstart: the full train/serve/ingest lifecycle — generate a
+//! two-platform world, train HYDRA, **save** the learned model *and* the
+//! frozen signal extractor as one serving bundle, **load** it back, answer
+//! per-account linkage queries through a sharded serving engine, and
+//! finally **cold-start** a brand-new raw account: extract it with the
+//! loaded extractor, insert it (graph refresh included), and resolve it.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use hydra::core::engine::LinkageEngine;
+use hydra::core::ingest::{RawAccount, ServingArtifact};
 use hydra::core::model::{Hydra, HydraConfig, PairTask};
+use hydra::core::shard::ShardedEngine;
 use hydra::core::signals::{SignalConfig, Signals};
-use hydra::core::LinkageModel;
+use hydra::core::source::AccountSource;
 use hydra::datagen::{Dataset, DatasetConfig};
+use hydra::graph::GraphBuilder;
 
 fn main() {
     // 1. A synthetic world: 100 natural persons, each with a Twitter and a
     //    Facebook persona (distorted usernames, hidden attributes, shifted
-    //    timelines — see hydra-datagen for the full distortion model).
+    //    timelines — see hydra-datagen for the full distortion model). The
+    //    LAST Facebook account is held out of training entirely: it is the
+    //    "brand-new account" that will arrive after deployment.
     println!("generating dataset...");
-    let dataset = Dataset::generate(DatasetConfig::english(100, 42));
+    let full = Dataset::generate(DatasetConfig::english(100, 42));
+    let mut world = full.clone();
+    let held_out = world.platforms[1].accounts.len() - 1;
+    world.platforms[1].accounts.truncate(held_out);
+    let mut builder = GraphBuilder::new(held_out);
+    for (a, b, w) in full.platforms[1].graph.edges() {
+        if (a as usize) < held_out && (b as usize) < held_out {
+            builder.add_edge(a, b, w);
+        }
+    }
+    world.platforms[1].graph = builder.build();
     println!(
-        "  {} persons × {} platforms, vocabulary of {} words",
-        dataset.num_persons(),
-        dataset.num_platforms(),
-        dataset.vocab.len()
+        "  {} persons × {} platforms, vocabulary of {} words \
+         (1 account held out for cold-start ingest)",
+        world.num_persons(),
+        world.num_platforms(),
+        world.vocab.len()
     );
 
     // 2. Signal extraction: LDA topic series, sentiment series, style
-    //    profiles, behavior embeddings (Section 5 of the paper).
+    //    profiles, behavior embeddings (Section 5 of the paper) — plus the
+    //    FROZEN extractor those signals came from (trained LDA + lexicon +
+    //    vocabulary + username LM), which is what lets a raw account fold
+    //    into the same space later without re-touching the corpus.
     println!("extracting behavior signals (LDA + lexicons + sensors)...");
-    let signals = Signals::extract(&dataset, &SignalConfig::default());
+    let (signals, extractor) = Signals::extract_with_extractor(&world, &SignalConfig::default());
 
     // 3. Ground-truth labels for one sixth of the population (the paper's
     //    1:5 labeled:unlabeled ratio) plus hard negatives.
     let mut labels = Vec::new();
     for i in 0..16u32 {
         labels.push((i, i, true));
-        labels.push((i, (i + 31) % 100, false));
+        labels.push((i, (i + 31) % 99, false));
     }
 
     // 4. TRAIN: fit the multi-objective model once.
@@ -47,7 +68,7 @@ fn main() {
         unlabeled_whitelist: None,
     };
     let trained = Hydra::new(HydraConfig::default())
-        .fit(&dataset, &signals, vec![task])
+        .fit(&world, &signals, vec![task])
         .expect("training succeeds");
     println!(
         "  expansion set: {} pairs ({} labeled), {} support vectors",
@@ -56,37 +77,90 @@ fn main() {
         trained.model.solution.support_vectors
     );
 
-    // 5. SAVE / LOAD: the learned state is a self-contained LinkageModel
-    //    with a versioned, bit-exact binary format.
-    let path = std::env::temp_dir().join("hydra_quickstart.hylm");
-    trained.model.save(&path).expect("save model");
-    let loaded = LinkageModel::load(&path).expect("load model");
+    // 5. SAVE / LOAD: model + extractor persist together as one versioned,
+    //    bit-exact serving bundle (HYLM model section inside a HYSX file).
+    let artifact = ServingArtifact {
+        model: trained.model.clone(),
+        extractor,
+    };
+    let path = std::env::temp_dir().join("hydra_quickstart.hysx");
+    artifact.save(&path).expect("save serving bundle");
+    let loaded = ServingArtifact::load(&path).expect("load serving bundle");
     println!(
-        "saved + reloaded model: {} bytes, fingerprint {:016x}",
+        "saved + reloaded serving bundle: {} bytes (model fingerprint {:016x}, \
+         extractor fingerprint {:016x})",
         std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
-        loaded.fingerprint()
+        loaded.model.fingerprint(),
+        loaded.extractor.fingerprint()
     );
     let _ = std::fs::remove_file(&path);
 
-    // 6. SERVE: wrap the loaded model in an engine and resolve accounts
-    //    one query at a time — no refit, byte-identical to batch predict.
-    let engine = LinkageEngine::new(
-        loaded,
+    // 6. SERVE: a sharded engine partitions the candidate population over
+    //    per-shard stores (hash-by-account routing, global stop-gram
+    //    statistics) and fans queries out over worker threads — results are
+    //    byte-identical to the single-engine path at any shard count.
+    let mut engine = ShardedEngine::new(
+        loaded.model.clone(),
         &signals,
-        dataset.platforms.iter().map(|p| p.graph.clone()).collect(),
+        world.platforms.iter().map(|p| p.graph.clone()).collect(),
+        2,
     )
-    .expect("engine");
-    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    .expect("sharded engine");
+    let lefts: Vec<u32> = (0..world.num_persons() as u32).collect();
     let answers = engine.query_batch(0, &lefts).expect("query batch");
 
     // 7. Evaluate the served answers against ground truth (account i on
     //    the left is the same person as account i on the right).
     let flat: Vec<_> = answers.iter().flatten().copied().collect();
-    let prf = hydra::eval::evaluate(&flat, &labels, dataset.num_persons());
-    println!("\nserved results over {} candidate pairs:", flat.len());
+    let prf = hydra::eval::evaluate(&flat, &labels, world.num_persons());
+    println!(
+        "\nserved results over {} candidate pairs (2 shards):",
+        flat.len()
+    );
     println!("  precision = {:.3}", prf.precision);
     println!("  recall    = {:.3}", prf.recall);
     println!("  F1        = {:.3}", prf.f1);
+
+    // 8. COLD START: the held-out raw account arrives. The LOADED extractor
+    //    folds it into the trained signal space (no corpus, no refit), the
+    //    engine inserts it with its interaction delta (Eq. 18 graph
+    //    refresh), and the next query can resolve it.
+    println!("\ncold-starting the held-out account...");
+    let raw = RawAccount::from_view(AccountSource::account(&full, 1, held_out as u32));
+    let new_edges: Vec<(u32, f64)> = full.platforms[1]
+        .graph
+        .neighbors(held_out as u32)
+        .filter(|&(n, _)| (n as usize) < held_out)
+        .collect();
+    println!(
+        "  raw payload: {:?} ({} posts, {} friends, username rarity {:.2})",
+        raw.username,
+        raw.posts.len(),
+        new_edges.len(),
+        loaded.extractor.username_rarity(&raw.username)
+    );
+    let sig = loaded.extractor.extract_raw(&raw, held_out as u32);
+    let idx = engine
+        .insert_account_with_edges(1, sig, &new_edges)
+        .expect("insert ingested account");
+    let ranked = engine
+        .query(0, held_out as u32)
+        .expect("resolve new account");
+    match ranked.iter().position(|p| p.right == idx) {
+        Some(rank) => println!(
+            "  resolved: left {:?} → ingested account {:?} at rank {} (score {:+.2}) [{}]",
+            full.account(0, held_out).username,
+            raw.username,
+            rank + 1,
+            ranked[rank].score,
+            if rank == 0 {
+                "correct, top-1"
+            } else {
+                "in candidates"
+            }
+        ),
+        None => println!("  ingested account not among candidates (weak overlap)"),
+    }
 
     // Show a few resolved identities (top-ranked answer per query).
     println!("\nsample queries (left username → top answer):");
@@ -98,8 +172,8 @@ fn main() {
         if shown >= 5 {
             break;
         }
-        let lu = &dataset.account(0, *left as usize).username;
-        let ru = &dataset.account(1, top.right as usize).username;
+        let lu = &world.account(0, *left as usize).username;
+        let ru = &world.account(1, top.right as usize).username;
         let verdict = if top.left == top.right {
             "correct"
         } else {

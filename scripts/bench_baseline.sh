@@ -57,6 +57,29 @@ for rid, rec in records.items():
             "per_query_ns": round(rec["median_ns"] / queries, 1),
         }
 
+# Sharded serving: the id suffix is the SHARD count; the query count is the
+# same batch the single-engine stage ran (results are byte-identical, only
+# the fan-out differs).
+serve_sharded = []
+for rid, rec in sorted(records.items()):
+    if rid.startswith("serve/sharded_query_batch/") and serve:
+        shards = int(rid.rsplit("/", 1)[1])
+        serve_sharded.append(
+            {
+                "stage": rid,
+                "shards": shards,
+                "queries": serve["queries"],
+                "per_query_ns": round(rec["median_ns"] / serve["queries"], 1),
+            }
+        )
+
+# Online ingest: one account extracted per iteration, so the stage median
+# is the per-account fold-in latency.
+ingest = None
+for rid, rec in records.items():
+    if rid.startswith("ingest/extract_one"):
+        ingest = {"stage": rid, "per_account_ns": round(rec["median_ns"], 1)}
+
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 doc = {
     "bench": "pipeline",
@@ -75,6 +98,8 @@ doc = {
     ).stdout.strip(),
     "speedup_baseline_over_optimized": speedups,
     "serve": serve,
+    "serve_sharded": serve_sharded,
+    "ingest": ingest,
     "stages": raw,
 }
 with open(os.environ["OUT"], "w") as f:
@@ -88,4 +113,10 @@ if serve:
         f"  serve          {serve['per_query_ns'] / 1e6:.2f} ms/query "
         f"({serve['queries']} queries)"
     )
+for s in serve_sharded:
+    print(
+        f"  serve x{s['shards']} shards  {s['per_query_ns'] / 1e6:.2f} ms/query"
+    )
+if ingest:
+    print(f"  ingest         {ingest['per_account_ns'] / 1e6:.2f} ms/account")
 PY

@@ -40,6 +40,8 @@ REQUIRED_STAGE_PREFIXES = [
     "fit/dense_lu/",
     "fit/matrix_free/",
     "serve/query_batch/",
+    "serve/sharded_query_batch/",
+    "ingest/extract_one",
 ]
 
 REQUIRED_SPEEDUP_STAGES = [
@@ -109,6 +111,29 @@ def main() -> None:
     if not str(serve["stage"]).startswith("serve/query_batch/"):
         fail(f"serve block records unexpected stage {serve['stage']!r}")
 
+    sharded = doc.get("serve_sharded")
+    if not isinstance(sharded, list) or not sharded:
+        fail("missing serve_sharded block (per-query latency per shard count)")
+    for entry in sharded:
+        for key in ("stage", "shards", "queries", "per_query_ns"):
+            if key not in entry:
+                fail(f"serve_sharded entry missing {key!r}")
+        if entry["shards"] <= 0 or entry["per_query_ns"] <= 0:
+            fail("serve_sharded entry has non-positive shards/per_query_ns")
+        if not str(entry["stage"]).startswith("serve/sharded_query_batch/"):
+            fail(f"serve_sharded entry records unexpected stage {entry['stage']!r}")
+
+    ingest = doc.get("ingest")
+    if not isinstance(ingest, dict):
+        fail("missing ingest block (per-account extraction latency)")
+    for key in ("stage", "per_account_ns"):
+        if key not in ingest:
+            fail(f"ingest block missing {key!r}")
+    if ingest["per_account_ns"] <= 0:
+        fail("ingest block has non-positive per_account_ns")
+    if not str(ingest["stage"]).startswith("ingest/extract_one"):
+        fail(f"ingest block records unexpected stage {ingest['stage']!r}")
+
     if args.min_fit_speedup is not None:
         got = speedups["fit_dual_solve"]
         if got < args.min_fit_speedup:
@@ -120,7 +145,8 @@ def main() -> None:
     print(
         f"{args.path}: schema OK "
         f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
-        f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query)"
+        f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query, "
+        f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account)"
     )
 
 

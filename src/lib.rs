@@ -34,6 +34,31 @@
 //!   `insert_account` / `remove_account` for populations that change after
 //!   training.
 //!
+//! ## Online ingest (extractor artifact, graph refresh, sharded serving)
+//!
+//! The ingest subsystem closes the loop for accounts that arrive *after*
+//! training:
+//!
+//! * [`core::ingest::SignalExtractor`] — the frozen extraction artifact
+//!   (trained LDA model, sentiment lexicon, vocabulary snapshot, username
+//!   LM, config): `extract_account` / `extract_raw` fold one raw payload
+//!   into the trained signal space, bit-identical to corpus extraction.
+//!   Get it from [`core::signals::Signals::extract_with_extractor`];
+//!   persist it alone (`HYSX`) or with the model as a
+//!   [`core::ingest::ServingArtifact`] bundle that cold-starts a whole
+//!   serving process.
+//! * **Graph refresh** — `insert_account_with_edges` merges a new
+//!   account's interactions into the platform's Eq. 18 snapshot
+//!   incrementally ([`graph::SocialGraph::add_node`] /
+//!   [`graph::SocialGraph::add_edges`]), so ingested accounts participate
+//!   in core-network missing-value filling exactly as if present at
+//!   construction.
+//! * [`core::shard::ShardedEngine`] — partitions the candidate population
+//!   over N per-shard engine stores (hash-by-account routing, global
+//!   stop-gram statistics, deterministic rank merges) and fans
+//!   `query` / `query_batch` out over `hydra-par` workers, byte-identical
+//!   to the single-engine path at every shard × thread count.
+//!
 //! **Migrating from the pre-serving API:** `Hydra::fit(&dataset, …)` still
 //! compiles (a `Dataset` is an `AccountSource`), but the learned state
 //! moved into the artifact — `trained.solution` → `trained.model.solution`,
@@ -42,19 +67,23 @@
 //! `trained.predict(t)` is unchanged (and now returns an empty list instead
 //! of panicking on an out-of-range task; `try_predict` reports the error).
 //!
-//! ## Quickstart (train → save → load → query)
+//! ## Quickstart (train → save → load → query → ingest)
 //!
 //! ```
 //! use hydra::datagen::{Dataset, DatasetConfig};
 //! use hydra::core::signals::{SignalConfig, Signals};
 //! use hydra::core::model::{Hydra, HydraConfig, PairTask};
 //! use hydra::core::engine::LinkageEngine;
+//! use hydra::core::ingest::{RawAccount, ServingArtifact};
+//! use hydra::core::shard::ShardedEngine;
+//! use hydra::core::source::AccountSource;
 //! use hydra::core::LinkageModel;
 //!
 //! // A small two-platform world (Twitter + Facebook personas of the same
-//! // 40 natural persons).
+//! // 40 natural persons). Extraction also hands back the FROZEN extractor
+//! // (trained LDA + lexicon + vocabulary) for later online ingest.
 //! let dataset = Dataset::generate(DatasetConfig::english(40, 7));
-//! let signals = Signals::extract(&dataset, &SignalConfig {
+//! let (signals, extractor) = Signals::extract_with_extractor(&dataset, &SignalConfig {
 //!     lda_iterations: 8,
 //!     infer_iterations: 3,
 //!     ..Default::default()
@@ -96,6 +125,28 @@
 //!     assert!(batch.iter().any(|b| (b.left, b.right, b.score.to_bits())
 //!         == (p.left, p.right, p.score.to_bits())));
 //! }
+//!
+//! // ONLINE INGEST: bundle model + extractor into one artifact, cold-start
+//! // a sharded engine from its bytes, fold a raw account into the trained
+//! // signal space, insert it (graph refresh included), and resolve it —
+//! // sharded results stay byte-identical to the single-engine path.
+//! let bundle = ServingArtifact { model: trained.model.clone(), extractor };
+//! let loaded = ServingArtifact::from_bytes(&bundle.to_bytes()).unwrap();
+//! let graphs: Vec<_> = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+//! let mut sharded = ShardedEngine::new(loaded.model.clone(), &signals, graphs, 2)
+//!     .expect("sharded engine");
+//! for p in &sharded.query(0, 3).expect("sharded query") {
+//!     assert!(ranked.iter().any(|r| (r.left, r.right, r.score.to_bits())
+//!         == (p.left, p.right, p.score.to_bits())));
+//! }
+//! let raw = RawAccount::from_view(AccountSource::account(&dataset, 1, 5));
+//! let next_slot = sharded.num_accounts(1) as u32;
+//! let sig = loaded.extractor.extract_raw(&raw, next_slot);
+//! let idx = sharded
+//!     .insert_account_with_edges(1, sig, &[(5, 2.0)])
+//!     .expect("ingest");
+//! assert_eq!(idx, next_slot);
+//! sharded.query(0, 3).expect("query after ingest");
 //! ```
 
 pub use hydra_baselines as baselines;

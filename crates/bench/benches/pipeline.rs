@@ -330,21 +330,11 @@ fn bench_fit_dual_solve(c: &mut Criterion) {
 fn bench_serve_query_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("serve");
     group.sample_size(10);
-    let n = scaled(100);
-    let (dataset, signals) = quick_signals(n, 47);
-    let mut labels: Vec<(u32, u32, bool)> = (0..(n as u32) / 5).map(|i| (i, i, true)).collect();
-    for i in 0..(n as u32) / 5 {
-        labels.push((i, (i + n as u32 / 2) % n as u32, false));
-    }
-    let task = PairTask {
-        left_platform: 0,
-        right_platform: 1,
-        labels,
-        unlabeled_whitelist: None,
-    };
-    let trained = Hydra::new(HydraConfig::default())
-        .fit(&dataset, &signals, vec![task])
-        .expect("fit");
+    // One world definition shared with the `snapshot_bytes` binary, so the
+    // memory numbers merged next to these latencies describe this exact
+    // population.
+    let (dataset, signals, trained) = hydra_bench::serve_bench_world();
+    let n = dataset.num_persons();
     let graphs = || -> Vec<hydra_graph::SocialGraph> {
         dataset.platforms.iter().map(|p| p.graph.clone()).collect()
     };

@@ -1,0 +1,44 @@
+//! Memory accounting for the sharded serving engine: builds the same
+//! trained world the `serve/*` stages of the `pipeline` bench query
+//! ([`hydra_bench::serve_bench_world`] — one definition for both), then
+//! reports, per benchmarked shard count, the size of the **shared**
+//! profile snapshot (1× whatever the shard count) and of the per-shard
+//! **private** index state — the numbers `scripts/bench_baseline.sh`
+//! merges into `BENCH_pipeline.json` as `serve_sharded[*].snapshot_bytes`
+//! / `index_bytes`, recording the N×→1× memory claim next to the latency
+//! metrics. Emits one JSON object on stdout.
+
+use hydra_bench::serve_bench_world;
+use hydra_core::shard::ShardedEngine;
+use hydra_graph::SocialGraph;
+
+fn main() {
+    let (dataset, signals, trained) = serve_bench_world();
+    let graphs =
+        || -> Vec<SocialGraph> { dataset.platforms.iter().map(|p| p.graph.clone()).collect() };
+
+    let mut entries = Vec::new();
+    let mut snapshot_bytes = 0usize;
+    for shards in [1usize, 2, 4] {
+        let engine = ShardedEngine::new(trained.model.clone(), &signals, graphs(), shards)
+            .expect("sharded engine");
+        // One immutable store behind every shard: the size is invariant in
+        // the shard count (the sharing test pins pointer equality).
+        snapshot_bytes = engine.snapshot_bytes();
+        entries.push(format!(
+            "{{\"shards\": {}, \"snapshot_bytes\": {}, \"index_bytes\": {}, \
+             \"replicated_bytes\": {}}}",
+            shards,
+            engine.snapshot_bytes(),
+            engine.index_bytes(),
+            // What PR 4's per-shard profile replicas would have cost.
+            shards * engine.snapshot_bytes() + engine.index_bytes(),
+        ));
+    }
+    println!(
+        "{{\"population\": {}, \"snapshot_bytes\": {}, \"per_shard\": [{}]}}",
+        dataset.num_persons(),
+        snapshot_bytes,
+        entries.join(", ")
+    );
+}

@@ -57,6 +57,7 @@
 //! against [`legacy`] in `tests/parallel_parity.rs`).
 
 use crate::signals::UserSignals;
+use crate::snapshot::SignalStore;
 use hydra_datagen::attributes::AttrKind;
 use hydra_text::strsim::{jaro_winkler_chars, lcs_ratio_chars};
 use hydra_vision::{match_profile_images, FaceClassifier, FaceDetector, FaceMatchOutcome};
@@ -360,6 +361,26 @@ impl BlockingIndex {
     /// Deactivate an account: it vanishes from every postings list (other
     /// accounts keep their indices). Returns `false` when the index was out
     /// of range or already removed.
+    ///
+    /// ## Stop-gram accounting under churn (audited)
+    ///
+    /// Removal keeps the suppression state of every gram exactly what a
+    /// freshly built index over the surviving active population would
+    /// compute, because both sides of the probe-time comparison
+    /// `postings.len() <= stop_gram_cap_for(active_count)` shrink in
+    /// lockstep: the account is purged from each of its grams' postings
+    /// lists here (postings never retain de-listed accounts), and
+    /// `active_count` is decremented. A gram sitting just over the cap can
+    /// therefore flip back to *unsuppressed* as removals thin its postings
+    /// — the same flip a fresh rebuild would produce — and the sharded
+    /// path's global [`GramLimits`] mirrors the arithmetic with
+    /// population-wide counts maintained by the same ±1 discipline. An
+    /// emptied postings list is left in the map (a fresh build would lack
+    /// the key); both probe as "no candidates", so the divergence is not
+    /// observable. Pinned by the `churned_index_matches_fresh_semantics`
+    /// test below, which drives a gram across the suppression boundary by
+    /// removals and compares against a fresh-semantics index slot for
+    /// slot.
     pub fn remove_account(&mut self, account: u32) -> bool {
         let Some(slot) = self.active.get_mut(account as usize) else {
             return false;
@@ -416,6 +437,38 @@ impl BlockingIndex {
     /// Whether `account` is present and not removed.
     pub fn is_active(&self, account: u32) -> bool {
         self.active.get(account as usize).copied().unwrap_or(false)
+    }
+
+    /// Approximate heap size of the index (length-based; ignores hash-map
+    /// bucket overhead and allocator slack) — the **private** per-shard
+    /// cost, as opposed to the shared profile snapshot. Postings are
+    /// partitioned across shards; the per-slot username scalars and the
+    /// active bitmap are per-shard bookkeeping (O(total username bytes),
+    /// two orders of magnitude below the profiles they key into).
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let postings = |m: &HashMap<u64, Vec<u32>>| -> usize {
+            m.len() * (size_of::<u64>() + size_of::<Vec<u32>>())
+                + m.values()
+                    .map(|v| v.len() * size_of::<u32>())
+                    .sum::<usize>()
+        };
+        postings(&self.gram_postings)
+            + postings(&self.email_index)
+            + self.birth_city_index.len() * (size_of::<(u64, u64)>() + size_of::<Vec<u32>>())
+            + self
+                .birth_city_index
+                .values()
+                .map(|v| v.len() * size_of::<u32>())
+                .sum::<usize>()
+            + self.chars.len() * 2 * size_of::<Vec<char>>()
+            + self
+                .chars
+                .iter()
+                .map(|c| 2 * c.len() * size_of::<char>())
+                .sum::<usize>()
+            + self.attr_keys.len() * size_of::<(Option<u64>, Option<(u64, u64)>)>()
+            + self.active.len()
     }
 
     /// Stop-gram cap against the current active population.
@@ -479,15 +532,18 @@ pub(crate) struct LeftProbe<'a> {
 /// Score one left account against an indexed right side — the shared core
 /// of batch candidate generation and serve-time queries (sharded or not;
 /// `limits` carries the global stop-gram statistics when the index is one
-/// shard of a partitioned population). Returns the account's candidates
-/// best-first (username similarity, then right index), capped at
-/// `config.max_per_user`.
-pub(crate) fn score_left_account(
+/// shard of a partitioned population). The right side's profiles are read
+/// through a [`SignalStore`] — a contiguous slice on the batch path, the
+/// shared epoch snapshot on the serving path. Returns the account's
+/// candidates best-first (username similarity, then right index), capped
+/// at `config.max_per_user`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn score_left_account<R: SignalStore + ?Sized>(
     i: u32,
     sig: &UserSignals,
     probe: &LeftProbe<'_>,
     index: &BlockingIndex,
-    right: &[UserSignals],
+    right: &R,
     config: &CandidateConfig,
     detector: &FaceDetector,
     classifier: &FaceClassifier,
@@ -523,7 +579,7 @@ pub(crate) fn score_left_account(
                 {
                     continue;
                 }
-                let other = &right[j as usize];
+                let other = right.signal(j);
                 let sim = jaro_winkler_chars(probe.chars, rchars)
                     .max(lcs_ratio_chars(probe.chars, rchars));
                 if sim >= config.username_threshold {
@@ -592,7 +648,7 @@ pub(crate) fn score_left_account(
         }
         if let FaceMatchOutcome::Score(s) = match_profile_images(
             sig.image.as_ref(),
-            right[c.right as usize].image.as_ref(),
+            right.signal(c.right).image.as_ref(),
             detector,
             classifier,
         ) {
@@ -986,5 +1042,99 @@ mod tests {
         let old =
             legacy::generate_candidates_legacy(&s.per_platform[0], &s.per_platform[1], &config);
         assert_eq!(new, old);
+    }
+
+    fn named(username: &str) -> UserSignals {
+        let mut s = UserSignals::empty();
+        s.username = username.to_string();
+        s
+    }
+
+    fn probe_candidates(
+        left: &UserSignals,
+        index: &BlockingIndex,
+        right: &[UserSignals],
+    ) -> Vec<CandidatePair> {
+        let mut grams = Vec::new();
+        gram_keys(&left.username, &mut grams);
+        let chars: Vec<char> = left.username.chars().collect();
+        let mut sorted = chars.clone();
+        sorted.sort_unstable();
+        score_left_account(
+            0,
+            left,
+            &LeftProbe {
+                grams: &grams,
+                chars: &chars,
+                sorted_chars: &sorted,
+            },
+            index,
+            right,
+            &CandidateConfig::default(),
+            &FaceDetector::default(),
+            &FaceClassifier::default(),
+            None,
+        )
+    }
+
+    /// Stop-gram accounting audit (ISSUE 5): an index churned through
+    /// removals must probe exactly like a fresh-semantics index over the
+    /// same active population *with the same slot numbering* — including
+    /// a gram whose suppression state flips back OFF as removals thin its
+    /// postings across the `stop_gram_cap` boundary.
+    #[test]
+    fn churned_index_matches_fresh_semantics() {
+        // 30 accounts share the 3-gram "abc" (cap for ≤100 active is 25,
+        // so the gram starts suppressed), plus unrelated filler.
+        let mut slate: Vec<UserSignals> = (0..30).map(|i| named(&format!("abc{i:02}"))).collect();
+        for i in 0..10 {
+            slate.push(named(&format!("zq{i:02}")));
+        }
+        let removed: Vec<u32> = vec![1, 3, 5, 7, 9];
+
+        // Churned: everything inserted active, then five removals.
+        let mut churned = BlockingIndex::build(&slate);
+        let probe_sig = named("abcdef");
+
+        // Before the removals the shared gram indexes 30 > 25 accounts:
+        // suppressed, so the probe (whose only shared gram is "abc")
+        // surfaces nothing.
+        assert!(
+            probe_candidates(&probe_sig, &churned, &slate).is_empty(),
+            "gram must start suppressed (30 postings > cap 25)"
+        );
+        for &a in &removed {
+            assert!(churned.remove_account(a));
+        }
+
+        // Fresh semantics: identical slate and slot numbering, but the
+        // removed accounts were never posted at all.
+        let mut fresh = BlockingIndex::build(&[]);
+        for (a, sig) in slate.iter().enumerate() {
+            if removed.contains(&(a as u32)) {
+                fresh.insert_account_inactive(sig);
+            } else {
+                fresh.insert_account(sig);
+            }
+        }
+
+        assert_eq!(churned.active_accounts(), fresh.active_accounts());
+        let got = probe_candidates(&probe_sig, &churned, &slate);
+        let want = probe_candidates(&probe_sig, &fresh, &slate);
+
+        // The removals brought the gram to 25 postings == cap 25: it must
+        // have flipped back to unsuppressed — on BOTH indexes.
+        assert!(
+            !want.is_empty(),
+            "gram must unsuppress at the boundary on the fresh index"
+        );
+        assert_eq!(got.len(), want.len(), "churned vs fresh candidate count");
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert_eq!((g.left, g.right), (w.left, w.right));
+            assert_eq!(g.username_sim.to_bits(), w.username_sim.to_bits());
+            assert_eq!(g.pre_matched, w.pre_matched);
+        }
+        // No removed account came back.
+        assert!(got.iter().all(|c| !removed.contains(&c.right)));
     }
 }

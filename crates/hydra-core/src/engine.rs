@@ -3,16 +3,21 @@
 //! search-and-resolve deployment of Section 3 / Figure 3 ("which account
 //! on platform B is this platform-A user?") without refitting.
 //!
-//! The engine wraps three things per platform:
+//! The engine splits its per-platform state along the deployment seam:
 //!
-//! * the extracted [`UserSignals`] (the behavior representations of
-//!   Section 5),
-//! * an incremental [`BlockingIndex`] (interned-gram + attribute blocking
-//!   of Section 3) and [`ProfileCache`] (pre-bucketed series / sensor
-//!   windows), both of which grow with [`LinkageEngine::insert_account`];
-//!   [`LinkageEngine::remove_account`] de-lists departed accounts from
-//!   candidacy and querying,
-//! * the platform social graph snapshot Eq. 18 filling consults.
+//! * **Shared, immutable profiles** — an [`Arc`]-handled
+//!   [`ProfileSnapshot`] holding every platform's extracted
+//!   [`UserSignals`], pre-bucketed profile caches, and the social-graph
+//!   snapshot Eq. 18 filling consults. One snapshot backs any number of
+//!   engines: every shard of a [`crate::shard::ShardedEngine`] reads the
+//!   same store, and [`LinkageEngine::insert_account_with_edges`]
+//!   publishes successor epochs via copy-on-insert (see the [`crate::snapshot`]
+//!   module docs).
+//! * **Private candidacy state** — an incremental [`BlockingIndex`] per
+//!   platform (interned-gram + attribute blocking of Section 3, plus the
+//!   active-set bookkeeping), which grows with
+//!   [`LinkageEngine::insert_account`]; [`LinkageEngine::remove_account`]
+//!   de-lists departed accounts from candidacy and querying.
 //!
 //! [`LinkageEngine::query`] runs the full per-pair pipeline — candidate
 //! generation, feature assembly, missing-info filling, kernel decision —
@@ -30,9 +35,11 @@ use crate::candidates::{
 use crate::features::FeatureExtractor;
 use crate::missing::MissingFiller;
 use crate::model::LinkagePrediction;
-use crate::signals::{ProfileCache, Signals, UserSignals};
+use crate::signals::{Signals, UserSignals};
+use crate::snapshot::ProfileSnapshot;
 use hydra_graph::SocialGraph;
 use hydra_vision::{FaceClassifier, FaceDetector};
+use std::sync::Arc;
 
 /// Errors from serving-layer queries and index mutations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -155,21 +162,19 @@ impl std::fmt::Display for EngineError {
 
 impl std::error::Error for EngineError {}
 
-/// One platform's serving-side state.
-struct PlatformStore {
-    signals: Vec<UserSignals>,
-    cache: ProfileCache,
-    index: BlockingIndex,
-    graph: SocialGraph,
-}
-
 /// Serves per-account linkage queries against a trained model.
 pub struct LinkageEngine {
     model: LinkageModel,
     extractor: FeatureExtractor,
     detector: FaceDetector,
     classifier: FaceClassifier,
-    stores: Vec<PlatformStore>,
+    /// The shared, immutable profile store (signals + bucket caches +
+    /// Eq. 18 graphs) at the engine's current epoch.
+    snapshot: Arc<ProfileSnapshot>,
+    /// Per-platform private candidacy state: blocking postings + the
+    /// active set. The only part of the engine that is per-shard when the
+    /// population is partitioned.
+    indexes: Vec<BlockingIndex>,
 }
 
 impl LinkageEngine {
@@ -182,35 +187,32 @@ impl LinkageEngine {
         signals: &Signals,
         graphs: Vec<SocialGraph>,
     ) -> Result<Self, EngineError> {
-        Self::new_with_ownership(model, signals, graphs, |_, _| true)
+        let extractor = model.extractor();
+        let snapshot = Arc::new(ProfileSnapshot::build(&extractor, signals, graphs)?);
+        Self::with_shared_snapshot(model, snapshot, |_, _| true)
     }
 
-    /// [`LinkageEngine::new`] with a candidacy predicate: accounts for which
-    /// `owned(platform, account)` is false are registered *de-listed* — full
-    /// profile store membership (signals, cache, graph: Eq. 18 still sees
-    /// them) but no blocking-index postings, exactly the state
+    /// Build an engine over an **existing** profile snapshot handle, with a
+    /// candidacy predicate: accounts for which `owned(platform, account)`
+    /// is false are registered *de-listed* — full profile membership
+    /// through the shared snapshot (Eq. 18 still sees them) but no
+    /// blocking-index postings, exactly the state
     /// [`LinkageEngine::remove_account`] would leave them in. This is how a
-    /// [`crate::shard::ShardedEngine`] builds its partition without paying
-    /// for postings it would immediately purge.
-    pub(crate) fn new_with_ownership(
+    /// [`crate::shard::ShardedEngine`] hands one snapshot to every shard:
+    /// the shard pays only for its partition's postings, never for a
+    /// profile replica.
+    pub(crate) fn with_shared_snapshot(
         model: LinkageModel,
-        signals: &Signals,
-        graphs: Vec<SocialGraph>,
+        snapshot: Arc<ProfileSnapshot>,
         owned: impl Fn(usize, u32) -> bool,
     ) -> Result<Self, EngineError> {
-        if signals.window_days != model.window_days {
+        if snapshot.window_days() != model.window_days {
             return Err(EngineError::WindowMismatch {
                 model: model.window_days,
-                signals: signals.window_days,
+                signals: snapshot.window_days(),
             });
         }
-        if signals.per_platform.len() != graphs.len() {
-            return Err(EngineError::PlatformCountMismatch {
-                signals: signals.per_platform.len(),
-                graphs: graphs.len(),
-            });
-        }
-        let num_platforms = signals.per_platform.len();
+        let num_platforms = snapshot.num_platforms();
         for spec in &model.tasks {
             for p in [spec.left_platform, spec.right_platform] {
                 if p as usize >= num_platforms {
@@ -222,26 +224,19 @@ impl LinkageEngine {
             }
         }
         let extractor = model.extractor();
-        let stores = signals
-            .per_platform
-            .iter()
-            .enumerate()
-            .zip(graphs)
-            .map(|((p, side), graph)| {
+        let indexes = (0..num_platforms)
+            .map(|p| {
+                let profiles = snapshot.platform(p);
                 let mut index = BlockingIndex::build(&[]);
-                for (a, sig) in side.iter().enumerate() {
-                    if owned(p, a as u32) {
+                for a in 0..profiles.len() as u32 {
+                    let sig = profiles.signal(a);
+                    if owned(p, a) {
                         index.insert_account(sig);
                     } else {
                         index.insert_account_inactive(sig);
                     }
                 }
-                PlatformStore {
-                    cache: extractor.profile_cache(side),
-                    index,
-                    signals: side.clone(),
-                    graph,
-                }
+                index
             })
             .collect();
         Ok(LinkageEngine {
@@ -249,8 +244,50 @@ impl LinkageEngine {
             detector: FaceDetector::default(),
             classifier: FaceClassifier::default(),
             model,
-            stores,
+            snapshot,
+            indexes,
         })
+    }
+
+    /// The engine's current profile-snapshot epoch handle. Engines sharing
+    /// a population (the shards of a [`crate::shard::ShardedEngine`]) hold
+    /// pointer-equal handles — profiles cost 1× memory however many
+    /// engines read them.
+    pub fn snapshot(&self) -> &Arc<ProfileSnapshot> {
+        &self.snapshot
+    }
+
+    /// Approximate heap size of the engine's **private** state (the
+    /// per-platform blocking indexes) — what an additional shard actually
+    /// costs, as opposed to the shared [`LinkageEngine::snapshot`] store.
+    pub fn index_heap_bytes(&self) -> usize {
+        self.indexes.iter().map(BlockingIndex::heap_bytes).sum()
+    }
+
+    /// Adopt an already-published snapshot epoch that appended one account
+    /// on `platform`, registering the account in this engine's private
+    /// index (active for the owning shard, de-listed elsewhere). Returns
+    /// the account's platform-local index. Infallible by construction —
+    /// the sharded insert path validates once, publishes once, then walks
+    /// every shard through this without a failure point.
+    pub(crate) fn adopt_epoch(
+        &mut self,
+        snapshot: Arc<ProfileSnapshot>,
+        platform: usize,
+        sig: &UserSignals,
+        active: bool,
+    ) -> u32 {
+        debug_assert_eq!(
+            snapshot.platform(platform).len(),
+            self.indexes[platform].len() + 1,
+            "epoch adoption must append exactly one account"
+        );
+        self.snapshot = snapshot;
+        if active {
+            self.indexes[platform].insert_account(sig)
+        } else {
+            self.indexes[platform].insert_account_inactive(sig)
+        }
     }
 
     /// The wrapped model.
@@ -265,7 +302,7 @@ impl LinkageEngine {
 
     /// Number of account slots on a platform (including removed accounts).
     pub fn num_accounts(&self, platform: usize) -> usize {
-        self.stores.get(platform).map_or(0, |s| s.signals.len())
+        self.indexes.get(platform).map_or(0, BlockingIndex::len)
     }
 
     /// Register a new account on `platform` under the next free index
@@ -293,56 +330,25 @@ impl LinkageEngine {
     /// node: the account participates in blocking and scoring but has no
     /// core network, so Eq. 18 falls back to zero filling for it.
     ///
-    /// The whole delta is validated before any state changes: an
-    /// out-of-range neighbor or non-positive weight errors without
-    /// registering the account.
+    /// The insert is **all-or-nothing**: the whole delta is validated and a
+    /// successor snapshot epoch is published before the candidacy index is
+    /// touched, so an out-of-range neighbor or non-positive weight errors
+    /// without registering the account anywhere. On the single-engine path
+    /// the snapshot handle is unique and publication mutates in place; a
+    /// shared handle (sharded serving) takes the copy-on-insert path — see
+    /// [`crate::snapshot::ProfileSnapshot`].
     pub fn insert_account_with_edges(
         &mut self,
         platform: usize,
         sig: UserSignals,
         edges: &[(u32, f64)],
     ) -> Result<u32, EngineError> {
-        let num_platforms = self.stores.len();
-        let store = self
-            .stores
-            .get_mut(platform)
-            .ok_or(EngineError::PlatformOutOfRange {
-                platform,
-                num_platforms,
-            })?;
-        let new_idx = store.signals.len() as u32;
-        for &(nbr, w) in edges {
-            // A neighbor must be an existing account (the new node's slot is
-            // not a valid interaction partner either — self-loops carry no
-            // linkage signal and GraphBuilder drops them, but here one would
-            // silently vanish, so reject it as out of range).
-            if nbr >= new_idx {
-                return Err(EngineError::EdgeNeighborOutOfRange {
-                    platform,
-                    neighbor: nbr,
-                });
-            }
-            if !(w > 0.0) {
-                return Err(EngineError::EdgeWeightNotPositive {
-                    platform,
-                    neighbor: nbr,
-                });
-            }
-        }
-        let idx = store.index.insert_account(&sig);
-        let cache_idx = store.cache.insert_account(&sig);
-        debug_assert_eq!(idx, cache_idx, "index/cache slot drift");
-        store.signals.push(sig);
-        // Graph refresh: pad the snapshot out to the new account's slot (a
-        // snapshot built before earlier edge-less inserts may be behind),
-        // then merge the interaction delta.
-        while store.graph.num_nodes() <= idx as usize {
-            store.graph.add_node();
-        }
-        if !edges.is_empty() {
-            let delta: Vec<(u32, u32, f64)> = edges.iter().map(|&(nbr, w)| (idx, nbr, w)).collect();
-            store.graph.add_edges(&delta);
-        }
+        let idx = ProfileSnapshot::publish_insert(&mut self.snapshot, platform, sig, edges)?;
+        // The profile was moved into the snapshot; read it back for the
+        // index postings instead of cloning it.
+        let sig = self.snapshot.platform(platform).signal(idx);
+        let index_idx = self.indexes[platform].insert_account(sig);
+        debug_assert_eq!(idx, index_idx, "snapshot/index slot drift");
         Ok(idx)
     }
 
@@ -357,18 +363,18 @@ impl LinkageEngine {
     /// values are unchanged by the removal (blanking the profile instead
     /// would silently shift neighbors' filled features).
     pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), EngineError> {
-        let num_platforms = self.stores.len();
-        let store = self
-            .stores
+        let num_platforms = self.indexes.len();
+        let index = self
+            .indexes
             .get_mut(platform)
             .ok_or(EngineError::PlatformOutOfRange {
                 platform,
                 num_platforms,
             })?;
-        if (account as usize) >= store.signals.len() {
+        if (account as usize) >= index.len() {
             return Err(EngineError::AccountOutOfRange { platform, account });
         }
-        if !store.index.remove_account(account) {
+        if !index.remove_account(account) {
             return Err(EngineError::AccountRemoved { platform, account });
         }
         Ok(())
@@ -387,21 +393,21 @@ impl LinkageEngine {
 
     /// Whether `account` exists on `platform` and has not been removed.
     pub(crate) fn is_account_active(&self, platform: usize, account: u32) -> bool {
-        self.stores
+        self.indexes
             .get(platform)
-            .is_some_and(|s| s.index.is_active(account))
+            .is_some_and(|i| i.is_active(account))
     }
 
     fn check_left(&self, spec: TaskSpec, left_account: u32) -> Result<(), EngineError> {
         let platform = spec.left_platform as usize;
-        let store = &self.stores[platform];
-        if (left_account as usize) >= store.signals.len() {
+        let index = &self.indexes[platform];
+        if (left_account as usize) >= index.len() {
             return Err(EngineError::AccountOutOfRange {
                 platform,
                 account: left_account,
             });
         }
-        if !store.index.is_active(left_account) {
+        if !index.is_active(left_account) {
             return Err(EngineError::AccountRemoved {
                 platform,
                 account: left_account,
@@ -459,15 +465,17 @@ impl LinkageEngine {
         left_account: u32,
         limits: Option<&GramLimits<'_>>,
     ) -> Vec<CandidatePair> {
-        let left_store = &self.stores[spec.left_platform as usize];
-        let right_store = &self.stores[spec.right_platform as usize];
-        let sig = &left_store.signals[left_account as usize];
+        let left = self.snapshot.platform(spec.left_platform as usize);
+        let right = self.snapshot.platform(spec.right_platform as usize);
+        let sig = left.signal(left_account);
 
-        // The left store's index already holds the account's decoded/sorted
-        // username scalars; only the gram set is recomputed per query.
+        // The left platform's index already holds the account's decoded and
+        // sorted username scalars; only the gram set is recomputed per
+        // query.
+        let left_index = &self.indexes[spec.left_platform as usize];
         let mut grams = Vec::with_capacity(16);
         gram_keys(&sig.username, &mut grams);
-        let (chars, sorted_chars) = left_store.index.probe_chars(left_account);
+        let (chars, sorted_chars) = left_index.probe_chars(left_account);
         let probe = LeftProbe {
             grams: &grams,
             chars,
@@ -477,8 +485,8 @@ impl LinkageEngine {
             left_account,
             sig,
             &probe,
-            &right_store.index,
-            &right_store.signals,
+            &self.indexes[spec.right_platform as usize],
+            right,
             &self.model.candidates,
             &self.detector,
             &self.classifier,
@@ -498,29 +506,20 @@ impl LinkageEngine {
         spec: TaskSpec,
         cands: &[CandidatePair],
     ) -> Vec<LinkagePrediction> {
-        let left_store = &self.stores[spec.left_platform as usize];
-        let right_store = &self.stores[spec.right_platform as usize];
+        let left = self.snapshot.platform(spec.left_platform as usize);
+        let right = self.snapshot.platform(spec.right_platform as usize);
         if cands.is_empty() {
             return Vec::new();
         }
 
         // --- feature assembly + Eq. 18 filling -----------------------------
+        // Both stages read straight through the shared snapshot handle; the
+        // batch fan-out happens across queries, not within one.
         let pairs: Vec<crate::PairIdx> = cands.iter().map(|c| (c.left, c.right)).collect();
-        let mut feats = self.extractor.features_for_pairs_threads(
-            &pairs,
-            &left_store.signals,
-            &right_store.signals,
-            Some((&left_store.cache, &right_store.cache)),
-            1, // the batch fan-out happens across queries, not within one
-        );
-        let mut filler = MissingFiller::new(
-            &self.extractor,
-            &left_store.signals,
-            &right_store.signals,
-            &left_store.graph,
-            &right_store.graph,
-        )
-        .with_profile_caches(&left_store.cache, &right_store.cache);
+        let mut feats = self
+            .extractor
+            .features_for_profile_pairs(&pairs, left, right);
+        let mut filler = MissingFiller::over_profiles(&self.extractor, left, right);
         filler.fill_matrix(&pairs, &mut feats, self.model.fill);
 
         // --- kernel decision + ranking -------------------------------------

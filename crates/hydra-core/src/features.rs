@@ -571,6 +571,32 @@ impl FeatureExtractor {
         }
         fm
     }
+
+    /// Serve-path feature assembly reading both sides straight through an
+    /// epoch snapshot's profile columns ([`crate::snapshot::ProfileSnapshot`])
+    /// — no slices, no replicas, always pre-bucketed. Sequential by design:
+    /// the serving fan-out happens across queries, not within one. Values
+    /// are bit-identical to [`FeatureExtractor::features_for_pairs`] over
+    /// the same accounts with their caches supplied.
+    pub(crate) fn features_for_profile_pairs(
+        &self,
+        pairs: &[(u32, u32)],
+        left: &crate::snapshot::PlatformProfiles,
+        right: &crate::snapshot::PlatformProfiles,
+    ) -> FeatureMatrix {
+        let mut fm = FeatureMatrix::with_capacity(pairs.len());
+        let mut values = [0.0f64; FEATURE_DIM];
+        for &(i, j) in pairs {
+            let mask = self.pair_features_into(
+                left.signal(i),
+                right.signal(j),
+                Some((left.buckets(i), right.buckets(j))),
+                &mut values,
+            );
+            fm.push_row(&values, mask);
+        }
+        fm
+    }
 }
 
 #[cfg(test)]

@@ -575,6 +575,31 @@ pub struct ServingArtifact {
 }
 
 impl ServingArtifact {
+    /// Cold-start a single serving engine from this bundle over extracted
+    /// signals and per-platform graph snapshots — the load → serve half of
+    /// the deployment loop (use [`SignalExtractor::extract_raw`] +
+    /// [`LinkageEngine::insert_account_with_edges`](crate::engine::LinkageEngine::insert_account_with_edges)
+    /// for the ingest half).
+    pub fn engine(
+        &self,
+        signals: &crate::signals::Signals,
+        graphs: Vec<hydra_graph::SocialGraph>,
+    ) -> Result<crate::engine::LinkageEngine, crate::engine::EngineError> {
+        crate::engine::LinkageEngine::new(self.model.clone(), signals, graphs)
+    }
+
+    /// Cold-start a sharded serving engine from this bundle: candidacy
+    /// partitioned over `num_shards` blocking indexes, profiles held in
+    /// one `Arc`-shared epoch snapshot (1× memory at any shard count).
+    pub fn sharded_engine(
+        &self,
+        signals: &crate::signals::Signals,
+        graphs: Vec<hydra_graph::SocialGraph>,
+        num_shards: usize,
+    ) -> Result<crate::shard::ShardedEngine, crate::engine::EngineError> {
+        crate::shard::ShardedEngine::new(self.model.clone(), signals, graphs, num_shards)
+    }
+
     /// Serialize model + extractor into one `HYSX` bundle.
     pub fn to_bytes(&self) -> Vec<u8> {
         let model = self.model.to_bytes();

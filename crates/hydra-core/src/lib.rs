@@ -53,11 +53,17 @@
 //!   an [`ingest::ServingArtifact`];
 //! * `LinkageEngine::insert_account_with_edges` — incremental Eq. 18 graph
 //!   refresh, so ingested accounts join core-network missing-value filling;
-//! * [`shard::ShardedEngine`] — the population partitioned over N
-//!   per-shard stores with hash-by-account routing, global stop-gram
-//!   statistics, and deterministic merges; byte-identical to the
-//!   single-engine path at every shard × thread count
-//!   (`tests/ingest_parity.rs`).
+//! * [`snapshot::ProfileSnapshot`] — the epoch-based, `Arc`-shared
+//!   immutable profile store (signals + bucket caches + Eq. 18 graphs)
+//!   every serving engine reads through; ingest publishes successor
+//!   epochs via copy-on-insert (frozen base column + append-only tail +
+//!   graph delta merge), so N shards cost 1× profile memory;
+//! * [`shard::ShardedEngine`] — candidacy partitioned over N per-shard
+//!   blocking indexes with hash-by-account routing, global stop-gram
+//!   statistics, and deterministic merges over the one shared snapshot;
+//!   byte-identical to the single-engine path at every shard × thread
+//!   count (`tests/ingest_parity.rs`), with inserts atomic across the
+//!   partition.
 
 pub mod artifact;
 pub mod candidates;
@@ -70,6 +76,7 @@ pub mod model;
 pub mod moo;
 pub mod shard;
 pub mod signals;
+pub mod snapshot;
 pub mod source;
 pub mod structure;
 
@@ -83,6 +90,7 @@ pub use missing::FillStrategy;
 pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
 pub use shard::ShardedEngine;
 pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
+pub use snapshot::{PlatformProfiles, ProfileSnapshot};
 pub use source::{AccountSource, AccountView};
 
 /// A (left-account, right-account) pair across one platform pair. Accounts

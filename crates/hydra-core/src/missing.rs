@@ -21,7 +21,8 @@
 //! of two heap `Vec`s.
 
 use crate::features::{FeatureExtractor, FeatureMatrix, FEATURE_DIM};
-use crate::signals::{ProfileCache, UserSignals};
+use crate::signals::{AccountBuckets, ProfileCache, UserSignals};
+use crate::snapshot::PlatformProfiles;
 use hydra_graph::{top_k_friends, SocialGraph};
 use std::collections::HashMap;
 
@@ -35,14 +36,51 @@ pub enum FillStrategy {
     CoreNetwork,
 }
 
+/// One side's profile store as the filler reads it: borrowed slices on the
+/// batch (fit-time) path, the shared epoch snapshot on the serving path.
+/// Both yield bit-identical fills — the snapshot variant is the same
+/// signals/buckets/graph reached through the `Arc`-shared handle instead
+/// of per-engine replicas.
+enum SideProfiles<'a> {
+    Slices {
+        signals: &'a [UserSignals],
+        cache: Option<&'a ProfileCache>,
+        graph: &'a SocialGraph,
+    },
+    Snapshot(&'a PlatformProfiles),
+}
+
+impl<'a> SideProfiles<'a> {
+    #[inline]
+    fn signal(&self, a: u32) -> &'a UserSignals {
+        match self {
+            SideProfiles::Slices { signals, .. } => &signals[a as usize],
+            SideProfiles::Snapshot(p) => p.signal(a),
+        }
+    }
+
+    #[inline]
+    fn buckets(&self, a: u32) -> Option<&'a AccountBuckets> {
+        match self {
+            SideProfiles::Slices { cache, .. } => cache.map(|c| &c.accounts[a as usize]),
+            SideProfiles::Snapshot(p) => Some(p.buckets(a)),
+        }
+    }
+
+    #[inline]
+    fn graph(&self) -> &'a SocialGraph {
+        match self {
+            SideProfiles::Slices { graph, .. } => graph,
+            SideProfiles::Snapshot(p) => p.graph(),
+        }
+    }
+}
+
 /// Fills missing dimensions of pair feature rows.
 pub struct MissingFiller<'a> {
     extractor: &'a FeatureExtractor,
-    left: &'a [UserSignals],
-    right: &'a [UserSignals],
-    left_graph: &'a SocialGraph,
-    right_graph: &'a SocialGraph,
-    caches: Option<(&'a ProfileCache, &'a ProfileCache)>,
+    left: SideProfiles<'a>,
+    right: SideProfiles<'a>,
     /// Memoized friend-pair feature rows (Eq. 18 reuses them heavily
     /// across pairs from the same neighborhood).
     cache: HashMap<(u32, u32), ([f64; FEATURE_DIM], u64)>,
@@ -59,23 +97,54 @@ impl<'a> MissingFiller<'a> {
     ) -> Self {
         MissingFiller {
             extractor,
-            left,
-            right,
-            left_graph,
-            right_graph,
-            caches: None,
+            left: SideProfiles::Slices {
+                signals: left,
+                cache: None,
+                graph: left_graph,
+            },
+            right: SideProfiles::Slices {
+                signals: right,
+                cache: None,
+                graph: right_graph,
+            },
+            cache: HashMap::new(),
+        }
+    }
+
+    /// New filler reading both sides through a shared epoch snapshot
+    /// ([`crate::snapshot::ProfileSnapshot`]) — the serving path, where
+    /// signals, bucket caches, and the Eq. 18 graphs all come from the one
+    /// `Arc`-shared store instead of per-engine replicas. Fills are
+    /// bit-identical to the slice-based constructor over the same
+    /// profiles.
+    pub fn over_profiles(
+        extractor: &'a FeatureExtractor,
+        left: &'a PlatformProfiles,
+        right: &'a PlatformProfiles,
+    ) -> Self {
+        MissingFiller {
+            extractor,
+            left: SideProfiles::Snapshot(left),
+            right: SideProfiles::Snapshot(right),
             cache: HashMap::new(),
         }
     }
 
     /// Provide pre-bucketed series caches so friend-pair features skip
-    /// re-bucketing (values are identical either way).
+    /// re-bucketing (values are identical either way). No-op on a
+    /// snapshot-backed filler, whose buckets already come from the shared
+    /// store.
     pub fn with_profile_caches(
         mut self,
         left_cache: &'a ProfileCache,
         right_cache: &'a ProfileCache,
     ) -> Self {
-        self.caches = Some((left_cache, right_cache));
+        if let SideProfiles::Slices { cache, .. } = &mut self.left {
+            *cache = Some(left_cache);
+        }
+        if let SideProfiles::Slices { cache, .. } = &mut self.right {
+            *cache = Some(right_cache);
+        }
         self
     }
 
@@ -159,8 +228,8 @@ impl<'a> MissingFiller<'a> {
     }
 
     fn fill_row_core(&mut self, pair: (u32, u32), values: &mut [f64], mask: &mut u64) {
-        let friends_l = Self::known_friends(self.left_graph, pair.0);
-        let friends_r = Self::known_friends(self.right_graph, pair.1);
+        let friends_l = Self::known_friends(self.left.graph(), pair.0);
+        let friends_r = Self::known_friends(self.right.graph(), pair.1);
         let mut sums = [0.0f64; FEATURE_DIM];
         let mut counts = [0u32; FEATURE_DIM];
         for &fl in &friends_l {
@@ -190,13 +259,14 @@ impl<'a> MissingFiller<'a> {
         if let Some(&entry) = self.cache.get(&(l, r)) {
             return entry;
         }
-        let buckets = self
-            .caches
-            .map(|(cl, cr)| (&cl.accounts[l as usize], &cr.accounts[r as usize]));
+        let buckets = match (self.left.buckets(l), self.right.buckets(r)) {
+            (Some(bl), Some(br)) => Some((bl, br)),
+            _ => None,
+        };
         let mut row = [0.0f64; FEATURE_DIM];
         let mask = self.extractor.pair_features_into(
-            &self.left[l as usize],
-            &self.right[r as usize],
+            self.left.signal(l),
+            self.right.signal(r),
             buckets,
             &mut row,
         );

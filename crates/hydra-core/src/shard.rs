@@ -1,5 +1,6 @@
 //! Sharded serving: [`ShardedEngine`] partitions the candidate population
-//! over N per-shard [`LinkageEngine`] stores and fans queries out over
+//! over N per-shard [`LinkageEngine`] indexes — all reading **one**
+//! `Arc`-shared [`ProfileSnapshot`] — and fans queries out over
 //! `hydra-par` workers.
 //!
 //! The paper's deployment regime (10M-user testbed, Sections 6.3 / 7.5) and
@@ -15,16 +16,27 @@
 //!   (dense platform-local ids make the modulus a perfect hash);
 //!   [`ShardedEngine::insert_account`] / [`ShardedEngine::remove_account`]
 //!   route to the owning shard's blocking index.
-//! * **Partitioned candidacy, replicated profiles** — each shard's
-//!   [`LinkageEngine`] keeps only its partition *active for candidacy*; the
-//!   per-platform profile stores (signals, bucket caches, social-graph
-//!   snapshot) are full replicas, because Eq. 18 core-network filling
-//!   reaches into arbitrary friends' profiles on both sides of a pair. This
-//!   mirrors the production shape — a partitioned index over a replicated
-//!   profile snapshot — and makes a de-listed partition exactly the
-//!   engine's `remove_account` semantics (profiles keep contributing to
-//!   Eq. 18, candidacy ends). Cross-box sharding of the profile snapshot
-//!   itself is the ROADMAP follow-up.
+//! * **Partitioned candidacy, one shared profile snapshot** — each shard
+//!   privately owns only its partition's blocking postings and active-set
+//!   bookkeeping; the per-platform profile store (signals, bucket caches,
+//!   social-graph snapshot) is a single immutable [`ProfileSnapshot`] the
+//!   engine hands to every shard by reference-counted handle, because
+//!   Eq. 18 core-network filling reaches into arbitrary friends' profiles
+//!   on both sides of a pair. N shards therefore cost **1×** profile
+//!   memory plus O(index) per shard (PR 4 replicated the store, N×). A
+//!   de-listed partition is exactly the engine's `remove_account`
+//!   semantics: profiles keep contributing to Eq. 18, candidacy ends.
+//!   The snapshot is also the seam for cross-box sharding (the ROADMAP
+//!   follow-up): it is the thing a profile service would serve.
+//! * **Atomic ingest, epoch by epoch** —
+//!   [`ShardedEngine::insert_account_with_edges`] validates everything up
+//!   front, publishes ONE successor snapshot epoch (copy-on-insert: the
+//!   frozen base column and every earlier tail entry are shared by
+//!   pointer, the graph absorbs the delta), then walks every shard
+//!   through an infallible adopt step and updates the global statistics
+//!   last. A failing insert touches nothing — no shard, no stats — so the
+//!   partition can never diverge from the single-engine path
+//!   (`tests/ingest_parity.rs` pins the failed-insert identity).
 //! * **Global stop-gram statistics** — suppression of uninformative grams
 //!   depends on the population-wide posting count; each probe hands the
 //!   shard index the global [`GramLimits`], so a shard suppresses exactly
@@ -43,8 +55,10 @@ use crate::candidates::{gram_keys, CandidatePair, GramLimits};
 use crate::engine::{EngineError, LinkageEngine};
 use crate::model::LinkagePrediction;
 use crate::signals::{Signals, UserSignals};
+use crate::snapshot::ProfileSnapshot;
 use hydra_graph::SocialGraph;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Population-wide bookkeeping for one platform: the global gram statistics
 /// shard probes use for stop-gram suppression, plus the slot-aligned
@@ -78,9 +92,13 @@ impl PlatformStats {
     }
 }
 
-/// Serves per-account linkage queries against a population partitioned over
-/// N per-shard [`LinkageEngine`] stores (see the module docs).
+/// Serves per-account linkage queries against a population whose candidacy
+/// is partitioned over N per-shard [`LinkageEngine`] indexes, all reading
+/// one `Arc`-shared [`ProfileSnapshot`] (see the module docs).
 pub struct ShardedEngine {
+    /// The engine's handle to the current profile-snapshot epoch; every
+    /// shard holds a pointer-equal clone.
+    snapshot: Arc<ProfileSnapshot>,
     shards: Vec<LinkageEngine>,
     num_shards: usize,
     platforms: Vec<PlatformStats>,
@@ -95,7 +113,11 @@ impl ShardedEngine {
 
     /// Build a sharded engine over `num_shards` partitions — same inputs as
     /// [`LinkageEngine::new`] plus the shard count. A one-shard engine is
-    /// exactly the single-engine path.
+    /// exactly the single-engine path. The profile store (signals, bucket
+    /// caches, Eq. 18 graphs) is built **once** and shared: each shard
+    /// receives a handle, not a replica, and registers accounts owned by
+    /// other shards de-listed (Eq. 18 still sees them, no candidacy
+    /// postings).
     pub fn new(
         model: LinkageModel,
         signals: &Signals,
@@ -105,15 +127,13 @@ impl ShardedEngine {
         if num_shards == 0 {
             return Err(EngineError::InvalidShardCount);
         }
+        let extractor = model.extractor();
+        let snapshot = Arc::new(ProfileSnapshot::build(&extractor, signals, graphs)?);
         let mut shards = Vec::with_capacity(num_shards);
         for s in 0..num_shards {
-            // Accounts owned by other shards are registered de-listed: full
-            // profile-store membership (Eq. 18 still sees them), no
-            // candidacy postings.
-            shards.push(LinkageEngine::new_with_ownership(
+            shards.push(LinkageEngine::with_shared_snapshot(
                 model.clone(),
-                signals,
-                graphs.clone(),
+                snapshot.clone(),
                 |_, a| a as usize % num_shards == s,
             )?);
         }
@@ -134,10 +154,57 @@ impl ShardedEngine {
             })
             .collect();
         Ok(ShardedEngine {
+            snapshot,
             shards,
             num_shards,
             platforms,
         })
+    }
+
+    /// The engine's handle to the shared profile snapshot at the current
+    /// epoch. [`ShardedEngine::shard_snapshot`] returns pointer-equal
+    /// handles for every shard — the store exists once, whatever the shard
+    /// count.
+    pub fn snapshot(&self) -> &Arc<ProfileSnapshot> {
+        &self.snapshot
+    }
+
+    /// Shard `s`'s handle to the profile snapshot (pointer-equal to
+    /// [`ShardedEngine::snapshot`] — asserted by the sharing parity test).
+    ///
+    /// # Panics
+    /// Panics when `s >= num_shards`.
+    pub fn shard_snapshot(&self, s: usize) -> &Arc<ProfileSnapshot> {
+        self.shards[s].snapshot()
+    }
+
+    /// Approximate heap size of the **shared** profile store (1× across
+    /// every shard) — the memory term PR 4's replicated stores multiplied
+    /// by N.
+    pub fn snapshot_bytes(&self) -> usize {
+        self.snapshot.heap_bytes()
+    }
+
+    /// Approximate heap size of all per-shard **private** state (blocking
+    /// postings, active sets, probe scalars) plus the global gram
+    /// statistics — what sharding actually adds on top of the shared
+    /// snapshot.
+    pub fn index_bytes(&self) -> usize {
+        let shards: usize = self
+            .shards
+            .iter()
+            .map(LinkageEngine::index_heap_bytes)
+            .sum();
+        let stats: usize = self
+            .platforms
+            .iter()
+            .map(|p| {
+                p.gram_counts.len() * std::mem::size_of::<(u64, u32)>()
+                    + p.usernames.len() * std::mem::size_of::<String>()
+                    + p.usernames.iter().map(String::len).sum::<usize>()
+            })
+            .sum();
+        shards + stats
     }
 
     /// The wrapped model.
@@ -176,58 +243,56 @@ impl ShardedEngine {
     }
 
     /// Register a new account under the next free platform-local index
-    /// (returned), refreshing every shard's Eq. 18 graph snapshot with the
-    /// account's interaction delta and activating it for candidacy on its
-    /// owning shard only. Subsequent queries are byte-identical to a
-    /// single engine (or a freshly built sharded engine) holding the grown
-    /// population.
+    /// (returned), publishing **one** successor snapshot epoch that every
+    /// shard adopts: the account's profile and its Eq. 18 interaction
+    /// delta enter the shared store exactly once, and the account becomes
+    /// active for candidacy on its owning shard only. Subsequent queries
+    /// are byte-identical to a single engine (or a freshly built sharded
+    /// engine) holding the grown population.
+    ///
+    /// The insert is **all-or-nothing**: validation and epoch publication
+    /// happen before any shard or the global gram statistics are touched,
+    /// and everything after the fallible step is infallible — a failing
+    /// insert (out-of-range platform or neighbor, non-positive weight)
+    /// leaves every shard, the snapshot, and the statistics byte-for-byte
+    /// as they were, so the partition can never diverge from the
+    /// single-engine path (regression-pinned in `tests/ingest_parity.rs`).
     pub fn insert_account_with_edges(
         &mut self,
         platform: usize,
         sig: UserSignals,
         edges: &[(u32, f64)],
     ) -> Result<u32, EngineError> {
-        let num_platforms = self.platforms.len();
-        let Some(stats) = self.platforms.get_mut(platform) else {
-            return Err(EngineError::PlatformOutOfRange {
-                platform,
-                num_platforms,
-            });
-        };
-        let global = stats.total as u32;
-        // Validate the delta once up front so no shard mutates on error.
-        for &(nbr, w) in edges {
-            if nbr >= global {
-                return Err(EngineError::EdgeNeighborOutOfRange {
-                    platform,
-                    neighbor: nbr,
-                });
-            }
-            if !(w > 0.0) {
-                return Err(EngineError::EdgeWeightNotPositive {
-                    platform,
-                    neighbor: nbr,
-                });
-            }
+        // 1. Fallible step: validate platform + delta, publish the epoch
+        //    (the profile moves into the snapshot tail, no deep copy). On
+        //    error nothing — snapshot, shards, stats — has changed.
+        let global = ProfileSnapshot::publish_insert(&mut self.snapshot, platform, sig, edges)?;
+        let sig = self.snapshot.platform(platform).signal(global);
+
+        // 2. Infallible: hand the new epoch to every shard; the owner
+        //    registers the account active, the rest de-listed.
+        let owner = self.owner(global);
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            let idx = shard.adopt_epoch(self.snapshot.clone(), platform, sig, s == owner);
+            debug_assert_eq!(idx, global, "shard slot drift");
         }
+
+        // 3. Global statistics last, after every shard holds the epoch.
+        let stats = &mut self.platforms[platform];
+        debug_assert_eq!(stats.total as u32, global, "stats slot drift");
         stats.count_grams(&sig.username, 1);
         stats.usernames.push(sig.username.clone());
         stats.active_count += 1;
         stats.total += 1;
-        let owner = self.owner(global);
-        for (s, shard) in self.shards.iter_mut().enumerate() {
-            let idx = shard.insert_account_with_edges(platform, sig.clone(), edges)?;
-            debug_assert_eq!(idx, global, "shard slot drift");
-            if s != owner {
-                shard.remove_account(platform, idx)?;
-            }
-        }
         Ok(global)
     }
 
     /// De-list an account from serving (routing to its owning shard). Its
-    /// profile stays in every shard's Eq. 18 snapshot, exactly like
-    /// [`LinkageEngine::remove_account`].
+    /// profile stays in the shared Eq. 18 snapshot, exactly like
+    /// [`LinkageEngine::remove_account`]. All-or-nothing like the insert:
+    /// the global statistics are only updated after the owning shard's
+    /// removal succeeded, so a failing removal (out-of-range platform or
+    /// account, double removal) changes nothing.
     pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), EngineError> {
         let owner = self.owner(account);
         self.shards[owner].remove_account(platform, account)?;

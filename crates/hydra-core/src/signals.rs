@@ -95,6 +95,17 @@ impl DaySeries {
         normalize_l1(&mut acc);
         acc
     }
+
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.days.len() * std::mem::size_of::<u16>()
+            + self.dists.len() * std::mem::size_of::<Vec<f64>>()
+            + self
+                .dists
+                .iter()
+                .map(|d| d.len() * std::mem::size_of::<f64>())
+                .sum::<usize>()
+    }
 }
 
 /// Merge-join two bucketed series: average kernel similarity over buckets
@@ -213,6 +224,19 @@ impl BucketedSeries {
             .collect();
         BucketedSeries { dim, per_scale }
     }
+
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.per_scale.len() * std::mem::size_of::<ScaleBuckets>()
+            + self
+                .per_scale
+                .iter()
+                .map(|s| {
+                    s.ids.len() * std::mem::size_of::<u16>()
+                        + s.flat.len() * std::mem::size_of::<f64>()
+                })
+                .sum::<usize>()
+    }
 }
 
 /// Multi-scale similarity over pre-bucketed series — bit-identical to
@@ -301,6 +325,17 @@ pub struct AccountBuckets {
     pub media: hydra_temporal::sensors::WindowIndex,
 }
 
+impl AccountBuckets {
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.topic.heap_bytes()
+            + self.genre.heap_bytes()
+            + self.senti.heap_bytes()
+            + self.checkins.heap_bytes()
+            + self.media.heap_bytes()
+    }
+}
+
 /// Per-platform cache of [`AccountBuckets`], built once per side and reused
 /// by candidate-pair feature assembly and Eq.-18 friend-pair filling.
 ///
@@ -374,17 +409,22 @@ impl ProfileCache {
         }
     }
 
+    /// Bucket one account with the scales and window this cache was built
+    /// with, without storing it — the entry is bit-identical to what a full
+    /// rebuild over a side containing the account would hold. The epoch
+    /// snapshot ([`crate::snapshot::ProfileSnapshot`]) buckets ingest-tail
+    /// entries through this, so tail profiles match base ones exactly.
+    pub fn bucket_for(&self, sig: &UserSignals) -> AccountBuckets {
+        let horizon = hydra_temporal::days(self.window_days as i64);
+        Self::bucket_account(sig, &self.scales, &self.sensor_scales, horizon)
+    }
+
     /// Append one account's buckets (index = previous [`Self::len`]),
     /// using the scales and window this cache was built with — the entry is
     /// bit-identical to what a full rebuild over the grown side would hold.
     pub fn insert_account(&mut self, sig: &UserSignals) -> u32 {
-        let horizon = hydra_temporal::days(self.window_days as i64);
-        self.accounts.push(Self::bucket_account(
-            sig,
-            &self.scales,
-            &self.sensor_scales,
-            horizon,
-        ));
+        let entry = self.bucket_for(sig);
+        self.accounts.push(entry);
         (self.accounts.len() - 1) as u32
     }
 
@@ -413,6 +453,18 @@ impl ProfileCache {
     /// Whether the cache holds no account.
     pub fn is_empty(&self) -> bool {
         self.accounts.is_empty()
+    }
+
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.accounts.len() * std::mem::size_of::<AccountBuckets>()
+            + self
+                .accounts
+                .iter()
+                .map(AccountBuckets::heap_bytes)
+                .sum::<usize>()
+            + self.scales.len() * std::mem::size_of::<u16>()
+            + self.sensor_scales.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -462,6 +514,21 @@ impl UserSignals {
             checkins: Timeline::from_events(Vec::new()),
             media: Timeline::from_events(Vec::new()),
         }
+    }
+
+    /// Approximate deep heap size of one account's behavioral state
+    /// (length-based; ignores allocator slack) — the per-account memory
+    /// term the shared profile snapshot keeps at 1× across shards.
+    pub fn heap_bytes(&self) -> usize {
+        self.username.len()
+            + self.image.as_ref().map_or(0, ProfileImage::heap_bytes)
+            + self.topic_days.heap_bytes()
+            + self.genre_days.heap_bytes()
+            + self.senti_days.heap_bytes()
+            + self.style.heap_bytes()
+            + self.embedding.len() * std::mem::size_of::<f64>()
+            + self.checkins.heap_bytes()
+            + self.media.heap_bytes()
     }
 }
 

@@ -16,9 +16,18 @@
 //!   behavior vs. an edge-less insert;
 //! * **(d)** save → load → extract → query is an identity: a
 //!   [`ServingArtifact`] round-tripped through its `HYSX` bundle serves a
-//!   never-seen account byte-identically to the in-memory artifact.
+//!   never-seen account byte-identically to the in-memory artifact;
+//! * **(e)** the profile store behind a sharded engine is genuinely
+//!   **shared** — every shard's snapshot handle is pointer-equal to the
+//!   engine's, growing 1 → 4 shards adds only O(index) memory (never
+//!   O(profiles)), and epoch publication keeps both properties through
+//!   inserts;
+//! * **(f)** `insert_account_with_edges` is **atomic**: a failing insert
+//!   (bad platform, bad neighbor, bad weight) leaves the engine's counts,
+//!   snapshot epoch, and every query answer byte-identical to the state
+//!   before the attempt.
 
-use hydra_core::engine::LinkageEngine;
+use hydra_core::engine::{EngineError, LinkageEngine};
 use hydra_core::ingest::{RawAccount, ServingArtifact, SignalExtractor};
 use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
 use hydra_core::shard::ShardedEngine;
@@ -281,6 +290,143 @@ fn graph_refreshed_insert_participates_in_eq18() {
         "removing a top-degree account's edges changed no Eq. 18 fill — \
          the graph refresh is not observable"
     );
+}
+
+/// (e) The profile store is shared, not cloned per shard: pointer-equal
+/// snapshot handles across every shard (and the engine), byte-identical
+/// store size at any shard count, and O(index)-only growth from 1 to 4
+/// shards. Epoch publication (an insert) preserves sharing and keeps the
+/// frozen base column pointer-shared with the pre-insert epoch.
+#[test]
+fn profile_snapshot_is_shared_across_shards() {
+    let (dataset, signals, extractor) = world(40, 0x54A9E);
+    let trained = train(&dataset, &signals);
+
+    let one =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 1).expect("1 shard");
+    let mut four =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 4).expect("4 shards");
+
+    // Pointer equality: one allocation serves the engine and every shard.
+    for s in 0..4 {
+        assert!(
+            std::sync::Arc::ptr_eq(four.snapshot(), four.shard_snapshot(s)),
+            "shard {s} holds a profile replica instead of the shared handle"
+        );
+    }
+
+    // The shared store costs the same whatever the shard count…
+    assert_eq!(
+        one.snapshot_bytes(),
+        four.snapshot_bytes(),
+        "snapshot size must not depend on the shard count"
+    );
+    // …and what 3 extra shards add is index bookkeeping, far below the
+    // profile store they index into (PR 4's replicas would have added
+    // 3 × snapshot_bytes here).
+    let added = four.index_bytes().saturating_sub(one.index_bytes());
+    assert!(
+        added < one.snapshot_bytes() / 10,
+        "1→4 shards added {added} bytes — O(profiles), not O(index) \
+         (snapshot is {} bytes)",
+        one.snapshot_bytes()
+    );
+
+    // Epoch publication: an insert bumps the epoch once, every shard
+    // adopts the same new handle, and the frozen base column is still the
+    // pre-insert epoch's allocation.
+    let before = four.snapshot().clone();
+    let raw = RawAccount::from_view(AccountSource::account(&dataset, 1, 0));
+    let sig = extractor.extract_raw(&raw, dataset.num_accounts(1) as u32);
+    four.insert_account(1, sig).expect("insert");
+    assert_eq!(four.snapshot().epoch(), before.epoch() + 1);
+    for s in 0..4 {
+        assert!(
+            std::sync::Arc::ptr_eq(four.snapshot(), four.shard_snapshot(s)),
+            "shard {s} lost the shared handle after the epoch publish"
+        );
+    }
+    for p in 0..2 {
+        assert!(
+            four.snapshot()
+                .platform(p)
+                .shares_base_with(before.platform(p)),
+            "platform {p} base column was copied by the insert"
+        );
+    }
+}
+
+/// (f) Atomic sharded ingest: a failing insert must leave the engine —
+/// counts, epoch, and every query answer — byte-identical to the state
+/// before the attempt, whatever the failure mode.
+#[test]
+fn failed_insert_leaves_engine_byte_identical() {
+    let (dataset, signals, extractor) = world(40, 0xA70717);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    // Churn a little first so the pre-attempt state is not pristine.
+    engine.remove_account(1, 7).expect("remove");
+
+    let before_accounts = engine.num_accounts(1);
+    let before_active = engine.active_accounts(1);
+    let before_epoch = engine.snapshot().epoch();
+    let before: Vec<_> = engine.query_batch(0, &lefts).expect("before");
+
+    let sig = extractor.extract_raw(
+        &RawAccount::from_view(AccountSource::account(&dataset, 1, 3)),
+        before_accounts as u32,
+    );
+    // Every failure mode of the insert path.
+    assert!(matches!(
+        engine.insert_account_with_edges(9, sig.clone(), &[]),
+        Err(EngineError::PlatformOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.insert_account_with_edges(1, sig.clone(), &[(100_000, 1.0)]),
+        Err(EngineError::EdgeNeighborOutOfRange { .. })
+    ));
+    assert!(matches!(
+        engine.insert_account_with_edges(1, sig.clone(), &[(0, 2.0), (1, 0.0)]),
+        Err(EngineError::EdgeWeightNotPositive { .. })
+    ));
+    assert!(matches!(
+        engine.insert_account_with_edges(1, sig.clone(), &[(0, 2.0), (2, -1.0)]),
+        Err(EngineError::EdgeWeightNotPositive { .. })
+    ));
+
+    assert_eq!(engine.num_accounts(1), before_accounts, "slot count moved");
+    assert_eq!(
+        engine.active_accounts(1),
+        before_active,
+        "active count moved"
+    );
+    assert_eq!(engine.snapshot().epoch(), before_epoch, "epoch moved");
+    let after: Vec<_> = engine.query_batch(0, &lefts).expect("after");
+    for (&left, (want, got)) in lefts.iter().zip(before.iter().zip(after.iter())) {
+        assert_preds_bitwise(got, want, &format!("failed insert, left {left}"));
+    }
+
+    // And the engine is not wedged: the same insert with a valid delta
+    // succeeds and matches a single engine given the identical history.
+    let idx = engine
+        .insert_account_with_edges(1, sig.clone(), &[(0, 2.0)])
+        .expect("valid insert");
+    assert_eq!(idx as usize, before_accounts);
+    let mut single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+    single.remove_account(1, 7).expect("single remove");
+    let single_idx = single
+        .insert_account_with_edges(1, sig, &[(0, 2.0)])
+        .expect("single insert");
+    assert_eq!(single_idx, idx);
+    for &left in &lefts {
+        let want = single.query(0, left).expect("single");
+        let got = engine.query(0, left).expect("sharded");
+        assert_preds_bitwise(&got, &want, &format!("post-recovery, left {left}"));
+    }
 }
 
 /// (d) Save → load → extract → query identity: a `ServingArtifact` bundle

@@ -1,0 +1,214 @@
+//! Sharded error-path suite (ISSUE 5): every failing mutation of a
+//! [`ShardedEngine`] must be observationally a no-op — no partial mutation
+//! of any shard, the shared snapshot, or the global gram statistics is
+//! visible afterwards — and the lifecycle edge cases (double removal, slot
+//! allocation after removal, same-epoch left-side inserts) behave exactly
+//! like the single-engine path.
+
+use hydra_core::engine::{EngineError, LinkageEngine};
+use hydra_core::ingest::SignalExtractor;
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::shard::ShardedEngine;
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::source::AccountSource;
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_graph::SocialGraph;
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals, SignalExtractor) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let (signals, extractor) = Signals::extract_with_extractor(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    (dataset, signals, extractor)
+}
+
+fn train(dataset: &Dataset, signals: &Signals) -> TrainedHydra {
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    Hydra::new(HydraConfig::default())
+        .fit(
+            dataset,
+            signals,
+            vec![PairTask {
+                left_platform: 0,
+                right_platform: 1,
+                labels,
+                unlabeled_whitelist: None,
+            }],
+        )
+        .expect("fit")
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{ctx}: score drift");
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+/// Full observable state of the engine: answers for every still-active
+/// left account plus the population counters and the snapshot epoch.
+fn observe(
+    engine: &ShardedEngine,
+    lefts: &[u32],
+) -> (Vec<Vec<LinkagePrediction>>, usize, usize, u64) {
+    let answers = lefts
+        .iter()
+        .map(|&l| engine.query(0, l).expect("query"))
+        .collect();
+    (
+        answers,
+        engine.num_accounts(1),
+        engine.active_accounts(1),
+        engine.snapshot().epoch(),
+    )
+}
+
+fn assert_unchanged(
+    engine: &ShardedEngine,
+    lefts: &[u32],
+    before: &(Vec<Vec<LinkagePrediction>>, usize, usize, u64),
+    ctx: &str,
+) {
+    let after = observe(engine, lefts);
+    assert_eq!(after.1, before.1, "{ctx}: slot count moved");
+    assert_eq!(after.2, before.2, "{ctx}: active count moved");
+    assert_eq!(after.3, before.3, "{ctx}: epoch moved");
+    for (left, (got, want)) in after.0.iter().zip(before.0.iter()).enumerate() {
+        assert_preds_bitwise(got, want, &format!("{ctx}, left {left}"));
+    }
+}
+
+#[test]
+fn double_remove_is_observationally_a_noop() {
+    let (dataset, signals, _) = world(36, 0xD0B1E);
+    let trained = train(&dataset, &signals);
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    engine.remove_account(1, 5).expect("first removal");
+    let before = observe(&engine, &lefts);
+    assert!(matches!(
+        engine.remove_account(1, 5),
+        Err(EngineError::AccountRemoved {
+            platform: 1,
+            account: 5
+        })
+    ));
+    assert_unchanged(&engine, &lefts, &before, "double removal");
+}
+
+#[test]
+fn insert_after_remove_never_reuses_the_slot() {
+    let (dataset, signals, extractor) = world(36, 0x1D5EED);
+    let trained = train(&dataset, &signals);
+    let mut sharded =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 2).expect("sharded");
+    let mut single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+
+    let removed = 4u32;
+    sharded.remove_account(1, removed).expect("sharded remove");
+    single.remove_account(1, removed).expect("single remove");
+
+    let total = sharded.num_accounts(1) as u32;
+    let sig = extractor.extract_account(AccountSource::account(&dataset, 1, 0), total);
+    let idx = sharded.insert_account(1, sig.clone()).expect("insert");
+    // The departed account's slot is never recycled: ids stay stable.
+    assert_eq!(idx, total, "insert must take the next fresh slot");
+    assert_ne!(idx, removed);
+    assert_eq!(sharded.num_accounts(1) as u32, total + 1);
+    // Still byte-identical to a single engine given the same history.
+    assert_eq!(single.insert_account(1, sig).expect("single insert"), idx);
+    for left in 0..dataset.num_persons() as u32 {
+        let want = single.query(0, left).expect("single");
+        let got = sharded.query(0, left).expect("sharded");
+        assert_preds_bitwise(&got, &want, &format!("id reuse, left {left}"));
+        assert!(got.iter().all(|p| p.right != removed), "ghost candidate");
+    }
+}
+
+#[test]
+fn remove_on_out_of_range_platform_or_account_mutates_nothing() {
+    let (dataset, signals, _) = world(30, 0x00B5);
+    let trained = train(&dataset, &signals);
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let before = observe(&engine, &lefts);
+
+    assert!(matches!(
+        engine.remove_account(7, 0),
+        Err(EngineError::PlatformOutOfRange {
+            platform: 7,
+            num_platforms: 2
+        })
+    ));
+    assert!(matches!(
+        engine.remove_account(1, 40_000),
+        Err(EngineError::AccountOutOfRange {
+            platform: 1,
+            account: 40_000
+        })
+    ));
+    assert_unchanged(&engine, &lefts, &before, "out-of-range removal");
+}
+
+#[test]
+fn left_account_inserted_this_epoch_is_queryable() {
+    let (dataset, signals, extractor) = world(40, 0x1EF7);
+    let trained = train(&dataset, &signals);
+    let keep = dataset.num_accounts(0) - 1;
+    let held = extractor.extract_account(
+        AccountSource::account(&dataset, 0, keep as u32),
+        keep as u32,
+    );
+    // Truncate the LEFT platform this time: the held-out account arrives
+    // as a serve-time insert and must be queryable in the same epoch.
+    let mut truncated = signals.clone();
+    truncated.per_platform[0].truncate(keep);
+
+    let single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+    for shards in [1usize, 3] {
+        let mut sharded =
+            ShardedEngine::new(trained.model.clone(), &truncated, graphs(&dataset), shards)
+                .expect("sharded");
+        // Before the insert, the account does not exist on the left side.
+        assert!(matches!(
+            sharded.query(0, keep as u32),
+            Err(EngineError::AccountOutOfRange { .. })
+        ));
+        let idx = sharded
+            .insert_account(0, held.clone())
+            .expect("left insert");
+        assert_eq!(idx as usize, keep);
+        // Queryable immediately, byte-identical to the full single engine
+        // (the graph snapshot already covers the slot, so no delta needed).
+        let got = sharded.query(0, idx).expect("query inserted left");
+        let want = single.query(0, idx).expect("single query");
+        assert_preds_bitwise(&got, &want, &format!("{shards} shards, fresh left"));
+        // And nothing about the rest of the population shifted.
+        for left in 0..keep as u32 {
+            let got = sharded.query(0, left).expect("query");
+            let want = single.query(0, left).expect("single");
+            assert_preds_bitwise(&got, &want, &format!("{shards} shards, left {left}"));
+        }
+    }
+}

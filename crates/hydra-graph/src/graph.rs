@@ -129,6 +129,14 @@ impl SocialGraph {
         self.offsets.len() - 1
     }
 
+    /// Approximate heap size of the CSR arrays (length-based; ignores
+    /// allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+            + self.weights.len() * std::mem::size_of::<f64>()
+    }
+
     /// Number of undirected edges.
     #[inline]
     pub fn num_edges(&self) -> usize {

@@ -219,6 +219,17 @@ impl WindowIndex {
             total_windows,
         }
     }
+
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.per_scale.len() * std::mem::size_of::<Vec<(u32, u32, u32)>>()
+            + self
+                .per_scale
+                .iter()
+                .map(|w| w.len() * std::mem::size_of::<(u32, u32, u32)>())
+                .sum::<usize>()
+            + self.total_windows.len() * std::mem::size_of::<u32>()
+    }
 }
 
 /// [`scan_resolution`] driven by two pre-built [`WindowIndex`] scale rows —

@@ -55,6 +55,13 @@ impl<T> Timeline<T> {
         self.events.iter()
     }
 
+    /// Approximate heap size of the event buffer (length-based, shallow —
+    /// payload-owned heap, if any, is not traversed; the serving-layer
+    /// timelines carry plain-value payloads).
+    pub fn heap_bytes(&self) -> usize {
+        self.events.len() * std::mem::size_of::<(Timestamp, T)>()
+    }
+
     /// All events as a sorted slice.
     #[inline]
     pub fn as_slice(&self) -> &[(Timestamp, T)] {

@@ -25,6 +25,12 @@ pub struct UniqueWordProfile {
 }
 
 impl UniqueWordProfile {
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<String>()
+            + self.words.iter().map(String::len).sum::<usize>()
+    }
+
     /// Extract the profile for one user.
     ///
     /// * `user_tokens` — every normalized token the user ever produced

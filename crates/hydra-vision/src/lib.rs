@@ -92,6 +92,16 @@ pub struct ProfileImage {
     pub content: ImageContent,
 }
 
+impl ProfileImage {
+    /// Approximate heap size (length-based; ignores allocator slack).
+    pub fn heap_bytes(&self) -> usize {
+        match &self.content {
+            ImageContent::Face { embedding, .. } => embedding.0.len() * std::mem::size_of::<f64>(),
+            ImageContent::NoFace => 0,
+        }
+    }
+}
+
 /// Stage-wise outcome of the Figure-4 workflow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FaceMatchOutcome {

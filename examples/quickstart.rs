@@ -11,7 +11,6 @@
 
 use hydra::core::ingest::{RawAccount, ServingArtifact};
 use hydra::core::model::{Hydra, HydraConfig, PairTask};
-use hydra::core::shard::ShardedEngine;
 use hydra::core::signals::{SignalConfig, Signals};
 use hydra::core::source::AccountSource;
 use hydra::datagen::{Dataset, DatasetConfig};
@@ -95,17 +94,26 @@ fn main() {
     );
     let _ = std::fs::remove_file(&path);
 
-    // 6. SERVE: a sharded engine partitions the candidate population over
-    //    per-shard stores (hash-by-account routing, global stop-gram
-    //    statistics) and fans queries out over worker threads — results are
-    //    byte-identical to the single-engine path at any shard count.
-    let mut engine = ShardedEngine::new(
-        loaded.model.clone(),
-        &signals,
-        world.platforms.iter().map(|p| p.graph.clone()).collect(),
-        2,
-    )
-    .expect("sharded engine");
+    // 6. SERVE: a sharded engine partitions *candidacy* (blocking
+    //    postings, hash-by-account routing, global stop-gram statistics)
+    //    over per-shard indexes while every shard reads ONE Arc-shared
+    //    profile snapshot — profiles cost 1× memory at any shard count —
+    //    and fans queries out over worker threads, byte-identical to the
+    //    single-engine path.
+    let mut engine = loaded
+        .sharded_engine(
+            &signals,
+            world.platforms.iter().map(|p| p.graph.clone()).collect(),
+            2,
+        )
+        .expect("sharded engine");
+    println!(
+        "sharded serving engine up: {} shards over one {:.1} MiB shared profile snapshot \
+         (+{:.2} MiB partitioned index)",
+        engine.num_shards(),
+        engine.snapshot_bytes() as f64 / (1024.0 * 1024.0),
+        engine.index_bytes() as f64 / (1024.0 * 1024.0),
+    );
     let lefts: Vec<u32> = (0..world.num_persons() as u32).collect();
     let answers = engine.query_batch(0, &lefts).expect("query batch");
 

@@ -16,12 +16,16 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_pipeline.json}"
 SCALE="${HYDRA_SCALE:-2}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+MEM="$(mktemp)"
+trap 'rm -f "$RAW" "$MEM"' EXIT
 
 echo "== pipeline bench at HYDRA_SCALE=$SCALE (threads: ${HYDRA_THREADS:-auto}) =="
 HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" cargo bench -p hydra-bench --bench pipeline
 
-RAW="$RAW" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
+echo "== sharded-engine memory accounting =="
+HYDRA_SCALE="$SCALE" cargo run --release -p hydra-bench --bin snapshot_bytes > "$MEM"
+
+RAW="$RAW" MEM="$MEM" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
 import json, os, platform, subprocess
 
 raw = json.load(open(os.environ["RAW"]))
@@ -59,17 +63,32 @@ for rid, rec in records.items():
 
 # Sharded serving: the id suffix is the SHARD count; the query count is the
 # same batch the single-engine stage ran (results are byte-identical, only
-# the fan-out differs).
+# the fan-out differs). Memory accounting comes from the snapshot_bytes
+# binary (same world): `snapshot_bytes` is the Arc-SHARED profile store (1×
+# at any shard count), `index_bytes` the per-shard private indexes, and
+# `replicated_bytes` what PR 4's per-shard profile replicas would cost.
+memory = json.load(open(os.environ["MEM"]))
+mem_by_shards = {e["shards"]: e for e in memory.get("per_shard", [])}
 serve_sharded = []
 for rid, rec in sorted(records.items()):
     if rid.startswith("serve/sharded_query_batch/") and serve:
         shards = int(rid.rsplit("/", 1)[1])
+        mem = mem_by_shards.get(shards)
+        if mem is None:
+            raise SystemExit(
+                f"bench stage {rid!r} has no memory entry: extend the shard "
+                "list in crates/bench/src/bin/snapshot_bytes.rs to cover "
+                f"{shards} shards"
+            )
         serve_sharded.append(
             {
                 "stage": rid,
                 "shards": shards,
                 "queries": serve["queries"],
                 "per_query_ns": round(rec["median_ns"] / serve["queries"], 1),
+                "snapshot_bytes": mem.get("snapshot_bytes"),
+                "index_bytes": mem.get("index_bytes"),
+                "replicated_bytes": mem.get("replicated_bytes"),
             }
         )
 
@@ -115,7 +134,10 @@ if serve:
     )
 for s in serve_sharded:
     print(
-        f"  serve x{s['shards']} shards  {s['per_query_ns'] / 1e6:.2f} ms/query"
+        f"  serve x{s['shards']} shards  {s['per_query_ns'] / 1e6:.2f} ms/query, "
+        f"shared snapshot {s['snapshot_bytes'] / 1e6:.1f} MB + "
+        f"{s['index_bytes'] / 1e6:.2f} MB index "
+        f"(replicated stores would be {s['replicated_bytes'] / 1e6:.1f} MB)"
     )
 if ingest:
     print(f"  ingest         {ingest['per_account_ns'] / 1e6:.2f} ms/account")

@@ -114,14 +114,43 @@ def main() -> None:
     sharded = doc.get("serve_sharded")
     if not isinstance(sharded, list) or not sharded:
         fail("missing serve_sharded block (per-query latency per shard count)")
+    snapshot_sizes = set()
     for entry in sharded:
-        for key in ("stage", "shards", "queries", "per_query_ns"):
+        for key in (
+            "stage",
+            "shards",
+            "queries",
+            "per_query_ns",
+            "snapshot_bytes",
+            "index_bytes",
+            "replicated_bytes",
+        ):
             if key not in entry:
                 fail(f"serve_sharded entry missing {key!r}")
         if entry["shards"] <= 0 or entry["per_query_ns"] <= 0:
             fail("serve_sharded entry has non-positive shards/per_query_ns")
         if not str(entry["stage"]).startswith("serve/sharded_query_batch/"):
             fail(f"serve_sharded entry records unexpected stage {entry['stage']!r}")
+        # The N×→1× memory claim: the profile store behind a sharded engine
+        # is one shared snapshot, so its size must be positive, identical
+        # at every shard count, and strictly below what per-shard replicas
+        # (snapshot × shards) would cost.
+        if not isinstance(entry["snapshot_bytes"], int) or entry["snapshot_bytes"] <= 0:
+            fail("serve_sharded entry has non-positive snapshot_bytes")
+        if not isinstance(entry["index_bytes"], int) or entry["index_bytes"] <= 0:
+            fail("serve_sharded entry has non-positive index_bytes")
+        expected = entry["shards"] * entry["snapshot_bytes"] + entry["index_bytes"]
+        if entry["replicated_bytes"] != expected:
+            fail(
+                "serve_sharded replicated_bytes is not "
+                "shards*snapshot_bytes + index_bytes"
+            )
+        snapshot_sizes.add(entry["snapshot_bytes"])
+    if len(snapshot_sizes) != 1:
+        fail(
+            "snapshot_bytes varies across shard counts "
+            f"({sorted(snapshot_sizes)}) — the profile store is not shared"
+        )
 
     ingest = doc.get("ingest")
     if not isinstance(ingest, dict):
@@ -146,7 +175,8 @@ def main() -> None:
         f"{args.path}: schema OK "
         f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
         f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query, "
-        f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account)"
+        f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account, "
+        f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB)"
     )
 
 

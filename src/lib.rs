@@ -54,10 +54,13 @@
 //!   in core-network missing-value filling exactly as if present at
 //!   construction.
 //! * [`core::shard::ShardedEngine`] — partitions the candidate population
-//!   over N per-shard engine stores (hash-by-account routing, global
-//!   stop-gram statistics, deterministic rank merges) and fans
-//!   `query` / `query_batch` out over `hydra-par` workers, byte-identical
-//!   to the single-engine path at every shard × thread count.
+//!   over N per-shard blocking indexes (hash-by-account routing, global
+//!   stop-gram statistics, deterministic rank merges) that all read **one**
+//!   `Arc`-shared [`core::snapshot::ProfileSnapshot`] — profiles cost 1×
+//!   memory at any shard count, and ingest publishes copy-on-insert
+//!   epochs atomically across the partition — fanning `query` /
+//!   `query_batch` out over `hydra-par` workers, byte-identical to the
+//!   single-engine path at every shard × thread count.
 //!
 //! **Migrating from the pre-serving API:** `Hydra::fit(&dataset, …)` still
 //! compiles (a `Dataset` is an `AccountSource`), but the learned state

@@ -379,6 +379,48 @@ fn bench_ingest_extract_one(c: &mut Criterion) {
     group.finish();
 }
 
+/// Robustness costs (degraded serving + recovery): the same batch as
+/// `serve/sharded_query_batch`, answered through `query_batch_outcome` on a
+/// 4-shard engine with one shard quarantined (the fan-out skips it and
+/// reports `ShardFailure::Quarantined` per query) — the latency a caller
+/// pays while a shard is down — and the cost of bringing that shard back:
+/// `recover_quarantined` rebuilding it deterministically from the shared
+/// `ProfileSnapshot`. `scripts/bench_baseline.sh` records both under the
+/// `resilience` block (`degraded.per_query_ns`, `recovery.rebuild_ns`).
+fn bench_resilience(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(10);
+    let (dataset, signals, trained) = hydra_bench::serve_bench_world();
+    let n = dataset.num_persons();
+    let graphs = || -> Vec<hydra_graph::SocialGraph> {
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+    };
+    let lefts: Vec<u32> = (0..n as u32).collect();
+
+    let mut degraded =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(), 4).expect("engine");
+    degraded.quarantine(1);
+    group.bench_function(format!("degraded_query_batch/{n}"), |b| {
+        b.iter(|| {
+            black_box(
+                degraded
+                    .query_batch_outcome(0, black_box(&lefts))
+                    .expect("degraded batch"),
+            )
+        })
+    });
+
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(), 4).expect("engine");
+    group.bench_function("rebuild_shard/4", |b| {
+        b.iter(|| {
+            engine.quarantine(1);
+            black_box(engine.recover_quarantined().expect("recover"))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_signal_extraction,
@@ -387,6 +429,7 @@ criterion_group!(
     bench_end_to_end_fit,
     bench_fit_dual_solve,
     bench_serve_query_batch,
-    bench_ingest_extract_one
+    bench_ingest_extract_one,
+    bench_resilience
 );
 criterion_main!(benches);

@@ -78,31 +78,93 @@ pub struct LinkageModel {
     pub num_labeled: usize,
 }
 
-/// Errors from model (de)serialization.
+/// Errors from model (de)serialization. Every decode-side variant carries
+/// enough context (byte offset, section name, expected vs found values) that
+/// a corrupt artifact is diagnosable from the error string alone.
 #[derive(Debug)]
 pub enum ModelIoError {
     /// Filesystem failure.
     Io(std::io::Error),
-    /// The buffer does not start with the `HYLM` magic.
-    BadMagic,
+    /// The buffer does not start with the expected magic.
+    BadMagic {
+        /// Magic the format requires (`HYLM` / `HYSX`).
+        expected: [u8; 4],
+        /// First four bytes actually found.
+        found: [u8; 4],
+    },
     /// The buffer's version is newer than this build understands.
-    UnsupportedVersion(u16),
+    UnsupportedVersion {
+        /// Version tag found in the buffer.
+        found: u16,
+        /// Newest version this build can read.
+        max: u16,
+    },
     /// The buffer ended mid-field.
-    Truncated,
+    Truncated {
+        /// Byte offset the failing read started at.
+        offset: usize,
+        /// Bytes the read required.
+        needed: usize,
+        /// Bytes that actually remained.
+        remaining: usize,
+        /// Wire-format section being decoded.
+        section: &'static str,
+    },
     /// A field held an invalid value (bad enum tag, fingerprint mismatch…).
-    Corrupt(String),
+    Corrupt {
+        /// Byte offset the invalid field was read at.
+        offset: usize,
+        /// Wire-format section being decoded.
+        section: &'static str,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+fn fmt_magic(m: &[u8; 4]) -> String {
+    if m.iter().all(|b| b.is_ascii_graphic()) {
+        format!("{:?}", String::from_utf8_lossy(m))
+    } else {
+        format!("{m:02x?}")
+    }
 }
 
 impl std::fmt::Display for ModelIoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ModelIoError::Io(e) => write!(f, "model io failure: {e}"),
-            ModelIoError::BadMagic => write!(f, "not a HYDRA linkage model (bad magic)"),
-            ModelIoError::UnsupportedVersion(v) => {
-                write!(f, "unsupported model format version {v} (max {VERSION})")
+            ModelIoError::Io(e) => write!(f, "artifact io failure: {e}"),
+            ModelIoError::BadMagic { expected, found } => write!(
+                f,
+                "not a HYDRA artifact: expected magic {} at byte offset 0, found {}",
+                fmt_magic(expected),
+                fmt_magic(found)
+            ),
+            ModelIoError::UnsupportedVersion { found, max } => {
+                write!(
+                    f,
+                    "unsupported artifact format version {found} (this build reads up to {max})"
+                )
             }
-            ModelIoError::Truncated => write!(f, "model buffer truncated"),
-            ModelIoError::Corrupt(what) => write!(f, "model buffer corrupt: {what}"),
+            ModelIoError::Truncated {
+                offset,
+                needed,
+                remaining,
+                section,
+            } => write!(
+                f,
+                "artifact truncated at byte offset {offset} in section '{section}': \
+                 needed {needed} more bytes, {remaining} remain"
+            ),
+            ModelIoError::Corrupt {
+                offset,
+                section,
+                what,
+            } => {
+                write!(
+                    f,
+                    "artifact corrupt at byte offset {offset} in section '{section}': {what}"
+                )
+            }
         }
     }
 }
@@ -116,15 +178,21 @@ impl From<std::io::Error> for ModelIoError {
 }
 
 /// Checked little-endian reader over the bytes shim (the shim's raw reads
-/// panic past the end; loading must error instead).
+/// panic past the end; loading must error instead). Tracks the absolute
+/// byte offset and the wire-format section being decoded so every error
+/// pinpoints where decoding failed.
 pub(crate) struct Reader {
     buf: Bytes,
+    total: usize,
+    section: &'static str,
 }
 
 impl Reader {
     pub(crate) fn new(bytes: &[u8]) -> Self {
         Reader {
             buf: Bytes::from(bytes.to_vec()),
+            total: bytes.len(),
+            section: "header",
         }
     }
 
@@ -133,9 +201,34 @@ impl Reader {
         self.buf.remaining()
     }
 
+    /// Absolute offset of the next unread byte.
+    pub(crate) fn offset(&self) -> usize {
+        self.total - self.buf.remaining()
+    }
+
+    /// Name the wire-format section subsequent reads belong to (decode
+    /// errors report it).
+    pub(crate) fn set_section(&mut self, section: &'static str) {
+        self.section = section;
+    }
+
+    /// Build a [`ModelIoError::Corrupt`] at the current position.
+    pub(crate) fn corrupt(&self, what: impl Into<String>) -> ModelIoError {
+        ModelIoError::Corrupt {
+            offset: self.offset(),
+            section: self.section,
+            what: what.into(),
+        }
+    }
+
     pub(crate) fn need(&self, n: usize) -> Result<(), ModelIoError> {
         if self.buf.remaining() < n {
-            Err(ModelIoError::Truncated)
+            Err(ModelIoError::Truncated {
+                offset: self.offset(),
+                needed: n,
+                remaining: self.buf.remaining(),
+                section: self.section,
+            })
         } else {
             Ok(())
         }
@@ -167,8 +260,13 @@ impl Reader {
     }
 
     pub(crate) fn usize(&mut self) -> Result<usize, ModelIoError> {
+        let at = self.offset();
         let v = self.u64()?;
-        usize::try_from(v).map_err(|_| ModelIoError::Corrupt(format!("length {v} overflows")))
+        usize::try_from(v).map_err(|_| ModelIoError::Corrupt {
+            offset: at,
+            section: self.section,
+            what: format!("length {v} overflows usize"),
+        })
     }
 
     pub(crate) fn f64(&mut self) -> Result<f64, ModelIoError> {
@@ -180,9 +278,16 @@ impl Reader {
     /// `elem_bytes`-per-element more data than remains is corrupt, not an
     /// allocation request.
     pub(crate) fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
+        let at = self.offset();
         let n = self.usize()?;
-        if n.saturating_mul(elem_bytes.max(1)) > self.buf.remaining() {
-            return Err(ModelIoError::Truncated);
+        let implied = n.saturating_mul(elem_bytes.max(1));
+        if implied > self.buf.remaining() {
+            return Err(ModelIoError::Truncated {
+                offset: at,
+                needed: implied,
+                remaining: self.buf.remaining(),
+                section: self.section,
+            });
         }
         Ok(n)
     }
@@ -222,6 +327,7 @@ fn put_kernel(w: &mut BytesMut, k: Kernel) {
 }
 
 fn read_kernel(r: &mut Reader) -> Result<Kernel, ModelIoError> {
+    let at = r.offset();
     let tag = r.u8()?;
     let param = r.f64()?;
     match tag {
@@ -229,7 +335,11 @@ fn read_kernel(r: &mut Reader) -> Result<Kernel, ModelIoError> {
         1 => Ok(Kernel::Rbf { gamma: param }),
         2 => Ok(Kernel::ChiSquare),
         3 => Ok(Kernel::HistIntersection),
-        t => Err(ModelIoError::Corrupt(format!("kernel tag {t}"))),
+        t => Err(ModelIoError::Corrupt {
+            offset: at,
+            section: "kernel",
+            what: format!("unknown kernel tag {t} (expected 0..=3)"),
+        }),
     }
 }
 
@@ -242,19 +352,97 @@ fn put_mat(w: &mut BytesMut, m: &Mat) {
 }
 
 fn read_mat(r: &mut Reader) -> Result<Mat, ModelIoError> {
+    let at = r.offset();
     let rows = r.len_prefix(0)?;
     let cols = r.usize()?;
     let n = rows
         .checked_mul(cols)
-        .ok_or_else(|| ModelIoError::Corrupt("matrix shape overflow".into()))?;
-    if n.saturating_mul(8) > r.buf.remaining() {
-        return Err(ModelIoError::Truncated);
+        .ok_or_else(|| r.corrupt(format!("matrix shape {rows}x{cols} overflows")))?;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(ModelIoError::Truncated {
+            offset: at,
+            needed: n.saturating_mul(8),
+            remaining: r.remaining(),
+            section: "matrix",
+        });
     }
     let mut data = Vec::with_capacity(n);
     for _ in 0..n {
         data.push(r.f64()?);
     }
     Ok(Mat::from_vec(rows, cols, data))
+}
+
+/// The temp sibling a crash-safe save stages its bytes in (`<path>.tmp`).
+pub(crate) fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".tmp");
+    std::path::PathBuf::from(os)
+}
+
+/// Crash-safe artifact write: stage the bytes in a temp sibling, `sync_all`,
+/// then atomically rename over `path`. A crash (or injected fault) at any
+/// point leaves either the previous artifact intact or a stale `.tmp` that
+/// [`load_bytes`] cleans up — never a torn artifact at `path`.
+///
+/// Fault-injection sites (active only under an installed
+/// [`hydra_fault::FaultPlan`]): `artifact.create`, `artifact.write`
+/// (supports [`hydra_fault::FaultKind::TornWrite`], which persists a prefix
+/// of the bytes in the temp before "crashing"), `artifact.sync`,
+/// `artifact.rename`.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelIoError> {
+    use std::io::Write;
+    fn injected(site: &'static str) -> std::io::Result<()> {
+        if hydra_fault::enabled() {
+            match hydra_fault::fire(site) {
+                Some(hydra_fault::FaultKind::Panic) => panic!("injected panic at {site}"),
+                Some(_) => {
+                    return Err(std::io::Error::other(format!("injected fault at {site}")));
+                }
+                None => {}
+            }
+        }
+        Ok(())
+    }
+    let tmp = tmp_sibling(path);
+    injected("artifact.create")?;
+    let mut file = std::fs::File::create(&tmp)?;
+    if hydra_fault::enabled() {
+        match hydra_fault::fire("artifact.write") {
+            Some(hydra_fault::FaultKind::TornWrite { keep }) => {
+                // Simulate a crash mid-write: a prefix reaches the disk,
+                // the rename never happens, and the torn temp stays behind.
+                file.write_all(&bytes[..keep.min(bytes.len())])?;
+                let _ = file.sync_all();
+                return Err(std::io::Error::other(format!(
+                    "injected torn write at artifact.write (kept {} of {} bytes)",
+                    keep.min(bytes.len()),
+                    bytes.len()
+                ))
+                .into());
+            }
+            Some(hydra_fault::FaultKind::Panic) => panic!("injected panic at artifact.write"),
+            Some(_) => {
+                return Err(std::io::Error::other("injected fault at artifact.write").into());
+            }
+            None => {}
+        }
+    }
+    file.write_all(bytes)?;
+    injected("artifact.sync")?;
+    file.sync_all()?;
+    drop(file);
+    injected("artifact.rename")?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read an artifact's bytes, first clearing any stale temp a crashed save
+/// left behind (single-writer assumption: nothing else is mid-save on
+/// `path` while a process loads it).
+pub(crate) fn load_bytes(path: &std::path::Path) -> Result<Vec<u8>, ModelIoError> {
+    let _ = std::fs::remove_file(tmp_sibling(path));
+    Ok(std::fs::read(path)?)
 }
 
 /// FNV-1a over a byte slice — the config fingerprint hash.
@@ -310,14 +498,13 @@ impl LinkageModel {
         ),
         ModelIoError,
     > {
-        let mut r = Reader {
-            buf: Bytes::from(bytes),
-        };
+        let mut r = Reader::new(&bytes);
+        r.set_section("config");
         let window_days = r.u32()?;
         let fill = match r.u8()? {
             0 => FillStrategy::Zero,
             1 => FillStrategy::CoreNetwork,
-            t => return Err(ModelIoError::Corrupt(format!("fill tag {t}"))),
+            t => return Err(r.corrupt(format!("unknown fill tag {t} (expected 0 or 1)"))),
         };
         let candidates = CandidateConfig {
             username_threshold: r.f64()?,
@@ -397,24 +584,35 @@ impl LinkageModel {
     /// Deserialize from the wire format. Rejects bad magic, newer versions,
     /// truncation, invalid tags, and config/fingerprint mismatches.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
-        let mut r = Reader {
-            buf: Bytes::from(bytes.to_vec()),
-        };
-        if r.bytes(4)? != MAGIC {
-            return Err(ModelIoError::BadMagic);
+        let mut r = Reader::new(bytes);
+        let found = r.bytes(4)?;
+        if found != MAGIC {
+            return Err(ModelIoError::BadMagic {
+                expected: MAGIC,
+                found: [found[0], found[1], found[2], found[3]],
+            });
         }
         let version = r.u16()?;
         if version == 0 || version > VERSION {
-            return Err(ModelIoError::UnsupportedVersion(version));
+            return Err(ModelIoError::UnsupportedVersion {
+                found: version,
+                max: VERSION,
+            });
         }
         let fingerprint = r.u64()?;
         let config_len = r.u32()? as usize;
+        r.set_section("config");
         let config_bytes = r.bytes(config_len)?;
         if fnv1a(&config_bytes) != fingerprint {
-            return Err(ModelIoError::Corrupt("config fingerprint mismatch".into()));
+            return Err(r.corrupt(format!(
+                "config fingerprint mismatch (header says {fingerprint:#018x}, \
+                 config hashes to {:#018x})",
+                fnv1a(&config_bytes)
+            )));
         }
         let (window_days, fill, candidates, feature, tasks) = Self::decode_config(config_bytes)?;
 
+        r.set_section("body");
         let mut weights = [0.0f64; NUM_ATTRS];
         for w in weights.iter_mut() {
             *w = r.f64()?;
@@ -424,7 +622,7 @@ impl LinkageModel {
         let bias = r.f64()?;
         let expansion = read_mat(&mut r)?;
         if expansion.rows() != alpha.len() {
-            return Err(ModelIoError::Corrupt(format!(
+            return Err(r.corrupt(format!(
                 "expansion rows {} != alpha length {}",
                 expansion.rows(),
                 alpha.len()
@@ -438,16 +636,13 @@ impl LinkageModel {
             0 => MooSolverKind::Auto,
             1 => MooSolverKind::DenseLu,
             2 => MooSolverKind::MatrixFree,
-            t => return Err(ModelIoError::Corrupt(format!("solver tag {t}"))),
+            t => return Err(r.corrupt(format!("unknown solver tag {t} (expected 0..=2)"))),
         };
         let iterative_iterations = r.usize()?;
         let expansion_size = r.usize()?;
         let num_labeled = r.usize()?;
-        if r.buf.remaining() != 0 {
-            return Err(ModelIoError::Corrupt(format!(
-                "{} trailing bytes",
-                r.buf.remaining()
-            )));
+        if r.remaining() != 0 {
+            return Err(r.corrupt(format!("{} trailing bytes", r.remaining())));
         }
 
         Ok(LinkageModel {
@@ -474,15 +669,17 @@ impl LinkageModel {
         })
     }
 
-    /// Write the model to a file.
+    /// Write the model to a file, crash-safely: the bytes are staged in a
+    /// `<path>.tmp` sibling, fsynced, and atomically renamed into place —
+    /// a crash at any point leaves the previous artifact loadable.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ModelIoError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        write_atomic(path.as_ref(), &self.to_bytes())
     }
 
-    /// Load a model from a file.
+    /// Load a model from a file (clearing any stale `.tmp` a crashed save
+    /// left behind).
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ModelIoError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&load_bytes(path.as_ref())?)
     }
 
     /// Number of platform-pair tasks.
@@ -574,28 +771,28 @@ mod tests {
 
         assert!(matches!(
             LinkageModel::from_bytes(b"nope"),
-            Err(ModelIoError::BadMagic | ModelIoError::Truncated)
+            Err(ModelIoError::BadMagic { .. } | ModelIoError::Truncated { .. })
         ));
 
         let mut wrong_magic = bytes.clone();
         wrong_magic[0] = b'X';
         assert!(matches!(
             LinkageModel::from_bytes(&wrong_magic),
-            Err(ModelIoError::BadMagic)
+            Err(ModelIoError::BadMagic { .. })
         ));
 
         let mut future = bytes.clone();
         future[4] = 0xFF; // version low byte
         assert!(matches!(
             LinkageModel::from_bytes(&future),
-            Err(ModelIoError::UnsupportedVersion(_))
+            Err(ModelIoError::UnsupportedVersion { .. })
         ));
 
         for cut in [3, 10, bytes.len() / 2, bytes.len() - 1] {
             assert!(
                 matches!(
                     LinkageModel::from_bytes(&bytes[..cut]),
-                    Err(ModelIoError::Truncated | ModelIoError::Corrupt(_))
+                    Err(ModelIoError::Truncated { .. } | ModelIoError::Corrupt { .. })
                 ),
                 "cut at {cut} must not load"
             );
@@ -611,8 +808,60 @@ mod tests {
         trailing.push(0);
         assert!(matches!(
             LinkageModel::from_bytes(&trailing),
-            Err(ModelIoError::Corrupt(_))
+            Err(ModelIoError::Corrupt { .. })
         ));
+    }
+
+    #[test]
+    fn error_messages_carry_diagnostic_context() {
+        let m = toy_model();
+        let bytes = m.to_bytes();
+
+        // Bad magic: expected vs found, both visible.
+        let msg = LinkageModel::from_bytes(b"XYZW trailing")
+            .expect_err("bad magic")
+            .to_string();
+        assert!(msg.contains("HYLM"), "expected magic in {msg:?}");
+        assert!(msg.contains("XYZW"), "found magic in {msg:?}");
+
+        // Unsupported version: found and max.
+        let mut future = bytes.clone();
+        future[4] = 9;
+        let msg = LinkageModel::from_bytes(&future)
+            .expect_err("future version")
+            .to_string();
+        assert!(msg.contains("version 9"), "found version in {msg:?}");
+        assert!(msg.contains("up to 1"), "max version in {msg:?}");
+
+        // Truncation: byte offset, bytes needed, bytes remaining, section.
+        let cut = bytes.len() - 3;
+        let msg = LinkageModel::from_bytes(&bytes[..cut])
+            .expect_err("truncated")
+            .to_string();
+        assert!(msg.contains("byte offset"), "offset in {msg:?}");
+        assert!(msg.contains("section"), "section name in {msg:?}");
+        assert!(msg.contains("remain"), "remaining count in {msg:?}");
+
+        // Corruption names the section and offset too.
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        let msg = LinkageModel::from_bytes(&trailing)
+            .expect_err("trailing")
+            .to_string();
+        assert!(msg.contains("section 'body'"), "section in {msg:?}");
+        assert!(msg.contains("trailing"), "cause in {msg:?}");
+    }
+
+    #[test]
+    fn every_prefix_truncation_errors_never_panics() {
+        let bytes = toy_model().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                LinkageModel::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of length {cut} must not load"
+            );
+        }
+        assert!(LinkageModel::from_bytes(&bytes).is_ok());
     }
 
     #[test]
@@ -620,8 +869,28 @@ mod tests {
         let m = toy_model();
         let path = std::env::temp_dir().join("hydra_artifact_test.hylm");
         m.save(&path).expect("save");
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "a clean save leaves no temp behind"
+        );
         let loaded = LinkageModel::load(&path).expect("load");
         assert_eq!(loaded.to_bytes(), m.to_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_cleans_stale_temp_from_crashed_save() {
+        let m = toy_model();
+        let path = std::env::temp_dir().join("hydra_artifact_stale_tmp.hylm");
+        m.save(&path).expect("save");
+        // Simulate a crash that died after staging but before the rename.
+        std::fs::write(tmp_sibling(&path), b"torn half-written artifact").expect("stage");
+        let loaded = LinkageModel::load(&path).expect("load ignores the temp");
+        assert_eq!(loaded.to_bytes(), m.to_bytes());
+        assert!(
+            !tmp_sibling(&path).exists(),
+            "load sweeps the stale temp away"
+        );
         let _ = std::fs::remove_file(&path);
     }
 }

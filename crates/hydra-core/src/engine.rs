@@ -109,6 +109,22 @@ pub enum EngineError {
     },
     /// A sharded engine needs at least one shard.
     InvalidShardCount,
+    /// A transient (retryable) failure — in production a flaky downstream
+    /// dependency, in tests an injected [`hydra_fault`] fault. The operation
+    /// left no partial state behind and may simply be retried (see
+    /// [`crate::shard::RetryPolicy`]).
+    Transient {
+        /// The injection/failure site that reported the fault.
+        site: &'static str,
+    },
+    /// A hot-swap offered an artifact whose config fingerprint disagrees
+    /// with the serving engine's — the replacement was refused outright.
+    ArtifactFingerprintMismatch {
+        /// Fingerprint the serving engine requires.
+        expected: u64,
+        /// Fingerprint of the offered artifact.
+        found: u64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -156,11 +172,38 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidShardCount => {
                 write!(f, "a sharded engine needs at least one shard")
             }
+            EngineError::Transient { site } => {
+                write!(
+                    f,
+                    "transient failure at {site} (retryable; no state changed)"
+                )
+            }
+            EngineError::ArtifactFingerprintMismatch { expected, found } => write!(
+                f,
+                "artifact config fingerprint {found:#018x} does not match the \
+                 serving engine's {expected:#018x}; swap refused"
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+/// Consult the installed [`hydra_fault::FaultPlan`] (if any) at `site`: a
+/// scheduled [`FaultKind::Panic`](hydra_fault::FaultKind::Panic) panics
+/// (exercising the catch-unwind isolation paths), any other scheduled kind
+/// surfaces as a retryable [`EngineError::Transient`]. With no plan
+/// installed this is one relaxed atomic load.
+pub(crate) fn inject_point(site: &'static str) -> Result<(), EngineError> {
+    if hydra_fault::enabled() {
+        match hydra_fault::fire(site) {
+            Some(hydra_fault::FaultKind::Panic) => panic!("injected panic at {site}"),
+            Some(_) => return Err(EngineError::Transient { site }),
+            None => {}
+        }
+    }
+    Ok(())
+}
 
 /// Serves per-account linkage queries against a trained model.
 pub struct LinkageEngine {
@@ -293,6 +336,17 @@ impl LinkageEngine {
     /// The wrapped model.
     pub fn model(&self) -> &LinkageModel {
         &self.model
+    }
+
+    /// Replace the decision model in place, keeping the snapshot handle and
+    /// the private candidacy indexes. Only valid when the new model's
+    /// config fingerprint equals the old one's (same candidate / feature /
+    /// fill / window configuration), so the existing blocking postings stay
+    /// correct — [`crate::shard::ShardedEngine::swap_artifact`] gates on
+    /// exactly that before walking shards through this.
+    pub(crate) fn swap_model(&mut self, model: LinkageModel) {
+        self.extractor = model.extractor();
+        self.model = model;
     }
 
     /// Number of platform-pair tasks the engine serves.

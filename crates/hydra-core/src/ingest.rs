@@ -41,7 +41,7 @@
 //! payload, so corruption loads as a [`ModelIoError`], never a panic, and a
 //! loaded extractor produces byte-identical signals.
 
-use crate::artifact::{fnv1a, LinkageModel, ModelIoError, Reader};
+use crate::artifact::{fnv1a, load_bytes, write_atomic, LinkageModel, ModelIoError, Reader};
 use crate::signals::{extract_account, SignalConfig, UserSignals};
 use crate::source::{AccountSource, AccountView};
 use bytes::{BufMut, BytesMut};
@@ -391,6 +391,7 @@ impl SignalExtractor {
 
     fn decode_payload(payload: &[u8]) -> Result<Self, ModelIoError> {
         let mut r = Reader::new(payload);
+        r.set_section("extractor config");
         let window_days = r.u32()?;
         let num_genres = r.usize()?;
 
@@ -403,6 +404,7 @@ impl SignalExtractor {
             seed: r.u64()?,
         };
 
+        r.set_section("vocabulary");
         let num_words = r.len_prefix(20)?;
         let mut words = Vec::with_capacity(num_words);
         let mut term_freq = Vec::with_capacity(num_words);
@@ -411,7 +413,7 @@ impl SignalExtractor {
         for _ in 0..num_words {
             let word = read_str(&mut r)?;
             if !seen.insert(word.clone()) {
-                return Err(ModelIoError::Corrupt(format!("duplicate word {word:?}")));
+                return Err(r.corrupt(format!("duplicate word {word:?}")));
             }
             words.push(word);
             term_freq.push(r.u64()?);
@@ -421,16 +423,17 @@ impl SignalExtractor {
         let total_docs = r.u64()?;
         let vocab = Vocabulary::from_parts(words, term_freq, doc_freq, total_tokens, total_docs);
 
+        r.set_section("lda");
         let num_topics = r.usize()?;
         let vocab_size = r.usize()?;
         let alpha = r.f64()?;
         let beta = r.f64()?;
         let tw_len = r.len_prefix(4)?;
         if num_topics == 0 || vocab_size == 0 {
-            return Err(ModelIoError::Corrupt("degenerate LDA shape".into()));
+            return Err(r.corrupt("degenerate LDA shape"));
         }
         if tw_len != num_topics * vocab_size {
-            return Err(ModelIoError::Corrupt(format!(
+            return Err(r.corrupt(format!(
                 "topic-word count length {tw_len} != {num_topics}×{vocab_size}"
             )));
         }
@@ -440,7 +443,7 @@ impl SignalExtractor {
         }
         let tt_len = r.len_prefix(4)?;
         if tt_len != num_topics {
-            return Err(ModelIoError::Corrupt(format!(
+            return Err(r.corrupt(format!(
                 "topic totals length {tt_len} != {num_topics} topics"
             )));
         }
@@ -457,6 +460,7 @@ impl SignalExtractor {
             topic_totals,
         );
 
+        r.set_section("lexicon");
         let num_entries = r.len_prefix(36)?;
         let mut entries = Vec::with_capacity(num_entries);
         for _ in 0..num_entries {
@@ -469,18 +473,19 @@ impl SignalExtractor {
         }
         let lexicon = SentimentLexicon::from_entries(entries);
 
+        r.set_section("username n-gram");
         let order = r.usize()?;
         let delta = r.f64()?;
         let trained_on = r.usize()?;
         if order == 0 || !(delta > 0.0) {
-            return Err(ModelIoError::Corrupt("degenerate n-gram model".into()));
+            return Err(r.corrupt("degenerate n-gram model"));
         }
         let num_contexts = r.len_prefix(12)?;
         let mut contexts = Vec::with_capacity(num_contexts);
         for _ in 0..num_contexts {
             let ctx_len = r.u32()? as usize;
             if ctx_len != order - 1 {
-                return Err(ModelIoError::Corrupt(format!(
+                return Err(r.corrupt(format!(
                     "context length {ctx_len} != order-1 ({})",
                     order - 1
                 )));
@@ -499,10 +504,7 @@ impl SignalExtractor {
         let username_lm = CharNgramLm::from_parts(order, delta, trained_on, contexts);
 
         if r.remaining() != 0 {
-            return Err(ModelIoError::Corrupt(format!(
-                "{} trailing payload bytes",
-                r.remaining()
-            )));
+            return Err(r.corrupt(format!("{} trailing payload bytes", r.remaining())));
         }
         Ok(Self::from_parts(
             vocab,
@@ -536,23 +538,21 @@ impl SignalExtractor {
         let mut r = read_header(bytes, KIND_EXTRACTOR)?;
         let extractor = read_fingerprinted_payload(&mut r)?;
         if r.remaining() != 0 {
-            return Err(ModelIoError::Corrupt(format!(
-                "{} trailing bytes",
-                r.remaining()
-            )));
+            return Err(r.corrupt(format!("{} trailing bytes", r.remaining())));
         }
         Ok(extractor)
     }
 
-    /// Write the extractor to a file.
+    /// Write the extractor to a file, crash-safely (temp sibling + fsync +
+    /// atomic rename — see [`LinkageModel::save`]).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ModelIoError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        write_atomic(path.as_ref(), &self.to_bytes())
     }
 
-    /// Load an extractor from a file.
+    /// Load an extractor from a file (clearing any stale `.tmp` a crashed
+    /// save left behind).
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ModelIoError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&load_bytes(path.as_ref())?)
     }
 
     /// The extractor's payload fingerprint (FNV-1a, stable across
@@ -621,28 +621,27 @@ impl ServingArtifact {
     /// this format's).
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
         let mut r = read_header(bytes, KIND_BUNDLE)?;
+        r.set_section("bundled model");
         let model_len = r.len_prefix(1)?;
         let model_bytes = r.bytes(model_len)?;
         let model = LinkageModel::from_bytes(&model_bytes)?;
         let extractor = read_fingerprinted_payload(&mut r)?;
         if r.remaining() != 0 {
-            return Err(ModelIoError::Corrupt(format!(
-                "{} trailing bytes",
-                r.remaining()
-            )));
+            return Err(r.corrupt(format!("{} trailing bytes", r.remaining())));
         }
         Ok(ServingArtifact { model, extractor })
     }
 
-    /// Write the bundle to a file.
+    /// Write the bundle to a file, crash-safely (temp sibling + fsync +
+    /// atomic rename — see [`LinkageModel::save`]).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ModelIoError> {
-        std::fs::write(path, self.to_bytes())?;
-        Ok(())
+        write_atomic(path.as_ref(), &self.to_bytes())
     }
 
-    /// Load a bundle from a file.
+    /// Load a bundle from a file (clearing any stale `.tmp` a crashed save
+    /// left behind).
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ModelIoError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::from_bytes(&load_bytes(path.as_ref())?)
     }
 }
 
@@ -653,29 +652,46 @@ fn put_str(w: &mut BytesMut, s: &str) {
 
 fn read_str(r: &mut Reader) -> Result<String, ModelIoError> {
     let len = r.u32()? as usize;
+    let at = r.offset();
     let bytes = r.bytes(len)?;
-    String::from_utf8(bytes).map_err(|_| ModelIoError::Corrupt("invalid utf-8 string".into()))
+    String::from_utf8(bytes).map_err(|_| ModelIoError::Corrupt {
+        offset: at,
+        section: "string",
+        what: "invalid utf-8 string".into(),
+    })
 }
 
 fn read_char(r: &mut Reader) -> Result<char, ModelIoError> {
+    let at = r.offset();
     let raw = r.u32()?;
-    char::from_u32(raw).ok_or_else(|| ModelIoError::Corrupt(format!("invalid scalar {raw:#x}")))
+    char::from_u32(raw).ok_or(ModelIoError::Corrupt {
+        offset: at,
+        section: "char",
+        what: format!("invalid unicode scalar {raw:#x}"),
+    })
 }
 
 /// Validate magic / version / kind, returning a reader positioned after the
 /// kind byte.
 fn read_header(bytes: &[u8], expect_kind: u8) -> Result<Reader, ModelIoError> {
     let mut r = Reader::new(bytes);
-    if r.bytes(4)? != MAGIC {
-        return Err(ModelIoError::BadMagic);
+    let found = r.bytes(4)?;
+    if found != MAGIC {
+        return Err(ModelIoError::BadMagic {
+            expected: MAGIC,
+            found: [found[0], found[1], found[2], found[3]],
+        });
     }
     let version = r.u16()?;
     if version == 0 || version > VERSION {
-        return Err(ModelIoError::UnsupportedVersion(version));
+        return Err(ModelIoError::UnsupportedVersion {
+            found: version,
+            max: VERSION,
+        });
     }
     let kind = r.u8()?;
     if kind != expect_kind {
-        return Err(ModelIoError::Corrupt(format!(
+        return Err(r.corrupt(format!(
             "section kind {kind} (expected {expect_kind}: {})",
             if expect_kind == KIND_EXTRACTOR {
                 "standalone extractor"
@@ -689,13 +705,16 @@ fn read_header(bytes: &[u8], expect_kind: u8) -> Result<Reader, ModelIoError> {
 
 /// Read `fingerprint | payload_len | payload`, verify, and decode.
 fn read_fingerprinted_payload(r: &mut Reader) -> Result<SignalExtractor, ModelIoError> {
+    r.set_section("extractor payload");
     let fingerprint = r.u64()?;
     let payload_len = r.len_prefix(1)?;
     let payload = r.bytes(payload_len)?;
     if fnv1a(&payload) != fingerprint {
-        return Err(ModelIoError::Corrupt(
-            "extractor fingerprint mismatch".into(),
-        ));
+        return Err(r.corrupt(format!(
+            "extractor fingerprint mismatch (header says {fingerprint:#018x}, \
+             payload hashes to {:#018x})",
+            fnv1a(&payload)
+        )));
     }
     SignalExtractor::decode_payload(&payload)
 }
@@ -790,24 +809,24 @@ mod tests {
 
         assert!(matches!(
             SignalExtractor::from_bytes(b"nah"),
-            Err(ModelIoError::BadMagic | ModelIoError::Truncated)
+            Err(ModelIoError::BadMagic { .. } | ModelIoError::Truncated { .. })
         ));
         let mut wrong = bytes.clone();
         wrong[0] = b'X';
         assert!(matches!(
             SignalExtractor::from_bytes(&wrong),
-            Err(ModelIoError::BadMagic)
+            Err(ModelIoError::BadMagic { .. })
         ));
         let mut future = bytes.clone();
         future[4] = 0xFF;
         assert!(matches!(
             SignalExtractor::from_bytes(&future),
-            Err(ModelIoError::UnsupportedVersion(_))
+            Err(ModelIoError::UnsupportedVersion { .. })
         ));
         // An extractor section does not load as a bundle and vice versa.
         assert!(matches!(
             ServingArtifact::from_bytes(&bytes),
-            Err(ModelIoError::Corrupt(_))
+            Err(ModelIoError::Corrupt { .. })
         ));
         for cut in [5, 12, bytes.len() / 3, bytes.len() - 1] {
             assert!(
@@ -823,7 +842,7 @@ mod tests {
         trailing.push(7);
         assert!(matches!(
             SignalExtractor::from_bytes(&trailing),
-            Err(ModelIoError::Corrupt(_))
+            Err(ModelIoError::Corrupt { .. })
         ));
     }
 }

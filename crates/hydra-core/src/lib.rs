@@ -64,18 +64,64 @@
 //!   byte-identical to the single-engine path at every shard × thread
 //!   count (`tests/ingest_parity.rs`), with inserts atomic across the
 //!   partition.
+//!
+//! ## Failure semantics
+//!
+//! The serving layer is built to fail **atomically, loudly, and
+//! recoverably** — pinned by a deterministic fault-injection harness
+//! (the dep-free `hydra-fault` crate) that replays seeded fault plans at
+//! named injection points through artifact IO, ingest, and the sharded
+//! fan-out:
+//!
+//! * **Crash-safe artifacts** — every `save` ([`LinkageModel`],
+//!   [`ingest::SignalExtractor`], [`ingest::ServingArtifact`]) writes a
+//!   temp sibling, `sync_all`s, then atomically renames over the target;
+//!   `load` sweeps stale temps. A crash at *any* point of a save leaves
+//!   the previous artifact loadable (`tests/artifact_faults.rs` kills the
+//!   write at every injected point and proves it). Malformed bytes fail
+//!   with [`ModelIoError`] diagnostics carrying byte offset, section name,
+//!   and expected-vs-found magic/version — never a panic, at every
+//!   truncation prefix.
+//! * **Atomic ingest** — a fault anywhere inside
+//!   `insert_account_with_edges` (validation, publication, index insert)
+//!   leaves the engine byte-identical to one that never saw the call;
+//!   [`shard::RetryPolicy`] adds bounded deterministic retry/backoff for
+//!   transient faults ([`EngineError::Transient`]).
+//! * **Panic-isolated degraded serving** —
+//!   [`ShardedEngine::query_outcome`](shard::ShardedEngine::query_outcome)
+//!   runs every shard task under `catch_unwind`: one panicking shard
+//!   yields a degraded [`shard::QueryOutcome`] naming the failed shard,
+//!   the shard is quarantined, and
+//!   [`recover_quarantined`](shard::ShardedEngine::recover_quarantined)
+//!   rebuilds it deterministically from the shared [`ProfileSnapshot`] —
+//!   post-recovery answers are bitwise identical to a never-faulted
+//!   engine (`tests/fault_sweeps.rs`).
+//! * **Straddle-safe hot swap** —
+//!   [`swap_artifact`](shard::ShardedEngine::swap_artifact) replaces the
+//!   serving model only when config fingerprints match, rolls back all
+//!   shards on any mid-swap fault, and (taking `&mut self` against
+//!   `&self` queries) guarantees every query is answered entirely by the
+//!   old artifact or entirely by the new one.
 
+// Serving-path modules must not abort on recoverable conditions: a stray
+// `unwrap`/`expect` outside tests is a CI failure (clippy gate), not a
+// style nit — panics here tear down a serving shard.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod artifact;
 pub mod candidates;
 pub mod distributed;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod engine;
 pub mod features;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod ingest;
 pub mod missing;
 pub mod model;
 pub mod moo;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod shard;
 pub mod signals;
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod snapshot;
 pub mod source;
 pub mod structure;
@@ -88,7 +134,7 @@ pub use features::{AttributeImportance, FeatureConfig, PairFeatures};
 pub use ingest::{RawAccount, ServingArtifact, SignalExtractor};
 pub use missing::FillStrategy;
 pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
-pub use shard::ShardedEngine;
+pub use shard::{QueryOutcome, RetryPolicy, ShardFailure, ShardedEngine};
 pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
 pub use snapshot::{PlatformProfiles, ProfileSnapshot};
 pub use source::{AccountSource, AccountView};

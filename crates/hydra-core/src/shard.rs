@@ -52,13 +52,15 @@
 
 use crate::artifact::{LinkageModel, TaskSpec};
 use crate::candidates::{gram_keys, CandidatePair, GramLimits};
-use crate::engine::{EngineError, LinkageEngine};
+use crate::engine::{inject_point, EngineError, LinkageEngine};
 use crate::model::LinkagePrediction;
 use crate::signals::{Signals, UserSignals};
 use crate::snapshot::ProfileSnapshot;
 use hydra_graph::SocialGraph;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Population-wide bookkeeping for one platform: the global gram statistics
 /// shard probes use for stop-gram suppression, plus the slot-aligned
@@ -73,6 +75,10 @@ struct PlatformStats {
     /// Username per slot (removal must decrement exactly the grams the
     /// account was counted under).
     usernames: Vec<String>,
+    /// Accounts de-listed via [`ShardedEngine::remove_account`] — the
+    /// replay log a quarantined shard's rebuild needs to restore its
+    /// partition's active set exactly.
+    removed: BTreeSet<u32>,
 }
 
 impl PlatformStats {
@@ -92,6 +98,88 @@ impl PlatformStats {
     }
 }
 
+/// How one shard failed during a degraded query (see
+/// [`ShardedEngine::query_outcome`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardFailure {
+    /// The shard's candidate task panicked during *this* query; the shard
+    /// has been quarantined for subsequent queries.
+    Panicked {
+        /// The failed shard.
+        shard: usize,
+        /// The panic message (deterministic for a fixed
+        /// [`hydra_fault::FaultPlan`]).
+        message: String,
+    },
+    /// The shard was already quarantined (by an earlier panic or an
+    /// explicit [`ShardedEngine::quarantine`]) and was skipped.
+    Quarantined {
+        /// The skipped shard.
+        shard: usize,
+    },
+}
+
+impl ShardFailure {
+    /// The shard this failure concerns.
+    pub fn shard(&self) -> usize {
+        match *self {
+            ShardFailure::Panicked { shard, .. } | ShardFailure::Quarantined { shard } => shard,
+        }
+    }
+}
+
+/// The result of a panic-isolated sharded query: the predictions that could
+/// be computed, plus an explicit per-shard failure report. An empty
+/// `degraded` list means the result is complete — bitwise identical to
+/// [`ShardedEngine::query`]. A non-empty list means the failed shards'
+/// partitions contributed no candidates (their accounts are missing from
+/// the ranking), which for a fixed population and fault plan is itself
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// Ranked predictions from the shards that answered.
+    pub predictions: Vec<LinkagePrediction>,
+    /// Per-shard failures, ordered by shard index; empty when complete.
+    pub degraded: Vec<ShardFailure>,
+}
+
+impl QueryOutcome {
+    /// Whether every shard answered (the result equals the strict path's).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_empty()
+    }
+
+    /// The shards that did not answer, in ascending order.
+    pub fn failed_shards(&self) -> Vec<usize> {
+        self.degraded.iter().map(ShardFailure::shard).collect()
+    }
+}
+
+/// Bounded, deterministic retry schedule for transient ingest failures
+/// ([`EngineError::Transient`]): attempt, then back off doubling from
+/// `initial_backoff` up to `max_backoff`, for at most `max_attempts` total
+/// attempts. The schedule is a pure function of the policy — no jitter —
+/// so faulted runs are reproducible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). 0 is treated as 1.
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles each retry.
+    pub initial_backoff: Duration,
+    /// Backoff cap.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            initial_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
 /// Serves per-account linkage queries against a population whose candidacy
 /// is partitioned over N per-shard [`LinkageEngine`] indexes, all reading
 /// one `Arc`-shared [`ProfileSnapshot`] (see the module docs).
@@ -102,6 +190,11 @@ pub struct ShardedEngine {
     shards: Vec<LinkageEngine>,
     num_shards: usize,
     platforms: Vec<PlatformStats>,
+    /// Quarantine flags, one per shard (atomic so the panic-isolated query
+    /// path can mark a shard poisoned through `&self`). A poisoned shard is
+    /// skipped by [`ShardedEngine::query_outcome`] until
+    /// [`ShardedEngine::recover_quarantined`] rebuilds it.
+    poisoned: Vec<AtomicBool>,
 }
 
 impl ShardedEngine {
@@ -146,6 +239,7 @@ impl ShardedEngine {
                     active_count: side.len(),
                     total: side.len(),
                     usernames: side.iter().map(|sig| sig.username.clone()).collect(),
+                    removed: BTreeSet::new(),
                 };
                 for sig in side {
                     stats.count_grams(&sig.username, 1);
@@ -153,11 +247,13 @@ impl ShardedEngine {
                 stats
             })
             .collect();
+        let poisoned = (0..num_shards).map(|_| AtomicBool::new(false)).collect();
         Ok(ShardedEngine {
             snapshot,
             shards,
             num_shards,
             platforms,
+            poisoned,
         })
     }
 
@@ -263,6 +359,10 @@ impl ShardedEngine {
         sig: UserSignals,
         edges: &[(u32, f64)],
     ) -> Result<u32, EngineError> {
+        // 0. Injection point before anything is touched: a transient fault
+        //    here (a flaky feed, in production terms) must be a clean no-op.
+        inject_point("sharded.insert")?;
+
         // 1. Fallible step: validate platform + delta, publish the epoch
         //    (the profile moves into the snapshot tail, no deep copy). On
         //    error nothing — snapshot, shards, stats — has changed.
@@ -300,6 +400,7 @@ impl ShardedEngine {
         let username = stats.usernames[account as usize].clone();
         stats.count_grams(&username, -1);
         stats.active_count -= 1;
+        stats.removed.insert(account);
         Ok(())
     }
 
@@ -389,6 +490,244 @@ impl ShardedEngine {
             let cands = self.sharded_candidates(spec, a, false);
             self.shards[0].score_candidates(spec, &cands)
         }))
+    }
+
+    /// [`ShardedEngine::insert_account_with_edges`] with bounded,
+    /// deterministic retry of transient failures
+    /// ([`EngineError::Transient`] — injected faults in tests, flaky
+    /// downstream dependencies in production). Non-transient errors and
+    /// transients that survive `policy.max_attempts` attempts are returned;
+    /// a transient insert left no partial state, so retrying is always
+    /// safe.
+    pub fn insert_account_with_edges_retried(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+        edges: &[(u32, f64)],
+        policy: &RetryPolicy,
+    ) -> Result<u32, EngineError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        for attempt in 1..=attempts {
+            match self.insert_account_with_edges(platform, sig.clone(), edges) {
+                Err(EngineError::Transient { .. }) if attempt < attempts => {
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(policy.max_backoff));
+                    }
+                    backoff = (backoff * 2).min(policy.max_backoff);
+                }
+                done => return done,
+            }
+        }
+        unreachable!("loop returns on the final attempt")
+    }
+
+    /// Per-shard candidate generation with panic isolation: every live
+    /// shard's task runs under `catch_unwind` (via
+    /// [`hydra_par::par_map_catch`]); a panicking shard is marked poisoned
+    /// and reported, already-poisoned shards are skipped and reported, and
+    /// the survivors' candidates merge exactly like the strict path's.
+    fn candidates_isolated(
+        &self,
+        spec: TaskSpec,
+        left_account: u32,
+        threads: usize,
+    ) -> (Vec<CandidatePair>, Vec<ShardFailure>) {
+        let stats = &self.platforms[spec.right_platform as usize];
+        let limits = GramLimits {
+            counts: &stats.gram_counts,
+            active_count: stats.active_count,
+        };
+        let live: Vec<usize> = (0..self.num_shards)
+            .filter(|&s| !self.poisoned[s].load(Ordering::Acquire))
+            .collect();
+        let results = hydra_par::par_map_catch_threads(threads, &live, |_, &s| {
+            // Injection point for the fan-out: site names are per-shard
+            // ("shard.task.3"), so hit counters — and therefore which query
+            // observes an armed fault — stay deterministic however the
+            // worker pool schedules the tasks. Any armed kind manifests as
+            // a panic here: this is the isolation path under test.
+            if hydra_fault::enabled() && hydra_fault::fire(&format!("shard.task.{s}")).is_some() {
+                panic!("injected fault in shard task {s}");
+            }
+            self.shards[s].candidates_for(spec, left_account, Some(&limits))
+        });
+
+        let by_shard: HashMap<usize, Result<Vec<CandidatePair>, String>> =
+            live.into_iter().zip(results).collect();
+        let mut merged = Vec::new();
+        let mut failures = Vec::new();
+        let mut by_shard = by_shard;
+        for s in 0..self.num_shards {
+            match by_shard.remove(&s) {
+                None => failures.push(ShardFailure::Quarantined { shard: s }),
+                Some(Ok(cands)) => merged.extend(cands),
+                Some(Err(message)) => {
+                    self.poisoned[s].store(true, Ordering::Release);
+                    failures.push(ShardFailure::Panicked { shard: s, message });
+                }
+            }
+        }
+        merged.sort_by(|a, b| {
+            b.username_sim
+                .total_cmp(&a.username_sim)
+                .then(a.right.cmp(&b.right))
+        });
+        merged.truncate(self.model().candidates.max_per_user);
+        (merged, failures)
+    }
+
+    /// [`ShardedEngine::query`] with panic isolation and graceful
+    /// degradation: each shard's candidate task runs under `catch_unwind`,
+    /// so one panicking shard yields a **degraded** [`QueryOutcome`] —
+    /// the surviving shards' predictions plus an explicit
+    /// [`ShardFailure::Panicked`] naming the failed shard — instead of
+    /// tearing the process down. The panicking shard is quarantined:
+    /// subsequent outcomes skip it (reported as
+    /// [`ShardFailure::Quarantined`]) until
+    /// [`ShardedEngine::recover_quarantined`] rebuilds it from the shared
+    /// snapshot. With no failure the outcome is complete and bitwise
+    /// identical to the strict path. (The strict [`ShardedEngine::query`]
+    /// ignores quarantine flags entirely — shard state is never corrupted
+    /// by a read-path panic — so the parity contract is untouched.)
+    pub fn query_outcome(
+        &self,
+        task: usize,
+        left_account: u32,
+    ) -> Result<QueryOutcome, EngineError> {
+        let spec = self.shards[0].task_spec(task)?;
+        self.check_left(spec, left_account)?;
+        let (cands, degraded) =
+            self.candidates_isolated(spec, left_account, hydra_par::num_threads());
+        let scorer = self.first_live_shard();
+        Ok(QueryOutcome {
+            predictions: self.shards[scorer].score_candidates(spec, &cands),
+            degraded,
+        })
+    }
+
+    /// [`ShardedEngine::query_outcome`] for a batch of left accounts,
+    /// fanned out over `hydra-par` workers; each query walks the shards
+    /// sequentially under per-shard `catch_unwind`. The whole batch is
+    /// validated before any work starts.
+    pub fn query_batch_outcome(
+        &self,
+        task: usize,
+        left_accounts: &[u32],
+    ) -> Result<Vec<QueryOutcome>, EngineError> {
+        let spec = self.shards[0].task_spec(task)?;
+        for &a in left_accounts {
+            self.check_left(spec, a)?;
+        }
+        Ok(hydra_par::par_map(left_accounts, |_, &a| {
+            let (cands, degraded) = self.candidates_isolated(spec, a, 1);
+            let scorer = self.first_live_shard();
+            QueryOutcome {
+                predictions: self.shards[scorer].score_candidates(spec, &cands),
+                degraded,
+            }
+        }))
+    }
+
+    /// The lowest-indexed non-quarantined shard (scoring reads only the
+    /// shared snapshot + model, so any shard scores identically; prefer a
+    /// live one all the same). Falls back to shard 0 when everything is
+    /// quarantined — the candidate list is empty then and scoring is a
+    /// no-op.
+    fn first_live_shard(&self) -> usize {
+        (0..self.num_shards)
+            .find(|&s| !self.poisoned[s].load(Ordering::Acquire))
+            .unwrap_or(0)
+    }
+
+    /// Manually quarantine a shard: subsequent
+    /// [`ShardedEngine::query_outcome`] calls skip it (reporting
+    /// [`ShardFailure::Quarantined`]) until
+    /// [`ShardedEngine::recover_quarantined`] rebuilds it.
+    ///
+    /// # Panics
+    /// Panics when `shard >= num_shards`.
+    pub fn quarantine(&mut self, shard: usize) {
+        self.poisoned[shard].store(true, Ordering::Release);
+    }
+
+    /// The currently quarantined shards, in ascending order.
+    pub fn quarantined(&self) -> Vec<usize> {
+        (0..self.num_shards)
+            .filter(|&s| self.poisoned[s].load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Rebuild every quarantined shard **deterministically** from the
+    /// shared [`ProfileSnapshot`]: a fresh per-shard engine over the
+    /// current epoch (same ownership predicate), with the platform removal
+    /// log replayed so the partition's active set comes back exactly.
+    /// Returns the shards recovered; after recovery, queries are bitwise
+    /// identical to an engine that never faulted (pinned by
+    /// `tests/fault_sweeps.rs`).
+    pub fn recover_quarantined(&mut self) -> Result<Vec<usize>, EngineError> {
+        let model = self.shards[0].model().clone();
+        let mut recovered = Vec::new();
+        for s in 0..self.num_shards {
+            if !self.poisoned[s].load(Ordering::Acquire) {
+                continue;
+            }
+            let n = self.num_shards;
+            let mut fresh = LinkageEngine::with_shared_snapshot(
+                model.clone(),
+                self.snapshot.clone(),
+                |_, a| a as usize % n == s,
+            )?;
+            for (platform, stats) in self.platforms.iter().enumerate() {
+                for &a in &stats.removed {
+                    if a as usize % n == s {
+                        fresh.remove_account(platform, a)?;
+                    }
+                }
+            }
+            self.shards[s] = fresh;
+            self.poisoned[s].store(false, Ordering::Release);
+            recovered.push(s);
+        }
+        Ok(recovered)
+    }
+
+    /// Hot-swap the serving model for a re-fitted one **without downtime
+    /// or divergence** — ROADMAP item 5's straddle guarantee: because a
+    /// swap takes `&mut self` while every query path takes `&self`, no
+    /// query can observe the engine mid-swap — every query is answered
+    /// entirely by the old artifact or entirely by the new one. The swap
+    /// itself is all-or-nothing under faults: the new model is refused
+    /// outright unless its config fingerprint matches the serving one
+    /// (same candidate/feature/fill/window configuration, so the private
+    /// blocking indexes stay valid), and a failure — injected transient
+    /// *or* panic — while walking the shards rolls every shard back to
+    /// the old model before returning the error.
+    ///
+    /// Fault-injection sites: `swap.begin` (before any shard changes),
+    /// `swap.shard` (hit `s` fires before shard `s` swaps).
+    pub fn swap_artifact(&mut self, model: LinkageModel) -> Result<(), EngineError> {
+        let expected = self.model().fingerprint();
+        let found = model.fingerprint();
+        if expected != found {
+            return Err(EngineError::ArtifactFingerprintMismatch { expected, found });
+        }
+        inject_point("swap.begin")?;
+        let old = self.model().clone();
+        for s in 0..self.num_shards {
+            // A panic mid-walk would otherwise strand shards 0..s on the
+            // new model; catch it and fold it into the rollback path.
+            let gate = std::panic::catch_unwind(|| inject_point("swap.shard"))
+                .unwrap_or(Err(EngineError::Transient { site: "swap.shard" }));
+            if let Err(e) = gate {
+                for t in 0..s {
+                    self.shards[t].swap_model(old.clone());
+                }
+                return Err(e);
+            }
+            self.shards[s].swap_model(model.clone());
+        }
+        Ok(())
     }
 }
 

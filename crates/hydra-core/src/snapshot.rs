@@ -295,6 +295,11 @@ impl ProfileSnapshot {
                 });
             }
         }
+        // Last failure point before publication: a fault injected here (or
+        // a transient in a real store) must leave every holder of `this`
+        // untouched — the insert fault sweep pins exactly that.
+        crate::engine::inject_point("snapshot.publish")?;
+
         // Bucket the profile with the base cache's build parameters —
         // bit-identical to what a full rebuild over the grown side holds.
         let entry = ProfileEntry {

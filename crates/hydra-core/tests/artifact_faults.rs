@@ -1,0 +1,236 @@
+//! Crash-safety sweep for artifact persistence (PR 6 tentpole, part 2).
+//!
+//! Every persistable artifact (`HYLM` [`LinkageModel`], `HYSX`
+//! [`SignalExtractor`], bundled [`ServingArtifact`]) saves through the same
+//! write-temp → `sync_all` → atomic-rename path. The sweep here enumerates
+//! every fault-injection point a save crosses (via `hydra_fault::record`),
+//! then re-runs the save once per point with a fault armed there — an IO
+//! error at each site, plus torn writes of every interesting prefix length —
+//! and proves the previous artifact on disk always stays loadable,
+//! byte-identical to before the crashed save. Decode robustness rides
+//! along: every strict prefix of each wire format must fail with a typed
+//! [`ModelIoError`], never a panic.
+
+use hydra_core::artifact::{LinkageModel, ModelIoError};
+use hydra_core::ingest::{ServingArtifact, SignalExtractor};
+use hydra_core::model::{Hydra, HydraConfig, PairTask, TrainedHydra};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_fault::{install, record, FaultKind, FaultPlan};
+use std::path::{Path, PathBuf};
+
+fn world(n: usize, seed: u64) -> (Signals, SignalExtractor, TrainedHydra) {
+    let dataset = hydra_datagen::Dataset::generate(hydra_datagen::DatasetConfig::english(n, seed));
+    let (signals, extractor) = Signals::extract_with_extractor(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 6,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    let trained = Hydra::new(HydraConfig::default())
+        .fit(
+            &dataset,
+            &signals,
+            vec![PairTask {
+                left_platform: 0,
+                right_platform: 1,
+                labels,
+                unlabeled_whitelist: None,
+            }],
+        )
+        .expect("fit");
+    (signals, extractor, trained)
+}
+
+/// The temp sibling the atomic save stages bytes in (kept in sync with
+/// `artifact::tmp_sibling` — the sweep asserts on its presence/cleanup).
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path.file_name().expect("file name").to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Core sweep: `path` currently holds artifact bytes `v1` (written by the
+/// artifact's own `save`). Attempt to overwrite it with `v2` via `save_v2`,
+/// once per enumerated fault point, and assert after every crashed attempt
+/// that (a) the save reported an error, (b) loading the path still succeeds
+/// and re-serializes exactly to `v1`, and (c) no stale temp file survives a
+/// load. Ends with a clean save proving `v2` lands intact.
+fn sweep_atomic_save(
+    label: &str,
+    path: &Path,
+    v1: &[u8],
+    v2: &[u8],
+    save_v2: &dyn Fn(&Path) -> Result<(), ModelIoError>,
+    reload: &dyn Fn(&Path) -> Vec<u8>,
+) {
+    assert_ne!(v1, v2, "{label}: sweep needs two distinguishable artifacts");
+
+    // Enumerate every injection point one save crosses, on a scratch path
+    // so the artifact under test stays at v1.
+    let scratch = path.with_extension("scratch");
+    let (out, log) = record(|| save_v2(&scratch));
+    out.expect("recorded save succeeds");
+    let _ = std::fs::remove_file(&scratch);
+    let sites: Vec<&str> = log.iter().map(|(s, _)| s.as_str()).collect();
+    assert_eq!(
+        sites,
+        [
+            "artifact.create",
+            "artifact.write",
+            "artifact.sync",
+            "artifact.rename"
+        ],
+        "{label}: unexpected save fault surface"
+    );
+
+    // Kill the save at every point with an IO error.
+    for (site, hit) in &log {
+        let scope = install(FaultPlan::new().one_shot(site, *hit, FaultKind::Io));
+        let err = save_v2(path).expect_err("injected IO fault must surface");
+        assert!(
+            matches!(err, ModelIoError::Io(_)),
+            "{label}: fault at {site} surfaced as {err:?}"
+        );
+        drop(scope);
+        assert_eq!(
+            reload(path),
+            v1,
+            "{label}: fault at {site}#{hit} must leave the old artifact intact"
+        );
+        assert!(
+            !tmp_sibling(path).exists(),
+            "{label}: load after fault at {site} must sweep the stale temp"
+        );
+    }
+
+    // Torn writes: the "crash" persists only a prefix of v2 in the temp
+    // file. The target must stay v1 and the torn temp must be swept.
+    for keep in [0, 1, v2.len() / 2, v2.len().saturating_sub(1)] {
+        let scope =
+            install(FaultPlan::new().one_shot("artifact.write", 0, FaultKind::TornWrite { keep }));
+        save_v2(path).expect_err("torn write must surface");
+        drop(scope);
+        let tmp = tmp_sibling(path);
+        let torn = std::fs::read(&tmp).expect("torn temp file exists");
+        assert_eq!(
+            torn,
+            &v2[..keep.min(v2.len())],
+            "{label}: torn temp holds exactly the written prefix"
+        );
+        assert_eq!(reload(path), v1, "{label}: torn write (keep {keep})");
+        assert!(!tmp.exists(), "{label}: torn temp swept on load");
+    }
+
+    // An installed-but-empty plan changes nothing: the save completes and
+    // the new artifact lands bit-exact.
+    let scope = install(FaultPlan::new());
+    save_v2(path).expect("clean save under empty plan");
+    drop(scope);
+    assert_eq!(reload(path), v2, "{label}: clean save lands v2");
+}
+
+#[test]
+fn crashed_saves_never_lose_the_previous_artifact() {
+    let (_, extractor_a, trained_a) = world(20, 0xFA117);
+    let (_, extractor_b, trained_b) = world(20, 0xFA25B);
+    let dir = std::env::temp_dir();
+
+    // HYLM: the linkage model.
+    let path = dir.join("hydra_fault_sweep.hylm");
+    trained_a.model.save(&path).expect("seed v1");
+    sweep_atomic_save(
+        "HYLM",
+        &path,
+        &trained_a.model.to_bytes(),
+        &trained_b.model.to_bytes(),
+        &|p| trained_b.model.save(p),
+        &|p| LinkageModel::load(p).expect("load").to_bytes(),
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // HYSX: the standalone signal extractor.
+    let path = dir.join("hydra_fault_sweep.hysx");
+    extractor_a.save(&path).expect("seed v1");
+    sweep_atomic_save(
+        "HYSX",
+        &path,
+        &extractor_a.to_bytes(),
+        &extractor_b.to_bytes(),
+        &|p| extractor_b.save(p),
+        &|p| SignalExtractor::load(p).expect("load").to_bytes(),
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // HYSX bundle: model + extractor in one serving artifact.
+    let bundle_a = ServingArtifact {
+        model: trained_a.model.clone(),
+        extractor: extractor_a,
+    };
+    let bundle_b = ServingArtifact {
+        model: trained_b.model.clone(),
+        extractor: extractor_b,
+    };
+    let path = dir.join("hydra_fault_sweep_bundle.hysx");
+    bundle_a.save(&path).expect("seed v1");
+    sweep_atomic_save(
+        "bundle",
+        &path,
+        &bundle_a.to_bytes(),
+        &bundle_b.to_bytes(),
+        &|p| bundle_b.save(p),
+        &|p| ServingArtifact::load(p).expect("load").to_bytes(),
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn every_prefix_truncation_is_a_typed_error_for_all_formats() {
+    let (_, extractor, trained) = world(16, 0x7A11);
+    let bundle = ServingArtifact {
+        model: trained.model.clone(),
+        extractor: extractor.clone(),
+    };
+    let formats: Vec<(&str, Vec<u8>, Box<dyn Fn(&[u8]) -> Option<ModelIoError>>)> = vec![
+        (
+            "HYLM",
+            trained.model.to_bytes(),
+            Box::new(|b| LinkageModel::from_bytes(b).err()),
+        ),
+        (
+            "HYSX",
+            extractor.to_bytes(),
+            Box::new(|b| SignalExtractor::from_bytes(b).err()),
+        ),
+        (
+            "bundle",
+            bundle.to_bytes(),
+            Box::new(|b| ServingArtifact::from_bytes(b).err()),
+        ),
+    ];
+    for (label, bytes, decode_err) in &formats {
+        for len in 0..bytes.len() {
+            // Must be an error (never a panic, never a huge speculative
+            // allocation — length prefixes are validated against the
+            // remaining byte count before any Vec is sized).
+            let err = decode_err(&bytes[..len]).unwrap_or_else(|| {
+                panic!(
+                    "{label}: prefix of {len}/{} decoded successfully",
+                    bytes.len()
+                )
+            });
+            let msg = err.to_string();
+            assert!(!msg.is_empty(), "{label}: empty diagnostic at {len}");
+        }
+        // And the full buffer still decodes (the loop above didn't assert
+        // on a stale copy).
+        assert!(decode_err(bytes).is_none(), "{label}: full decode");
+    }
+}

@@ -1,0 +1,515 @@
+//! Deterministic fault sweeps over the serving engine (PR 6 tentpole,
+//! parts 3–4).
+//!
+//! * **Atomic ingest, adversarially re-proven**: `hydra_fault::record`
+//!   enumerates every injection point `insert_account_with_edges` crosses;
+//!   the sweep re-runs the insert once per point with a transient error and
+//!   once with a panic armed there, and pins the engine **byte-identical**
+//!   to one that never saw the call (every answer, every counter, the
+//!   epoch).
+//! * **Panic isolation + degraded serving**: a panic injected into any one
+//!   shard task yields a deterministic degraded [`QueryOutcome`] naming
+//!   exactly the failed shard; the shard is quarantined, and
+//!   `recover_quarantined` rebuilds it from the shared snapshot so that
+//!   post-recovery answers are bitwise identical to a never-faulted engine
+//!   — including across an insert and a removal that the rebuild must
+//!   replay.
+//! * **Fingerprint-gated hot swap with rollback**: `swap_artifact` refuses
+//!   a config-fingerprint mismatch, rolls every shard back on a fault (or
+//!   panic) injected mid-swap, and lands the new model atomically when
+//!   clean — every query is answered entirely by the old artifact or
+//!   entirely by the new one.
+//! * **Bounded deterministic retry** of transient ingest faults, and the
+//!   **empty-plan parity** guarantee: an installed-but-empty `FaultPlan`
+//!   changes no answer bit.
+
+use hydra_core::engine::{EngineError, LinkageEngine};
+use hydra_core::ingest::SignalExtractor;
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::shard::{QueryOutcome, RetryPolicy, ShardFailure, ShardedEngine};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::source::AccountSource;
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_fault::{install, record, FaultKind, FaultPlan};
+use hydra_graph::SocialGraph;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals, SignalExtractor) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let (signals, extractor) = Signals::extract_with_extractor(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 8,
+            infer_iterations: 3,
+            ..Default::default()
+        },
+    );
+    (dataset, signals, extractor)
+}
+
+fn train(dataset: &Dataset, signals: &Signals) -> TrainedHydra {
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    Hydra::new(HydraConfig::default())
+        .fit(
+            dataset,
+            signals,
+            vec![PairTask {
+                left_platform: 0,
+                right_platform: 1,
+                labels,
+                unlabeled_whitelist: None,
+            }],
+        )
+        .expect("fit")
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{ctx}: score drift");
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+/// Full observable state: every strict answer plus population counters and
+/// the snapshot epoch — "byte-identical" below means this whole tuple.
+fn observe(
+    engine: &ShardedEngine,
+    lefts: &[u32],
+) -> (Vec<Vec<LinkagePrediction>>, usize, usize, u64) {
+    let answers = lefts
+        .iter()
+        .map(|&l| engine.query(0, l).expect("query"))
+        .collect();
+    (
+        answers,
+        engine.num_accounts(1),
+        engine.active_accounts(1),
+        engine.snapshot().epoch(),
+    )
+}
+
+fn assert_unchanged(
+    engine: &ShardedEngine,
+    lefts: &[u32],
+    before: &(Vec<Vec<LinkagePrediction>>, usize, usize, u64),
+    ctx: &str,
+) {
+    let after = observe(engine, lefts);
+    assert_eq!(after.1, before.1, "{ctx}: slot count moved");
+    assert_eq!(after.2, before.2, "{ctx}: active count moved");
+    assert_eq!(after.3, before.3, "{ctx}: epoch moved");
+    for (left, (got, want)) in after.0.iter().zip(before.0.iter()).enumerate() {
+        assert_preds_bitwise(got, want, &format!("{ctx}, left {left}"));
+    }
+}
+
+/// Silence the default panic hook while `f` runs — the sweeps below inject
+/// panics by design and would otherwise spray backtraces over the test
+/// output. Fault tests serialize on the `hydra_fault` install lock, so the
+/// global hook swap cannot race another *fault* test.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn insert_fault_at_every_point_leaves_the_engine_byte_identical() {
+    let (dataset, signals, extractor) = world(30, 0x1F5E7);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let total = dataset.num_accounts(1) as u32;
+    let sig = extractor.extract_account(AccountSource::account(&dataset, 1, 0), total);
+    let edges = [(0u32, 2.0f64), (3, 1.0)];
+
+    // Enumerate the fault surface of one insert on a throwaway engine.
+    let mut probe =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("probe");
+    let (out, log) = record(|| probe.insert_account_with_edges(1, sig.clone(), &edges));
+    out.expect("recorded insert succeeds");
+    let sites: Vec<&str> = log.iter().map(|(s, _)| s.as_str()).collect();
+    assert_eq!(
+        sites,
+        ["sharded.insert", "snapshot.publish"],
+        "unexpected insert fault surface"
+    );
+
+    // The engine under test: fault every point, in both failure modes, and
+    // demand a byte-identical engine afterwards.
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let before = observe(&engine, &lefts);
+    for (site, hit) in &log {
+        for kind in [FaultKind::Transient, FaultKind::Panic] {
+            let scope = install(FaultPlan::new().one_shot(site, *hit, kind));
+            match kind {
+                FaultKind::Panic => {
+                    let unwound = with_quiet_panics(|| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            engine.insert_account_with_edges(1, sig.clone(), &edges)
+                        }))
+                    });
+                    assert!(unwound.is_err(), "panic at {site} must propagate");
+                }
+                _ => {
+                    let err = engine
+                        .insert_account_with_edges(1, sig.clone(), &edges)
+                        .expect_err("transient at every point must surface");
+                    assert!(
+                        matches!(err, EngineError::Transient { .. }),
+                        "fault at {site} surfaced as {err:?}"
+                    );
+                }
+            }
+            drop(scope);
+            assert_unchanged(
+                &engine,
+                &lefts,
+                &before,
+                &format!("{kind:?} at {site}#{hit}"),
+            );
+        }
+    }
+
+    // After the whole sweep a clean insert still works and stays bitwise
+    // identical to a single engine given the same history.
+    let mut single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+    let idx = engine
+        .insert_account_with_edges(1, sig.clone(), &edges)
+        .expect("clean insert");
+    assert_eq!(idx, total);
+    assert_eq!(
+        single
+            .insert_account_with_edges(1, sig, &edges)
+            .expect("single"),
+        idx
+    );
+    for &left in &lefts {
+        let want = single.query(0, left).expect("single");
+        let got = engine.query(0, left).expect("sharded");
+        assert_preds_bitwise(&got, &want, &format!("post-sweep insert, left {left}"));
+    }
+}
+
+#[test]
+fn one_panicking_shard_degrades_deterministically_and_recovers_bitwise() {
+    let (dataset, signals, extractor) = world(30, 0xDE6D);
+    let trained = train(&dataset, &signals);
+    let num_shards = 3usize;
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+
+    // Give the engines a serve-time history the recovery rebuild must
+    // reproduce: one ingested account (lands in the snapshot tail) and one
+    // removal (must be replayed from the removal log).
+    let total = dataset.num_accounts(1) as u32;
+    let sig = extractor.extract_account(AccountSource::account(&dataset, 1, 1), total);
+    let build = || {
+        let mut e = ShardedEngine::new(
+            trained.model.clone(),
+            &signals,
+            graphs(&dataset),
+            num_shards,
+        )
+        .expect("sharded");
+        e.insert_account_with_edges(1, sig.clone(), &[(1, 1.5)])
+            .expect("insert");
+        e.remove_account(1, 5).expect("remove");
+        e
+    };
+    let reference = build();
+    let want_batch: Vec<Vec<LinkagePrediction>> = lefts
+        .iter()
+        .map(|&l| reference.query(0, l).expect("reference"))
+        .collect();
+
+    for failed in 0..num_shards {
+        let site = format!("shard.task.{failed}");
+        let probe = lefts[2];
+
+        // Two independent engines under the same plan: the degraded
+        // outcome must be identical — same failure report, same bits.
+        let run = |engine: &ShardedEngine| -> QueryOutcome {
+            let scope = install(FaultPlan::new().one_shot(&site, 0, FaultKind::Panic));
+            let outcome = with_quiet_panics(|| engine.query_outcome(0, probe).expect("outcome"));
+            drop(scope);
+            outcome
+        };
+        let engine = build();
+        let outcome = run(&engine);
+        assert_eq!(outcome.degraded.len(), 1, "exactly one failure reported");
+        match &outcome.degraded[0] {
+            ShardFailure::Panicked { shard, message } => {
+                assert_eq!(*shard, failed, "failure names the faulted shard");
+                assert!(
+                    message.contains(&format!("injected fault in shard task {failed}")),
+                    "panic payload surfaces: {message}"
+                );
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(!outcome.is_complete());
+        assert_eq!(outcome.failed_shards(), vec![failed]);
+        let twin = run(&build());
+        assert_eq!(
+            twin.degraded, outcome.degraded,
+            "deterministic failure report"
+        );
+        assert_preds_bitwise(
+            &twin.predictions,
+            &outcome.predictions,
+            &format!("degraded determinism, shard {failed}"),
+        );
+
+        // The shard is quarantined: later outcomes skip it (no plan
+        // installed any more) and report it as such, with the same
+        // surviving predictions.
+        assert_eq!(engine.quarantined(), vec![failed]);
+        let mut engine = engine;
+        let later = engine.query_outcome(0, probe).expect("quarantined outcome");
+        assert_eq!(
+            later.degraded,
+            vec![ShardFailure::Quarantined { shard: failed }]
+        );
+        assert_preds_bitwise(
+            &later.predictions,
+            &outcome.predictions,
+            &format!("quarantined answers, shard {failed}"),
+        );
+
+        // Recovery rebuilds the shard from the shared snapshot (tail entry
+        // and removal replayed) — bitwise identical to never having
+        // faulted, on every left account and on the strict path too.
+        assert_eq!(engine.recover_quarantined().expect("recover"), vec![failed]);
+        assert!(engine.quarantined().is_empty());
+        for (&left, want) in lefts.iter().zip(want_batch.iter()) {
+            let outcome = engine.query_outcome(0, left).expect("recovered outcome");
+            assert!(outcome.is_complete(), "complete after recovery");
+            assert_preds_bitwise(
+                &outcome.predictions,
+                want,
+                &format!("post-recovery outcome, shard {failed}, left {left}"),
+            );
+            let strict = engine.query(0, left).expect("strict");
+            assert_preds_bitwise(
+                &strict,
+                want,
+                &format!("post-recovery strict, shard {failed}, left {left}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_outcomes_report_quarantine_and_match_single_queries() {
+    let (dataset, signals, _) = world(30, 0xBA7C4);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+
+    engine.quarantine(1);
+    let batch = engine.query_batch_outcome(0, &lefts).expect("batch");
+    assert_eq!(batch.len(), lefts.len());
+    for (&left, out) in lefts.iter().zip(batch.iter()) {
+        assert_eq!(out.degraded, vec![ShardFailure::Quarantined { shard: 1 }]);
+        let single = engine.query_outcome(0, left).expect("single outcome");
+        assert_preds_bitwise(
+            &out.predictions,
+            &single.predictions,
+            &format!("batch vs single outcome, left {left}"),
+        );
+    }
+
+    assert_eq!(engine.recover_quarantined().expect("recover"), vec![1]);
+    let complete = engine.query_batch_outcome(0, &lefts).expect("batch");
+    let strict = engine.query_batch(0, &lefts).expect("strict batch");
+    for ((out, want), &left) in complete.iter().zip(strict.iter()).zip(lefts.iter()) {
+        assert!(out.is_complete());
+        assert_preds_bitwise(
+            &out.predictions,
+            want,
+            &format!("recovered batch outcome, left {left}"),
+        );
+    }
+}
+
+#[test]
+fn hot_swap_is_fingerprint_gated_atomic_and_rolls_back_under_faults() {
+    let (dataset, signals, _) = world(30, 0x5A4B);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let old_answers = engine.query_batch(0, &lefts).expect("pre-swap batch");
+
+    // A "re-fitted" model: same config (same fingerprint), different
+    // learned state — answers must visibly change once swapped.
+    let mut refit = trained.model.clone();
+    refit.solution.bias += 0.25;
+    assert_eq!(refit.fingerprint(), trained.model.fingerprint());
+    let new_reference = ShardedEngine::new(refit.clone(), &signals, graphs(&dataset), 3)
+        .expect("reference")
+        .query_batch(0, &lefts)
+        .expect("reference batch");
+    let bits = |b: &Vec<Vec<LinkagePrediction>>| -> Vec<(u32, u32, u64, bool)> {
+        b.iter()
+            .flatten()
+            .map(|p| (p.left, p.right, p.score.to_bits(), p.linked))
+            .collect()
+    };
+    assert_ne!(
+        bits(&old_answers),
+        bits(&new_reference),
+        "the refit model must answer differently, or the swap test is vacuous"
+    );
+
+    // Faulted swaps: an error or panic at any injected point rolls every
+    // shard back — queries keep answering entirely from the old artifact.
+    for (site, hit, kind) in [
+        ("swap.begin", 0, FaultKind::Io),
+        ("swap.shard", 0, FaultKind::Transient),
+        ("swap.shard", 1, FaultKind::Transient),
+        ("swap.shard", 2, FaultKind::Transient),
+        ("swap.shard", 1, FaultKind::Panic),
+    ] {
+        let scope = install(FaultPlan::new().one_shot(site, hit, kind));
+        let err = with_quiet_panics(|| engine.swap_artifact(refit.clone()))
+            .expect_err("faulted swap must fail");
+        drop(scope);
+        assert!(
+            matches!(err, EngineError::Transient { .. }),
+            "swap fault at {site}#{hit} surfaced as {err:?}"
+        );
+        let after = engine.query_batch(0, &lefts).expect("post-fault batch");
+        assert_eq!(
+            bits(&after),
+            bits(&old_answers),
+            "rollback after {kind:?} at {site}#{hit}: still entirely the old artifact"
+        );
+    }
+
+    // Clean swap: the engine now answers entirely from the new artifact.
+    engine.swap_artifact(refit.clone()).expect("clean swap");
+    let after = engine.query_batch(0, &lefts).expect("post-swap batch");
+    assert_eq!(
+        bits(&after),
+        bits(&new_reference),
+        "entirely the new artifact"
+    );
+
+    // Fingerprint gate: a config change is refused outright, no shard
+    // touched.
+    let mut incompatible = refit.clone();
+    incompatible.candidates.max_per_user += 1;
+    let err = engine
+        .swap_artifact(incompatible)
+        .expect_err("config drift must be refused");
+    assert!(
+        matches!(err, EngineError::ArtifactFingerprintMismatch { expected, found }
+            if expected != found),
+        "got {err:?}"
+    );
+    let still = engine.query_batch(0, &lefts).expect("post-reject batch");
+    assert_eq!(
+        bits(&still),
+        bits(&new_reference),
+        "rejected swap changed nothing"
+    );
+}
+
+#[test]
+fn transient_ingest_faults_are_retried_within_the_policy_budget() {
+    let (dataset, signals, extractor) = world(24, 0x4E74);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let total = dataset.num_accounts(1) as u32;
+    let sig = extractor.extract_account(AccountSource::account(&dataset, 1, 2), total);
+    let edges = [(2u32, 1.0f64)];
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    };
+
+    // Two consecutive transients: attempt 3 of 3 lands the insert, and the
+    // result is bitwise identical to a never-faulted engine.
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 2).expect("sharded");
+    let scope = install(
+        FaultPlan::new()
+            .one_shot("sharded.insert", 0, FaultKind::Transient)
+            .one_shot("sharded.insert", 1, FaultKind::Transient),
+    );
+    let idx = engine
+        .insert_account_with_edges_retried(1, sig.clone(), &edges, &policy)
+        .expect("third attempt lands");
+    drop(scope);
+    assert_eq!(idx, total);
+    let mut clean =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 2).expect("clean");
+    clean
+        .insert_account_with_edges(1, sig.clone(), &edges)
+        .expect("clean insert");
+    for &left in &lefts {
+        let want = clean.query(0, left).expect("clean query");
+        let got = engine.query(0, left).expect("retried query");
+        assert_preds_bitwise(&got, &want, &format!("retried insert, left {left}"));
+    }
+
+    // Budget exhaustion: more transients than attempts surfaces the
+    // transient error, and (atomicity) the engine is untouched.
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 2).expect("sharded");
+    let before = observe(&engine, &lefts);
+    let tight = RetryPolicy {
+        max_attempts: 2,
+        ..policy
+    };
+    let scope = install(
+        FaultPlan::new()
+            .one_shot("sharded.insert", 0, FaultKind::Transient)
+            .one_shot("sharded.insert", 1, FaultKind::Transient),
+    );
+    let err = engine
+        .insert_account_with_edges_retried(1, sig.clone(), &edges, &tight)
+        .expect_err("budget exhausted");
+    drop(scope);
+    assert!(matches!(err, EngineError::Transient { .. }));
+    assert_unchanged(&engine, &lefts, &before, "exhausted retry budget");
+}
+
+#[test]
+fn an_installed_empty_plan_changes_no_answer_bit() {
+    let (dataset, signals, _) = world(24, 0xE4470);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+
+    let baseline = engine.query_batch(0, &lefts).expect("no plan");
+    let scope = install(FaultPlan::new());
+    let under_plan = engine.query_batch(0, &lefts).expect("empty plan");
+    let outcomes = engine.query_batch_outcome(0, &lefts).expect("outcomes");
+    drop(scope);
+
+    for ((want, got), out) in baseline.iter().zip(under_plan.iter()).zip(outcomes.iter()) {
+        assert_preds_bitwise(got, want, "strict under empty plan");
+        assert!(out.is_complete());
+        assert_preds_bitwise(&out.predictions, want, "outcome under empty plan");
+    }
+}

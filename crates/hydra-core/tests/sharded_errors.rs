@@ -95,6 +95,27 @@ fn assert_unchanged(
 }
 
 #[test]
+fn zero_shard_engine_is_rejected_with_a_typed_error() {
+    // Regression guard for the public construction contract: a zero-shard
+    // engine has no owner for any account, so `new` must refuse it with
+    // the dedicated variant (not a panic, not a division by zero in the
+    // routing hash) and leave nothing half-built.
+    let (dataset, signals, _) = world(24, 0x05EED);
+    let trained = train(&dataset, &signals);
+    let err = match ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 0) {
+        Ok(_) => panic!("zero shards must be rejected"),
+        Err(e) => e,
+    };
+    assert!(matches!(err, EngineError::InvalidShardCount));
+    assert!(
+        err.to_string().contains("shard"),
+        "diagnostic should mention shards: {err}"
+    );
+    // The same inputs with a valid shard count still construct fine.
+    ShardedEngine::new(trained.model, &signals, graphs(&dataset), 2).expect("two shards");
+}
+
+#[test]
 fn double_remove_is_observationally_a_noop() {
     let (dataset, signals, _) = world(36, 0xD0B1E);
     let trained = train(&dataset, &signals);

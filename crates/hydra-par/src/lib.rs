@@ -115,6 +115,47 @@ where
 struct SendSlice<U>(*mut Option<U>);
 unsafe impl<U: Send> Sync for SendSlice<U> {}
 
+/// [`par_map`] with per-item panic isolation: each `f(i, t)` runs under
+/// `catch_unwind`, so one panicking item yields `Err(message)` in its slot
+/// instead of tearing down the whole scope. Order is preserved, and because
+/// the catch happens inside the worker closure no unwind ever crosses the
+/// `thread::scope` boundary.
+///
+/// The panic payload is downcast to a `String` when it is one (the common
+/// `panic!("…")` case); other payloads collapse to a fixed placeholder so
+/// results stay deterministic.
+pub fn par_map_catch<T: Sync, U: Send, F>(items: &[T], f: F) -> Vec<Result<U, String>>
+where
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_catch_threads(num_threads(), items, f)
+}
+
+/// [`par_map_catch`] with an explicit worker count.
+pub fn par_map_catch_threads<T: Sync, U: Send, F>(
+    threads: usize,
+    items: &[T],
+    f: F,
+) -> Vec<Result<U, String>>
+where
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_threads(threads, items, |i, t| {
+        // AssertUnwindSafe: on Err the caller only sees the message — the
+        // value under construction is dropped with the unwound frame, and
+        // callers (shard quarantine) discard any state `f` may have touched.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, t))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            }
+        })
+    })
+}
+
 /// Parallel flat-map preserving order: equivalent to
 /// `items.iter().flat_map(|t| f(i, t)).collect()`.
 pub fn par_flat_map<T: Sync, U: Send, F>(items: &[T], f: F) -> Vec<U>
@@ -239,6 +280,31 @@ mod tests {
             .map(|(i, x)| x.wrapping_mul(0x9E3779B9) ^ i as u64)
             .collect();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_map_catch_isolates_panics() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {})); // keep test output quiet
+        let items: Vec<u64> = (0..100).collect();
+        let out = par_map_catch_threads(4, &items, |_, &x| {
+            if x % 37 == 5 {
+                panic!("boom at {x}");
+            }
+            x * 2
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(out.len(), items.len());
+        for (i, r) in out.iter().enumerate() {
+            let x = items[i];
+            match r {
+                Err(msg) => {
+                    assert_eq!(x % 37, 5);
+                    assert_eq!(msg, &format!("boom at {x}"));
+                }
+                Ok(v) => assert_eq!(*v, x * 2),
+            }
+        }
     }
 
     #[test]

@@ -170,6 +170,31 @@ fn main() {
         None => println!("  ingested account not among candidates (weak overlap)"),
     }
 
+    // 9. DEGRADED SERVING + RECOVERY: serving keeps answering when a shard
+    //    dies. A panicking shard task is caught (`query_outcome` wraps each
+    //    shard in catch_unwind), reported by index, and quarantined; here we
+    //    quarantine one by hand, watch the engine degrade gracefully, then
+    //    rebuild the shard deterministically from the shared snapshot —
+    //    after which answers are bitwise identical to never having failed.
+    println!("\ndegraded serving drill: quarantining shard 1...");
+    let reference = engine.query_outcome(0, lefts[0]).expect("healthy query");
+    engine.quarantine(1);
+    let degraded = engine.query_outcome(0, lefts[0]).expect("degraded query");
+    println!(
+        "  degraded answer: {} of {} predictions, failed shards {:?}",
+        degraded.predictions.len(),
+        reference.predictions.len(),
+        degraded.failed_shards()
+    );
+    let recovered = engine.recover_quarantined().expect("rebuild shard");
+    let healed = engine.query_outcome(0, lefts[0]).expect("recovered query");
+    assert!(healed.is_complete());
+    assert_eq!(healed.predictions.len(), reference.predictions.len());
+    println!(
+        "  rebuilt shards {recovered:?} from the shared snapshot; answers are \
+         bitwise identical to the never-failed engine again"
+    );
+
     // Show a few resolved identities (top-ranked answer per query).
     println!("\nsample queries (left username → top answer):");
     let mut shown = 0;

@@ -99,6 +99,25 @@ for rid, rec in records.items():
     if rid.startswith("ingest/extract_one"):
         ingest = {"stage": rid, "per_account_ns": round(rec["median_ns"], 1)}
 
+# Resilience: the degraded stage answers the serve batch through
+# query_batch_outcome with one of four shards quarantined (id suffix is the
+# query count); the recovery stage median is the cost of rebuilding one
+# quarantined shard from the shared snapshot.
+resilience = None
+degraded = recovery = None
+for rid, rec in records.items():
+    if rid.startswith("resilience/degraded_query_batch/"):
+        queries = int(rid.rsplit("/", 1)[1])
+        degraded = {
+            "stage": rid,
+            "queries": queries,
+            "per_query_ns": round(rec["median_ns"] / queries, 1),
+        }
+    if rid.startswith("resilience/rebuild_shard/"):
+        recovery = {"stage": rid, "rebuild_ns": round(rec["median_ns"], 1)}
+if degraded and recovery:
+    resilience = {"degraded": degraded, "recovery": recovery}
+
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 doc = {
     "bench": "pipeline",
@@ -119,6 +138,7 @@ doc = {
     "serve": serve,
     "serve_sharded": serve_sharded,
     "ingest": ingest,
+    "resilience": resilience,
     "stages": raw,
 }
 with open(os.environ["OUT"], "w") as f:
@@ -141,4 +161,10 @@ for s in serve_sharded:
     )
 if ingest:
     print(f"  ingest         {ingest['per_account_ns'] / 1e6:.2f} ms/account")
+if resilience:
+    print(
+        f"  degraded serve {resilience['degraded']['per_query_ns'] / 1e6:.2f} ms/query "
+        f"(1 of 4 shards quarantined), shard rebuild "
+        f"{resilience['recovery']['rebuild_ns'] / 1e6:.2f} ms"
+    )
 PY

@@ -42,6 +42,8 @@ REQUIRED_STAGE_PREFIXES = [
     "serve/query_batch/",
     "serve/sharded_query_batch/",
     "ingest/extract_one",
+    "resilience/degraded_query_batch/",
+    "resilience/rebuild_shard/",
 ]
 
 REQUIRED_SPEEDUP_STAGES = [
@@ -163,6 +165,30 @@ def main() -> None:
     if not str(ingest["stage"]).startswith("ingest/extract_one"):
         fail(f"ingest block records unexpected stage {ingest['stage']!r}")
 
+    resilience = doc.get("resilience")
+    if not isinstance(resilience, dict):
+        fail("missing resilience block (degraded-mode latency + shard rebuild)")
+    degraded = resilience.get("degraded")
+    if not isinstance(degraded, dict):
+        fail("resilience block missing 'degraded'")
+    for key in ("stage", "queries", "per_query_ns"):
+        if key not in degraded:
+            fail(f"resilience.degraded missing {key!r}")
+    if degraded["queries"] <= 0 or degraded["per_query_ns"] <= 0:
+        fail("resilience.degraded has non-positive queries/per_query_ns")
+    if not str(degraded["stage"]).startswith("resilience/degraded_query_batch/"):
+        fail(f"resilience.degraded records unexpected stage {degraded['stage']!r}")
+    recovery = resilience.get("recovery")
+    if not isinstance(recovery, dict):
+        fail("resilience block missing 'recovery'")
+    for key in ("stage", "rebuild_ns"):
+        if key not in recovery:
+            fail(f"resilience.recovery missing {key!r}")
+    if recovery["rebuild_ns"] <= 0:
+        fail("resilience.recovery has non-positive rebuild_ns")
+    if not str(recovery["stage"]).startswith("resilience/rebuild_shard/"):
+        fail(f"resilience.recovery records unexpected stage {recovery['stage']!r}")
+
     if args.min_fit_speedup is not None:
         got = speedups["fit_dual_solve"]
         if got < args.min_fit_speedup:
@@ -176,6 +202,8 @@ def main() -> None:
         f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
         f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query, "
         f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account, "
+        f"degraded serve {degraded['per_query_ns'] / 1e6:.2f} ms/query, "
+        f"shard rebuild {recovery['rebuild_ns'] / 1e6:.2f} ms, "
         f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB)"
     )
 

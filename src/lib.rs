@@ -62,6 +62,34 @@
 //!   `query_batch` out over `hydra-par` workers, byte-identical to the
 //!   single-engine path at every shard × thread count.
 //!
+//! ## Failure semantics
+//!
+//! The serving layer fails atomically, loudly, and recoverably — pinned by
+//! a deterministic fault-injection harness (the dep-free `hydra-fault`
+//! crate, inert in production: one relaxed atomic load per injection
+//! point):
+//!
+//! * **Crash-safe artifacts** — every `save` (model, extractor, bundle)
+//!   writes a temp sibling, `sync_all`s, then atomically renames; `load`
+//!   sweeps stale temps. A crash at any point of a save leaves the
+//!   previous artifact loadable, and malformed bytes fail with typed
+//!   [`core::ModelIoError`] diagnostics (byte offset, section, expected vs
+//!   found) at every truncation prefix — never a panic.
+//! * **Atomic ingest** — a fault anywhere inside an insert leaves the
+//!   engine byte-identical to one that never saw the call;
+//!   [`core::shard::RetryPolicy`] adds bounded deterministic retry for
+//!   transient failures.
+//! * **Degraded serving** — `ShardedEngine::query_outcome` isolates each
+//!   shard task behind `catch_unwind`: one panicking shard yields a
+//!   degraded [`core::shard::QueryOutcome`] naming the failed shard, the
+//!   shard is quarantined, and `recover_quarantined` rebuilds it from the
+//!   shared snapshot — post-recovery answers bitwise match a never-faulted
+//!   engine.
+//! * **Straddle-safe hot swap** — `ShardedEngine::swap_artifact` replaces
+//!   the serving model only when config fingerprints match and rolls back
+//!   on any mid-swap fault; every query is answered entirely by the old
+//!   artifact or entirely by the new one.
+//!
 //! **Migrating from the pre-serving API:** `Hydra::fit(&dataset, …)` still
 //! compiles (a `Dataset` is an `AccountSource`), but the learned state
 //! moved into the artifact — `trained.solution` → `trained.model.solution`,

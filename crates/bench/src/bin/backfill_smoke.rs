@@ -1,0 +1,88 @@
+//! CI smoke for the batched ingest pipeline (ISSUE 7): cold-start a
+//! sharded engine, backfill a scaled-down synthetic population through
+//! Tables-mode `extract_batch` + one-epoch-per-batch
+//! `insert_batch_with_edges`, and assert the contract end to end — every
+//! account landed, exactly one epoch per batch was published, and the
+//! population is queryable afterwards. Prints the measured throughput so
+//! CI logs carry a ballpark accounts/s without gating on machine speed
+//! (the gated number lives in `BENCH_pipeline.json`).
+//!
+//! Scale with `HYDRA_SCALE` like every other harness binary:
+//! `HYDRA_SCALE=0.25 cargo run --release -p hydra-bench --bin backfill_smoke`.
+
+use hydra_bench::scale_factor;
+use hydra_core::ingest::{FoldInMode, RawAccount};
+use hydra_core::shard::ShardedEngine;
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::source::AccountSource;
+use std::time::Instant;
+
+fn main() {
+    let accounts = ((5000.0 * scale_factor()).round() as usize).max(100);
+    const BATCH: usize = 512;
+
+    // The serve-bench world (shared with the pipeline bench and the
+    // snapshot_bytes binary), plus the matching frozen extractor —
+    // extraction is deterministic, so re-deriving it over the same
+    // dataset/config reproduces the fit-time extractor exactly.
+    let (dataset, signals, trained) = hydra_bench::serve_bench_world();
+    let (_, extractor) = Signals::extract_with_extractor(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 10,
+            infer_iterations: 4,
+            ..Default::default()
+        },
+    );
+    let fast = extractor.with_fold_in_mode(FoldInMode::Tables);
+    let graphs: Vec<hydra_graph::SocialGraph> =
+        dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+
+    let base = dataset.num_accounts(1) as u32;
+    let raws: Vec<RawAccount> = (0..accounts as u32)
+        .map(|i| RawAccount::from_view(AccountSource::account(&dataset, 1, i % base)))
+        .collect();
+
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs, 4).expect("engine");
+    let epoch0 = engine.snapshot().epoch();
+    let start = Instant::now();
+    let mut next = base;
+    let mut batches = 0u64;
+    for chunk in raws.chunks(BATCH) {
+        let sigs = fast.extract_batch(chunk, next);
+        let batch: Vec<_> = sigs.into_iter().map(|s| (s, Vec::new())).collect();
+        let ids = engine
+            .insert_batch_with_edges(1, batch)
+            .expect("backfill batch");
+        assert_eq!(ids.first().copied(), Some(next), "dense slot allocation");
+        next += chunk.len() as u32;
+        batches += 1;
+    }
+    let elapsed = start.elapsed();
+
+    assert_eq!(engine.num_accounts(1), base as usize + accounts);
+    assert_eq!(
+        engine.snapshot().epoch(),
+        epoch0 + batches,
+        "exactly one epoch per batch"
+    );
+    assert!(
+        (batches as usize) * 10 <= accounts,
+        "epoch amortization: {batches} epochs for {accounts} accounts"
+    );
+    // The backfilled population serves: a query against the grown right
+    // side must surface at least one backfilled slot as a candidate.
+    let preds = engine.query(0, 0).expect("post-backfill query");
+    assert!(
+        preds.iter().any(|p| p.right >= base),
+        "no backfilled account ever surfaced as a candidate"
+    );
+
+    let per_s = accounts as f64 / elapsed.as_secs_f64();
+    println!(
+        "backfill_smoke OK: {accounts} accounts in {batches} epochs, \
+         {:.2} s ({per_s:.0} accounts/s)",
+        elapsed.as_secs_f64()
+    );
+}

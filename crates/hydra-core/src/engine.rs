@@ -333,6 +333,44 @@ impl LinkageEngine {
         }
     }
 
+    /// [`LinkageEngine::adopt_epoch`] for a whole published batch: adopt
+    /// the epoch that appended `count` accounts at `base` on `platform`,
+    /// registering each in this engine's private index (active where
+    /// `active(idx)` holds — the owning-shard predicate — de-listed
+    /// elsewhere). Infallible by construction, exactly like the
+    /// single-account adoption: the sharded batch insert validates and
+    /// publishes once, then walks every shard through this.
+    pub(crate) fn adopt_epoch_batch(
+        &mut self,
+        snapshot: Arc<ProfileSnapshot>,
+        platform: usize,
+        base: u32,
+        count: usize,
+        active: impl Fn(u32) -> bool,
+    ) {
+        debug_assert_eq!(
+            snapshot.platform(platform).len(),
+            self.indexes[platform].len() + count,
+            "batch epoch adoption must append exactly the batch"
+        );
+        debug_assert_eq!(
+            self.indexes[platform].len(),
+            base as usize,
+            "batch epoch adoption base drift"
+        );
+        self.snapshot = snapshot;
+        for j in 0..count {
+            let idx = base + j as u32;
+            let sig = self.snapshot.platform(platform).signal(idx);
+            let got = if active(idx) {
+                self.indexes[platform].insert_account(sig)
+            } else {
+                self.indexes[platform].insert_account_inactive(sig)
+            };
+            debug_assert_eq!(got, idx, "snapshot/index slot drift");
+        }
+    }
+
     /// The wrapped model.
     pub fn model(&self) -> &LinkageModel {
         &self.model
@@ -404,6 +442,37 @@ impl LinkageEngine {
         let index_idx = self.indexes[platform].insert_account(sig);
         debug_assert_eq!(idx, index_idx, "snapshot/index slot drift");
         Ok(idx)
+    }
+
+    /// Register a whole batch of accounts — each with its own Eq. 18 edge
+    /// delta — under **one** published snapshot epoch. Account `j` of the
+    /// batch lands at index `base + j` (the returned vec, in batch order),
+    /// and its edges may reference any earlier account, batch members
+    /// included, so the post-state is bitwise-identical to calling
+    /// [`LinkageEngine::insert_account_with_edges`] k times — except that
+    /// the epoch counter advances once, not k times: the copy-on-insert
+    /// spine clone and the graph-delta merges are amortized across the
+    /// batch (`tests/batch_parity.rs` pins both halves of that contract).
+    ///
+    /// **All-or-nothing** like the single insert: every account is
+    /// validated before anything is touched, so a bad edge on account `j`
+    /// leaves the engine — snapshot, index, epoch — byte-for-byte as it
+    /// was, with no prefix of the batch registered. An empty batch is a
+    /// no-op at the current epoch.
+    pub fn insert_batch(
+        &mut self,
+        platform: usize,
+        batch: Vec<(UserSignals, Vec<(u32, f64)>)>,
+    ) -> Result<Vec<u32>, EngineError> {
+        let count = batch.len();
+        let base = ProfileSnapshot::publish_insert_batch(&mut self.snapshot, platform, batch)?;
+        for j in 0..count {
+            let idx = base + j as u32;
+            let sig = self.snapshot.platform(platform).signal(idx);
+            let got = self.indexes[platform].insert_account(sig);
+            debug_assert_eq!(idx, got, "snapshot/index slot drift");
+        }
+        Ok((0..count).map(|j| base + j as u32).collect())
     }
 
     /// De-list an account: it stops appearing as a candidate (right side)

@@ -49,8 +49,10 @@ use hydra_datagen::attributes::AttrValues;
 use hydra_datagen::events::Post;
 use hydra_temporal::{GeoPoint, MediaItem, Timeline};
 use hydra_text::sentiment::NUM_SENTIMENTS;
-use hydra_text::{CharNgramLm, LdaModel, LdaOptions, SentimentLexicon, Vocabulary};
+pub use hydra_text::FoldInMode;
+use hydra_text::{CharNgramLm, FoldInTables, LdaModel, LdaOptions, SentimentLexicon, Vocabulary};
 use hydra_vision::ProfileImage;
+use std::sync::{Arc, OnceLock};
 
 /// Wire-format magic (sibling of the model's `HYLM`).
 const MAGIC: [u8; 4] = *b"HYSX";
@@ -142,9 +144,21 @@ pub struct SignalExtractor {
     config: SignalConfig,
     num_genres: usize,
     window_days: u32,
-    /// Word-id → sentiment weights, derived from `lexicon` + `vocab` (never
-    /// serialized; rebuilt deterministically on construction).
-    senti_by_id: Vec<Option<[f64; NUM_SENTIMENTS]>>,
+    /// Word-id → sentiment weights in cache-compact form, derived from
+    /// `lexicon` + `vocab` (never serialized; rebuilt deterministically on
+    /// construction).
+    senti: crate::signals::SentiIndex,
+    /// Runtime fold-in sampler selection (never serialized — a runtime
+    /// serving knob, not part of the frozen artifact; defaults to
+    /// [`FoldInMode::Reference`]).
+    fold_in: FoldInMode,
+    /// Per-word sampling tables for [`FoldInMode::Tables`], built lazily
+    /// once over the frozen LDA counts and shared across every extraction
+    /// (never serialized; derived state like `senti`).
+    fold_in_tables: OnceLock<Arc<FoldInTables>>,
+    /// Per-word-id style metadata (term frequency + candidate flag),
+    /// derived from `vocab` on construction (never serialized).
+    style_index: crate::signals::StyleIndex,
 }
 
 /// The corpus-trained pieces batch extraction needs (LDA + lexicon) —
@@ -239,9 +253,8 @@ impl SignalExtractor {
         num_genres: usize,
         window_days: u32,
     ) -> Self {
-        let senti_by_id: Vec<Option<[f64; NUM_SENTIMENTS]>> = (0..vocab.len() as u32)
-            .map(|id| lexicon.word_weights(vocab.word(id)).copied())
-            .collect();
+        let senti = crate::signals::SentiIndex::build(&vocab, &lexicon);
+        let style_index = crate::signals::StyleIndex::build(&vocab);
         SignalExtractor {
             vocab,
             lda,
@@ -250,8 +263,41 @@ impl SignalExtractor {
             config,
             num_genres,
             window_days,
-            senti_by_id,
+            senti,
+            fold_in: FoldInMode::default(),
+            fold_in_tables: OnceLock::new(),
+            style_index,
         }
+    }
+
+    /// The fold-in sampler extraction currently runs with.
+    pub fn fold_in_mode(&self) -> FoldInMode {
+        self.fold_in
+    }
+
+    /// Select the fold-in estimator. [`FoldInMode::Reference`] (the
+    /// default) is pinned bit-identical to corpus extraction;
+    /// [`FoldInMode::Tables`] trades that bit-pin for ~an order of
+    /// magnitude less per-post work (the deterministic mean-field fixed
+    /// point of the same posterior, over precomputed per-word tables). The
+    /// choice is a runtime serving knob: it is never serialized, and the
+    /// precomputed tables are (re)built lazily on first use.
+    pub fn set_fold_in_mode(&mut self, mode: FoldInMode) {
+        self.fold_in = mode;
+    }
+
+    /// Builder-style [`SignalExtractor::set_fold_in_mode`].
+    pub fn with_fold_in_mode(mut self, mode: FoldInMode) -> Self {
+        self.set_fold_in_mode(mode);
+        self
+    }
+
+    /// The shared precomputed sampling tables, built on first call (O(V·K)
+    /// once per extractor — the extractor is frozen, so they amortize over
+    /// every account ever ingested).
+    pub fn fold_in_tables(&self) -> &Arc<FoldInTables> {
+        self.fold_in_tables
+            .get_or_init(|| Arc::new(self.lda.fold_in_tables()))
     }
 
     /// Extract one account's signals against the frozen state.
@@ -261,12 +307,18 @@ impl SignalExtractor {
     /// payload at the same index is bit-identical to what batch corpus
     /// extraction produced (or would have produced) for that slot.
     pub fn extract_account(&self, account: AccountView<'_>, account_idx: u32) -> UserSignals {
+        let tables = match self.fold_in {
+            FoldInMode::Reference => None,
+            FoldInMode::Tables => Some(&**self.fold_in_tables()),
+        };
         extract_account(
             account,
             account_idx,
             &self.vocab,
             &self.lda,
-            &self.senti_by_id,
+            tables,
+            &self.style_index,
+            &self.senti,
             self.num_genres,
             &self.config,
         )
@@ -276,6 +328,26 @@ impl SignalExtractor {
     /// payload — the serving-side ingest entry point.
     pub fn extract_raw(&self, account: &RawAccount, account_idx: u32) -> UserSignals {
         self.extract_account(account.view(), account_idx)
+    }
+
+    /// Extract a contiguous batch of raw accounts destined for slots
+    /// `start_idx..start_idx + batch.len()`, fanning per-account extraction
+    /// over `hydra-par` with an order-preserving merge.
+    ///
+    /// Output `i` is bit-identical to `extract_raw(&batch[i], start_idx +
+    /// i)` in either fold-in mode (pinned in `tests/batch_parity.rs`):
+    /// [`FoldInMode::Reference`] seeds each per-post sampler from
+    /// `(account index, post timestamp)` alone, and
+    /// [`FoldInMode::Tables`] is a seed-free deterministic EM kernel — so
+    /// the fan-out commutes with any `HYDRA_THREADS`. In Tables mode the
+    /// shared fold-in tables are built once up front, not per worker.
+    pub fn extract_batch(&self, batch: &[RawAccount], start_idx: u32) -> Vec<UserSignals> {
+        if self.fold_in == FoldInMode::Tables {
+            // Force the one-time table build before the fan-out so workers
+            // share it instead of racing to build their own.
+            let _ = self.fold_in_tables();
+        }
+        hydra_par::par_map(batch, |i, raw| self.extract_raw(raw, start_idx + i as u32))
     }
 
     /// The frozen topic model.

@@ -387,6 +387,62 @@ impl ShardedEngine {
         Ok(global)
     }
 
+    /// Register a whole batch of accounts under **one** published snapshot
+    /// epoch — [`LinkageEngine::insert_batch`] lifted to the partition.
+    /// Account `j` lands at `base + j` (the returned vec, in batch order)
+    /// and becomes active for candidacy on its owning shard only; its edge
+    /// delta may reference any earlier account, batch members included.
+    /// Post-state — counts, query answers, graph effects — is
+    /// bitwise-identical to k calls of
+    /// [`ShardedEngine::insert_account_with_edges`], but the epoch counter
+    /// advances once and every shard adopts one successor snapshot instead
+    /// of k (copy-on-insert publication amortized across the batch).
+    ///
+    /// **All-or-nothing** like the single insert: the whole batch is
+    /// validated up front and both fallible steps (the
+    /// `sharded.insert_batch` injection point and the
+    /// `snapshot.publish_batch` publication gate) fire before any shard or
+    /// the global statistics are touched — a failure on account `j` leaves
+    /// every shard, the snapshot, and the statistics byte-for-byte as they
+    /// were, with no prefix of the batch registered (regression-pinned in
+    /// `tests/fault_sweeps.rs` and `tests/sharded_errors.rs`).
+    pub fn insert_batch_with_edges(
+        &mut self,
+        platform: usize,
+        batch: Vec<(UserSignals, Vec<(u32, f64)>)>,
+    ) -> Result<Vec<u32>, EngineError> {
+        // 0. Injection point before anything is touched — the batch
+        //    analogue of "sharded.insert".
+        inject_point("sharded.insert_batch")?;
+
+        // 1. Fallible step: validate every account's delta, publish ONE
+        //    epoch holding the whole batch. On error nothing has changed.
+        let count = batch.len();
+        let base = ProfileSnapshot::publish_insert_batch(&mut self.snapshot, platform, batch)?;
+
+        // 2. Infallible: hand the new epoch to every shard; each account's
+        //    owner registers it active, the rest de-listed.
+        let num_shards = self.num_shards;
+        for (s, shard) in self.shards.iter_mut().enumerate() {
+            shard.adopt_epoch_batch(self.snapshot.clone(), platform, base, count, |idx| {
+                idx as usize % num_shards == s
+            });
+        }
+
+        // 3. Global statistics last, after every shard holds the epoch.
+        let stats = &mut self.platforms[platform];
+        debug_assert_eq!(stats.total as u32, base, "stats slot drift");
+        let profiles = self.snapshot.platform(platform);
+        for j in 0..count {
+            let username = &profiles.signal(base + j as u32).username;
+            stats.count_grams(username, 1);
+            stats.usernames.push(username.clone());
+        }
+        stats.active_count += count;
+        stats.total += count;
+        Ok((0..count).map(|j| base + j as u32).collect())
+    }
+
     /// De-list an account from serving (routing to its owning shard). Its
     /// profile stays in the shared Eq. 18 snapshot, exactly like
     /// [`LinkageEngine::remove_account`]. All-or-nothing like the insert:

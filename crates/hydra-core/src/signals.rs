@@ -14,7 +14,7 @@ use hydra_linalg::kernels::Kernel;
 use hydra_linalg::vec_ops::normalize_l1;
 use hydra_temporal::{GeoPoint, MediaItem, Timeline, SECONDS_PER_DAY};
 use hydra_text::sentiment::NUM_SENTIMENTS;
-use hydra_text::{LdaModel, UniqueWordProfile};
+use hydra_text::{FoldInScratch, FoldInTables, LdaModel, UniqueWordProfile};
 use hydra_vision::ProfileImage;
 
 /// Sparse per-day distribution series: `days[k]` is the day index of
@@ -593,10 +593,9 @@ impl Signals {
         let (lda, lexicon) = crate::ingest::train_extraction_core(source, config);
         let vocab = source.vocab();
         // Precompute word-id → sentiment weights for fast per-post scoring.
-        let senti_by_id: Vec<Option<[f64; NUM_SENTIMENTS]>> = (0..vocab.len() as u32)
-            .map(|id| lexicon.word_weights(vocab.word(id)).copied())
-            .collect();
+        let senti = SentiIndex::build(vocab, &lexicon);
         let num_genres = source.num_genres();
+        let style_index = StyleIndex::build(vocab);
 
         let mut per_platform = Vec::with_capacity(source.num_platforms());
         for p in 0..source.num_platforms() {
@@ -608,7 +607,9 @@ impl Signals {
                     ai,
                     vocab,
                     &lda,
-                    &senti_by_id,
+                    None,
+                    &style_index,
+                    &senti,
                     num_genres,
                     config,
                 ));
@@ -661,84 +662,350 @@ impl Signals {
     }
 }
 
+/// Per-word-id style metadata precomputed over a frozen [`Vocabulary`]:
+/// corpus term frequency plus whether the word is a style candidate at all
+/// (longer than one char and not a stop word). The style profile ranks an
+/// account's distinct words by global rarity; resolving `word(id)` and
+/// binary-searching the stop list per distinct word per account dominated
+/// extraction, and every lookup is against frozen data — so build the
+/// answers once per extractor and index by word id.
+#[derive(Debug, Clone)]
+pub(crate) struct StyleIndex {
+    /// Per-id record: corpus term frequency in the low 63 bits, candidacy
+    /// flag in the top bit — one cache line touched per distinct id instead
+    /// of two parallel lookups.
+    meta: Vec<u64>,
+}
+
+impl StyleIndex {
+    const KEEP: u64 = 1 << 63;
+
+    pub(crate) fn build(vocab: &hydra_text::Vocabulary) -> StyleIndex {
+        let meta = (0..vocab.len() as u32)
+            .map(|id| {
+                let tf = vocab.term_frequency(id);
+                debug_assert!(tf < Self::KEEP);
+                let w = vocab.word(id);
+                if w.len() > 1 && !hydra_text::tokenize::is_stop_word(w) {
+                    tf | Self::KEEP
+                } else {
+                    tf
+                }
+            })
+            .collect();
+        StyleIndex { meta }
+    }
+
+    /// Term frequency of `id` when it is a style candidate, `None` when it
+    /// is a stop word, single char, or out of vocabulary.
+    #[inline]
+    fn candidate_tf(&self, id: u32) -> Option<u64> {
+        let m = *self.meta.get(id as usize)?;
+        if m & Self::KEEP != 0 {
+            Some(m & !Self::KEEP)
+        } else {
+            None
+        }
+    }
+}
+
+/// Word-id → sentiment-weights lookup in cache-compact form: a 4-byte
+/// per-id index (`u32::MAX` = no lexicon entry) into a small dense row
+/// table. The naive `Vec<Option<[f64; 7]>>` layout costs 64 bytes per
+/// vocabulary word, so every token lookup was a cold-cache miss; the index
+/// array is 16× smaller and the rows (lexicon words only) stay hot.
+#[derive(Debug, Clone)]
+pub(crate) struct SentiIndex {
+    idx: Vec<u32>,
+    rows: Vec<[f64; NUM_SENTIMENTS]>,
+}
+
+impl SentiIndex {
+    pub(crate) fn build(
+        vocab: &hydra_text::Vocabulary,
+        lexicon: &hydra_text::sentiment::SentimentLexicon,
+    ) -> SentiIndex {
+        let mut idx = Vec::with_capacity(vocab.len());
+        let mut rows = Vec::new();
+        for id in 0..vocab.len() as u32 {
+            match lexicon.word_weights(vocab.word(id)) {
+                Some(w) => {
+                    idx.push(rows.len() as u32);
+                    rows.push(*w);
+                }
+                None => idx.push(u32::MAX),
+            }
+        }
+        SentiIndex { idx, rows }
+    }
+
+    #[inline]
+    fn weights(&self, id: u32) -> Option<&[f64; NUM_SENTIMENTS]> {
+        let i = *self.idx.get(id as usize)?;
+        self.rows.get(i as usize)
+    }
+}
+
+/// Epoch-stamped distinct-token counter, reused across accounts on the same
+/// worker thread: `count[id]` is valid only when `stamp[id] == epoch`, so
+/// "resetting" for the next account is one integer increment instead of
+/// zeroing a vocabulary-sized buffer. Counting a token is two array writes —
+/// no hashing, no sorting — and `touched` records first-occurrence order so
+/// the candidate pass only visits the account's distinct ids. Per-account
+/// output is independent of counter history, so results don't depend on
+/// which worker processed which account.
+#[derive(Default)]
+struct TokenCounter {
+    /// Per-id `(stamp << 32) | count` — one word so counting a token
+    /// touches one cache line, not two parallel arrays.
+    slots: Vec<u64>,
+    touched: Vec<u32>,
+    epoch: u32,
+}
+
+impl TokenCounter {
+    /// Start a new account; O(1) except on epoch wrap-around (every 2³²
+    /// accounts per thread) where the stamps are hard-cleared.
+    fn begin(&mut self) {
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.slots.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, id: u32) {
+        let i = id as usize;
+        if i >= self.slots.len() {
+            self.slots
+                .resize(i + 1, (self.epoch.wrapping_sub(1) as u64) << 32);
+        }
+        let e = self.slots[i];
+        if (e >> 32) as u32 == self.epoch {
+            self.slots[i] = e + 1;
+        } else {
+            self.slots[i] = ((self.epoch as u64) << 32) | 1;
+            self.touched.push(id);
+        }
+    }
+
+    /// Count of `id` in the current account (valid only for touched ids).
+    #[inline]
+    fn count(&self, id: u32) -> u64 {
+        self.slots[id as usize] & u32::MAX as u64
+    }
+}
+
+thread_local! {
+    static TOKEN_COUNTER: std::cell::RefCell<TokenCounter> =
+        std::cell::RefCell::new(TokenCounter::default());
+}
+
+/// Per-day distribution accumulator building a [`DaySeries`] directly from
+/// the post stream, without the intermediate per-post event vectors (and
+/// their per-post allocations + stable sort) of [`DaySeries::from_events`].
+///
+/// Bit-parity with the event path: `from_events` stable-sorts by day, so
+/// same-day events accumulate in stream order onto the *first* occurrence's
+/// slot — exactly what `slot` reproduces (append on new max day, sorted
+/// insert on the rare out-of-order day). Slots start at zero and the first
+/// event is added elementwise; `0.0 + x == x` bitwise for every value the
+/// pipeline produces (θ and genre/sentiment masses are never `-0.0`), so
+/// the accumulated totals — and the final `normalize_l1` — are
+/// bit-identical to the historical path.
+struct DayAcc {
+    dim: usize,
+    days: Vec<u16>,
+    dists: Vec<Vec<f64>>,
+}
+
+impl DayAcc {
+    fn new(dim: usize) -> Self {
+        DayAcc {
+            dim,
+            days: Vec::new(),
+            dists: Vec::new(),
+        }
+    }
+
+    /// Index of `day`'s accumulator, inserting a zeroed slot if absent.
+    #[inline]
+    fn slot(&mut self, day: u16) -> usize {
+        match self.days.last() {
+            Some(&d) if d == day => self.days.len() - 1,
+            Some(&d) if d < day => {
+                self.days.push(day);
+                self.dists.push(vec![0.0; self.dim]);
+                self.days.len() - 1
+            }
+            None => {
+                self.days.push(day);
+                self.dists.push(vec![0.0; self.dim]);
+                0
+            }
+            _ => match self.days.binary_search(&day) {
+                Ok(i) => i,
+                Err(i) => {
+                    self.days.insert(i, day);
+                    self.dists.insert(i, vec![0.0; self.dim]);
+                    i
+                }
+            },
+        }
+    }
+
+    #[inline]
+    fn add(&mut self, day: u16, vals: &[f64]) {
+        let i = self.slot(day);
+        for (a, v) in self.dists[i].iter_mut().zip(vals) {
+            *a += v;
+        }
+    }
+
+    #[inline]
+    fn add_one_hot(&mut self, day: u16, pos: usize) {
+        let i = self.slot(day);
+        self.dists[i][pos] += 1.0;
+    }
+
+    fn finish(mut self) -> DaySeries {
+        for d in self.dists.iter_mut() {
+            normalize_l1(d);
+        }
+        DaySeries {
+            days: self.days,
+            dists: self.dists,
+        }
+    }
+}
+
 /// Extract one account's signals, given a raw [`AccountView`] — the shared
 /// core of corpus extraction and the serving layer's per-account
 /// [`SignalExtractor::extract_account`](crate::ingest::SignalExtractor::extract_account):
 /// identical inputs (including the account index, which seeds per-post LDA
 /// inference) produce bit-identical signals on both paths.
+///
+/// `fold_in_tables` selects the per-post LDA fold-in: `None` runs the
+/// reference [`LdaModel::infer`] (the historical bit-pinned path); `Some`
+/// runs the deterministic [`FoldInMode::Tables`](hydra_text::FoldInMode::Tables)
+/// kernel over the given precomputed tables, reusing one scratch across
+/// all of the account's posts. Neither depends on extraction order, so
+/// either mode is thread- and shard-count-invariant.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn extract_account(
     account: AccountView<'_>,
     account_idx: u32,
     vocab: &hydra_text::Vocabulary,
     lda: &LdaModel,
-    senti_by_id: &[Option<[f64; NUM_SENTIMENTS]>],
+    fold_in_tables: Option<&FoldInTables>,
+    style_index: &StyleIndex,
+    senti: &SentiIndex,
     num_genres: usize,
     config: &SignalConfig,
 ) -> UserSignals {
     let num_topics = config.num_topics;
 
-    let mut topic_events = Vec::with_capacity(account.posts.len());
-    let mut genre_events = Vec::with_capacity(account.posts.len());
-    let mut senti_events = Vec::with_capacity(account.posts.len());
-    let mut own_token_counts: std::collections::HashMap<u32, u64> =
-        std::collections::HashMap::new();
+    let mut topic_acc = DayAcc::new(num_topics);
+    let mut genre_acc = DayAcc::new(num_genres);
+    let mut senti_acc = DayAcc::new(NUM_SENTIMENTS);
+    let mut scratch = FoldInScratch::default();
+    let mut theta = Vec::with_capacity(num_topics);
+    // Borrow this worker's token counter for the duration of the account
+    // (put back below; a fresh default is rebuilt if extraction panics).
+    let mut counter = TOKEN_COUNTER.with(|c| std::mem::take(&mut *c.borrow_mut()));
+    counter.begin();
 
     for (t, post) in account.posts.iter() {
         let day = (*t / SECONDS_PER_DAY) as u16;
 
         // Topic distribution via LDA fold-in (Section 5.2). The inference
-        // seed mixes the account and timestamp for determinism.
-        let theta = lda.infer(
-            &post.tokens,
-            config.infer_iterations,
-            config.seed ^ (account_idx as u64) << 20 ^ *t as u64,
-        );
-        topic_events.push((day, theta));
+        // seed mixes the account and timestamp for determinism (the Tables
+        // kernel is seed-free and ignores it).
+        let seed = config.seed ^ (account_idx as u64) << 20 ^ *t as u64;
+        match fold_in_tables {
+            None => theta = lda.infer(&post.tokens, config.infer_iterations, seed),
+            Some(tables) => {
+                tables.infer_into(
+                    &post.tokens,
+                    config.infer_iterations,
+                    seed,
+                    &mut scratch,
+                    &mut theta,
+                );
+            }
+        }
+        topic_acc.add(day, &theta);
 
         // Genre: platform-assigned label → one-hot.
-        let mut g = vec![0.0; num_genres];
-        g[(post.genre as usize).min(num_genres - 1)] = 1.0;
-        genre_events.push((day, g));
+        genre_acc.add_one_hot(day, (post.genre as usize).min(num_genres - 1));
 
-        // Sentiment: lexicon-weighted distribution.
+        // Sentiment: lexicon-weighted distribution; the same token pass
+        // feeds the distinct-word counter for the style profile.
         let mut s = [0.0f64; NUM_SENTIMENTS];
         let mut hits = 0usize;
         for &tok in &post.tokens {
-            if let Some(Some(w)) = senti_by_id.get(tok as usize) {
+            if let Some(w) = senti.weights(tok) {
                 for (a, v) in s.iter_mut().zip(w.iter()) {
                     *a += v;
                 }
                 hits += 1;
             }
+            counter.add(tok);
         }
         if hits == 0 {
             s[3] = 1.0; // neutral point mass
         }
-        senti_events.push((day, s.to_vec()));
-
-        for &tok in &post.tokens {
-            *own_token_counts.entry(tok).or_insert(0) += 1;
-        }
+        senti_acc.add(day, &s);
     }
 
-    let topic_days = DaySeries::from_events(topic_events);
-    let genre_days = DaySeries::from_events(genre_events);
-    let senti_days = DaySeries::from_events(senti_events);
+    let topic_days = topic_acc.finish();
+    let genre_days = genre_acc.finish();
+    let senti_days = senti_acc.finish();
 
     // Style: rank the account's tokens by global rarity (Section 5.3).
-    let mut candidates: Vec<(u32, u64, u64)> = own_token_counts
-        .iter()
-        .map(|(&id, &own)| (id, vocab.term_frequency(id), own))
-        .filter(|&(id, _, _)| {
-            let w = vocab.word(id);
-            w.len() > 1 && !hydra_text::tokenize::is_stop_word(w)
-        })
-        .collect();
-    candidates.sort_by(|a, b| a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+    // Distinct counts come straight off the stamped counter (no hashing or
+    // sorting of the token stream), and rarity/stop-word metadata from the
+    // precomputed per-id `StyleIndex`. The ranking key
+    // `(tf asc, own desc, id asc)` is a total order (ids are unique), so a
+    // bounded insertion scan keeping the `style_words` best yields
+    // bit-identical output to the historical full sort over hash-map
+    // iteration order — and almost every distinct id is rejected by one
+    // term-frequency compare against the current worst, without even
+    // reading its own count.
+    let rank = |a: &(u32, u64, u64), b: &(u32, u64, u64)| {
+        a.1.cmp(&b.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0))
+    };
+    let k_top = config.style_words;
+    let mut top: Vec<(u32, u64, u64)> = Vec::with_capacity(k_top + 1);
+    if k_top > 0 {
+        for &id in &counter.touched {
+            if let Some(tf) = style_index.candidate_tf(id) {
+                if top.len() == k_top {
+                    let worst = *top.last().expect("non-empty at capacity");
+                    if tf > worst.1 {
+                        continue;
+                    }
+                    let cand = (id, tf, counter.count(id));
+                    if rank(&cand, &worst) != std::cmp::Ordering::Less {
+                        continue;
+                    }
+                    top.pop();
+                    let pos = top.partition_point(|e| rank(e, &cand) == std::cmp::Ordering::Less);
+                    top.insert(pos, cand);
+                } else {
+                    let cand = (id, tf, counter.count(id));
+                    let pos = top.partition_point(|e| rank(e, &cand) == std::cmp::Ordering::Less);
+                    top.insert(pos, cand);
+                }
+            }
+        }
+    }
+    TOKEN_COUNTER.with(|c| *c.borrow_mut() = counter);
     let style = UniqueWordProfile {
-        words: candidates
+        words: top
             .into_iter()
-            .take(config.style_words)
             .map(|(id, _, _)| vocab.word(id).to_string())
             .collect(),
     };

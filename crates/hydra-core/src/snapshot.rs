@@ -240,7 +240,9 @@ impl ProfileSnapshot {
         self.window_days
     }
 
-    /// Monotone epoch counter: 0 at build, +1 per published insert.
+    /// Monotone epoch counter: 0 at build, +1 per published insert — and
+    /// exactly +1 per published **batch**, however many accounts it holds
+    /// ([`ProfileSnapshot::publish_insert_batch`] amortizes publication).
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
@@ -326,5 +328,92 @@ impl ProfileSnapshot {
             plat.graph.add_edges(&delta);
         }
         Ok(new_idx)
+    }
+
+    /// Validate a whole ingest batch and publish it as **one** successor
+    /// epoch (copy-on-insert, exactly like
+    /// [`ProfileSnapshot::publish_insert`] — but the spine clone, the
+    /// epoch bump, and the graph-delta merges are paid once for the k
+    /// accounts instead of k times). Returns the first account's
+    /// platform-local index; account `j` lands at `base + j`, so the
+    /// post-state is bitwise-identical to k sequential publishes.
+    ///
+    /// Account `j`'s edge delta may reference any account below `base + j`
+    /// — earlier batch members included — matching what the j-th of k
+    /// sequential inserts would accept.
+    ///
+    /// **All-or-nothing**: every account's delta is validated (in batch
+    /// order, neighbor before weight — the first offender yields the same
+    /// error the sequential loop would) before the fallible
+    /// `snapshot.publish_batch` injection point, and nothing is touched
+    /// until every check passed. An empty batch is a no-op: the current
+    /// epoch stands.
+    pub(crate) fn publish_insert_batch(
+        this: &mut Arc<Self>,
+        platform: usize,
+        batch: Vec<(UserSignals, Vec<(u32, f64)>)>,
+    ) -> Result<u32, EngineError> {
+        let num_platforms = this.platforms.len();
+        let Some(profiles) = this.platforms.get(platform) else {
+            return Err(EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            });
+        };
+        let base = profiles.len() as u32;
+        for (j, (_, edges)) in batch.iter().enumerate() {
+            let new_idx = base + j as u32;
+            for &(nbr, w) in edges {
+                if nbr >= new_idx {
+                    return Err(EngineError::EdgeNeighborOutOfRange {
+                        platform,
+                        neighbor: nbr,
+                    });
+                }
+                if !(w > 0.0) {
+                    return Err(EngineError::EdgeWeightNotPositive {
+                        platform,
+                        neighbor: nbr,
+                    });
+                }
+            }
+        }
+        if batch.is_empty() {
+            return Ok(base);
+        }
+        // Last failure point before publication — the batch fault sweep
+        // pins that a fault here leaves every holder of `this` untouched.
+        crate::engine::inject_point("snapshot.publish_batch")?;
+
+        // Bucket every profile up front with the base cache's build
+        // parameters (bit-identical to a full rebuild over the grown
+        // side), then publish the whole batch under one spine clone and
+        // one epoch bump.
+        let entries: Vec<(Arc<ProfileEntry>, Vec<(u32, f64)>)> = batch
+            .into_iter()
+            .map(|(sig, edges)| {
+                let entry = Arc::new(ProfileEntry {
+                    buckets: profiles.base.cache.bucket_for(&sig),
+                    signal: sig,
+                });
+                (entry, edges)
+            })
+            .collect();
+        let snap = Arc::make_mut(this);
+        snap.epoch += 1;
+        let plat = Arc::make_mut(&mut snap.platforms[platform]);
+        for (j, (entry, edges)) in entries.into_iter().enumerate() {
+            let new_idx = base + j as u32;
+            plat.tail.push(entry);
+            while plat.graph.num_nodes() <= new_idx as usize {
+                plat.graph.add_node();
+            }
+            if !edges.is_empty() {
+                let delta: Vec<(u32, u32, f64)> =
+                    edges.iter().map(|&(nbr, w)| (new_idx, nbr, w)).collect();
+                plat.graph.add_edges(&delta);
+            }
+        }
+        Ok(base)
     }
 }

@@ -27,7 +27,7 @@ use hydra_core::engine::{EngineError, LinkageEngine};
 use hydra_core::ingest::SignalExtractor;
 use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
 use hydra_core::shard::{QueryOutcome, RetryPolicy, ShardFailure, ShardedEngine};
-use hydra_core::signals::{SignalConfig, Signals};
+use hydra_core::signals::{SignalConfig, Signals, UserSignals};
 use hydra_core::source::AccountSource;
 use hydra_datagen::{Dataset, DatasetConfig};
 use hydra_fault::{install, record, FaultKind, FaultPlan};
@@ -203,6 +203,103 @@ fn insert_fault_at_every_point_leaves_the_engine_byte_identical() {
         let want = single.query(0, left).expect("single");
         let got = engine.query(0, left).expect("sharded");
         assert_preds_bitwise(&got, &want, &format!("post-sweep insert, left {left}"));
+    }
+}
+
+#[test]
+fn batch_insert_fault_at_every_point_leaves_the_engine_byte_identical() {
+    let (dataset, signals, extractor) = world(30, 0x8A7C1);
+    let trained = train(&dataset, &signals);
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let total = dataset.num_accounts(1) as u32;
+    // A 3-account batch whose middle member references the first — the
+    // intra-batch edge the batch contract allows.
+    let batch: Vec<(UserSignals, Vec<(u32, f64)>)> = (0..3u32)
+        .map(|j| {
+            let sig = extractor.extract_account(AccountSource::account(&dataset, 1, j), total + j);
+            let edges = match j {
+                0 => vec![(0u32, 2.0f64)],
+                1 => vec![(total, 1.0)],
+                _ => vec![],
+            };
+            (sig, edges)
+        })
+        .collect();
+
+    // Enumerate the batch fault surface on a throwaway engine. The batch
+    // path crosses its own sites — the single-insert surface pinned above
+    // stays exactly ["sharded.insert", "snapshot.publish"].
+    let mut probe =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("probe");
+    let (out, log) = record(|| probe.insert_batch_with_edges(1, batch.clone()));
+    out.expect("recorded batch insert succeeds");
+    let sites: Vec<&str> = log.iter().map(|(s, _)| s.as_str()).collect();
+    assert_eq!(
+        sites,
+        ["sharded.insert_batch", "snapshot.publish_batch"],
+        "unexpected batch insert fault surface"
+    );
+
+    // Fault every point, in both failure modes, and demand a byte-identical
+    // engine afterwards — no prefix of the batch may land.
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let before = observe(&engine, &lefts);
+    for (site, hit) in &log {
+        for kind in [FaultKind::Transient, FaultKind::Panic] {
+            let scope = install(FaultPlan::new().one_shot(site, *hit, kind));
+            match kind {
+                FaultKind::Panic => {
+                    let unwound = with_quiet_panics(|| {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            engine.insert_batch_with_edges(1, batch.clone())
+                        }))
+                    });
+                    assert!(unwound.is_err(), "panic at {site} must propagate");
+                }
+                _ => {
+                    let err = engine
+                        .insert_batch_with_edges(1, batch.clone())
+                        .expect_err("transient at every point must surface");
+                    assert!(
+                        matches!(err, EngineError::Transient { .. }),
+                        "fault at {site} surfaced as {err:?}"
+                    );
+                }
+            }
+            drop(scope);
+            assert_unchanged(
+                &engine,
+                &lefts,
+                &before,
+                &format!("batch {kind:?} at {site}#{hit}"),
+            );
+        }
+    }
+
+    // After the whole sweep a clean batch still lands — one epoch for all
+    // three accounts — and stays bitwise identical to a single engine fed
+    // the same accounts sequentially.
+    let ids = engine
+        .insert_batch_with_edges(1, batch.clone())
+        .expect("clean batch insert");
+    assert_eq!(ids, vec![total, total + 1, total + 2]);
+    assert_eq!(
+        engine.snapshot().epoch(),
+        before.3 + 1,
+        "one epoch per batch"
+    );
+    let mut single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs(&dataset)).expect("single");
+    for (sig, edges) in batch {
+        single
+            .insert_account_with_edges(1, sig, &edges)
+            .expect("single insert");
+    }
+    for &left in &lefts {
+        let want = single.query(0, left).expect("single");
+        let got = engine.query(0, left).expect("sharded");
+        assert_preds_bitwise(&got, &want, &format!("post-sweep batch, left {left}"));
     }
 }
 

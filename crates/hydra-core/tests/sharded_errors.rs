@@ -192,6 +192,85 @@ fn remove_on_out_of_range_platform_or_account_mutates_nothing() {
 }
 
 #[test]
+fn failing_batch_insert_is_observationally_a_noop() {
+    // The batch analogue of the single-insert atomicity contract: a
+    // k-account batch that fails validation on account j — whatever j —
+    // registers NO prefix of the batch anywhere: no shard, no snapshot
+    // epoch, no gram statistics.
+    let (dataset, signals, extractor) = world(30, 0x8A7C2);
+    let trained = train(&dataset, &signals);
+    let mut engine =
+        ShardedEngine::new(trained.model.clone(), &signals, graphs(&dataset), 3).expect("sharded");
+    let lefts: Vec<u32> = (0..dataset.num_persons() as u32).collect();
+    let before = observe(&engine, &lefts);
+    let total = engine.num_accounts(1) as u32;
+    let sigs: Vec<_> = (0..3u32)
+        .map(|j| extractor.extract_account(AccountSource::account(&dataset, 1, j), total + j))
+        .collect();
+
+    // Last account references its own (not-yet-published) slot: neighbors
+    // must precede the referencing batch member, so this is out of range.
+    let bad_neighbor = vec![
+        (sigs[0].clone(), vec![(0u32, 1.0f64)]),
+        (sigs[1].clone(), vec![]),
+        (sigs[2].clone(), vec![(total + 2, 1.0)]),
+    ];
+    assert!(matches!(
+        engine.insert_batch_with_edges(1, bad_neighbor),
+        Err(EngineError::EdgeNeighborOutOfRange { platform: 1, neighbor }) if neighbor == total + 2
+    ));
+    assert_unchanged(&engine, &lefts, &before, "bad neighbor on account 2 of 3");
+
+    // Non-positive weight mid-batch.
+    let bad_weight = vec![
+        (sigs[0].clone(), vec![]),
+        (sigs[1].clone(), vec![(1u32, 0.0f64)]),
+        (sigs[2].clone(), vec![]),
+    ];
+    assert!(matches!(
+        engine.insert_batch_with_edges(1, bad_weight),
+        Err(EngineError::EdgeWeightNotPositive {
+            platform: 1,
+            neighbor: 1
+        })
+    ));
+    assert_unchanged(&engine, &lefts, &before, "bad weight on account 1 of 3");
+
+    // Out-of-range platform fails before touching anything.
+    assert!(matches!(
+        engine.insert_batch_with_edges(9, vec![(sigs[0].clone(), vec![])]),
+        Err(EngineError::PlatformOutOfRange {
+            platform: 9,
+            num_platforms: 2
+        })
+    ));
+    assert_unchanged(&engine, &lefts, &before, "out-of-range platform");
+
+    // An empty batch is a no-op at the current epoch — no epoch bump.
+    assert!(engine
+        .insert_batch_with_edges(1, Vec::new())
+        .expect("empty batch")
+        .is_empty());
+    assert_unchanged(&engine, &lefts, &before, "empty batch");
+
+    // The engine is not wedged: the same accounts with valid deltas
+    // (including an intra-batch edge) land under one epoch.
+    let good = vec![
+        (sigs[0].clone(), vec![(0u32, 1.0f64)]),
+        (sigs[1].clone(), vec![(total, 2.0)]),
+        (sigs[2].clone(), vec![]),
+    ];
+    let ids = engine.insert_batch_with_edges(1, good).expect("good batch");
+    assert_eq!(ids, vec![total, total + 1, total + 2]);
+    assert_eq!(engine.num_accounts(1) as u32, total + 3);
+    assert_eq!(
+        engine.snapshot().epoch(),
+        before.3 + 1,
+        "exactly one epoch for the whole batch"
+    );
+}
+
+#[test]
 fn left_account_inserted_this_epoch_is_queryable() {
     let (dataset, signals, extractor) = world(40, 0x1EF7);
     let trained = train(&dataset, &signals);

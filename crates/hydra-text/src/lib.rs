@@ -24,7 +24,7 @@ pub mod style;
 pub mod tokenize;
 pub mod vocab;
 
-pub use lda::{LdaModel, LdaOptions};
+pub use lda::{FoldInMode, FoldInScratch, FoldInTables, LdaModel, LdaOptions};
 pub use ngram_lm::CharNgramLm;
 pub use sentiment::{Sentiment, SentimentLexicon};
 pub use strsim::{jaro_winkler, lcs_length, levenshtein, ngram_jaccard, normalized_levenshtein};

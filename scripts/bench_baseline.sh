@@ -93,11 +93,31 @@ for rid, rec in sorted(records.items()):
         )
 
 # Online ingest: one account extracted per iteration, so the stage median
-# is the per-account fold-in latency.
+# is the per-account fold-in latency. The batch stage id carries the batch
+# size, so its median reduces to a Tables-mode throughput; the backfill
+# stage id carries {accounts}/{epochs} for the end-to-end
+# extract+insert pipeline.
 ingest = None
 for rid, rec in records.items():
     if rid.startswith("ingest/extract_one"):
         ingest = {"stage": rid, "per_account_ns": round(rec["median_ns"], 1)}
+if ingest is None:
+    raise SystemExit("bench produced no ingest/extract_one stage")
+for rid, rec in records.items():
+    if rid.startswith("ingest/extract_batch/"):
+        k = int(rid.rsplit("/", 1)[1])
+        ingest["batch_stage"] = rid
+        ingest["batch_accounts"] = k
+        ingest["accounts_per_s"] = round(k / (rec["median_ns"] / 1e9), 1)
+for rid, rec in records.items():
+    if rid.startswith("ingest/backfill_10k/"):
+        parts = rid.split("/")
+        ingest["backfill"] = {
+            "stage": rid,
+            "accounts": int(parts[2]),
+            "total_ns": round(rec["median_ns"], 1),
+            "epochs_published": int(parts[3]),
+        }
 
 # Resilience: the degraded stage answers the serve batch through
 # query_batch_outcome with one of four shards quarantined (id suffix is the
@@ -119,6 +139,27 @@ if degraded and recovery:
     resilience = {"degraded": degraded, "recovery": recovery}
 
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
+
+
+def cpu_model():
+    try:
+        for line in open("/proc/cpuinfo"):
+            if line.lower().startswith("model name"):
+                return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or "unknown"
+
+
+# Host fingerprint: cross-refresh comparisons (is this number slower
+# because of the change, or because the container moved hosts?) need the
+# machine identity to be machine-checkable, not a prose footnote.
+host = {
+    "kernel": platform.release(),
+    "cpu_model": cpu_model(),
+    "cores": os.cpu_count(),
+}
+
 doc = {
     "bench": "pipeline",
     "scale": float(os.environ["SCALE"]),
@@ -131,6 +172,7 @@ doc = {
         else "multi-core run: speedups include thread-level scaling"
     ),
     "platform": platform.platform(),
+    "host": host,
     "rustc": subprocess.run(
         ["rustc", "--version"], capture_output=True, text=True
     ).stdout.strip(),
@@ -161,6 +203,17 @@ for s in serve_sharded:
     )
 if ingest:
     print(f"  ingest         {ingest['per_account_ns'] / 1e6:.2f} ms/account")
+    if "accounts_per_s" in ingest:
+        print(
+            f"  ingest batch   {ingest['accounts_per_s']:.0f} accounts/s "
+            f"(Tables fold-in, batch of {ingest['batch_accounts']})"
+        )
+    if "backfill" in ingest:
+        bf = ingest["backfill"]
+        print(
+            f"  backfill       {bf['accounts']} accounts in "
+            f"{bf['total_ns'] / 1e9:.2f} s, {bf['epochs_published']} epochs"
+        )
 if resilience:
     print(
         f"  degraded serve {resilience['degraded']['per_query_ns'] / 1e6:.2f} ms/query "

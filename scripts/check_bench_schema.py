@@ -42,6 +42,8 @@ REQUIRED_STAGE_PREFIXES = [
     "serve/query_batch/",
     "serve/sharded_query_batch/",
     "ingest/extract_one",
+    "ingest/extract_batch/",
+    "ingest/backfill_10k/",
     "resilience/degraded_query_batch/",
     "resilience/rebuild_shard/",
 ]
@@ -164,6 +166,35 @@ def main() -> None:
         fail("ingest block has non-positive per_account_ns")
     if not str(ingest["stage"]).startswith("ingest/extract_one"):
         fail(f"ingest block records unexpected stage {ingest['stage']!r}")
+    # Batched Tables-mode throughput (ISSUE 7 acceptance bar).
+    for key in ("batch_stage", "batch_accounts", "accounts_per_s"):
+        if key not in ingest:
+            fail(f"ingest block missing {key!r} (batched extraction stage)")
+    if not str(ingest["batch_stage"]).startswith("ingest/extract_batch/"):
+        fail(f"ingest block records unexpected batch stage {ingest['batch_stage']!r}")
+    if ingest["batch_accounts"] <= 0 or ingest["accounts_per_s"] <= 0:
+        fail("ingest block has non-positive batch_accounts/accounts_per_s")
+    # End-to-end backfill: extract_batch + one-epoch-per-batch inserts. The
+    # epoch amortization claim must hold in the recorded artifact itself:
+    # far fewer epochs than accounts (one per 512-account batch).
+    backfill = ingest.get("backfill")
+    if not isinstance(backfill, dict):
+        fail("ingest block missing 'backfill' (end-to-end bulk ingest stage)")
+    for key in ("stage", "accounts", "total_ns", "epochs_published"):
+        if key not in backfill:
+            fail(f"ingest.backfill missing {key!r}")
+    if not str(backfill["stage"]).startswith("ingest/backfill_10k/"):
+        fail(f"ingest.backfill records unexpected stage {backfill['stage']!r}")
+    if backfill["accounts"] <= 0 or backfill["total_ns"] <= 0:
+        fail("ingest.backfill has non-positive accounts/total_ns")
+    if backfill["epochs_published"] <= 0:
+        fail("ingest.backfill has non-positive epochs_published")
+    if backfill["epochs_published"] * 10 > backfill["accounts"]:
+        fail(
+            f"ingest.backfill published {backfill['epochs_published']} epochs "
+            f"for {backfill['accounts']} accounts — batching is not "
+            "amortizing epoch publication (expected <= accounts/10)"
+        )
 
     resilience = doc.get("resilience")
     if not isinstance(resilience, dict):
@@ -189,6 +220,23 @@ def main() -> None:
     if not str(recovery["stage"]).startswith("resilience/rebuild_shard/"):
         fail(f"resilience.recovery records unexpected stage {recovery['stage']!r}")
 
+    # Host fingerprint: optional (older artifacts predate it) but reported
+    # when present, and shape-checked so cross-refresh comparisons can rely
+    # on it.
+    host = doc.get("host")
+    host_desc = "host fingerprint absent (pre-fingerprint artifact)"
+    if host is not None:
+        if not isinstance(host, dict):
+            fail("host block must be a dict")
+        for key in ("kernel", "cpu_model", "cores"):
+            if key not in host:
+                fail(f"host block missing {key!r}")
+        if not isinstance(host["cores"], int) or host["cores"] <= 0:
+            fail("host block has non-positive cores")
+        host_desc = (
+            f"host {host['cpu_model']} x{host['cores']}, kernel {host['kernel']}"
+        )
+
     if args.min_fit_speedup is not None:
         got = speedups["fit_dual_solve"]
         if got < args.min_fit_speedup:
@@ -202,9 +250,13 @@ def main() -> None:
         f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
         f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query, "
         f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account, "
+        f"ingest batch {ingest['accounts_per_s']:.0f} accounts/s, "
+        f"backfill {backfill['accounts']} accounts/"
+        f"{backfill['epochs_published']} epochs, "
         f"degraded serve {degraded['per_query_ns'] / 1e6:.2f} ms/query, "
         f"shard rebuild {recovery['rebuild_ns'] / 1e6:.2f} ms, "
-        f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB)"
+        f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB, "
+        f"{host_desc})"
     )
 
 

@@ -53,6 +53,18 @@
 //!   [`graph::SocialGraph::add_edges`]), so ingested accounts participate
 //!   in core-network missing-value filling exactly as if present at
 //!   construction.
+//! * **Batched ingest** — [`core::ingest::FoldInMode::Tables`] swaps the
+//!   per-account Gibbs fold-in for a deterministic precomputed-table EM
+//!   kernel (seed-free: same θ at any thread/shard count), while
+//!   [`core::ingest::FoldInMode::Reference`] keeps the sampler pinned
+//!   bit-identical to corpus extraction.
+//!   [`core::ingest::SignalExtractor::extract_batch`] folds whole waves of
+//!   raw accounts over `hydra-par`, and
+//!   `ShardedEngine::insert_batch_with_edges` registers k accounts under
+//!   **one** atomically-published snapshot epoch (all-or-nothing, identical
+//!   post-state to k sequential inserts) — at scale 2 on one core the
+//!   Tables batch path sustains ~31k accounts/s vs the ~5.6k/s per-account
+//!   sampler baseline (~32 µs vs ~177 µs per account).
 //! * [`core::shard::ShardedEngine`] — partitions the candidate population
 //!   over N per-shard blocking indexes (hash-by-account routing, global
 //!   stop-gram statistics, deterministic rank merges) that all read **one**
@@ -178,6 +190,22 @@
 //!     .expect("ingest");
 //! assert_eq!(idx, next_slot);
 //! sharded.query(0, 3).expect("query after ingest");
+//!
+//! // BULK BACKFILL: Tables-mode extract_batch + one-epoch-per-batch insert.
+//! use hydra::core::ingest::FoldInMode;
+//! let bulk = loaded.extractor.with_fold_in_mode(FoldInMode::Tables);
+//! let wave: Vec<RawAccount> = (0..8u32)
+//!     .map(|i| RawAccount::from_view(AccountSource::account(&dataset, 1, i)))
+//!     .collect();
+//! let epoch0 = sharded.snapshot().epoch();
+//! let start = sharded.num_accounts(1) as u32;
+//! let sigs = bulk.extract_batch(&wave, start);
+//! let ids = sharded
+//!     .insert_batch_with_edges(1, sigs.into_iter().map(|s| (s, vec![])).collect())
+//!     .expect("backfill batch");
+//! assert_eq!(ids.len(), 8);
+//! // One snapshot epoch for the whole batch, not one per account.
+//! assert_eq!(sharded.snapshot().epoch(), epoch0 + 1);
 //! ```
 
 pub use hydra_baselines as baselines;

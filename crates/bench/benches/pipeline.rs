@@ -413,6 +413,18 @@ fn bench_ingest_extract_batch(c: &mut Criterion) {
     group.bench_function(format!("extract_batch/{k}"), |b| {
         b.iter(|| black_box(fast.extract_batch(black_box(&raws), n as u32)))
     });
+    // Multi-core scaling of the same batch: pin the `hydra-par` fan-out to
+    // 1, 2, and 4 workers (the in-process override outranks `HYDRA_THREADS`)
+    // so `BENCH_pipeline.json` records how Tables-mode fold-in scales with
+    // cores. Results are byte-identical at every width — parallel parity is
+    // pinned by the hydra-core tests; this only measures.
+    for threads in [1usize, 2, 4] {
+        hydra_par::set_thread_override(Some(threads));
+        group.bench_function(format!("extract_batch_threads/{threads}/{k}"), |b| {
+            b.iter(|| black_box(fast.extract_batch(black_box(&raws), n as u32)))
+        });
+    }
+    hydra_par::set_thread_override(None);
     group.finish();
 }
 

@@ -1,0 +1,185 @@
+//! Scatter-gather cost of the process-sharded deployment: launches real
+//! `hydra-shardd` processes (cold-started from one serving + population
+//! artifact pair, exactly like a deployment) over unix-domain sockets,
+//! attaches a [`DistributedEngine`], and times the full-population query
+//! batch at 2 and 4 shard processes — the distributed mirror of the
+//! in-process `serve/sharded_query_batch/{shards}` stages, built on the
+//! same [`hydra_bench::serve_bench_world`] so the latencies are
+//! comparable. Per shard process it also records resident memory
+//! (`VmRSS`), the multi-process cost the 1×-snapshot in-process design
+//! avoids. Before timing, answers are checked **bitwise** against a
+//! single in-process [`LinkageEngine`] — a bench run that drifts a bit is
+//! a bug, not a measurement.
+//!
+//! Emits one JSON object on stdout; `scripts/bench_baseline.sh` merges it
+//! into `BENCH_pipeline.json` as the `distributed` block.
+
+use hydra_bench::serve_bench_world_with_extractor;
+use hydra_core::engine::LinkageEngine;
+use hydra_core::ingest::ServingArtifact;
+use hydra_core::shard::RetryPolicy;
+use hydra_graph::SocialGraph;
+use hydra_net::coordinator::Endpoint;
+use hydra_net::{DistributedEngine, PopulationArtifact};
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Timed batches per shard count (minimum taken, criterion-style).
+const ITERS: usize = 10;
+
+fn shardd_exe() -> PathBuf {
+    // Built into the same profile directory as this binary by
+    // `scripts/bench_baseline.sh` (`cargo build --release -p hydra-net`).
+    let exe = std::env::current_exe().expect("current exe");
+    let dir = exe.parent().expect("exe dir");
+    let path = dir.join("hydra-shardd");
+    assert!(
+        path.exists(),
+        "{} not found — build it first: cargo build --release -p hydra-net --bin hydra-shardd",
+        path.display()
+    );
+    path
+}
+
+/// Spawn one shard process and block until its `READY` line.
+fn launch(artifact: &Path, population: &Path, sock: &Path, shard: usize, num: usize) -> Child {
+    let mut child = Command::new(shardd_exe())
+        .arg("--artifact")
+        .arg(artifact)
+        .arg("--population")
+        .arg(population)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--num-shards")
+        .arg(num.to_string())
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hydra-shardd");
+    let stdout = child.stdout.take().expect("stdout pipe");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("READY line");
+    assert!(
+        line.starts_with("READY "),
+        "unexpected shardd startup line: {line:?}"
+    );
+    child
+}
+
+/// Resident set size of a live process, from `/proc/<pid>/status`.
+fn rss_bytes(pid: u32) -> u64 {
+    let status = std::fs::read_to_string(format!("/proc/{pid}/status")).expect("proc status");
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .expect("VmRSS kB");
+            return kb * 1024;
+        }
+    }
+    panic!("no VmRSS in /proc/{pid}/status");
+}
+
+fn main() {
+    let (dataset, signals, extractor, trained) = serve_bench_world_with_extractor();
+    let graphs: Vec<SocialGraph> = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+    let n = dataset.num_persons();
+    let lefts: Vec<u32> = (0..n as u32).collect();
+
+    // The bitwise referee every topology must match before it is timed.
+    let single =
+        LinkageEngine::new(trained.model.clone(), &signals, graphs.clone()).expect("single engine");
+    let want: Vec<_> = lefts
+        .iter()
+        .map(|&l| single.query(0, l).expect("single query"))
+        .collect();
+
+    let dir = std::env::temp_dir().join(format!("hydra-distbench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let artifact = dir.join("serving.hysa");
+    ServingArtifact {
+        model: trained.model.clone(),
+        extractor: extractor.clone(),
+    }
+    .save(&artifact)
+    .expect("save serving artifact");
+    let population = dir.join("population.hypp");
+    PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint())
+        .save(&population)
+        .expect("save population artifact");
+
+    let retry = RetryPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(20),
+    };
+
+    let mut entries = Vec::new();
+    for shards in [2usize, 4] {
+        let mut children = Vec::new();
+        let mut endpoints = Vec::new();
+        for s in 0..shards {
+            let sock = dir.join(format!("shard-{shards}w-{s}.sock"));
+            std::fs::remove_file(&sock).ok();
+            children.push(launch(&artifact, &population, &sock, s, shards));
+            endpoints.push(Endpoint::Unix(sock));
+        }
+        let mut eng = DistributedEngine::connect(trained.model.clone(), endpoints, retry.clone())
+            .expect("coordinator attaches");
+
+        // Parity gate (also the warm-up batch).
+        let got = eng.query_batch(0, &lefts).expect("distributed batch");
+        assert_eq!(got.len(), want.len());
+        for (g_set, w_set) in got.iter().zip(want.iter()) {
+            assert_eq!(g_set.len(), w_set.len(), "candidate count drift");
+            for (g, w) in g_set.iter().zip(w_set.iter()) {
+                assert_eq!((g.left, g.right), (w.left, w.right), "pair order drift");
+                assert_eq!(g.score.to_bits(), w.score.to_bits(), "score drift");
+            }
+        }
+
+        let mut best = u64::MAX;
+        for _ in 0..ITERS {
+            let t = Instant::now();
+            let out = eng.query_batch(0, &lefts).expect("timed batch");
+            let ns = t.elapsed().as_nanos() as u64;
+            std::hint::black_box(out);
+            best = best.min(ns);
+        }
+        let rss: Vec<u64> = children.iter().map(|c| rss_bytes(c.id())).collect();
+
+        eng.shutdown_all();
+        for mut child in children {
+            let status = child.wait().expect("wait shardd");
+            assert!(status.success(), "shard process exited {status}");
+        }
+
+        entries.push(format!(
+            "{{\"shards\": {}, \"queries\": {}, \"scatter_gather_ns\": {}, \
+             \"per_process_rss_bytes\": [{}]}}",
+            shards,
+            lefts.len(),
+            best / lefts.len() as u64,
+            rss.iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        ));
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    println!(
+        "{{\"population\": {}, \"endpoint\": \"unix\", \"iters\": {}, \"per_shards\": [{}]}}",
+        n,
+        ITERS,
+        entries.join(", ")
+    );
+}

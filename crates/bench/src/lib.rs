@@ -85,12 +85,25 @@ pub fn serve_bench_world() -> (
     hydra_core::Signals,
     hydra_core::model::TrainedHydra,
 ) {
+    let (dataset, signals, _, trained) = serve_bench_world_with_extractor();
+    (dataset, signals, trained)
+}
+
+/// [`serve_bench_world`] plus the frozen [`SignalExtractor`] behind it —
+/// the `distributed_bench` binary needs the extractor to write the
+/// serving + population artifacts its shard processes cold-start from.
+pub fn serve_bench_world_with_extractor() -> (
+    hydra_datagen::Dataset,
+    hydra_core::Signals,
+    hydra_core::ingest::SignalExtractor,
+    hydra_core::model::TrainedHydra,
+) {
     use hydra_core::model::{Hydra, HydraConfig, PairTask};
     use hydra_core::SignalConfig;
 
     let n = ((100.0 * scale_factor()).round() as usize).max(20);
     let dataset = hydra_datagen::Dataset::generate(DatasetConfig::english(n, 47));
-    let signals = hydra_core::Signals::extract(
+    let (signals, extractor) = hydra_core::Signals::extract_with_extractor(
         &dataset,
         &SignalConfig {
             lda_iterations: 10,
@@ -114,7 +127,7 @@ pub fn serve_bench_world() -> (
             }],
         )
         .expect("serve-bench fit");
-    (dataset, signals, trained)
+    (dataset, signals, extractor, trained)
 }
 
 /// Output directory for series CSVs (`results/`, created on demand).

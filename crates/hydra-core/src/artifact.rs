@@ -181,14 +181,19 @@ impl From<std::io::Error> for ModelIoError {
 /// panic past the end; loading must error instead). Tracks the absolute
 /// byte offset and the wire-format section being decoded so every error
 /// pinpoints where decoding failed.
-pub(crate) struct Reader {
+///
+/// Public because every HYDRA wire format decodes through it — the `HYLM`
+/// model and `HYSX` extractor artifacts here, and the `hydra-net` socket
+/// frames and population artifact, which reuse the same typed-diagnostic
+/// discipline (offset + section on every failure, never a panic).
+pub struct Reader {
     buf: Bytes,
     total: usize,
     section: &'static str,
 }
 
 impl Reader {
-    pub(crate) fn new(bytes: &[u8]) -> Self {
+    pub fn new(bytes: &[u8]) -> Self {
         Reader {
             buf: Bytes::from(bytes.to_vec()),
             total: bytes.len(),
@@ -197,23 +202,23 @@ impl Reader {
     }
 
     /// Bytes left unread.
-    pub(crate) fn remaining(&self) -> usize {
+    pub fn remaining(&self) -> usize {
         self.buf.remaining()
     }
 
     /// Absolute offset of the next unread byte.
-    pub(crate) fn offset(&self) -> usize {
+    pub fn offset(&self) -> usize {
         self.total - self.buf.remaining()
     }
 
     /// Name the wire-format section subsequent reads belong to (decode
     /// errors report it).
-    pub(crate) fn set_section(&mut self, section: &'static str) {
+    pub fn set_section(&mut self, section: &'static str) {
         self.section = section;
     }
 
     /// Build a [`ModelIoError::Corrupt`] at the current position.
-    pub(crate) fn corrupt(&self, what: impl Into<String>) -> ModelIoError {
+    pub fn corrupt(&self, what: impl Into<String>) -> ModelIoError {
         ModelIoError::Corrupt {
             offset: self.offset(),
             section: self.section,
@@ -221,7 +226,7 @@ impl Reader {
         }
     }
 
-    pub(crate) fn need(&self, n: usize) -> Result<(), ModelIoError> {
+    pub fn need(&self, n: usize) -> Result<(), ModelIoError> {
         if self.buf.remaining() < n {
             Err(ModelIoError::Truncated {
                 offset: self.offset(),
@@ -234,32 +239,32 @@ impl Reader {
         }
     }
 
-    pub(crate) fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ModelIoError> {
+    pub fn bytes(&mut self, n: usize) -> Result<Vec<u8>, ModelIoError> {
         self.need(n)?;
         Ok(self.buf.take_bytes(n).to_vec())
     }
 
-    pub(crate) fn u8(&mut self) -> Result<u8, ModelIoError> {
+    pub fn u8(&mut self) -> Result<u8, ModelIoError> {
         self.need(1)?;
         Ok(self.buf.take_bytes(1)[0])
     }
 
-    pub(crate) fn u16(&mut self) -> Result<u16, ModelIoError> {
+    pub fn u16(&mut self) -> Result<u16, ModelIoError> {
         self.need(2)?;
         Ok(self.buf.get_u16_le())
     }
 
-    pub(crate) fn u32(&mut self) -> Result<u32, ModelIoError> {
+    pub fn u32(&mut self) -> Result<u32, ModelIoError> {
         self.need(4)?;
         Ok(self.buf.get_u32_le())
     }
 
-    pub(crate) fn u64(&mut self) -> Result<u64, ModelIoError> {
+    pub fn u64(&mut self) -> Result<u64, ModelIoError> {
         self.need(8)?;
         Ok(self.buf.get_u64_le())
     }
 
-    pub(crate) fn usize(&mut self) -> Result<usize, ModelIoError> {
+    pub fn usize(&mut self) -> Result<usize, ModelIoError> {
         let at = self.offset();
         let v = self.u64()?;
         usize::try_from(v).map_err(|_| ModelIoError::Corrupt {
@@ -269,7 +274,7 @@ impl Reader {
         })
     }
 
-    pub(crate) fn f64(&mut self) -> Result<f64, ModelIoError> {
+    pub fn f64(&mut self) -> Result<f64, ModelIoError> {
         self.need(8)?;
         Ok(self.buf.get_f64_le())
     }
@@ -277,7 +282,7 @@ impl Reader {
     /// Bounded length prefix: a count that implies at least
     /// `elem_bytes`-per-element more data than remains is corrupt, not an
     /// allocation request.
-    pub(crate) fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
+    pub fn len_prefix(&mut self, elem_bytes: usize) -> Result<usize, ModelIoError> {
         let at = self.offset();
         let n = self.usize()?;
         let implied = n.saturating_mul(elem_bytes.max(1));
@@ -292,13 +297,13 @@ impl Reader {
         Ok(n)
     }
 
-    pub(crate) fn f64_vec(&mut self) -> Result<Vec<f64>, ModelIoError> {
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, ModelIoError> {
         let n = self.len_prefix(8)?;
         (0..n).map(|_| self.f64()).collect()
     }
 }
 
-pub(crate) fn put_f64_vec(w: &mut BytesMut, v: &[f64]) {
+pub fn put_f64_vec(w: &mut BytesMut, v: &[f64]) {
     w.put_u64_le(v.len() as u64);
     for &x in v {
         w.put_f64_le(x);
@@ -390,7 +395,7 @@ pub(crate) fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
 /// (supports [`hydra_fault::FaultKind::TornWrite`], which persists a prefix
 /// of the bytes in the temp before "crashing"), `artifact.sync`,
 /// `artifact.rename`.
-pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelIoError> {
+pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelIoError> {
     use std::io::Write;
     fn injected(site: &'static str) -> std::io::Result<()> {
         if hydra_fault::enabled() {
@@ -440,13 +445,13 @@ pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), M
 /// Read an artifact's bytes, first clearing any stale temp a crashed save
 /// left behind (single-writer assumption: nothing else is mid-save on
 /// `path` while a process loads it).
-pub(crate) fn load_bytes(path: &std::path::Path) -> Result<Vec<u8>, ModelIoError> {
+pub fn load_bytes(path: &std::path::Path) -> Result<Vec<u8>, ModelIoError> {
     let _ = std::fs::remove_file(tmp_sibling(path));
     Ok(std::fs::read(path)?)
 }
 
 /// FNV-1a over a byte slice — the config fingerprint hash.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;

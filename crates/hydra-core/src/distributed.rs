@@ -18,6 +18,13 @@
 //! framework. The kernelized MOO path ([`crate::moo`]) remains the
 //! reference solver; this trainer is the high-throughput alternative for
 //! populations where an O(|P|³) factorization is off the table.
+//!
+//! **Not to be confused with the `hydra-net` crate.** Both scale HYDRA
+//! across "servers", but on opposite sides of training: this module
+//! distributes the *fit* (consensus ADMM over label shards, all inside one
+//! process), while `hydra-net` distributes the *serving* (one OS process
+//! per population shard behind a wire protocol, scatter-gathered by a
+//! coordinator). A model fit here is served there unchanged.
 
 use hydra_linalg::admm::{AdmmOptions, AdmmResult, ConsensusAdmm, QuadShard};
 use hydra_linalg::dense::Mat;

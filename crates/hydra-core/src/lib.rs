@@ -102,6 +102,17 @@
 //!   shards on any mid-swap fault, and (taking `&mut self` against
 //!   `&self` queries) guarantees every query is answered entirely by the
 //!   old artifact or entirely by the new one.
+//!
+//! ## Scaling out across processes
+//!
+//! Two modules share the word "distributed" and do different jobs:
+//! [`distributed`] scales **training** (consensus ADMM over label shards,
+//! in-process), while the separate `hydra-net` crate scales **serving** —
+//! it promotes [`shard::ShardedEngine`]'s partitions to one OS process
+//! each (`hydra-shardd`, cold-started from a [`ingest::ServingArtifact`]
+//! plus a population artifact) behind a length-prefixed wire protocol,
+//! with a coordinator that scatter-gathers to the same bits as the
+//! in-process engine.
 
 // Serving-path modules must not abort on recoverable conditions: a stray
 // `unwrap`/`expect` outside tests is a CI failure (clippy gate), not a
@@ -134,7 +145,10 @@ pub use features::{AttributeImportance, FeatureConfig, PairFeatures};
 pub use ingest::{RawAccount, ServingArtifact, SignalExtractor};
 pub use missing::FillStrategy;
 pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
-pub use shard::{QueryOutcome, RetryPolicy, ShardFailure, ShardedEngine};
+pub use shard::{
+    candidate_merge_cmp, merge_scored_candidates, merge_shard_candidates, prediction_rank_cmp,
+    QueryOutcome, RetryPolicy, ScoredCandidate, ShardFailure, ShardReplica, ShardedEngine,
+};
 pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
 pub use snapshot::{PlatformProfiles, ProfileSnapshot};
 pub use source::{AccountSource, AccountView};

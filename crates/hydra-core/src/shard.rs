@@ -155,6 +155,84 @@ impl QueryOutcome {
     }
 }
 
+/// The deterministic order sharded serving merges per-shard candidates in:
+/// the engine's exact ranking — username similarity descending, ties by
+/// right index ascending. Per-shard account sets are disjoint, so `right`
+/// breaks every tie and the order is total. Public so the process-sharded
+/// coordinator (`hydra-net`) merges with literally the same code as the
+/// thread-sharded engine.
+pub fn candidate_merge_cmp(a: &CandidatePair, b: &CandidatePair) -> std::cmp::Ordering {
+    b.username_sim
+        .total_cmp(&a.username_sim)
+        .then(a.right.cmp(&b.right))
+}
+
+/// Merge per-shard candidate lists into the global ranking: sort by
+/// [`candidate_merge_cmp`], truncate to the model's per-user cap. Every
+/// sharded serving path — threads in-process, processes over sockets —
+/// funnels through this one function, which makes "process-sharded ==
+/// thread-sharded == single, bitwise" a code-sharing fact rather than a
+/// re-implementation promise.
+pub fn merge_shard_candidates(
+    per_shard: impl IntoIterator<Item = CandidatePair>,
+    max_per_user: usize,
+) -> Vec<CandidatePair> {
+    let mut merged: Vec<CandidatePair> = per_shard.into_iter().collect();
+    merged.sort_by(candidate_merge_cmp);
+    merged.truncate(max_per_user);
+    merged
+}
+
+/// The rank order predictions come back in — score descending, ties by
+/// right index ascending ([`LinkageEngine`]'s exact result sort), exposed
+/// for coordinators that merge pre-scored shard answers.
+pub fn prediction_rank_cmp(a: &LinkagePrediction, b: &LinkagePrediction) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.right.cmp(&b.right))
+}
+
+/// One scored candidate as a shard contributes it to a scatter-gather
+/// merge: the blocking-rank keys (the [`CandidatePair`]) plus the engine's
+/// per-pair decision. Kernel scores never depend on which other candidates
+/// ride along, so contributions computed on separate shards — separate
+/// *processes*, even — merge into exactly what one engine scoring the
+/// merged list would produce.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredCandidate {
+    /// The candidate with its merge keys (`username_sim`, `right`).
+    pub cand: CandidatePair,
+    /// The kernel decision score (per-pair, placement-independent).
+    pub score: f64,
+    /// The engine's link decision for this pair.
+    pub linked: bool,
+}
+
+/// Merge pre-scored per-shard contributions into the final ranked
+/// prediction list: candidate merge order ([`candidate_merge_cmp`]), the
+/// global `max_per_user` cap, then prediction rank order
+/// ([`prediction_rank_cmp`]) — the exact pipeline
+/// [`ShardedEngine::query`] runs in-process, with the scoring already done
+/// shard-side. This is the coordinator half of the cross-process parity
+/// contract.
+pub fn merge_scored_candidates(
+    contributions: impl IntoIterator<Item = ScoredCandidate>,
+    max_per_user: usize,
+) -> Vec<LinkagePrediction> {
+    let mut merged: Vec<ScoredCandidate> = contributions.into_iter().collect();
+    merged.sort_by(|a, b| candidate_merge_cmp(&a.cand, &b.cand));
+    merged.truncate(max_per_user);
+    let mut preds: Vec<LinkagePrediction> = merged
+        .into_iter()
+        .map(|sc| LinkagePrediction {
+            left: sc.cand.left,
+            right: sc.cand.right,
+            score: sc.score,
+            linked: sc.linked,
+        })
+        .collect();
+    preds.sort_by(prediction_rank_cmp);
+    preds
+}
+
 /// Bounded, deterministic retry schedule for transient ingest failures
 /// ([`EngineError::Transient`]): attempt, then back off doubling from
 /// `initial_backoff` up to `max_backoff`, for at most `max_attempts` total
@@ -502,14 +580,10 @@ impl ShardedEngine {
                 .map(|shard| shard.candidates_for(spec, left_account, Some(&limits)))
                 .collect()
         };
-        let mut merged: Vec<CandidatePair> = per_shard.into_iter().flatten().collect();
-        merged.sort_by(|a, b| {
-            b.username_sim
-                .total_cmp(&a.username_sim)
-                .then(a.right.cmp(&b.right))
-        });
-        merged.truncate(self.model().candidates.max_per_user);
-        merged
+        merge_shard_candidates(
+            per_shard.into_iter().flatten(),
+            self.model().candidates.max_per_user,
+        )
     }
 
     /// Resolve one left account across the partition: sharded candidate
@@ -624,13 +698,10 @@ impl ShardedEngine {
                 }
             }
         }
-        merged.sort_by(|a, b| {
-            b.username_sim
-                .total_cmp(&a.username_sim)
-                .then(a.right.cmp(&b.right))
-        });
-        merged.truncate(self.model().candidates.max_per_user);
-        (merged, failures)
+        (
+            merge_shard_candidates(merged, self.model().candidates.max_per_user),
+            failures,
+        )
     }
 
     /// [`ShardedEngine::query`] with panic isolation and graceful
@@ -787,6 +858,301 @@ impl ShardedEngine {
     }
 }
 
+/// **One shard of the partition, standing alone** — the state a
+/// shard-*process* owns in the cross-box deployment (`hydra-net`): a
+/// partition-restricted [`LinkageEngine`] over this process's own
+/// [`ProfileSnapshot`] handle, plus a full copy of the population-wide
+/// bookkeeping (global gram statistics, usernames, the removal log).
+///
+/// A replica is exactly shard `s` of an N-shard [`ShardedEngine`], minus
+/// the other N-1 shards: it answers the same partition-local candidate
+/// probes (against the same global [`GramLimits`]), scores them with the
+/// same per-pair kernel, and applies the same mutations — the owner
+/// registers an inserted account active, everyone else de-lists it, and
+/// removals update the global statistics everywhere but touch only the
+/// owner's index. N replicas fed the same mutation sequence therefore hold
+/// states that merge (via [`merge_scored_candidates`]) into answers
+/// bitwise-identical to the in-process sharded engine — the invariant the
+/// `hydra-net` parity suite pins across sockets.
+///
+/// Unlike the in-process engine, each replica pays for its own snapshot
+/// (processes don't share an `Arc`) — that is the deliberate cost of
+/// leaving the one-box memory ceiling behind.
+pub struct ShardReplica {
+    snapshot: Arc<ProfileSnapshot>,
+    engine: LinkageEngine,
+    shard: usize,
+    num_shards: usize,
+    platforms: Vec<PlatformStats>,
+}
+
+impl ShardReplica {
+    /// Build replica `shard` of an `num_shards`-way partition — same
+    /// inputs as [`ShardedEngine::new`] plus the partition coordinates.
+    /// Rejects `num_shards == 0` and `shard >= num_shards` with
+    /// [`EngineError::InvalidShardCount`].
+    pub fn new(
+        model: LinkageModel,
+        signals: &Signals,
+        graphs: Vec<SocialGraph>,
+        shard: usize,
+        num_shards: usize,
+    ) -> Result<Self, EngineError> {
+        if num_shards == 0 || shard >= num_shards {
+            return Err(EngineError::InvalidShardCount);
+        }
+        let extractor = model.extractor();
+        let snapshot = Arc::new(ProfileSnapshot::build(&extractor, signals, graphs)?);
+        let engine = LinkageEngine::with_shared_snapshot(model, snapshot.clone(), |_, a| {
+            a as usize % num_shards == shard
+        })?;
+        let platforms = signals
+            .per_platform
+            .iter()
+            .map(|side| {
+                let mut stats = PlatformStats {
+                    gram_counts: HashMap::new(),
+                    active_count: side.len(),
+                    total: side.len(),
+                    usernames: side.iter().map(|sig| sig.username.clone()).collect(),
+                    removed: BTreeSet::new(),
+                };
+                for sig in side {
+                    stats.count_grams(&sig.username, 1);
+                }
+                stats
+            })
+            .collect();
+        Ok(ShardReplica {
+            snapshot,
+            engine,
+            shard,
+            num_shards,
+            platforms,
+        })
+    }
+
+    /// The partition index this replica serves.
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The partition width the population is sharded over.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &LinkageModel {
+        self.engine.model()
+    }
+
+    /// The replica's profile-snapshot epoch (advances once per applied
+    /// insert or insert batch — in lockstep across replicas fed the same
+    /// mutation sequence).
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.epoch()
+    }
+
+    /// Number of platform-pair tasks the replica serves.
+    pub fn num_tasks(&self) -> usize {
+        self.engine.num_tasks()
+    }
+
+    /// Number of account slots on a platform (including removed accounts).
+    pub fn num_accounts(&self, platform: usize) -> usize {
+        self.platforms.get(platform).map_or(0, |p| p.total)
+    }
+
+    /// Number of active (non-removed) accounts on a platform.
+    pub fn active_accounts(&self, platform: usize) -> usize {
+        self.platforms.get(platform).map_or(0, |p| p.active_count)
+    }
+
+    /// Left-side validation against the *global* population (every replica
+    /// tracks all removals, so this matches [`ShardedEngine`]'s check on
+    /// the owning shard bit for bit).
+    fn check_left(&self, spec: TaskSpec, left_account: u32) -> Result<(), EngineError> {
+        let platform = spec.left_platform as usize;
+        let stats = &self.platforms[platform];
+        if (left_account as usize) >= stats.total {
+            return Err(EngineError::AccountOutOfRange {
+                platform,
+                account: left_account,
+            });
+        }
+        if stats.removed.contains(&left_account) {
+            return Err(EngineError::AccountRemoved {
+                platform,
+                account: left_account,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validate one query without doing any work — the task index and the
+    /// left account against the *global* population. Batch servers call
+    /// this for every left up front so a bad batch is refused before any
+    /// scoring starts, exactly like [`ShardedEngine::query_batch_outcome`].
+    pub fn validate_query(&self, task: usize, left_account: u32) -> Result<(), EngineError> {
+        let spec = self.engine.task_spec(task)?;
+        self.check_left(spec, left_account)
+    }
+
+    /// This partition's scored contribution to one query: candidate
+    /// generation against the **global** stop-gram statistics (exactly
+    /// what shard `s` of a [`ShardedEngine`] produces), each candidate
+    /// scored by the per-pair kernel. Contributions from all replicas
+    /// merge via [`merge_scored_candidates`] into the full answer —
+    /// bitwise what [`ShardedEngine::query`] returns.
+    pub fn query_partition(
+        &self,
+        task: usize,
+        left_account: u32,
+    ) -> Result<Vec<ScoredCandidate>, EngineError> {
+        let spec = self.engine.task_spec(task)?;
+        self.check_left(spec, left_account)?;
+        let stats = &self.platforms[spec.right_platform as usize];
+        let limits = GramLimits {
+            counts: &stats.gram_counts,
+            active_count: stats.active_count,
+        };
+        let cands = self
+            .engine
+            .candidates_for(spec, left_account, Some(&limits));
+        let preds = self.engine.score_candidates(spec, &cands);
+        let by_right: HashMap<u32, (f64, bool)> = preds
+            .iter()
+            .map(|p| (p.right, (p.score, p.linked)))
+            .collect();
+        Ok(cands
+            .into_iter()
+            .map(|cand| {
+                // score_candidates scores every candidate it is handed, so
+                // the lookup is total; `right` is unique within one query.
+                let (score, linked) = by_right[&cand.right];
+                ScoredCandidate {
+                    cand,
+                    score,
+                    linked,
+                }
+            })
+            .collect())
+    }
+
+    /// Register a new account: publish the successor epoch on this
+    /// replica's snapshot and adopt it — active in the index only when
+    /// this replica owns the slot. All-or-nothing exactly like
+    /// [`ShardedEngine::insert_account_with_edges`]; fault-injection site
+    /// `replica.insert` (distinct from the in-process `sharded.insert`, so
+    /// coordinator-side sweeps can't cross-fire into thread-local server
+    /// replicas).
+    pub fn insert_account_with_edges(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+        edges: &[(u32, f64)],
+    ) -> Result<u32, EngineError> {
+        inject_point("replica.insert")?;
+        let global = ProfileSnapshot::publish_insert(&mut self.snapshot, platform, sig, edges)?;
+        let sig = self.snapshot.platform(platform).signal(global);
+        let owned = global as usize % self.num_shards == self.shard;
+        let idx = self
+            .engine
+            .adopt_epoch(self.snapshot.clone(), platform, sig, owned);
+        debug_assert_eq!(idx, global, "replica slot drift");
+        let stats = &mut self.platforms[platform];
+        debug_assert_eq!(stats.total as u32, global, "stats slot drift");
+        stats.count_grams(&sig.username, 1);
+        stats.usernames.push(sig.username.clone());
+        stats.active_count += 1;
+        stats.total += 1;
+        Ok(global)
+    }
+
+    /// Register a whole batch under **one** published epoch — the replica
+    /// half of [`ShardedEngine::insert_batch_with_edges`], same
+    /// all-or-nothing contract; fault-injection site
+    /// `replica.insert_batch`.
+    pub fn insert_batch_with_edges(
+        &mut self,
+        platform: usize,
+        batch: Vec<(UserSignals, Vec<(u32, f64)>)>,
+    ) -> Result<Vec<u32>, EngineError> {
+        inject_point("replica.insert_batch")?;
+        let count = batch.len();
+        let base = ProfileSnapshot::publish_insert_batch(&mut self.snapshot, platform, batch)?;
+        let (s, n) = (self.shard, self.num_shards);
+        self.engine
+            .adopt_epoch_batch(self.snapshot.clone(), platform, base, count, |idx| {
+                idx as usize % n == s
+            });
+        let stats = &mut self.platforms[platform];
+        debug_assert_eq!(stats.total as u32, base, "stats slot drift");
+        let profiles = self.snapshot.platform(platform);
+        for j in 0..count {
+            let username = &profiles.signal(base + j as u32).username;
+            stats.count_grams(username, 1);
+            stats.usernames.push(username.clone());
+        }
+        stats.active_count += count;
+        stats.total += count;
+        Ok((0..count).map(|j| base + j as u32).collect())
+    }
+
+    /// De-list an account globally: the statistics (gram counts, active
+    /// set, removal log) update on every replica, the blocking index only
+    /// on the owner — mirroring how a [`ShardedEngine`] routes the removal
+    /// to the owning shard while all shards share the global statistics.
+    pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), EngineError> {
+        let num_platforms = self.platforms.len();
+        let Some(stats) = self.platforms.get(platform) else {
+            return Err(EngineError::PlatformOutOfRange {
+                platform,
+                num_platforms,
+            });
+        };
+        if (account as usize) >= stats.total {
+            return Err(EngineError::AccountOutOfRange { platform, account });
+        }
+        if stats.removed.contains(&account) {
+            return Err(EngineError::AccountRemoved { platform, account });
+        }
+        if account as usize % self.num_shards == self.shard {
+            self.engine.remove_account(platform, account)?;
+        }
+        let stats = &mut self.platforms[platform];
+        let username = stats.usernames[account as usize].clone();
+        stats.count_grams(&username, -1);
+        stats.active_count -= 1;
+        stats.removed.insert(account);
+        Ok(())
+    }
+
+    /// Rebuild the partition index **deterministically** from the
+    /// replica's current snapshot — a fresh engine over the same ownership
+    /// predicate, with this partition's removal log replayed. The replica
+    /// half of [`ShardedEngine::recover_quarantined`]: post-rebuild
+    /// answers are bitwise those of a replica that never faulted.
+    pub fn rebuild(&mut self) -> Result<(), EngineError> {
+        let model = self.engine.model().clone();
+        let (s, n) = (self.shard, self.num_shards);
+        let mut fresh =
+            LinkageEngine::with_shared_snapshot(model, self.snapshot.clone(), |_, a| {
+                a as usize % n == s
+            })?;
+        for (platform, stats) in self.platforms.iter().enumerate() {
+            for &a in &stats.removed {
+                if a as usize % n == s {
+                    fresh.remove_account(platform, a)?;
+                }
+            }
+        }
+        self.engine = fresh;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -849,6 +1215,84 @@ mod tests {
             for (x, y) in a.iter().zip(b.iter()) {
                 assert_eq!((x.left, x.right), (y.left, y.right), "left {left}");
                 assert_eq!(x.score.to_bits(), y.score.to_bits(), "left {left}");
+            }
+        }
+    }
+
+    #[test]
+    fn replica_scatter_gather_matches_sharded_bitwise() {
+        let (dataset, signals, model) = world();
+        for &n in &[1usize, 2, 4] {
+            let mut sharded =
+                ShardedEngine::new(model.clone(), &signals, graphs(&dataset), n).expect("sharded");
+            let mut replicas: Vec<ShardReplica> = (0..n)
+                .map(|s| {
+                    ShardReplica::new(model.clone(), &signals, graphs(&dataset), s, n)
+                        .expect("replica")
+                })
+                .collect();
+
+            // Feed both deployments the same mutation sequence.
+            let sig = signals.per_platform[1][2].clone();
+            sharded
+                .insert_account_with_edges(1, sig.clone(), &[(2, 1.5)])
+                .expect("sharded insert");
+            for r in replicas.iter_mut() {
+                r.insert_account_with_edges(1, sig.clone(), &[(2, 1.5)])
+                    .expect("replica insert");
+            }
+            let batch: Vec<(UserSignals, Vec<(u32, f64)>)> = (0..3)
+                .map(|i| (signals.per_platform[1][i].clone(), vec![]))
+                .collect();
+            sharded
+                .insert_batch_with_edges(1, batch.clone())
+                .expect("sharded batch");
+            for r in replicas.iter_mut() {
+                r.insert_batch_with_edges(1, batch.clone())
+                    .expect("replica batch");
+            }
+            sharded.remove_account(1, 4).expect("sharded remove");
+            for r in replicas.iter_mut() {
+                r.remove_account(1, 4).expect("replica remove");
+                assert_eq!(r.epoch(), sharded.snapshot().epoch(), "epoch lockstep");
+            }
+
+            // Scatter-gather over the replicas == in-process sharded ==
+            // (transitively, via the existing parity suite) single engine.
+            let cap = model.candidates.max_per_user;
+            for left in 0..dataset.num_persons() as u32 {
+                let want = sharded.query(0, left).expect("sharded query");
+                let contributions: Vec<ScoredCandidate> = replicas
+                    .iter()
+                    .flat_map(|r| r.query_partition(0, left).expect("partition"))
+                    .collect();
+                let got = merge_scored_candidates(contributions, cap);
+                assert_eq!(want.len(), got.len(), "n {n} left {left}: count");
+                for (a, b) in want.iter().zip(&got) {
+                    assert_eq!(
+                        (a.left, a.right, a.score.to_bits(), a.linked),
+                        (b.left, b.right, b.score.to_bits(), b.linked),
+                        "n {n} left {left}"
+                    );
+                }
+            }
+
+            // A rebuilt replica (the recovery path) answers identically.
+            for r in replicas.iter_mut() {
+                r.rebuild().expect("rebuild");
+            }
+            let want = sharded.query(0, 0).expect("query");
+            let got = merge_scored_candidates(
+                replicas
+                    .iter()
+                    .flat_map(|r| r.query_partition(0, 0).expect("partition")),
+                cap,
+            );
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(
+                    (a.left, a.right, a.score.to_bits()),
+                    (b.left, b.right, b.score.to_bits())
+                );
             }
         }
     }

@@ -469,7 +469,7 @@ impl ProfileCache {
 }
 
 /// Everything the pair-feature pipeline needs about one account.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UserSignals {
     /// Ground-truth person (used only for labeling/evaluation, never as a
     /// feature).

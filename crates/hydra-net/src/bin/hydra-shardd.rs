@@ -1,0 +1,106 @@
+//! `hydra-shardd` — one shard-server process.
+//!
+//! ```text
+//! hydra-shardd --artifact serving.hysa --population pop.hypp \
+//!              --shard 0 --num-shards 2 --listen unix:/tmp/hydra-shard0.sock
+//! ```
+//!
+//! Cold-starts shard `--shard` of a `--num-shards`-way partition from the
+//! serving artifact (model + extraction state) and the population
+//! artifact (profiles + graphs), then serves the wire protocol on
+//! `--listen` (`unix:<path>` or `tcp:<host>:<port>`; `tcp:127.0.0.1:0`
+//! picks an ephemeral port). Prints `READY <endpoint>` on stdout once
+//! listening — launchers and the CI smoke test block on that line — and
+//! exits 0 when a coordinator sends `Shutdown`.
+
+use hydra_net::coordinator::Endpoint;
+use hydra_net::ShardServer;
+use std::io::Write;
+use std::path::PathBuf;
+
+struct Args {
+    artifact: PathBuf,
+    population: PathBuf,
+    shard: usize,
+    num_shards: usize,
+    listen: Endpoint,
+}
+
+const USAGE: &str = "usage: hydra-shardd --artifact <serving.hysa> --population <pop.hypp> \
+--shard <i> --num-shards <n> --listen <unix:PATH|tcp:HOST:PORT>";
+
+fn parse_args() -> Result<Args, String> {
+    let mut artifact = None;
+    let mut population = None;
+    let mut shard = None;
+    let mut num_shards = None;
+    let mut listen = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--artifact" => artifact = Some(PathBuf::from(value("--artifact")?)),
+            "--population" => population = Some(PathBuf::from(value("--population")?)),
+            "--shard" => {
+                shard = Some(
+                    value("--shard")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--shard: {e}"))?,
+                )
+            }
+            "--num-shards" => {
+                num_shards = Some(
+                    value("--num-shards")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("--num-shards: {e}"))?,
+                )
+            }
+            "--listen" => listen = Some(Endpoint::parse(&value("--listen")?)?),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        artifact: artifact.ok_or_else(|| format!("--artifact is required\n{USAGE}"))?,
+        population: population.ok_or_else(|| format!("--population is required\n{USAGE}"))?,
+        shard: shard.ok_or_else(|| format!("--shard is required\n{USAGE}"))?,
+        num_shards: num_shards.ok_or_else(|| format!("--num-shards is required\n{USAGE}"))?,
+        listen: listen.ok_or_else(|| format!("--listen is required\n{USAGE}"))?,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("hydra-shardd: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut server = match ShardServer::from_artifacts(
+        &args.artifact,
+        &args.population,
+        args.shard,
+        args.num_shards,
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!(
+                "hydra-shardd: cold start of shard {}/{} failed: {e}",
+                args.shard, args.num_shards
+            );
+            std::process::exit(1);
+        }
+    };
+    let result = server.run(&args.listen, |bound| {
+        // Launchers block on this line; flush so they see it promptly.
+        println!("READY {bound}");
+        std::io::stdout().flush().ok();
+    });
+    if let Err(e) = result {
+        eprintln!("hydra-shardd: shard {} serve loop failed: {e}", args.shard);
+        std::process::exit(1);
+    }
+}

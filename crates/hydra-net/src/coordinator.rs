@@ -1,0 +1,716 @@
+//! The scatter-gather coordinator: a [`DistributedEngine`] fronting N
+//! shard-server processes.
+//!
+//! Queries scatter to every shard, whose contributions arrive
+//! **pre-scored** (kernel scores are per-pair, so where they were
+//! computed cannot matter) and gather through
+//! [`merge_scored_candidates`] — literally the same merge the in-process
+//! [`ShardedEngine`](hydra_core::shard::ShardedEngine) runs, which is
+//! what makes "process-sharded == thread-sharded == single, bitwise" a
+//! code-sharing fact. A shard that cannot answer (dead connection, dial
+//! retries exhausted, server-side panic) degrades the
+//! [`QueryOutcome`] exactly like an in-process quarantined shard:
+//! healthy partitions keep serving, the failure is reported per shard,
+//! and the degraded result is deterministic for a fixed fault plan.
+//!
+//! Mutations broadcast to every shard in index order under a
+//! sequence-number protocol (see [`crate::server`]): the coordinator
+//! keeps an oplog, and a reconnecting shard is replayed exactly the
+//! suffix it missed during the dial handshake — after which its answers
+//! are bitwise those of a shard that never went away.
+//!
+//! Every socket operation threads a `hydra-fault` site —
+//! `net.connect.{s}`, `net.write.{s}`, `net.read.{s}`, named per shard
+//! so hit counters stay deterministic. Injected
+//! [`Transient`](hydra_fault::FaultKind::Transient) faults surface as
+//! retryable IO errors and are retried under the same bounded
+//! deterministic [`RetryPolicy`] schedule the ingest layer uses; every
+//! other injected kind is a hard connection failure (the coordinator
+//! never panics on behalf of a fault plan). Oplog replay inside the dial
+//! handshake deliberately bypasses the write/read sites: replay length
+//! depends on how many faults already fired, and injecting into it would
+//! make site hit counts schedule-dependent.
+
+use crate::frame::Frame;
+use crate::message::{Message, MutOutcome, QueryReply, Refusal, StatusInfo};
+use crate::NetError;
+use hydra_core::artifact::LinkageModel;
+use hydra_core::engine::EngineError;
+use hydra_core::model::LinkagePrediction;
+use hydra_core::shard::{
+    merge_scored_candidates, QueryOutcome, RetryPolicy, ScoredCandidate, ShardFailure,
+};
+use hydra_core::signals::UserSignals;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// A duplex byte stream a shard connection runs over.
+pub trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// Where a shard server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Unix-domain socket at this path (same-box deployment).
+    Unix(PathBuf),
+    /// TCP address, `host:port` (cross-box deployment).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse `unix:<path>` or `tcp:<host>:<port>`.
+    pub fn parse(s: &str) -> Result<Endpoint, String> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix endpoint needs a path: unix:<path>".into());
+            }
+            Ok(Endpoint::Unix(PathBuf::from(path)))
+        } else if let Some(addr) = s.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("tcp endpoint needs an address: tcp:<host>:<port>".into());
+            }
+            Ok(Endpoint::Tcp(addr.to_string()))
+        } else {
+            Err(format!(
+                "unknown endpoint scheme in {s:?} (expected unix:<path> or tcp:<host>:<port>)"
+            ))
+        }
+    }
+
+    /// Open a connection to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Box<dyn Conn>> {
+        match self {
+            Endpoint::Unix(path) => Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?)),
+            Endpoint::Tcp(addr) => Ok(Box::new(std::net::TcpStream::connect(addr.as_str())?)),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// Fire the fault-injection site for one socket operation: an armed
+/// `Transient` becomes a retryable timeout, any other armed kind a hard
+/// connection error. (A `Panic` kind at a *client* site is deliberately
+/// mapped to a hard failure — these sites model the transport, and the
+/// coordinator must never panic on behalf of a fault plan; real panics
+/// are the server sites' job.)
+fn inject_io(site: &str) -> std::io::Result<()> {
+    if hydra_fault::enabled() {
+        match hydra_fault::fire(site) {
+            Some(hydra_fault::FaultKind::Transient) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::TimedOut,
+                    format!("injected transient at {site}"),
+                ))
+            }
+            Some(_) => {
+                return Err(std::io::Error::other(format!("injected fault at {site}")));
+            }
+            None => {}
+        }
+    }
+    Ok(())
+}
+
+/// IO error kinds worth retrying: timeouts and connection churn (a
+/// restarting server races its listener bind, so refused/missing are
+/// transient too).
+fn retryable_io(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::TimedOut
+            | std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::NotFound
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+/// Whether a failed request is worth a retry on a fresh connection: \
+/// retryable IO, a reply torn mid-frame (the server died or dropped the
+/// connection while writing), or a sequence gap (fixed by the replay a
+/// re-dial performs).
+fn retryable(e: &NetError) -> bool {
+    match e {
+        NetError::Io(io) => retryable_io(io),
+        NetError::Decode(hydra_core::ModelIoError::Truncated { .. }) => true,
+        NetError::SeqGap { .. } => true,
+        _ => false,
+    }
+}
+
+fn read_message(stream: &mut dyn Conn) -> Result<Message, NetError> {
+    let frame = Frame::read_from(stream)?;
+    Ok(Message::decode(&frame)?)
+}
+
+/// The coordinator: scatter-gather serving over N shard-server
+/// processes, presenting the same query/mutation surface as the
+/// in-process engines.
+pub struct DistributedEngine {
+    model: LinkageModel,
+    fingerprint: u64,
+    endpoints: Vec<Endpoint>,
+    conns: Vec<Option<Box<dyn Conn>>>,
+    retry: RetryPolicy,
+    /// Sequence number the next mutation will carry.
+    next_seq: u64,
+    /// Seq of `oplog[0]` (mutations before a fresh coordinator attached
+    /// are the servers' business; see [`DistributedEngine::connect`]).
+    base_seq: u64,
+    /// Every mutation issued, for replaying reconnecting shards.
+    oplog: Vec<Message>,
+    /// The epoch every in-sync replica is at (advances once per applied
+    /// insert batch, exactly like the in-process snapshot epoch).
+    epoch: u64,
+}
+
+impl std::fmt::Debug for DistributedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributedEngine")
+            .field("fingerprint", &self.fingerprint)
+            .field("endpoints", &self.endpoints)
+            .field(
+                "connected",
+                &self.conns.iter().filter(|c| c.is_some()).count(),
+            )
+            .field("next_seq", &self.next_seq)
+            .field("epoch", &self.epoch)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DistributedEngine {
+    /// Connect to every shard and handshake. Strict: each peer must
+    /// accept the model fingerprint and topology, and all peers must
+    /// agree on epoch and applied sequence (a fresh coordinator cannot
+    /// replay history it never saw — servers recovering mid-stream must
+    /// be driven by the coordinator that holds the oplog).
+    pub fn connect(
+        model: LinkageModel,
+        endpoints: Vec<Endpoint>,
+        retry: RetryPolicy,
+    ) -> Result<Self, NetError> {
+        let n = endpoints.len();
+        let fingerprint = model.fingerprint();
+        let mut eng = DistributedEngine {
+            model,
+            fingerprint,
+            endpoints,
+            conns: (0..n).map(|_| None).collect(),
+            retry,
+            next_seq: 1,
+            base_seq: 1,
+            oplog: Vec::new(),
+            epoch: 0,
+        };
+        let mut statuses = Vec::with_capacity(n);
+        for s in 0..n {
+            match eng.request(s, &Message::Status)? {
+                Message::StatusResp(st) => statuses.push(st),
+                other => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "StatusResp",
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        if let Some(first) = statuses.first() {
+            for (s, st) in statuses.iter().enumerate() {
+                if (st.epoch, st.applied_seq) != (first.epoch, first.applied_seq) {
+                    return Err(NetError::Protocol(format!(
+                        "peers out of sync at connect: shard 0 at epoch {}/seq {}, shard {s} at epoch {}/seq {}",
+                        first.epoch, first.applied_seq, st.epoch, st.applied_seq
+                    )));
+                }
+            }
+            eng.epoch = first.epoch;
+            eng.next_seq = first.applied_seq + 1;
+            eng.base_seq = eng.next_seq;
+        }
+        Ok(eng)
+    }
+
+    /// The number of shard processes in the topology.
+    pub fn num_shards(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &LinkageModel {
+        &self.model
+    }
+
+    /// The epoch every in-sync replica is at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Dial shard `s` and run the handshake: `Hello` (fingerprint +
+    /// topology gate), then replay the oplog suffix past the peer's
+    /// applied-sequence watermark so a reconnecting shard converges to
+    /// the never-disconnected state before any request lands on it.
+    fn dial(&mut self, s: usize) -> Result<(), NetError> {
+        inject_io(&format!("net.connect.{s}"))?;
+        let mut stream = self.endpoints[s].connect()?;
+        Message::Hello {
+            fingerprint: self.fingerprint,
+            shard: s as u32,
+            num_shards: self.endpoints.len() as u32,
+        }
+        .encode()
+        .write_to(&mut stream)?;
+        let st = match read_message(&mut stream)? {
+            Message::HelloAck(st) => st,
+            Message::Refuse(Refusal::Fingerprint { expected, found }) => {
+                return Err(NetError::FingerprintMismatch { expected, found })
+            }
+            Message::Refuse(Refusal::Topology { expected, found }) => {
+                return Err(NetError::TopologyMismatch { expected, found })
+            }
+            other => {
+                return Err(NetError::UnexpectedFrame {
+                    expected: "HelloAck",
+                    found: other.kind(),
+                })
+            }
+        };
+        // Replay the suffix this peer missed. (Bypasses the write/read
+        // injection sites — see the module docs.)
+        let start = (st.applied_seq + 1).saturating_sub(self.base_seq) as usize;
+        for op in self.oplog.iter().skip(start) {
+            let attempts = self.retry.max_attempts.max(1);
+            let mut backoff = self.retry.initial_backoff;
+            let mut done = false;
+            for attempt in 1..=attempts {
+                op.encode().write_to(&mut stream)?;
+                match read_message(&mut stream)? {
+                    Message::MutResp(MutOutcome::Rejected(EngineError::Transient { .. }))
+                        if attempt < attempts =>
+                    {
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff.min(self.retry.max_backoff));
+                        }
+                        backoff = (backoff * 2).min(self.retry.max_backoff);
+                    }
+                    Message::MutResp(_) => {
+                        done = true;
+                        break;
+                    }
+                    Message::Refuse(r) => {
+                        return Err(NetError::Protocol(format!("replay refused: {r:?}")))
+                    }
+                    other => {
+                        return Err(NetError::UnexpectedFrame {
+                            expected: "MutResp",
+                            found: other.kind(),
+                        })
+                    }
+                }
+            }
+            if !done {
+                return Err(NetError::Refused(EngineError::Transient {
+                    site: "remote.transient",
+                }));
+            }
+        }
+        self.conns[s] = Some(stream);
+        Ok(())
+    }
+
+    /// One request/response exchange on shard `s`'s current connection
+    /// (dialing first if there is none), with the `net.write.{s}` /
+    /// `net.read.{s}` injection sites armed around the socket ops.
+    fn exchange(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        if self.conns[s].is_none() {
+            self.dial(s)?;
+        }
+        let Some(conn) = self.conns[s].as_mut() else {
+            // dial() either filled the slot or returned an error.
+            return Err(NetError::Protocol(format!("shard {s}: no connection")));
+        };
+        inject_io(&format!("net.write.{s}")).map_err(NetError::Io)?;
+        msg.encode().write_to(conn.as_mut())?;
+        inject_io(&format!("net.read.{s}")).map_err(NetError::Io)?;
+        let reply = read_message(conn.as_mut())?;
+        if let Message::Refuse(Refusal::SeqGap { expected, found }) = reply {
+            return Err(NetError::SeqGap { expected, found });
+        }
+        Ok(reply)
+    }
+
+    /// [`DistributedEngine::exchange`] under the bounded deterministic
+    /// retry schedule: a retryable failure (injected transient, torn
+    /// reply, connection churn, sequence gap) drops the connection —
+    /// forcing the next attempt through a fresh dial + replay — and
+    /// backs off doubling. Requests are safe to re-send: queries are
+    /// read-only and mutations are sequence-idempotent.
+    fn request(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        let attempts = self.retry.max_attempts.max(1);
+        let mut backoff = self.retry.initial_backoff;
+        let mut last = None;
+        for attempt in 1..=attempts {
+            match self.exchange(s, msg) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    self.conns[s] = None;
+                    if !retryable(&e) || attempt == attempts {
+                        return Err(e);
+                    }
+                    last = Some(e);
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(self.retry.max_backoff));
+                    }
+                    backoff = (backoff * 2).min(self.retry.max_backoff);
+                }
+            }
+        }
+        // Unreachable: the loop returns on the final attempt.
+        Err(last.unwrap_or(NetError::Protocol("retry loop underflow".into())))
+    }
+
+    /// Scatter one query batch and gather degraded outcomes — the
+    /// process-sharded [`ShardedEngine::query_batch_outcome`]
+    /// (hydra_core). Validation is delegated to the shards (each
+    /// validates the whole batch against the same global statistics
+    /// before any scoring); a validation refusal from any shard fails
+    /// the whole batch with the exact in-process [`EngineError`]. Shards
+    /// that cannot answer degrade their partition: per-left
+    /// [`ShardFailure::Quarantined`] for dead connections and
+    /// already-poisoned replicas, [`ShardFailure::Panicked`] for a
+    /// replica that died scoring that very left.
+    pub fn query_batch_outcome(
+        &mut self,
+        task: usize,
+        lefts: &[u32],
+    ) -> Result<Vec<QueryOutcome>, NetError> {
+        let n = self.endpoints.len();
+        let msg = Message::QueryBatch {
+            task: task as u64,
+            lefts: lefts.to_vec(),
+        };
+        // contributions[i] gathers every shard's scored candidates for
+        // lefts[i]; failures[i] the per-shard failure reports, in shard
+        // order (the in-process degraded ordering).
+        let mut contributions: Vec<Vec<ScoredCandidate>> = vec![Vec::new(); lefts.len()];
+        let mut failures: Vec<Vec<ShardFailure>> = vec![Vec::new(); lefts.len()];
+        for s in 0..n {
+            match self.request(s, &msg) {
+                Ok(Message::QueryResp(Ok(replies))) => {
+                    if replies.len() != lefts.len() {
+                        return Err(NetError::Protocol(format!(
+                            "shard {s}: {} replies for {} queries",
+                            replies.len(),
+                            lefts.len()
+                        )));
+                    }
+                    for (i, reply) in replies.into_iter().enumerate() {
+                        match reply {
+                            QueryReply::Answer(contribution) => {
+                                contributions[i].extend(contribution)
+                            }
+                            QueryReply::Panicked(message) => {
+                                failures[i].push(ShardFailure::Panicked { shard: s, message })
+                            }
+                            QueryReply::Quarantined => {
+                                failures[i].push(ShardFailure::Quarantined { shard: s })
+                            }
+                        }
+                    }
+                }
+                // Batch validation failure: deterministic, every shard
+                // would refuse identically — fail the call like the
+                // in-process engine does.
+                Ok(Message::QueryResp(Err(e))) => return Err(NetError::Refused(e)),
+                Ok(other) => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "QueryResp",
+                        found: other.kind(),
+                    })
+                }
+                // Protocol-level refusals are configuration errors, not
+                // degradation — propagate.
+                Err(
+                    e @ (NetError::FingerprintMismatch { .. }
+                    | NetError::TopologyMismatch { .. }
+                    | NetError::Protocol(_)),
+                ) => return Err(e),
+                // This shard is unreachable: its partition degrades,
+                // the healthy shards keep serving.
+                Err(_) => {
+                    for f in failures.iter_mut() {
+                        f.push(ShardFailure::Quarantined { shard: s });
+                    }
+                }
+            }
+        }
+        Ok(contributions
+            .into_iter()
+            .zip(failures)
+            .map(|(contribution, degraded)| QueryOutcome {
+                predictions: merge_scored_candidates(
+                    contribution,
+                    self.model.candidates.max_per_user,
+                ),
+                degraded,
+            })
+            .collect())
+    }
+
+    /// Degraded single query (batch of one).
+    pub fn query_outcome(&mut self, task: usize, left: u32) -> Result<QueryOutcome, NetError> {
+        let mut outcomes = self.query_batch_outcome(task, &[left])?;
+        match outcomes.pop() {
+            Some(outcome) if outcomes.is_empty() => Ok(outcome),
+            _ => Err(NetError::Protocol("batch of one returned not-one".into())),
+        }
+    }
+
+    /// Strict single query: every shard must answer;
+    /// [`NetError::Degraded`] otherwise. Complete answers are bitwise
+    /// [`LinkageEngine::query`](hydra_core::engine::LinkageEngine).
+    pub fn query(&mut self, task: usize, left: u32) -> Result<Vec<LinkagePrediction>, NetError> {
+        let outcome = self.query_outcome(task, left)?;
+        if !outcome.is_complete() {
+            return Err(NetError::Degraded {
+                failed: outcome.failed_shards(),
+            });
+        }
+        Ok(outcome.predictions)
+    }
+
+    /// Strict batch query (every shard must answer every left).
+    pub fn query_batch(
+        &mut self,
+        task: usize,
+        lefts: &[u32],
+    ) -> Result<Vec<Vec<LinkagePrediction>>, NetError> {
+        let outcomes = self.query_batch_outcome(task, lefts)?;
+        let mut results = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            if !outcome.is_complete() {
+                return Err(NetError::Degraded {
+                    failed: outcome.failed_shards(),
+                });
+            }
+            results.push(outcome.predictions);
+        }
+        Ok(results)
+    }
+
+    /// Broadcast one sequence-numbered mutation to every shard in index
+    /// order. An application-level transient rejection (the shard's
+    /// `replica.*` site fired; nothing was applied there) is retried on
+    /// the spot under the retry schedule. Unreachable shards converge
+    /// later via dial-replay. Returns the assigned bases (inserts) from
+    /// the first shard that applied.
+    fn broadcast(&mut self, op: Message) -> Result<Vec<u32>, NetError> {
+        self.oplog.push(op.clone());
+        self.next_seq += 1;
+        let n = self.endpoints.len();
+        let mut bases: Option<Vec<u32>> = None;
+        let mut rejected: Option<EngineError> = None;
+        let mut unreachable: Vec<usize> = Vec::new();
+        for s in 0..n {
+            let attempts = self.retry.max_attempts.max(1);
+            let mut backoff = self.retry.initial_backoff;
+            let mut outcome: Option<Result<Message, NetError>> = None;
+            for attempt in 1..=attempts {
+                match self.request(s, &op) {
+                    Ok(Message::MutResp(MutOutcome::Rejected(EngineError::Transient { site })))
+                        if attempt < attempts =>
+                    {
+                        // Seq not consumed server-side; same op retries.
+                        let _ = site;
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff.min(self.retry.max_backoff));
+                        }
+                        backoff = (backoff * 2).min(self.retry.max_backoff);
+                    }
+                    other => {
+                        outcome = Some(other);
+                        break;
+                    }
+                }
+            }
+            match outcome {
+                Some(Ok(Message::MutResp(MutOutcome::Applied { bases: b }))) => {
+                    if let Some(prev) = &bases {
+                        if *prev != b {
+                            return Err(NetError::Protocol(format!(
+                                "shard {s} assigned bases {b:?}, earlier shard assigned {prev:?}"
+                            )));
+                        }
+                    } else {
+                        bases = Some(b);
+                    }
+                }
+                // Dial-replay already delivered this op to that shard.
+                Some(Ok(Message::MutResp(MutOutcome::AlreadyApplied))) => {}
+                Some(Ok(Message::MutResp(MutOutcome::Rejected(e)))) => rejected = Some(e),
+                Some(Ok(other)) => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "MutResp",
+                        found: other.kind(),
+                    })
+                }
+                Some(Err(
+                    e @ (NetError::FingerprintMismatch { .. }
+                    | NetError::TopologyMismatch { .. }
+                    | NetError::Protocol(_)),
+                )) => return Err(e),
+                Some(Err(_)) | None => unreachable.push(s),
+            }
+        }
+        if let Some(e) = rejected {
+            // Deterministic rejection: every shard that heard the op
+            // consumed the seq and rejected identically; replay keeps the
+            // rest consistent. Report the in-process error.
+            return Err(NetError::Refused(e));
+        }
+        match bases {
+            Some(bases) => Ok(bases),
+            // Every shard was unreachable. The op stays in the oplog —
+            // dial-replay delivers it when shards return, converging to
+            // the applied state — but the caller sees failed-for-now.
+            None => Err(NetError::Degraded {
+                failed: unreachable,
+            }),
+        }
+    }
+
+    /// Register one account on `platform` across every shard — the
+    /// process-sharded
+    /// [`ShardedEngine::insert_account_with_edges`](hydra_core::shard::ShardedEngine::insert_account_with_edges).
+    /// Returns the assigned global account index.
+    pub fn insert_account_with_edges(
+        &mut self,
+        platform: usize,
+        sig: UserSignals,
+        edges: &[(u32, f64)],
+    ) -> Result<u32, NetError> {
+        let op = Message::InsertBatch {
+            seq: self.next_seq,
+            platform: platform as u32,
+            accounts: vec![(sig, edges.to_vec())],
+        };
+        let bases = self.broadcast(op)?;
+        self.epoch += 1;
+        match bases.as_slice() {
+            [base] => Ok(*base),
+            other => Err(NetError::Protocol(format!(
+                "insert of one account assigned {} bases",
+                other.len()
+            ))),
+        }
+    }
+
+    /// Register a batch under one published epoch across every shard.
+    pub fn insert_batch_with_edges(
+        &mut self,
+        platform: usize,
+        accounts: Vec<(UserSignals, Vec<(u32, f64)>)>,
+    ) -> Result<Vec<u32>, NetError> {
+        let op = Message::InsertBatch {
+            seq: self.next_seq,
+            platform: platform as u32,
+            accounts,
+        };
+        let bases = self.broadcast(op)?;
+        self.epoch += 1;
+        Ok(bases)
+    }
+
+    /// De-list an account across every shard.
+    pub fn remove_account(&mut self, platform: usize, account: u32) -> Result<(), NetError> {
+        let op = Message::Remove {
+            seq: self.next_seq,
+            platform: platform as u32,
+            account,
+        };
+        self.broadcast(op)?;
+        Ok(())
+    }
+
+    /// Assert every reachable shard adopted the coordinator's epoch —
+    /// the cross-process form of the epoch-lockstep invariant the
+    /// in-process engine keeps by construction.
+    pub fn assert_epochs(&mut self) -> Result<(), NetError> {
+        let epoch = self.epoch;
+        for s in 0..self.endpoints.len() {
+            match self.request(s, &Message::AdoptEpoch { epoch })? {
+                Message::Ok => {}
+                Message::Refuse(r) => return Err(NetError::Protocol(format!("shard {s}: {r:?}"))),
+                other => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "Ok",
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Probe one shard's status.
+    pub fn status(&mut self, s: usize) -> Result<StatusInfo, NetError> {
+        match self.request(s, &Message::Status)? {
+            Message::StatusResp(st) => Ok(st),
+            other => Err(NetError::UnexpectedFrame {
+                expected: "StatusResp",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Poison one shard's replica (testing / operational isolation).
+    pub fn quarantine(&mut self, s: usize) -> Result<(), NetError> {
+        match self.request(s, &Message::Quarantine)? {
+            Message::Ok => Ok(()),
+            other => Err(NetError::UnexpectedFrame {
+                expected: "Ok",
+                found: other.kind(),
+            }),
+        }
+    }
+
+    /// Rebuild every shard's partition index deterministically and clear
+    /// poison — the cross-process
+    /// [`ShardedEngine::recover_quarantined`](hydra_core::shard::ShardedEngine::recover_quarantined).
+    pub fn recover(&mut self) -> Result<(), NetError> {
+        for s in 0..self.endpoints.len() {
+            match self.request(s, &Message::Recover)? {
+                Message::Ok => {}
+                Message::Refuse(r) => return Err(NetError::Protocol(format!("shard {s}: {r:?}"))),
+                other => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "Ok",
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Ask every reachable shard process to exit (best-effort; shards
+    /// that are already gone are skipped).
+    pub fn shutdown_all(&mut self) {
+        for s in 0..self.endpoints.len() {
+            let _ = self.request(s, &Message::Shutdown);
+            self.conns[s] = None;
+        }
+    }
+}

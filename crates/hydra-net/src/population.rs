@@ -1,0 +1,279 @@
+//! The `HYPP` population artifact: the extracted profile corpus + social
+//! graphs a shard server cold-starts from.
+//!
+//! A [`ServingArtifact`](hydra_core::ingest::ServingArtifact) (`HYSA`)
+//! freezes the *model* — decision weights and extraction state. It does
+//! not carry the *population*: the per-account
+//! [`UserSignals`](hydra_core::signals::UserSignals) and per-platform
+//! [`SocialGraph`]s a [`ShardReplica`](hydra_core::shard::ShardReplica)
+//! needs to rebuild its profile snapshot. This artifact fills that gap so
+//! a shard process can be launched from two files and nothing else.
+//!
+//! Layout (little-endian, checked-reader decoded like every other
+//! artifact):
+//!
+//! ```text
+//! magic "HYPP" | version u16 | body_fnv u64 | body
+//! body = extractor_fingerprint u64 | window_days u32
+//!      | num_platforms u64 | { num_accounts u64 | UserSignals... }...
+//!      | { graph }...            (one per platform, canonical edge list)
+//! ```
+//!
+//! The FNV-1a checksum over the body catches torn writes; graphs decode
+//! by deterministic [`GraphBuilder`](hydra_graph::GraphBuilder) rebuild,
+//! so a load round-trips the CSR bitwise. The embedded extractor
+//! fingerprint lets the server refuse a population extracted by a
+//! different pipeline than the model it loaded — the same gate the
+//! in-process artifact swap enforces.
+
+use crate::codec;
+use bytes::{BufMut, BytesMut};
+use hydra_core::artifact::{fnv1a, load_bytes, write_atomic, ModelIoError, Reader};
+use hydra_core::signals::{Signals, UserSignals};
+use hydra_graph::SocialGraph;
+use hydra_text::lda::LdaModel;
+
+/// Artifact magic: "HYPP" (HYdra Population Pack).
+pub const MAGIC: [u8; 4] = *b"HYPP";
+/// Format version this build writes.
+pub const VERSION: u16 = 1;
+
+/// A serialized population: everything a shard server needs, beyond the
+/// serving artifact, to stand up its partition.
+#[derive(Debug, Clone)]
+pub struct PopulationArtifact {
+    /// Fingerprint of the [`SignalExtractor`](hydra_core::ingest::SignalExtractor)
+    /// whose pipeline produced these signals.
+    pub extractor_fingerprint: u64,
+    /// Observation window length in days.
+    pub window_days: u32,
+    /// `per_platform[p][a]` — extracted signals of account `a` on `p`.
+    pub per_platform: Vec<Vec<UserSignals>>,
+    /// One social graph per platform.
+    pub graphs: Vec<SocialGraph>,
+}
+
+impl PopulationArtifact {
+    /// Package an extracted corpus for shipping to shard servers.
+    pub fn from_signals(
+        signals: &Signals,
+        graphs: &[SocialGraph],
+        extractor_fingerprint: u64,
+    ) -> Self {
+        PopulationArtifact {
+            extractor_fingerprint,
+            window_days: signals.window_days,
+            per_platform: signals.per_platform.clone(),
+            graphs: graphs.to_vec(),
+        }
+    }
+
+    /// Reassemble the [`Signals`] a replica builds from, supplying the
+    /// topic model from the serving artifact's extractor (the snapshot
+    /// build never consults it, but the struct carries one).
+    pub fn into_signals(self, lda: LdaModel) -> (Signals, Vec<SocialGraph>) {
+        (
+            Signals {
+                per_platform: self.per_platform,
+                window_days: self.window_days,
+                lda,
+            },
+            self.graphs,
+        )
+    }
+
+    /// Serialize (header + checksummed body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = BytesMut::with_capacity(64);
+        body.put_u64_le(self.extractor_fingerprint);
+        body.put_u32_le(self.window_days);
+        body.put_u64_le(self.per_platform.len() as u64);
+        for side in &self.per_platform {
+            body.put_u64_le(side.len() as u64);
+            for sig in side {
+                codec::put_signals(&mut body, sig);
+            }
+        }
+        for graph in &self.graphs {
+            codec::put_graph(&mut body, graph);
+        }
+        let body = body.freeze().to_vec();
+        let mut w = BytesMut::with_capacity(4 + 2 + 8 + body.len());
+        w.put_slice(&MAGIC);
+        w.put_u16_le(VERSION);
+        w.put_u64_le(fnv1a(&body));
+        w.put_slice(&body);
+        w.freeze().to_vec()
+    }
+
+    /// Decode, verifying magic, version, and body checksum. Every
+    /// malformed input — any truncation prefix included — surfaces a
+    /// typed [`ModelIoError`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ModelIoError> {
+        let mut r = Reader::new(bytes);
+        r.set_section("population header");
+        let magic = r.bytes(4)?;
+        if magic != MAGIC {
+            let mut found = [0u8; 4];
+            found.copy_from_slice(&magic);
+            return Err(ModelIoError::BadMagic {
+                expected: MAGIC,
+                found,
+            });
+        }
+        let version = r.u16()?;
+        if version == 0 || version > VERSION {
+            return Err(ModelIoError::UnsupportedVersion {
+                found: version,
+                max: VERSION,
+            });
+        }
+        let checksum = r.u64()?;
+        let body = r.bytes(r.remaining())?;
+        let actual = fnv1a(&body);
+        if actual != checksum {
+            return Err(ModelIoError::Corrupt {
+                offset: 4 + 2,
+                section: "population header",
+                what: format!(
+                    "body checksum mismatch: header says {checksum:#018x}, bytes hash to {actual:#018x}"
+                ),
+            });
+        }
+
+        let mut r = Reader::new(&body);
+        r.set_section("population body");
+        let extractor_fingerprint = r.u64()?;
+        let window_days = r.u32()?;
+        let num_platforms = r.len_prefix(8)?;
+        let mut per_platform = Vec::with_capacity(num_platforms);
+        r.set_section("population signals");
+        for _ in 0..num_platforms {
+            let n = r.len_prefix(1)?;
+            let side = (0..n)
+                .map(|_| codec::read_signals(&mut r))
+                .collect::<Result<Vec<_>, _>>()?;
+            per_platform.push(side);
+        }
+        r.set_section("population graphs");
+        let mut graphs = Vec::with_capacity(num_platforms);
+        for p in 0..num_platforms {
+            let graph = codec::read_graph(&mut r)?;
+            if graph.num_nodes() != per_platform[p].len() {
+                return Err(r.corrupt(format!(
+                    "platform {p}: graph has {} nodes but {} accounts",
+                    graph.num_nodes(),
+                    per_platform[p].len()
+                )));
+            }
+            graphs.push(graph);
+        }
+        if r.remaining() != 0 {
+            return Err(r.corrupt(format!(
+                "{} trailing bytes after population body",
+                r.remaining()
+            )));
+        }
+        Ok(PopulationArtifact {
+            extractor_fingerprint,
+            window_days,
+            per_platform,
+            graphs,
+        })
+    }
+
+    /// Save atomically (temp sibling + fsync + rename — crash-safe like
+    /// every other artifact; shares the `artifact.*` fault sites).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), ModelIoError> {
+        write_atomic(path.as_ref(), &self.to_bytes())
+    }
+
+    /// Load from a file (clearing any stale `.tmp` a crashed save left).
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, ModelIoError> {
+        Self::from_bytes(&load_bytes(path.as_ref())?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hydra_core::signals::SignalConfig;
+    use hydra_datagen::{Dataset, DatasetConfig};
+
+    fn small_world() -> (Signals, Vec<SocialGraph>) {
+        let dataset = Dataset::generate(DatasetConfig::english(12, 0x5A4D));
+        let signals = Signals::extract(
+            &dataset,
+            &SignalConfig {
+                lda_iterations: 2,
+                infer_iterations: 1,
+                ..Default::default()
+            },
+        );
+        let graphs = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+        (signals, graphs)
+    }
+
+    #[test]
+    fn round_trips_bitwise() {
+        let (signals, graphs) = small_world();
+        let art = PopulationArtifact::from_signals(&signals, &graphs, 0xC0FFEE);
+        let bytes = art.to_bytes();
+        let back = PopulationArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.extractor_fingerprint, 0xC0FFEE);
+        assert_eq!(back.window_days, signals.window_days);
+        assert_eq!(back.per_platform.len(), signals.per_platform.len());
+        // Canonical: re-encoding the decode yields identical bytes, which
+        // pins every field (floats included) bit-for-bit.
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_typed() {
+        let (signals, graphs) = small_world();
+        let art = PopulationArtifact::from_signals(&signals, &graphs, 1);
+        let bytes = art.to_bytes();
+        // Step through prefixes (byte-exact near the front where each cut
+        // lands in a different field, strided through the bulk).
+        let mut cut = 0;
+        while cut < bytes.len() {
+            let err = PopulationArtifact::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ModelIoError::Truncated { .. }
+                        | ModelIoError::BadMagic { .. }
+                        | ModelIoError::Corrupt { .. }
+                ),
+                "cut {cut}: {err}"
+            );
+            cut += if cut < 64 { 1 } else { 101 };
+        }
+    }
+
+    #[test]
+    fn checksum_catches_bit_flips() {
+        let (signals, graphs) = small_world();
+        let mut bytes = PopulationArtifact::from_signals(&signals, &graphs, 1).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let err = PopulationArtifact::from_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(err, ModelIoError::Corrupt { ref what, .. } if what.contains("checksum")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let (signals, graphs) = small_world();
+        let art = PopulationArtifact::from_signals(&signals, &graphs, 7);
+        let dir = std::env::temp_dir().join(format!("hypp-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pop.hypp");
+        art.save(&path).unwrap();
+        let back = PopulationArtifact::load(&path).unwrap();
+        assert_eq!(back.to_bytes(), art.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,487 @@
+//! Deterministic fault sweeps over the distributed coordinator — the
+//! socket-layer mirror of `hydra-core`'s `tests/fault_sweeps.rs`.
+//!
+//! Servers run **in-thread** here (the process boundary is exercised by
+//! `tests/process_parity.rs`) so `hydra-fault` plans installed in the test
+//! process are visible to both sides of the socket:
+//!
+//! * `hydra_fault::record` enumerates every client site a full
+//!   connect/query/insert/remove scenario crosses (`net.connect.{s}`,
+//!   `net.write.{s}`, `net.read.{s}` — per shard); a **transient** armed
+//!   at each one is retried under the bounded deterministic schedule to
+//!   an outcome bitwise identical to the never-faulted run;
+//! * a **hard** fault at any client site degrades exactly that shard for
+//!   exactly that call — deterministically, and bitwise what the
+//!   in-process engine answers with the same shard quarantined — then the
+//!   next call re-dials and heals to bitwise parity;
+//! * a **panic** armed at a server's `net.serve.{s}` site poisons that
+//!   replica (per-left `Panicked`, then `Quarantined`), mutations still
+//!   apply while poisoned, and `recover()` rebuilds to bitwise parity;
+//! * transients outlasting the retry budget on a mutation leave the op
+//!   converged anyway (dial-replay is the backstop), and seeded transient
+//!   streams on the read path never change an answer bit.
+
+use hydra_core::engine::LinkageEngine;
+use hydra_core::ingest::SignalExtractor;
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::shard::{QueryOutcome, RetryPolicy, ShardFailure, ShardReplica, ShardedEngine};
+use hydra_core::signals::{SignalConfig, Signals, UserSignals};
+use hydra_core::source::AccountSource;
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_fault::{install, record, FaultKind, FaultPlan};
+use hydra_graph::SocialGraph;
+use hydra_net::coordinator::Endpoint;
+use hydra_net::{DistributedEngine, NetError, ShardServer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+const NUM_SHARDS: usize = 2;
+/// The lefts every scenario queries — small on purpose: each scored left
+/// is one `net.serve.{s}` hit, and the sweep is quadratic in the log.
+const PROBE: [u32; 3] = [0, 5, 11];
+
+struct World {
+    dataset: Dataset,
+    signals: Signals,
+    extractor: SignalExtractor,
+    trained: TrainedHydra,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = Dataset::generate(DatasetConfig::english(24, 0xFA57));
+        let (signals, extractor) = Signals::extract_with_extractor(
+            &dataset,
+            &SignalConfig {
+                lda_iterations: 6,
+                infer_iterations: 2,
+                ..Default::default()
+            },
+        );
+        let n = dataset.num_persons() as u32;
+        let mut labels = Vec::new();
+        for i in 0..n / 4 {
+            labels.push((i, i, true));
+            labels.push((i, (i + n / 2) % n, false));
+        }
+        let trained = Hydra::new(HydraConfig::default())
+            .fit(
+                &dataset,
+                &signals,
+                vec![PairTask {
+                    left_platform: 0,
+                    right_platform: 1,
+                    labels,
+                    unlabeled_whitelist: None,
+                }],
+            )
+            .expect("fit");
+        World {
+            dataset,
+            signals,
+            extractor,
+            trained,
+        }
+    })
+}
+
+/// Serialize the tests in this binary: fault plans are process-wide, and
+/// an unscoped setup query racing another test's armed `net.*` site would
+/// consume its one-shot.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    SERIAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+fn retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 3,
+        initial_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+struct Net {
+    endpoints: Vec<Endpoint>,
+    handles: Vec<std::thread::JoinHandle<Result<(), NetError>>>,
+}
+
+/// Spawn `NUM_SHARDS` in-thread servers on fresh unix sockets.
+fn spawn_net(w: &World) -> Net {
+    static RUN: AtomicUsize = AtomicUsize::new(0);
+    let run = RUN.fetch_add(1, Ordering::Relaxed);
+    let mut endpoints = Vec::new();
+    let mut handles = Vec::new();
+    for s in 0..NUM_SHARDS {
+        let replica = ShardReplica::new(
+            w.trained.model.clone(),
+            &w.signals,
+            graphs(&w.dataset),
+            s,
+            NUM_SHARDS,
+        )
+        .expect("replica");
+        let mut server = ShardServer::new(replica, w.trained.model.fingerprint());
+        let sock =
+            std::env::temp_dir().join(format!("hynet-fs-{}-{run}-{s}.sock", std::process::id()));
+        let endpoint = Endpoint::Unix(sock);
+        let ep = endpoint.clone();
+        let (tx, rx) = std::sync::mpsc::channel();
+        handles.push(std::thread::spawn(move || {
+            server.run(&ep, |_| {
+                tx.send(()).ok();
+            })
+        }));
+        rx.recv().expect("server binds");
+        endpoints.push(endpoint);
+    }
+    Net { endpoints, handles }
+}
+
+fn teardown(mut eng: DistributedEngine, net: Net) {
+    eng.shutdown_all();
+    for h in net.handles {
+        h.join().expect("server thread").expect("clean server exit");
+    }
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{ctx}: score drift");
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+fn assert_outcomes_bitwise(got: &[QueryOutcome], want: &[QueryOutcome], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: outcome count");
+    for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+        assert_eq!(g.degraded, w.degraded, "{ctx}, left #{i}: failure report");
+        assert_preds_bitwise(&g.predictions, &w.predictions, &format!("{ctx}, left #{i}"));
+    }
+}
+
+/// Silence the default panic hook while `f` runs (injected server panics
+/// would spray backtraces). Tests here hold the `serial()` lock, so the
+/// global hook swap cannot race.
+fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+/// The scenario every sweep replays: query, insert (with an edge), remove,
+/// query again. Returns both query outcomes.
+fn scenario(
+    eng: &mut DistributedEngine,
+    sig: &UserSignals,
+    expect_base: u32,
+) -> (Vec<QueryOutcome>, Vec<QueryOutcome>) {
+    let before = eng.query_batch_outcome(0, &PROBE).expect("first query");
+    let idx = eng
+        .insert_account_with_edges(1, sig.clone(), &[(0, 2.0)])
+        .expect("insert");
+    assert_eq!(idx, expect_base, "insert slot");
+    eng.remove_account(1, 5).expect("remove");
+    let after = eng.query_batch_outcome(0, &PROBE).expect("second query");
+    (before, after)
+}
+
+#[test]
+fn client_site_transients_retry_to_bitwise_parity_at_every_hit() {
+    let _serial = serial();
+    let w = world();
+    let total = w.dataset.num_accounts(1) as u32;
+    let sig = w
+        .extractor
+        .extract_account(AccountSource::account(&w.dataset, 1, 0), total);
+
+    // Reference run + fault-surface enumeration in one recorded pass.
+    let net = spawn_net(w);
+    let endpoints = net.endpoints.clone();
+    let ((reference, eng), log) = record(|| {
+        let mut eng = DistributedEngine::connect(w.trained.model.clone(), endpoints, retry())
+            .expect("connect");
+        let outcome = scenario(&mut eng, &sig, total);
+        (outcome, eng)
+    });
+    teardown(eng, net);
+    for out in reference.0.iter().chain(reference.1.iter()) {
+        assert!(out.is_complete(), "reference run is never degraded");
+    }
+    let client_sites: Vec<(String, u64)> = log
+        .iter()
+        .filter(|(site, _)| {
+            site.starts_with("net.connect.")
+                || site.starts_with("net.write.")
+                || site.starts_with("net.read.")
+        })
+        .cloned()
+        .collect();
+    // Sanity: the surface covers all three operations on every shard.
+    for s in 0..NUM_SHARDS {
+        for op in ["connect", "write", "read"] {
+            assert!(
+                client_sites
+                    .iter()
+                    .any(|(site, _)| site == &format!("net.{op}.{s}")),
+                "scenario never crossed net.{op}.{s}; sites: {client_sites:?}"
+            );
+        }
+    }
+
+    // The sweep: one transient per (site, hit), full scenario each time,
+    // bitwise parity demanded at the end.
+    for (site, hit) in &client_sites {
+        let net = spawn_net(w);
+        let endpoints = net.endpoints.clone();
+        let scope = install(FaultPlan::new().one_shot(site, *hit, FaultKind::Transient));
+        let mut eng = DistributedEngine::connect(w.trained.model.clone(), endpoints, retry())
+            .unwrap_or_else(|e| panic!("connect under transient at {site}#{hit}: {e}"));
+        let (before, after) = scenario(&mut eng, &sig, total);
+        drop(scope);
+        assert_outcomes_bitwise(
+            &before,
+            &reference.0,
+            &format!("transient {site}#{hit}, pre"),
+        );
+        assert_outcomes_bitwise(
+            &after,
+            &reference.1,
+            &format!("transient {site}#{hit}, post"),
+        );
+        teardown(eng, net);
+    }
+}
+
+#[test]
+fn hard_client_faults_degrade_one_shard_deterministically_then_heal() {
+    let _serial = serial();
+    let w = world();
+    let net = spawn_net(w);
+    let mut eng =
+        DistributedEngine::connect(w.trained.model.clone(), net.endpoints.clone(), retry())
+            .expect("connect");
+    let reference = eng.query_batch_outcome(0, &PROBE).expect("reference");
+
+    // In-process twins with one shard quarantined: the surviving
+    // partition must answer the same bits.
+    let mut twins: Vec<Vec<QueryOutcome>> = Vec::new();
+    for s in 0..NUM_SHARDS {
+        let mut sharded = ShardedEngine::new(
+            w.trained.model.clone(),
+            &w.signals,
+            graphs(&w.dataset),
+            NUM_SHARDS,
+        )
+        .expect("twin");
+        sharded.quarantine(s);
+        twins.push(
+            sharded
+                .query_batch_outcome(0, &PROBE)
+                .expect("twin outcome"),
+        );
+    }
+
+    for s in 0..NUM_SHARDS {
+        // Three ways to lose shard `s` mid-query: the write fails hard,
+        // the read fails hard, or a transient read forces a re-dial whose
+        // connect fails hard.
+        let plans: Vec<(&str, FaultPlan)> = vec![
+            (
+                "write",
+                FaultPlan::new().one_shot(&format!("net.write.{s}"), 0, FaultKind::Io),
+            ),
+            (
+                "read",
+                FaultPlan::new().one_shot(&format!("net.read.{s}"), 0, FaultKind::Io),
+            ),
+            (
+                "connect",
+                FaultPlan::new()
+                    .one_shot(&format!("net.read.{s}"), 0, FaultKind::Transient)
+                    .one_shot(&format!("net.connect.{s}"), 0, FaultKind::Io),
+            ),
+        ];
+        for (name, plan) in plans {
+            let run = |eng: &mut DistributedEngine| {
+                let scope = install(plan.clone());
+                let out = eng.query_batch_outcome(0, &PROBE).expect("degraded query");
+                drop(scope);
+                out
+            };
+            let out = run(&mut eng);
+            for (i, o) in out.iter().enumerate() {
+                assert_eq!(
+                    o.degraded,
+                    vec![ShardFailure::Quarantined { shard: s }],
+                    "{name} fault, shard {s}, left #{i}"
+                );
+            }
+            assert_outcomes_bitwise(&out, &twins[s], &format!("{name} fault vs twin, shard {s}"));
+            // Identical plan, identical bits: the degradation is a pure
+            // function of the fault schedule.
+            let again = run(&mut eng);
+            assert_outcomes_bitwise(
+                &again,
+                &out,
+                &format!("{name} fault determinism, shard {s}"),
+            );
+            // No plan: the next call re-dials and serves complete again.
+            let healed = eng.query_batch_outcome(0, &PROBE).expect("healed query");
+            assert_outcomes_bitwise(
+                &healed,
+                &reference,
+                &format!("healed after {name}, shard {s}"),
+            );
+        }
+    }
+    teardown(eng, net);
+}
+
+#[test]
+fn server_panic_poisons_the_shard_and_recovery_is_bitwise() {
+    let _serial = serial();
+    let w = world();
+    let total = w.dataset.num_accounts(1) as u32;
+    let net = spawn_net(w);
+    let mut eng =
+        DistributedEngine::connect(w.trained.model.clone(), net.endpoints.clone(), retry())
+            .expect("connect");
+
+    // A single engine fed the same history stays the bitwise referee.
+    let mut reference = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("reference");
+
+    for (round, s) in (0..NUM_SHARDS).enumerate() {
+        let scope =
+            install(FaultPlan::new().one_shot(&format!("net.serve.{s}"), 0, FaultKind::Panic));
+        let out =
+            with_quiet_panics(|| eng.query_batch_outcome(0, &PROBE).expect("poisoning query"));
+        drop(scope);
+        // First scored left dies in the panic; the rest of the batch sees
+        // the already-poisoned replica. The healthy shard answers all.
+        match &out[0].degraded[..] {
+            [ShardFailure::Panicked { shard, message }] => {
+                assert_eq!(*shard, s);
+                assert!(
+                    message.contains("injected fault in shard server"),
+                    "panic payload surfaces: {message}"
+                );
+            }
+            other => panic!("expected one panic report, got {other:?}"),
+        }
+        for (i, o) in out.iter().enumerate().skip(1) {
+            assert_eq!(
+                o.degraded,
+                vec![ShardFailure::Quarantined { shard: s }],
+                "left #{i} after the panic"
+            );
+        }
+        assert!(
+            eng.status(s).expect("status").poisoned,
+            "shard {s} poisoned"
+        );
+
+        // Mutations still apply to a poisoned shard — exactly the
+        // in-process quarantine semantics.
+        let base = total + round as u32;
+        let sig = w
+            .extractor
+            .extract_account(AccountSource::account(&w.dataset, 1, round as u32), base);
+        assert_eq!(
+            eng.insert_account_with_edges(1, sig.clone(), &[])
+                .expect("insert while poisoned"),
+            base
+        );
+        reference
+            .insert_account_with_edges(1, sig, &[])
+            .expect("reference insert");
+
+        // Recovery rebuilds the partition (replaying the insert) and
+        // clears poison; answers return to bitwise parity.
+        eng.recover().expect("recover");
+        assert!(
+            !eng.status(s).expect("status").poisoned,
+            "shard {s} recovered"
+        );
+        eng.assert_epochs().expect("epoch lockstep after recovery");
+        let healed = eng.query_batch_outcome(0, &PROBE).expect("healed query");
+        for (o, &left) in healed.iter().zip(PROBE.iter()) {
+            assert!(o.is_complete(), "left {left} complete after recovery");
+            let want = reference.query(0, left).expect("reference query");
+            assert_preds_bitwise(
+                &o.predictions,
+                &want,
+                &format!("post-recovery, shard {s}, left {left}"),
+            );
+        }
+    }
+    teardown(eng, net);
+}
+
+#[test]
+fn exhausted_mutation_transients_converge_via_dial_replay() {
+    let _serial = serial();
+    let w = world();
+    let total = w.dataset.num_accounts(1) as u32;
+    let sig = w
+        .extractor
+        .extract_account(AccountSource::account(&w.dataset, 1, 0), total);
+    let net = spawn_net(w);
+    let mut eng =
+        DistributedEngine::connect(w.trained.model.clone(), net.endpoints.clone(), retry())
+            .expect("connect");
+
+    // More write transients than the retry budget on shard 1: every
+    // attempt's write dies, yet each re-dial's handshake replay has
+    // already delivered the op — the shard converges anyway, and the
+    // caller still gets its base from shard 0.
+    let scope = install(
+        FaultPlan::new()
+            .one_shot("net.write.1", 0, FaultKind::Transient)
+            .one_shot("net.write.1", 1, FaultKind::Transient)
+            .one_shot("net.write.1", 2, FaultKind::Transient),
+    );
+    let idx = eng
+        .insert_account_with_edges(1, sig.clone(), &[(0, 2.0)])
+        .expect("insert with exhausted budget");
+    drop(scope);
+    assert_eq!(idx, total);
+    let st = eng.status(1).expect("status");
+    assert_eq!(st.applied_seq, 1, "replay delivered the op to shard 1");
+    eng.assert_epochs().expect("epoch lockstep");
+
+    let mut single = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("single");
+    single
+        .insert_account_with_edges(1, sig, &[(0, 2.0)])
+        .expect("single insert");
+    let out = eng
+        .query_batch_outcome(0, &PROBE)
+        .expect("post-insert query");
+    for (o, &left) in out.iter().zip(PROBE.iter()) {
+        assert!(o.is_complete(), "left {left} complete");
+        let want = single.query(0, left).expect("single query");
+        assert_preds_bitwise(&o.predictions, &want, &format!("converged, left {left}"));
+    }
+
+    // A seeded transient stream on the read path (deterministic by seed)
+    // never changes an answer bit either.
+    let scope = install(FaultPlan::new().seeded_transients("net.read.0", 0xBEEF, 2, 3));
+    for round in 0..3 {
+        let noisy = eng.query_batch_outcome(0, &PROBE).expect("noisy query");
+        assert_outcomes_bitwise(&noisy, &out, &format!("seeded stream, round {round}"));
+    }
+    drop(scope);
+    teardown(eng, net);
+}

@@ -1,0 +1,339 @@
+//! Socket-level wire-protocol robustness (the `tests/artifact_faults.rs`
+//! of the network layer).
+//!
+//! * Handshake gates: a `Hello` with the wrong model fingerprint or the
+//!   wrong partition coordinates is refused with the typed reason, both at
+//!   the raw-frame level and through [`DistributedEngine::connect`].
+//! * Garbage on the wire — bad magic, future version, corrupted checksum,
+//!   unknown message kind — is answered with a `Refuse` naming the typed
+//!   decode error, after which the server drops the desynchronized
+//!   connection and keeps serving the next one.
+//! * A request torn at **every byte boundary** (client hangs up mid-frame)
+//!   is treated as a disconnect: no reply, no panic, no poisoned state —
+//!   the server answers the next well-formed connection bitwise as before.
+
+use hydra_core::model::{Hydra, HydraConfig, PairTask, TrainedHydra};
+use hydra_core::shard::{RetryPolicy, ShardReplica};
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_net::coordinator::Endpoint;
+use hydra_net::{DistributedEngine, Frame, Message, NetError, Refusal, ShardServer};
+use std::io::Write;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn world(n: usize, seed: u64) -> (Dataset, Signals) {
+    let dataset = Dataset::generate(DatasetConfig::english(n, seed));
+    let signals = Signals::extract(
+        &dataset,
+        &SignalConfig {
+            lda_iterations: 6,
+            infer_iterations: 2,
+            ..Default::default()
+        },
+    );
+    (dataset, signals)
+}
+
+fn train(dataset: &Dataset, signals: &Signals) -> TrainedHydra {
+    let n = dataset.num_persons() as u32;
+    let mut labels = Vec::new();
+    for i in 0..n / 4 {
+        labels.push((i, i, true));
+        labels.push((i, (i + n / 2) % n, false));
+    }
+    Hydra::new(HydraConfig::default())
+        .fit(
+            dataset,
+            signals,
+            vec![PairTask {
+                left_platform: 0,
+                right_platform: 1,
+                labels,
+                unlabeled_whitelist: None,
+            }],
+        )
+        .expect("fit")
+}
+
+fn make_server(trained: &TrainedHydra, signals: &Signals, dataset: &Dataset) -> ShardServer {
+    let graphs = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+    let replica = ShardReplica::new(trained.model.clone(), signals, graphs, 0, 1).expect("replica");
+    ShardServer::new(replica, trained.model.fingerprint())
+}
+
+/// Bind a server on a fresh unix socket and serve on a background thread
+/// until someone sends `Shutdown`. Returns once the listener is bound.
+fn spawn_server(
+    mut server: ShardServer,
+    sock: &Path,
+) -> std::thread::JoinHandle<Result<(), NetError>> {
+    let endpoint = Endpoint::Unix(sock.to_path_buf());
+    let (tx, rx) = std::sync::mpsc::channel();
+    let handle = std::thread::spawn(move || {
+        server.run(&endpoint, |_| {
+            tx.send(()).ok();
+        })
+    });
+    rx.recv().expect("server binds");
+    handle
+}
+
+fn sock_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("hynet-wf-{}-{tag}.sock", std::process::id()))
+}
+
+/// One request/response exchange over a fresh connection.
+fn ask(sock: &Path, msg: &Message) -> Message {
+    let mut stream = UnixStream::connect(sock).expect("connect");
+    msg.encode().write_to(&mut stream).expect("send");
+    let frame = Frame::read_from(&mut stream).expect("reply frame");
+    Message::decode(&frame).expect("reply message")
+}
+
+/// Write raw bytes over a fresh connection and collect the (possible)
+/// reply.
+fn send_raw(sock: &Path, bytes: &[u8]) -> Result<Message, NetError> {
+    let mut stream = UnixStream::connect(sock).expect("connect");
+    stream.write_all(bytes).expect("send");
+    stream.flush().expect("flush");
+    let frame = Frame::read_from(&mut stream)?;
+    Ok(Message::decode(&frame)?)
+}
+
+fn shutdown(sock: &Path, handle: std::thread::JoinHandle<Result<(), NetError>>) {
+    assert!(matches!(ask(sock, &Message::Shutdown), Message::Ok));
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        initial_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+#[test]
+fn handshake_refuses_fingerprint_and_topology_mismatches() {
+    let (dataset, signals) = world(24, 0x11E7);
+    let trained = train(&dataset, &signals);
+    let fingerprint = trained.model.fingerprint();
+    let sock = sock_path("handshake");
+    let handle = spawn_server(make_server(&trained, &signals, &dataset), &sock);
+
+    // Raw-frame level: a foreign fingerprint is refused with both sides
+    // of the disagreement spelled out.
+    let reply = ask(
+        &sock,
+        &Message::Hello {
+            fingerprint: fingerprint ^ 0xDEAD,
+            shard: 0,
+            num_shards: 1,
+        },
+    );
+    match reply {
+        Message::Refuse(Refusal::Fingerprint { expected, found }) => {
+            assert_eq!(expected, fingerprint ^ 0xDEAD);
+            assert_eq!(found, fingerprint);
+        }
+        other => panic!("expected fingerprint refusal, got {other:?}"),
+    }
+
+    // Wrong partition coordinates: refused with the peer's actual ones.
+    let reply = ask(
+        &sock,
+        &Message::Hello {
+            fingerprint,
+            shard: 1,
+            num_shards: 4,
+        },
+    );
+    match reply {
+        Message::Refuse(Refusal::Topology { expected, found }) => {
+            assert_eq!(expected, (1, 4));
+            assert_eq!(found, (0, 1));
+        }
+        other => panic!("expected topology refusal, got {other:?}"),
+    }
+
+    // Coordinator level: a model with a drifted config fingerprint cannot
+    // attach — and the error is the typed mismatch, not a retry loop.
+    let mut drifted = trained.model.clone();
+    drifted.candidates.max_per_user += 1;
+    assert_ne!(drifted.fingerprint(), fingerprint);
+    let err = DistributedEngine::connect(drifted, vec![Endpoint::Unix(sock.clone())], fast_retry())
+        .expect_err("foreign model must be refused");
+    assert!(
+        matches!(err, NetError::FingerprintMismatch { found, .. } if found == fingerprint),
+        "got {err}"
+    );
+
+    // Coordinator level: a topology the peer is not part of.
+    let err = DistributedEngine::connect(
+        trained.model.clone(),
+        vec![Endpoint::Unix(sock.clone()), Endpoint::Unix(sock.clone())],
+        fast_retry(),
+    )
+    .expect_err("wrong topology must be refused");
+    assert!(
+        matches!(
+            err,
+            NetError::TopologyMismatch {
+                expected: (0, 2),
+                found: (0, 1)
+            }
+        ),
+        "got {err}"
+    );
+
+    // The gate is advisory, not destructive: a correct hello still works.
+    let mut eng = DistributedEngine::connect(
+        trained.model.clone(),
+        vec![Endpoint::Unix(sock.clone())],
+        fast_retry(),
+    )
+    .expect("correct handshake attaches");
+    eng.query(0, 0).expect("serves after refused strangers");
+
+    // The server handles one connection at a time; release the engine's
+    // persistent connection so the shutdown connection gets accepted.
+    drop(eng);
+    shutdown(&sock, handle);
+}
+
+#[test]
+fn garbage_frames_get_typed_refusals_and_the_server_survives() {
+    let (dataset, signals) = world(24, 0x6A2B);
+    let trained = train(&dataset, &signals);
+    let sock = sock_path("garbage");
+    let handle = spawn_server(make_server(&trained, &signals, &dataset), &sock);
+    let baseline = match ask(
+        &sock,
+        &Message::QueryBatch {
+            task: 0,
+            lefts: vec![0, 1],
+        },
+    ) {
+        Message::QueryResp(Ok(replies)) => replies,
+        other => panic!("expected answers, got {other:?}"),
+    };
+
+    // Bad magic: refused with the decode diagnostic, connection dropped.
+    // (Must be at least a header's worth of bytes — a blocking server
+    // cannot act on a shorter prefix until the peer closes, which the
+    // torn-frame test covers.)
+    let reply = send_raw(&sock, b"NOPE-not-a-frame-at-all").expect("refusal arrives");
+    match &reply {
+        Message::Refuse(Refusal::Other(what)) => {
+            assert!(what.contains("bad frame"), "{what}");
+            assert!(what.contains("magic"), "{what}");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // Future version.
+    let mut bytes = Frame::new(8, Vec::new()).to_bytes();
+    bytes[5] = 0x7F; // version -> 0x7F01
+    match send_raw(&sock, &bytes).expect("refusal arrives") {
+        Message::Refuse(Refusal::Other(what)) => {
+            assert!(what.contains("version"), "{what}")
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // A checksum-corrupted payload under an intact header.
+    let good = Message::QueryBatch {
+        task: 0,
+        lefts: vec![3],
+    }
+    .encode()
+    .to_bytes();
+    let mut torn_payload = good.clone();
+    let last = torn_payload.len() - 1;
+    torn_payload[last] ^= 0x40;
+    match send_raw(&sock, &torn_payload).expect("refusal arrives") {
+        Message::Refuse(Refusal::Other(what)) => {
+            assert!(what.contains("checksum"), "{what}")
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // A well-formed frame carrying an unknown message kind.
+    match send_raw(&sock, &Frame::new(200, vec![1, 2]).to_bytes()).expect("refusal arrives") {
+        Message::Refuse(Refusal::Other(what)) => {
+            assert!(what.contains("bad message"), "{what}");
+            assert!(what.contains("200"), "{what}");
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // A response kind in request position is a protocol refusal (the
+    // frame itself is valid).
+    match ask(&sock, &Message::Ok) {
+        Message::Refuse(Refusal::Other(what)) => {
+            assert!(what.contains("request position"), "{what}")
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+
+    // None of that perturbed the serving state: the same query answers
+    // bitwise as before the abuse.
+    match ask(
+        &sock,
+        &Message::QueryBatch {
+            task: 0,
+            lefts: vec![0, 1],
+        },
+    ) {
+        Message::QueryResp(Ok(replies)) => assert_eq!(replies, baseline),
+        other => panic!("expected answers, got {other:?}"),
+    }
+    shutdown(&sock, handle);
+}
+
+#[test]
+fn a_request_torn_at_every_byte_boundary_is_just_a_disconnect() {
+    let (dataset, signals) = world(24, 0x70A2);
+    let trained = train(&dataset, &signals);
+    let sock = sock_path("torn");
+    let handle = spawn_server(make_server(&trained, &signals, &dataset), &sock);
+
+    let request = Message::QueryBatch {
+        task: 0,
+        lefts: vec![0, 5, 7],
+    }
+    .encode()
+    .to_bytes();
+    let baseline = ask(
+        &sock,
+        &Message::QueryBatch {
+            task: 0,
+            lefts: vec![0, 5, 7],
+        },
+    );
+
+    for cut in 0..request.len() {
+        let mut stream = UnixStream::connect(&sock).expect("connect");
+        stream.write_all(&request[..cut]).expect("partial send");
+        drop(stream); // tear the connection mid-frame
+    }
+
+    // Every torn connection was absorbed without reply, panic, or state
+    // change; a whole frame still answers bitwise.
+    let after = ask(
+        &sock,
+        &Message::QueryBatch {
+            task: 0,
+            lefts: vec![0, 5, 7],
+        },
+    );
+    assert_eq!(
+        after,
+        baseline,
+        "serving state survived {} tears",
+        request.len()
+    );
+    shutdown(&sock, handle);
+}

@@ -17,7 +17,8 @@ OUT="${1:-BENCH_pipeline.json}"
 SCALE="${HYDRA_SCALE:-2}"
 RAW="$(mktemp)"
 MEM="$(mktemp)"
-trap 'rm -f "$RAW" "$MEM"' EXIT
+DIST="$(mktemp)"
+trap 'rm -f "$RAW" "$MEM" "$DIST"' EXIT
 
 echo "== pipeline bench at HYDRA_SCALE=$SCALE (threads: ${HYDRA_THREADS:-auto}) =="
 HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" cargo bench -p hydra-bench --bench pipeline
@@ -25,7 +26,11 @@ HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" cargo bench -p hydra-bench --benc
 echo "== sharded-engine memory accounting =="
 HYDRA_SCALE="$SCALE" cargo run --release -p hydra-bench --bin snapshot_bytes > "$MEM"
 
-RAW="$RAW" MEM="$MEM" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
+echo "== distributed scatter-gather (hydra-shardd processes) =="
+cargo build --release -p hydra-net --bin hydra-shardd
+HYDRA_SCALE="$SCALE" cargo run --release -p hydra-bench --bin distributed_bench > "$DIST"
+
+RAW="$RAW" MEM="$MEM" DIST="$DIST" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
 import json, os, platform, subprocess
 
 raw = json.load(open(os.environ["RAW"]))
@@ -109,6 +114,24 @@ for rid, rec in records.items():
         ingest["batch_stage"] = rid
         ingest["batch_accounts"] = k
         ingest["accounts_per_s"] = round(k / (rec["median_ns"] / 1e9), 1)
+# Multi-core scaling of the same Tables-mode batch: the id carries
+# {threads}/{accounts}, so each stage reduces to a throughput at that
+# worker count.
+scaling = []
+for rid, rec in sorted(records.items()):
+    if rid.startswith("ingest/extract_batch_threads/"):
+        parts = rid.split("/")
+        t, k = int(parts[2]), int(parts[3])
+        scaling.append(
+            {
+                "stage": rid,
+                "threads": t,
+                "accounts": k,
+                "accounts_per_s": round(k / (rec["median_ns"] / 1e9), 1),
+            }
+        )
+if scaling:
+    ingest["thread_scaling"] = sorted(scaling, key=lambda e: e["threads"])
 for rid, rec in records.items():
     if rid.startswith("ingest/backfill_10k/"):
         parts = rid.split("/")
@@ -137,6 +160,26 @@ for rid, rec in records.items():
         recovery = {"stage": rid, "rebuild_ns": round(rec["median_ns"], 1)}
 if degraded and recovery:
     resilience = {"degraded": degraded, "recovery": recovery}
+
+# Distributed serving: the distributed_bench binary launches real
+# hydra-shardd processes over unix sockets (cold-started from one serving
+# + population artifact pair), checks bitwise parity against the single
+# in-process engine, then times the full scatter-gather batch. Its JSON
+# carries per-shard-count latency and per-process RSS.
+dist_raw = json.load(open(os.environ["DIST"]))
+distributed = []
+for e in dist_raw.get("per_shards", []):
+    distributed.append(
+        {
+            "shards": e["shards"],
+            "queries": e["queries"],
+            "endpoint": dist_raw.get("endpoint", "unix"),
+            "scatter_gather_ns": e["scatter_gather_ns"],
+            "per_process_rss_bytes": e["per_process_rss_bytes"],
+        }
+    )
+if not distributed:
+    raise SystemExit("distributed_bench produced no per_shards entries")
 
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 
@@ -181,6 +224,7 @@ doc = {
     "serve_sharded": serve_sharded,
     "ingest": ingest,
     "resilience": resilience,
+    "distributed": distributed,
     "stages": raw,
 }
 with open(os.environ["OUT"], "w") as f:
@@ -208,6 +252,10 @@ if ingest:
             f"  ingest batch   {ingest['accounts_per_s']:.0f} accounts/s "
             f"(Tables fold-in, batch of {ingest['batch_accounts']})"
         )
+    for e in ingest.get("thread_scaling", []):
+        print(
+            f"  ingest x{e['threads']} thr   {e['accounts_per_s']:.0f} accounts/s"
+        )
     if "backfill" in ingest:
         bf = ingest["backfill"]
         print(
@@ -219,5 +267,11 @@ if resilience:
         f"  degraded serve {resilience['degraded']['per_query_ns'] / 1e6:.2f} ms/query "
         f"(1 of 4 shards quarantined), shard rebuild "
         f"{resilience['recovery']['rebuild_ns'] / 1e6:.2f} ms"
+    )
+for d in distributed:
+    rss = sum(d["per_process_rss_bytes"])
+    print(
+        f"  dist x{d['shards']} procs  {d['scatter_gather_ns'] / 1e6:.2f} ms/query "
+        f"scatter-gather ({d['endpoint']}), {rss / 1e6:.0f} MB total RSS"
     )
 PY

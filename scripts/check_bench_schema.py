@@ -43,6 +43,7 @@ REQUIRED_STAGE_PREFIXES = [
     "serve/sharded_query_batch/",
     "ingest/extract_one",
     "ingest/extract_batch/",
+    "ingest/extract_batch_threads/",
     "ingest/backfill_10k/",
     "resilience/degraded_query_batch/",
     "resilience/rebuild_shard/",
@@ -196,6 +197,30 @@ def main() -> None:
             "amortizing epoch publication (expected <= accounts/10)"
         )
 
+    # Multi-core extract_batch scaling: HYDRA_THREADS ∈ {1, 2, 4} pinned
+    # through the in-process override, one throughput entry per width.
+    scaling = ingest.get("thread_scaling")
+    if not isinstance(scaling, list) or not scaling:
+        fail("ingest block missing 'thread_scaling' (multi-core extract_batch)")
+    widths = set()
+    for entry in scaling:
+        for key in ("stage", "threads", "accounts", "accounts_per_s"):
+            if key not in entry:
+                fail(f"ingest.thread_scaling entry missing {key!r}")
+        if not str(entry["stage"]).startswith("ingest/extract_batch_threads/"):
+            fail(
+                "ingest.thread_scaling entry records unexpected stage "
+                f"{entry['stage']!r}"
+            )
+        if entry["accounts"] <= 0 or entry["accounts_per_s"] <= 0:
+            fail("ingest.thread_scaling entry has non-positive throughput")
+        widths.add(entry["threads"])
+    if widths != {1, 2, 4}:
+        fail(
+            f"ingest.thread_scaling covers widths {sorted(widths)} — "
+            "expected exactly {1, 2, 4}"
+        )
+
     resilience = doc.get("resilience")
     if not isinstance(resilience, dict):
         fail("missing resilience block (degraded-mode latency + shard rebuild)")
@@ -219,6 +244,42 @@ def main() -> None:
         fail("resilience.recovery has non-positive rebuild_ns")
     if not str(recovery["stage"]).startswith("resilience/rebuild_shard/"):
         fail(f"resilience.recovery records unexpected stage {recovery['stage']!r}")
+
+    # Distributed serving: real hydra-shardd processes behind unix sockets,
+    # timed per query-batch scatter-gather at 2 and 4 shard processes, with
+    # each process's resident memory recorded alongside.
+    distributed = doc.get("distributed")
+    if not isinstance(distributed, list) or not distributed:
+        fail("missing distributed block (process-sharded scatter-gather)")
+    dist_shards = set()
+    for entry in distributed:
+        for key in (
+            "shards",
+            "queries",
+            "endpoint",
+            "scatter_gather_ns",
+            "per_process_rss_bytes",
+        ):
+            if key not in entry:
+                fail(f"distributed entry missing {key!r}")
+        if entry["shards"] <= 0 or entry["queries"] <= 0:
+            fail("distributed entry has non-positive shards/queries")
+        if entry["scatter_gather_ns"] <= 0:
+            fail("distributed entry has non-positive scatter_gather_ns")
+        rss = entry["per_process_rss_bytes"]
+        if not isinstance(rss, list) or len(rss) != entry["shards"]:
+            fail(
+                "distributed per_process_rss_bytes must list one RSS per "
+                f"shard process (shards={entry['shards']}, got {rss!r})"
+            )
+        if any(not isinstance(b, int) or b <= 0 for b in rss):
+            fail("distributed entry has a non-positive per-process RSS")
+        dist_shards.add(entry["shards"])
+    if not {2, 4} <= dist_shards:
+        fail(
+            f"distributed block covers shard counts {sorted(dist_shards)} — "
+            "2 and 4 shard processes are required"
+        )
 
     # Host fingerprint: optional (older artifacts predate it) but reported
     # when present, and shape-checked so cross-refresh comparisons can rely
@@ -256,6 +317,8 @@ def main() -> None:
         f"degraded serve {degraded['per_query_ns'] / 1e6:.2f} ms/query, "
         f"shard rebuild {recovery['rebuild_ns'] / 1e6:.2f} ms, "
         f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB, "
+        f"distributed x{max(dist_shards)} "
+        f"{max(e['scatter_gather_ns'] for e in distributed) / 1e6:.2f} ms/query, "
         f"{host_desc})"
     )
 

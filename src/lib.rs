@@ -13,6 +13,9 @@
 //!   paper's proprietary 10M-user dataset;
 //! * [`baselines`] — MOBIUS, Alias-Disamb, SMaSh, and SVM-B;
 //! * [`eval`] — metrics, labeling, and the experiment runner;
+//! * [`net`] — cross-process distributed serving: shard-per-process
+//!   scatter-gather over a versioned wire protocol (see the topology
+//!   section below);
 //! * substrates: [`linalg`], [`text`], [`graph`], [`temporal`], [`vision`].
 //!
 //! ## Train / serve split
@@ -101,6 +104,36 @@
 //!   the serving model only when config fingerprints match and rolls back
 //!   on any mid-swap fault; every query is answered entirely by the old
 //!   artifact or entirely by the new one.
+//!
+//! ## Process-sharded serving topology ([`net`])
+//!
+//! The [`net`] crate takes the same partition `ShardedEngine` runs on
+//! threads and runs it on **N OS processes** — the paper's multi-server
+//! deployment shape, scaled down to sockets on one box:
+//!
+//! ```text
+//!                    ┌──────────────────────┐
+//!        client ───▶ │  DistributedEngine   │   (coordinator: partitions
+//!                    │  scatter … gather    │    by account % N, merges
+//!                    └──┬───────┬────────┬──┘    with the SAME code as
+//!           unix/tcp    │       │        │       the in-process engine)
+//!            sockets ┌──▼──┐ ┌──▼──┐  ┌──▼──┐
+//!                    │shard│ │shard│  │shard│    hydra-shardd processes,
+//!                    │  0  │ │  1  │  │ N-1 │    each cold-started from
+//!                    └─────┘ └─────┘  └─────┘    serving.hysa + pop.hypp
+//! ```
+//!
+//! Every process cold-starts from the same two artifacts (the
+//! `ServingArtifact` bundle plus a `net::PopulationArtifact` of profiles
+//! and graphs), handshakes on model fingerprint + partition coordinates,
+//! and answers pre-scored shard contributions that the coordinator merges
+//! deterministically — process-sharded answers are **bitwise identical**
+//! to thread-sharded and single-engine answers at every shard count.
+//! Mutations are sequence-idempotent (lost acks replay; reconnects replay
+//! the op log), a dead process degrades queries exactly like an
+//! in-process quarantined shard, and a restarted one converges bitwise.
+//! See `crates/hydra-net` and `docs/distributed_serving.md` for the
+//! quickstart.
 //!
 //! **Migrating from the pre-serving API:** `Hydra::fit(&dataset, …)` still
 //! compiles (a `Dataset` is an `AccountSource`), but the learned state
@@ -214,6 +247,7 @@ pub use hydra_datagen as datagen;
 pub use hydra_eval as eval;
 pub use hydra_graph as graph;
 pub use hydra_linalg as linalg;
+pub use hydra_net as net;
 pub use hydra_temporal as temporal;
 pub use hydra_text as text;
 pub use hydra_vision as vision;

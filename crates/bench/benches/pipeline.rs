@@ -343,6 +343,18 @@ fn bench_serve_query_batch(c: &mut Criterion) {
     group.bench_function(format!("query_batch/{n}"), |b| {
         b.iter(|| black_box(engine.query_batch(0, black_box(&lefts)).expect("query")))
     });
+    // Metrics-enabled twin of the exact same batch: the delta against
+    // `query_batch/{n}` is the hydra-obs collection overhead, which
+    // `scripts/check_bench_schema.py` gates at < 3% per query. The scope
+    // stays installed across iterations (how a real deployment runs).
+    {
+        let scope = hydra_obs::install();
+        group.bench_function(format!("query_batch_obs/{n}"), |b| {
+            b.iter(|| black_box(engine.query_batch(0, black_box(&lefts)).expect("query")))
+        });
+        export_obs_snapshot(&trained, &signals, graphs());
+        drop(scope);
+    }
     for shards in [2usize, 4] {
         let sharded = ShardedEngine::new(trained.model.clone(), &signals, graphs(), shards)
             .expect("sharded engine");
@@ -351,6 +363,34 @@ fn bench_serve_query_batch(c: &mut Criterion) {
         });
     }
     group.finish();
+}
+
+/// When `HYDRA_OBS_JSON_OUT` names a path, write the metrics snapshot the
+/// serve stages populated — plus `ingest.epoch_publish` samples from a few
+/// sharded inserts — as JSON for `scripts/bench_baseline.sh`, which lifts
+/// `serve.latency.{p50,p99,max}_ns` and `ingest.epoch_publish_ns` into
+/// `BENCH_pipeline.json`. Called with the obs scope installed.
+fn export_obs_snapshot(
+    trained: &hydra_core::model::TrainedHydra,
+    signals: &Signals,
+    graphs: Vec<hydra_graph::SocialGraph>,
+) {
+    let Ok(path) = std::env::var("HYDRA_OBS_JSON_OUT") else {
+        return;
+    };
+    let mut eng =
+        ShardedEngine::new(trained.model.clone(), signals, graphs, 2).expect("obs export engine");
+    for i in 0..4 {
+        let sig = signals.per_platform[1][i].clone();
+        eng.insert_account(1, sig).expect("obs export insert");
+    }
+    let snap = hydra_obs::snapshot();
+    assert!(
+        snap.histograms.contains_key("serve.query")
+            && snap.histograms.contains_key("ingest.epoch_publish"),
+        "obs export ran before the serve stages populated the registry"
+    );
+    std::fs::write(&path, snap.to_json()).expect("write HYDRA_OBS_JSON_OUT");
 }
 
 /// Online-ingest cost: folding ONE raw account into the trained signal

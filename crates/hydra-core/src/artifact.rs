@@ -397,6 +397,7 @@ pub(crate) fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
 /// `artifact.rename`.
 pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelIoError> {
     use std::io::Write;
+    let _save = hydra_obs::span("artifact.save");
     fn injected(site: &'static str) -> std::io::Result<()> {
         if hydra_fault::enabled() {
             match hydra_fault::fire(site) {
@@ -442,11 +443,46 @@ pub fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), ModelIoE
     Ok(())
 }
 
+/// Bound on the [`swept_temp_paths`] audit ring.
+const SWEPT_RING_CAP: usize = 16;
+
+fn swept_ring() -> &'static std::sync::Mutex<std::collections::VecDeque<std::path::PathBuf>> {
+    static RING: std::sync::OnceLock<
+        std::sync::Mutex<std::collections::VecDeque<std::path::PathBuf>>,
+    > = std::sync::OnceLock::new();
+    RING.get_or_init(|| std::sync::Mutex::new(std::collections::VecDeque::new()))
+}
+
+/// The most recent stale `.tmp` siblings [`load_bytes`] actually deleted
+/// (oldest first, bounded at 16) — the audit trail that makes
+/// crash-recovery sweeps inspectable instead of silent. Every sweep also
+/// bumps the `artifact.sweep.stale_temp` counter in `hydra-obs` when
+/// metrics collection is on.
+pub fn swept_temp_paths() -> Vec<std::path::PathBuf> {
+    swept_ring()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .cloned()
+        .collect()
+}
+
 /// Read an artifact's bytes, first clearing any stale temp a crashed save
 /// left behind (single-writer assumption: nothing else is mid-save on
-/// `path` while a process loads it).
+/// `path` while a process loads it). A sweep that actually deleted a file
+/// is counted (`artifact.sweep.stale_temp`) and its path recorded for
+/// [`swept_temp_paths`].
 pub fn load_bytes(path: &std::path::Path) -> Result<Vec<u8>, ModelIoError> {
-    let _ = std::fs::remove_file(tmp_sibling(path));
+    let _load = hydra_obs::span("artifact.load");
+    let tmp = tmp_sibling(path);
+    if std::fs::remove_file(&tmp).is_ok() {
+        hydra_obs::counter_add("artifact.sweep.stale_temp", 1);
+        let mut ring = swept_ring().lock().unwrap_or_else(|e| e.into_inner());
+        if ring.len() == SWEPT_RING_CAP {
+            ring.pop_front();
+        }
+        ring.push_back(tmp);
+    }
     Ok(std::fs::read(path)?)
 }
 

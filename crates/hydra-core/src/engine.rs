@@ -571,9 +571,15 @@ impl LinkageEngine {
         }))
     }
 
-    /// The per-query pipeline (inputs already validated).
+    /// The per-query pipeline (inputs already validated). Stage spans feed
+    /// the `serve.query` / `serve.stage.candidates` histograms when
+    /// `hydra-obs` collection is on; timings never flow back into answers.
     fn resolve(&self, spec: TaskSpec, left_account: u32) -> Vec<LinkagePrediction> {
-        let cands = self.candidates_for(spec, left_account, None);
+        let _query = hydra_obs::span("serve.query");
+        let cands = {
+            let _stage = hydra_obs::span("serve.stage.candidates");
+            self.candidates_for(spec, left_account, None)
+        };
         self.score_candidates(spec, &cands)
     }
 
@@ -639,13 +645,19 @@ impl LinkageEngine {
         // Both stages read straight through the shared snapshot handle; the
         // batch fan-out happens across queries, not within one.
         let pairs: Vec<crate::PairIdx> = cands.iter().map(|c| (c.left, c.right)).collect();
-        let mut feats = self
-            .extractor
-            .features_for_profile_pairs(&pairs, left, right);
-        let mut filler = MissingFiller::over_profiles(&self.extractor, left, right);
-        filler.fill_matrix(&pairs, &mut feats, self.model.fill);
+        let mut feats = {
+            let _stage = hydra_obs::span("serve.stage.features");
+            self.extractor
+                .features_for_profile_pairs(&pairs, left, right)
+        };
+        {
+            let _stage = hydra_obs::span("serve.stage.fill");
+            let mut filler = MissingFiller::over_profiles(&self.extractor, left, right);
+            filler.fill_matrix(&pairs, &mut feats, self.model.fill);
+        }
 
         // --- kernel decision + ranking -------------------------------------
+        let _stage = hydra_obs::span("serve.stage.decision");
         let mut preds: Vec<LinkagePrediction> = (0..feats.len())
             .map(|r| {
                 let score = self.model.solution.decision(feats.row(r));

@@ -342,6 +342,9 @@ impl SignalExtractor {
     /// the fan-out commutes with any `HYDRA_THREADS`. In Tables mode the
     /// shared fold-in tables are built once up front, not per worker.
     pub fn extract_batch(&self, batch: &[RawAccount], start_idx: u32) -> Vec<UserSignals> {
+        let _batch = hydra_obs::span("ingest.extract_batch");
+        hydra_obs::counter_add("ingest.accounts_extracted", batch.len() as u64);
+        hydra_obs::observe("ingest.batch_len", batch.len() as u64);
         if self.fold_in == FoldInMode::Tables {
             // Force the one-time table build before the fan-out so workers
             // share it instead of racing to build their own.

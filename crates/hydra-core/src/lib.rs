@@ -147,7 +147,8 @@ pub use missing::FillStrategy;
 pub use model::{Hydra, HydraConfig, LinkagePrediction, TaskIndexError};
 pub use shard::{
     candidate_merge_cmp, merge_scored_candidates, merge_shard_candidates, prediction_rank_cmp,
-    QueryOutcome, RetryPolicy, ScoredCandidate, ShardFailure, ShardReplica, ShardedEngine,
+    HealthCounters, QueryOutcome, RetryPolicy, ScoredCandidate, ShardFailure, ShardReplica,
+    ShardedEngine,
 };
 pub use signals::{ProfileCache, SignalConfig, Signals, UserSignals};
 pub use snapshot::{PlatformProfiles, ProfileSnapshot};

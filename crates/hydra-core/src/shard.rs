@@ -58,7 +58,7 @@ use crate::signals::{Signals, UserSignals};
 use crate::snapshot::ProfileSnapshot;
 use hydra_graph::SocialGraph;
 use std::collections::{BTreeSet, HashMap};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -233,6 +233,116 @@ pub fn merge_scored_candidates(
     preds
 }
 
+/// Engine-lifetime health accumulators: degraded queries, per-shard
+/// failure contributions, quarantine/recovery events, and transient
+/// retries. [`QueryOutcome::degraded`] reports per query; these atomics
+/// accumulate *across* queries, so a long-running coordinator can answer
+/// "how often is shard 3 failing" without scraping individual outcomes.
+///
+/// Always on (plain relaxed atomics — no `hydra-obs` install needed); when
+/// metrics collection *is* on, every event is mirrored into `hydra-obs`
+/// counters under the owner's prefix (`{prefix}.degraded_queries`,
+/// `{prefix}.shard_failure.{s}`, `{prefix}.quarantine`, `{prefix}.recover`,
+/// `{prefix}.retry`). Shared by the in-process [`ShardedEngine`] and the
+/// `hydra-net` coordinator so both sides count with the same semantics.
+#[derive(Debug)]
+pub struct HealthCounters {
+    prefix: &'static str,
+    degraded_queries: AtomicU64,
+    shard_failures: Vec<AtomicU64>,
+    quarantine_events: AtomicU64,
+    recovery_events: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl HealthCounters {
+    /// Fresh counters for an engine over `num_shards` partitions; `prefix`
+    /// names the owner in mirrored `hydra-obs` counters (`"serve"` for the
+    /// in-process engine, `"net"` for the coordinator).
+    pub fn new(prefix: &'static str, num_shards: usize) -> Self {
+        HealthCounters {
+            prefix,
+            degraded_queries: AtomicU64::new(0),
+            shard_failures: (0..num_shards).map(|_| AtomicU64::new(0)).collect(),
+            quarantine_events: AtomicU64::new(0),
+            recovery_events: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one degraded query: `failed` lists the shards that did not
+    /// contribute (each one's failure count advances by one).
+    pub fn record_degraded(&self, failed: impl IntoIterator<Item = usize>) {
+        self.degraded_queries.fetch_add(1, Ordering::Relaxed);
+        hydra_obs::counter_add(&format!("{}.degraded_queries", self.prefix), 1);
+        for s in failed {
+            if let Some(c) = self.shard_failures.get(s) {
+                c.fetch_add(1, Ordering::Relaxed);
+            }
+            if hydra_obs::enabled() {
+                hydra_obs::counter_add(&format!("{}.shard_failure.{s}", self.prefix), 1);
+            }
+        }
+    }
+
+    /// Record one quarantine event (panic-triggered or explicit).
+    pub fn record_quarantine(&self) {
+        self.quarantine_events.fetch_add(1, Ordering::Relaxed);
+        hydra_obs::counter_add(&format!("{}.quarantine", self.prefix), 1);
+    }
+
+    /// Record `n` shards recovered from quarantine.
+    pub fn record_recovery(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.recovery_events.fetch_add(n, Ordering::Relaxed);
+        hydra_obs::counter_add(&format!("{}.recover", self.prefix), n);
+    }
+
+    /// Record one transient-failure retry.
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+        hydra_obs::counter_add(&format!("{}.retry", self.prefix), 1);
+    }
+
+    /// Queries answered degraded (at least one shard missing) so far.
+    pub fn degraded_queries(&self) -> u64 {
+        self.degraded_queries.load(Ordering::Relaxed)
+    }
+
+    /// Per-shard count of queries the shard failed to contribute to.
+    pub fn shard_failures(&self) -> Vec<u64> {
+        self.shard_failures
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// How many queries shard `s` failed to contribute to (0 for an
+    /// out-of-range shard).
+    pub fn shard_failure_count(&self, s: usize) -> u64 {
+        self.shard_failures
+            .get(s)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Quarantine events (panic-triggered and explicit) so far.
+    pub fn quarantine_events(&self) -> u64 {
+        self.quarantine_events.load(Ordering::Relaxed)
+    }
+
+    /// Shards recovered from quarantine so far.
+    pub fn recovery_events(&self) -> u64 {
+        self.recovery_events.load(Ordering::Relaxed)
+    }
+
+    /// Transient-failure retries so far.
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
 /// Bounded, deterministic retry schedule for transient ingest failures
 /// ([`EngineError::Transient`]): attempt, then back off doubling from
 /// `initial_backoff` up to `max_backoff`, for at most `max_attempts` total
@@ -273,6 +383,9 @@ pub struct ShardedEngine {
     /// skipped by [`ShardedEngine::query_outcome`] until
     /// [`ShardedEngine::recover_quarantined`] rebuilds it.
     poisoned: Vec<AtomicBool>,
+    /// Engine-lifetime degraded/quarantine/retry accumulators (see
+    /// [`HealthCounters`]).
+    health: HealthCounters,
 }
 
 impl ShardedEngine {
@@ -332,6 +445,7 @@ impl ShardedEngine {
             num_shards,
             platforms,
             poisoned,
+            health: HealthCounters::new("serve", num_shards),
         })
     }
 
@@ -384,6 +498,12 @@ impl ShardedEngine {
     /// The wrapped model.
     pub fn model(&self) -> &LinkageModel {
         self.shards[0].model()
+    }
+
+    /// Engine-lifetime health accumulators: degraded queries, per-shard
+    /// failure counts, quarantine/recovery events, transient retries.
+    pub fn health(&self) -> &HealthCounters {
+        &self.health
     }
 
     /// Number of shards the population is partitioned over.
@@ -571,15 +691,29 @@ impl ShardedEngine {
             active_count: stats.active_count,
         };
         let per_shard: Vec<Vec<CandidatePair>> = if parallel {
-            hydra_par::par_map(&self.shards, |_, shard| {
-                shard.candidates_for(spec, left_account, Some(&limits))
+            hydra_par::par_map(&self.shards, |s, shard| {
+                let t = hydra_obs::timer();
+                let cands = shard.candidates_for(spec, left_account, Some(&limits));
+                if let Some(ns) = t.elapsed_ns() {
+                    hydra_obs::observe(&format!("serve.shard.candidates.{s}"), ns);
+                }
+                cands
             })
         } else {
             self.shards
                 .iter()
-                .map(|shard| shard.candidates_for(spec, left_account, Some(&limits)))
+                .enumerate()
+                .map(|(s, shard)| {
+                    let t = hydra_obs::timer();
+                    let cands = shard.candidates_for(spec, left_account, Some(&limits));
+                    if let Some(ns) = t.elapsed_ns() {
+                        hydra_obs::observe(&format!("serve.shard.candidates.{s}"), ns);
+                    }
+                    cands
+                })
                 .collect()
         };
+        let _merge = hydra_obs::span("serve.shard.merge");
         merge_shard_candidates(
             per_shard.into_iter().flatten(),
             self.model().candidates.max_per_user,
@@ -598,6 +732,7 @@ impl ShardedEngine {
     ) -> Result<Vec<LinkagePrediction>, EngineError> {
         let spec = self.shards[0].task_spec(task)?;
         self.check_left(spec, left_account)?;
+        let _query = hydra_obs::span("serve.query");
         let cands = self.sharded_candidates(spec, left_account, true);
         Ok(self.shards[0].score_candidates(spec, &cands))
     }
@@ -617,6 +752,7 @@ impl ShardedEngine {
             self.check_left(spec, a)?;
         }
         Ok(hydra_par::par_map(left_accounts, |_, &a| {
+            let _query = hydra_obs::span("serve.query");
             let cands = self.sharded_candidates(spec, a, false);
             self.shards[0].score_candidates(spec, &cands)
         }))
@@ -641,6 +777,7 @@ impl ShardedEngine {
         for attempt in 1..=attempts {
             match self.insert_account_with_edges(platform, sig.clone(), edges) {
                 Err(EngineError::Transient { .. }) if attempt < attempts => {
+                    self.health.record_retry();
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff.min(policy.max_backoff));
                     }
@@ -694,9 +831,16 @@ impl ShardedEngine {
                 Some(Ok(cands)) => merged.extend(cands),
                 Some(Err(message)) => {
                     self.poisoned[s].store(true, Ordering::Release);
+                    self.health.record_quarantine();
                     failures.push(ShardFailure::Panicked { shard: s, message });
                 }
             }
+        }
+        if !failures.is_empty() {
+            // One degraded query; every listed shard's failure count
+            // advances (panicked this query or skipped while quarantined).
+            self.health
+                .record_degraded(failures.iter().map(ShardFailure::shard));
         }
         (
             merge_shard_candidates(merged, self.model().candidates.max_per_user),
@@ -776,6 +920,7 @@ impl ShardedEngine {
     /// Panics when `shard >= num_shards`.
     pub fn quarantine(&mut self, shard: usize) {
         self.poisoned[shard].store(true, Ordering::Release);
+        self.health.record_quarantine();
     }
 
     /// The currently quarantined shards, in ascending order.
@@ -816,6 +961,7 @@ impl ShardedEngine {
             self.poisoned[s].store(false, Ordering::Release);
             recovered.push(s);
         }
+        self.health.record_recovery(recovered.len() as u64);
         Ok(recovered)
     }
 
@@ -834,6 +980,7 @@ impl ShardedEngine {
     /// Fault-injection sites: `swap.begin` (before any shard changes),
     /// `swap.shard` (hit `s` fires before shard `s` swaps).
     pub fn swap_artifact(&mut self, model: LinkageModel) -> Result<(), EngineError> {
+        let _swap = hydra_obs::span("artifact.swap");
         let expected = self.model().fingerprint();
         let found = model.fingerprint();
         if expected != found {

@@ -311,9 +311,12 @@ impl ProfileSnapshot {
 
         // Validated — publish. `make_mut` clones the spine only when the
         // epoch is shared (copy-on-insert); a unique handle mutates in
-        // place.
+        // place. The span times publication only (validation refusals
+        // never contaminate the `ingest.epoch_publish` histogram).
+        let _publish = hydra_obs::span("ingest.epoch_publish");
         let snap = Arc::make_mut(this);
         snap.epoch += 1;
+        hydra_obs::gauge_set("ingest.epoch", snap.epoch as i64);
         let plat = Arc::make_mut(&mut snap.platforms[platform]);
         plat.tail.push(Arc::new(entry));
         // Graph refresh: pad the snapshot out to the new account's slot (a
@@ -389,6 +392,7 @@ impl ProfileSnapshot {
         // parameters (bit-identical to a full rebuild over the grown
         // side), then publish the whole batch under one spine clone and
         // one epoch bump.
+        let _publish = hydra_obs::span("ingest.epoch_publish");
         let entries: Vec<(Arc<ProfileEntry>, Vec<(u32, f64)>)> = batch
             .into_iter()
             .map(|(sig, edges)| {
@@ -401,6 +405,7 @@ impl ProfileSnapshot {
             .collect();
         let snap = Arc::make_mut(this);
         snap.epoch += 1;
+        hydra_obs::gauge_set("ingest.epoch", snap.epoch as i64);
         let plat = Arc::make_mut(&mut snap.platforms[platform]);
         for (j, (entry, edges)) in entries.into_iter().enumerate() {
             let new_idx = base + j as u32;

@@ -79,6 +79,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Metrics collection is on by default (set HYDRA_OBS=0 to disable):
+    // timings never feed back into scoring, so answers are bit-identical
+    // either way (pinned by tests/obs_parity.rs), and the coordinator
+    // reads the snapshot back through the Status message.
+    if std::env::var("HYDRA_OBS").map_or(true, |v| v != "0") {
+        hydra_obs::install_process();
+    }
     let mut server = match ShardServer::from_artifacts(
         &args.artifact,
         &args.population,

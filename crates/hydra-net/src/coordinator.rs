@@ -38,9 +38,11 @@ use hydra_core::artifact::LinkageModel;
 use hydra_core::engine::EngineError;
 use hydra_core::model::LinkagePrediction;
 use hydra_core::shard::{
-    merge_scored_candidates, QueryOutcome, RetryPolicy, ScoredCandidate, ShardFailure,
+    merge_scored_candidates, HealthCounters, QueryOutcome, RetryPolicy, ScoredCandidate,
+    ShardFailure,
 };
 use hydra_core::signals::UserSignals;
+use hydra_obs::MetricsSnapshot;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 
@@ -174,6 +176,10 @@ pub struct DistributedEngine {
     /// The epoch every in-sync replica is at (advances once per applied
     /// insert batch, exactly like the in-process snapshot epoch).
     epoch: u64,
+    /// Always-on coordinator-side failure accounting (degraded queries,
+    /// per-shard failures, quarantine/recovery/retry events), mirrored
+    /// into `net.*` hydra-obs counters when collection is installed.
+    health: HealthCounters,
 }
 
 impl std::fmt::Debug for DistributedEngine {
@@ -214,11 +220,12 @@ impl DistributedEngine {
             base_seq: 1,
             oplog: Vec::new(),
             epoch: 0,
+            health: HealthCounters::new("net", n),
         };
         let mut statuses = Vec::with_capacity(n);
         for s in 0..n {
             match eng.request(s, &Message::Status)? {
-                Message::StatusResp(st) => statuses.push(st),
+                Message::StatusResp { info, .. } => statuses.push(info),
                 other => {
                     return Err(NetError::UnexpectedFrame {
                         expected: "StatusResp",
@@ -263,6 +270,7 @@ impl DistributedEngine {
     /// applied-sequence watermark so a reconnecting shard converges to
     /// the never-disconnected state before any request lands on it.
     fn dial(&mut self, s: usize) -> Result<(), NetError> {
+        let dial_timer = hydra_obs::timer();
         inject_io(&format!("net.connect.{s}"))?;
         let mut stream = self.endpoints[s].connect()?;
         Message::Hello {
@@ -327,6 +335,9 @@ impl DistributedEngine {
             }
         }
         self.conns[s] = Some(stream);
+        if let Some(ns) = dial_timer.elapsed_ns() {
+            hydra_obs::observe(&format!("net.dial.{s}"), ns);
+        }
         Ok(())
     }
 
@@ -341,10 +352,18 @@ impl DistributedEngine {
             // dial() either filled the slot or returned an error.
             return Err(NetError::Protocol(format!("shard {s}: no connection")));
         };
+        let scatter = hydra_obs::timer();
         inject_io(&format!("net.write.{s}")).map_err(NetError::Io)?;
         msg.encode().write_to(conn.as_mut())?;
+        if let Some(ns) = scatter.elapsed_ns() {
+            hydra_obs::observe(&format!("net.scatter.{s}"), ns);
+        }
+        let gather = hydra_obs::timer();
         inject_io(&format!("net.read.{s}")).map_err(NetError::Io)?;
         let reply = read_message(conn.as_mut())?;
+        if let Some(ns) = gather.elapsed_ns() {
+            hydra_obs::observe(&format!("net.gather.{s}"), ns);
+        }
         if let Message::Refuse(Refusal::SeqGap { expected, found }) = reply {
             return Err(NetError::SeqGap { expected, found });
         }
@@ -369,6 +388,7 @@ impl DistributedEngine {
                     if !retryable(&e) || attempt == attempts {
                         return Err(e);
                     }
+                    self.health.record_retry();
                     last = Some(e);
                     if !backoff.is_zero() {
                         std::thread::sleep(backoff.min(self.retry.max_backoff));
@@ -455,6 +475,10 @@ impl DistributedEngine {
                     }
                 }
             }
+        }
+        for degraded in failures.iter().filter(|f| !f.is_empty()) {
+            self.health
+                .record_degraded(degraded.iter().map(ShardFailure::shard));
         }
         Ok(contributions
             .into_iter()
@@ -664,10 +688,10 @@ impl DistributedEngine {
         Ok(())
     }
 
-    /// Probe one shard's status.
+    /// Probe one shard's status (ignoring any attached metrics payload).
     pub fn status(&mut self, s: usize) -> Result<StatusInfo, NetError> {
         match self.request(s, &Message::Status)? {
-            Message::StatusResp(st) => Ok(st),
+            Message::StatusResp { info, .. } => Ok(info),
             other => Err(NetError::UnexpectedFrame {
                 expected: "StatusResp",
                 found: other.kind(),
@@ -675,10 +699,51 @@ impl DistributedEngine {
         }
     }
 
+    /// Coordinator-side failure accounting: degraded queries, per-shard
+    /// failure counts, quarantine/recovery/retry events since connect.
+    pub fn health(&self) -> &HealthCounters {
+        &self.health
+    }
+
+    /// Aggregate a fleet-wide metrics view: probe every shard's status
+    /// and merge the snapshots each process attached (counters add,
+    /// gauges take the max, histograms combine bucket-wise), then fold
+    /// in this process's own snapshot when local collection is on.
+    ///
+    /// Shards running with metrics disabled (`HYDRA_OBS=0`) or speaking
+    /// a newer snapshot version contribute nothing rather than failing
+    /// the probe; an unreachable shard fails the call like any other
+    /// status probe.
+    pub fn fleet_metrics(&mut self) -> Result<MetricsSnapshot, NetError> {
+        let mut fleet = MetricsSnapshot::default();
+        for s in 0..self.endpoints.len() {
+            match self.request(s, &Message::Status)? {
+                Message::StatusResp { metrics, .. } => {
+                    if let Some(snap) = metrics {
+                        fleet.merge_from(&snap);
+                    }
+                }
+                other => {
+                    return Err(NetError::UnexpectedFrame {
+                        expected: "StatusResp",
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        if hydra_obs::enabled() {
+            fleet.merge_from(&hydra_obs::snapshot());
+        }
+        Ok(fleet)
+    }
+
     /// Poison one shard's replica (testing / operational isolation).
     pub fn quarantine(&mut self, s: usize) -> Result<(), NetError> {
         match self.request(s, &Message::Quarantine)? {
-            Message::Ok => Ok(()),
+            Message::Ok => {
+                self.health.record_quarantine();
+                Ok(())
+            }
             other => Err(NetError::UnexpectedFrame {
                 expected: "Ok",
                 found: other.kind(),
@@ -692,7 +757,7 @@ impl DistributedEngine {
     pub fn recover(&mut self) -> Result<(), NetError> {
         for s in 0..self.endpoints.len() {
             match self.request(s, &Message::Recover)? {
-                Message::Ok => {}
+                Message::Ok => self.health.record_recovery(1),
                 Message::Refuse(r) => return Err(NetError::Protocol(format!("shard {s}: {r:?}"))),
                 other => {
                     return Err(NetError::UnexpectedFrame {

@@ -13,6 +13,7 @@ use hydra_core::artifact::{ModelIoError, Reader};
 use hydra_core::engine::EngineError;
 use hydra_core::shard::ScoredCandidate;
 use hydra_core::signals::UserSignals;
+use hydra_obs::MetricsSnapshot;
 
 /// Frame-kind registry (the `kind` byte of every [`Frame`]).
 pub mod kind {
@@ -172,8 +173,17 @@ pub enum Message {
     MutResp(MutOutcome),
     /// Status probe.
     Status,
-    /// Status report.
-    StatusResp(StatusInfo),
+    /// Status report, optionally carrying the server's metrics snapshot
+    /// (a length-prefixed, self-versioned `HOBS` payload — servers built
+    /// with a newer snapshot format than this decoder read as `None`
+    /// instead of failing, so fleets can upgrade one process at a time).
+    StatusResp {
+        /// The server's self-description (same shape as `HelloAck`).
+        info: StatusInfo,
+        /// The server's `hydra-obs` snapshot; `None` when the server has
+        /// collection disabled or speaks a newer snapshot version.
+        metrics: Option<MetricsSnapshot>,
+    },
     /// Assert the replica's epoch reached `epoch` (lockstep check after a
     /// broadcast mutation); `Ok` or `Refuse(Other)`.
     AdoptEpoch {
@@ -305,7 +315,7 @@ impl Message {
             Message::Remove { .. } => kind::REMOVE,
             Message::MutResp(_) => kind::MUT_RESP,
             Message::Status => kind::STATUS,
-            Message::StatusResp(_) => kind::STATUS_RESP,
+            Message::StatusResp { .. } => kind::STATUS_RESP,
             Message::AdoptEpoch { .. } => kind::ADOPT_EPOCH,
             Message::Quarantine => kind::QUARANTINE,
             Message::Recover => kind::RECOVER,
@@ -328,7 +338,14 @@ impl Message {
                 w.put_u32_le(*shard);
                 w.put_u32_le(*num_shards);
             }
-            Message::HelloAck(s) | Message::StatusResp(s) => put_status(&mut w, s),
+            Message::HelloAck(s) => put_status(&mut w, s),
+            Message::StatusResp { info, metrics } => {
+                put_status(&mut w, info);
+                let blob = metrics.as_ref().map(MetricsSnapshot::to_bytes);
+                let blob = blob.as_deref().unwrap_or(&[]);
+                w.put_u64_le(blob.len() as u64);
+                w.put_slice(blob);
+            }
             Message::QueryBatch { task, lefts } => {
                 w.put_u64_le(*task);
                 codec::put_u32_vec(&mut w, lefts);
@@ -462,7 +479,20 @@ impl Message {
                 }
             }),
             kind::STATUS => Message::Status,
-            kind::STATUS_RESP => Message::StatusResp(read_status(&mut r)?),
+            kind::STATUS_RESP => {
+                let info = read_status(&mut r)?;
+                let n = r.len_prefix(1)?;
+                let metrics = if n == 0 {
+                    None
+                } else {
+                    let blob = r.bytes(n)?;
+                    // A malformed blob is a wire error; a valid blob with a
+                    // newer version than this build reads as absent.
+                    MetricsSnapshot::from_bytes(&blob)
+                        .map_err(|e| r.corrupt(format!("metrics snapshot: {e}")))?
+                };
+                Message::StatusResp { info, metrics }
+            }
             kind::ADOPT_EPOCH => Message::AdoptEpoch { epoch: r.u64()? },
             kind::QUARANTINE => Message::Quarantine,
             kind::RECOVER => Message::Recover,
@@ -501,6 +531,23 @@ mod tests {
             applied_seq: 9,
             poisoned: false,
         }
+    }
+
+    fn sample_metrics() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::default();
+        m.counters.insert("net.requests".into(), 12);
+        m.gauges.insert("serve.epoch".into(), 17);
+        m.histograms.insert(
+            "serve.query".into(),
+            hydra_obs::HistogramSnapshot {
+                count: 2,
+                sum: 3000,
+                min: 1000,
+                max: 2000,
+                buckets: vec![(197, 1), (229, 1)],
+            },
+        );
+        m
     }
 
     #[test]
@@ -557,7 +604,14 @@ mod tests {
                 site: "replica.insert",
             })),
             Message::Status,
-            Message::StatusResp(sample_status()),
+            Message::StatusResp {
+                info: sample_status(),
+                metrics: None,
+            },
+            Message::StatusResp {
+                info: sample_status(),
+                metrics: Some(sample_metrics()),
+            },
             Message::AdoptEpoch { epoch: 12 },
             Message::Quarantine,
             Message::Recover,

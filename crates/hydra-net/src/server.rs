@@ -180,6 +180,7 @@ impl ShardServer {
                 replies.push(QueryReply::Quarantined);
                 continue;
             }
+            let per_left = hydra_obs::span("net.serve.query");
             let replica = &self.replica;
             let result = catch_unwind(AssertUnwindSafe(|| {
                 if hydra_fault::enabled() && hydra_fault::fire(&site).is_some() {
@@ -187,6 +188,7 @@ impl ShardServer {
                 }
                 replica.query_partition(task, left)
             }));
+            drop(per_left);
             replies.push(match result {
                 Ok(Ok(contribution)) => QueryReply::Answer(contribution),
                 // Validated above, so an error here is a mid-batch state
@@ -208,6 +210,11 @@ impl ShardServer {
     /// state transitions (handshake checks, sequence watermark, poison
     /// flag, mutations) happen here; sockets never do.
     pub fn handle(&mut self, msg: Message) -> Message {
+        // Per-request serve histogram + counter: every dispatched request
+        // lands in `net.request`, query batches additionally fill
+        // `net.serve.query_batch` and per-left `net.serve.query`.
+        let _request = hydra_obs::span("net.request");
+        hydra_obs::counter_add("net.requests", 1);
         match msg {
             Message::Hello {
                 fingerprint,
@@ -232,7 +239,10 @@ impl ShardServer {
                 }
                 Message::HelloAck(self.status())
             }
-            Message::QueryBatch { task, lefts } => self.handle_query(task, &lefts),
+            Message::QueryBatch { task, lefts } => {
+                let _batch = hydra_obs::span("net.serve.query_batch");
+                self.handle_query(task, &lefts)
+            }
             Message::InsertBatch {
                 seq,
                 platform,
@@ -272,7 +282,13 @@ impl ShardServer {
                     )))
                 }
             }
-            Message::Status => Message::StatusResp(self.status()),
+            Message::Status => Message::StatusResp {
+                info: self.status(),
+                // Attach this process's metrics snapshot when collection
+                // is on (hydra-shardd enables it unless HYDRA_OBS=0) — the
+                // coordinator merges these into the fleet-wide view.
+                metrics: hydra_obs::enabled().then(hydra_obs::snapshot),
+            },
             Message::Quarantine => {
                 self.poisoned = true;
                 Message::Ok

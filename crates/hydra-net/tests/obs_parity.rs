@@ -1,0 +1,282 @@
+//! Observability across the process fleet: metrics collection in
+//! `hydra-shardd` must never change an answer bit, and the coordinator
+//! must be able to aggregate a fleet-wide [`MetricsSnapshot`] through the
+//! extended `Status` message.
+//!
+//! Pinned properties:
+//!
+//! * **(a)** a fleet launched with `HYDRA_OBS=1` answers every query
+//!   byte-identically to a fleet launched with `HYDRA_OBS=0` and to the
+//!   in-process single engine;
+//! * **(b)** [`DistributedEngine::fleet_metrics`] merges the per-process
+//!   snapshots into one non-empty aggregate whose counters add across
+//!   shards, and the JSON exposition renders;
+//! * **(c)** a metrics-disabled fleet attaches no snapshot, so the
+//!   aggregate is empty rather than an error (mixed deployments degrade
+//!   to "metrics absent").
+
+use hydra_core::engine::LinkageEngine;
+use hydra_core::ingest::{ServingArtifact, SignalExtractor};
+use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
+use hydra_core::shard::RetryPolicy;
+use hydra_core::signals::{SignalConfig, Signals};
+use hydra_datagen::{Dataset, DatasetConfig};
+use hydra_graph::SocialGraph;
+use hydra_net::coordinator::Endpoint;
+use hydra_net::{DistributedEngine, PopulationArtifact};
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+struct World {
+    dataset: Dataset,
+    signals: Signals,
+    trained: TrainedHydra,
+    dir: PathBuf,
+    artifact: PathBuf,
+    population: PathBuf,
+}
+
+fn world() -> &'static World {
+    static WORLD: OnceLock<World> = OnceLock::new();
+    WORLD.get_or_init(|| {
+        let dataset = Dataset::generate(DatasetConfig::english(24, 0x0B5_0B5));
+        let (signals, extractor): (Signals, SignalExtractor) = Signals::extract_with_extractor(
+            &dataset,
+            &SignalConfig {
+                lda_iterations: 6,
+                infer_iterations: 2,
+                ..Default::default()
+            },
+        );
+        let n = dataset.num_persons() as u32;
+        let mut labels = Vec::new();
+        for i in 0..n / 4 {
+            labels.push((i, i, true));
+            labels.push((i, (i + n / 2) % n, false));
+        }
+        let trained = Hydra::new(HydraConfig::default())
+            .fit(
+                &dataset,
+                &signals,
+                vec![PairTask {
+                    left_platform: 0,
+                    right_platform: 1,
+                    labels,
+                    unlabeled_whitelist: None,
+                }],
+            )
+            .expect("fit");
+        let dir = std::env::temp_dir().join(format!("hynet-obs-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("test dir");
+        let artifact = dir.join("serving.hysa");
+        ServingArtifact {
+            model: trained.model.clone(),
+            extractor: extractor.clone(),
+        }
+        .save(&artifact)
+        .expect("save serving artifact");
+        let population = dir.join("population.hypp");
+        let graphs: Vec<SocialGraph> = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
+        PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint())
+            .save(&population)
+            .expect("save population artifact");
+        World {
+            dataset,
+            signals,
+            trained,
+            dir,
+            artifact,
+            population,
+        }
+    })
+}
+
+fn graphs(dataset: &Dataset) -> Vec<SocialGraph> {
+    dataset.platforms.iter().map(|p| p.graph.clone()).collect()
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        initial_backoff: Duration::ZERO,
+        max_backoff: Duration::ZERO,
+    }
+}
+
+/// Spawn one `hydra-shardd` with metrics collection forced on or off via
+/// the `HYDRA_OBS` env var, blocking until its `READY` line.
+fn launch(w: &World, tag: &str, shard: usize, num_shards: usize, obs: bool) -> (Child, Endpoint) {
+    let sock = w.dir.join(format!("{tag}-{num_shards}w-{shard}.sock"));
+    std::fs::remove_file(&sock).ok();
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hydra-shardd"))
+        .arg("--artifact")
+        .arg(&w.artifact)
+        .arg("--population")
+        .arg(&w.population)
+        .arg("--shard")
+        .arg(shard.to_string())
+        .arg("--num-shards")
+        .arg(num_shards.to_string())
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .env("HYDRA_OBS", if obs { "1" } else { "0" })
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hydra-shardd");
+    let stdout = child.stdout.take().expect("stdout pipe");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("READY line");
+    let bound = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    (child, Endpoint::parse(&bound).expect("bound endpoint"))
+}
+
+fn launch_fleet(
+    w: &World,
+    tag: &str,
+    num_shards: usize,
+    obs: bool,
+) -> (Vec<Child>, DistributedEngine) {
+    let mut children = Vec::new();
+    let mut endpoints = Vec::new();
+    for s in 0..num_shards {
+        let (child, ep) = launch(w, tag, s, num_shards, obs);
+        children.push(child);
+        endpoints.push(ep);
+    }
+    let dist = DistributedEngine::connect(w.trained.model.clone(), endpoints, fast_retry())
+        .expect("connect");
+    (children, dist)
+}
+
+fn reap(mut child: Child, ctx: &str) {
+    let status = child.wait().expect("wait");
+    assert!(status.success(), "{ctx}: shard process exited {status}");
+}
+
+fn assert_preds_bitwise(got: &[LinkagePrediction], want: &[LinkagePrediction], ctx: &str) {
+    assert_eq!(got.len(), want.len(), "{ctx}: candidate count");
+    for (g, w) in got.iter().zip(want.iter()) {
+        assert_eq!((g.left, g.right), (w.left, w.right), "{ctx}: pair order");
+        assert_eq!(g.score.to_bits(), w.score.to_bits(), "{ctx}: score drift");
+        assert_eq!(g.linked, w.linked, "{ctx}: decision");
+    }
+}
+
+/// (a) Metrics on vs off in the shard processes changes no answer bit.
+#[test]
+fn shardd_metrics_on_off_bitwise() {
+    let w = world();
+    let lefts: Vec<u32> = (0..w.dataset.num_persons() as u32).collect();
+    let single = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("single");
+    let want = single.query_batch(0, &lefts).expect("single batch");
+
+    for num_shards in [1usize, 2] {
+        let mut batches = Vec::new();
+        for obs in [true, false] {
+            let tag = format!("onoff-{}", if obs { "on" } else { "off" });
+            let (children, mut dist) = launch_fleet(w, &tag, num_shards, obs);
+            batches.push(dist.query_batch(0, &lefts).expect("fleet batch"));
+            dist.shutdown_all();
+            for (s, child) in children.into_iter().enumerate() {
+                reap(child, &format!("{tag} {num_shards}w shard {s}"));
+            }
+        }
+        for (i, &left) in lefts.iter().enumerate() {
+            let ctx = format!("{num_shards}w, left {left}");
+            assert_preds_bitwise(&batches[0][i], &want[i], &format!("{ctx}, obs on"));
+            assert_preds_bitwise(&batches[1][i], &want[i], &format!("{ctx}, obs off"));
+        }
+    }
+}
+
+/// (b) The coordinator aggregates a non-empty fleet snapshot whose
+/// counters add across processes, and the JSON exposition renders.
+#[test]
+fn fleet_snapshot_aggregates_across_processes() {
+    let w = world();
+    let lefts: Vec<u32> = (0..w.dataset.num_persons() as u32).collect();
+    let (children, mut dist) = launch_fleet(w, "fleet", 2, true);
+
+    // Put serving traffic on the wire so histograms have samples.
+    for _ in 0..3 {
+        dist.query_batch(0, &lefts).expect("fleet batch");
+    }
+
+    let fleet = dist.fleet_metrics().expect("fleet metrics");
+    assert!(!fleet.is_empty(), "aggregate snapshot must be non-empty");
+
+    // Every process handled at least the connect-time Status, 3 query
+    // batches, and the snapshot probe itself; counters add across the
+    // two shards.
+    let requests = fleet.counters.get("net.requests").copied().unwrap_or(0);
+    assert!(
+        requests >= 2 * 5,
+        "fleet-wide request count, got {requests}"
+    );
+
+    let qb = fleet
+        .histograms
+        .get("net.serve.query_batch")
+        .expect("query-batch histogram");
+    assert_eq!(qb.count, 2 * 3, "one batch sample per shard per call");
+    let per_left = fleet
+        .histograms
+        .get("net.serve.query")
+        .expect("per-left histogram");
+    assert_eq!(
+        per_left.count,
+        2 * 3 * lefts.len() as u64,
+        "one per-left sample per shard per query"
+    );
+    assert!(per_left.percentile(0.50) <= per_left.percentile(0.99));
+
+    // Shard-side engine stages travelled with the snapshot too.
+    assert!(
+        fleet.histograms.contains_key("serve.stage.features"),
+        "engine stage histograms aggregate fleet-wide"
+    );
+
+    let json = fleet.to_json();
+    assert!(
+        json.starts_with('{') && json.contains("\"histograms\"") && json.contains("net.requests"),
+        "JSON exposition renders the aggregate"
+    );
+
+    // No shard degraded anything during this healthy run.
+    assert_eq!(dist.health().degraded_queries(), 0);
+    assert_eq!(dist.health().retries(), 0);
+
+    dist.shutdown_all();
+    for (s, child) in children.into_iter().enumerate() {
+        reap(child, &format!("fleet shard {s}"));
+    }
+}
+
+/// (c) A metrics-disabled fleet attaches no snapshot: the aggregate is
+/// empty, not an error.
+#[test]
+fn disabled_fleet_yields_empty_aggregate() {
+    let w = world();
+    let lefts: Vec<u32> = (0..w.dataset.num_persons() as u32).collect();
+    let (children, mut dist) = launch_fleet(w, "dark", 2, false);
+    dist.query_batch(0, &lefts).expect("fleet batch");
+    let fleet = dist.fleet_metrics().expect("fleet metrics");
+    assert!(
+        fleet.is_empty(),
+        "disabled shards must contribute nothing: {fleet:?}"
+    );
+    dist.shutdown_all();
+    for (s, child) in children.into_iter().enumerate() {
+        reap(child, &format!("dark shard {s}"));
+    }
+}

@@ -72,6 +72,10 @@ where
     if threads <= 1 {
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    // Observability only — fan-out shape, never fed back into scheduling.
+    hydra_obs::counter_add("par.fanout", 1);
+    hydra_obs::observe("par.fanout.items", items.len() as u64);
+    hydra_obs::gauge_set("par.threads", threads as i64);
 
     // Work-stealing over a shared atomic cursor in fixed-size blocks; each
     // worker writes results into its blocks' slots, so output order matches

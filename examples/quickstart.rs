@@ -6,6 +6,9 @@
 //! extractor, insert it (graph refresh included), and resolve it — then
 //! **bulk-backfill** a whole wave of accounts through the batched ingest
 //! pipeline (Tables-mode `extract_batch` + one-epoch-per-batch inserts).
+//! Finally, **meter** the hot path: install the dependency-free
+//! `hydra-obs` registry and read exact serve-stage latency percentiles
+//! back out of the snapshot.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -228,6 +231,42 @@ fn main() {
         "  rebuilt shards {recovered:?} from the shared snapshot; answers are \
          bitwise identical to the never-failed engine again"
     );
+
+    // 11. METRICS DRILL: install the dependency-free hydra-obs registry and
+    //     replay the query batch under it. Collection never changes an
+    //     answer bit (pinned by crates/hydra-core/tests/obs_parity.rs);
+    //     the snapshot reads back exact p50/p99/max per stage from log2
+    //     histograms and renders as JSON or Prometheus text — see
+    //     docs/observability.md for the full metric catalog.
+    println!("\nmetrics drill: replaying the query batch with hydra-obs installed...");
+    let obs_scope = hydra::obs::install();
+    let metered = engine.query_batch(0, &lefts).expect("metered query batch");
+    assert_eq!(metered.len(), answers.len());
+    let snap = hydra::obs::snapshot();
+    // Sharded engines scan candidates per shard (serve.shard.candidates.{s})
+    // rather than through the single-engine serve.stage.candidates span.
+    for name in [
+        "serve.query",
+        "serve.shard.candidates.0",
+        "serve.stage.features",
+        "serve.stage.decision",
+        "serve.shard.merge",
+    ] {
+        let h = snap.histograms.get(name).expect("stage histogram");
+        println!(
+            "  {name:<24} {:>4} samples  p50 {:>8.1} µs  p99 {:>8.1} µs  max {:>8.1} µs",
+            h.count,
+            h.percentile(0.50) as f64 / 1e3,
+            h.percentile(0.99) as f64 / 1e3,
+            h.max as f64 / 1e3,
+        );
+    }
+    println!(
+        "  exposition: {} bytes JSON, {} bytes Prometheus text",
+        snap.to_json().len(),
+        snap.to_prometheus().len()
+    );
+    drop(obs_scope);
 
     // Show a few resolved identities (top-ranked answer per query).
     println!("\nsample queries (left username → top answer):");

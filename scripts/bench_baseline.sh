@@ -18,10 +18,12 @@ SCALE="${HYDRA_SCALE:-2}"
 RAW="$(mktemp)"
 MEM="$(mktemp)"
 DIST="$(mktemp)"
-trap 'rm -f "$RAW" "$MEM" "$DIST"' EXIT
+OBS="$(mktemp)"
+trap 'rm -f "$RAW" "$MEM" "$DIST" "$OBS"' EXIT
 
 echo "== pipeline bench at HYDRA_SCALE=$SCALE (threads: ${HYDRA_THREADS:-auto}) =="
-HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" cargo bench -p hydra-bench --bench pipeline
+HYDRA_SCALE="$SCALE" CRITERION_JSON_OUT="$RAW" HYDRA_OBS_JSON_OUT="$OBS" \
+    cargo bench -p hydra-bench --bench pipeline
 
 echo "== sharded-engine memory accounting =="
 HYDRA_SCALE="$SCALE" cargo run --release -p hydra-bench --bin snapshot_bytes > "$MEM"
@@ -30,7 +32,7 @@ echo "== distributed scatter-gather (hydra-shardd processes) =="
 cargo build --release -p hydra-net --bin hydra-shardd
 HYDRA_SCALE="$SCALE" cargo run --release -p hydra-bench --bin distributed_bench > "$DIST"
 
-RAW="$RAW" MEM="$MEM" DIST="$DIST" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
+RAW="$RAW" MEM="$MEM" DIST="$DIST" OBS="$OBS" OUT="$OUT" SCALE="$SCALE" python3 - <<'PY'
 import json, os, platform, subprocess
 
 raw = json.load(open(os.environ["RAW"]))
@@ -58,13 +60,42 @@ for rid in records:
 # wall-clock reduces to a per-query latency.
 serve = None
 for rid, rec in records.items():
-    if rid.startswith("serve/query_batch/"):
+    if rid.startswith("serve/query_batch/") and "_obs/" not in rid:
         queries = int(rid.rsplit("/", 1)[1])
         serve = {
             "stage": rid,
             "queries": queries,
             "per_query_ns": round(rec["median_ns"] / queries, 1),
         }
+
+# Observability: the metrics-enabled twin of the serve batch gives the
+# hydra-obs collection overhead, and the exported registry snapshot gives
+# exact-readout serve latency percentiles plus the epoch-publication cost
+# (both from the fixed-bucket log2 histograms the serving spans fill).
+if serve is None:
+    raise SystemExit("bench produced no serve/query_batch stage")
+for rid, rec in records.items():
+    if rid.startswith("serve/query_batch_obs/"):
+        queries = int(rid.rsplit("/", 1)[1])
+        obs_per_query = round(rec["median_ns"] / queries, 1)
+        serve["obs"] = {
+            "stage": rid,
+            "per_query_ns": obs_per_query,
+            "overhead_pct": round(
+                100.0 * (obs_per_query - serve["per_query_ns"]) / serve["per_query_ns"],
+                2,
+            ),
+        }
+if "obs" not in serve:
+    raise SystemExit("bench produced no serve/query_batch_obs stage")
+obs_snap = json.load(open(os.environ["OBS"]))
+serve_hist = obs_snap["histograms"]["serve.query"]
+serve["latency"] = {
+    "p50_ns": serve_hist["p50"],
+    "p99_ns": serve_hist["p99"],
+    "max_ns": serve_hist["max"],
+    "samples": serve_hist["count"],
+}
 
 # Sharded serving: the id suffix is the SHARD count; the query count is the
 # same batch the single-engine stage ran (results are byte-identical, only
@@ -108,6 +139,14 @@ for rid, rec in records.items():
         ingest = {"stage": rid, "per_account_ns": round(rec["median_ns"], 1)}
 if ingest is None:
     raise SystemExit("bench produced no ingest/extract_one stage")
+# Epoch-publication latency from the obs snapshot (the `ingest.epoch_publish`
+# span around copy-on-insert publication in the sharded engine).
+epoch_hist = obs_snap["histograms"]["ingest.epoch_publish"]
+ingest["epoch_publish_ns"] = {
+    "p50_ns": epoch_hist["p50"],
+    "max_ns": epoch_hist["max"],
+    "samples": epoch_hist["count"],
+}
 for rid, rec in records.items():
     if rid.startswith("ingest/extract_batch/"):
         k = int(rid.rsplit("/", 1)[1])
@@ -237,6 +276,16 @@ if serve:
     print(
         f"  serve          {serve['per_query_ns'] / 1e6:.2f} ms/query "
         f"({serve['queries']} queries)"
+    )
+    lat = serve["latency"]
+    print(
+        f"  serve latency  p50 {lat['p50_ns'] / 1e6:.2f} ms, "
+        f"p99 {lat['p99_ns'] / 1e6:.2f} ms, max {lat['max_ns'] / 1e6:.2f} ms "
+        f"({lat['samples']} samples)"
+    )
+    print(
+        f"  serve obs      {serve['obs']['per_query_ns'] / 1e6:.2f} ms/query "
+        f"({serve['obs']['overhead_pct']:+.2f}% metrics overhead)"
     )
 for s in serve_sharded:
     print(

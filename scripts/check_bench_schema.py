@@ -40,6 +40,7 @@ REQUIRED_STAGE_PREFIXES = [
     "fit/dense_lu/",
     "fit/matrix_free/",
     "serve/query_batch/",
+    "serve/query_batch_obs/",
     "serve/sharded_query_batch/",
     "ingest/extract_one",
     "ingest/extract_batch/",
@@ -116,6 +117,41 @@ def main() -> None:
     if not str(serve["stage"]).startswith("serve/query_batch/"):
         fail(f"serve block records unexpected stage {serve['stage']!r}")
 
+    # Observability: exact-readout latency percentiles from the hydra-obs
+    # serve.query histogram, and the metrics-collection overhead gated at
+    # < 3% per query (negative is fine — that's measurement noise saying
+    # the overhead is unmeasurable).
+    latency = serve.get("latency")
+    if not isinstance(latency, dict):
+        fail("serve block missing 'latency' (hydra-obs histogram readout)")
+    for key in ("p50_ns", "p99_ns", "max_ns"):
+        if key not in latency:
+            fail(f"serve.latency missing {key!r}")
+        if not isinstance(latency[key], int) or latency[key] <= 0:
+            fail(f"serve.latency {key!r} is not a positive integer")
+    if not latency["p50_ns"] <= latency["p99_ns"] <= latency["max_ns"]:
+        fail(
+            "serve.latency percentiles out of order: "
+            f"p50 {latency['p50_ns']} / p99 {latency['p99_ns']} / "
+            f"max {latency['max_ns']}"
+        )
+    obs = serve.get("obs")
+    if not isinstance(obs, dict):
+        fail("serve block missing 'obs' (metrics-enabled twin stage)")
+    for key in ("stage", "per_query_ns", "overhead_pct"):
+        if key not in obs:
+            fail(f"serve.obs missing {key!r}")
+    if not str(obs["stage"]).startswith("serve/query_batch_obs/"):
+        fail(f"serve.obs records unexpected stage {obs['stage']!r}")
+    if obs["per_query_ns"] <= 0:
+        fail("serve.obs has non-positive per_query_ns")
+    MAX_OBS_OVERHEAD_PCT = 3.0
+    if obs["overhead_pct"] >= MAX_OBS_OVERHEAD_PCT:
+        fail(
+            f"metrics-collection overhead {obs['overhead_pct']}% per query "
+            f"breaches the {MAX_OBS_OVERHEAD_PCT}% gate"
+        )
+
     sharded = doc.get("serve_sharded")
     if not isinstance(sharded, list) or not sharded:
         fail("missing serve_sharded block (per-query latency per shard count)")
@@ -167,6 +203,18 @@ def main() -> None:
         fail("ingest block has non-positive per_account_ns")
     if not str(ingest["stage"]).startswith("ingest/extract_one"):
         fail(f"ingest block records unexpected stage {ingest['stage']!r}")
+    # Epoch-publication latency from the hydra-obs histogram.
+    epoch = ingest.get("epoch_publish_ns")
+    if not isinstance(epoch, dict):
+        fail("ingest block missing 'epoch_publish_ns' (hydra-obs readout)")
+    for key in ("p50_ns", "max_ns", "samples"):
+        if key not in epoch:
+            fail(f"ingest.epoch_publish_ns missing {key!r}")
+        if not isinstance(epoch[key], int) or epoch[key] <= 0:
+            fail(f"ingest.epoch_publish_ns {key!r} is not a positive integer")
+    if epoch["p50_ns"] > epoch["max_ns"]:
+        fail("ingest.epoch_publish_ns p50 exceeds max")
+
     # Batched Tables-mode throughput (ISSUE 7 acceptance bar).
     for key in ("batch_stage", "batch_accounts", "accounts_per_s"):
         if key not in ingest:
@@ -309,7 +357,9 @@ def main() -> None:
     print(
         f"{args.path}: schema OK "
         f"({len(stages)} stages, fit_dual_solve {speedups['fit_dual_solve']}x, "
-        f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query, "
+        f"serve {serve['per_query_ns'] / 1e6:.2f} ms/query "
+        f"(p50 {latency['p50_ns'] / 1e6:.2f} / p99 {latency['p99_ns'] / 1e6:.2f} ms, "
+        f"obs overhead {obs['overhead_pct']:+.2f}%), "
         f"ingest {ingest['per_account_ns'] / 1e6:.2f} ms/account, "
         f"ingest batch {ingest['accounts_per_s']:.0f} accounts/s, "
         f"backfill {backfill['accounts']} accounts/"

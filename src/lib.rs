@@ -16,6 +16,10 @@
 //! * [`net`] — cross-process distributed serving: shard-per-process
 //!   scatter-gather over a versioned wire protocol (see the topology
 //!   section below);
+//! * [`obs`] — dependency-free metrics and stage tracing: counters,
+//!   gauges, log2 latency histograms, and RAII spans across serve,
+//!   ingest, and the fleet; off by default (one relaxed atomic load per
+//!   site), never changes an answer bit (`docs/observability.md`);
 //! * substrates: [`linalg`], [`text`], [`graph`], [`temporal`], [`vision`].
 //!
 //! ## Train / serve split
@@ -248,6 +252,7 @@ pub use hydra_eval as eval;
 pub use hydra_graph as graph;
 pub use hydra_linalg as linalg;
 pub use hydra_net as net;
+pub use hydra_obs as obs;
 pub use hydra_temporal as temporal;
 pub use hydra_text as text;
 pub use hydra_vision as vision;

@@ -6,17 +6,25 @@
 //! in-process `serve/sharded_query_batch/{shards}` stages, built on the
 //! same [`hydra_bench::serve_bench_world`] so the latencies are
 //! comparable. Per shard process it also records resident memory
-//! (`VmRSS`), the multi-process cost the 1×-snapshot in-process design
-//! avoids. Before timing, answers are checked **bitwise** against a
-//! single in-process [`LinkageEngine`] — a bench run that drifts a bit is
-//! a bug, not a measurement.
+//! (`VmRSS`) and cold-start time (spawn → `READY`), the multi-process
+//! costs the 1×-snapshot in-process design avoids.
+//!
+//! Every fleet is then re-run from **sliced** population artifacts
+//! (`PopulationArtifact::slice_for_shard` — 1/N profiles and incident
+//! edges per process), the deployment shape that claws the N× parse time
+//! and RSS back. Before timing, every topology's answers are checked
+//! **bitwise** against a single in-process [`LinkageEngine`] — a bench
+//! run that drifts a bit is a bug, not a measurement.
 //!
 //! Emits one JSON object on stdout; `scripts/bench_baseline.sh` merges it
-//! into `BENCH_pipeline.json` as the `distributed` block.
+//! into `BENCH_pipeline.json` as the `distributed` (full-artifact) and
+//! `distributed_sliced` blocks, and `scripts/check_bench_schema.py`
+//! gates sliced aggregate RSS below the full-artifact baseline.
 
 use hydra_bench::serve_bench_world_with_extractor;
 use hydra_core::engine::LinkageEngine;
 use hydra_core::ingest::ServingArtifact;
+use hydra_core::model::{LinkagePrediction, TrainedHydra};
 use hydra_core::shard::RetryPolicy;
 use hydra_graph::SocialGraph;
 use hydra_net::coordinator::Endpoint;
@@ -43,8 +51,17 @@ fn shardd_exe() -> PathBuf {
     path
 }
 
-/// Spawn one shard process and block until its `READY` line.
-fn launch(artifact: &Path, population: &Path, sock: &Path, shard: usize, num: usize) -> Child {
+/// Spawn one shard process and block until its `READY` line. Returns the
+/// child plus the cold-start wall clock (spawn → `READY`, i.e. artifact
+/// parse + replica build + bind).
+fn launch(
+    artifact: &Path,
+    population: &Path,
+    sock: &Path,
+    shard: usize,
+    num: usize,
+) -> (Child, u64) {
+    let t = Instant::now();
     let mut child = Command::new(shardd_exe())
         .arg("--artifact")
         .arg(artifact)
@@ -68,7 +85,7 @@ fn launch(artifact: &Path, population: &Path, sock: &Path, shard: usize, num: us
         line.starts_with("READY "),
         "unexpected shardd startup line: {line:?}"
     );
-    child
+    (child, t.elapsed().as_nanos() as u64)
 }
 
 /// Resident set size of a live process, from `/proc/<pid>/status`.
@@ -86,6 +103,88 @@ fn rss_bytes(pid: u32) -> u64 {
         }
     }
     panic!("no VmRSS in /proc/{pid}/status");
+}
+
+fn json_u64s(values: &[u64]) -> String {
+    values
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Launch one fleet (one population file per shard — identical paths for
+/// the full artifact, per-shard files for slices), gate bitwise parity,
+/// time the scatter-gather batch, sample per-process RSS. Returns one
+/// JSON `per_shards` entry.
+#[allow(clippy::too_many_arguments)]
+fn run_fleet(
+    tag: &str,
+    artifact: &Path,
+    populations: &[PathBuf],
+    dir: &Path,
+    trained: &TrainedHydra,
+    retry: &RetryPolicy,
+    lefts: &[u32],
+    want: &[Vec<LinkagePrediction>],
+) -> String {
+    let shards = populations.len();
+    let mut children = Vec::new();
+    let mut endpoints = Vec::new();
+    let mut cold_start = Vec::new();
+    for (s, population) in populations.iter().enumerate() {
+        let sock = dir.join(format!("{tag}-{shards}w-{s}.sock"));
+        std::fs::remove_file(&sock).ok();
+        let (child, cold_ns) = launch(artifact, population, &sock, s, shards);
+        children.push(child);
+        cold_start.push(cold_ns);
+        endpoints.push(Endpoint::Unix(sock));
+    }
+    let mut eng = DistributedEngine::connect(trained.model.clone(), endpoints, retry.clone())
+        .expect("coordinator attaches");
+
+    // Parity gate (also the warm-up batch).
+    let got = eng.query_batch(0, lefts).expect("distributed batch");
+    assert_eq!(got.len(), want.len());
+    for (g_set, w_set) in got.iter().zip(want.iter()) {
+        assert_eq!(g_set.len(), w_set.len(), "{tag}: candidate count drift");
+        for (g, w) in g_set.iter().zip(w_set.iter()) {
+            assert_eq!((g.left, g.right), (w.left, w.right), "{tag}: pair order");
+            assert_eq!(g.score.to_bits(), w.score.to_bits(), "{tag}: score drift");
+        }
+    }
+
+    let mut best = u64::MAX;
+    for _ in 0..ITERS {
+        let t = Instant::now();
+        let out = eng.query_batch(0, lefts).expect("timed batch");
+        let ns = t.elapsed().as_nanos() as u64;
+        std::hint::black_box(out);
+        best = best.min(ns);
+    }
+    let rss: Vec<u64> = children.iter().map(|c| rss_bytes(c.id())).collect();
+    let artifact_bytes: Vec<u64> = populations
+        .iter()
+        .map(|p| std::fs::metadata(p).expect("population metadata").len())
+        .collect();
+
+    eng.shutdown_all();
+    for mut child in children {
+        let status = child.wait().expect("wait shardd");
+        assert!(status.success(), "{tag}: shard process exited {status}");
+    }
+
+    format!(
+        "{{\"shards\": {}, \"queries\": {}, \"scatter_gather_ns\": {}, \
+         \"per_process_rss_bytes\": [{}], \"cold_start_ns\": [{}], \
+         \"artifact_bytes\": [{}]}}",
+        shards,
+        lefts.len(),
+        best / lefts.len() as u64,
+        json_u64s(&rss),
+        json_u64s(&cold_start),
+        json_u64s(&artifact_bytes),
+    )
 }
 
 fn main() {
@@ -112,9 +211,8 @@ fn main() {
     .save(&artifact)
     .expect("save serving artifact");
     let population = dir.join("population.hypp");
-    PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint())
-        .save(&population)
-        .expect("save population artifact");
+    let full = PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint());
+    full.save(&population).expect("save population artifact");
 
     let retry = RetryPolicy {
         max_attempts: 3,
@@ -122,64 +220,43 @@ fn main() {
         max_backoff: Duration::from_millis(20),
     };
 
-    let mut entries = Vec::new();
+    let mut full_entries = Vec::new();
+    let mut sliced_entries = Vec::new();
     for shards in [2usize, 4] {
-        let mut children = Vec::new();
-        let mut endpoints = Vec::new();
-        for s in 0..shards {
-            let sock = dir.join(format!("shard-{shards}w-{s}.sock"));
-            std::fs::remove_file(&sock).ok();
-            children.push(launch(&artifact, &population, &sock, s, shards));
-            endpoints.push(Endpoint::Unix(sock));
-        }
-        let mut eng = DistributedEngine::connect(trained.model.clone(), endpoints, retry.clone())
-            .expect("coordinator attaches");
+        let populations: Vec<PathBuf> = (0..shards).map(|_| population.clone()).collect();
+        full_entries.push(run_fleet(
+            "full",
+            &artifact,
+            &populations,
+            &dir,
+            &trained,
+            &retry,
+            &lefts,
+            &want,
+        ));
 
-        // Parity gate (also the warm-up batch).
-        let got = eng.query_batch(0, &lefts).expect("distributed batch");
-        assert_eq!(got.len(), want.len());
-        for (g_set, w_set) in got.iter().zip(want.iter()) {
-            assert_eq!(g_set.len(), w_set.len(), "candidate count drift");
-            for (g, w) in g_set.iter().zip(w_set.iter()) {
-                assert_eq!((g.left, g.right), (w.left, w.right), "pair order drift");
-                assert_eq!(g.score.to_bits(), w.score.to_bits(), "score drift");
-            }
-        }
-
-        let mut best = u64::MAX;
-        for _ in 0..ITERS {
-            let t = Instant::now();
-            let out = eng.query_batch(0, &lefts).expect("timed batch");
-            let ns = t.elapsed().as_nanos() as u64;
-            std::hint::black_box(out);
-            best = best.min(ns);
-        }
-        let rss: Vec<u64> = children.iter().map(|c| rss_bytes(c.id())).collect();
-
-        eng.shutdown_all();
-        for mut child in children {
-            let status = child.wait().expect("wait shardd");
-            assert!(status.success(), "shard process exited {status}");
-        }
-
-        entries.push(format!(
-            "{{\"shards\": {}, \"queries\": {}, \"scatter_gather_ns\": {}, \
-             \"per_process_rss_bytes\": [{}]}}",
-            shards,
-            lefts.len(),
-            best / lefts.len() as u64,
-            rss.iter()
-                .map(|b| b.to_string())
-                .collect::<Vec<_>>()
-                .join(", "),
+        let slices: Vec<PathBuf> = (0..shards)
+            .map(|s| {
+                let path = dir.join(format!("population-{shards}w-{s}.hypp"));
+                full.slice_for_shard(s, shards, &trained.model.tasks)
+                    .expect("slice")
+                    .save(&path)
+                    .expect("save slice");
+                path
+            })
+            .collect();
+        sliced_entries.push(run_fleet(
+            "sliced", &artifact, &slices, &dir, &trained, &retry, &lefts, &want,
         ));
     }
     std::fs::remove_dir_all(&dir).ok();
 
     println!(
-        "{{\"population\": {}, \"endpoint\": \"unix\", \"iters\": {}, \"per_shards\": [{}]}}",
+        "{{\"population\": {}, \"endpoint\": \"unix\", \"iters\": {}, \
+         \"per_shards\": [{}], \"sliced_per_shards\": [{}]}}",
         n,
         ITERS,
-        entries.join(", ")
+        full_entries.join(", "),
+        sliced_entries.join(", ")
     );
 }

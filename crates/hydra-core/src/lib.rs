@@ -129,6 +129,7 @@ pub mod ingest;
 pub mod missing;
 pub mod model;
 pub mod moo;
+pub mod routing;
 #[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod shard;
 pub mod signals;

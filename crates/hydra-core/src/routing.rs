@@ -1,0 +1,75 @@
+//! The one partition-routing function every sharded layer shares.
+//!
+//! Account `a` of an `N`-way partition is owned by shard `a mod N` —
+//! dense platform-local ids make the modulus a perfect hash. That single
+//! line used to be re-derived in half a dozen closures across
+//! [`ShardedEngine`](crate::shard::ShardedEngine) and
+//! [`ShardReplica`](crate::shard::ShardReplica), and again by the
+//! `hydra-net` coordinator and population slicer; any drift between them
+//! would silently break the bitwise parity contract (a slice missing an
+//! account the server thinks it owns, or a coordinator replaying a
+//! mutation to the wrong process). Centralizing it here — and pinning
+//! the mapping with tests — makes core and net *unable* to disagree.
+//!
+//! Everything downstream routes through these two functions:
+//!
+//! * the in-process [`ShardedEngine`](crate::shard::ShardedEngine)
+//!   (ownership predicates, mutation routing, quarantine recovery),
+//! * the standalone [`ShardReplica`](crate::shard::ShardReplica) a shard
+//!   process serves,
+//! * the `hydra-net` coordinator (`DistributedEngine::owner_shard`), and
+//! * `PopulationArtifact::slice_for_shard`, which decides which profiles
+//!   a sliced `HYPP` artifact must carry.
+
+/// The owning shard of `account` in a `num_shards`-way partition:
+/// `account mod num_shards`.
+///
+/// # Panics
+/// Panics on `num_shards == 0` (division by zero) — every public
+/// constructor rejects a zero shard count before routing is consulted.
+#[inline]
+pub fn owner(account: u32, num_shards: usize) -> usize {
+    account as usize % num_shards
+}
+
+/// Whether shard `shard` of a `num_shards`-way partition owns `account`.
+#[inline]
+pub fn owns(shard: usize, num_shards: usize, account: u32) -> bool {
+    owner(account, num_shards) == shard
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The mapping is pinned, not just property-tested: sliced artifacts
+    /// written by one build must cold-start servers built by another, so
+    /// the routing function is effectively a wire format.
+    #[test]
+    fn owner_is_account_mod_n_pinned() {
+        assert_eq!(owner(0, 1), 0);
+        assert_eq!(owner(17, 1), 0);
+        assert_eq!(owner(0, 2), 0);
+        assert_eq!(owner(1, 2), 1);
+        assert_eq!(owner(24, 2), 0);
+        assert_eq!(owner(25, 2), 1);
+        assert_eq!(owner(5, 4), 1);
+        assert_eq!(owner(6, 4), 2);
+        assert_eq!(owner(7, 4), 3);
+        assert_eq!(owner(8, 4), 0);
+        assert_eq!(owner(u32::MAX, 3), (u32::MAX as usize) % 3);
+    }
+
+    #[test]
+    fn owns_agrees_with_owner_everywhere() {
+        for n in [1usize, 2, 3, 4, 7] {
+            for a in 0..64u32 {
+                for s in 0..n {
+                    assert_eq!(owns(s, n, a), owner(a, n) == s, "a={a} n={n} s={s}");
+                }
+                // Exactly one shard owns every account.
+                assert_eq!((0..n).filter(|&s| owns(s, n, a)).count(), 1);
+            }
+        }
+    }
+}

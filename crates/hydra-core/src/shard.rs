@@ -12,10 +12,14 @@
 //!
 //! ## How the partition works
 //!
-//! * **Routing** — account `a` is owned by shard `hash(a) = a mod N`
-//!   (dense platform-local ids make the modulus a perfect hash);
-//!   [`ShardedEngine::insert_account`] / [`ShardedEngine::remove_account`]
-//!   route to the owning shard's blocking index.
+//! * **Routing** — account `a` is owned by shard
+//!   [`routing::owner`]`(a, N) = a mod N` (dense platform-local ids make
+//!   the modulus a perfect hash); the mapping lives in the shared,
+//!   test-pinned [`crate::routing`] module so the in-process engine, the
+//!   per-process replicas, the net coordinator, and the population slicer
+//!   can never drift. [`ShardedEngine::insert_account`] /
+//!   [`ShardedEngine::remove_account`] route to the owning shard's
+//!   blocking index.
 //! * **Partitioned candidacy, one shared profile snapshot** — each shard
 //!   privately owns only its partition's blocking postings and active-set
 //!   bookkeeping; the per-platform profile store (signals, bucket caches,
@@ -54,6 +58,7 @@ use crate::artifact::{LinkageModel, TaskSpec};
 use crate::candidates::{gram_keys, CandidatePair, GramLimits};
 use crate::engine::{inject_point, EngineError, LinkageEngine};
 use crate::model::LinkagePrediction;
+use crate::routing;
 use crate::signals::{Signals, UserSignals};
 use crate::snapshot::ProfileSnapshot;
 use hydra_graph::SocialGraph;
@@ -389,10 +394,12 @@ pub struct ShardedEngine {
 }
 
 impl ShardedEngine {
-    /// The owning shard of an account: `hash(account) = account mod N`.
+    /// The owning shard of an account — [`routing::owner`], the one
+    /// mapping every sharded layer (in-process, per-process, slicer)
+    /// shares.
     #[inline]
     fn owner(&self, account: u32) -> usize {
-        account as usize % self.num_shards
+        routing::owner(account, self.num_shards)
     }
 
     /// Build a sharded engine over `num_shards` partitions — same inputs as
@@ -418,7 +425,7 @@ impl ShardedEngine {
             shards.push(LinkageEngine::with_shared_snapshot(
                 model.clone(),
                 snapshot.clone(),
-                |_, a| a as usize % num_shards == s,
+                |_, a| routing::owns(s, num_shards, a),
             )?);
         }
         let platforms = signals
@@ -623,7 +630,7 @@ impl ShardedEngine {
         let num_shards = self.num_shards;
         for (s, shard) in self.shards.iter_mut().enumerate() {
             shard.adopt_epoch_batch(self.snapshot.clone(), platform, base, count, |idx| {
-                idx as usize % num_shards == s
+                routing::owns(s, num_shards, idx)
             });
         }
 
@@ -948,11 +955,11 @@ impl ShardedEngine {
             let mut fresh = LinkageEngine::with_shared_snapshot(
                 model.clone(),
                 self.snapshot.clone(),
-                |_, a| a as usize % n == s,
+                |_, a| routing::owns(s, n, a),
             )?;
             for (platform, stats) in self.platforms.iter().enumerate() {
                 for &a in &stats.removed {
-                    if a as usize % n == s {
+                    if routing::owns(s, n, a) {
                         fresh.remove_account(platform, a)?;
                     }
                 }
@@ -1045,28 +1052,56 @@ impl ShardReplica {
         shard: usize,
         num_shards: usize,
     ) -> Result<Self, EngineError> {
+        let usernames = signals
+            .per_platform
+            .iter()
+            .map(|side| side.iter().map(|sig| sig.username.clone()).collect())
+            .collect();
+        Self::with_usernames(model, signals, graphs, usernames, shard, num_shards)
+    }
+
+    /// Build a replica whose *population-wide* bookkeeping comes from
+    /// explicit per-platform username columns rather than the signal
+    /// store. This is the cold-start path for **sliced** population
+    /// artifacts: the signal columns hold real profiles only for the
+    /// slots the slice retained (absent slots carry placeholder signals),
+    /// but the username columns still list every account on every
+    /// platform — so the global stop-gram statistics, active counts, and
+    /// left-side validation stay bitwise identical to a replica built
+    /// from the full population. `usernames[p].len()` must equal
+    /// `signals.per_platform[p].len()`; [`ShardReplica::new`] is the
+    /// special case where the columns are derived from the signals
+    /// themselves.
+    pub fn with_usernames(
+        model: LinkageModel,
+        signals: &Signals,
+        graphs: Vec<SocialGraph>,
+        usernames: Vec<Vec<String>>,
+        shard: usize,
+        num_shards: usize,
+    ) -> Result<Self, EngineError> {
         if num_shards == 0 || shard >= num_shards {
             return Err(EngineError::InvalidShardCount);
         }
         let extractor = model.extractor();
         let snapshot = Arc::new(ProfileSnapshot::build(&extractor, signals, graphs)?);
         let engine = LinkageEngine::with_shared_snapshot(model, snapshot.clone(), |_, a| {
-            a as usize % num_shards == shard
+            routing::owns(shard, num_shards, a)
         })?;
-        let platforms = signals
-            .per_platform
-            .iter()
-            .map(|side| {
+        let platforms = usernames
+            .into_iter()
+            .map(|column| {
                 let mut stats = PlatformStats {
                     gram_counts: HashMap::new(),
-                    active_count: side.len(),
-                    total: side.len(),
-                    usernames: side.iter().map(|sig| sig.username.clone()).collect(),
+                    active_count: column.len(),
+                    total: column.len(),
+                    usernames: Vec::new(),
                     removed: BTreeSet::new(),
                 };
-                for sig in side {
-                    stats.count_grams(&sig.username, 1);
+                for username in &column {
+                    stats.count_grams(username, 1);
                 }
+                stats.usernames = column;
                 stats
             })
             .collect();
@@ -1203,7 +1238,7 @@ impl ShardReplica {
         inject_point("replica.insert")?;
         let global = ProfileSnapshot::publish_insert(&mut self.snapshot, platform, sig, edges)?;
         let sig = self.snapshot.platform(platform).signal(global);
-        let owned = global as usize % self.num_shards == self.shard;
+        let owned = routing::owns(self.shard, self.num_shards, global);
         let idx = self
             .engine
             .adopt_epoch(self.snapshot.clone(), platform, sig, owned);
@@ -1232,7 +1267,7 @@ impl ShardReplica {
         let (s, n) = (self.shard, self.num_shards);
         self.engine
             .adopt_epoch_batch(self.snapshot.clone(), platform, base, count, |idx| {
-                idx as usize % n == s
+                routing::owns(s, n, idx)
             });
         let stats = &mut self.platforms[platform];
         debug_assert_eq!(stats.total as u32, base, "stats slot drift");
@@ -1265,7 +1300,7 @@ impl ShardReplica {
         if stats.removed.contains(&account) {
             return Err(EngineError::AccountRemoved { platform, account });
         }
-        if account as usize % self.num_shards == self.shard {
+        if routing::owns(self.shard, self.num_shards, account) {
             self.engine.remove_account(platform, account)?;
         }
         let stats = &mut self.platforms[platform];
@@ -1286,11 +1321,11 @@ impl ShardReplica {
         let (s, n) = (self.shard, self.num_shards);
         let mut fresh =
             LinkageEngine::with_shared_snapshot(model, self.snapshot.clone(), |_, a| {
-                a as usize % n == s
+                routing::owns(s, n, a)
             })?;
         for (platform, stats) in self.platforms.iter().enumerate() {
             for &a in &stats.removed {
-                if a as usize % n == s {
+                if routing::owns(s, n, a) {
                     fresh.remove_account(platform, a)?;
                 }
             }

@@ -1,13 +1,15 @@
 //! The scatter-gather coordinator: a [`DistributedEngine`] fronting N
 //! shard-server processes.
 //!
-//! Queries scatter to every shard, whose contributions arrive
-//! **pre-scored** (kernel scores are per-pair, so where they were
-//! computed cannot matter) and gather through
-//! [`merge_scored_candidates`] — literally the same merge the in-process
-//! [`ShardedEngine`](hydra_core::shard::ShardedEngine) runs, which is
-//! what makes "process-sharded == thread-sharded == single, bitwise" a
-//! code-sharing fact. A shard that cannot answer (dead connection, dial
+//! Queries scatter to every shard **pipelined** — the batch frame goes
+//! out on every socket before any reply is read, so per-shard compute
+//! overlaps and the gather waits on the slowest shard rather than the
+//! sum — and contributions arrive **pre-scored** (kernel scores are
+//! per-pair, so where they were computed cannot matter), gathered in
+//! shard order through [`merge_scored_candidates`] — literally the same
+//! merge the in-process [`ShardedEngine`](hydra_core::shard::ShardedEngine)
+//! runs, which is what makes "process-sharded == thread-sharded ==
+//! single, bitwise" a code-sharing fact. A shard that cannot answer (dead connection, dial
 //! retries exhausted, server-side panic) degrades the
 //! [`QueryOutcome`] exactly like an in-process quarantined shard:
 //! healthy partitions keep serving, the failure is reported per shard,
@@ -26,10 +28,18 @@
 //! retryable IO errors and are retried under the same bounded
 //! deterministic [`RetryPolicy`] schedule the ingest layer uses; every
 //! other injected kind is a hard connection failure (the coordinator
-//! never panics on behalf of a fault plan). Oplog replay inside the dial
-//! handshake deliberately bypasses the write/read sites: replay length
-//! depends on how many faults already fired, and injecting into it would
-//! make site hit counts schedule-dependent.
+//! never panics on behalf of a fault plan). The pipelined scatter keeps
+//! those hit counts identical to a sequential scatter: the write phase
+//! runs each shard's retry schedule only as far as the write, and a
+//! gather-phase failure *resumes* that schedule rather than starting a
+//! fresh one. Oplog replay inside the dial handshake deliberately
+//! bypasses the write/read sites: replay length depends on how many
+//! faults already fired, and injecting into it would make site hit
+//! counts schedule-dependent. Dialing — connect, handshake, replay — is
+//! bounded by a configurable budget
+//! ([`DistributedEngine::set_dial_timeout`], default 5 s) so a peer
+//! that wedged after the kernel accepted the connection degrades like a
+//! dead shard instead of hanging the scatter.
 
 use crate::frame::Frame;
 use crate::message::{Message, MutOutcome, QueryReply, Refusal, StatusInfo};
@@ -45,10 +55,32 @@ use hydra_core::signals::UserSignals;
 use hydra_obs::MetricsSnapshot;
 use std::io::{Read, Write};
 use std::path::PathBuf;
+use std::time::Duration;
 
-/// A duplex byte stream a shard connection runs over.
-pub trait Conn: Read + Write + Send {}
-impl<T: Read + Write + Send> Conn for T {}
+/// A duplex byte stream a shard connection runs over: socket IO plus
+/// the ability to bound how long a single read/write may block — the
+/// hook the coordinator's dial budget hangs off (a peer whose accept
+/// loop wedged after the kernel completed the TCP handshake would
+/// otherwise hang the dial, and with it the whole scatter, forever).
+pub trait Conn: Read + Write + Send {
+    /// Bound every subsequent read and write to `timeout` (`None` =
+    /// block forever, the default state of a fresh connection).
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for std::os::unix::net::UnixStream {
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)?;
+        self.set_write_timeout(timeout)
+    }
+}
+
+impl Conn for std::net::TcpStream {
+    fn set_io_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)?;
+        self.set_write_timeout(timeout)
+    }
+}
 
 /// Where a shard server listens.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,11 +111,38 @@ impl Endpoint {
         }
     }
 
-    /// Open a connection to this endpoint.
+    /// Open a connection to this endpoint (no connect bound).
     pub fn connect(&self) -> std::io::Result<Box<dyn Conn>> {
+        self.connect_timeout(None)
+    }
+
+    /// Open a connection, bounding the TCP connect itself to `timeout`
+    /// (tried per resolved address, first success wins). Unix-domain
+    /// connects are local kernel operations and cannot hang — the
+    /// hung-peer case there is a wedged *accept* loop, which the dial
+    /// budget's IO timeout covers after connecting.
+    pub fn connect_timeout(&self, timeout: Option<Duration>) -> std::io::Result<Box<dyn Conn>> {
         match self {
             Endpoint::Unix(path) => Ok(Box::new(std::os::unix::net::UnixStream::connect(path)?)),
-            Endpoint::Tcp(addr) => Ok(Box::new(std::net::TcpStream::connect(addr.as_str())?)),
+            Endpoint::Tcp(addr) => match timeout {
+                None => Ok(Box::new(std::net::TcpStream::connect(addr.as_str())?)),
+                Some(t) => {
+                    use std::net::ToSocketAddrs;
+                    let mut last: Option<std::io::Error> = None;
+                    for resolved in addr.as_str().to_socket_addrs()? {
+                        match std::net::TcpStream::connect_timeout(&resolved, t) {
+                            Ok(stream) => return Ok(Box::new(stream)),
+                            Err(e) => last = Some(e),
+                        }
+                    }
+                    Err(last.unwrap_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            format!("{addr}: no addresses resolved"),
+                        )
+                    }))
+                }
+            },
         }
     }
 }
@@ -166,6 +225,14 @@ pub struct DistributedEngine {
     endpoints: Vec<Endpoint>,
     conns: Vec<Option<Box<dyn Conn>>>,
     retry: RetryPolicy,
+    /// Bound on one dial — TCP connect plus the whole handshake (Hello,
+    /// ack, oplog replay). A timeout surfaces as retryable IO, so a
+    /// wedged peer costs the bounded retry schedule and then degrades
+    /// like any dead shard instead of hanging the scatter indefinitely.
+    /// Established connections are *not* bounded (a slow query is the
+    /// server computing, not the transport wedging). `None` = wait
+    /// forever.
+    dial_timeout: Option<Duration>,
     /// Sequence number the next mutation will carry.
     next_seq: u64,
     /// Seq of `oplog[0]` (mutations before a fresh coordinator attached
@@ -216,6 +283,7 @@ impl DistributedEngine {
             endpoints,
             conns: (0..n).map(|_| None).collect(),
             retry,
+            dial_timeout: Some(Duration::from_secs(5)),
             next_seq: 1,
             base_seq: 1,
             oplog: Vec::new(),
@@ -265,6 +333,21 @@ impl DistributedEngine {
         self.epoch
     }
 
+    /// The shard process owning `account` — the shared
+    /// [`routing`](hydra_core::routing) contract, byte-for-byte the
+    /// mapping the servers' partition predicates and the population
+    /// slicer use.
+    pub fn owner_shard(&self, account: u32) -> usize {
+        hydra_core::routing::owner(account, self.endpoints.len())
+    }
+
+    /// Override the dial budget (default 5 s; `None` = wait forever).
+    /// See the field docs: bounds connect + handshake + replay per dial
+    /// attempt, never established-connection IO.
+    pub fn set_dial_timeout(&mut self, timeout: Option<Duration>) {
+        self.dial_timeout = timeout;
+    }
+
     /// Dial shard `s` and run the handshake: `Hello` (fingerprint +
     /// topology gate), then replay the oplog suffix past the peer's
     /// applied-sequence watermark so a reconnecting shard converges to
@@ -272,15 +355,18 @@ impl DistributedEngine {
     fn dial(&mut self, s: usize) -> Result<(), NetError> {
         let dial_timer = hydra_obs::timer();
         inject_io(&format!("net.connect.{s}"))?;
-        let mut stream = self.endpoints[s].connect()?;
+        let mut stream = self.endpoints[s].connect_timeout(self.dial_timeout)?;
+        // The whole handshake runs under the dial budget; cleared before
+        // the connection enters service.
+        stream.set_io_timeout(self.dial_timeout)?;
         Message::Hello {
             fingerprint: self.fingerprint,
             shard: s as u32,
             num_shards: self.endpoints.len() as u32,
         }
         .encode()
-        .write_to(&mut stream)?;
-        let st = match read_message(&mut stream)? {
+        .write_to(stream.as_mut())?;
+        let st = match read_message(stream.as_mut())? {
             Message::HelloAck(st) => st,
             Message::Refuse(Refusal::Fingerprint { expected, found }) => {
                 return Err(NetError::FingerprintMismatch { expected, found })
@@ -303,8 +389,8 @@ impl DistributedEngine {
             let mut backoff = self.retry.initial_backoff;
             let mut done = false;
             for attempt in 1..=attempts {
-                op.encode().write_to(&mut stream)?;
-                match read_message(&mut stream)? {
+                op.encode().write_to(stream.as_mut())?;
+                match read_message(stream.as_mut())? {
                     Message::MutResp(MutOutcome::Rejected(EngineError::Transient { .. }))
                         if attempt < attempts =>
                     {
@@ -334,6 +420,7 @@ impl DistributedEngine {
                 }));
             }
         }
+        stream.set_io_timeout(None)?;
         self.conns[s] = Some(stream);
         if let Some(ns) = dial_timer.elapsed_ns() {
             hydra_obs::observe(&format!("net.dial.{s}"), ns);
@@ -341,10 +428,10 @@ impl DistributedEngine {
         Ok(())
     }
 
-    /// One request/response exchange on shard `s`'s current connection
-    /// (dialing first if there is none), with the `net.write.{s}` /
-    /// `net.read.{s}` injection sites armed around the socket ops.
-    fn exchange(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+    /// The scatter half of one exchange: put the request frame on shard
+    /// `s`'s connection (dialing first if there is none), `net.write.{s}`
+    /// armed. After `Ok(())` the shard owes exactly one reply.
+    fn write_half(&mut self, s: usize, msg: &Message) -> Result<(), NetError> {
         if self.conns[s].is_none() {
             self.dial(s)?;
         }
@@ -358,6 +445,15 @@ impl DistributedEngine {
         if let Some(ns) = scatter.elapsed_ns() {
             hydra_obs::observe(&format!("net.scatter.{s}"), ns);
         }
+        Ok(())
+    }
+
+    /// The gather half: read the one reply shard `s` owes,
+    /// `net.read.{s}` armed.
+    fn read_half(&mut self, s: usize) -> Result<Message, NetError> {
+        let Some(conn) = self.conns[s].as_mut() else {
+            return Err(NetError::Protocol(format!("shard {s}: no connection")));
+        };
         let gather = hydra_obs::timer();
         inject_io(&format!("net.read.{s}")).map_err(NetError::Io)?;
         let reply = read_message(conn.as_mut())?;
@@ -370,6 +466,14 @@ impl DistributedEngine {
         Ok(reply)
     }
 
+    /// One request/response exchange on shard `s`'s current connection,
+    /// with the `net.write.{s}` / `net.read.{s}` injection sites armed
+    /// around the socket ops.
+    fn exchange(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        self.write_half(s, msg)?;
+        self.read_half(s)
+    }
+
     /// [`DistributedEngine::exchange`] under the bounded deterministic
     /// retry schedule: a retryable failure (injected transient, torn
     /// reply, connection churn, sequence gap) drops the connection —
@@ -377,28 +481,46 @@ impl DistributedEngine {
     /// backs off doubling. Requests are safe to re-send: queries are
     /// read-only and mutations are sequence-idempotent.
     fn request(&mut self, s: usize, msg: &Message) -> Result<Message, NetError> {
+        match self.exchange(s, msg) {
+            Ok(reply) => Ok(reply),
+            Err(e) => self.request_from(s, msg, 1, self.retry.initial_backoff, e),
+        }
+    }
+
+    /// Continue the retry schedule for shard `s` after `spent` attempts
+    /// already failed, the latest with `last` (`backoff` is the sleep the
+    /// *next* retry owes). Each further attempt is a full exchange on a
+    /// fresh dial. This is how the pipelined scatter keeps fault-site hit
+    /// counts identical to the sequential path: a gather-phase failure
+    /// resumes the schedule exactly where the scatter phase left it,
+    /// instead of starting a fresh full-budget request (which would
+    /// consume one-shot faults the sequential path never reached).
+    fn request_from(
+        &mut self,
+        s: usize,
+        msg: &Message,
+        spent: u32,
+        mut backoff: Duration,
+        mut last: NetError,
+    ) -> Result<Message, NetError> {
         let attempts = self.retry.max_attempts.max(1);
-        let mut backoff = self.retry.initial_backoff;
-        let mut last = None;
-        for attempt in 1..=attempts {
+        let mut attempt = spent;
+        loop {
+            self.conns[s] = None;
+            if !retryable(&last) || attempt >= attempts {
+                return Err(last);
+            }
+            self.health.record_retry();
+            if !backoff.is_zero() {
+                std::thread::sleep(backoff.min(self.retry.max_backoff));
+            }
+            backoff = (backoff * 2).min(self.retry.max_backoff);
+            attempt += 1;
             match self.exchange(s, msg) {
                 Ok(reply) => return Ok(reply),
-                Err(e) => {
-                    self.conns[s] = None;
-                    if !retryable(&e) || attempt == attempts {
-                        return Err(e);
-                    }
-                    self.health.record_retry();
-                    last = Some(e);
-                    if !backoff.is_zero() {
-                        std::thread::sleep(backoff.min(self.retry.max_backoff));
-                    }
-                    backoff = (backoff * 2).min(self.retry.max_backoff);
-                }
+                Err(e) => last = e,
             }
         }
-        // Unreachable: the loop returns on the final attempt.
-        Err(last.unwrap_or(NetError::Protocol("retry loop underflow".into())))
     }
 
     /// Scatter one query batch and gather degraded outcomes — the
@@ -426,10 +548,85 @@ impl DistributedEngine {
         // order (the in-process degraded ordering).
         let mut contributions: Vec<Vec<ScoredCandidate>> = vec![Vec::new(); lefts.len()];
         let mut failures: Vec<Vec<ShardFailure>> = vec![Vec::new(); lefts.len()];
+
+        // Pipelined scatter: put the batch on every socket before reading
+        // any reply, so the shards compute concurrently and the gather
+        // waits on max(shard latency) instead of the sum. Replies are
+        // still gathered in shard order, so merge determinism and the
+        // degraded-ordering semantics are exactly the sequential path's.
+        //
+        // Phase one runs each shard's write under the retry schedule
+        // (write failures never owed a reply, so retrying just the write
+        // is the sequential path's behavior with the read deferred);
+        // `scattered[s]` records how many attempts it spent, the backoff
+        // it advanced to, and a hard failure if it exhausted.
+        struct Scattered {
+            spent: u32,
+            backoff: Duration,
+            failed: Option<NetError>,
+        }
+        /// Drop the connections of shards (from `from` on) still owing a
+        /// reply, before an error return abandons the gather.
+        fn abandon(conns: &mut [Option<Box<dyn Conn>>], scattered: &[Scattered], from: usize) {
+            for (t, st) in scattered.iter().enumerate().skip(from) {
+                if st.failed.is_none() {
+                    conns[t] = None;
+                }
+            }
+        }
+        let attempts = self.retry.max_attempts.max(1);
+        let mut scattered: Vec<Scattered> = Vec::with_capacity(n);
         for s in 0..n {
-            match self.request(s, &msg) {
+            let mut spent = 1;
+            let mut backoff = self.retry.initial_backoff;
+            let failed = loop {
+                match self.write_half(s, &msg) {
+                    Ok(()) => break None,
+                    Err(e) => {
+                        self.conns[s] = None;
+                        if !retryable(&e) || spent >= attempts {
+                            break Some(e);
+                        }
+                        self.health.record_retry();
+                        if !backoff.is_zero() {
+                            std::thread::sleep(backoff.min(self.retry.max_backoff));
+                        }
+                        backoff = (backoff * 2).min(self.retry.max_backoff);
+                        spent += 1;
+                    }
+                }
+            };
+            scattered.push(Scattered {
+                spent,
+                backoff,
+                failed,
+            });
+        }
+
+        // Phase two: gather in shard order. A gather failure resumes the
+        // shard's retry schedule (full exchanges from here on) exactly
+        // where phase one left it. An error that fails the whole call
+        // must first drop every connection still owing a reply — a stale
+        // `QueryResp` left on a socket would desynchronize the next
+        // request on it.
+        for s in 0..n {
+            let result = match scattered[s].failed.take() {
+                Some(e) => Err(e),
+                None => {
+                    let owed = self.read_half(s);
+                    match owed {
+                        Ok(reply) => Ok(reply),
+                        Err(e) => {
+                            let (spent, backoff) = (scattered[s].spent, scattered[s].backoff);
+                            self.request_from(s, &msg, spent, backoff, e)
+                        }
+                    }
+                }
+            };
+            match result {
                 Ok(Message::QueryResp(Ok(replies))) => {
                     if replies.len() != lefts.len() {
+                        abandon(&mut self.conns, &scattered, s + 1);
                         return Err(NetError::Protocol(format!(
                             "shard {s}: {} replies for {} queries",
                             replies.len(),
@@ -453,12 +650,16 @@ impl DistributedEngine {
                 // Batch validation failure: deterministic, every shard
                 // would refuse identically — fail the call like the
                 // in-process engine does.
-                Ok(Message::QueryResp(Err(e))) => return Err(NetError::Refused(e)),
+                Ok(Message::QueryResp(Err(e))) => {
+                    abandon(&mut self.conns, &scattered, s + 1);
+                    return Err(NetError::Refused(e));
+                }
                 Ok(other) => {
+                    abandon(&mut self.conns, &scattered, s + 1);
                     return Err(NetError::UnexpectedFrame {
                         expected: "QueryResp",
                         found: other.kind(),
-                    })
+                    });
                 }
                 // Protocol-level refusals are configuration errors, not
                 // degradation — propagate.
@@ -466,7 +667,10 @@ impl DistributedEngine {
                     e @ (NetError::FingerprintMismatch { .. }
                     | NetError::TopologyMismatch { .. }
                     | NetError::Protocol(_)),
-                ) => return Err(e),
+                ) => {
+                    abandon(&mut self.conns, &scattered, s + 1);
+                    return Err(e);
+                }
                 // This shard is unreachable: its partition degrades,
                 // the healthy shards keep serving.
                 Err(_) => {

@@ -75,10 +75,12 @@ impl ShardServer {
 
     /// Cold-start shard `shard` of `num_shards` from two files: the
     /// serving artifact (model + extraction state, `HYSA`) and the
-    /// population artifact (profiles + graphs, `HYPP`). Refuses a
-    /// population whose extractor fingerprint differs from the serving
-    /// artifact's — signals extracted by a different pipeline cannot be
-    /// served by this model.
+    /// population artifact (profiles + graphs, `HYPP` — the full corpus
+    /// or this shard's slice). Refuses a population whose extractor
+    /// fingerprint differs from the serving artifact's — signals
+    /// extracted by a different pipeline cannot be served by this model
+    /// — and a slice cut for different partition coordinates (a shard
+    /// serving another shard's slice would silently drop candidates).
     pub fn from_artifacts(
         artifact: &Path,
         population: &Path,
@@ -86,7 +88,7 @@ impl ShardServer {
         num_shards: usize,
     ) -> Result<Self, NetError> {
         let serving = ServingArtifact::load(artifact)?;
-        let pop = PopulationArtifact::load(population)?;
+        let mut pop = PopulationArtifact::load(population)?;
         let expected = serving.extractor.fingerprint();
         if pop.extractor_fingerprint != expected {
             return Err(NetError::FingerprintMismatch {
@@ -94,9 +96,25 @@ impl ShardServer {
                 found: pop.extractor_fingerprint,
             });
         }
+        if pop.is_sliced() && (pop.shard, pop.num_shards) != (shard as u32, num_shards as u32) {
+            return Err(NetError::TopologyMismatch {
+                expected: (shard as u32, num_shards as u32),
+                found: (pop.shard, pop.num_shards),
+            });
+        }
         let fingerprint = serving.model.fingerprint();
+        // The username columns — not the (possibly sliced) signal store —
+        // carry the global blocking vocabulary.
+        let usernames = std::mem::take(&mut pop.usernames);
         let (signals, graphs) = pop.into_signals(serving.extractor.lda().clone());
-        let replica = ShardReplica::new(serving.model, &signals, graphs, shard, num_shards)?;
+        let replica = ShardReplica::with_usernames(
+            serving.model,
+            &signals,
+            graphs,
+            usernames,
+            shard,
+            num_shards,
+        )?;
         Ok(ShardServer::new(replica, fingerprint))
     }
 

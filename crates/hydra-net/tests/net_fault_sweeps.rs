@@ -21,6 +21,7 @@
 //!   converged anyway (dial-replay is the backstop), and seeded transient
 //!   streams on the read path never change an answer bit.
 
+use hydra_core::artifact::TaskSpec;
 use hydra_core::engine::LinkageEngine;
 use hydra_core::ingest::SignalExtractor;
 use hydra_core::model::{Hydra, HydraConfig, LinkagePrediction, PairTask, TrainedHydra};
@@ -31,9 +32,9 @@ use hydra_datagen::{Dataset, DatasetConfig};
 use hydra_fault::{install, record, FaultKind, FaultPlan};
 use hydra_graph::SocialGraph;
 use hydra_net::coordinator::Endpoint;
-use hydra_net::{DistributedEngine, NetError, ShardServer};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use hydra_net::{DistributedEngine, NetError, PopulationArtifact, ServeEnd, ShardServer};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
 const NUM_SHARDS: usize = 2;
@@ -112,21 +113,51 @@ struct Net {
     handles: Vec<std::thread::JoinHandle<Result<(), NetError>>>,
 }
 
-/// Spawn `NUM_SHARDS` in-thread servers on fresh unix sockets.
-fn spawn_net(w: &World) -> Net {
+/// Build shard `s`'s replica the way a shard process cold-starting from
+/// its *sliced* population artifact would: slice, round-trip the bytes,
+/// then rebuild global blocking statistics from the username columns.
+fn sliced_replica(w: &World, s: usize, num_shards: usize) -> ShardReplica {
+    let tasks: Vec<TaskSpec> = w.trained.model.tasks.clone();
+    let full = PopulationArtifact::from_signals(
+        &w.signals,
+        &graphs(&w.dataset),
+        w.extractor.fingerprint(),
+    );
+    let slice = full.slice_for_shard(s, num_shards, &tasks).expect("slice");
+    let mut slice = PopulationArtifact::from_bytes(&slice.to_bytes()).expect("slice decode");
+    let usernames = std::mem::take(&mut slice.usernames);
+    let (signals, graphs) = slice.into_signals(w.extractor.lda().clone());
+    ShardReplica::with_usernames(
+        w.trained.model.clone(),
+        &signals,
+        graphs,
+        usernames,
+        s,
+        num_shards,
+    )
+    .expect("sliced replica")
+}
+
+/// Spawn `NUM_SHARDS` in-thread servers on fresh unix sockets, each over
+/// the full population or its own slice of it.
+fn spawn_net_from(w: &World, sliced: bool) -> Net {
     static RUN: AtomicUsize = AtomicUsize::new(0);
     let run = RUN.fetch_add(1, Ordering::Relaxed);
     let mut endpoints = Vec::new();
     let mut handles = Vec::new();
     for s in 0..NUM_SHARDS {
-        let replica = ShardReplica::new(
-            w.trained.model.clone(),
-            &w.signals,
-            graphs(&w.dataset),
-            s,
-            NUM_SHARDS,
-        )
-        .expect("replica");
+        let replica = if sliced {
+            sliced_replica(w, s, NUM_SHARDS)
+        } else {
+            ShardReplica::new(
+                w.trained.model.clone(),
+                &w.signals,
+                graphs(&w.dataset),
+                s,
+                NUM_SHARDS,
+            )
+            .expect("replica")
+        };
         let mut server = ShardServer::new(replica, w.trained.model.fingerprint());
         let sock =
             std::env::temp_dir().join(format!("hynet-fs-{}-{run}-{s}.sock", std::process::id()));
@@ -142,6 +173,10 @@ fn spawn_net(w: &World) -> Net {
         endpoints.push(endpoint);
     }
     Net { endpoints, handles }
+}
+
+fn spawn_net(w: &World) -> Net {
+    spawn_net_from(w, false)
 }
 
 fn teardown(mut eng: DistributedEngine, net: Net) {
@@ -484,4 +519,218 @@ fn exhausted_mutation_transients_converge_via_dial_replay() {
     }
     drop(scope);
     teardown(eng, net);
+}
+
+#[test]
+fn sliced_replicas_answer_bitwise_and_transients_retry() {
+    let _serial = serial();
+    let w = world();
+    let total = w.dataset.num_accounts(1) as u32;
+    let sig = w
+        .extractor
+        .extract_account(AccountSource::account(&w.dataset, 1, 0), total);
+
+    // Full-artifact fleet: the bitwise referee.
+    let net = spawn_net(w);
+    let mut eng =
+        DistributedEngine::connect(w.trained.model.clone(), net.endpoints.clone(), retry())
+            .expect("connect full");
+    let reference = scenario(&mut eng, &sig, total);
+    teardown(eng, net);
+
+    // Sliced fleet, recorded: every shard cold-starts from its own slice
+    // (1/N profiles and edges, full username columns), yet the whole
+    // scenario — queries, insert with an edge, remove — lands on the same
+    // bits. The recording also enumerates the sliced fleet's client
+    // fault surface for the sweep below.
+    let net = spawn_net_from(w, true);
+    let endpoints = net.endpoints.clone();
+    let ((sliced_out, eng), log) = record(|| {
+        let mut eng = DistributedEngine::connect(w.trained.model.clone(), endpoints, retry())
+            .expect("connect sliced");
+        let outcome = scenario(&mut eng, &sig, total);
+        (outcome, eng)
+    });
+    teardown(eng, net);
+    for out in sliced_out.0.iter().chain(sliced_out.1.iter()) {
+        assert!(out.is_complete(), "sliced reference run is never degraded");
+    }
+    assert_outcomes_bitwise(&sliced_out.0, &reference.0, "sliced fleet, pre-mutation");
+    assert_outcomes_bitwise(&sliced_out.1, &reference.1, "sliced fleet, post-mutation");
+
+    // The tentpole parity contract includes injected `net.*` faults: a
+    // transient at every (site, hit) the sliced scenario crosses retries
+    // back to the very same bits.
+    let client_sites: Vec<(String, u64)> = log
+        .iter()
+        .filter(|(site, _)| {
+            site.starts_with("net.connect.")
+                || site.starts_with("net.write.")
+                || site.starts_with("net.read.")
+        })
+        .cloned()
+        .collect();
+    assert!(
+        !client_sites.is_empty(),
+        "sliced scenario crossed no client sites"
+    );
+    for (site, hit) in &client_sites {
+        let net = spawn_net_from(w, true);
+        let endpoints = net.endpoints.clone();
+        let scope = install(FaultPlan::new().one_shot(site, *hit, FaultKind::Transient));
+        let mut eng = DistributedEngine::connect(w.trained.model.clone(), endpoints, retry())
+            .unwrap_or_else(|e| panic!("sliced connect under transient at {site}#{hit}: {e}"));
+        let (before, after) = scenario(&mut eng, &sig, total);
+        drop(scope);
+        assert_outcomes_bitwise(
+            &before,
+            &reference.0,
+            &format!("sliced transient {site}#{hit}, pre"),
+        );
+        assert_outcomes_bitwise(
+            &after,
+            &reference.1,
+            &format!("sliced transient {site}#{hit}, post"),
+        );
+        teardown(eng, net);
+    }
+}
+
+#[test]
+fn hung_accept_dial_times_out_and_degrades_deterministically() {
+    let _serial = serial();
+    let w = world();
+
+    // Shard 0: a normal server. Shard 1: serves only while `healthy` is
+    // set; otherwise accepted connections fall into a black hole — the
+    // kernel completes the client's connect via the listener backlog,
+    // but no `HelloAck` ever comes back. Without a dial budget the
+    // handshake read would block the whole scatter indefinitely; with
+    // one, the dial times out, the bounded retry schedule runs dry, and
+    // the shard degrades exactly like any other hard loss.
+    let run = {
+        static RUN: AtomicUsize = AtomicUsize::new(0);
+        RUN.fetch_add(1, Ordering::Relaxed)
+    };
+    let sock0 = std::env::temp_dir().join(format!("hynet-bh-{}-{run}-0.sock", std::process::id()));
+    let ep0 = Endpoint::Unix(sock0);
+    let mut server0 = ShardServer::new(
+        ShardReplica::new(
+            w.trained.model.clone(),
+            &w.signals,
+            graphs(&w.dataset),
+            0,
+            NUM_SHARDS,
+        )
+        .expect("replica 0"),
+        w.trained.model.fingerprint(),
+    );
+    let ep = ep0.clone();
+    let (tx, rx) = std::sync::mpsc::channel();
+    let h0 = std::thread::spawn(move || {
+        server0.run(&ep, |_| {
+            tx.send(()).ok();
+        })
+    });
+    rx.recv().expect("shard 0 binds");
+
+    let sock1 = std::env::temp_dir().join(format!("hynet-bh-{}-{run}-1.sock", std::process::id()));
+    let _ = std::fs::remove_file(&sock1);
+    let listener = std::os::unix::net::UnixListener::bind(&sock1).expect("shard 1 binds");
+    let ep1 = Endpoint::Unix(sock1.clone());
+    let healthy = Arc::new(AtomicBool::new(true));
+    let flag = healthy.clone();
+    let mut server1 = ShardServer::new(
+        ShardReplica::new(
+            w.trained.model.clone(),
+            &w.signals,
+            graphs(&w.dataset),
+            1,
+            NUM_SHARDS,
+        )
+        .expect("replica 1"),
+        w.trained.model.fingerprint(),
+    );
+    let h1 = std::thread::spawn(move || -> Result<(), NetError> {
+        // Black-holed connections are *held*, not dropped: a drop would
+        // surface as a prompt EOF, and this test is about the hang.
+        let mut doomed = Vec::new();
+        loop {
+            let (mut stream, _) = listener.accept().map_err(NetError::Io)?;
+            if flag.load(Ordering::SeqCst) {
+                match server1.serve(&mut stream)? {
+                    ServeEnd::Shutdown => break,
+                    ServeEnd::Disconnected => continue,
+                }
+            } else {
+                doomed.push(stream);
+            }
+        }
+        std::fs::remove_file(&sock1).ok();
+        drop(doomed);
+        Ok(())
+    });
+
+    let mut eng = DistributedEngine::connect(w.trained.model.clone(), vec![ep0, ep1], retry())
+        .expect("connect");
+    eng.set_dial_timeout(Some(Duration::from_millis(50)));
+    let reference = eng.query_batch_outcome(0, &PROBE).expect("reference");
+    for out in &reference {
+        assert!(out.is_complete(), "reference run is never degraded");
+    }
+
+    // The in-process twin with shard 1 quarantined: the degraded fleet
+    // must answer exactly these bits.
+    let mut sharded = ShardedEngine::new(
+        w.trained.model.clone(),
+        &w.signals,
+        graphs(&w.dataset),
+        NUM_SHARDS,
+    )
+    .expect("twin");
+    sharded.quarantine(1);
+    let twin = sharded
+        .query_batch_outcome(0, &PROBE)
+        .expect("twin outcome");
+
+    // Sweep both fault sites that force a re-dial mid-query: a transient
+    // write (fails before any reply is owed) and a transient read (the
+    // reply path). Each re-dial lands in the black hole.
+    for (name, site) in [("write", "net.write.1"), ("read", "net.read.1")] {
+        healthy.store(false, Ordering::SeqCst);
+        let scope = install(FaultPlan::new().one_shot(site, 0, FaultKind::Transient));
+        let started = std::time::Instant::now();
+        let out = eng.query_batch_outcome(0, &PROBE).expect("degraded query");
+        drop(scope);
+        let elapsed = started.elapsed();
+        assert!(
+            elapsed < Duration::from_secs(2),
+            "{name}: dial budget bounds the hung accept, took {elapsed:?}"
+        );
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(
+                o.degraded,
+                vec![ShardFailure::Quarantined { shard: 1 }],
+                "{name} into black hole, left #{i}"
+            );
+        }
+        assert_outcomes_bitwise(&out, &twin, &format!("{name} into black hole vs twin"));
+        // No plan, no live connection: the re-dial hits the black hole
+        // again and the degradation repeats bit-for-bit.
+        let again = eng.query_batch_outcome(0, &PROBE).expect("still degraded");
+        assert_outcomes_bitwise(&again, &out, &format!("{name} black-hole determinism"));
+        // Flip the shard back to serving: the next call re-dials,
+        // replays, and heals to the reference bits.
+        healthy.store(true, Ordering::SeqCst);
+        let healed = eng.query_batch_outcome(0, &PROBE).expect("healed query");
+        assert_outcomes_bitwise(&healed, &reference, &format!("healed after {name}"));
+    }
+
+    teardown(
+        eng,
+        Net {
+            endpoints: Vec::new(),
+            handles: vec![h0, h1],
+        },
+    );
 }

@@ -89,9 +89,19 @@ fn world() -> &'static World {
         .expect("save serving artifact");
         let population = dir.join("population.hypp");
         let graphs: Vec<SocialGraph> = dataset.platforms.iter().map(|p| p.graph.clone()).collect();
-        PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint())
-            .save(&population)
-            .expect("save population artifact");
+        let full = PopulationArtifact::from_signals(&signals, &graphs, extractor.fingerprint());
+        full.save(&population).expect("save population artifact");
+        // One slice per (shard, topology) the parity tests cold-start
+        // from: each carries only that shard's profiles and incident
+        // edges (plus the global username columns blocking needs).
+        for n in [1usize, 2, 4] {
+            for s in 0..n {
+                full.slice_for_shard(s, n, &trained.model.tasks)
+                    .expect("slice")
+                    .save(dir.join(format!("population-{n}w-{s}.hypp")))
+                    .expect("save sliced artifact");
+            }
+        }
         World {
             dataset,
             signals,
@@ -116,14 +126,26 @@ fn fast_retry() -> RetryPolicy {
     }
 }
 
-/// Spawn one `hydra-shardd` process and block until its `READY` line.
-/// Returns the child plus the endpoint it actually bound.
-fn launch(w: &World, listen: &str, shard: usize, num_shards: usize) -> (Child, Endpoint) {
+/// The on-disk slice shard `shard` of a `num_shards`-way fleet boots from.
+fn sliced_population(w: &World, shard: usize, num_shards: usize) -> PathBuf {
+    w.dir.join(format!("population-{num_shards}w-{shard}.hypp"))
+}
+
+/// Spawn one `hydra-shardd` process over an explicit population artifact
+/// (full or sliced) and block until its `READY` line. Returns the child
+/// plus the endpoint it actually bound.
+fn launch_with_population(
+    w: &World,
+    listen: &str,
+    population: &std::path::Path,
+    shard: usize,
+    num_shards: usize,
+) -> (Child, Endpoint) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_hydra-shardd"))
         .arg("--artifact")
         .arg(&w.artifact)
         .arg("--population")
-        .arg(&w.population)
+        .arg(population)
         .arg("--shard")
         .arg(shard.to_string())
         .arg("--num-shards")
@@ -146,10 +168,28 @@ fn launch(w: &World, listen: &str, shard: usize, num_shards: usize) -> (Child, E
     (child, Endpoint::parse(&bound).expect("bound endpoint"))
 }
 
+fn launch(w: &World, listen: &str, shard: usize, num_shards: usize) -> (Child, Endpoint) {
+    launch_with_population(w, listen, &w.population, shard, num_shards)
+}
+
 fn launch_unix(w: &World, tag: &str, shard: usize, num_shards: usize) -> (Child, Endpoint) {
     let sock = w.dir.join(format!("{tag}-{num_shards}w-{shard}.sock"));
     std::fs::remove_file(&sock).ok();
     launch(w, &format!("unix:{}", sock.display()), shard, num_shards)
+}
+
+/// Like [`launch_unix`] but the process cold-starts from its *slice* of
+/// the population instead of the full artifact.
+fn launch_unix_sliced(w: &World, tag: &str, shard: usize, num_shards: usize) -> (Child, Endpoint) {
+    let sock = w.dir.join(format!("{tag}-{num_shards}w-{shard}.sock"));
+    std::fs::remove_file(&sock).ok();
+    launch_with_population(
+        w,
+        &format!("unix:{}", sock.display()),
+        &sliced_population(w, shard, num_shards),
+        shard,
+        num_shards,
+    )
 }
 
 fn reap(mut child: Child, ctx: &str) {
@@ -419,6 +459,221 @@ fn unix_path(e: &Endpoint) -> String {
         Endpoint::Unix(p) => p.display().to_string(),
         Endpoint::Tcp(addr) => panic!("expected unix endpoint, got tcp:{addr}"),
     }
+}
+
+#[test]
+fn sliced_artifact_fleet_matches_single_bitwise_at_every_width() {
+    let w = world();
+    let lefts: Vec<u32> = (0..w.dataset.num_persons() as u32).collect();
+    let total = w.dataset.num_accounts(1) as u32;
+    let (sig0, batch) = mutation_mix(w);
+
+    // Never-distributed references, fed the identical history. The full
+    // fleet is pinned to these same bits by the first test, so sliced ==
+    // single here gives sliced == full by transitivity.
+    let pristine = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("pristine single");
+    let pristine_want = pristine.query_batch(0, &lefts).expect("pristine batch");
+    let mut single = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("single");
+    single
+        .insert_account_with_edges(1, sig0.clone(), &[(0, 2.0)])
+        .expect("single insert");
+    for (sig, edges) in &batch {
+        single
+            .insert_account_with_edges(1, sig.clone(), edges)
+            .expect("single batch member");
+    }
+    single.remove_account(1, 5).expect("single remove");
+    let want = single.query_batch(0, &lefts).expect("single post-mix");
+
+    for num_shards in [1usize, 2, 4] {
+        let mut children = Vec::new();
+        let mut endpoints = Vec::new();
+        for s in 0..num_shards {
+            let (child, ep) = launch_unix_sliced(w, "sliced", s, num_shards);
+            children.push(child);
+            endpoints.push(ep);
+        }
+        let mut dist = DistributedEngine::connect(w.trained.model.clone(), endpoints, fast_retry())
+            .expect("connect sliced fleet");
+
+        // Pre-mutation: every process booted from 1/N of the profiles,
+        // yet blocking (global stop-gram stats from the full username
+        // columns) and scoring land on the single engine's bits.
+        let pre = dist.query_batch(0, &lefts).expect("sliced pre-mix");
+        for (&left, got) in lefts.iter().zip(pre.iter().zip(pristine_want.iter())) {
+            assert_preds_bitwise(
+                got.0,
+                got.1,
+                &format!("sliced {num_shards}w pre, left {left}"),
+            );
+        }
+
+        // The same mutation mix every other topology is driven through.
+        assert_eq!(
+            dist.insert_account_with_edges(1, sig0.clone(), &[(0, 2.0)])
+                .expect("sliced insert"),
+            total
+        );
+        assert_eq!(
+            dist.insert_batch_with_edges(1, batch.clone())
+                .expect("sliced batch insert"),
+            vec![total + 1, total + 2]
+        );
+        dist.remove_account(1, 5).expect("sliced remove");
+        dist.assert_epochs().expect("epoch lockstep");
+        for s in 0..num_shards {
+            let st = dist.status(s).expect("status");
+            assert_eq!(st.applied_seq, 3, "sliced shard {s}: mutations applied");
+            assert!(!st.poisoned, "sliced shard {s}: healthy");
+        }
+
+        let post = dist.query_batch(0, &lefts).expect("sliced post-mix");
+        let outcomes = dist
+            .query_batch_outcome(0, &lefts)
+            .expect("sliced outcomes");
+        for (i, &left) in lefts.iter().enumerate() {
+            assert_preds_bitwise(
+                &post[i],
+                &want[i],
+                &format!("sliced {num_shards}w post, left {left}"),
+            );
+            assert!(outcomes[i].is_complete(), "left {left}: complete");
+            assert_preds_bitwise(
+                &outcomes[i].predictions,
+                &want[i],
+                &format!("sliced {num_shards}w outcome, left {left}"),
+            );
+        }
+
+        dist.shutdown_all();
+        for (s, child) in children.into_iter().enumerate() {
+            reap(child, &format!("sliced {num_shards}-way shard {s}"));
+        }
+    }
+}
+
+#[test]
+fn sliced_fleet_killed_shard_degrades_and_restart_converges_bitwise() {
+    let w = world();
+    let lefts: Vec<u32> = (0..w.dataset.num_persons() as u32).collect();
+    let total = w.dataset.num_accounts(1) as u32;
+    let (sig0, batch) = mutation_mix(w);
+    let sig_down = batch[1].0.clone();
+
+    let (c0, e0) = launch_unix_sliced(w, "sliced-kill", 0, 2);
+    let (mut c1, e1) = launch_unix_sliced(w, "sliced-kill", 1, 2);
+    let mut dist =
+        DistributedEngine::connect(w.trained.model.clone(), vec![e0, e1.clone()], fast_retry())
+            .expect("connect");
+
+    // Serve-time history the post-restart replay must reproduce on a
+    // process that boots knowing only its slice.
+    dist.insert_account_with_edges(1, sig0.clone(), &[(0, 2.0)])
+        .expect("insert before kill");
+    dist.remove_account(1, 5).expect("remove before kill");
+
+    c1.kill().expect("kill");
+    c1.wait().expect("reap killed shard");
+
+    // Degraded serving from the surviving slice matches the in-process
+    // engine with that shard quarantined, bit for bit.
+    let out = dist.query_batch_outcome(0, &lefts).expect("degraded batch");
+    let mut twin = ShardedEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset), 2)
+        .expect("thread twin");
+    twin.insert_account_with_edges(1, sig0.clone(), &[(0, 2.0)])
+        .expect("twin insert");
+    twin.remove_account(1, 5).expect("twin remove");
+    twin.quarantine(1);
+    let twin_out = twin.query_batch_outcome(0, &lefts).expect("twin outcomes");
+    for (i, &left) in lefts.iter().enumerate() {
+        assert_eq!(
+            out[i].degraded,
+            vec![ShardFailure::Quarantined { shard: 1 }],
+            "left {left}: failure report"
+        );
+        assert_preds_bitwise(
+            &out[i].predictions,
+            &twin_out[i].predictions,
+            &format!("sliced degraded vs thread twin, left {left}"),
+        );
+    }
+
+    // Mutations land on the healthy shard while one is down; the restart
+    // cold-starts from the *slice* and catches up via oplog replay.
+    assert_eq!(
+        dist.insert_account_with_edges(1, sig_down.clone(), &[])
+            .expect("insert while degraded"),
+        total + 1
+    );
+    let (c1b, e1b) = launch_with_population(
+        w,
+        &format!("unix:{}", unix_path(&e1)),
+        &sliced_population(w, 1, 2),
+        1,
+        2,
+    );
+    assert_eq!(e1b, e1, "restart binds the same endpoint");
+    let post = dist.query_batch(0, &lefts).expect("complete after restart");
+    assert_eq!(
+        dist.status(1).expect("restarted status").applied_seq,
+        3,
+        "replay caught the restarted shard up"
+    );
+    dist.assert_epochs().expect("epoch lockstep after replay");
+
+    let mut reference = LinkageEngine::new(w.trained.model.clone(), &w.signals, graphs(&w.dataset))
+        .expect("reference");
+    reference
+        .insert_account_with_edges(1, sig0, &[(0, 2.0)])
+        .expect("reference insert");
+    reference.remove_account(1, 5).expect("reference remove");
+    reference
+        .insert_account_with_edges(1, sig_down, &[])
+        .expect("reference second insert");
+    for (i, &left) in lefts.iter().enumerate() {
+        let want = reference.query(0, left).expect("reference query");
+        assert_preds_bitwise(
+            &post[i],
+            &want,
+            &format!("sliced post-restart, left {left}"),
+        );
+    }
+
+    dist.shutdown_all();
+    reap(c0, "sliced shard 0");
+    reap(c1b, "restarted sliced shard 1");
+}
+
+#[test]
+fn mismatched_slice_topology_refuses_to_start() {
+    let w = world();
+    // Shard 1-of-2's slice handed to a process claiming to be shard
+    // 0-of-2: the artifact's topology header must refuse the cold start
+    // before the socket ever binds.
+    let sock = w.dir.join("mismatch.sock");
+    std::fs::remove_file(&sock).ok();
+    let status = Command::new(env!("CARGO_BIN_EXE_hydra-shardd"))
+        .arg("--artifact")
+        .arg(&w.artifact)
+        .arg("--population")
+        .arg(sliced_population(w, 1, 2))
+        .arg("--shard")
+        .arg("0")
+        .arg("--num-shards")
+        .arg("2")
+        .arg("--listen")
+        .arg(format!("unix:{}", sock.display()))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("spawn hydra-shardd");
+    assert!(
+        !status.success(),
+        "wrong slice topology must refuse to serve"
+    );
+    assert!(!sock.exists(), "refused cold start never binds the socket");
 }
 
 #[test]

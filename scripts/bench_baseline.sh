@@ -204,21 +204,34 @@ if degraded and recovery:
 # hydra-shardd processes over unix sockets (cold-started from one serving
 # + population artifact pair), checks bitwise parity against the single
 # in-process engine, then times the full scatter-gather batch. Its JSON
-# carries per-shard-count latency and per-process RSS.
+# carries per-shard-count latency, per-process RSS, cold-start time, and
+# artifact bytes — once for the full artifact replicated to every process
+# ("distributed"), once for per-shard sliced artifacts
+# ("distributed_sliced", 1/N profiles per process).
 dist_raw = json.load(open(os.environ["DIST"]))
-distributed = []
-for e in dist_raw.get("per_shards", []):
-    distributed.append(
+
+
+def dist_entries(rows):
+    return [
         {
             "shards": e["shards"],
             "queries": e["queries"],
             "endpoint": dist_raw.get("endpoint", "unix"),
             "scatter_gather_ns": e["scatter_gather_ns"],
             "per_process_rss_bytes": e["per_process_rss_bytes"],
+            "cold_start_ns": e["cold_start_ns"],
+            "artifact_bytes": e["artifact_bytes"],
         }
-    )
+        for e in rows
+    ]
+
+
+distributed = dist_entries(dist_raw.get("per_shards", []))
+distributed_sliced = dist_entries(dist_raw.get("sliced_per_shards", []))
 if not distributed:
     raise SystemExit("distributed_bench produced no per_shards entries")
+if not distributed_sliced:
+    raise SystemExit("distributed_bench produced no sliced_per_shards entries")
 
 threads = int(os.environ.get("HYDRA_THREADS") or os.cpu_count())
 
@@ -264,6 +277,7 @@ doc = {
     "ingest": ingest,
     "resilience": resilience,
     "distributed": distributed,
+    "distributed_sliced": distributed_sliced,
     "stages": raw,
 }
 with open(os.environ["OUT"], "w") as f:
@@ -322,5 +336,15 @@ for d in distributed:
     print(
         f"  dist x{d['shards']} procs  {d['scatter_gather_ns'] / 1e6:.2f} ms/query "
         f"scatter-gather ({d['endpoint']}), {rss / 1e6:.0f} MB total RSS"
+    )
+full_rss = {d["shards"]: sum(d["per_process_rss_bytes"]) for d in distributed}
+for d in distributed_sliced:
+    rss = sum(d["per_process_rss_bytes"])
+    cold = max(d["cold_start_ns"])
+    delta = rss - full_rss.get(d["shards"], rss)
+    print(
+        f"  sliced x{d['shards']} procs {d['scatter_gather_ns'] / 1e6:.2f} ms/query, "
+        f"{rss / 1e6:.0f} MB total RSS ({delta / 1e6:+.1f} MB vs full), "
+        f"cold start {cold / 1e6:.0f} ms"
     )
 PY

@@ -295,39 +295,83 @@ def main() -> None:
 
     # Distributed serving: real hydra-shardd processes behind unix sockets,
     # timed per query-batch scatter-gather at 2 and 4 shard processes, with
-    # each process's resident memory recorded alongside.
-    distributed = doc.get("distributed")
-    if not isinstance(distributed, list) or not distributed:
-        fail("missing distributed block (process-sharded scatter-gather)")
-    dist_shards = set()
-    for entry in distributed:
-        for key in (
-            "shards",
-            "queries",
-            "endpoint",
-            "scatter_gather_ns",
-            "per_process_rss_bytes",
-        ):
-            if key not in entry:
-                fail(f"distributed entry missing {key!r}")
-        if entry["shards"] <= 0 or entry["queries"] <= 0:
-            fail("distributed entry has non-positive shards/queries")
-        if entry["scatter_gather_ns"] <= 0:
-            fail("distributed entry has non-positive scatter_gather_ns")
-        rss = entry["per_process_rss_bytes"]
-        if not isinstance(rss, list) or len(rss) != entry["shards"]:
+    # each process's resident memory, cold-start time, and population
+    # artifact size recorded alongside — once from the full artifact
+    # replicated to every process, once from per-shard sliced artifacts.
+    def check_dist_block(name, block):
+        if not isinstance(block, list) or not block:
+            fail(f"missing {name} block (process-sharded scatter-gather)")
+        shards_seen = set()
+        for entry in block:
+            for key in (
+                "shards",
+                "queries",
+                "endpoint",
+                "scatter_gather_ns",
+                "per_process_rss_bytes",
+            ):
+                if key not in entry:
+                    fail(f"{name} entry missing {key!r}")
+            if entry["shards"] <= 0 or entry["queries"] <= 0:
+                fail(f"{name} entry has non-positive shards/queries")
+            if entry["scatter_gather_ns"] <= 0:
+                fail(f"{name} entry has non-positive scatter_gather_ns")
+            for key in (
+                "per_process_rss_bytes",
+                "cold_start_ns",
+                "artifact_bytes",
+            ):
+                # cold_start_ns / artifact_bytes are required in sliced
+                # blocks (they carry the cold-start claim) and optional in
+                # full blocks (pre-slice artifacts predate them).
+                if key not in entry:
+                    if name == "distributed_sliced":
+                        fail(f"{name} entry missing {key!r}")
+                    continue
+                values = entry[key]
+                if not isinstance(values, list) or len(values) != entry["shards"]:
+                    fail(
+                        f"{name} {key} must list one value per shard "
+                        f"process (shards={entry['shards']}, got {values!r})"
+                    )
+                if any(not isinstance(b, int) or b <= 0 for b in values):
+                    fail(f"{name} entry has a non-positive {key}")
+            shards_seen.add(entry["shards"])
+        if not {2, 4} <= shards_seen:
             fail(
-                "distributed per_process_rss_bytes must list one RSS per "
-                f"shard process (shards={entry['shards']}, got {rss!r})"
+                f"{name} block covers shard counts {sorted(shards_seen)} — "
+                "2 and 4 shard processes are required"
             )
-        if any(not isinstance(b, int) or b <= 0 for b in rss):
-            fail("distributed entry has a non-positive per-process RSS")
-        dist_shards.add(entry["shards"])
-    if not {2, 4} <= dist_shards:
+        return {e["shards"]: e for e in block}
+
+    distributed = doc.get("distributed")
+    dist_by_shards = check_dist_block("distributed", distributed)
+    sliced = doc.get("distributed_sliced")
+    sliced_by_shards = check_dist_block("distributed_sliced", sliced)
+
+    # The memory claim itself, gated on the recorded numbers: a 4-process
+    # fleet booted from slices must hold strictly less aggregate RSS than
+    # the same fleet booted from the full artifact replicated 4×. (The
+    # 2-process margin is real but small enough to be allocator noise at
+    # smoke scales, so the gate pins the width the claim is about.)
+    full_rss = sum(dist_by_shards[4]["per_process_rss_bytes"])
+    sliced_rss = sum(sliced_by_shards[4]["per_process_rss_bytes"])
+    if sliced_rss >= full_rss:
         fail(
-            f"distributed block covers shard counts {sorted(dist_shards)} — "
-            "2 and 4 shard processes are required"
+            f"sliced 4-process fleet aggregate RSS {sliced_rss} is not below "
+            f"the full-artifact baseline {full_rss}"
         )
+    # Slices must actually be smaller on disk than the full artifact they
+    # were cut from, at every recorded width.
+    if "artifact_bytes" in dist_by_shards[4]:
+        full_bytes = max(dist_by_shards[4]["artifact_bytes"])
+        for n, entry in sliced_by_shards.items():
+            if max(entry["artifact_bytes"]) >= full_bytes:
+                fail(
+                    f"sliced {n}-way artifact is not smaller than the "
+                    f"full population artifact ({entry['artifact_bytes']} "
+                    f"vs {full_bytes})"
+                )
 
     # Host fingerprint: optional (older artifacts predate it) but reported
     # when present, and shape-checked so cross-refresh comparisons can rely
@@ -367,8 +411,9 @@ def main() -> None:
         f"degraded serve {degraded['per_query_ns'] / 1e6:.2f} ms/query, "
         f"shard rebuild {recovery['rebuild_ns'] / 1e6:.2f} ms, "
         f"shared snapshot {snapshot_sizes.pop() / 1e6:.1f} MB, "
-        f"distributed x{max(dist_shards)} "
+        f"distributed x{max(dist_by_shards)} "
         f"{max(e['scatter_gather_ns'] for e in distributed) / 1e6:.2f} ms/query, "
+        f"sliced x4 RSS {sliced_rss / 1e6:.0f} MB vs full {full_rss / 1e6:.0f} MB, "
         f"{host_desc})"
     )
 
